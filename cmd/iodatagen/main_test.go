@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iotaxo/internal/darshan"
+	"iotaxo/internal/dataset"
+)
+
+func TestRunWritesReadableCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "theta.csv")
+	if err := run("theta", 400, out, "csv", 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	frame, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Len() != 400 {
+		t.Fatalf("rows = %d", frame.Len())
+	}
+	if frame.NumCols() != 101 { // theta: 48+48+5
+		t.Fatalf("cols = %d", frame.NumCols())
+	}
+}
+
+func TestRunCoriIncludesLMT(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "cori.csv")
+	if err := run("cori", 200, out, "csv", 7); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	frame, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.NumCols() != 138 { // cori: 48+48+5+37
+		t.Fatalf("cols = %d", frame.NumCols())
+	}
+}
+
+func TestRunSeedOverrideChangesData(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csv")
+	b := filepath.Join(dir, "b.csv")
+	if err := run("theta", 100, a, "csv", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("theta", 100, b, "csv", 2); err != nil {
+		t.Fatal(err)
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) == string(db) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestRunDarshanFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "theta.darshan")
+	if err := run("theta", 50, out, "darshan", 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := darshan.ParseLogs(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 50 {
+		t.Fatalf("parsed %d records", len(recs))
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "theta.json")
+	if err := run("theta", 30, out, "json", 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	frame, err := dataset.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Len() != 30 {
+		t.Fatalf("rows = %d", frame.Len())
+	}
+	// JSON keeps ground truth.
+	if frame.Meta(0).Truth == nil {
+		t.Error("JSON format dropped ground truth")
+	}
+}
+
+func TestRunRejectsUnknownFormat(t *testing.T) {
+	if err := run("theta", 10, "", "yaml", 0); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunRejectsUnknownSystem(t *testing.T) {
+	if err := run("summit", 10, "", "csv", 0); err == nil {
+		t.Error("unknown system accepted")
+	}
+}

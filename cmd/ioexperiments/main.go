@@ -1,0 +1,146 @@
+// Command ioexperiments regenerates the paper's figures and tables on
+// freshly generated datasets and prints each experiment's rows/series.
+//
+// Usage:
+//
+//	ioexperiments -exp all                 # every figure and table
+//	ioexperiments -exp fig1a,fig4,t3       # a subset
+//	ioexperiments -exp fig7 -jobs 20000    # bigger dataset
+//	ioexperiments -full                    # paper-scale NAS/grid budgets
+//
+// Experiment ids: fig1a fig1b fig1c fig1d fig2 fig3 fig4 fig5 fig6 fig7
+// fig7cori t1 t2 t3 (t2 is produced by the fig5 pipeline), plus the
+// extensions modelzoo, truthcheck, and workloadmap.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/experiments"
+	"iotaxo/internal/gbt"
+	"iotaxo/internal/system"
+)
+
+type renderer interface{ Render(w io.Writer) error }
+
+func main() {
+	var (
+		expList = flag.String("exp", "all", "comma-separated experiment ids (or 'all')")
+		jobs    = flag.Int("jobs", 12000, "jobs per generated system")
+		full    = flag.Bool("full", false, "paper-scale budgets (slow)")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+	if err := run(*expList, *jobs, *full, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ioexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(expList string, jobs int, full bool, seed uint64) error {
+	want := map[string]bool{}
+	for _, id := range strings.Split(expList, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	need := func(id string) bool { return all || want[id] }
+
+	gen := func(cfg *system.Config) (*dataset.Frame, error) {
+		m, err := system.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.Frame()
+	}
+	fmt.Fprintf(os.Stderr, "ioexperiments: generating theta-like and cori-like datasets (%d jobs each)...\n", jobs)
+	theta, err := gen(system.ThetaLike(jobs))
+	if err != nil {
+		return err
+	}
+	cori, err := gen(system.CoriLike(jobs))
+	if err != nil {
+		return err
+	}
+
+	sc := experiments.DefaultScale()
+	sc.Seed = seed
+	nas := experiments.SmallNAS()
+	trees := []int{16, 64, 256}
+	depths := []int{4, 8, 14}
+	fwCfg := core.FastConfig()
+	if full {
+		nas = experiments.PaperNAS()
+		trees = []int{4, 16, 32, 64, 128, 256, 512, 1024}
+		depths = []int{4, 6, 8, 12, 16, 21, 24}
+		fwCfg = core.PaperConfig()
+		p := gbt.DefaultParams()
+		p.NumTrees = 512
+		p.MaxDepth = 12
+		p.LearningRate = 0.05
+		p.MinChildWeight = 5
+		sc.TunedParams = p
+	}
+	fwCfg.Seed = seed
+
+	type experiment struct {
+		id  string
+		run func() (renderer, error)
+	}
+	list := []experiment{
+		{"fig1a", func() (renderer, error) { return experiments.Fig1a(theta, sc, trees, depths) }},
+		{"fig1b", func() (renderer, error) { return experiments.Fig1b(theta) }},
+		{"fig1c", func() (renderer, error) { return experiments.Fig1c(cori) }},
+		{"fig1d", func() (renderer, error) { return experiments.Fig1d(theta, sc, 0.7) }},
+		{"fig2", func() (renderer, error) { return experiments.Fig2(cori, sc, nas) }},
+		{"fig3", func() (renderer, error) { return experiments.Fig3(theta, sc) }},
+		{"fig4", func() (renderer, error) { return experiments.Fig4(cori, sc) }},
+		{"fig5", func() (renderer, error) { return experiments.Fig5(theta, sc, nas) }},
+		{"t2", func() (renderer, error) { return experiments.Fig5(cori, sc, nas) }},
+		{"fig6", func() (renderer, error) { return experiments.Fig6(cori) }},
+		{"fig7", func() (renderer, error) { return experiments.Fig7("theta-like", theta, fwCfg) }},
+		{"fig7cori", func() (renderer, error) { return experiments.Fig7("cori-like", cori, fwCfg) }},
+		{"t1", func() (renderer, error) { return experiments.T1(cori) }},
+		{"t3", func() (renderer, error) { return experiments.T3(theta) }},
+		{"modelzoo", func() (renderer, error) {
+			epochs := 10
+			if full {
+				epochs = 30
+			}
+			return experiments.ModelZoo(theta, sc, epochs)
+		}},
+		{"truthcheck", func() (renderer, error) { return experiments.TruthCheck(theta, sc) }},
+		{"workloadmap", func() (renderer, error) {
+			return experiments.WorkloadMap(theta, sc, []int{4, 6, 8, 10}, 600)
+		}},
+		{"drift", func() (renderer, error) { return experiments.Drift(theta, sc, 0.7) }},
+		{"importance", func() (renderer, error) { return experiments.Importance(theta, sc, 12) }},
+	}
+	ran := 0
+	for _, e := range list {
+		if !need(e.id) {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Printf("== %s (%.1fs) ==\n", e.id, time.Since(start).Seconds())
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched %q", expList)
+	}
+	return nil
+}

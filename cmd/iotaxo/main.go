@@ -1,0 +1,95 @@
+// Command iotaxo applies the paper's five-step error-taxonomy framework to
+// a dataset and prints the error breakdown (the Fig 7 report).
+//
+// Usage:
+//
+//	iotaxo -system theta -jobs 15000              # generate + analyze
+//	iotaxo -csv theta.csv -name theta             # analyze an iodatagen CSV
+//	iotaxo -system cori -jobs 15000 -full         # paper-scale budgets
+//
+// Steps (Sec. X): 1 baseline model; 2.1 duplicate-floor litmus test;
+// 2.2 hyperparameter search; 3.1 start-time golden model; 3.2 LMT
+// enrichment (when collected); 4 deep-ensemble OoD attribution; 5
+// concurrent-duplicate noise bounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/experiments"
+	"iotaxo/internal/system"
+)
+
+func main() {
+	var (
+		sysName = flag.String("system", "", "generate a built-in system: theta or cori")
+		jobs    = flag.Int("jobs", 15000, "jobs to generate with -system")
+		csvPath = flag.String("csv", "", "analyze an existing iodatagen CSV instead")
+		name    = flag.String("name", "", "system name for the report")
+		full    = flag.Bool("full", false, "use paper-scale search budgets (slow)")
+		seed    = flag.Uint64("seed", 1, "framework seed")
+	)
+	flag.Parse()
+	if err := run(*sysName, *jobs, *csvPath, *name, *full, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "iotaxo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sysName string, jobs int, csvPath, name string, full bool, seed uint64) error {
+	var frame *dataset.Frame
+	switch {
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		frame, err = dataset.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			name = csvPath
+		}
+	case sysName != "":
+		var cfg *system.Config
+		switch sysName {
+		case "theta":
+			cfg = system.ThetaLike(jobs)
+		case "cori":
+			cfg = system.CoriLike(jobs)
+		default:
+			return fmt.Errorf("unknown system %q (want theta or cori)", sysName)
+		}
+		m, err := system.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		if frame, err = m.Frame(); err != nil {
+			return err
+		}
+		if name == "" {
+			name = cfg.Name
+		}
+	default:
+		return fmt.Errorf("either -system or -csv is required")
+	}
+
+	cfg := core.FastConfig()
+	if full {
+		cfg = core.PaperConfig()
+	}
+	cfg.Seed = seed
+	fmt.Fprintf(os.Stderr, "iotaxo: analyzing %s (%d jobs, %d features)...\n",
+		name, frame.Len(), frame.NumCols())
+	res, err := experiments.Fig7(name, frame, cfg)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
+}

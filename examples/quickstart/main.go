@@ -1,0 +1,71 @@
+// Quickstart: generate a small Theta-like system, train an I/O throughput
+// model on its Darshan features, and ask the taxonomy's first and last
+// litmus tests how good that model could ever get.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iotaxo"
+	"iotaxo/internal/rng"
+)
+
+func main() {
+	// 1. Generate a system: 8,000 jobs over 3.5 simulated years, with
+	//    weather, contention, and noise injected per the paper's Eq. 3.
+	fmt.Println("generating a theta-like system (8000 jobs)...")
+	frame, err := iotaxo.Generate(iotaxo.ThetaLike(8000))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Train a gradient-boosted model on the application features, the
+	//    way an I/O practitioner would.
+	app, err := frame.SelectPrefix("posix_", "mpiio_")
+	if err != nil {
+		log.Fatal(err)
+	}
+	split, err := app.SplitRandom(rng.New(1), 0.7, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tt := iotaxo.TargetTransform{}
+	params := iotaxo.DefaultGBTParams()
+	params.NumTrees = 200
+	params.MaxDepth = 9
+	model, err := iotaxo.TrainGBT(params, split.Train.Rows(), tt.ForwardAll(split.Train.Y()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := iotaxo.Evaluate(model, split.Test)
+	fmt.Printf("model test error:      median %.2f%% (p90 %.2f%%)\n",
+		100*rep.MedianAbsPct, 100*rep.P90AbsPct)
+
+	// 3. Litmus test 1: how low could ANY model go? Duplicate jobs (same
+	//    code, same data) bound the achievable accuracy.
+	floor, err := iotaxo.EstimateDuplicateFloor(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("duplicate floor (LT1): median %.2f%% from %d duplicate sets (%.1f%% of jobs)\n",
+		100*floor.FloorPct, floor.Sets, 100*floor.Fraction)
+
+	// 4. Litmus test 4: how noisy is the system itself? Same-instant
+	//    duplicates isolate contention + inherent noise.
+	noise, err := iotaxo.EstimateNoise(frame, nil, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system noise (LT4):    expect throughput within +-%.2f%% (68%%) / +-%.2f%% (95%%)\n",
+		100*noise.Bound68Pct, 100*noise.Bound95Pct)
+
+	fmt.Println()
+	gap := rep.MedianAbsPct - floor.FloorPct
+	fmt.Printf("=> %.1f%% of median error is potentially fixable by better application modeling;\n",
+		100*gap)
+	fmt.Printf("   the remaining %.1f%% needs system features, more data, or is irreducible noise.\n",
+		100*floor.FloorPct)
+}

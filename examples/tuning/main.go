@@ -1,0 +1,77 @@
+// Tuning: the Sec. VI workflow — estimate the application-modeling error
+// bound from duplicate jobs, then sweep gradient-boosted-tree
+// hyperparameters and watch the model approach (but never beat) the bound.
+// The punchline of Fig 1a / Fig 2: once the bound is reached, more tuning
+// is wasted effort; the remaining error lives elsewhere in the taxonomy.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"iotaxo"
+	"iotaxo/internal/experiments"
+	"iotaxo/internal/rng"
+)
+
+func main() {
+	fmt.Fprintln(os.Stderr, "generating a theta-like system (10000 jobs)...")
+	frame, err := iotaxo.Generate(iotaxo.ThetaLike(10000))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The bound any model is chasing.
+	floor, err := iotaxo.EstimateDuplicateFloor(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated lower bound (duplicate floor): %.2f%%\n\n", 100*floor.FloorPct)
+
+	// Sweep trees x depth, like Fig 1a.
+	sc := experiments.DefaultScale()
+	res, err := experiments.Fig1a(frame, sc, []int{16, 32, 64, 128, 256}, []int{4, 6, 8, 12, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate the winner and the library default on held-out data.
+	app, err := frame.SelectPrefix("posix_", "mpiio_")
+	if err != nil {
+		log.Fatal(err)
+	}
+	split, err := app.SplitRandom(rng.New(sc.Seed), sc.TrainFrac, sc.ValFrac)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tt := iotaxo.TargetTransform{}
+	trainY := tt.ForwardAll(split.Train.Y())
+
+	tuned := iotaxo.DefaultGBTParams()
+	tuned.NumTrees = res.BestTrees
+	tuned.MaxDepth = res.BestDepth
+	tunedModel, err := iotaxo.TrainGBT(tuned, split.Train.Rows(), trainY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defModel, err := iotaxo.TrainGBT(iotaxo.DefaultGBTParams(), split.Train.Rows(), trainY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tunedRep := iotaxo.Evaluate(tunedModel, split.Test)
+	defRep := iotaxo.Evaluate(defModel, split.Test)
+
+	fmt.Printf("\nheld-out test error:\n")
+	fmt.Printf("  library defaults (100x6): %.2f%%\n", 100*defRep.MedianAbsPct)
+	fmt.Printf("  tuned (%dx%d):            %.2f%%\n", res.BestTrees, res.BestDepth, 100*tunedRep.MedianAbsPct)
+	fmt.Printf("  duplicate floor:          %.2f%%\n", 100*floor.FloorPct)
+	headroom := tunedRep.MedianAbsPct - floor.FloorPct
+	fmt.Printf("\n=> %.1f points of headroom remain; if tuning has plateaued, stop tuning —\n", 100*headroom)
+	fmt.Println("   the rest of the error is system state, OoD jobs, contention, or noise.")
+}

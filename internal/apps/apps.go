@@ -1,0 +1,249 @@
+// Package apps defines the application archetypes the workload generator
+// draws from. An archetype is an "I/O grammar": the access-size mix,
+// read/write balance, file sharing pattern, metadata intensity, MPI-IO
+// usage, and scaling behavior of one application family (IOR, HACC-IO,
+// pw.x, ...), together with its sensitivity to system state, contention,
+// and noise.
+//
+// A Config is one concrete parameterization of an archetype ("same code,
+// same data"). Jobs that share a Config are duplicates in the paper's sense
+// (Sec. VI.A): their observable application features are identical.
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"iotaxo/internal/rng"
+)
+
+// NumSizeBuckets is the number of Darshan access-size histogram buckets
+// (0-100, 100-1K, 1K-10K, ..., 1G+).
+const NumSizeBuckets = 10
+
+// Archetype describes one application family's I/O behavior.
+type Archetype struct {
+	Name string
+
+	// UsesMPIIO controls whether MPI-IO counters are populated; CollFrac
+	// is the fraction of MPI-IO operations that are collective.
+	UsesMPIIO bool
+	CollFrac  float64
+
+	// ReadFrac is the fraction of bytes read (vs written).
+	ReadFrac float64
+
+	// SizeHistRead and SizeHistWrite are base access-size mixes over the
+	// Darshan buckets; they are normalized at use.
+	SizeHistRead  [NumSizeBuckets]float64
+	SizeHistWrite [NumSizeBuckets]float64
+
+	// SharedFileFrac is the fraction of I/O to files shared across ranks.
+	SharedFileFrac float64
+	// SeqFrac and ConsecFrac are the sequential / consecutive access
+	// fractions Darshan reports.
+	SeqFrac    float64
+	ConsecFrac float64
+	// MetaRate is metadata operations (opens+stats) per GiB moved.
+	MetaRate float64
+	// FsyncRate is fsyncs per GiB written.
+	FsyncRate float64
+
+	// Efficiency in (0, 1] scales the system peak this app can drive.
+	Efficiency float64
+	// SatProcs is the process count at which throughput reaches half of
+	// its saturated value (Michaelis-Menten style scaling).
+	SatProcs float64
+
+	// ContentionSens, SystemSens and NoiseSens are exponents applied to
+	// the contention, global-system, and noise multipliers: a value of 0
+	// makes the app immune, 1 fully exposed, >1 hypersensitive.
+	ContentionSens float64
+	SystemSens     float64
+	NoiseSens      float64
+
+	// VolumeLog10GiBMean/Sigma parameterize the log10 GiB volume of this
+	// app's configurations.
+	VolumeLog10GiBMean  float64
+	VolumeLog10GiBSigma float64
+	// ProcChoices are the typical process counts configurations use.
+	ProcChoices []int
+	// ProcsPerNode converts processes to Cobalt nodes.
+	ProcsPerNode int
+}
+
+// Config is a concrete, repeatable run configuration of an archetype.
+type Config struct {
+	// ID uniquely identifies the configuration across the whole catalog;
+	// it doubles as the duplicate-set key.
+	ID uint64
+	// App is the archetype name.
+	App string
+	// GiB is the total I/O volume.
+	GiB float64
+	// Procs and Nodes are the parallelism of the run.
+	Procs int
+	Nodes int
+	// FilesPerProc is the file-per-process fan-out (1 for N-1 patterns).
+	FilesPerProc int
+	// SharedFiles reports whether the config does N-1 shared-file I/O.
+	SharedFiles bool
+	// SizeTilt in [-1, 1] shifts the archetype's access-size mix toward
+	// smaller (negative) or larger (positive) accesses.
+	SizeTilt float64
+	// ReadFrac is the config's realized read fraction (archetype base
+	// value +- configuration spread).
+	ReadFrac float64
+}
+
+// NewConfig draws a fresh configuration for archetype a using stream r.
+// The id must be unique across the catalog; the caller manages ids.
+func (a *Archetype) NewConfig(id uint64, r *rng.Rand) Config {
+	procs := a.ProcChoices[r.Intn(len(a.ProcChoices))]
+	ppn := a.ProcsPerNode
+	if ppn <= 0 {
+		ppn = 16
+	}
+	nodes := (procs + ppn - 1) / ppn
+	fpp := 1
+	shared := r.Bool(a.SharedFileFrac)
+	if !shared && r.Bool(0.3) {
+		fpp = 1 << r.Intn(3) // 1, 2 or 4 files per process
+	}
+	gib := math.Pow(10, r.NormAt(a.VolumeLog10GiBMean, a.VolumeLog10GiBSigma))
+	if gib < 1 {
+		gib = 1 // the datasets only include jobs with >= 1 GiB of I/O
+	}
+	readFrac := clamp01(a.ReadFrac + r.NormAt(0, 0.08))
+	return Config{
+		ID:           id,
+		App:          a.Name,
+		GiB:          gib,
+		Procs:        procs,
+		Nodes:        nodes,
+		FilesPerProc: fpp,
+		SharedFiles:  shared,
+		SizeTilt:     r.Range(-0.5, 0.5),
+		ReadFrac:     readFrac,
+	}
+}
+
+// SizeMix returns the config's normalized access-size histograms, tilting
+// the archetype's base mix by cfg.SizeTilt.
+func (a *Archetype) SizeMix(cfg Config) (read, write [NumSizeBuckets]float64) {
+	read = tilt(a.SizeHistRead, cfg.SizeTilt)
+	write = tilt(a.SizeHistWrite, cfg.SizeTilt)
+	return read, write
+}
+
+// tilt shifts histogram mass toward larger buckets for t > 0 and smaller
+// buckets for t < 0, then normalizes.
+func tilt(h [NumSizeBuckets]float64, t float64) [NumSizeBuckets]float64 {
+	var out [NumSizeBuckets]float64
+	total := 0.0
+	for i, v := range h {
+		// Weight buckets by exp(t * centered index).
+		w := v * math.Exp(t*(float64(i)-float64(NumSizeBuckets-1)/2)/2)
+		out[i] = w
+		total += w
+	}
+	if total <= 0 {
+		out[0] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// bucketEfficiency is the relative filesystem efficiency of accesses in
+// each Darshan size bucket: tiny accesses waste bandwidth on per-op
+// overheads, multi-megabyte accesses stream at full rate.
+var bucketEfficiency = [NumSizeBuckets]float64{
+	0.01, 0.03, 0.08, 0.18, 0.40, 0.72, 0.90, 1.00, 1.00, 0.95,
+}
+
+// BucketMidBytes is the representative access size (bytes) of each bucket,
+// used to convert volumes into operation counts.
+var BucketMidBytes = [NumSizeBuckets]float64{
+	50, 500, 5e3, 5e4, 5e5, 2.5e6, 7e6, 5e7, 5e8, 2e9,
+}
+
+// BaseLogThroughput returns log10 of the idealized application throughput
+// fa(j) in bytes/s for the given config on a system with the given peak
+// bandwidth (bytes/s): the app alone on a healthy, quiet machine. It is a
+// pure function of (archetype, config) so duplicates share it exactly.
+func (a *Archetype) BaseLogThroughput(cfg Config, peakBytesPerSec float64) float64 {
+	read, write := a.SizeMix(cfg)
+	sizeEff := 0.0
+	for i := 0; i < NumSizeBuckets; i++ {
+		sizeEff += cfg.ReadFrac*read[i]*bucketEfficiency[i] +
+			(1-cfg.ReadFrac)*write[i]*bucketEfficiency[i]
+	}
+	// Saturating strong-scaling: procs/(procs+SatProcs) rises toward 1.
+	scale := float64(cfg.Procs) / (float64(cfg.Procs) + a.SatProcs)
+	shared := 1.0
+	if cfg.SharedFiles {
+		// N-1 shared-file I/O pays a lock-contention penalty that grows
+		// with process count.
+		shared = 1 / (1 + 0.15*math.Log2(float64(cfg.Procs)+1))
+	}
+	// Metadata-heavy configs (many small files) lose efficiency.
+	metaPenalty := 1 / (1 + 0.02*a.MetaRate*float64(cfg.FilesPerProc))
+	bw := peakBytesPerSec * a.Efficiency * sizeEff * scale * shared * metaPenalty
+	if bw < 1 {
+		bw = 1
+	}
+	return math.Log10(bw)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Validate checks archetype invariants; catalogs are validated at startup.
+func (a *Archetype) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("apps: archetype with empty name")
+	}
+	if a.Efficiency <= 0 || a.Efficiency > 1 {
+		return fmt.Errorf("apps: %s efficiency %v out of (0,1]", a.Name, a.Efficiency)
+	}
+	if a.ReadFrac < 0 || a.ReadFrac > 1 {
+		return fmt.Errorf("apps: %s read fraction %v out of [0,1]", a.Name, a.ReadFrac)
+	}
+	if len(a.ProcChoices) == 0 {
+		return fmt.Errorf("apps: %s has no process choices", a.Name)
+	}
+	if a.SatProcs <= 0 {
+		return fmt.Errorf("apps: %s SatProcs must be positive", a.Name)
+	}
+	sum := 0.0
+	for _, v := range a.SizeHistRead {
+		if v < 0 {
+			return fmt.Errorf("apps: %s negative read histogram weight", a.Name)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return fmt.Errorf("apps: %s empty read histogram", a.Name)
+	}
+	sum = 0
+	for _, v := range a.SizeHistWrite {
+		if v < 0 {
+			return fmt.Errorf("apps: %s negative write histogram weight", a.Name)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return fmt.Errorf("apps: %s empty write histogram", a.Name)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iotaxo/internal/rng"
+)
+
+func TestCatalogValidates(t *testing.T) {
+	for _, n := range []int{0, 5, 40} {
+		c := Production(n)
+		if err := c.Validate(); err != nil {
+			t.Errorf("Production(%d) invalid: %v", n, err)
+		}
+		if len(c.Archetypes) != 7+n {
+			t.Errorf("Production(%d) has %d archetypes", n, len(c.Archetypes))
+		}
+	}
+	for _, n := range []int{1, 4, 6} {
+		c := Novel(n)
+		if err := c.Validate(); err != nil {
+			t.Errorf("Novel(%d) invalid: %v", n, err)
+		}
+	}
+}
+
+func TestCatalogWeightsMismatch(t *testing.T) {
+	c := Production(0)
+	c.Weights = c.Weights[:2]
+	if err := c.Validate(); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+}
+
+func TestArchetypeNamesUnique(t *testing.T) {
+	c := Production(40)
+	seen := map[string]bool{}
+	for _, a := range c.Archetypes {
+		if seen[a.Name] {
+			t.Errorf("duplicate archetype name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	// Novel apps must not collide with production names.
+	for _, a := range Novel(4).Archetypes {
+		if seen[a.Name] {
+			t.Errorf("novel app %q collides with production catalog", a.Name)
+		}
+	}
+}
+
+func TestNewConfigRespectsBounds(t *testing.T) {
+	r := rng.New(1)
+	c := Production(10)
+	for i := range c.Archetypes {
+		a := &c.Archetypes[i]
+		for k := 0; k < 50; k++ {
+			cfg := a.NewConfig(uint64(k+1), r)
+			if cfg.GiB < 1 {
+				t.Errorf("%s: config below 1 GiB", a.Name)
+			}
+			if cfg.ReadFrac < 0 || cfg.ReadFrac > 1 {
+				t.Errorf("%s: read fraction %v", a.Name, cfg.ReadFrac)
+			}
+			if cfg.Procs <= 0 || cfg.Nodes <= 0 {
+				t.Errorf("%s: non-positive parallelism", a.Name)
+			}
+			if cfg.Nodes > cfg.Procs {
+				t.Errorf("%s: more nodes than procs", a.Name)
+			}
+			if cfg.App != a.Name {
+				t.Errorf("config app %q != archetype %q", cfg.App, a.Name)
+			}
+		}
+	}
+}
+
+func TestSizeMixNormalized(t *testing.T) {
+	r := rng.New(2)
+	a := Production(0).Archetypes[0]
+	err := quick.Check(func(seed uint32) bool {
+		cfg := a.NewConfig(uint64(seed)+1, r.Split(uint64(seed)))
+		read, write := a.SizeMix(cfg)
+		var sr, sw float64
+		for i := 0; i < NumSizeBuckets; i++ {
+			if read[i] < 0 || write[i] < 0 {
+				return false
+			}
+			sr += read[i]
+			sw += write[i]
+		}
+		return math.Abs(sr-1) < 1e-9 && math.Abs(sw-1) < 1e-9
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTiltShiftsMass(t *testing.T) {
+	a := Production(0).Archetypes[0]
+	base := a.SizeHistRead
+	up := tilt(base, 1)
+	down := tilt(base, -1)
+	meanBucket := func(h [NumSizeBuckets]float64) float64 {
+		m := 0.0
+		for i, v := range h {
+			m += float64(i) * v
+		}
+		return m
+	}
+	if meanBucket(up) <= meanBucket(down) {
+		t.Error("positive tilt should shift mass to larger buckets")
+	}
+}
+
+func TestBaseThroughputDeterministic(t *testing.T) {
+	a := Production(0).Archetypes[0]
+	cfg := a.NewConfig(1, rng.New(3))
+	v1 := a.BaseLogThroughput(cfg, 200e9)
+	v2 := a.BaseLogThroughput(cfg, 200e9)
+	if v1 != v2 {
+		t.Error("BaseLogThroughput not deterministic")
+	}
+}
+
+func TestBaseThroughputBelowPeak(t *testing.T) {
+	r := rng.New(4)
+	for _, a := range Production(20).Archetypes {
+		for k := 0; k < 20; k++ {
+			cfg := a.NewConfig(uint64(k+1), r)
+			lg := a.BaseLogThroughput(cfg, 200e9)
+			if math.Pow(10, lg) > 200e9 {
+				t.Errorf("%s exceeds system peak", a.Name)
+			}
+			if lg < 0 {
+				t.Errorf("%s throughput below 1 byte/s", a.Name)
+			}
+		}
+	}
+}
+
+func TestScalingMonotonicInProcs(t *testing.T) {
+	// More processes never reduce idealized throughput in this model.
+	a := Production(0).Archetypes[0]
+	cfg := a.NewConfig(1, rng.New(5))
+	prev := math.Inf(-1)
+	for _, procs := range []int{8, 32, 128, 512, 2048} {
+		c := cfg
+		c.Procs = procs
+		v := a.BaseLogThroughput(c, 200e9)
+		if v < prev {
+			t.Errorf("throughput decreased at %d procs", procs)
+		}
+		prev = v
+	}
+}
+
+func TestSharedFilePenalty(t *testing.T) {
+	a := Production(0).Archetypes[0]
+	cfg := a.NewConfig(1, rng.New(6))
+	solo := cfg
+	solo.SharedFiles = false
+	shared := cfg
+	shared.SharedFiles = true
+	if a.BaseLogThroughput(shared, 200e9) >= a.BaseLogThroughput(solo, 200e9) {
+		t.Error("shared-file I/O should be slower than file-per-process")
+	}
+}
+
+func TestValidateCatchesBadArchetypes(t *testing.T) {
+	good := Production(0).Archetypes[0]
+	cases := []func(a *Archetype){
+		func(a *Archetype) { a.Name = "" },
+		func(a *Archetype) { a.Efficiency = 0 },
+		func(a *Archetype) { a.Efficiency = 1.5 },
+		func(a *Archetype) { a.ReadFrac = -0.1 },
+		func(a *Archetype) { a.ProcChoices = nil },
+		func(a *Archetype) { a.SatProcs = 0 },
+		func(a *Archetype) { a.SizeHistRead = [NumSizeBuckets]float64{} },
+		func(a *Archetype) { a.SizeHistRead[0] = -1 },
+	}
+	for i, mutate := range cases {
+		a := good
+		mutate(&a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d: invalid archetype accepted", i)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package apps
+
+// Catalog is a weighted set of archetypes from which the workload generator
+// draws jobs. Weights follow the heavy-tailed popularity of real HPC
+// workloads: a few applications (benchmarks, flagship codes) dominate the
+// job count, with a long tail of rare codes.
+type Catalog struct {
+	Archetypes []Archetype
+	// Weights gives the relative job share of each archetype.
+	Weights []float64
+}
+
+// Validate checks the catalog for consistency.
+func (c *Catalog) Validate() error {
+	if len(c.Archetypes) != len(c.Weights) {
+		return errWeightMismatch
+	}
+	for i := range c.Archetypes {
+		if err := c.Archetypes[i].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type catalogError string
+
+func (e catalogError) Error() string { return string(e) }
+
+const errWeightMismatch = catalogError("apps: catalog weights do not match archetypes")
+
+// The five headline applications from Fig. 1(b) of the paper, plus a long
+// tail. Histograms index Darshan size buckets 0-100B ... 1G+.
+
+// ior returns the IOR filesystem benchmark: large, aligned, highly tuned
+// accesses, frequently rerun with identical configurations (the canonical
+// duplicate generator), moderately robust to contention.
+func ior() Archetype {
+	return Archetype{
+		Name:      "IOR",
+		UsesMPIIO: true,
+		CollFrac:  0.7,
+		ReadFrac:  0.5,
+		SizeHistRead: [NumSizeBuckets]float64{
+			0, 0, 0, 0, 0.02, 0.08, 0.15, 0.55, 0.18, 0.02},
+		SizeHistWrite: [NumSizeBuckets]float64{
+			0, 0, 0, 0, 0.02, 0.08, 0.15, 0.55, 0.18, 0.02},
+		SharedFileFrac:      0.6,
+		SeqFrac:             0.98,
+		ConsecFrac:          0.92,
+		MetaRate:            0.5,
+		FsyncRate:           0.1,
+		Efficiency:          0.92,
+		SatProcs:            64,
+		ContentionSens:      0.9,
+		SystemSens:          1.0,
+		NoiseSens:           0.8,
+		VolumeLog10GiBMean:  1.6,
+		VolumeLog10GiBSigma: 0.5,
+		ProcChoices:         []int{16, 32, 64, 128, 256, 512, 1024},
+		ProcsPerNode:        16,
+	}
+}
+
+// hacc returns HACC-IO, the cosmology checkpoint writer: write-dominated,
+// large sequential per-process files, sensitive to system weather.
+func hacc() Archetype {
+	return Archetype{
+		Name:      "HACC",
+		UsesMPIIO: false,
+		ReadFrac:  0.08,
+		SizeHistRead: [NumSizeBuckets]float64{
+			0, 0, 0.05, 0.1, 0.2, 0.3, 0.2, 0.15, 0, 0},
+		SizeHistWrite: [NumSizeBuckets]float64{
+			0, 0, 0, 0, 0.05, 0.1, 0.2, 0.45, 0.2, 0},
+		SharedFileFrac:      0.05,
+		SeqFrac:             0.96,
+		ConsecFrac:          0.9,
+		MetaRate:            1.0,
+		FsyncRate:           0.4,
+		Efficiency:          0.85,
+		SatProcs:            128,
+		ContentionSens:      1.2,
+		SystemSens:          1.1,
+		NoiseSens:           1.0,
+		VolumeLog10GiBMean:  2.2,
+		VolumeLog10GiBSigma: 0.6,
+		ProcChoices:         []int{128, 256, 512, 1024, 2048, 4096},
+		ProcsPerNode:        32,
+	}
+}
+
+// qb returns QBox/QB, a quantum chemistry code: mixed sizes, shared-file
+// MPI-IO output, very contention sensitive (the widest spread in Fig 1b).
+func qb() Archetype {
+	return Archetype{
+		Name:      "QB",
+		UsesMPIIO: true,
+		CollFrac:  0.45,
+		ReadFrac:  0.35,
+		SizeHistRead: [NumSizeBuckets]float64{
+			0.05, 0.1, 0.2, 0.25, 0.2, 0.12, 0.05, 0.03, 0, 0},
+		SizeHistWrite: [NumSizeBuckets]float64{
+			0.02, 0.08, 0.15, 0.25, 0.25, 0.15, 0.07, 0.03, 0, 0},
+		SharedFileFrac:      0.7,
+		SeqFrac:             0.6,
+		ConsecFrac:          0.4,
+		MetaRate:            8,
+		FsyncRate:           0.2,
+		Efficiency:          0.5,
+		SatProcs:            96,
+		ContentionSens:      1.8,
+		SystemSens:          1.3,
+		NoiseSens:           1.6,
+		VolumeLog10GiBMean:  1.1,
+		VolumeLog10GiBSigma: 0.5,
+		ProcChoices:         []int{32, 64, 128, 256, 512},
+		ProcsPerNode:        16,
+	}
+}
+
+// pwx returns Quantum ESPRESSO pw.x: small-access metadata-heavy I/O with
+// many per-process files; low absolute throughput, low noise sensitivity.
+func pwx() Archetype {
+	return Archetype{
+		Name:      "pw.x",
+		UsesMPIIO: false,
+		ReadFrac:  0.45,
+		SizeHistRead: [NumSizeBuckets]float64{
+			0.15, 0.25, 0.3, 0.2, 0.07, 0.03, 0, 0, 0, 0},
+		SizeHistWrite: [NumSizeBuckets]float64{
+			0.1, 0.25, 0.3, 0.22, 0.1, 0.03, 0, 0, 0, 0},
+		SharedFileFrac:      0.1,
+		SeqFrac:             0.75,
+		ConsecFrac:          0.55,
+		MetaRate:            25,
+		FsyncRate:           0.05,
+		Efficiency:          0.3,
+		SatProcs:            48,
+		ContentionSens:      0.6,
+		SystemSens:          0.8,
+		NoiseSens:           0.5,
+		VolumeLog10GiBMean:  0.7,
+		VolumeLog10GiBSigma: 0.4,
+		ProcChoices:         []int{8, 16, 32, 64, 128},
+		ProcsPerNode:        16,
+	}
+}
+
+// writer returns "Writer", a generic checkpoint-dump pattern (the tightest
+// duplicate distribution in Fig 1b): pure streaming writes, very stable.
+func writer() Archetype {
+	return Archetype{
+		Name:      "Writer",
+		UsesMPIIO: false,
+		ReadFrac:  0.02,
+		SizeHistRead: [NumSizeBuckets]float64{
+			0.2, 0.3, 0.3, 0.2, 0, 0, 0, 0, 0, 0},
+		SizeHistWrite: [NumSizeBuckets]float64{
+			0, 0, 0, 0, 0, 0.05, 0.1, 0.35, 0.4, 0.1},
+		SharedFileFrac:      0.0,
+		SeqFrac:             0.99,
+		ConsecFrac:          0.97,
+		MetaRate:            0.2,
+		FsyncRate:           0.8,
+		Efficiency:          0.95,
+		SatProcs:            32,
+		ContentionSens:      0.4,
+		SystemSens:          0.7,
+		NoiseSens:           0.35,
+		VolumeLog10GiBMean:  1.9,
+		VolumeLog10GiBSigma: 0.4,
+		ProcChoices:         []int{16, 32, 64, 128, 256},
+		ProcsPerNode:        16,
+	}
+}
+
+// vpic returns a plasma-physics particle dump: bursty large writes via
+// collective MPI-IO.
+func vpic() Archetype {
+	return Archetype{
+		Name:      "VPIC",
+		UsesMPIIO: true,
+		CollFrac:  0.85,
+		ReadFrac:  0.12,
+		SizeHistRead: [NumSizeBuckets]float64{
+			0, 0.05, 0.15, 0.25, 0.3, 0.15, 0.1, 0, 0, 0},
+		SizeHistWrite: [NumSizeBuckets]float64{
+			0, 0, 0, 0.05, 0.1, 0.2, 0.3, 0.3, 0.05, 0},
+		SharedFileFrac:      0.8,
+		SeqFrac:             0.9,
+		ConsecFrac:          0.8,
+		MetaRate:            2,
+		FsyncRate:           0.15,
+		Efficiency:          0.75,
+		SatProcs:            256,
+		ContentionSens:      1.4,
+		SystemSens:          1.2,
+		NoiseSens:           1.1,
+		VolumeLog10GiBMean:  2.5,
+		VolumeLog10GiBSigma: 0.5,
+		ProcChoices:         []int{256, 512, 1024, 2048, 4096, 8192},
+		ProcsPerNode:        32,
+	}
+}
+
+// climate returns a climate-model history writer: many mid-size shared
+// files, read-modify-write cycles.
+func climate() Archetype {
+	return Archetype{
+		Name:      "E3SM",
+		UsesMPIIO: true,
+		CollFrac:  0.6,
+		ReadFrac:  0.3,
+		SizeHistRead: [NumSizeBuckets]float64{
+			0.05, 0.1, 0.15, 0.25, 0.25, 0.15, 0.05, 0, 0, 0},
+		SizeHistWrite: [NumSizeBuckets]float64{
+			0.02, 0.05, 0.13, 0.25, 0.3, 0.15, 0.08, 0.02, 0, 0},
+		SharedFileFrac:      0.5,
+		SeqFrac:             0.7,
+		ConsecFrac:          0.5,
+		MetaRate:            12,
+		FsyncRate:           0.1,
+		Efficiency:          0.45,
+		SatProcs:            128,
+		ContentionSens:      1.0,
+		SystemSens:          1.0,
+		NoiseSens:           0.9,
+		VolumeLog10GiBMean:  1.4,
+		VolumeLog10GiBSigma: 0.5,
+		ProcChoices:         []int{64, 128, 256, 512, 1024},
+		ProcsPerNode:        32,
+	}
+}
+
+// tailApp returns a parameterized member of the long tail of rare codes.
+// idx perturbs the grammar deterministically so each tail app is distinct.
+func tailApp(idx int) Archetype {
+	f := float64(idx)
+	frac := func(x float64) float64 { return x - float64(int(x)) }
+	a := Archetype{
+		Name:                tailName(idx),
+		UsesMPIIO:           idx%3 == 0,
+		CollFrac:            0.3 + 0.4*frac(f*0.37),
+		ReadFrac:            0.15 + 0.7*frac(f*0.61),
+		SharedFileFrac:      0.1 + 0.8*frac(f*0.29),
+		SeqFrac:             0.5 + 0.45*frac(f*0.83),
+		ConsecFrac:          0.3 + 0.5*frac(f*0.53),
+		MetaRate:            1 + 20*frac(f*0.71),
+		FsyncRate:           0.3 * frac(f*0.41),
+		Efficiency:          0.25 + 0.65*frac(f*0.47),
+		SatProcs:            32 + 196*frac(f*0.59),
+		ContentionSens:      0.5 + 1.2*frac(f*0.67),
+		SystemSens:          0.6 + 0.8*frac(f*0.73),
+		NoiseSens:           0.4 + 1.2*frac(f*0.79),
+		VolumeLog10GiBMean:  0.5 + 1.6*frac(f*0.31),
+		VolumeLog10GiBSigma: 0.3 + 0.3*frac(f*0.43),
+		ProcChoices:         []int{16, 32, 64, 128, 256, 512}[:2+idx%5],
+		ProcsPerNode:        16,
+	}
+	// Spread histogram mass around a per-app center bucket.
+	center := idx % NumSizeBuckets
+	for i := 0; i < NumSizeBuckets; i++ {
+		d := float64(i - center)
+		a.SizeHistRead[i] = 1 / (1 + d*d)
+		a.SizeHistWrite[i] = 1 / (1 + (d+1)*(d+1))
+	}
+	return a
+}
+
+func tailName(idx int) string {
+	names := []string{
+		"LAMMPS", "GROMACS", "NAMD", "NWChem", "CP2K", "GAMESS", "Chroma",
+		"MILC", "Nek5000", "FLASH", "Cactus", "AMBER", "WRF", "OpenFOAM",
+		"SU2", "ADIOS-app", "PIConGPU", "AthenaK", "Enzo", "RAMSES",
+	}
+	return names[idx%len(names)] + suffix(idx/len(names))
+}
+
+func suffix(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return string(rune('A' + (n-1)%26))
+}
+
+// Production returns the production-era catalog with nTail long-tail apps.
+// The headline five (Fig 1b) plus two flagship codes dominate the weights.
+func Production(nTail int) Catalog {
+	c := Catalog{
+		Archetypes: []Archetype{ior(), hacc(), qb(), pwx(), writer(), vpic(), climate()},
+		Weights:    []float64{0.22, 0.16, 0.08, 0.12, 0.14, 0.07, 0.06},
+	}
+	remaining := 0.15
+	for i := 0; i < nTail; i++ {
+		c.Archetypes = append(c.Archetypes, tailApp(i))
+		// Zipf-ish decay across the tail.
+		c.Weights = append(c.Weights, remaining/float64(nTail)*2/(1+float64(i)/float64(nTail)*2))
+	}
+	return c
+}
+
+// Novel returns the post-deployment catalog of genuinely new behaviors:
+// applications that never appear before the deployment cut and whose I/O
+// grammar sits outside the production catalog's envelope. These generate
+// the out-of-distribution jobs of Sec. VIII.
+func Novel(n int) Catalog {
+	var c Catalog
+	for i := 0; i < n; i++ {
+		a := tailApp(100 + i*7)
+		a.Name = novelName(i)
+		// Push the grammar outside the production envelope: extreme
+		// metadata loads and tiny accesses, or huge streaming volumes.
+		if i%2 == 0 {
+			a.MetaRate = 60 + 20*float64(i)
+			a.Efficiency = 0.12
+			for b := range a.SizeHistRead {
+				a.SizeHistRead[b] = 0
+				a.SizeHistWrite[b] = 0
+			}
+			a.SizeHistRead[0], a.SizeHistRead[1] = 0.7, 0.3
+			a.SizeHistWrite[0], a.SizeHistWrite[1] = 0.6, 0.4
+		} else {
+			a.VolumeLog10GiBMean = 3.1
+			a.Efficiency = 0.98
+			a.ContentionSens = 2.2
+		}
+		c.Archetypes = append(c.Archetypes, a)
+		c.Weights = append(c.Weights, 1/float64(i+1))
+	}
+	return c
+}
+
+func novelName(i int) string {
+	names := []string{"DLIO", "TomoGAN", "ExaFEL", "CANDLE", "DeepDriveMD", "FourCastNet"}
+	return names[i%len(names)] + suffix(i/len(names))
+}

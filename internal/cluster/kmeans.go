@@ -1,0 +1,244 @@
+// Package cluster implements k-means workload clustering, the second
+// ML-for-I/O direction the paper surveys (Sec. II: clustering HPC job logs
+// to understand workload distribution and scale expert effort). The
+// taxonomy repo uses it to map the simulated workload back into
+// application groups and to sanity-check the archetype structure.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"iotaxo/internal/rng"
+)
+
+// Result is a clustering of n points into k groups.
+type Result struct {
+	// Assign[i] is the cluster index of point i.
+	Assign []int
+	// Centroids[c] is cluster c's center.
+	Centroids [][]float64
+	// Sizes[c] counts members of cluster c.
+	Sizes []int
+	// Inertia is the total squared distance of points to their centroids.
+	Inertia float64
+	// Iterations is how many Lloyd iterations ran before convergence.
+	Iterations int
+}
+
+// KMeans clusters rows into k groups with k-means++ seeding and Lloyd
+// iterations. Deterministic in seed. Rows must be rectangular and k must
+// be in [1, len(rows)].
+func KMeans(rows [][]float64, k int, seed uint64, maxIter int) (*Result, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, errors.New("cluster: no rows")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: k=%d out of [1,%d]", k, n)
+	}
+	d := len(rows[0])
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("cluster: row %d has %d features, want %d", i, len(r), d)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	r := rng.New(seed)
+	centroids := seedPlusPlus(rows, k, r)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, row := range rows {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				dist := sqDist(row, centroids[c])
+				if dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		res.Iterations = iter + 1
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i, row := range rows {
+			c := assign[i]
+			counts[c]++
+			for j, v := range row {
+				sums[c][j] += v
+			}
+		}
+		for c := range sums {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid (standard fix for k-means collapse).
+				far, farD := 0, -1.0
+				for i, row := range rows {
+					if dist := sqDist(row, centroids[assign[i]]); dist > farD {
+						far, farD = i, dist
+					}
+				}
+				copy(sums[c], rows[far])
+				counts[c] = 1
+			} else {
+				for j := range sums[c] {
+					sums[c][j] /= float64(counts[c])
+				}
+			}
+			centroids[c] = sums[c]
+		}
+	}
+	res.Assign = assign
+	res.Centroids = centroids
+	res.Sizes = make([]int, k)
+	for _, c := range assign {
+		res.Sizes[c]++
+	}
+	for i, row := range rows {
+		res.Inertia += sqDist(row, centroids[assign[i]])
+	}
+	return res, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ rule: the
+// first uniformly, each next with probability proportional to squared
+// distance from the nearest chosen centroid.
+func seedPlusPlus(rows [][]float64, k int, r *rng.Rand) [][]float64 {
+	n := len(rows)
+	centroids := make([][]float64, 0, k)
+	first := rows[r.Intn(n)]
+	centroids = append(centroids, append([]float64(nil), first...))
+	dists := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		last := centroids[len(centroids)-1]
+		for i, row := range rows {
+			dist := sqDist(row, last)
+			if len(centroids) == 1 || dist < dists[i] {
+				dists[i] = dist
+			}
+			total += dists[i]
+		}
+		if total <= 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, append([]float64(nil), rows[r.Intn(n)]...))
+			continue
+		}
+		u := r.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, dist := range dists {
+			acc += dist
+			if u < acc {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), rows[pick]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Silhouette returns the mean silhouette coefficient of the clustering, a
+// quality measure in [-1, 1]: cohesion within clusters vs separation
+// between them. O(n^2); intended for the modest sample sizes the workload
+// experiments use.
+func Silhouette(rows [][]float64, assign []int, k int) float64 {
+	n := len(rows)
+	if n == 0 || k < 2 {
+		return 0
+	}
+	total := 0.0
+	counted := 0
+	for i := range rows {
+		// Mean distance to each cluster.
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for j := range rows {
+			if i == j {
+				continue
+			}
+			sums[assign[j]] += math.Sqrt(sqDist(rows[i], rows[j]))
+			counts[assign[j]]++
+		}
+		own := assign[i]
+		if counts[own] == 0 {
+			continue // singleton cluster: silhouette undefined, skip
+		}
+		a := sums[own] / float64(counts[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// Purity measures how well clusters align with known labels: the fraction
+// of points whose cluster's majority label matches their own.
+func Purity(assign []int, labels []string, k int) float64 {
+	if len(assign) != len(labels) || len(assign) == 0 {
+		return 0
+	}
+	counts := make([]map[string]int, k)
+	for i := range counts {
+		counts[i] = map[string]int{}
+	}
+	for i, c := range assign {
+		counts[c][labels[i]]++
+	}
+	match := 0
+	for _, m := range counts {
+		best := 0
+		for _, n := range m {
+			if n > best {
+				best = n
+			}
+		}
+		match += best
+	}
+	return float64(match) / float64(len(assign))
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"iotaxo/internal/rng"
+)
+
+// blobs generates k well-separated Gaussian clusters.
+func blobs(r *rng.Rand, k, perCluster int, sep float64) ([][]float64, []string) {
+	var rows [][]float64
+	var labels []string
+	for c := 0; c < k; c++ {
+		cx := float64(c) * sep
+		cy := float64(c%2) * sep
+		for i := 0; i < perCluster; i++ {
+			rows = append(rows, []float64{cx + r.Norm()*0.3, cy + r.Norm()*0.3})
+			labels = append(labels, string(rune('A'+c)))
+		}
+	}
+	return rows, labels
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	r := rng.New(1)
+	rows, labels := blobs(r, 4, 60, 10)
+	res, err := KMeans(rows, 4, 7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Purity(res.Assign, labels, 4); got < 0.99 {
+		t.Errorf("purity = %v on well-separated blobs", got)
+	}
+	if sil := Silhouette(rows, res.Assign, 4); sil < 0.7 {
+		t.Errorf("silhouette = %v on well-separated blobs", sil)
+	}
+	for c, size := range res.Sizes {
+		if size == 0 {
+			t.Errorf("cluster %d empty", c)
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	r := rng.New(2)
+	rows, _ := blobs(r, 3, 40, 6)
+	a, err := KMeans(rows, 3, 11, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(rows, 3, 11, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("k-means not deterministic in its seed")
+		}
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	r := rng.New(3)
+	rows, _ := blobs(r, 5, 30, 5)
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 5, 10} {
+		res, err := KMeans(rows, k, 5, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev+1e-9 {
+			t.Errorf("inertia rose at k=%d: %v > %v", k, res.Inertia, prev)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	rows := [][]float64{{0, 0}, {2, 2}, {4, 4}}
+	res, err := KMeans(rows, 1, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sizes[0] != 3 {
+		t.Error("k=1 must hold everything")
+	}
+	// Centroid at the mean.
+	if math.Abs(res.Centroids[0][0]-2) > 1e-9 {
+		t.Errorf("centroid = %v", res.Centroids[0])
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, 1, 10); err == nil {
+		t.Error("empty rows accepted")
+	}
+	rows := [][]float64{{1}, {2}}
+	if _, err := KMeans(rows, 0, 1, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(rows, 3, 1, 10); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {2, 3}}, 1, 1, 10); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestKMeansDuplicatePoints(t *testing.T) {
+	// All-identical points: every centroid collapses; must not panic or
+	// divide by zero.
+	rows := make([][]float64, 20)
+	for i := range rows {
+		rows[i] = []float64{1, 1}
+	}
+	res, err := KMeans(rows, 3, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-18 {
+		t.Errorf("inertia = %v for identical points", res.Inertia)
+	}
+}
+
+func TestPurityBounds(t *testing.T) {
+	assign := []int{0, 0, 1, 1}
+	if got := Purity(assign, []string{"a", "a", "b", "b"}, 2); got != 1 {
+		t.Errorf("perfect purity = %v", got)
+	}
+	if got := Purity(assign, []string{"a", "b", "a", "b"}, 2); got != 0.5 {
+		t.Errorf("mixed purity = %v", got)
+	}
+	if got := Purity(nil, nil, 2); got != 0 {
+		t.Errorf("empty purity = %v", got)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	rows := [][]float64{{0}, {1}}
+	if got := Silhouette(rows, []int{0, 0}, 1); got != 0 {
+		t.Errorf("k=1 silhouette = %v", got)
+	}
+}

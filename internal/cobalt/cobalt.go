@@ -1,0 +1,34 @@
+// Package cobalt synthesizes scheduler log features in the style of the
+// Cobalt scheduler used on ALCF Theta. Cobalt contributes five features:
+// node and core allocations (which Darshan cannot see) and job timing.
+//
+// The timing features are the interesting ones for the taxonomy: the paper
+// shows (Sec. VI.C) that exposing start/end times lets a model memorize
+// individual jobs — no two jobs remain duplicates once timestamps are
+// features — which lowers training error without helping deployment.
+package cobalt
+
+// Names lists the 5 Cobalt feature column names in order.
+var Names = []string{
+	"cobalt_nodes",
+	"cobalt_cores",
+	"cobalt_queue_wait",
+	"cobalt_start_time",
+	"cobalt_end_time",
+}
+
+// StartTimeColumn is the name of the job start time feature; the global
+// system litmus test (Sec. VII.A) enriches the POSIX feature set with
+// exactly this column.
+const StartTimeColumn = "cobalt_start_time"
+
+// Features returns the Cobalt features for a job.
+func Features(nodes, cores int, queueWait, start, end float64) []float64 {
+	return []float64{
+		float64(nodes),
+		float64(cores),
+		queueWait,
+		start,
+		end,
+	}
+}

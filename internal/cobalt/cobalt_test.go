@@ -1,0 +1,32 @@
+package cobalt
+
+import "testing"
+
+func TestFeatureCount(t *testing.T) {
+	if len(Names) != 5 {
+		t.Fatalf("Cobalt feature count = %d, want 5 (paper Sec. V)", len(Names))
+	}
+	f := Features(16, 1024, 300, 1e9, 1e9+3600)
+	if len(f) != len(Names) {
+		t.Fatalf("feature width %d != %d names", len(f), len(Names))
+	}
+}
+
+func TestFeatureValues(t *testing.T) {
+	f := Features(16, 1024, 300, 1e9, 1e9+3600)
+	if f[0] != 16 || f[1] != 1024 || f[2] != 300 || f[3] != 1e9 || f[4] != 1e9+3600 {
+		t.Errorf("features = %v", f)
+	}
+}
+
+func TestStartTimeColumnListed(t *testing.T) {
+	found := false
+	for _, n := range Names {
+		if n == StartTimeColumn {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("StartTimeColumn %q not in Names", StartTimeColumn)
+	}
+}

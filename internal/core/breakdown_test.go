@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// mkResult builds a FrameworkResult with chosen step medians so the
+// breakdown arithmetic can be verified in isolation.
+func mkResult(baseline, floor, tuned, golden float64, lmt *float64, oodShare, noiseFloor float64) *FrameworkResult {
+	res := &FrameworkResult{
+		Baseline: ErrorReport{MedianAbsPct: baseline},
+		Floor:    DuplicateFloor{FloorPct: floor},
+		Tuned:    ErrorReport{MedianAbsPct: tuned},
+		Golden:   ErrorReport{MedianAbsPct: golden},
+		OoD:      OoDReport{ErrShare: oodShare},
+		Noise:    NoiseEstimate{FloorPct: noiseFloor},
+	}
+	if lmt != nil {
+		rep := ErrorReport{MedianAbsPct: *lmt}
+		res.WithLMT = &rep
+	}
+	return res
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	lmt := 0.10
+	res := mkResult(0.20, 0.12, 0.13, 0.10, &lmt, 0.03, 0.06)
+	b := buildBreakdown(res)
+
+	if !almost(b.BaselinePct, 0.20, 1e-12) {
+		t.Errorf("baseline = %v", b.BaselinePct)
+	}
+	// App modeling: (20-12)/20 = 40%.
+	if !almost(b.AppModeling, 0.40, 1e-12) {
+		t.Errorf("app modeling = %v", b.AppModeling)
+	}
+	// Tuning removed: (20-13)/20 = 35%.
+	if !almost(b.TuningRemoved, 0.35, 1e-12) {
+		t.Errorf("tuning removed = %v", b.TuningRemoved)
+	}
+	// System modeling: (13-10)/20 = 15%.
+	if !almost(b.SystemModeling, 0.15, 1e-12) {
+		t.Errorf("system modeling = %v", b.SystemModeling)
+	}
+	// LMT removed: (13-10)/20 = 15%.
+	if !almost(b.LMTRemoved, 0.15, 1e-12) {
+		t.Errorf("lmt removed = %v", b.LMTRemoved)
+	}
+	// OoD: 3% of the golden error as a share of baseline = 0.03*10/20.
+	if !almost(b.OoD, 0.03*0.10/0.20, 1e-12) {
+		t.Errorf("ood = %v", b.OoD)
+	}
+	// Aleatory: 6/20 = 30%.
+	if !almost(b.Aleatory, 0.30, 1e-12) {
+		t.Errorf("aleatory = %v", b.Aleatory)
+	}
+	// Unexplained = 1 - app - system - ood - aleatory.
+	want := 1 - 0.40 - 0.15 - b.OoD - 0.30
+	if !almost(b.Unexplained, want, 1e-12) {
+		t.Errorf("unexplained = %v, want %v", b.Unexplained, want)
+	}
+}
+
+func TestBreakdownClampsNegativeShares(t *testing.T) {
+	// A floor above the baseline (possible with sampling noise) must clamp
+	// the app-modeling share to zero, not go negative.
+	res := mkResult(0.10, 0.12, 0.11, 0.12, nil, 0.0, 0.05)
+	b := buildBreakdown(res)
+	if b.AppModeling != 0 {
+		t.Errorf("app modeling = %v, want clamp to 0", b.AppModeling)
+	}
+	if b.TuningRemoved != 0 {
+		t.Errorf("tuning removed = %v, want clamp to 0", b.TuningRemoved)
+	}
+	if b.SystemModeling != 0 {
+		t.Errorf("system modeling = %v, want clamp to 0", b.SystemModeling)
+	}
+	if b.LMTRemoved != 0 {
+		t.Errorf("lmt removed = %v on a system without LMT", b.LMTRemoved)
+	}
+}
+
+func TestBreakdownZeroBaseline(t *testing.T) {
+	res := mkResult(0, 0.1, 0.1, 0.1, nil, 0.1, 0.1)
+	b := buildBreakdown(res)
+	if b.AppModeling != 0 || b.Aleatory != 0 || !almost(b.Unexplained, 0, 1e-12) {
+		t.Errorf("zero-baseline breakdown not zeroed: %+v", b)
+	}
+	if math.IsNaN(b.Unexplained) || math.IsInf(b.Unexplained, 0) {
+		t.Error("zero baseline produced non-finite share")
+	}
+}

@@ -1,0 +1,84 @@
+// Package core implements the paper's contribution: the taxonomy of
+// ML-based I/O throughput modeling errors and the litmus tests that
+// attribute a model's error budget to its five classes —
+//
+//	application modeling errors  (Sec. VI,  duplicate-job floor)
+//	system modeling errors       (Sec. VII, start-time golden model)
+//	generalization errors        (Sec. VIII, deep-ensemble EU threshold)
+//	contention errors            (Sec. IX,  concurrent duplicates)
+//	inherent noise errors        (Sec. IX,  t-distribution fit + Bessel)
+//
+// plus the five-step framework (Sec. X, Fig. 7) that applies them in order
+// to a new system and reports the error breakdown.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/stats"
+)
+
+// Regressor is any trained model that maps a feature row to a predicted
+// log10 I/O throughput. gbt.Model, nn.Model, and linreg.Model satisfy it.
+type Regressor interface {
+	Predict(row []float64) float64
+	PredictAll(rows [][]float64) []float64
+}
+
+// AppFeaturePrefixes are the application-side feature families (visible to
+// Darshan); these define duplicate jobs and the baseline feature set.
+var AppFeaturePrefixes = []string{"posix_", "mpiio_"}
+
+// ErrorReport summarizes a model's prediction errors on a frame under the
+// paper's metric (Eq. 6).
+type ErrorReport struct {
+	N int
+	// MedianAbsLog is the median |log10(y/yhat)|.
+	MedianAbsLog float64
+	// MedianAbsPct is the median absolute relative error (10^e - 1).
+	MedianAbsPct float64
+	// MeanAbsLog is Eq. 6 exactly (the training objective).
+	MeanAbsLog float64
+	// P90AbsPct is the 90th percentile relative error (tail behavior).
+	P90AbsPct float64
+	// AbsLogErrors are the per-job absolute log errors, aligned with the
+	// frame rows (kept for downstream attribution).
+	AbsLogErrors []float64
+	// SignedLogErrors keep the sign: positive means underestimation.
+	SignedLogErrors []float64
+}
+
+// Evaluate scores a model (predicting log10 throughput) against a frame's
+// measured throughputs.
+func Evaluate(m Regressor, f *dataset.Frame) ErrorReport {
+	preds := m.PredictAll(f.Rows())
+	return EvaluatePredictions(preds, f.Y())
+}
+
+// EvaluatePredictions scores log10-space predictions against raw
+// throughputs.
+func EvaluatePredictions(predLog []float64, actual []float64) ErrorReport {
+	if len(predLog) != len(actual) {
+		panic("core: prediction/target length mismatch")
+	}
+	rep := ErrorReport{N: len(actual)}
+	rep.AbsLogErrors = make([]float64, len(actual))
+	rep.SignedLogErrors = make([]float64, len(actual))
+	for i := range actual {
+		e := math.Log10(actual[i]) - predLog[i]
+		rep.SignedLogErrors[i] = e
+		rep.AbsLogErrors[i] = math.Abs(e)
+	}
+	rep.MedianAbsLog = stats.Median(rep.AbsLogErrors)
+	rep.MedianAbsPct = stats.PctFromLog(rep.MedianAbsLog)
+	rep.MeanAbsLog = stats.Mean(rep.AbsLogErrors)
+	rep.P90AbsPct = stats.PctFromLog(stats.Quantile(rep.AbsLogErrors, 0.9))
+	return rep
+}
+
+// String renders the headline number the way the paper quotes it.
+func (r ErrorReport) String() string {
+	return fmt.Sprintf("median abs err %.2f%% (n=%d)", 100*r.MedianAbsPct, r.N)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"iotaxo/internal/system"
+)
+
+func TestRunFrameworkEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("framework end-to-end test trains many models")
+	}
+	m, err := system.Generate(system.ThetaLike(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFramework("theta-test", f, FastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural sanity of the five steps.
+	if res.Baseline.N == 0 || res.Baseline.MedianAbsPct <= 0 {
+		t.Fatalf("baseline report empty: %+v", res.Baseline)
+	}
+	if res.Floor.Sets == 0 || res.Floor.FloorPct <= 0 {
+		t.Fatalf("duplicate floor missing: %+v", res.Floor)
+	}
+	// The floor is a lower bound: the baseline cannot beat it by much.
+	if res.Baseline.MedianAbsPct < res.Floor.FloorPct*0.5 {
+		t.Errorf("baseline %.2f%% implausibly below floor %.2f%%",
+			100*res.Baseline.MedianAbsPct, 100*res.Floor.FloorPct)
+	}
+	// Tuning never makes the test error dramatically worse.
+	if res.Tuned.MedianAbsPct > res.Baseline.MedianAbsPct*1.5 {
+		t.Errorf("tuned %.2f%% much worse than baseline %.2f%%",
+			100*res.Tuned.MedianAbsPct, 100*res.Baseline.MedianAbsPct)
+	}
+	// The golden (start-time) model should be at least as good as tuned,
+	// within noise.
+	if res.Golden.MedianAbsPct > res.Tuned.MedianAbsPct*1.25 {
+		t.Errorf("golden %.2f%% worse than tuned %.2f%%",
+			100*res.Golden.MedianAbsPct, 100*res.Tuned.MedianAbsPct)
+	}
+	// Theta collects no LMT.
+	if res.WithLMT != nil {
+		t.Error("theta-like run produced an LMT model")
+	}
+	// Noise bounds are positive and ordered.
+	if res.Noise.SigmaLog <= 0 || res.Noise.Bound95Pct <= res.Noise.Bound68Pct {
+		t.Errorf("noise estimate malformed: %+v", res.Noise)
+	}
+	// Breakdown shares are sane.
+	b := res.Breakdown
+	for name, v := range map[string]float64{
+		"app":      b.AppModeling,
+		"tuning":   b.TuningRemoved,
+		"system":   b.SystemModeling,
+		"ood":      b.OoD,
+		"aleatory": b.Aleatory,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("breakdown share %s = %v out of [0,1]", name, v)
+		}
+	}
+	if b.BaselinePct != res.Baseline.MedianAbsPct {
+		t.Error("breakdown baseline mismatch")
+	}
+	// OoD step produced flags for the test split.
+	if len(res.OoD.Flags) == 0 {
+		t.Error("OoD step produced no flags")
+	}
+}
+
+func TestFrameworkConfigs(t *testing.T) {
+	for _, cfg := range []FrameworkConfig{PaperConfig(), FastConfig()} {
+		if cfg.TrainFrac+cfg.ValFrac >= 1 {
+			t.Error("split fractions leave no test data")
+		}
+		if len(cfg.GridTrees) == 0 || len(cfg.GridDepths) == 0 {
+			t.Error("empty tuning grid")
+		}
+		if cfg.NASPopulation < 2 || cfg.EnsembleSize < 2 {
+			t.Error("NAS budgets too small for an ensemble")
+		}
+	}
+}

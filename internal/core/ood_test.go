@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"iotaxo/internal/uq"
+)
+
+// mockPreds builds an uncertainty landscape: nID in-distribution samples
+// with tiny EU and unit error, nOoD samples with large EU and errRatio
+// times the error.
+func mockPreds(nID, nOoD int, errRatio float64) ([]uq.Prediction, []float64, []bool) {
+	var preds []uq.Prediction
+	var errs []float64
+	var truth []bool
+	for i := 0; i < nID; i++ {
+		preds = append(preds, uq.Prediction{Mean: 10, AU: 0.01, EU: 1e-6})
+		errs = append(errs, 0.05)
+		truth = append(truth, false)
+	}
+	for i := 0; i < nOoD; i++ {
+		preds = append(preds, uq.Prediction{Mean: 10, AU: 0.02, EU: 0.09}) // EU sd 0.3
+		errs = append(errs, 0.05*errRatio)
+		truth = append(truth, true)
+	}
+	return preds, errs, truth
+}
+
+func TestAttributeOoDWithExplicitThreshold(t *testing.T) {
+	preds, errs, truth := mockPreds(990, 10, 3)
+	rep, err := AttributeOoD(preds, errs, 0.1, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumOoD != 10 {
+		t.Errorf("NumOoD = %d, want 10", rep.NumOoD)
+	}
+	if !almost(rep.FracOoD, 0.01, 1e-9) {
+		t.Errorf("FracOoD = %v", rep.FracOoD)
+	}
+	// Error share: 10*0.15 / (990*0.05 + 10*0.15) = 1.5/51 ~= 2.9%.
+	if math.Abs(rep.ErrShare-1.5/51.0) > 1e-9 {
+		t.Errorf("ErrShare = %v", rep.ErrShare)
+	}
+	if math.Abs(rep.ErrRatio-3) > 1e-9 {
+		t.Errorf("ErrRatio = %v, want 3 (the paper's '3x larger average error')", rep.ErrRatio)
+	}
+	if rep.TruthPrecision != 1 || rep.TruthRecall != 1 {
+		t.Errorf("precision/recall = %v/%v", rep.TruthPrecision, rep.TruthRecall)
+	}
+}
+
+func TestAttributeOoDAutoThreshold(t *testing.T) {
+	preds, errs, truth := mockPreds(950, 50, 3)
+	rep, err := AttributeOoD(preds, errs, 0, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Threshold <= 0 {
+		t.Fatalf("auto threshold = %v", rep.Threshold)
+	}
+	// The shoulder should land between the two EU clusters (1e-3 and 0.3).
+	if rep.Threshold < 1e-3 || rep.Threshold > 0.3 {
+		t.Errorf("auto threshold %v outside cluster gap", rep.Threshold)
+	}
+	if rep.TruthRecall < 0.9 {
+		t.Errorf("recall = %v", rep.TruthRecall)
+	}
+}
+
+func TestAttributeOoDErrors(t *testing.T) {
+	preds, errs, _ := mockPreds(10, 1, 2)
+	if _, err := AttributeOoD(preds, errs[:3], 0.1, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := AttributeOoD(nil, nil, 0.1, nil); err == nil {
+		t.Error("empty predictions accepted")
+	}
+	if _, err := AttributeOoD(preds, errs, 0.1, []bool{true}); err == nil {
+		t.Error("truth length mismatch accepted")
+	}
+}
+
+func TestAttributeOoDNoTruth(t *testing.T) {
+	preds, errs, _ := mockPreds(100, 5, 2)
+	rep, err := AttributeOoD(preds, errs, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TruthPrecision != 0 || rep.TruthRecall != 0 {
+		t.Error("truth metrics should be zero without ground truth")
+	}
+}
+
+func TestSummarizeUncertainty(t *testing.T) {
+	preds, errs, _ := mockPreds(90, 10, 3)
+	s := SummarizeUncertainty(preds, errs)
+	if len(s.AU) != 100 || len(s.EU) != 100 {
+		t.Fatal("summary lost samples")
+	}
+	// AU >> EU for the bulk (the paper's Fig 5 finding).
+	if s.MedianAU <= s.MedianEU {
+		t.Errorf("median AU %v not above median EU %v", s.MedianAU, s.MedianEU)
+	}
+	// All error mass is below the max EU.
+	if got := s.ShareBelowEU(1); !almost(got, 1, 1e-9) {
+		t.Errorf("full EU share = %v", got)
+	}
+	// In-distribution jobs carry 90*0.05/(90*0.05+10*0.15) = 0.75 of error.
+	if got := s.ShareBelowEU(0.01); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("ID share = %v, want 0.75", got)
+	}
+	if got := s.ShareBelowAU(1); !almost(got, 1, 1e-9) {
+		t.Errorf("full AU share = %v", got)
+	}
+}
+
+func TestEUQuantileThreshold(t *testing.T) {
+	preds, _, _ := mockPreds(99, 1, 2)
+	th := EUQuantileThreshold(preds, 0.995)
+	if th <= 0.001 {
+		t.Errorf("quantile threshold = %v", th)
+	}
+	if got := EUQuantileThreshold(nil, 0.9); got != 0 {
+		t.Errorf("empty quantile threshold = %v", got)
+	}
+}

@@ -1,0 +1,275 @@
+// Package darshan synthesizes Darshan-style I/O characterization counters
+// for simulated jobs. Darshan is the application-side log source in the
+// paper: aggregate POSIX counters for every job, plus MPI-IO counters for
+// jobs that use MPI-IO (48 features each, matching the paper's counts).
+//
+// Feature values are pure functions of (archetype, config): two jobs with
+// the same configuration produce bit-identical features, which is exactly
+// the paper's definition of duplicate jobs.
+package darshan
+
+import (
+	"fmt"
+
+	"iotaxo/internal/apps"
+)
+
+// Bytes per GiB.
+const gib = float64(1 << 30)
+
+// POSIXNames lists the 48 POSIX feature column names in order.
+var POSIXNames = buildPOSIXNames()
+
+// MPIIONames lists the 48 MPI-IO feature column names in order.
+var MPIIONames = buildMPIIONames()
+
+func buildPOSIXNames() []string {
+	names := []string{
+		"posix_bytes_read",
+		"posix_bytes_written",
+		"posix_read_ratio",
+		"posix_reads",
+		"posix_writes",
+		"posix_rw_switches",
+		"posix_opens",
+		"posix_seeks",
+		"posix_stats",
+		"posix_fsyncs",
+		"posix_mmaps",
+		"posix_mode_readonly",
+		"posix_seq_read_pct",
+		"posix_seq_write_pct",
+		"posix_consec_read_pct",
+		"posix_consec_write_pct",
+		"posix_mem_not_aligned_pct",
+		"posix_file_not_aligned_pct",
+	}
+	for i := 0; i < apps.NumSizeBuckets; i++ {
+		names = append(names, fmt.Sprintf("posix_size_read_%d", i))
+	}
+	for i := 0; i < apps.NumSizeBuckets; i++ {
+		names = append(names, fmt.Sprintf("posix_size_write_%d", i))
+	}
+	names = append(names,
+		"posix_unique_files",
+		"posix_shared_files",
+		"posix_read_only_files",
+		"posix_write_only_files",
+		"posix_read_write_files",
+		"posix_max_access_size",
+		"posix_common_access_size",
+		"posix_nprocs",
+		"posix_bytes_per_proc",
+		"posix_files_per_proc",
+	)
+	return names
+}
+
+func buildMPIIONames() []string {
+	names := []string{
+		"mpiio_used",
+		"mpiio_bytes_read",
+		"mpiio_bytes_written",
+		"mpiio_indep_reads",
+		"mpiio_indep_writes",
+		"mpiio_coll_reads",
+		"mpiio_coll_writes",
+		"mpiio_nb_reads",
+		"mpiio_nb_writes",
+		"mpiio_split_reads",
+		"mpiio_split_writes",
+		"mpiio_views",
+		"mpiio_hints",
+		"mpiio_coll_ratio",
+		"mpiio_rw_switches",
+		"mpiio_max_access_size",
+		"mpiio_common_access_size",
+		"mpiio_bytes_per_proc",
+	}
+	for i := 0; i < apps.NumSizeBuckets; i++ {
+		names = append(names, fmt.Sprintf("mpiio_size_read_%d", i))
+	}
+	for i := 0; i < apps.NumSizeBuckets; i++ {
+		names = append(names, fmt.Sprintf("mpiio_size_write_%d", i))
+	}
+	names = append(names,
+		"mpiio_opens",
+		"mpiio_syncs",
+		"mpiio_read_ratio",
+		"mpiio_agg_frac",
+		"mpiio_files",
+		"mpiio_chunking",
+		"mpiio_datatype_depth",
+		"mpiio_file_views_per_proc",
+		"mpiio_coll_buf_size",
+		"mpiio_stripe_hint",
+	)
+	return names
+}
+
+// POSIXFeatures returns the 48 POSIX counters for a job of archetype a with
+// configuration cfg, in POSIXNames order.
+func POSIXFeatures(a *apps.Archetype, cfg apps.Config) []float64 {
+	read, write := a.SizeMix(cfg)
+	bytesRead := cfg.GiB * gib * cfg.ReadFrac
+	bytesWritten := cfg.GiB * gib * (1 - cfg.ReadFrac)
+	// Operation counts follow from volume over the per-bucket access size.
+	var reads, writes float64
+	for i := 0; i < apps.NumSizeBuckets; i++ {
+		reads += bytesRead * read[i] / apps.BucketMidBytes[i]
+		writes += bytesWritten * write[i] / apps.BucketMidBytes[i]
+	}
+	procs := float64(cfg.Procs)
+	filesPerProc := float64(cfg.FilesPerProc)
+	uniqueFiles := procs * filesPerProc
+	sharedFiles := 0.0
+	if cfg.SharedFiles {
+		sharedFiles = 1 + procs/64 // one main shared file plus a few aux
+		uniqueFiles = procs * 0.1  // logs etc.
+	}
+	totalFiles := uniqueFiles + sharedFiles
+	opens := totalFiles * (1 + a.MetaRate/10)
+	stats := cfg.GiB * a.MetaRate
+	fsyncs := cfg.GiB * a.FsyncRate
+	seeks := (reads + writes) * (1 - a.ConsecFrac)
+	rwSwitches := (reads + writes) * minf(cfg.ReadFrac, 1-cfg.ReadFrac) * 0.5
+	maxAccess, commonAccess := accessSizes(read, write, cfg.ReadFrac)
+	readOnly := totalFiles * cfg.ReadFrac * 0.8
+	writeOnly := totalFiles * (1 - cfg.ReadFrac) * 0.8
+	readWrite := totalFiles - readOnly - writeOnly
+
+	f := make([]float64, 0, len(POSIXNames))
+	f = append(f,
+		bytesRead,
+		bytesWritten,
+		cfg.ReadFrac,
+		reads,
+		writes,
+		rwSwitches,
+		opens,
+		seeks,
+		stats,
+		fsyncs,
+		0, // mmaps: rare on parallel filesystems
+		boolTo01(cfg.ReadFrac > 0.95),
+		a.SeqFrac,
+		a.SeqFrac*0.98,
+		a.ConsecFrac,
+		a.ConsecFrac*0.95,
+		0.5*(1-a.SeqFrac),
+		1-a.Efficiency*0.9,
+	)
+	for i := 0; i < apps.NumSizeBuckets; i++ {
+		f = append(f, read[i])
+	}
+	for i := 0; i < apps.NumSizeBuckets; i++ {
+		f = append(f, write[i])
+	}
+	f = append(f,
+		uniqueFiles,
+		sharedFiles,
+		readOnly,
+		writeOnly,
+		readWrite,
+		maxAccess,
+		commonAccess,
+		procs,
+		(bytesRead+bytesWritten)/procs,
+		totalFiles/procs,
+	)
+	return f
+}
+
+// MPIIOFeatures returns the 48 MPI-IO counters in MPIIONames order. For
+// jobs that do not use MPI-IO every counter is zero except the usage flag,
+// mirroring Darshan's absent-module behavior.
+func MPIIOFeatures(a *apps.Archetype, cfg apps.Config) []float64 {
+	f := make([]float64, len(MPIIONames))
+	if !a.UsesMPIIO {
+		return f
+	}
+	read, write := a.SizeMix(cfg)
+	// MPI-IO sits above POSIX: all MPI-IO traffic is also POSIX traffic.
+	bytesRead := cfg.GiB * gib * cfg.ReadFrac
+	bytesWritten := cfg.GiB * gib * (1 - cfg.ReadFrac)
+	var reads, writes float64
+	for i := 0; i < apps.NumSizeBuckets; i++ {
+		reads += bytesRead * read[i] / apps.BucketMidBytes[i]
+		writes += bytesWritten * write[i] / apps.BucketMidBytes[i]
+	}
+	coll := a.CollFrac
+	procs := float64(cfg.Procs)
+	maxAccess, commonAccess := accessSizes(read, write, cfg.ReadFrac)
+	files := 1.0
+	if !cfg.SharedFiles {
+		files = procs * float64(cfg.FilesPerProc)
+	}
+	i := 0
+	put := func(v float64) { f[i] = v; i++ }
+	put(1)                      // mpiio_used
+	put(bytesRead)              // mpiio_bytes_read
+	put(bytesWritten)           // mpiio_bytes_written
+	put(reads * (1 - coll))     // indep reads
+	put(writes * (1 - coll))    // indep writes
+	put(reads * coll)           // coll reads
+	put(writes * coll)          // coll writes
+	put(0)                      // nb reads
+	put(0)                      // nb writes
+	put(0)                      // split reads
+	put(0)                      // split writes
+	put(procs)                  // views
+	put(4)                      // hints
+	put(coll)                   // coll ratio
+	put((reads + writes) * 0.1) // rw switches
+	put(maxAccess)              // max access
+	put(commonAccess)           // common access
+	put((bytesRead + bytesWritten) / procs)
+	for b := 0; b < apps.NumSizeBuckets; b++ {
+		put(read[b])
+	}
+	for b := 0; b < apps.NumSizeBuckets; b++ {
+		put(write[b])
+	}
+	put(files * 2)                 // opens
+	put(cfg.GiB * a.FsyncRate / 2) // syncs
+	put(cfg.ReadFrac)              // read ratio
+	put(coll * 0.9)                // aggregator fraction
+	put(files)                     // files
+	put(boolTo01(coll > 0.5))      // chunking
+	put(2 + coll*3)                // datatype depth
+	put(1)                         // file views per proc
+	put(16 * 1024 * 1024)          // collective buffer size
+	put(boolTo01(cfg.SharedFiles)) // stripe hint set
+	return f
+}
+
+// accessSizes returns the max and most common access sizes implied by the
+// size mix.
+func accessSizes(read, write [apps.NumSizeBuckets]float64, readFrac float64) (maxAccess, commonAccess float64) {
+	bestW := -1.0
+	for i := 0; i < apps.NumSizeBuckets; i++ {
+		w := readFrac*read[i] + (1-readFrac)*write[i]
+		if w > 1e-9 {
+			maxAccess = apps.BucketMidBytes[i]
+		}
+		if w > bestW {
+			bestW = w
+			commonAccess = apps.BucketMidBytes[i]
+		}
+	}
+	return maxAccess, commonAccess
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

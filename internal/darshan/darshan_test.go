@@ -1,0 +1,199 @@
+package darshan
+
+import (
+	"math"
+	"testing"
+
+	"iotaxo/internal/apps"
+	"iotaxo/internal/rng"
+)
+
+func arch(t *testing.T, name string) *apps.Archetype {
+	t.Helper()
+	cat := apps.Production(0)
+	for i := range cat.Archetypes {
+		if cat.Archetypes[i].Name == name {
+			return &cat.Archetypes[i]
+		}
+	}
+	t.Fatalf("archetype %q not in catalog", name)
+	return nil
+}
+
+func TestFeatureCounts(t *testing.T) {
+	if len(POSIXNames) != 48 {
+		t.Fatalf("POSIX feature count = %d, want 48 (paper Sec. V)", len(POSIXNames))
+	}
+	if len(MPIIONames) != 48 {
+		t.Fatalf("MPI-IO feature count = %d, want 48 (paper Sec. V)", len(MPIIONames))
+	}
+	a := arch(t, "IOR")
+	cfg := a.NewConfig(1, rng.New(1))
+	if got := len(POSIXFeatures(a, cfg)); got != len(POSIXNames) {
+		t.Fatalf("POSIX features = %d values for %d names", got, len(POSIXNames))
+	}
+	if got := len(MPIIOFeatures(a, cfg)); got != len(MPIIONames) {
+		t.Fatalf("MPI-IO features = %d values for %d names", got, len(MPIIONames))
+	}
+}
+
+func TestFeatureNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range append(append([]string{}, POSIXNames...), MPIIONames...) {
+		if seen[n] {
+			t.Errorf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestDeterministicPerConfig(t *testing.T) {
+	a := arch(t, "HACC")
+	cfg := a.NewConfig(7, rng.New(2))
+	f1 := POSIXFeatures(a, cfg)
+	f2 := POSIXFeatures(a, cfg)
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("POSIX feature %s not deterministic", POSIXNames[i])
+		}
+	}
+	m1 := MPIIOFeatures(a, cfg)
+	m2 := MPIIOFeatures(a, cfg)
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("MPI-IO feature %s not deterministic", MPIIONames[i])
+		}
+	}
+}
+
+func TestVolumeConservation(t *testing.T) {
+	a := arch(t, "IOR")
+	cfg := a.NewConfig(3, rng.New(3))
+	f := POSIXFeatures(a, cfg)
+	idx := func(name string) int {
+		for i, n := range POSIXNames {
+			if n == name {
+				return i
+			}
+		}
+		t.Fatalf("no feature %q", name)
+		return -1
+	}
+	read := f[idx("posix_bytes_read")]
+	written := f[idx("posix_bytes_written")]
+	total := cfg.GiB * float64(1<<30)
+	if math.Abs(read+written-total) > 1e-6*total {
+		t.Errorf("bytes read+written = %v, want %v", read+written, total)
+	}
+	ratio := f[idx("posix_read_ratio")]
+	if math.Abs(ratio-cfg.ReadFrac) > 1e-12 {
+		t.Errorf("read ratio = %v, want %v", ratio, cfg.ReadFrac)
+	}
+}
+
+func TestNonMPIAppHasZeroMPIIO(t *testing.T) {
+	a := arch(t, "HACC") // POSIX-only app
+	if a.UsesMPIIO {
+		t.Skip("catalog changed: HACC now uses MPI-IO")
+	}
+	cfg := a.NewConfig(4, rng.New(4))
+	f := MPIIOFeatures(a, cfg)
+	for i, v := range f {
+		if v != 0 {
+			t.Errorf("non-MPI-IO app has nonzero %s = %v", MPIIONames[i], v)
+		}
+	}
+}
+
+func TestMPIAppMarksUsage(t *testing.T) {
+	a := arch(t, "IOR")
+	cfg := a.NewConfig(5, rng.New(5))
+	f := MPIIOFeatures(a, cfg)
+	if f[0] != 1 {
+		t.Error("mpiio_used flag not set for MPI-IO app")
+	}
+	var total float64
+	for _, v := range f {
+		total += math.Abs(v)
+	}
+	if total <= 1 {
+		t.Error("MPI-IO features all zero for an MPI-IO app")
+	}
+}
+
+func TestSizeBucketsAreDistributions(t *testing.T) {
+	a := arch(t, "QB")
+	cfg := a.NewConfig(6, rng.New(6))
+	f := POSIXFeatures(a, cfg)
+	start := -1
+	for i, n := range POSIXNames {
+		if n == "posix_size_read_0" {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatal("size bucket features missing")
+	}
+	sum := 0.0
+	for i := 0; i < apps.NumSizeBuckets; i++ {
+		v := f[start+i]
+		if v < 0 || v > 1 {
+			t.Errorf("bucket %d out of [0,1]: %v", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("read buckets sum to %v", sum)
+	}
+}
+
+func TestFeaturesFinite(t *testing.T) {
+	r := rng.New(7)
+	for _, cat := range []apps.Catalog{apps.Production(20), apps.Novel(4)} {
+		for i := range cat.Archetypes {
+			a := &cat.Archetypes[i]
+			for k := 0; k < 10; k++ {
+				cfg := a.NewConfig(uint64(k+1), r)
+				for j, v := range POSIXFeatures(a, cfg) {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("%s: non-finite %s", a.Name, POSIXNames[j])
+					}
+				}
+				for j, v := range MPIIOFeatures(a, cfg) {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("%s: non-finite %s", a.Name, MPIIONames[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSharedVsFPPFileCounts(t *testing.T) {
+	a := arch(t, "IOR")
+	cfg := a.NewConfig(8, rng.New(8))
+	idx := func(name string) int {
+		for i, n := range POSIXNames {
+			if n == name {
+				return i
+			}
+		}
+		return -1
+	}
+	shared := cfg
+	shared.SharedFiles = true
+	fpp := cfg
+	fpp.SharedFiles = false
+	fs := POSIXFeatures(a, shared)
+	ff := POSIXFeatures(a, fpp)
+	if fs[idx("posix_shared_files")] <= 0 {
+		t.Error("shared config reports no shared files")
+	}
+	if ff[idx("posix_shared_files")] != 0 {
+		t.Error("file-per-process config reports shared files")
+	}
+	if ff[idx("posix_unique_files")] <= fs[idx("posix_unique_files")] {
+		t.Error("file-per-process should open more unique files")
+	}
+}

@@ -1,0 +1,238 @@
+package darshan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"iotaxo/internal/apps"
+)
+
+// This file implements a darshan-parser-style textual log format, so the
+// simulated jobs can be emitted as per-job log records and re-ingested the
+// way the paper's pipeline ingests parsed Darshan output. One Record is
+// one job's characterization: a header block plus POSIX and (optionally)
+// MPI-IO counter modules.
+
+// Record is one job's Darshan characterization.
+type Record struct {
+	Exe    string
+	JobID  int
+	NProcs int
+	Start  int64
+	End    int64
+	POSIX  []float64 // in POSIXNames order
+	MPIIO  []float64 // in MPIIONames order; nil when the module is absent
+}
+
+// NewRecord builds a record for a job of archetype a with configuration
+// cfg.
+func NewRecord(a *apps.Archetype, cfg apps.Config, jobID int, start, end int64) Record {
+	rec := Record{
+		Exe:    "/projects/apps/" + a.Name,
+		JobID:  jobID,
+		NProcs: cfg.Procs,
+		Start:  start,
+		End:    end,
+		POSIX:  POSIXFeatures(a, cfg),
+	}
+	if a.UsesMPIIO {
+		rec.MPIIO = MPIIOFeatures(a, cfg)
+	}
+	return rec
+}
+
+// logVersion mimics the Darshan log format version line.
+const logVersion = "3.41"
+
+// WriteLog emits the record in darshan-parser text form.
+func (r Record) WriteLog(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# darshan log version: %s\n", logVersion)
+	fmt.Fprintf(bw, "# exe: %s\n", r.Exe)
+	fmt.Fprintf(bw, "# jobid: %d\n", r.JobID)
+	fmt.Fprintf(bw, "# nprocs: %d\n", r.NProcs)
+	fmt.Fprintf(bw, "# start_time: %d\n", r.Start)
+	fmt.Fprintf(bw, "# end_time: %d\n", r.End)
+	fmt.Fprintln(bw, "# module POSIX")
+	for i, name := range POSIXNames {
+		fmt.Fprintf(bw, "%s\t%s\n", counterName(name), formatValue(r.POSIX[i]))
+	}
+	if r.MPIIO != nil {
+		fmt.Fprintln(bw, "# module MPI-IO")
+		for i, name := range MPIIONames {
+			fmt.Fprintf(bw, "%s\t%s\n", counterName(name), formatValue(r.MPIIO[i]))
+		}
+	}
+	fmt.Fprintln(bw, "# end of log")
+	return bw.Flush()
+}
+
+// counterName converts a feature column name to Darshan counter style:
+// posix_bytes_read -> POSIX_BYTES_READ.
+func counterName(col string) string { return strings.ToUpper(col) }
+
+// featureName is the inverse of counterName.
+func featureName(counter string) string { return strings.ToLower(counter) }
+
+// formatValue keeps full float64 precision for round trips.
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseLog reads one record in darshan-parser text form. It validates the
+// header, requires the full POSIX module, and accepts an optional MPI-IO
+// module. Unknown counters are an error: the feature schema is the
+// contract between generator and models.
+func ParseLog(r io.Reader) (Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	rec := Record{JobID: -1}
+
+	posixIdx := nameIndex(POSIXNames)
+	mpiIdx := nameIndex(MPIIONames)
+	var cur []float64
+	var curIdx map[string]int
+	seenPOSIX := false
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			meta := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			switch {
+			case strings.HasPrefix(meta, "darshan log version:"):
+				v := strings.TrimSpace(strings.TrimPrefix(meta, "darshan log version:"))
+				if v != logVersion {
+					return rec, fmt.Errorf("darshan: unsupported log version %q", v)
+				}
+			case strings.HasPrefix(meta, "exe:"):
+				rec.Exe = strings.TrimSpace(strings.TrimPrefix(meta, "exe:"))
+			case strings.HasPrefix(meta, "jobid:"):
+				if err := parseInt(meta, "jobid:", &rec.JobID); err != nil {
+					return rec, err
+				}
+			case strings.HasPrefix(meta, "nprocs:"):
+				if err := parseInt(meta, "nprocs:", &rec.NProcs); err != nil {
+					return rec, err
+				}
+			case strings.HasPrefix(meta, "start_time:"):
+				if err := parseInt64(meta, "start_time:", &rec.Start); err != nil {
+					return rec, err
+				}
+			case strings.HasPrefix(meta, "end_time:"):
+				if err := parseInt64(meta, "end_time:", &rec.End); err != nil {
+					return rec, err
+				}
+			case meta == "module POSIX":
+				rec.POSIX = make([]float64, len(POSIXNames))
+				cur, curIdx = rec.POSIX, posixIdx
+				seenPOSIX = true
+			case meta == "module MPI-IO":
+				rec.MPIIO = make([]float64, len(MPIIONames))
+				cur, curIdx = rec.MPIIO, mpiIdx
+			case meta == "end of log":
+				if !seenPOSIX {
+					return rec, fmt.Errorf("darshan: log missing POSIX module")
+				}
+				if rec.JobID < 0 {
+					return rec, fmt.Errorf("darshan: log missing jobid")
+				}
+				return rec, nil
+			}
+			continue
+		}
+		// Counter line: NAME\tvalue.
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return rec, fmt.Errorf("darshan: malformed counter line %q", line)
+		}
+		if cur == nil {
+			return rec, fmt.Errorf("darshan: counter %q before any module header", fields[0])
+		}
+		idx, ok := curIdx[featureName(fields[0])]
+		if !ok {
+			return rec, fmt.Errorf("darshan: unknown counter %q", fields[0])
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return rec, fmt.Errorf("darshan: counter %q: %w", fields[0], err)
+		}
+		cur[idx] = v
+	}
+	if err := sc.Err(); err != nil {
+		return rec, err
+	}
+	return rec, fmt.Errorf("darshan: log truncated (no end-of-log marker)")
+}
+
+func nameIndex(names []string) map[string]int {
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	return idx
+}
+
+func parseInt(meta, prefix string, dst *int) error {
+	v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(meta, prefix)))
+	if err != nil {
+		return fmt.Errorf("darshan: header %s %w", prefix, err)
+	}
+	*dst = v
+	return nil
+}
+
+func parseInt64(meta, prefix string, dst *int64) error {
+	v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(meta, prefix)), 10, 64)
+	if err != nil {
+		return fmt.Errorf("darshan: header %s %w", prefix, err)
+	}
+	*dst = v
+	return nil
+}
+
+// WriteLogs emits multiple records separated by blank lines.
+func WriteLogs(w io.Writer, recs []Record) error {
+	for i, rec := range recs {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := rec.WriteLog(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseLogs reads records until EOF.
+func ParseLogs(r io.Reader) ([]Record, error) {
+	// Split the stream on end-of-log markers, preserving them.
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	rest := string(data)
+	const marker = "# end of log\n"
+	for {
+		i := strings.Index(rest, marker)
+		if i < 0 {
+			if strings.TrimSpace(rest) != "" {
+				return nil, fmt.Errorf("darshan: trailing partial log")
+			}
+			return recs, nil
+		}
+		chunk := rest[:i+len(marker)]
+		rest = rest[i+len(marker):]
+		rec, err := ParseLog(strings.NewReader(chunk))
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+}

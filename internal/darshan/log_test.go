@@ -1,0 +1,153 @@
+package darshan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"iotaxo/internal/apps"
+	"iotaxo/internal/rng"
+)
+
+func sampleRecord(t *testing.T, appName string) Record {
+	t.Helper()
+	a := arch(t, appName)
+	cfg := a.NewConfig(42, rng.New(9))
+	return NewRecord(a, cfg, 1234, 1500000000, 1500000600)
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	rec := sampleRecord(t, "IOR")
+	var buf bytes.Buffer
+	if err := rec.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.JobID != rec.JobID || back.NProcs != rec.NProcs ||
+		back.Start != rec.Start || back.End != rec.End || back.Exe != rec.Exe {
+		t.Fatalf("header mismatch: %+v vs %+v", back, rec)
+	}
+	for i := range rec.POSIX {
+		if back.POSIX[i] != rec.POSIX[i] {
+			t.Fatalf("POSIX counter %s: %v != %v", POSIXNames[i], back.POSIX[i], rec.POSIX[i])
+		}
+	}
+	if back.MPIIO == nil {
+		t.Fatal("MPI-IO module lost")
+	}
+	for i := range rec.MPIIO {
+		if back.MPIIO[i] != rec.MPIIO[i] {
+			t.Fatalf("MPI-IO counter %s mismatch", MPIIONames[i])
+		}
+	}
+}
+
+func TestLogWithoutMPIIO(t *testing.T) {
+	rec := sampleRecord(t, "HACC") // POSIX-only app
+	rec.MPIIO = nil
+	var buf bytes.Buffer
+	if err := rec.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "module MPI-IO") {
+		t.Fatal("POSIX-only record emitted an MPI-IO module")
+	}
+	back, err := ParseLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MPIIO != nil {
+		t.Fatal("parser invented an MPI-IO module")
+	}
+}
+
+func TestLogCounterStyle(t *testing.T) {
+	rec := sampleRecord(t, "IOR")
+	var buf bytes.Buffer
+	if err := rec.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Darshan counter naming convention.
+	if !strings.Contains(out, "POSIX_BYTES_READ\t") {
+		t.Error("missing upper-case POSIX counter")
+	}
+	if !strings.Contains(out, "# darshan log version: 3.41") {
+		t.Error("missing version header")
+	}
+}
+
+func TestParseLogErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad version": "# darshan log version: 9.99\n# end of log\n",
+		"truncated":   "# darshan log version: 3.41\n# jobid: 1\n",
+		"no posix":    "# darshan log version: 3.41\n# jobid: 1\n# end of log\n",
+		"bad counter": "# darshan log version: 3.41\n# jobid: 1\n# module POSIX\nNOT_A_COUNTER\t1\n# end of log\n",
+		"bad value":   "# darshan log version: 3.41\n# jobid: 1\n# module POSIX\nPOSIX_BYTES_READ\tabc\n# end of log\n",
+		"orphan line": "# darshan log version: 3.41\n# jobid: 1\nPOSIX_BYTES_READ\t1\n# end of log\n",
+		"no jobid":    "# darshan log version: 3.41\n# module POSIX\n# end of log\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseLog(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMultiRecordStream(t *testing.T) {
+	recs := []Record{
+		sampleRecord(t, "IOR"),
+		sampleRecord(t, "QB"),
+		sampleRecord(t, "HACC"),
+	}
+	recs[1].JobID = 777
+	var buf bytes.Buffer
+	if err := WriteLogs(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseLogs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("parsed %d records", len(back))
+	}
+	if back[1].JobID != 777 {
+		t.Error("record order lost")
+	}
+}
+
+func TestParseLogsRejectsPartialTail(t *testing.T) {
+	rec := sampleRecord(t, "IOR")
+	var buf bytes.Buffer
+	if err := rec.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("# darshan log version: 3.41\n# jobid: 9\n")
+	if _, err := ParseLogs(&buf); err == nil {
+		t.Error("partial trailing record accepted")
+	}
+}
+
+func TestFeaturesSurviveLogPipeline(t *testing.T) {
+	// The feature vector recovered from a log must be usable as a model
+	// input row: same width, same order.
+	rec := sampleRecord(t, "E3SM")
+	var buf bytes.Buffer
+	if err := rec.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := append(append([]float64{}, back.POSIX...), back.MPIIO...)
+	if len(row) != len(POSIXNames)+len(MPIIONames) {
+		t.Fatalf("row width %d", len(row))
+	}
+}
+
+var _ = apps.NumSizeBuckets // keep apps imported for helpers

@@ -1,0 +1,125 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Reserved CSV column names for target and metadata.
+const (
+	colTarget    = "_y"
+	colJobID     = "_job_id"
+	colApp       = "_app"
+	colStart     = "_start"
+	colEnd       = "_end"
+	colConfigKey = "_config_key"
+	colOoD       = "_ood"
+)
+
+// WriteCSV serializes the frame (features + target + metadata columns,
+// ground-truth excluded) so datasets can be generated once and re-analyzed
+// by the command-line tools.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(f.Columns(), colTarget, colJobID, colApp, colStart, colEnd, colConfigKey, colOoD)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < f.Len(); i++ {
+		row := f.Row(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		m := f.Meta(i)
+		k := len(row)
+		rec[k] = strconv.FormatFloat(f.y[i], 'g', -1, 64)
+		rec[k+1] = strconv.Itoa(m.JobID)
+		rec[k+2] = m.App
+		rec[k+3] = strconv.FormatFloat(m.Start, 'g', -1, 64)
+		rec[k+4] = strconv.FormatFloat(m.End, 'g', -1, 64)
+		rec[k+5] = strconv.FormatUint(m.ConfigKey, 16)
+		if m.OoD {
+			rec[k+6] = "1"
+		} else {
+			rec[k+6] = "0"
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a frame previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Frame, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	// Metadata columns occupy the tail in a fixed order.
+	metaCols := []string{colTarget, colJobID, colApp, colStart, colEnd, colConfigKey, colOoD}
+	nFeat := len(header) - len(metaCols)
+	if nFeat < 0 {
+		return nil, fmt.Errorf("dataset: CSV header too short (%d columns)", len(header))
+	}
+	for i, want := range metaCols {
+		if header[nFeat+i] != want {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, want %q", nFeat+i, header[nFeat+i], want)
+		}
+	}
+	frame, err := NewFrame(append([]string(nil), header[:nFeat]...))
+	if err != nil {
+		return nil, err
+	}
+	lineNo := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", lineNo+1, err)
+		}
+		lineNo++
+		row := make([]float64, nFeat)
+		for j := 0; j < nFeat; j++ {
+			row[j], err = strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %q: %w", lineNo, header[j], err)
+			}
+		}
+		var meta Meta
+		y, err := strconv.ParseFloat(rec[nFeat], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d target: %w", lineNo, err)
+		}
+		meta.JobID, err = strconv.Atoi(rec[nFeat+1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d job id: %w", lineNo, err)
+		}
+		meta.App = rec[nFeat+2]
+		meta.Start, err = strconv.ParseFloat(rec[nFeat+3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d start: %w", lineNo, err)
+		}
+		meta.End, err = strconv.ParseFloat(rec[nFeat+4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d end: %w", lineNo, err)
+		}
+		meta.ConfigKey, err = strconv.ParseUint(rec[nFeat+5], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d config key: %w", lineNo, err)
+		}
+		meta.OoD = rec[nFeat+6] == "1"
+		if err := frame.Append(row, y, meta); err != nil {
+			return nil, err
+		}
+	}
+	return frame, nil
+}

@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iotaxo/internal/rng"
+)
+
+func dupFrame(t *testing.T) *Frame {
+	t.Helper()
+	f := MustNewFrame([]string{"a", "b"})
+	add := func(row []float64, app string, key uint64) {
+		t.Helper()
+		if err := f.Append(row, 1, Meta{App: app, ConfigKey: key}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three IOR runs of the same config, two of another, one singleton.
+	add([]float64{1, 2}, "IOR", 0)
+	add([]float64{1, 2}, "IOR", 0)
+	add([]float64{1, 2}, "IOR", 0)
+	add([]float64{3, 4}, "IOR", 0)
+	add([]float64{3, 4}, "IOR", 0)
+	add([]float64{9, 9}, "QB", 0)
+	return f
+}
+
+func TestDuplicateSetsByFeatureHash(t *testing.T) {
+	f := dupFrame(t)
+	sets, err := DuplicateSets(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("got %d sets, want 2", len(sets))
+	}
+	sizes := []int{sets[0].Len(), sets[1].Len()}
+	if !(sizes[0] == 3 && sizes[1] == 2) && !(sizes[0] == 2 && sizes[1] == 3) {
+		t.Errorf("set sizes = %v", sizes)
+	}
+	st := Stats(f, sets)
+	if st.Jobs != 5 || st.Sets != 2 || st.Total != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Fraction < 0.83 || st.Fraction > 0.84 {
+		t.Errorf("fraction = %v", st.Fraction)
+	}
+}
+
+func TestDuplicateSameFeaturesDifferentApp(t *testing.T) {
+	f := MustNewFrame([]string{"a"})
+	_ = f.Append([]float64{1}, 1, Meta{App: "x"})
+	_ = f.Append([]float64{1}, 1, Meta{App: "y"})
+	sets, err := DuplicateSets(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 0 {
+		t.Error("identical features with different apps must not be duplicates")
+	}
+}
+
+func TestDuplicateSetsByConfigKey(t *testing.T) {
+	f := MustNewFrame([]string{"a"})
+	// Same key but different feature values (e.g. after noise in derived
+	// features): ConfigKey wins.
+	_ = f.Append([]float64{1}, 1, Meta{App: "x", ConfigKey: 42})
+	_ = f.Append([]float64{2}, 1, Meta{App: "x", ConfigKey: 42})
+	_ = f.Append([]float64{3}, 1, Meta{App: "x", ConfigKey: 43})
+	sets, err := DuplicateSets(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 || sets[0].Len() != 2 {
+		t.Fatalf("config-key grouping failed: %+v", sets)
+	}
+}
+
+func TestDuplicateSubsetColumns(t *testing.T) {
+	f := MustNewFrame([]string{"app_feat", "time"})
+	_ = f.Append([]float64{5, 100}, 1, Meta{App: "x"})
+	_ = f.Append([]float64{5, 200}, 1, Meta{App: "x"})
+	// With all columns the time feature separates them...
+	all, err := DuplicateSets(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 0 {
+		t.Error("time column should break duplicate equality")
+	}
+	// ...restricting to application features restores the set.
+	app, err := DuplicateSets(f, []string{"app_feat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app) != 1 || app[0].Len() != 2 {
+		t.Error("column-restricted duplicates not found")
+	}
+	if _, err := DuplicateSets(f, []string{"missing"}); err == nil {
+		t.Error("missing column did not error")
+	}
+}
+
+func TestDuplicateDeterministicOrder(t *testing.T) {
+	f := dupFrame(t)
+	s1, _ := DuplicateSets(f, nil)
+	s2, _ := DuplicateSets(f, nil)
+	if len(s1) != len(s2) {
+		t.Fatal("nondeterministic set count")
+	}
+	for i := range s1 {
+		if s1[i].Key != s2[i].Key {
+			t.Fatal("nondeterministic set order")
+		}
+	}
+}
+
+func TestDuplicatePartitionProperty(t *testing.T) {
+	// Property: every row appears in at most one duplicate set, and rows in
+	// the same set share identical features and app.
+	r := rng.New(9)
+	err := quick.Check(func(seed uint32) bool {
+		rr := r.Split(uint64(seed))
+		f := MustNewFrame([]string{"a", "b"})
+		n := 5 + rr.Intn(60)
+		for i := 0; i < n; i++ {
+			// Small discrete domain to force collisions.
+			row := []float64{float64(rr.Intn(3)), float64(rr.Intn(2))}
+			app := []string{"x", "y"}[rr.Intn(2)]
+			if err := f.Append(row, 1, Meta{App: app}); err != nil {
+				return false
+			}
+		}
+		sets, err := DuplicateSets(f, nil)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, s := range sets {
+			if s.Len() < 2 {
+				return false
+			}
+			first := s.Rows[0]
+			for _, ri := range s.Rows {
+				if seen[ri] {
+					return false
+				}
+				seen[ri] = true
+				if f.Meta(ri).App != f.Meta(first).App {
+					return false
+				}
+				for j := range f.Row(ri) {
+					if f.Row(ri)[j] != f.Row(first)[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

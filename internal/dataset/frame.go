@@ -1,0 +1,247 @@
+// Package dataset implements the tabular feature frame the models train on:
+// named feature columns, per-job metadata (application, timing, duplicate
+// keys, optional ground-truth decomposition), feature-set selection,
+// time-based splits, duplicate-set detection, scaling, and CSV round-trips.
+//
+// A Frame corresponds to one system's log collection (e.g. "all Theta jobs
+// with >1 GiB of I/O"), with one row per job and the measured I/O throughput
+// as the target.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Truth carries the ground-truth decomposition of a job's throughput in
+// log10 space, as produced by the simulator (Eq. 3 of the paper). It exists
+// so litmus-test estimates can be validated against injected reality; real
+// production logs would not have it.
+type Truth struct {
+	// Base is log10 of the idealized application throughput fa(j).
+	Base float64
+	// Global is the log10 multiplier from global system state fg.
+	Global float64
+	// Contention is the log10 multiplier from job interactions fl.
+	Contention float64
+	// Noise is the log10 multiplier from inherent noise fn.
+	Noise float64
+}
+
+// Meta is per-job metadata that is not part of the feature vector.
+type Meta struct {
+	JobID int
+	App   string
+	// Start and End are unix seconds.
+	Start float64
+	End   float64
+	// ConfigKey identifies the exact application configuration (same code,
+	// same input); jobs sharing a ConfigKey are duplicates in the paper's
+	// sense. Zero means unknown.
+	ConfigKey uint64
+	// OoD marks jobs generated from a post-deployment novel behavior
+	// (ground truth only; models never see it).
+	OoD bool
+	// Truth is the optional ground-truth decomposition.
+	Truth *Truth
+}
+
+// Frame is a feature table with a throughput target.
+type Frame struct {
+	cols []string
+	idx  map[string]int
+	rows [][]float64
+	y    []float64
+	meta []Meta
+}
+
+// NewFrame creates an empty frame with the given column names. Names must
+// be unique.
+func NewFrame(cols []string) (*Frame, error) {
+	idx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		if _, dup := idx[c]; dup {
+			return nil, fmt.Errorf("dataset: duplicate column %q", c)
+		}
+		idx[c] = i
+	}
+	return &Frame{
+		cols: append([]string(nil), cols...),
+		idx:  idx,
+	}, nil
+}
+
+// MustNewFrame is NewFrame but panics on error; for construction from
+// compile-time column lists.
+func MustNewFrame(cols []string) *Frame {
+	f, err := NewFrame(cols)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Columns returns the column names (a copy).
+func (f *Frame) Columns() []string { return append([]string(nil), f.cols...) }
+
+// NumCols returns the number of feature columns.
+func (f *Frame) NumCols() int { return len(f.cols) }
+
+// Len returns the number of rows.
+func (f *Frame) Len() int { return len(f.rows) }
+
+// Append adds a job row. The row length must match the column count.
+func (f *Frame) Append(row []float64, y float64, meta Meta) error {
+	if len(row) != len(f.cols) {
+		return fmt.Errorf("dataset: row has %d values, frame has %d columns", len(row), len(f.cols))
+	}
+	f.rows = append(f.rows, append([]float64(nil), row...))
+	f.y = append(f.y, y)
+	f.meta = append(f.meta, meta)
+	return nil
+}
+
+// Row returns the i-th feature row (a view; do not mutate).
+func (f *Frame) Row(i int) []float64 { return f.rows[i] }
+
+// Rows returns all feature rows (views).
+func (f *Frame) Rows() [][]float64 { return f.rows }
+
+// Y returns the target slice (a view).
+func (f *Frame) Y() []float64 { return f.y }
+
+// Meta returns the i-th row's metadata.
+func (f *Frame) Meta(i int) Meta { return f.meta[i] }
+
+// ColumnIndex returns the index of a named column, or -1.
+func (f *Frame) ColumnIndex(name string) int {
+	if i, ok := f.idx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Column returns a copy of a named column's values.
+func (f *Frame) Column(name string) ([]float64, error) {
+	i := f.ColumnIndex(name)
+	if i < 0 {
+		return nil, fmt.Errorf("dataset: no column %q", name)
+	}
+	out := make([]float64, len(f.rows))
+	for r, row := range f.rows {
+		out[r] = row[i]
+	}
+	return out, nil
+}
+
+// Select returns a new frame containing only the named columns (metadata
+// and targets are shared structurally but copied slices). Selecting a
+// missing column is an error.
+func (f *Frame) Select(names []string) (*Frame, error) {
+	indices := make([]int, len(names))
+	for i, n := range names {
+		j := f.ColumnIndex(n)
+		if j < 0 {
+			return nil, fmt.Errorf("dataset: no column %q", n)
+		}
+		indices[i] = j
+	}
+	out := MustNewFrame(names)
+	out.rows = make([][]float64, len(f.rows))
+	for r, row := range f.rows {
+		nr := make([]float64, len(indices))
+		for k, j := range indices {
+			nr[k] = row[j]
+		}
+		out.rows[r] = nr
+	}
+	out.y = append([]float64(nil), f.y...)
+	out.meta = append([]Meta(nil), f.meta...)
+	return out, nil
+}
+
+// SelectPrefix returns a new frame with every column whose name starts with
+// one of the given prefixes, preserving column order.
+func (f *Frame) SelectPrefix(prefixes ...string) (*Frame, error) {
+	var names []string
+	for _, c := range f.cols {
+		for _, p := range prefixes {
+			if strings.HasPrefix(c, p) {
+				names = append(names, c)
+				break
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("dataset: no columns match prefixes %v", prefixes)
+	}
+	return f.Select(names)
+}
+
+// WithColumn returns a new frame with an extra column appended. The values
+// slice must have one entry per row.
+func (f *Frame) WithColumn(name string, values []float64) (*Frame, error) {
+	if len(values) != len(f.rows) {
+		return nil, fmt.Errorf("dataset: column %q has %d values for %d rows", name, len(values), len(f.rows))
+	}
+	if f.ColumnIndex(name) >= 0 {
+		return nil, fmt.Errorf("dataset: column %q already exists", name)
+	}
+	out := MustNewFrame(append(f.Columns(), name))
+	out.rows = make([][]float64, len(f.rows))
+	for r, row := range f.rows {
+		nr := make([]float64, len(row)+1)
+		copy(nr, row)
+		nr[len(row)] = values[r]
+		out.rows[r] = nr
+	}
+	out.y = append([]float64(nil), f.y...)
+	out.meta = append([]Meta(nil), f.meta...)
+	return out, nil
+}
+
+// Subset returns a new frame containing only the given row indices, in the
+// given order.
+func (f *Frame) Subset(indices []int) *Frame {
+	out := MustNewFrame(f.cols)
+	out.rows = make([][]float64, len(indices))
+	out.y = make([]float64, len(indices))
+	out.meta = make([]Meta, len(indices))
+	for k, i := range indices {
+		out.rows[k] = append([]float64(nil), f.rows[i]...)
+		out.y[k] = f.y[i]
+		out.meta[k] = f.meta[i]
+	}
+	return out
+}
+
+// SortByStart returns row indices ordered by job start time.
+func (f *Frame) SortByStart() []int {
+	idx := make([]int, len(f.rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return f.meta[idx[a]].Start < f.meta[idx[b]].Start
+	})
+	return idx
+}
+
+// TimeRange returns the earliest start and latest start across rows.
+// Returns (0, 0) for an empty frame.
+func (f *Frame) TimeRange() (lo, hi float64) {
+	if len(f.meta) == 0 {
+		return 0, 0
+	}
+	lo, hi = f.meta[0].Start, f.meta[0].Start
+	for _, m := range f.meta[1:] {
+		if m.Start < lo {
+			lo = m.Start
+		}
+		if m.Start > hi {
+			hi = m.Start
+		}
+	}
+	return lo, hi
+}

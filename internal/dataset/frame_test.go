@@ -1,0 +1,222 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"iotaxo/internal/rng"
+)
+
+func sampleFrame(t *testing.T) *Frame {
+	t.Helper()
+	f := MustNewFrame([]string{"posix_bytes", "posix_reads", "cobalt_nodes", "time_start"})
+	rows := []struct {
+		row  []float64
+		y    float64
+		meta Meta
+	}{
+		{[]float64{100, 5, 8, 10}, 50, Meta{JobID: 1, App: "IOR", Start: 10, End: 20, ConfigKey: 7}},
+		{[]float64{100, 5, 8, 30}, 55, Meta{JobID: 2, App: "IOR", Start: 30, End: 44, ConfigKey: 7}},
+		{[]float64{200, 9, 16, 50}, 80, Meta{JobID: 3, App: "HACC", Start: 50, End: 70, ConfigKey: 8}},
+		{[]float64{300, 2, 4, 70}, 20, Meta{JobID: 4, App: "QB", Start: 70, End: 75, ConfigKey: 9}},
+	}
+	for _, r := range rows {
+		if err := f.Append(r.row, r.y, r.meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestNewFrameRejectsDuplicateColumns(t *testing.T) {
+	if _, err := NewFrame([]string{"a", "a"}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestAppendWidthCheck(t *testing.T) {
+	f := MustNewFrame([]string{"a", "b"})
+	if err := f.Append([]float64{1}, 2, Meta{}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestColumnAccess(t *testing.T) {
+	f := sampleFrame(t)
+	col, err := f.Column("posix_reads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 5, 9, 2}
+	for i, v := range want {
+		if col[i] != v {
+			t.Errorf("col[%d] = %v, want %v", i, col[i], v)
+		}
+	}
+	if _, err := f.Column("nope"); err == nil {
+		t.Error("missing column did not error")
+	}
+	if f.ColumnIndex("cobalt_nodes") != 2 {
+		t.Error("ColumnIndex wrong")
+	}
+	if f.ColumnIndex("nope") != -1 {
+		t.Error("missing ColumnIndex should be -1")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	f := sampleFrame(t)
+	sub, err := f.Select([]string{"cobalt_nodes", "posix_bytes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumCols() != 2 || sub.Len() != 4 {
+		t.Fatalf("sub shape %dx%d", sub.Len(), sub.NumCols())
+	}
+	if sub.Row(2)[0] != 16 || sub.Row(2)[1] != 200 {
+		t.Errorf("selected row = %v", sub.Row(2))
+	}
+	// Targets and metadata must survive.
+	if sub.Y()[2] != 80 || sub.Meta(2).App != "HACC" {
+		t.Error("select dropped target/meta")
+	}
+	if _, err := f.Select([]string{"missing"}); err == nil {
+		t.Error("select of missing column did not error")
+	}
+}
+
+func TestSelectPrefix(t *testing.T) {
+	f := sampleFrame(t)
+	sub, err := f.SelectPrefix("posix_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumCols() != 2 {
+		t.Fatalf("prefix select got %v", sub.Columns())
+	}
+	for _, c := range sub.Columns() {
+		if !strings.HasPrefix(c, "posix_") {
+			t.Errorf("unexpected column %q", c)
+		}
+	}
+	if _, err := f.SelectPrefix("zzz_"); err == nil {
+		t.Error("no-match prefix did not error")
+	}
+}
+
+func TestWithColumn(t *testing.T) {
+	f := sampleFrame(t)
+	g, err := f.WithColumn("extra", []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCols() != 5 || g.Row(3)[4] != 4 {
+		t.Error("WithColumn wrong shape or value")
+	}
+	// Original untouched.
+	if f.NumCols() != 4 {
+		t.Error("WithColumn mutated the source frame")
+	}
+	if _, err := f.WithColumn("posix_bytes", []float64{0, 0, 0, 0}); err == nil {
+		t.Error("existing column name accepted")
+	}
+	if _, err := f.WithColumn("short", []float64{1}); err == nil {
+		t.Error("wrong-length column accepted")
+	}
+}
+
+func TestSubsetAndSort(t *testing.T) {
+	f := sampleFrame(t)
+	sub := f.Subset([]int{3, 0})
+	if sub.Len() != 2 || sub.Meta(0).JobID != 4 || sub.Meta(1).JobID != 1 {
+		t.Error("Subset order wrong")
+	}
+	// Mutating the subset must not affect the original.
+	sub.Row(0)[0] = -1
+	if f.Row(3)[0] == -1 {
+		t.Error("Subset shares row storage with source")
+	}
+	order := f.SortByStart()
+	for i := 1; i < len(order); i++ {
+		if f.Meta(order[i-1]).Start > f.Meta(order[i]).Start {
+			t.Error("SortByStart not sorted")
+		}
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	f := sampleFrame(t)
+	lo, hi := f.TimeRange()
+	if lo != 10 || hi != 70 {
+		t.Errorf("TimeRange = (%v, %v)", lo, hi)
+	}
+	empty := MustNewFrame([]string{"a"})
+	if lo, hi := empty.TimeRange(); lo != 0 || hi != 0 {
+		t.Error("empty TimeRange should be zeros")
+	}
+}
+
+func TestSplitByTime(t *testing.T) {
+	f := sampleFrame(t)
+	sp, err := f.SplitByTime(35, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Train.Len() != 2 || sp.Val.Len() != 1 || sp.Test.Len() != 1 {
+		t.Fatalf("split sizes %d/%d/%d", sp.Train.Len(), sp.Val.Len(), sp.Test.Len())
+	}
+	if sp.Test.Meta(0).JobID != 4 {
+		t.Error("test split holds wrong job")
+	}
+	if _, err := f.SplitByTime(60, 35); err == nil {
+		t.Error("inverted split bounds accepted")
+	}
+}
+
+func TestSplitByFraction(t *testing.T) {
+	f := sampleFrame(t)
+	sp, err := f.SplitByFraction(0.5, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Train.Len() != 2 || sp.Val.Len() != 1 || sp.Test.Len() != 1 {
+		t.Fatalf("split sizes %d/%d/%d", sp.Train.Len(), sp.Val.Len(), sp.Test.Len())
+	}
+	// Fraction split is time-ordered.
+	if sp.Train.Meta(0).JobID != 1 || sp.Test.Meta(0).JobID != 4 {
+		t.Error("fraction split not time ordered")
+	}
+	if _, err := f.SplitByFraction(0.9, 0.5); err == nil {
+		t.Error("fractions summing over 1 accepted")
+	}
+}
+
+func TestSplitRandomPartitions(t *testing.T) {
+	f := sampleFrame(t)
+	sp, err := f.SplitRandom(rng.New(1), 0.5, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := sp.Train.Len() + sp.Val.Len() + sp.Test.Len()
+	if total != f.Len() {
+		t.Fatalf("random split lost rows: %d != %d", total, f.Len())
+	}
+	seen := map[int]bool{}
+	for _, fr := range []*Frame{sp.Train, sp.Val, sp.Test} {
+		for i := 0; i < fr.Len(); i++ {
+			id := fr.Meta(i).JobID
+			if seen[id] {
+				t.Fatalf("job %d in two partitions", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestFilterRows(t *testing.T) {
+	f := sampleFrame(t)
+	idx := f.FilterRows(func(i int) bool { return f.Meta(i).App == "IOR" })
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Errorf("FilterRows = %v", idx)
+	}
+}

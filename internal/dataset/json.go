@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON serialization keeps everything the frame holds — including the
+// ground-truth decomposition, which the CSV format intentionally drops.
+// Use JSON for simulator snapshots consumed by validation studies, CSV for
+// the "production log" interchange the CLI tools model.
+
+// jsonJob is one serialized row.
+type jsonJob struct {
+	Features  []float64 `json:"x"`
+	Y         float64   `json:"y"`
+	JobID     int       `json:"job_id"`
+	App       string    `json:"app"`
+	Start     float64   `json:"start"`
+	End       float64   `json:"end"`
+	ConfigKey uint64    `json:"config_key,omitempty"`
+	OoD       bool      `json:"ood,omitempty"`
+	Truth     *Truth    `json:"truth,omitempty"`
+}
+
+// jsonFrame is the serialized form.
+type jsonFrame struct {
+	Version int       `json:"version"`
+	Columns []string  `json:"columns"`
+	Jobs    []jsonJob `json:"jobs"`
+}
+
+const jsonVersion = 1
+
+// WriteJSON serializes the frame with full metadata.
+func (f *Frame) WriteJSON(w io.Writer) error {
+	jf := jsonFrame{Version: jsonVersion, Columns: f.Columns()}
+	for i := 0; i < f.Len(); i++ {
+		m := f.Meta(i)
+		jf.Jobs = append(jf.Jobs, jsonJob{
+			Features:  f.Row(i),
+			Y:         f.Y()[i],
+			JobID:     m.JobID,
+			App:       m.App,
+			Start:     m.Start,
+			End:       m.End,
+			ConfigKey: m.ConfigKey,
+			OoD:       m.OoD,
+			Truth:     m.Truth,
+		})
+	}
+	return json.NewEncoder(w).Encode(jf)
+}
+
+// ReadJSON deserializes a frame written by WriteJSON.
+func ReadJSON(r io.Reader) (*Frame, error) {
+	var jf jsonFrame
+	if err := json.NewDecoder(r).Decode(&jf); err != nil {
+		return nil, fmt.Errorf("dataset: decoding JSON frame: %w", err)
+	}
+	if jf.Version != jsonVersion {
+		return nil, fmt.Errorf("dataset: unsupported frame version %d", jf.Version)
+	}
+	f, err := NewFrame(jf.Columns)
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jf.Jobs {
+		meta := Meta{
+			JobID:     j.JobID,
+			App:       j.App,
+			Start:     j.Start,
+			End:       j.End,
+			ConfigKey: j.ConfigKey,
+			OoD:       j.OoD,
+			Truth:     j.Truth,
+		}
+		if err := f.Append(j.Features, j.Y, meta); err != nil {
+			return nil, fmt.Errorf("dataset: JSON job %d: %w", i, err)
+		}
+	}
+	return f, nil
+}

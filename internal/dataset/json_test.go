@@ -1,0 +1,70 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTripKeepsTruth(t *testing.T) {
+	f := MustNewFrame([]string{"a", "b"})
+	truth := &Truth{Base: 10.5, Global: -0.02, Contention: -0.01, Noise: 0.005}
+	_ = f.Append([]float64{1, 2}, 3e9, Meta{
+		JobID: 7, App: "IOR", Start: 100, End: 200, ConfigKey: 42, OoD: true, Truth: truth,
+	})
+	_ = f.Append([]float64{4, 5}, 6e9, Meta{JobID: 8, App: "QB", Start: 300, End: 301})
+
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.NumCols() != 2 {
+		t.Fatalf("shape %dx%d", back.Len(), back.NumCols())
+	}
+	m := back.Meta(0)
+	if m.JobID != 7 || m.App != "IOR" || m.ConfigKey != 42 || !m.OoD {
+		t.Fatalf("meta lost: %+v", m)
+	}
+	if m.Truth == nil || *m.Truth != *truth {
+		t.Fatalf("truth lost: %+v", m.Truth)
+	}
+	if back.Meta(1).Truth != nil {
+		t.Error("absent truth invented")
+	}
+	if back.Row(1)[1] != 5 || back.Y()[1] != 6e9 {
+		t.Error("features/target corrupted")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "{oops",
+		"bad version": `{"version":99,"columns":["a"],"jobs":[]}`,
+		"dup columns": `{"version":1,"columns":["a","a"],"jobs":[]}`,
+		"ragged":      `{"version":1,"columns":["a","b"],"jobs":[{"x":[1],"y":2}]}`,
+	}
+	for name, s := range cases {
+		if _, err := ReadJSON(strings.NewReader(s)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJSONEmptyFrame(t *testing.T) {
+	f := MustNewFrame([]string{"a"})
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 || back.NumCols() != 1 {
+		t.Errorf("empty round trip shape %dx%d", back.Len(), back.NumCols())
+	}
+}

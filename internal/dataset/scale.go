@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scaler standardizes feature columns to zero mean and unit variance, with
+// an optional signed log1p pre-transform for heavy-tailed counters (byte
+// and operation counts span many orders of magnitude in Darshan logs).
+// Fit on the training split only; apply everywhere.
+type Scaler struct {
+	Log   bool
+	Mean  []float64
+	Std   []float64
+	ncols int
+}
+
+// FitScaler learns per-column statistics from f. If logTransform is true,
+// sign(x)*log1p(|x|) is applied before computing the statistics.
+func FitScaler(f *Frame, logTransform bool) *Scaler {
+	n := f.Len()
+	c := f.NumCols()
+	s := &Scaler{Log: logTransform, Mean: make([]float64, c), Std: make([]float64, c), ncols: c}
+	if n == 0 {
+		for j := range s.Std {
+			s.Std[j] = 1
+		}
+		return s
+	}
+	for j := 0; j < c; j++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += s.pre(f.Row(i)[j])
+		}
+		mean := sum / float64(n)
+		ss := 0.0
+		for i := 0; i < n; i++ {
+			d := s.pre(f.Row(i)[j]) - mean
+			ss += d * d
+		}
+		std := math.Sqrt(ss / float64(n))
+		if std < 1e-12 {
+			std = 1
+		}
+		s.Mean[j] = mean
+		s.Std[j] = std
+	}
+	return s
+}
+
+func (s *Scaler) pre(x float64) float64 {
+	if !s.Log {
+		return x
+	}
+	if x >= 0 {
+		return math.Log1p(x)
+	}
+	return -math.Log1p(-x)
+}
+
+// Transform returns the standardized feature matrix of f as row slices.
+func (s *Scaler) Transform(f *Frame) ([][]float64, error) {
+	if f.NumCols() != s.ncols {
+		return nil, fmt.Errorf("dataset: scaler fitted on %d cols, frame has %d", s.ncols, f.NumCols())
+	}
+	out := make([][]float64, f.Len())
+	for i := 0; i < f.Len(); i++ {
+		row := f.Row(i)
+		tr := make([]float64, len(row))
+		for j, v := range row {
+			tr[j] = (s.pre(v) - s.Mean[j]) / s.Std[j]
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// TransformRow standardizes a single row in place into dst (which must have
+// the fitted width).
+func (s *Scaler) TransformRow(row, dst []float64) error {
+	if len(row) != s.ncols || len(dst) != s.ncols {
+		return fmt.Errorf("dataset: scaler width mismatch")
+	}
+	for j, v := range row {
+		dst[j] = (s.pre(v) - s.Mean[j]) / s.Std[j]
+	}
+	return nil
+}
+
+// TargetTransform converts raw throughputs (bytes/s) into the log10 space
+// the models regress in, and back. Working in log space makes Eq. 6 the
+// natural L1/L2 training loss.
+type TargetTransform struct{}
+
+// Forward returns log10(y). y must be positive.
+func (TargetTransform) Forward(y float64) float64 { return math.Log10(y) }
+
+// Inverse returns 10^z.
+func (TargetTransform) Inverse(z float64) float64 { return math.Pow(10, z) }
+
+// ForwardAll maps a slice through Forward.
+func (t TargetTransform) ForwardAll(ys []float64) []float64 {
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		out[i] = t.Forward(y)
+	}
+	return out
+}
+
+// InverseAll maps a slice through Inverse.
+func (t TargetTransform) InverseAll(zs []float64) []float64 {
+	out := make([]float64, len(zs))
+	for i, z := range zs {
+		out[i] = t.Inverse(z)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"iotaxo/internal/rng"
+)
+
+func TestScalerStandardizes(t *testing.T) {
+	f := MustNewFrame([]string{"a", "b"})
+	_ = f.Append([]float64{1, 100}, 1, Meta{})
+	_ = f.Append([]float64{3, 300}, 1, Meta{})
+	_ = f.Append([]float64{5, 500}, 1, Meta{})
+	s := FitScaler(f, false)
+	rows, err := s.Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		sum, ss := 0.0, 0.0
+		for _, r := range rows {
+			sum += r[j]
+			ss += r[j] * r[j]
+		}
+		mean := sum / 3
+		if math.Abs(mean) > 1e-12 {
+			t.Errorf("col %d mean = %v", j, mean)
+		}
+		if variance := ss/3 - mean*mean; math.Abs(variance-1) > 1e-9 {
+			t.Errorf("col %d variance = %v", j, variance)
+		}
+	}
+}
+
+func TestScalerConstantColumn(t *testing.T) {
+	f := MustNewFrame([]string{"c"})
+	_ = f.Append([]float64{7}, 1, Meta{})
+	_ = f.Append([]float64{7}, 1, Meta{})
+	s := FitScaler(f, false)
+	rows, err := s.Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.IsNaN(r[0]) || math.IsInf(r[0], 0) {
+			t.Fatal("constant column produced non-finite value")
+		}
+	}
+}
+
+func TestScalerLogTransform(t *testing.T) {
+	f := MustNewFrame([]string{"bytes"})
+	_ = f.Append([]float64{0}, 1, Meta{})
+	_ = f.Append([]float64{1e12}, 1, Meta{})
+	s := FitScaler(f, true)
+	rows, err := s.Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With log1p the huge value should not dwarf the small one by 12 orders
+	// of magnitude after standardization.
+	if math.Abs(rows[0][0]) > 5 || math.Abs(rows[1][0]) > 5 {
+		t.Errorf("log-scaled rows too extreme: %v %v", rows[0][0], rows[1][0])
+	}
+	// Negative values keep their sign.
+	if s.pre(-10) >= 0 {
+		t.Error("signed log1p lost the sign")
+	}
+}
+
+func TestScalerWidthMismatch(t *testing.T) {
+	f := MustNewFrame([]string{"a"})
+	_ = f.Append([]float64{1}, 1, Meta{})
+	s := FitScaler(f, false)
+	g := MustNewFrame([]string{"a", "b"})
+	if _, err := s.Transform(g); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if err := s.TransformRow([]float64{1, 2}, []float64{0}); err == nil {
+		t.Error("TransformRow width mismatch accepted")
+	}
+}
+
+func TestScalerEmptyFrame(t *testing.T) {
+	f := MustNewFrame([]string{"a"})
+	s := FitScaler(f, false)
+	dst := make([]float64, 1)
+	if err := s.TransformRow([]float64{3}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(dst[0]) || math.IsInf(dst[0], 0) {
+		t.Error("empty-fit scaler produced non-finite output")
+	}
+}
+
+func TestTargetTransformRoundTrip(t *testing.T) {
+	tt := TargetTransform{}
+	ys := []float64{1, 10, 123456, 9.9e9}
+	zs := tt.ForwardAll(ys)
+	back := tt.InverseAll(zs)
+	for i := range ys {
+		if math.Abs(back[i]-ys[i]) > 1e-6*ys[i] {
+			t.Errorf("round trip %v -> %v", ys[i], back[i])
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := rng.New(4)
+	f := MustNewFrame([]string{"a", "b", "c"})
+	for i := 0; i < 25; i++ {
+		row := []float64{r.Norm(), r.Float64() * 1e9, float64(r.Intn(100))}
+		meta := Meta{
+			JobID:     i,
+			App:       []string{"IOR", "HACC", "pw.x"}[r.Intn(3)],
+			Start:     1500000000 + float64(i*3600),
+			End:       1500000000 + float64(i*3600+600),
+			ConfigKey: r.Uint64(),
+			OoD:       r.Bool(0.2),
+		}
+		if err := f.Append(row, r.LogNormal(8, 1), meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != f.Len() || g.NumCols() != f.NumCols() {
+		t.Fatalf("round trip shape %dx%d", g.Len(), g.NumCols())
+	}
+	for i := 0; i < f.Len(); i++ {
+		for j := range f.Row(i) {
+			if f.Row(i)[j] != g.Row(i)[j] {
+				t.Fatalf("row %d col %d: %v != %v", i, j, f.Row(i)[j], g.Row(i)[j])
+			}
+		}
+		if f.Y()[i] != g.Y()[i] {
+			t.Fatalf("target %d mismatch", i)
+		}
+		fm, gm := f.Meta(i), g.Meta(i)
+		if fm.JobID != gm.JobID || fm.App != gm.App || fm.Start != gm.Start ||
+			fm.End != gm.End || fm.ConfigKey != gm.ConfigKey || fm.OoD != gm.OoD {
+			t.Fatalf("meta %d mismatch: %+v vs %+v", i, fm, gm)
+		}
+	}
+}
+
+func TestReadCSVRejectsBadHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("header without meta columns accepted")
+	}
+}
+
+func TestReadCSVRejectsBadNumbers(t *testing.T) {
+	var buf bytes.Buffer
+	f := MustNewFrame([]string{"a"})
+	_ = f.Append([]float64{1}, 2, Meta{App: "x"})
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	broken := strings.Replace(buf.String(), "1,2", "oops,2", 1)
+	if _, err := ReadCSV(strings.NewReader(broken)); err == nil {
+		t.Error("bad float accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"fmt"
+
+	"iotaxo/internal/rng"
+)
+
+// Split bundles the three partitions every experiment uses. The paper
+// always splits by time: models are tuned on a validation set drawn from
+// the training period and finally evaluated on a held-out test set; the
+// "deployment" evaluation uses everything after a cut date.
+type Split struct {
+	Train *Frame
+	Val   *Frame
+	Test  *Frame
+}
+
+// SplitByTime partitions rows by job start time: jobs starting before
+// trainEnd go to train, before valEnd to validation, the rest to test.
+// Within each period the original order is preserved.
+func (f *Frame) SplitByTime(trainEnd, valEnd float64) (Split, error) {
+	if valEnd < trainEnd {
+		return Split{}, fmt.Errorf("dataset: valEnd %v before trainEnd %v", valEnd, trainEnd)
+	}
+	var trainIdx, valIdx, testIdx []int
+	for i := range f.rows {
+		switch start := f.meta[i].Start; {
+		case start < trainEnd:
+			trainIdx = append(trainIdx, i)
+		case start < valEnd:
+			valIdx = append(valIdx, i)
+		default:
+			testIdx = append(testIdx, i)
+		}
+	}
+	return Split{
+		Train: f.Subset(trainIdx),
+		Val:   f.Subset(valIdx),
+		Test:  f.Subset(testIdx),
+	}, nil
+}
+
+// SplitByFraction orders rows by start time and splits by fractional
+// counts: the first trainFrac of jobs, the next valFrac, and the remainder.
+// Fractions must be positive and sum to at most 1.
+func (f *Frame) SplitByFraction(trainFrac, valFrac float64) (Split, error) {
+	if trainFrac <= 0 || valFrac < 0 || trainFrac+valFrac > 1 {
+		return Split{}, fmt.Errorf("dataset: bad split fractions %v/%v", trainFrac, valFrac)
+	}
+	order := f.SortByStart()
+	n := len(order)
+	nTrain := int(trainFrac * float64(n))
+	nVal := int(valFrac * float64(n))
+	return Split{
+		Train: f.Subset(order[:nTrain]),
+		Val:   f.Subset(order[nTrain : nTrain+nVal]),
+		Test:  f.Subset(order[nTrain+nVal:]),
+	}, nil
+}
+
+// SplitRandom shuffles rows with the given stream and splits by fraction.
+// Used for in-distribution evaluations where time must NOT separate train
+// and test (e.g. estimating the pre-deployment error of Fig 1d's green
+// line).
+func (f *Frame) SplitRandom(r *rng.Rand, trainFrac, valFrac float64) (Split, error) {
+	if trainFrac <= 0 || valFrac < 0 || trainFrac+valFrac > 1 {
+		return Split{}, fmt.Errorf("dataset: bad split fractions %v/%v", trainFrac, valFrac)
+	}
+	order := r.Perm(len(f.rows))
+	n := len(order)
+	nTrain := int(trainFrac * float64(n))
+	nVal := int(valFrac * float64(n))
+	return Split{
+		Train: f.Subset(order[:nTrain]),
+		Val:   f.Subset(order[nTrain : nTrain+nVal]),
+		Test:  f.Subset(order[nTrain+nVal:]),
+	}, nil
+}
+
+// FilterRows returns the indices of rows for which keep returns true.
+func (f *Frame) FilterRows(keep func(i int) bool) []int {
+	var idx []int
+	for i := range f.rows {
+		if keep(i) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}

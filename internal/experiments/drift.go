@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/gbt"
+	"iotaxo/internal/report"
+	"iotaxo/internal/stats"
+)
+
+// DriftResult is the concept-drift extension (the adaptive-learning
+// direction of Madireddy et al., cited as [5]): a static model trained
+// once at deployment versus a model retrained on a sliding window, both
+// evaluated month by month over the post-deployment period.
+type DriftResult struct {
+	Months []MonthErr
+	// StaticPct / RetrainPct are the pooled post-deployment medians.
+	StaticPct  float64
+	RetrainPct float64
+	// Improvement = 1 - RetrainPct/StaticPct.
+	Improvement float64
+}
+
+// MonthErr is one month's evaluation.
+type MonthErr struct {
+	MonthStart float64
+	N          int
+	StaticPct  float64
+	RetrainPct float64
+}
+
+// Drift trains a static model on the first trainFrac of time, then walks
+// the remaining period month by month: the static model stays fixed while
+// the retrained model refits on everything seen so far before each month.
+func Drift(f *dataset.Frame, sc Scale, trainFrac float64) (*DriftResult, error) {
+	app, err := appFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := app.TimeRange()
+	cut := lo + trainFrac*(hi-lo)
+	tt := dataset.TargetTransform{}
+
+	trainIdx := app.FilterRows(func(i int) bool { return app.Meta(i).Start < cut })
+	if len(trainIdx) < 100 {
+		return nil, fmt.Errorf("experiments: only %d pre-cut jobs", len(trainIdx))
+	}
+	trainModel := func(idx []int) (*gbt.Model, error) {
+		sub := app.Subset(idx)
+		p := sc.TunedParams
+		p.Seed = sc.Seed
+		return gbt.Train(p, sub.Rows(), tt.ForwardAll(sub.Y()))
+	}
+	static, err := trainModel(trainIdx)
+	if err != nil {
+		return nil, err
+	}
+
+	const month = 30 * 86400
+	res := &DriftResult{}
+	var staticAll, retrainAll []float64
+	seen := append([]int(nil), trainIdx...)
+	for mStart := cut; mStart < hi; mStart += month {
+		mEnd := mStart + month
+		monthIdx := app.FilterRows(func(i int) bool {
+			s := app.Meta(i).Start
+			return s >= mStart && s < mEnd
+		})
+		if len(monthIdx) < 5 {
+			continue
+		}
+		// Retrain on everything seen before this month.
+		retrained, err := trainModel(seen)
+		if err != nil {
+			return nil, err
+		}
+		monthFrame := app.Subset(monthIdx)
+		sRep := core.Evaluate(static, monthFrame)
+		rRep := core.Evaluate(retrained, monthFrame)
+		res.Months = append(res.Months, MonthErr{
+			MonthStart: mStart,
+			N:          len(monthIdx),
+			StaticPct:  sRep.MedianAbsPct,
+			RetrainPct: rRep.MedianAbsPct,
+		})
+		staticAll = append(staticAll, sRep.AbsLogErrors...)
+		retrainAll = append(retrainAll, rRep.AbsLogErrors...)
+		seen = append(seen, monthIdx...)
+	}
+	if len(res.Months) == 0 {
+		return nil, fmt.Errorf("experiments: no post-deployment months with jobs")
+	}
+	res.StaticPct = stats.PctFromLog(stats.Median(staticAll))
+	res.RetrainPct = stats.PctFromLog(stats.Median(retrainAll))
+	if res.StaticPct > 0 {
+		res.Improvement = 1 - res.RetrainPct/res.StaticPct
+	}
+	return res, nil
+}
+
+// Render prints the month-by-month comparison.
+func (r *DriftResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Drift: static deployment model vs monthly retraining"); err != nil {
+		return err
+	}
+	tb := report.NewTable("month start (unix)", "jobs", "static", "retrained")
+	for _, m := range r.Months {
+		tb.AddRow(fmt.Sprintf("%.0f", m.MonthStart), m.N,
+			report.Pct(m.StaticPct), report.Pct(m.RetrainPct))
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"  pooled post-deployment: static %.2f%% vs retrained %.2f%% (%.1f%% improvement)\n",
+		100*r.StaticPct, 100*r.RetrainPct, 100*r.Improvement)
+	return err
+}
+
+// ImportanceResult reports which features a tuned model actually uses —
+// the interpretation angle of the group's earlier work (Sec. II cites
+// "HPC I/O Throughput Bottleneck Analysis with Explainable Local Models").
+type ImportanceResult struct {
+	// Features are the top features by split gain, with their shares.
+	Features []FeatureGain
+	// TimeShare is the start-time feature's share when present.
+	TimeShare float64
+}
+
+// FeatureGain is one feature's share of total split gain.
+type FeatureGain struct {
+	Name  string
+	Share float64
+}
+
+// Importance trains a tuned model on app features plus start time and
+// reports the gain distribution.
+func Importance(f *dataset.Frame, sc Scale, topN int) (*ImportanceResult, error) {
+	frame, err := withColumn(f, "cobalt_start_time")
+	if err != nil {
+		return nil, err
+	}
+	model, _, err := trainOn(sc, frame)
+	if err != nil {
+		return nil, err
+	}
+	imp := model.FeatureImportance()
+	cols := frame.Columns()
+	res := &ImportanceResult{}
+	type fg struct {
+		name  string
+		share float64
+	}
+	list := make([]fg, len(imp))
+	for i, s := range imp {
+		list[i] = fg{cols[i], s}
+		if cols[i] == "cobalt_start_time" {
+			res.TimeShare = s
+		}
+	}
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j].share > list[j-1].share; j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
+	if topN > len(list) {
+		topN = len(list)
+	}
+	for _, e := range list[:topN] {
+		res.Features = append(res.Features, FeatureGain{Name: e.name, Share: e.share})
+	}
+	return res, nil
+}
+
+// Render prints the top features.
+func (r *ImportanceResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Feature importance (split gain share) of the tuned app+time model"); err != nil {
+		return err
+	}
+	for _, fgain := range r.Features {
+		if _, err := fmt.Fprintf(w, "  %s\n", report.Bar(fgain.Name, fgain.Share, 40)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  start-time share: %.1f%%\n", 100*r.TimeShare)
+	return err
+}

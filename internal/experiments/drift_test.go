@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retrains a model per month")
+	}
+	theta, _ := frames(t)
+	res, err := Drift(theta, testScale(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Months) < 6 {
+		t.Fatalf("only %d post-deployment months", len(res.Months))
+	}
+	if res.StaticPct <= 0 || res.RetrainPct <= 0 {
+		t.Fatalf("pooled medians: %+v", res)
+	}
+	// Retraining sees more data (including novel apps) and fresher
+	// weather; pooled error must not be materially worse than static.
+	if res.RetrainPct > res.StaticPct*1.15 {
+		t.Errorf("retraining hurt: %.3f vs static %.3f", res.RetrainPct, res.StaticPct)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriftRejectsTinyTrainPeriod(t *testing.T) {
+	theta, _ := frames(t)
+	if _, err := Drift(theta, testScale(), 0.0001); err == nil {
+		t.Error("near-empty training period accepted")
+	}
+}
+
+func TestImportance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	theta, _ := frames(t)
+	res, err := Importance(theta, testScale(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Features) != 10 {
+		t.Fatalf("got %d features", len(res.Features))
+	}
+	// Shares are sorted and non-negative.
+	for i := 1; i < len(res.Features); i++ {
+		if res.Features[i].Share > res.Features[i-1].Share {
+			t.Error("importance not sorted")
+		}
+	}
+	// The start-time feature should matter on a weather-driven system
+	// (Fig 4's premise).
+	if res.TimeShare <= 0.005 {
+		t.Errorf("start-time share = %v, expected meaningful", res.TimeShare)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

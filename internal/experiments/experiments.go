@@ -1,0 +1,91 @@
+// Package experiments reproduces every figure and in-text table of the
+// paper's evaluation. Each experiment consumes a generated system frame,
+// runs the protocol of the corresponding paper section, and returns a
+// result that renders the same rows/series the paper reports.
+//
+// Absolute numbers come from the simulated substrate, not the authors'
+// testbeds; the assertions that matter are the shapes (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/gbt"
+	"iotaxo/internal/rng"
+	"iotaxo/internal/stats"
+)
+
+// Scale bundles the budgets shared by the experiments so tests, benches,
+// and the CLI can dial cost up or down.
+type Scale struct {
+	// Seed drives splits and model training.
+	Seed uint64
+	// TrainFrac/ValFrac for random splits.
+	TrainFrac, ValFrac float64
+	// TunedParams is the "good model" configuration used where the paper
+	// uses its grid-search winner.
+	TunedParams gbt.Params
+	// Workers bounds search parallelism.
+	Workers int
+}
+
+// DefaultScale returns budgets suitable for a workstation run.
+func DefaultScale() Scale {
+	tuned := gbt.DefaultParams()
+	tuned.NumTrees = 300
+	tuned.MaxDepth = 10
+	tuned.LearningRate = 0.06
+	tuned.MinChildWeight = 5
+	return Scale{
+		Seed:        1,
+		TrainFrac:   0.7,
+		ValFrac:     0.15,
+		TunedParams: tuned,
+	}
+}
+
+// trainOn fits a GBT with the scale's tuned parameters on a frame split.
+func trainOn(sc Scale, frame *dataset.Frame) (*gbt.Model, dataset.Split, error) {
+	split, err := frame.SplitRandom(rng.New(sc.Seed), sc.TrainFrac, sc.ValFrac)
+	if err != nil {
+		return nil, dataset.Split{}, err
+	}
+	tt := dataset.TargetTransform{}
+	p := sc.TunedParams
+	p.Seed = sc.Seed
+	m, err := gbt.Train(p, split.Train.Rows(), tt.ForwardAll(split.Train.Y()))
+	return m, split, err
+}
+
+// appFrame selects the Darshan-visible features.
+func appFrame(f *dataset.Frame) (*dataset.Frame, error) {
+	return f.SelectPrefix(core.AppFeaturePrefixes...)
+}
+
+// withColumn adds one column from the full frame to the app features.
+func withColumn(f *dataset.Frame, name string) (*dataset.Frame, error) {
+	app, err := appFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	col, err := f.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	return app.WithColumn(name, col)
+}
+
+// evalPcts formats an error report line.
+func evalLine(w io.Writer, label string, rep core.ErrorReport) error {
+	_, err := fmt.Fprintf(w, "  %-24s median=%6.2f%%  p90=%7.2f%%  n=%d\n",
+		label, 100*rep.MedianAbsPct, 100*rep.P90AbsPct, rep.N)
+	return err
+}
+
+// medianPct is shorthand used across experiments.
+func medianPct(errsLog []float64) float64 {
+	return stats.PctFromLog(stats.Median(errsLog))
+}

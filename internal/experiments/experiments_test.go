@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/gbt"
+	"iotaxo/internal/system"
+)
+
+var (
+	frameOnce  sync.Once
+	thetaFrame *dataset.Frame
+	coriFrame  *dataset.Frame
+	frameErr   error
+)
+
+// frames lazily generates small test datasets shared across tests.
+func frames(t *testing.T) (*dataset.Frame, *dataset.Frame) {
+	t.Helper()
+	frameOnce.Do(func() {
+		m, err := system.Generate(system.ThetaLike(6000))
+		if err != nil {
+			frameErr = err
+			return
+		}
+		if thetaFrame, err = m.Frame(); err != nil {
+			frameErr = err
+			return
+		}
+		mc, err := system.Generate(system.CoriLike(6000))
+		if err != nil {
+			frameErr = err
+			return
+		}
+		coriFrame, frameErr = mc.Frame()
+	})
+	if frameErr != nil {
+		t.Fatal(frameErr)
+	}
+	return thetaFrame, coriFrame
+}
+
+// testScale keeps model budgets small.
+func testScale() Scale {
+	sc := DefaultScale()
+	p := gbt.DefaultParams()
+	p.NumTrees = 120
+	p.MaxDepth = 9
+	p.LearningRate = 0.08
+	p.MinChildWeight = 5
+	sc.TunedParams = p
+	return sc
+}
+
+func render(t *testing.T, r interface{ Render(w *bytes.Buffer) error }) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestFig1a(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model grid")
+	}
+	theta, _ := frames(t)
+	res, err := Fig1a(theta, testScale(), []int{16, 64, 256}, []int{4, 8, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Err) != 3 || len(res.Err[0]) != 3 {
+		t.Fatalf("grid shape wrong")
+	}
+	for i := range res.Err {
+		for j := range res.Err[i] {
+			if res.Err[i][j] <= 0 || res.Err[i][j] > 5 {
+				t.Errorf("cell (%d,%d) = %v implausible", i, j, res.Err[i][j])
+			}
+		}
+	}
+	// The tuned optimum must beat the library-default corner.
+	if res.BestErr > res.DefaultErr {
+		t.Errorf("best %.4f worse than default corner %.4f", res.BestErr, res.DefaultErr)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 1a") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig1b(t *testing.T) {
+	theta, _ := frames(t)
+	res, err := Fig1b(theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) < 3 {
+		t.Fatalf("only %d headline apps had duplicates", len(res.Apps))
+	}
+	spread := map[string]float64{}
+	for _, a := range res.Apps {
+		spread[a.App] = a.P95 - a.P05
+		if a.Jobs < 2 {
+			t.Errorf("%s has %d duplicate jobs", a.App, a.Jobs)
+		}
+	}
+	// Writer is the most stable archetype; QB the most volatile (Fig 1b).
+	if wr, ok := spread["Writer"]; ok {
+		if qb, ok2 := spread["QB"]; ok2 && wr >= qb {
+			t.Errorf("Writer spread %.3f not below QB %.3f", wr, qb)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig1c(t *testing.T) {
+	theta, _ := frames(t)
+	res, err := Fig1c(theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPairs < 100 {
+		t.Fatalf("too few pairs: %d", res.TotalPairs)
+	}
+	// Same-instant pairs should spread less than month-apart pairs.
+	var zero, month *float64
+	for i := range res.Bins {
+		b := res.Bins[i]
+		if b.Pairs < 10 {
+			continue
+		}
+		s := b.P95 - b.P05
+		if b.Label == "0s-1s" {
+			zero = &s
+		}
+		if b.Label == "1e6s-1e7s" {
+			month = &s
+		}
+	}
+	if zero != nil && month != nil && *zero >= *month {
+		t.Errorf("dt=0 spread %.3f not below month spread %.3f", *zero, *month)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig1d(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains three models")
+	}
+	theta, _ := frames(t)
+	res, err := Fig1d(theta, testScale(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Weeks) < 20 {
+		t.Fatalf("only %d weeks", len(res.Weeks))
+	}
+	// The time-aware model's weekly bias should be flatter.
+	if res.MaxAbsWeeklyBiasTime >= res.MaxAbsWeeklyBiasApp {
+		t.Errorf("time model bias %.3f not below app-only %.3f",
+			res.MaxAbsWeeklyBiasTime, res.MaxAbsWeeklyBiasApp)
+	}
+	// Deployment degrades accuracy (Fig 1 column 3: green -> red).
+	if res.PostDeployPct <= res.PreDeployPct {
+		t.Errorf("post-deployment error %.3f not above pre %.3f",
+			res.PostDeployPct, res.PreDeployPct)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a NAS")
+	}
+	_, cori := frames(t)
+	res, err := Fig2(cori, testScale(), SmallNAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Generations) != SmallNAS().Generations {
+		t.Errorf("got %d generations", len(res.Generations))
+	}
+	if res.BestPct <= 0 || res.BestPct > 5 {
+		t.Errorf("best = %v", res.BestPct)
+	}
+	if res.FloorPct <= 0 {
+		t.Error("floor missing")
+	}
+	if res.Improvements < 1 {
+		t.Error("no improving generations")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains three models")
+	}
+	theta, _ := frames(t)
+	res, err := Fig3(theta, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	byName := map[string]Fig3Row{}
+	for _, r := range res.Rows {
+		byName[r.Features] = r
+	}
+	posix := byName["POSIX"]
+	mpi := byName["POSIX+MPI-IO"]
+	cobalt := byName["POSIX+Cobalt"]
+	// MPI-IO enrichment does not help (within 25% relative).
+	if mpi.TestPct < posix.TestPct*0.75 {
+		t.Errorf("MPI-IO enrichment helped too much: %.3f vs %.3f", mpi.TestPct, posix.TestPct)
+	}
+	// Cobalt timestamps memorize the training set...
+	if cobalt.TrainPct >= posix.TrainPct {
+		t.Errorf("Cobalt did not reduce train error: %.3f vs %.3f", cobalt.TrainPct, posix.TrainPct)
+	}
+	// ...but do not improve deployment error meaningfully.
+	if cobalt.TestPct < posix.TestPct*0.8 {
+		t.Errorf("Cobalt helped test error too much: %.3f vs %.3f", cobalt.TestPct, posix.TestPct)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several models")
+	}
+	theta, cori := frames(t)
+	// Theta: time helps; no LMT.
+	resT, err := Fig4(theta, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resT.TimePct >= resT.BaselinePct {
+		t.Errorf("theta: time feature did not help (%.3f vs %.3f)", resT.TimePct, resT.BaselinePct)
+	}
+	if resT.LMTPct != nil {
+		t.Error("theta should have no LMT model")
+	}
+	// Cori: LMT helps about as much as time (Fig 4's striking result).
+	resC, err := Fig4(cori, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resC.LMTPct == nil {
+		t.Fatal("cori missing LMT model")
+	}
+	if *resC.LMTPct >= resC.BaselinePct {
+		t.Errorf("cori: LMT did not help (%.3f vs %.3f)", *resC.LMTPct, resC.BaselinePct)
+	}
+	if resC.TimeDropFrac < 0.1 {
+		t.Errorf("cori: time drop only %.2f", resC.TimeDropFrac)
+	}
+	var buf bytes.Buffer
+	if err := resC.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a NAS + ensemble")
+	}
+	theta, _ := frames(t)
+	res, err := Fig5(theta, testScale(), SmallNAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AU dominates EU in-distribution (Fig 5's headline finding).
+	if res.Summary.MedianAU <= res.Summary.MedianEU {
+		t.Errorf("median AU %.4f not above median EU %.4f",
+			res.Summary.MedianAU, res.Summary.MedianEU)
+	}
+	if res.OoD.FracOoD > 0.25 {
+		t.Errorf("OoD fraction %.3f implausibly high", res.OoD.FracOoD)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig6(t *testing.T) {
+	_, cori := frames(t)
+	res, err := Fig6(cori)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Noise.Sets < 20 {
+		t.Fatalf("too few concurrent sets: %d", res.Noise.Sets)
+	}
+	// Small-set shape: mostly pairs.
+	if res.Noise.TwoJobSetFrac < 0.5 {
+		t.Errorf("two-job fraction = %v", res.Noise.TwoJobSetFrac)
+	}
+	if res.Noise.Bound95Pct <= res.Noise.Bound68Pct {
+		t.Error("bounds unordered")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "t-fit") {
+		t.Error("render missing t-fit line")
+	}
+}
+
+func TestT1T3(t *testing.T) {
+	theta, _ := frames(t)
+	t1, err := T1(theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Floor.Fraction < 0.1 || t1.Floor.Fraction > 0.5 {
+		t.Errorf("duplicate fraction = %v, want theta-like ~0.25", t1.Floor.Fraction)
+	}
+	t3, err := T3(theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theta-like noise: ±4-8% at 68%.
+	if t3.Noise.Bound68Pct < 0.03 || t3.Noise.Bound68Pct > 0.09 {
+		t.Errorf("68%% bound = %v, want ~0.057", t3.Noise.Bound68Pct)
+	}
+	var buf bytes.Buffer
+	if err := t1.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

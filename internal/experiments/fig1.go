@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/gbt"
+	"iotaxo/internal/hpo"
+	"iotaxo/internal/report"
+	"iotaxo/internal/rng"
+	"iotaxo/internal/stats"
+)
+
+// Fig1aResult is the hyperparameter heatmap of Fig 1(a): median test error
+// over a (trees x depth) grid.
+type Fig1aResult struct {
+	Trees  []int
+	Depths []int
+	// Err[i][j] is the validation median absolute error (fraction) for
+	// Trees[i] x Depths[j].
+	Err [][]float64
+	// BestTrees/BestDepth/BestErr locate the optimum (the paper finds 32
+	// trees of depth 21 at 10.51% on Theta, far from the 100x6 default).
+	BestTrees int
+	BestDepth int
+	BestErr   float64
+	// DefaultErr is the error at the library-default 100x6 corner
+	// (interpolated to the nearest grid point).
+	DefaultErr float64
+}
+
+// Fig1a sweeps the (trees, depth) grid with row/column subsampling fixed
+// at the best found values, as in Sec. VI.B.
+func Fig1a(f *dataset.Frame, sc Scale, trees, depths []int) (*Fig1aResult, error) {
+	app, err := appFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	split, err := app.SplitRandom(rng.New(sc.Seed), sc.TrainFrac, sc.ValFrac)
+	if err != nil {
+		return nil, err
+	}
+	tt := dataset.TargetTransform{}
+	trainY := tt.ForwardAll(split.Train.Y())
+
+	grid := hpo.GBTGrid(trees, depths, []float64{1}, []float64{1})
+	results, _, err := hpo.GridSearch(grid, func(p gbt.Params) (float64, error) {
+		p.Seed = sc.Seed
+		p.MinChildWeight = sc.TunedParams.MinChildWeight
+		m, err := gbt.Train(p, split.Train.Rows(), trainY)
+		if err != nil {
+			return 0, err
+		}
+		return core.Evaluate(m, split.Val).MedianAbsLog, nil
+	}, sc.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig1aResult{Trees: trees, Depths: depths, BestErr: math.Inf(1)}
+	res.Err = make([][]float64, len(trees))
+	for i := range res.Err {
+		res.Err[i] = make([]float64, len(depths))
+	}
+	for k, r := range results {
+		i := k / len(depths)
+		j := k % len(depths)
+		pct := stats.PctFromLog(r.Loss)
+		res.Err[i][j] = pct
+		if pct < res.BestErr {
+			res.BestErr = pct
+			res.BestTrees = trees[i]
+			res.BestDepth = depths[j]
+		}
+	}
+	// Nearest grid point to the 100x6 defaults.
+	di := nearestIdx(trees, 100)
+	dj := nearestIdx(depths, 6)
+	res.DefaultErr = res.Err[di][dj]
+	return res, nil
+}
+
+func nearestIdx(xs []int, v int) int {
+	best, bestD := 0, math.MaxInt
+	for i, x := range xs {
+		d := x - v
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Render draws the heatmap.
+func (r *Fig1aResult) Render(w io.Writer) error {
+	rows := make([]string, len(r.Trees))
+	for i, t := range r.Trees {
+		rows[i] = fmt.Sprintf("%d trees", t)
+	}
+	cols := make([]string, len(r.Depths))
+	for j, d := range r.Depths {
+		cols[j] = fmt.Sprintf("d=%d", d)
+	}
+	if err := report.Heatmap(w, "Fig 1a: GBT hyperparameter sweep (validation median abs error)", rows, cols, r.Err); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "  best: %d trees, depth %d -> %.2f%%; library default (100x6 corner) -> %.2f%%\n",
+		r.BestTrees, r.BestDepth, 100*r.BestErr, 100*r.DefaultErr)
+	return err
+}
+
+// Fig1bResult shows per-application duplicate spreads (Fig 1b): how much
+// identical runs of the same application differ.
+type Fig1bResult struct {
+	Apps []AppSpread
+}
+
+// AppSpread is one application's duplicate variability.
+type AppSpread struct {
+	App    string
+	Jobs   int
+	P05    float64 // signed relative error quantiles across duplicates
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+}
+
+// Fig1b computes duplicate deviations per application for the headline
+// apps (Writer, pw.x, HACC, IOR, QB), ordered by spread.
+func Fig1b(f *dataset.Frame) (*Fig1bResult, error) {
+	floor, err := core.EstimateDuplicateFloor(f)
+	if err != nil {
+		return nil, err
+	}
+	headline := []string{"Writer", "pw.x", "HACC", "IOR", "QB"}
+	res := &Fig1bResult{}
+	for _, app := range headline {
+		a, ok := floor.PerApp[app]
+		if !ok {
+			continue
+		}
+		devs := a.SignedDevs
+		pct := make([]float64, len(devs))
+		for i, d := range devs {
+			pct[i] = stats.SignedPctFromLog(-d) // deviation of the run vs set mean
+		}
+		res.Apps = append(res.Apps, AppSpread{
+			App:    app,
+			Jobs:   a.Jobs,
+			P05:    stats.Quantile(pct, 0.05),
+			P25:    stats.Quantile(pct, 0.25),
+			Median: stats.Quantile(pct, 0.5),
+			P75:    stats.Quantile(pct, 0.75),
+			P95:    stats.Quantile(pct, 0.95),
+		})
+	}
+	sort.Slice(res.Apps, func(i, j int) bool {
+		return res.Apps[i].P95-res.Apps[i].P05 < res.Apps[j].P95-res.Apps[j].P05
+	})
+	return res, nil
+}
+
+// Render prints the per-app spread table.
+func (r *Fig1bResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig 1b: I/O throughput spread across duplicate runs, per application"); err != nil {
+		return err
+	}
+	tb := report.NewTable("app", "dup jobs", "p5", "p25", "median", "p75", "p95")
+	for _, a := range r.Apps {
+		tb.AddRow(a.App, a.Jobs, report.Pct(a.P05), report.Pct(a.P25),
+			report.Pct(a.Median), report.Pct(a.P75), report.Pct(a.P95))
+	}
+	return tb.Render(w)
+}
+
+// Fig1cResult is the ∆t vs ∆throughput view of duplicate pairs (Fig 1c).
+type Fig1cResult struct {
+	Bins []core.DeltaTBin
+	// TotalPairs counts pairs analyzed.
+	TotalPairs int
+}
+
+// Fig1c buckets duplicate pairs by time gap.
+func Fig1c(f *dataset.Frame) (*Fig1cResult, error) {
+	pairs, err := core.DuplicatePairs(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig1cResult{Bins: core.DeltaTBins(pairs), TotalPairs: len(pairs)}, nil
+}
+
+// Render prints the per-decade quantiles.
+func (r *Fig1cResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig 1c: duplicate-pair throughput difference vs time gap (%d pairs)\n", r.TotalPairs); err != nil {
+		return err
+	}
+	tb := report.NewTable("dt range", "pairs", "p5", "p25", "median", "p75", "p95")
+	for _, b := range r.Bins {
+		if b.Pairs == 0 {
+			continue
+		}
+		tb.AddRow(b.Label, b.Pairs,
+			report.Pct(stats.SignedPctFromLog(-b.P05)),
+			report.Pct(stats.SignedPctFromLog(-b.P25)),
+			report.Pct(stats.SignedPctFromLog(-b.Median)),
+			report.Pct(stats.SignedPctFromLog(-b.P75)),
+			report.Pct(stats.SignedPctFromLog(-b.P95)))
+	}
+	return tb.Render(w)
+}
+
+// Fig1dResult holds the deployment-drift view (Fig 1, columns 2-3): weekly
+// signed error of an app-only model vs an app+time model, plus the
+// pre/post-deployment split of absolute error.
+type Fig1dResult struct {
+	Weeks []WeekErr
+	// PreDeployPct / PostDeployPct are the green/red medians of Fig 1's
+	// third column: error inside the training period vs after it.
+	PreDeployPct  float64
+	PostDeployPct float64
+	// MaxAbsWeeklyBiasApp / MaxAbsWeeklyBiasTime compare worst weekly bias
+	// of the two models (the time-aware model should be far flatter).
+	MaxAbsWeeklyBiasApp  float64
+	MaxAbsWeeklyBiasTime float64
+}
+
+// WeekErr is one week's median signed relative error for the two models.
+type WeekErr struct {
+	WeekStart float64
+	N         int
+	AppOnly   float64
+	AppTime   float64
+}
+
+// Fig1d trains an app-only and an app+time model on a random split over
+// the full period, then plots weekly median signed errors; it also trains
+// an app-only model on the pre-cut period only to measure deployment
+// degradation (train on [0, cutFrac), evaluate after).
+func Fig1d(f *dataset.Frame, sc Scale, cutFrac float64) (*Fig1dResult, error) {
+	app, err := appFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	timeFrame, err := withColumn(f, "cobalt_start_time")
+	if err != nil {
+		return nil, err
+	}
+	appModel, appSplit, err := trainOn(sc, app)
+	if err != nil {
+		return nil, err
+	}
+	timeModel, timeSplit, err := trainOn(sc, timeFrame)
+	if err != nil {
+		return nil, err
+	}
+
+	// Weekly signed errors on the aligned test splits.
+	type acc struct {
+		app, time []float64
+	}
+	weekly := map[int64]*acc{}
+	const week = 7 * 86400
+	for i := 0; i < appSplit.Test.Len(); i++ {
+		wk := int64(appSplit.Test.Meta(i).Start) / week
+		a := weekly[wk]
+		if a == nil {
+			a = &acc{}
+			weekly[wk] = a
+		}
+		eApp := math.Log10(appSplit.Test.Y()[i]) - appModel.Predict(appSplit.Test.Row(i))
+		eTime := math.Log10(timeSplit.Test.Y()[i]) - timeModel.Predict(timeSplit.Test.Row(i))
+		a.app = append(a.app, eApp)
+		a.time = append(a.time, eTime)
+	}
+	res := &Fig1dResult{}
+	var weeks []int64
+	for wk := range weekly {
+		weeks = append(weeks, wk)
+	}
+	sort.Slice(weeks, func(i, j int) bool { return weeks[i] < weeks[j] })
+	for _, wk := range weeks {
+		a := weekly[wk]
+		if len(a.app) < 3 {
+			continue
+		}
+		we := WeekErr{
+			WeekStart: float64(wk) * week,
+			N:         len(a.app),
+			AppOnly:   stats.SignedPctFromLog(-stats.Median(a.app)),
+			AppTime:   stats.SignedPctFromLog(-stats.Median(a.time)),
+		}
+		res.Weeks = append(res.Weeks, we)
+		if v := math.Abs(we.AppOnly); v > res.MaxAbsWeeklyBiasApp {
+			res.MaxAbsWeeklyBiasApp = v
+		}
+		if v := math.Abs(we.AppTime); v > res.MaxAbsWeeklyBiasTime {
+			res.MaxAbsWeeklyBiasTime = v
+		}
+	}
+
+	// Deployment view: train on the first cutFrac of time only.
+	lo, hi := f.TimeRange()
+	cut := lo + cutFrac*(hi-lo)
+	preIdx := app.FilterRows(func(i int) bool { return app.Meta(i).Start < cut })
+	postIdx := app.FilterRows(func(i int) bool { return app.Meta(i).Start >= cut })
+	pre := app.Subset(preIdx)
+	post := app.Subset(postIdx)
+	preSplit, err := pre.SplitRandom(rng.New(sc.Seed), sc.TrainFrac, 0)
+	if err != nil {
+		return nil, err
+	}
+	tt := dataset.TargetTransform{}
+	p := sc.TunedParams
+	p.Seed = sc.Seed
+	deployModel, err := gbt.Train(p, preSplit.Train.Rows(), tt.ForwardAll(preSplit.Train.Y()))
+	if err != nil {
+		return nil, err
+	}
+	res.PreDeployPct = core.Evaluate(deployModel, preSplit.Test).MedianAbsPct
+	res.PostDeployPct = core.Evaluate(deployModel, post).MedianAbsPct
+	return res, nil
+}
+
+// Render prints the weekly series and the deployment medians.
+func (r *Fig1dResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig 1d: weekly median signed error, app-only vs app+time model"); err != nil {
+		return err
+	}
+	tb := report.NewTable("week start (unix)", "jobs", "app-only", "app+time")
+	step := len(r.Weeks)/26 + 1 // print at most ~26 rows
+	for i := 0; i < len(r.Weeks); i += step {
+		we := r.Weeks[i]
+		tb.AddRow(fmt.Sprintf("%.0f", we.WeekStart), we.N,
+			report.Pct(we.AppOnly), report.Pct(we.AppTime))
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"  worst weekly bias: app-only %.1f%% vs app+time %.1f%%\n"+
+			"  deployment: median error %.2f%% inside the training period -> %.2f%% after deployment\n",
+		100*r.MaxAbsWeeklyBiasApp, 100*r.MaxAbsWeeklyBiasTime,
+		100*r.PreDeployPct, 100*r.PostDeployPct)
+	return err
+}

@@ -1,0 +1,422 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/gbt"
+	"iotaxo/internal/hpo"
+	"iotaxo/internal/nn"
+	"iotaxo/internal/report"
+	"iotaxo/internal/rng"
+	"iotaxo/internal/stats"
+	"iotaxo/internal/uq"
+)
+
+// NASBudget sets the Fig 2 / Fig 5 neural search cost.
+type NASBudget struct {
+	Population  int
+	Generations int
+	Epochs      int
+	Ensemble    int
+}
+
+// PaperNAS mirrors the paper's 10 generations of 30 networks.
+func PaperNAS() NASBudget {
+	return NASBudget{Population: 30, Generations: 10, Epochs: 30, Ensemble: 8}
+}
+
+// SmallNAS is a test/bench-sized budget.
+func SmallNAS() NASBudget {
+	return NASBudget{Population: 6, Generations: 3, Epochs: 8, Ensemble: 4}
+}
+
+// Fig2Result is the NAS progress scatter of Fig 2 with the estimated
+// lower bound (duplicate floor) overlaid.
+type Fig2Result struct {
+	Generations []hpo.GenerationStats
+	// All holds every evaluated network's (generation, test error).
+	All []NASPoint
+	// BestPct is the best network's test error; FloorPct the LT1 bound.
+	BestPct  float64
+	FloorPct float64
+	// Improvements counts generations that improved the best (the paper
+	// observes only 6 improvements across the run).
+	Improvements int
+}
+
+// NASPoint is one evaluated network.
+type NASPoint struct {
+	Generation int
+	ErrPct     float64
+}
+
+// nasContext holds the standardized splits shared by Fig 2 and Fig 5.
+type nasContext struct {
+	trainRows, valRows, testRows [][]float64
+	trainY                       []float64
+	split                        dataset.Split
+	scaler                       *dataset.Scaler
+}
+
+func newNASContext(f *dataset.Frame, sc Scale) (*nasContext, error) {
+	app, err := appFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	split, err := app.SplitRandom(rng.New(sc.Seed), sc.TrainFrac, sc.ValFrac)
+	if err != nil {
+		return nil, err
+	}
+	scaler := dataset.FitScaler(split.Train, true)
+	ctx := &nasContext{split: split, scaler: scaler}
+	if ctx.trainRows, err = scaler.Transform(split.Train); err != nil {
+		return nil, err
+	}
+	if ctx.valRows, err = scaler.Transform(split.Val); err != nil {
+		return nil, err
+	}
+	if ctx.testRows, err = scaler.Transform(split.Test); err != nil {
+		return nil, err
+	}
+	tt := dataset.TargetTransform{}
+	ctx.trainY = tt.ForwardAll(split.Train.Y())
+	return ctx, nil
+}
+
+// runNAS evolves networks scored on the validation split.
+func runNAS(ctx *nasContext, sc Scale, budget NASBudget) ([]hpo.Result[nn.Params], error) {
+	evCfg := hpo.EvolutionConfig{
+		Population:     budget.Population,
+		Generations:    budget.Generations,
+		TournamentSize: 3,
+		Workers:        sc.Workers,
+		Seed:           sc.Seed,
+	}
+	if evCfg.TournamentSize > evCfg.Population {
+		evCfg.TournamentSize = evCfg.Population
+	}
+	valY := ctx.split.Val.Y()
+	results, _, err := hpo.Evolve(evCfg, hpo.SampleNN, hpo.MutateNN,
+		func(p nn.Params) (float64, error) {
+			p.Epochs = budget.Epochs
+			m, err := nn.Train(p, ctx.trainRows, ctx.trainY)
+			if err != nil {
+				return 0, err
+			}
+			return core.EvaluatePredictions(m.PredictAll(ctx.valRows), valY).MedianAbsLog, nil
+		})
+	return results, err
+}
+
+// Fig2 runs the NAS and reports per-generation progress against the
+// duplicate floor.
+func Fig2(f *dataset.Frame, sc Scale, budget NASBudget) (*Fig2Result, error) {
+	ctx, err := newNASContext(f, sc)
+	if err != nil {
+		return nil, err
+	}
+	results, err := runNAS(ctx, sc, budget)
+	if err != nil {
+		return nil, err
+	}
+	floor, err := core.EstimateDuplicateFloor(f)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{
+		Generations: hpo.Generations(results),
+		FloorPct:    floor.FloorPct,
+		BestPct:     1e9,
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		pct := stats.PctFromLog(r.Loss)
+		res.All = append(res.All, NASPoint{Generation: r.Generation, ErrPct: pct})
+		if pct < res.BestPct {
+			res.BestPct = pct
+		}
+	}
+	for _, g := range res.Generations {
+		if g.Improved {
+			res.Improvements++
+		}
+	}
+	return res, nil
+}
+
+// Render prints per-generation best/median against the floor.
+func (r *Fig2Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig 2: neural architecture search vs estimated error lower bound"); err != nil {
+		return err
+	}
+	tb := report.NewTable("generation", "nets", "best", "median", "improved")
+	counts := map[int]int{}
+	for _, p := range r.All {
+		counts[p.Generation]++
+	}
+	for _, g := range r.Generations {
+		tb.AddRow(g.Generation, counts[g.Generation],
+			report.Pct(stats.PctFromLog(g.Best)), report.Pct(stats.PctFromLog(g.Median)),
+			fmt.Sprintf("%v", g.Improved))
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "  best network %.2f%% vs estimated lower bound %.2f%% (%d improving generations)\n",
+		100*r.BestPct, 100*r.FloorPct, r.Improvements)
+	return err
+}
+
+// Fig3Result compares feature enrichments that do NOT help (Sec. VI.C):
+// POSIX vs POSIX+MPI-IO vs POSIX+Cobalt, on train and test splits.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// Fig3Row is one (feature set, split) evaluation.
+type Fig3Row struct {
+	Features string
+	TrainPct float64
+	TestPct  float64
+}
+
+// Fig3 trains tuned models per feature set on a TIME split (deployment
+// protocol): timestamps memorize the training set but cannot help on
+// future jobs, reproducing the Cobalt overfit.
+func Fig3(f *dataset.Frame, sc Scale) (*Fig3Result, error) {
+	posix, err := f.SelectPrefix("posix_")
+	if err != nil {
+		return nil, err
+	}
+	posixMPI, err := f.SelectPrefix("posix_", "mpiio_")
+	if err != nil {
+		return nil, err
+	}
+	sets := []struct {
+		name  string
+		frame *dataset.Frame
+	}{
+		{"POSIX", posix},
+		{"POSIX+MPI-IO", posixMPI},
+	}
+	if hasCol(f, "cobalt_start_time") {
+		cobalt, err := f.SelectPrefix("posix_", "cobalt_")
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, struct {
+			name  string
+			frame *dataset.Frame
+		}{"POSIX+Cobalt", cobalt})
+	}
+	res := &Fig3Result{}
+	tt := dataset.TargetTransform{}
+	for _, s := range sets {
+		split, err := s.frame.SplitByFraction(sc.TrainFrac, sc.ValFrac)
+		if err != nil {
+			return nil, err
+		}
+		p := sc.TunedParams
+		p.Seed = sc.Seed
+		m, err := trainGBT(p, split.Train, tt)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig3Row{
+			Features: s.name,
+			TrainPct: core.Evaluate(m, split.Train).MedianAbsPct,
+			TestPct:  core.Evaluate(m, split.Test).MedianAbsPct,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the enrichment comparison.
+func (r *Fig3Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig 3: application-feature enrichment (time split; deployment protocol)"); err != nil {
+		return err
+	}
+	tb := report.NewTable("features", "train median", "test median")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Features, report.Pct(row.TrainPct), report.Pct(row.TestPct))
+	}
+	return tb.Render(w)
+}
+
+// Fig4Result compares system-side enrichments that DO help (Sec. VII):
+// POSIX vs POSIX+start-time vs POSIX+LMT (when collected), random split.
+type Fig4Result struct {
+	BaselinePct float64
+	TimePct     float64
+	// LMTPct is nil on systems without LMT logs.
+	LMTPct *float64
+	// TimeDropFrac = 1 - TimePct/BaselinePct (the paper: 40% on Cori).
+	TimeDropFrac float64
+}
+
+// Fig4 runs the global-system enrichment comparison.
+func Fig4(f *dataset.Frame, sc Scale) (*Fig4Result, error) {
+	app, err := appFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	base, baseSplit, err := trainOn(sc, app)
+	if err != nil {
+		return nil, err
+	}
+	timeFrame, err := withColumn(f, "cobalt_start_time")
+	if err != nil {
+		return nil, err
+	}
+	timeModel, timeSplit, err := trainOn(sc, timeFrame)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{
+		BaselinePct: core.Evaluate(base, baseSplit.Test).MedianAbsPct,
+		TimePct:     core.Evaluate(timeModel, timeSplit.Test).MedianAbsPct,
+	}
+	if res.BaselinePct > 0 {
+		res.TimeDropFrac = 1 - res.TimePct/res.BaselinePct
+	}
+	if hasCol(f, "lmt_num_osts") {
+		lmtFrame, err := f.SelectPrefix("posix_", "mpiio_", "lmt_")
+		if err != nil {
+			return nil, err
+		}
+		lmtModel, lmtSplit, err := trainOn(sc, lmtFrame)
+		if err != nil {
+			return nil, err
+		}
+		pct := core.Evaluate(lmtModel, lmtSplit.Test).MedianAbsPct
+		res.LMTPct = &pct
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r *Fig4Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig 4: system-state enrichment (random split; golden-model protocol)"); err != nil {
+		return err
+	}
+	tb := report.NewTable("features", "test median")
+	tb.AddRow("POSIX(+MPI-IO)", report.Pct(r.BaselinePct))
+	tb.AddRow("+ start time", report.Pct(r.TimePct))
+	if r.LMTPct != nil {
+		tb.AddRow("+ Lustre (LMT)", report.Pct(*r.LMTPct))
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "  start time removes %.1f%% of the baseline error\n", 100*r.TimeDropFrac)
+	return err
+}
+
+// Fig5Result is the uncertainty landscape of Fig 5 plus the in-text OoD
+// table (T2).
+type Fig5Result struct {
+	Summary core.UncertaintySummary
+	OoD     core.OoDReport
+	// Preds and AbsErrs are the raw ensemble outputs and aligned model
+	// errors, retained so T2 can re-run attributions without retraining.
+	Preds   []uq.Prediction
+	AbsErrs []float64
+	// EUShare50 is the EU below which 50% of error accumulates (the paper:
+	// ~0.04); AUShare50 the AU analogue (~0.25).
+	EUShare50 float64
+	AUShare50 float64
+}
+
+// Fig5 trains the NAS ensemble, decomposes AU/EU on the test split, and
+// attributes OoD error.
+func Fig5(f *dataset.Frame, sc Scale, budget NASBudget) (*Fig5Result, error) {
+	ctx, err := newNASContext(f, sc)
+	if err != nil {
+		return nil, err
+	}
+	results, err := runNAS(ctx, sc, budget)
+	if err != nil {
+		return nil, err
+	}
+	top := hpo.TopK(results, budget.Ensemble)
+	params := make([]nn.Params, len(top))
+	for i, r := range top {
+		p := r.Candidate
+		p.Epochs = budget.Epochs
+		params[i] = p
+	}
+	ens, err := uq.TrainEnsemble(params, ctx.trainRows, ctx.trainY, sc.Workers)
+	if err != nil {
+		return nil, err
+	}
+	preds := ens.PredictAll(ctx.testRows)
+	// Errors attributed are the ensemble's own (a good tuned model).
+	predLog := make([]float64, len(preds))
+	for i, p := range preds {
+		predLog[i] = p.Mean
+	}
+	rep := core.EvaluatePredictions(predLog, ctx.split.Test.Y())
+	truth := make([]bool, ctx.split.Test.Len())
+	for i := range truth {
+		truth[i] = ctx.split.Test.Meta(i).OoD
+	}
+	ood, err := core.AttributeOoD(preds, rep.AbsLogErrors, 0, truth)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{
+		Summary: core.SummarizeUncertainty(preds, rep.AbsLogErrors),
+		OoD:     ood,
+		Preds:   preds,
+		AbsErrs: rep.AbsLogErrors,
+	}
+	res.EUShare50 = shareCrossing(res.Summary.EU, res.Summary.ShareBelowEU, 0.5)
+	res.AUShare50 = shareCrossing(res.Summary.AU, res.Summary.ShareBelowAU, 0.5)
+	return res, nil
+}
+
+// shareCrossing finds the key at which the share function crosses target.
+func shareCrossing(keys []float64, share func(float64) float64, target float64) float64 {
+	lo, hi := stats.MinMax(keys)
+	if hi <= lo {
+		return hi
+	}
+	for i := 0; i <= 200; i++ {
+		x := lo + (hi-lo)*float64(i)/200
+		if share(x) >= target {
+			return x
+		}
+	}
+	return hi
+}
+
+// Render prints the marginals and the OoD attribution.
+func (r *Fig5Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig 5: aleatory vs epistemic uncertainty (deep ensemble)"); err != nil {
+		return err
+	}
+	if err := report.Histogram(w, "  aleatory sd (AU)", r.Summary.AU, 10, 30); err != nil {
+		return err
+	}
+	if err := report.Histogram(w, "  epistemic sd (EU)", r.Summary.EU, 10, 30); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"  median AU %.3f >> median EU %.3f; 50%% of error below EU=%.3f / AU=%.3f\n"+
+			"  T2 (OoD): threshold %.3f flags %.2f%% of jobs carrying %.2f%% of error (%.1fx average; precision %.2f recall %.2f)\n",
+		r.Summary.MedianAU, r.Summary.MedianEU, r.EUShare50, r.AUShare50,
+		r.OoD.Threshold, 100*r.OoD.FracOoD, 100*r.OoD.ErrShare, r.OoD.ErrRatio,
+		r.OoD.TruthPrecision, r.OoD.TruthRecall)
+	return err
+}
+
+func hasCol(f *dataset.Frame, name string) bool { return f.ColumnIndex(name) >= 0 }
+
+func trainGBT(p gbt.Params, train *dataset.Frame, tt dataset.TargetTransform) (*gbt.Model, error) {
+	return gbt.Train(p, train.Rows(), tt.ForwardAll(train.Y()))
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/dataset"
+)
+
+// TestCSVPipelinePreservesLitmusTests: a dataset written to CSV and read
+// back (the iodatagen -> iotaxo flow) must yield identical litmus-test
+// results — the CSV carries everything the taxonomy needs (features,
+// targets, app names, timing, config keys), even though ground truth is
+// dropped.
+func TestCSVPipelinePreservesLitmusTests(t *testing.T) {
+	theta, _ := frames(t)
+
+	var buf bytes.Buffer
+	if err := theta.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f1, err := core.EstimateDuplicateFloor(theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := core.EstimateDuplicateFloor(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Sets != f2.Sets || f1.DuplicateJobs != f2.DuplicateJobs {
+		t.Fatalf("duplicate structure changed: %d/%d vs %d/%d",
+			f1.Sets, f1.DuplicateJobs, f2.Sets, f2.DuplicateJobs)
+	}
+	if math.Abs(f1.FloorPct-f2.FloorPct) > 1e-12 {
+		t.Fatalf("floor changed: %v vs %v", f1.FloorPct, f2.FloorPct)
+	}
+
+	n1, err := core.EstimateNoise(theta, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := core.EstimateNoise(back, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.Sets != n2.Sets || math.Abs(n1.SigmaLog-n2.SigmaLog) > 1e-12 {
+		t.Fatalf("noise estimate changed: %+v vs %+v", n1, n2)
+	}
+
+	// Ground truth is intentionally absent after the round trip.
+	if back.Meta(0).Truth != nil {
+		t.Error("CSV round trip should not carry ground truth")
+	}
+}
+
+func TestModelZoo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains five model classes")
+	}
+	theta, _ := frames(t)
+	res, err := ModelZoo(theta, testScale(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	byName := map[string]ModelZooRow{}
+	for _, r := range res.Rows {
+		byName[r.Model] = r
+		if r.TestPct <= 0 || r.TestPct > 5 {
+			t.Errorf("%s test error implausible: %v", r.Model, r.TestPct)
+		}
+	}
+	// The linear model cannot represent the nonlinear fa; trees must beat
+	// it (the reason the literature moved to GBMs).
+	if byName["GBT (tuned)"].TestPct >= byName["ridge regression"].TestPct {
+		t.Errorf("tuned GBT %.3f not below ridge %.3f",
+			byName["GBT (tuned)"].TestPct, byName["ridge regression"].TestPct)
+	}
+	// Boosting beats a single tree.
+	if byName["GBT (tuned)"].TestPct >= byName["decision tree"].TestPct {
+		t.Errorf("tuned GBT %.3f not below single tree %.3f",
+			byName["GBT (tuned)"].TestPct, byName["decision tree"].TestPct)
+	}
+	// No model beats the floor by a wide margin.
+	for _, r := range res.Rows {
+		if r.TestPct < res.FloorPct*0.6 {
+			t.Errorf("%s at %.3f implausibly beats the floor %.3f", r.Model, r.TestPct, res.FloorPct)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

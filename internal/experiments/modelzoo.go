@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/gbt"
+	"iotaxo/internal/linreg"
+	"iotaxo/internal/nn"
+	"iotaxo/internal/report"
+	"iotaxo/internal/rng"
+)
+
+// ModelZooResult compares the model classes the I/O literature has tried
+// (Sec. VI.B cites linear regression, decision trees, gradient boosting,
+// and neural networks) against the duplicate floor on one dataset.
+type ModelZooResult struct {
+	Rows     []ModelZooRow
+	FloorPct float64
+}
+
+// ModelZooRow is one model class's result.
+type ModelZooRow struct {
+	Model    string
+	TrainPct float64
+	TestPct  float64
+}
+
+// ModelZoo trains one representative of each model class on the
+// application features.
+func ModelZoo(f *dataset.Frame, sc Scale, nnEpochs int) (*ModelZooResult, error) {
+	app, err := appFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	split, err := app.SplitRandom(rng.New(sc.Seed), sc.TrainFrac, sc.ValFrac)
+	if err != nil {
+		return nil, err
+	}
+	tt := dataset.TargetTransform{}
+	trainY := tt.ForwardAll(split.Train.Y())
+	floor, err := core.EstimateDuplicateFloor(f)
+	if err != nil {
+		return nil, err
+	}
+	res := &ModelZooResult{FloorPct: floor.FloorPct}
+
+	add := func(name string, m core.Regressor) {
+		res.Rows = append(res.Rows, ModelZooRow{
+			Model:    name,
+			TrainPct: core.Evaluate(m, split.Train).MedianAbsPct,
+			TestPct:  core.Evaluate(m, split.Test).MedianAbsPct,
+		})
+	}
+
+	// Ridge regression on standardized log features.
+	scaler := dataset.FitScaler(split.Train, true)
+	trainRows, err := scaler.Transform(split.Train)
+	if err != nil {
+		return nil, err
+	}
+	lr, err := linreg.Fit(trainRows, trainY, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	add("ridge regression", &scaledRegressor{scaler: scaler, inner: lr})
+
+	// Single deep decision tree (a one-tree GBT at full learning rate).
+	treeParams := gbt.TunedBase()
+	treeParams.NumTrees = 1
+	treeParams.LearningRate = 1
+	treeParams.MaxDepth = 16
+	treeParams.Seed = sc.Seed
+	tree, err := gbt.Train(treeParams, split.Train.Rows(), trainY)
+	if err != nil {
+		return nil, err
+	}
+	add("decision tree", tree)
+
+	// Gradient-boosted trees (library defaults, then tuned).
+	def, err := gbt.Train(gbt.DefaultParams(), split.Train.Rows(), trainY)
+	if err != nil {
+		return nil, err
+	}
+	add("GBT (defaults)", def)
+	p := sc.TunedParams
+	p.Seed = sc.Seed
+	tuned, err := gbt.Train(p, split.Train.Rows(), trainY)
+	if err != nil {
+		return nil, err
+	}
+	add("GBT (tuned)", tuned)
+
+	// Feedforward network on standardized features.
+	np := nn.DefaultParams()
+	np.Epochs = nnEpochs
+	np.Seed = sc.Seed
+	net, err := nn.Train(np, trainRows, trainY)
+	if err != nil {
+		return nil, err
+	}
+	add("neural network", &scaledRegressor{scaler: scaler, inner: net})
+
+	return res, nil
+}
+
+// scaledRegressor standardizes rows before delegating to a model trained
+// on standardized features.
+type scaledRegressor struct {
+	scaler *dataset.Scaler
+	inner  core.Regressor
+}
+
+func (s *scaledRegressor) Predict(row []float64) float64 {
+	dst := make([]float64, len(row))
+	if err := s.scaler.TransformRow(row, dst); err != nil {
+		panic(err)
+	}
+	return s.inner.Predict(dst)
+}
+
+func (s *scaledRegressor) PredictAll(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = s.Predict(r)
+	}
+	return out
+}
+
+// Render prints the comparison table.
+func (r *ModelZooResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Model zoo: model classes vs the duplicate floor"); err != nil {
+		return err
+	}
+	tb := report.NewTable("model", "train median", "test median")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Model, report.Pct(row.TrainPct), report.Pct(row.TestPct))
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "  estimated lower bound (duplicate floor): %s\n", report.Pct(r.FloorPct))
+	return err
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"iotaxo/internal/dataset"
+)
+
+func TestTruthCheckRecoversInjectedQuantities(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two models")
+	}
+	theta, _ := frames(t)
+	res, err := TruthCheck(theta, testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LT4's sigma should recover the injected noise scale within ~35%
+	// (the estimate also absorbs placement jitter, so mild overshoot is
+	// expected and correct).
+	if res.SigmaEstimated < res.SigmaTrue*0.7 || res.SigmaEstimated > res.SigmaTrue*1.6 {
+		t.Errorf("sigma estimate %.4f vs injected %.4f out of band",
+			res.SigmaEstimated, res.SigmaTrue)
+	}
+	// LT1's floor should track the true app-only error floor.
+	if res.FloorEstimated < res.FloorTrue*0.5 || res.FloorEstimated > res.FloorTrue*2 {
+		t.Errorf("floor estimate %.4f vs true %.4f out of band",
+			res.FloorEstimated, res.FloorTrue)
+	}
+	// The golden-model system estimate is positive when the injected
+	// system component is nontrivial.
+	if res.SystemTrue > 0.03 && res.SystemEstimated <= 0 {
+		t.Errorf("system estimate %.4f non-positive despite injected %.4f",
+			res.SystemEstimated, res.SystemTrue)
+	}
+	if res.OoDTruthFrac <= 0 || res.OoDTruthFrac > 0.05 {
+		t.Errorf("OoD truth share = %v", res.OoDTruthFrac)
+	}
+	if math.IsNaN(res.NoiseEstimated) || res.NoiseEstimated <= 0 {
+		t.Errorf("noise floor estimate = %v", res.NoiseEstimated)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruthCheckRejectsTruthlessFrames(t *testing.T) {
+	f := dataset.MustNewFrame([]string{"posix_a"})
+	_ = f.Append([]float64{1}, 1e9, dataset.Meta{App: "x"})
+	if _, err := TruthCheck(f, testScale()); err == nil {
+		t.Error("frame without ground truth accepted")
+	}
+}

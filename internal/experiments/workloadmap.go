@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"iotaxo/internal/cluster"
+	"iotaxo/internal/core"
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/report"
+	"iotaxo/internal/stats"
+)
+
+// WorkloadMapResult is the clustering extension (the Sec. II related-work
+// direction): a k-means map of the workload in application-feature space,
+// validated against the known application labels and cross-referenced with
+// a model's per-cluster error.
+type WorkloadMapResult struct {
+	K          int
+	Silhouette float64
+	Purity     float64
+	Clusters   []ClusterSummary
+}
+
+// ClusterSummary describes one workload cluster.
+type ClusterSummary struct {
+	ID          int
+	Size        int
+	MajorityApp string
+	MajorityPct float64
+	// MedianThroughput is the cluster's median measured throughput.
+	MedianThroughput float64
+	// ModelErrPct is a tuned model's median error on the cluster — the
+	// Gauge-style "which workloads does the model fail on" view.
+	ModelErrPct float64
+}
+
+// WorkloadMap clusters up to maxJobs jobs in standardized application-
+// feature space, choosing k from ks by silhouette, and summarizes each
+// cluster.
+func WorkloadMap(f *dataset.Frame, sc Scale, ks []int, maxJobs int) (*WorkloadMapResult, error) {
+	app, err := appFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	// Train a model for the per-cluster error column.
+	model, split, err := trainOn(sc, app)
+	if err != nil {
+		return nil, err
+	}
+	// Cluster the test split (bounded) so model errors are honest.
+	sub := split.Test
+	if sub.Len() > maxJobs {
+		idx := make([]int, maxJobs)
+		stride := sub.Len() / maxJobs
+		for i := range idx {
+			idx[i] = i * stride
+		}
+		sub = sub.Subset(idx)
+	}
+	scaler := dataset.FitScaler(sub, true)
+	rows, err := scaler.Transform(sub)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, sub.Len())
+	for i := range labels {
+		labels[i] = sub.Meta(i).App
+	}
+
+	bestK := 0
+	bestSil := -2.0
+	var bestRes *cluster.Result
+	for _, k := range ks {
+		if k > sub.Len() {
+			continue
+		}
+		res, err := cluster.KMeans(rows, k, sc.Seed, 100)
+		if err != nil {
+			return nil, err
+		}
+		sil := cluster.Silhouette(rows, res.Assign, k)
+		if sil > bestSil {
+			bestK, bestSil, bestRes = k, sil, res
+		}
+	}
+	if bestRes == nil {
+		return nil, fmt.Errorf("experiments: no feasible k among %v", ks)
+	}
+
+	out := &WorkloadMapResult{
+		K:          bestK,
+		Silhouette: bestSil,
+		Purity:     cluster.Purity(bestRes.Assign, labels, bestK),
+	}
+	rep := core.Evaluate(model, sub)
+	for c := 0; c < bestK; c++ {
+		var members []int
+		for i, a := range bestRes.Assign {
+			if a == c {
+				members = append(members, i)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		appCounts := map[string]int{}
+		var thr, errs []float64
+		for _, i := range members {
+			appCounts[labels[i]]++
+			thr = append(thr, sub.Y()[i])
+			errs = append(errs, rep.AbsLogErrors[i])
+		}
+		major, majorN := "", 0
+		for a, n := range appCounts {
+			if n > majorN {
+				major, majorN = a, n
+			}
+		}
+		out.Clusters = append(out.Clusters, ClusterSummary{
+			ID:               c,
+			Size:             len(members),
+			MajorityApp:      major,
+			MajorityPct:      float64(majorN) / float64(len(members)),
+			MedianThroughput: stats.Median(thr),
+			ModelErrPct:      stats.PctFromLog(stats.Median(errs)),
+		})
+	}
+	sort.Slice(out.Clusters, func(i, j int) bool {
+		return out.Clusters[i].Size > out.Clusters[j].Size
+	})
+	return out, nil
+}
+
+// Render prints the workload map.
+func (r *WorkloadMapResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Workload map: k=%d clusters (silhouette %.2f, app purity %.2f)\n",
+		r.K, r.Silhouette, r.Purity); err != nil {
+		return err
+	}
+	tb := report.NewTable("cluster", "jobs", "majority app", "purity", "median GB/s", "model err")
+	for _, c := range r.Clusters {
+		tb.AddRow(c.ID, c.Size,
+			c.MajorityApp, report.Pct(c.MajorityPct),
+			fmt.Sprintf("%.2f", c.MedianThroughput/1e9),
+			report.Pct(c.ModelErrPct))
+	}
+	return tb.Render(w)
+}

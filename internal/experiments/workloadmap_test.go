@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWorkloadMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and clusters")
+	}
+	theta, _ := frames(t)
+	res, err := WorkloadMap(theta, testScale(), []int{4, 6, 8}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 4 || res.K > 8 {
+		t.Errorf("chosen k = %d", res.K)
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("no clusters summarized")
+	}
+	// Archetype grammars are well-separated in feature space: clusters
+	// should align with applications far better than chance (47 apps, so
+	// chance purity is low).
+	if res.Purity < 0.4 {
+		t.Errorf("purity = %v, expected application-aligned clusters", res.Purity)
+	}
+	total := 0
+	for _, c := range res.Clusters {
+		total += c.Size
+		if c.MajorityApp == "" || c.MajorityPct <= 0 {
+			t.Errorf("cluster %d missing majority app", c.ID)
+		}
+		if c.ModelErrPct < 0 {
+			t.Errorf("cluster %d negative error", c.ID)
+		}
+	}
+	if total == 0 {
+		t.Fatal("clusters empty")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadMapInfeasibleK(t *testing.T) {
+	theta, _ := frames(t)
+	if _, err := WorkloadMap(theta, testScale(), []int{1 << 20}, 200); err == nil {
+		t.Error("k larger than sample accepted")
+	}
+}

@@ -1,0 +1,321 @@
+package gbt
+
+import (
+	"math"
+	"testing"
+
+	"iotaxo/internal/rng"
+	"iotaxo/internal/stats"
+)
+
+// synth generates rows from a nonlinear function with optional noise.
+func synth(n int, noise float64, seed uint64) ([][]float64, []float64) {
+	r := rng.New(seed)
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0 := r.Range(-2, 2)
+		x1 := r.Range(-2, 2)
+		x2 := r.Range(0, 1)
+		rows[i] = []float64{x0, x1, x2}
+		y[i] = math.Sin(x0)*2 + x1*x1 - 3*x2 + noise*r.Norm()
+	}
+	return rows, y
+}
+
+func rmse(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+func TestTrainFitsNonlinearFunction(t *testing.T) {
+	rows, y := synth(4000, 0, 1)
+	p := DefaultParams()
+	p.NumTrees = 200
+	p.MaxDepth = 6
+	m, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictAll(rows)
+	if e := rmse(pred, y); e > 0.15 {
+		t.Errorf("train RMSE = %v, want < 0.15", e)
+	}
+	// Held-out data from the same function.
+	testRows, testY := synth(1000, 0, 2)
+	if e := rmse(m.PredictAll(testRows), testY); e > 0.3 {
+		t.Errorf("test RMSE = %v, want < 0.3", e)
+	}
+}
+
+func TestMoreTreesReduceTrainError(t *testing.T) {
+	rows, y := synth(1500, 0.1, 3)
+	var prev float64 = math.Inf(1)
+	for _, n := range []int{5, 25, 100} {
+		p := DefaultParams()
+		p.NumTrees = n
+		m, err := Train(p, rows, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := rmse(m.PredictAll(rows), y)
+		if e > prev+1e-9 {
+			t.Errorf("train error rose from %v to %v at %d trees", prev, e, n)
+		}
+		prev = e
+	}
+}
+
+func TestConstantTargetGivesMean(t *testing.T) {
+	rows, _ := synth(200, 0, 4)
+	y := make([]float64, len(rows))
+	for i := range y {
+		y[i] = 7.5
+	}
+	m, err := Train(DefaultParams(), rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows[:20] {
+		if math.Abs(m.Predict(r)-7.5) > 1e-9 {
+			t.Fatalf("constant target mispredicted: %v", m.Predict(r))
+		}
+	}
+	// No splits should have been made.
+	imp := m.FeatureImportance()
+	for _, g := range imp {
+		if g != 0 {
+			t.Error("constant target produced splits")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rows, y := synth(800, 0.1, 5)
+	p := DefaultParams()
+	p.Subsample = 0.8
+	p.ColSample = 0.8
+	m1, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if m1.Predict(rows[i]) != m2.Predict(rows[i]) {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestFeatureImportanceFindsSignal(t *testing.T) {
+	// Only feature 1 carries signal; importance should concentrate there.
+	r := rng.New(6)
+	n := 2000
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		rows[i] = []float64{r.Norm(), r.Norm(), r.Norm()}
+		y[i] = 3 * rows[i][1]
+	}
+	m, err := Train(DefaultParams(), rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportance()
+	if imp[1] < 0.9 {
+		t.Errorf("importance of signal feature = %v, want > 0.9 (all: %v)", imp[1], imp)
+	}
+	total := imp[0] + imp[1] + imp[2]
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("importances sum to %v", total)
+	}
+}
+
+func TestDepthControlsCapacity(t *testing.T) {
+	// A depth-1 forest cannot represent x0 XOR-like interaction as well as
+	// a depth-4 forest.
+	r := rng.New(7)
+	n := 3000
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		a, b := r.Range(-1, 1), r.Range(-1, 1)
+		rows[i] = []float64{a, b}
+		if a*b > 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	shallow := DefaultParams()
+	shallow.MaxDepth = 1
+	shallow.NumTrees = 50
+	deep := DefaultParams()
+	deep.MaxDepth = 4
+	deep.NumTrees = 50
+	ms, err := Train(shallow, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := Train(deep, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := rmse(ms.PredictAll(rows), y)
+	ed := rmse(md.PredictAll(rows), y)
+	if ed >= es {
+		t.Errorf("deep error %v not below shallow %v on interaction data", ed, es)
+	}
+}
+
+func TestSubsampleStillLearns(t *testing.T) {
+	rows, y := synth(2000, 0.05, 8)
+	p := DefaultParams()
+	p.Subsample = 0.5
+	p.ColSample = 0.7
+	m, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictAll(rows)
+	base := make([]float64, len(y))
+	mu := stats.Mean(y)
+	for i := range base {
+		base[i] = mu
+	}
+	if rmse(pred, y) > 0.5*rmse(base, y) {
+		t.Error("subsampled model barely better than predicting the mean")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rows, y := synth(50, 0, 9)
+	bad := []Params{
+		{},
+		func() Params { p := DefaultParams(); p.NumTrees = 0; return p }(),
+		func() Params { p := DefaultParams(); p.MaxDepth = 0; return p }(),
+		func() Params { p := DefaultParams(); p.LearningRate = 0; return p }(),
+		func() Params { p := DefaultParams(); p.LearningRate = 1.5; return p }(),
+		func() Params { p := DefaultParams(); p.Subsample = 0; return p }(),
+		func() Params { p := DefaultParams(); p.ColSample = 1.2; return p }(),
+		func() Params { p := DefaultParams(); p.NumBins = 1; return p }(),
+		func() Params { p := DefaultParams(); p.NumBins = 500; return p }(),
+		func() Params { p := DefaultParams(); p.Lambda = -1; return p }(),
+	}
+	for i, p := range bad {
+		if _, err := Train(p, rows, y); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if _, err := Train(DefaultParams(), nil, nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train(DefaultParams(), rows, y[:10]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, err := Train(DefaultParams(), ragged, []float64{1, 2}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	yNaN := append([]float64(nil), y...)
+	yNaN[3] = math.NaN()
+	if _, err := Train(DefaultParams(), rows, yNaN); err == nil {
+		t.Error("NaN target accepted")
+	}
+}
+
+func TestPredictPanicsOnWidthMismatch(t *testing.T) {
+	rows, y := synth(100, 0, 10)
+	m, err := Train(DefaultParams(), rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch did not panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestDuplicateRowsPredictSetMean(t *testing.T) {
+	// The litmus-test premise (Sec. VI.A): with identical features and
+	// enough capacity, the best a model can do is the set mean. Check the
+	// model's prediction for a duplicated row approaches the mean of its
+	// targets rather than any single one.
+	r := rng.New(11)
+	var rows [][]float64
+	var y []float64
+	for set := 0; set < 30; set++ {
+		row := []float64{float64(set), r.Norm()}
+		for k := 0; k < 20; k++ {
+			rows = append(rows, row)
+			y = append(y, 10*float64(set)+r.NormAt(0, 1))
+		}
+	}
+	p := DefaultParams()
+	p.NumTrees = 400
+	p.LearningRate = 0.3
+	p.MinChildWeight = 1
+	m, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for set := 0; set < 30; set++ {
+		var setMean float64
+		for k := 0; k < 20; k++ {
+			setMean += y[set*20+k]
+		}
+		setMean /= 20
+		got := m.Predict(rows[set*20])
+		if math.Abs(got-setMean) > 0.5 {
+			t.Fatalf("set %d: prediction %v far from set mean %v", set, got, setMean)
+		}
+	}
+}
+
+func TestBinnerCodeEdges(t *testing.T) {
+	edges := []float64{1, 2, 3}
+	cases := []struct {
+		v    float64
+		want uint8
+	}{
+		{0.5, 0}, {1, 0}, {1.5, 1}, {2, 1}, {2.5, 2}, {3, 2}, {99, 3},
+	}
+	for _, c := range cases {
+		if got := code(edges, c.v); got != c.want {
+			t.Errorf("code(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func BenchmarkTrain5k(b *testing.B) {
+	rows, y := synth(5000, 0.1, 12)
+	p := DefaultParams()
+	p.NumTrees = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(p, rows, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	rows, y := synth(2000, 0.1, 13)
+	m, err := Train(DefaultParams(), rows, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(rows[i%len(rows)])
+	}
+}

@@ -1,0 +1,155 @@
+package gbt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iotaxo/internal/rng"
+)
+
+// TestMonotoneTransformInvariance checks a structural property of
+// histogram GBTs: because bins are quantile-based and splits are
+// thresholds, applying a strictly monotone transform to a feature column
+// (consistently across train and test) must not change any prediction.
+func TestMonotoneTransformInvariance(t *testing.T) {
+	rows, y := synth(600, 0.05, 21)
+	testRows, _ := synth(100, 0.05, 22)
+
+	transform := func(rs [][]float64) [][]float64 {
+		out := make([][]float64, len(rs))
+		for i, r := range rs {
+			out[i] = []float64{
+				math.Exp(r[0]),        // strictly increasing
+				r[1]*r[1]*r[1] + 2,    // strictly increasing (cubic)
+				math.Atan(r[2]) * 100, // strictly increasing
+			}
+		}
+		return out
+	}
+
+	p := DefaultParams()
+	p.NumTrees = 60
+	m1, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(p, transform(rows), y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans := transform(testRows)
+	for i := range testRows {
+		a := m1.Predict(testRows[i])
+		b := m2.Predict(trans[i])
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("row %d: prediction changed under monotone transform: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestPredictionWithinTargetRange: boosting interpolates; predictions stay
+// near the target range. Successive trees partition differently, so a
+// point can accumulate same-sign corrections and overshoot the extremes
+// slightly — the bound therefore allows a modest margin beyond the range
+// (exact containment only holds for a single tree).
+func TestPredictionWithinTargetRange(t *testing.T) {
+	r := rng.New(23)
+	err := quick.Check(func(seed uint32) bool {
+		rr := r.Split(uint64(seed))
+		n := 60 + rr.Intn(100)
+		rows := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range rows {
+			rows[i] = []float64{rr.Norm(), rr.Norm()}
+			y[i] = rr.NormAt(5, 3)
+			if y[i] < lo {
+				lo = y[i]
+			}
+			if y[i] > hi {
+				hi = y[i]
+			}
+		}
+		p := DefaultParams()
+		p.NumTrees = 30
+		m, err := Train(p, rows, y)
+		if err != nil {
+			return false
+		}
+		margin := 0.25 * (hi - lo)
+		for i := 0; i < 20; i++ {
+			probe := []float64{rr.NormAt(0, 5), rr.NormAt(0, 5)}
+			v := m.Predict(probe)
+			if v < lo-margin || v > hi+margin {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPermutingRowsDoesNotChangeFit: the binned training path must be
+// order-insensitive when no subsampling is involved.
+func TestPermutingRowsDoesNotChangeFit(t *testing.T) {
+	rows, y := synth(400, 0.1, 25)
+	p := DefaultParams()
+	p.NumTrees = 40
+	m1, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	perm := r.Perm(len(rows))
+	rows2 := make([][]float64, len(rows))
+	y2 := make([]float64, len(y))
+	for i, j := range perm {
+		rows2[i] = rows[j]
+		y2[i] = y[j]
+	}
+	m2, err := Train(p, rows2, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		a, b := m1.Predict(rows[i]), m2.Predict(rows[i])
+		if math.Abs(a-b) > 0.05 {
+			t.Fatalf("row order changed fit materially: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestLearningRateShrinkage: with a single tree, halving the learning rate
+// must halve the deviation from the training mean.
+func TestLearningRateShrinkage(t *testing.T) {
+	rows, y := synth(300, 0, 27)
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+
+	p1 := DefaultParams()
+	p1.NumTrees = 1
+	p1.LearningRate = 1.0
+	m1, err := Train(p1, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := p1
+	p2.LearningRate = 0.5
+	m2, err := Train(p2, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		d1 := m1.Predict(rows[i]) - mean
+		d2 := m2.Predict(rows[i]) - mean
+		if math.Abs(d2-d1/2) > 1e-9 {
+			t.Fatalf("shrinkage not linear at row %d: full=%v half=%v", i, d1, d2)
+		}
+	}
+}

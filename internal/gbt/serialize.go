@@ -1,0 +1,111 @@
+package gbt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Serialization: trained models round-trip through JSON so a tuned model
+// can be deployed separately from its training pipeline (the paper's
+// motivating use case is production deployment of I/O models).
+
+// jsonNode mirrors node with exported fields.
+type jsonNode struct {
+	Feature   int32   `json:"f"`
+	Threshold float64 `json:"t,omitempty"`
+	Left      int32   `json:"l,omitempty"`
+	Right     int32   `json:"r,omitempty"`
+	Value     float64 `json:"v,omitempty"`
+}
+
+// jsonModel is the serialized form.
+type jsonModel struct {
+	Version  int          `json:"version"`
+	Params   Params       `json:"params"`
+	Bias     float64      `json:"bias"`
+	NFeature int          `json:"n_feature"`
+	Gain     []float64    `json:"gain"`
+	Trees    [][]jsonNode `json:"trees"`
+}
+
+// serializationVersion guards format evolution.
+const serializationVersion = 1
+
+// WriteJSON serializes the model.
+func (m *Model) WriteJSON(w io.Writer) error {
+	jm := jsonModel{
+		Version:  serializationVersion,
+		Params:   m.params,
+		Bias:     m.bias,
+		NFeature: m.nFeature,
+		Gain:     m.gain,
+		Trees:    make([][]jsonNode, len(m.trees)),
+	}
+	for ti, tr := range m.trees {
+		nodes := make([]jsonNode, len(tr.nodes))
+		for ni, n := range tr.nodes {
+			nodes[ni] = jsonNode{
+				Feature:   n.feature,
+				Threshold: n.threshold,
+				Left:      n.left,
+				Right:     n.right,
+				Value:     n.value,
+			}
+		}
+		jm.Trees[ti] = nodes
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jm)
+}
+
+// ReadJSON deserializes a model written by WriteJSON, validating the tree
+// structure (indices in range, no leaves with children).
+func ReadJSON(r io.Reader) (*Model, error) {
+	var jm jsonModel
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jm); err != nil {
+		return nil, fmt.Errorf("gbt: decoding model: %w", err)
+	}
+	if jm.Version != serializationVersion {
+		return nil, fmt.Errorf("gbt: unsupported model version %d", jm.Version)
+	}
+	if jm.NFeature <= 0 {
+		return nil, fmt.Errorf("gbt: model has %d features", jm.NFeature)
+	}
+	m := &Model{
+		params:   jm.Params,
+		bias:     jm.Bias,
+		nFeature: jm.NFeature,
+		gain:     jm.Gain,
+	}
+	if m.gain == nil {
+		m.gain = make([]float64, jm.NFeature)
+	}
+	for ti, nodes := range jm.Trees {
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("gbt: tree %d empty", ti)
+		}
+		tr := tree{nodes: make([]node, len(nodes))}
+		for ni, jn := range nodes {
+			if jn.Feature >= 0 {
+				if int(jn.Feature) >= jm.NFeature {
+					return nil, fmt.Errorf("gbt: tree %d node %d: feature %d out of range", ti, ni, jn.Feature)
+				}
+				if jn.Left <= 0 || jn.Right <= 0 ||
+					int(jn.Left) >= len(nodes) || int(jn.Right) >= len(nodes) {
+					return nil, fmt.Errorf("gbt: tree %d node %d: child index out of range", ti, ni)
+				}
+			}
+			tr.nodes[ni] = node{
+				feature:   jn.Feature,
+				threshold: jn.Threshold,
+				left:      jn.Left,
+				right:     jn.Right,
+				value:     jn.Value,
+			}
+		}
+		m.trees = append(m.trees, tr)
+	}
+	return m, nil
+}

@@ -1,0 +1,85 @@
+package gbt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	rows, y := synth(800, 0.1, 31)
+	p := DefaultParams()
+	p.NumTrees = 40
+	p.Subsample = 0.8
+	m, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if got, want := back.Predict(rows[i]), m.Predict(rows[i]); got != want {
+			t.Fatalf("row %d: %v != %v after round trip", i, got, want)
+		}
+	}
+	// Params and importances survive.
+	if back.Params() != m.Params() {
+		t.Error("params changed")
+	}
+	bi, mi := back.FeatureImportance(), m.FeatureImportance()
+	for i := range mi {
+		if bi[i] != mi[i] {
+			t.Error("importance changed")
+		}
+	}
+}
+
+func TestReadJSONRejectsCorruption(t *testing.T) {
+	rows, y := synth(100, 0, 32)
+	m, err := Train(DefaultParams(), rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := map[string]string{
+		"garbage":      "{not json",
+		"bad version":  strings.Replace(good, `"version":1`, `"version":9`, 1),
+		"zero feature": strings.Replace(good, `"n_feature":3`, `"n_feature":0`, 1),
+	}
+	for name, s := range cases {
+		if _, err := ReadJSON(strings.NewReader(s)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadJSONValidatesTreeStructure(t *testing.T) {
+	// Hand-craft a model with an out-of-range child pointer.
+	bad := `{"version":1,"params":{"NumTrees":1,"MaxDepth":2,"LearningRate":0.1,` +
+		`"Subsample":1,"ColSample":1,"MinChildWeight":1,"Lambda":1,"NumBins":64,"Seed":1},` +
+		`"bias":0,"n_feature":2,"gain":[0,0],` +
+		`"trees":[[{"f":0,"t":0.5,"l":5,"r":2},{"f":-1,"v":1},{"f":-1,"v":2}]]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("out-of-range child accepted")
+	}
+	badFeat := strings.Replace(bad, `"f":0`, `"f":7`, 1)
+	badFeat = strings.Replace(badFeat, `"l":5`, `"l":1`, 1)
+	if _, err := ReadJSON(strings.NewReader(badFeat)); err == nil {
+		t.Error("out-of-range feature accepted")
+	}
+	empty := `{"version":1,"params":{},"bias":0,"n_feature":2,"trees":[[]]}`
+	if _, err := ReadJSON(strings.NewReader(empty)); err == nil {
+		t.Error("empty tree accepted")
+	}
+}

@@ -1,0 +1,311 @@
+package gbt
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// binner quantizes each feature into at most NumBins quantile bins. Codes
+// are stored column-major ([feature][row]) so per-node histogram passes
+// stream memory sequentially.
+type binner struct {
+	nRows int
+	nCols int
+	// codes[f][i] is the bin index of row i on feature f.
+	codes [][]uint8
+	// edges[f][b] is the raw upper edge of bin b (split threshold value).
+	edges [][]float64
+}
+
+func newBinner(rows [][]float64, numBins int) *binner {
+	n := len(rows)
+	nf := len(rows[0])
+	b := &binner{nRows: n, nCols: nf}
+	b.codes = make([][]uint8, nf)
+	b.edges = make([][]float64, nf)
+
+	// Quantile candidate edges from a (possibly strided) sorted copy.
+	sampleCap := 65536
+	stride := 1
+	if n > sampleCap {
+		stride = n / sampleCap
+	}
+	vals := make([]float64, 0, n/stride+1)
+	for f := 0; f < nf; f++ {
+		vals = vals[:0]
+		for i := 0; i < n; i += stride {
+			vals = append(vals, rows[i][f])
+		}
+		sort.Float64s(vals)
+		edges := quantileEdges(vals, numBins)
+		b.edges[f] = edges
+		codes := make([]uint8, n)
+		for i := 0; i < n; i++ {
+			codes[i] = code(edges, rows[i][f])
+		}
+		b.codes[f] = codes
+	}
+	return b
+}
+
+// quantileEdges returns up to numBins-1 distinct interior edges.
+func quantileEdges(sorted []float64, numBins int) []float64 {
+	edges := make([]float64, 0, numBins-1)
+	n := len(sorted)
+	for k := 1; k < numBins; k++ {
+		v := sorted[k*(n-1)/numBins]
+		if len(edges) == 0 || v > edges[len(edges)-1] {
+			edges = append(edges, v)
+		}
+	}
+	return edges
+}
+
+// code returns the bin index of v: the number of edges strictly below v.
+func code(edges []float64, v float64) uint8 {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if edges[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint8(lo)
+}
+
+// histogram cell: gradient sum and count per bin.
+type cell struct {
+	sum   float64
+	count float64
+}
+
+// treeBuilder grows regression trees on binned data. Tree growth is
+// depth-first so that at most O(depth) node histograms are alive at once,
+// and each split computes only the smaller child's histogram — the larger
+// child's is derived by subtracting from the parent's (the standard
+// LightGBM/XGBoost histogram-subtraction trick).
+type treeBuilder struct {
+	b     *binner
+	p     Params
+	gain  []float64
+	nBins int
+	// pool of nf*nBins histogram buffers for reuse across nodes/trees.
+	pool [][]cell
+}
+
+func newTreeBuilder(b *binner, p Params, gain []float64) *treeBuilder {
+	return &treeBuilder{b: b, p: p, gain: gain, nBins: p.NumBins}
+}
+
+func (tb *treeBuilder) getHist() []cell {
+	if n := len(tb.pool); n > 0 {
+		h := tb.pool[n-1]
+		tb.pool = tb.pool[:n-1]
+		for i := range h {
+			h[i] = cell{}
+		}
+		return h
+	}
+	return make([]cell, tb.b.nCols*tb.nBins)
+}
+
+func (tb *treeBuilder) putHist(h []cell) { tb.pool = append(tb.pool, h) }
+
+// computeHist accumulates gradient histograms for the sampled cols over the
+// given row indices. Features are processed in parallel for large nodes.
+func (tb *treeBuilder) computeHist(idx []int32, cols []int, resid []float64, hist []cell) {
+	accum := func(f int) {
+		h := hist[f*tb.nBins : (f+1)*tb.nBins]
+		codes := tb.b.codes[f]
+		for _, i := range idx {
+			c := codes[i]
+			h[c].sum += resid[i]
+			h[c].count++
+		}
+	}
+	const parallelWork = 1 << 17
+	if len(idx)*len(cols) >= parallelWork {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(cols) {
+			workers = len(cols)
+		}
+		if workers > 1 {
+			var wg sync.WaitGroup
+			chunk := (len(cols) + workers - 1) / workers
+			for lo := 0; lo < len(cols); lo += chunk {
+				hi := lo + chunk
+				if hi > len(cols) {
+					hi = len(cols)
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for k := lo; k < hi; k++ {
+						accum(cols[k])
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+			return
+		}
+	}
+	for _, f := range cols {
+		accum(f)
+	}
+}
+
+// subtractHist computes parent -= child in place for the sampled cols.
+func (tb *treeBuilder) subtractHist(parent, child []cell, cols []int) {
+	for _, f := range cols {
+		p := parent[f*tb.nBins : (f+1)*tb.nBins]
+		c := child[f*tb.nBins : (f+1)*tb.nBins]
+		for b := range p {
+			p[b].sum -= c[b].sum
+			p[b].count -= c[b].count
+		}
+	}
+}
+
+// buildNode tracks one frontier node during depth-first growth.
+type buildNode struct {
+	nodeID int32
+	lo, hi int // slice of the shared index buffer
+	depth  int
+	sum    float64
+	count  float64
+	hist   []cell
+}
+
+// build grows one tree over the sampled rows and columns against resid.
+func (tb *treeBuilder) build(rowIdx []int32, cols []int, resid []float64) tree {
+	tr := tree{}
+	idx := rowIdx
+
+	var rootSum float64
+	for _, i := range idx {
+		rootSum += resid[i]
+	}
+	rootHist := tb.getHist()
+	tb.computeHist(idx, cols, resid, rootHist)
+
+	tr.nodes = append(tr.nodes, node{feature: -1})
+	stack := []buildNode{{
+		nodeID: 0, lo: 0, hi: len(idx), depth: 0,
+		sum: rootSum, count: float64(len(idx)), hist: rootHist,
+	}}
+
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		leafValue := nd.sum / (nd.count + tb.p.Lambda)
+		makeLeaf := func() {
+			tr.nodes[nd.nodeID].value = leafValue
+			tb.putHist(nd.hist)
+		}
+		if nd.depth >= tb.p.MaxDepth || nd.count < 2*tb.p.MinChildWeight {
+			makeLeaf()
+			continue
+		}
+		feat, bin, gain := tb.bestSplit(nd.hist, cols, nd.sum, nd.count)
+		if feat < 0 {
+			makeLeaf()
+			continue
+		}
+		tb.gain[feat] += gain
+		threshold := tb.b.edges[feat][bin]
+
+		// Partition the node's index slice in place.
+		codes := tb.b.codes[feat]
+		lo, hi := nd.lo, nd.hi-1
+		for lo <= hi {
+			if codes[idx[lo]] <= uint8(bin) {
+				lo++
+			} else {
+				idx[lo], idx[hi] = idx[hi], idx[lo]
+				hi--
+			}
+		}
+		mid := lo
+		if mid == nd.lo || mid == nd.hi {
+			// Degenerate partition (all rows on one side): make a leaf.
+			makeLeaf()
+			continue
+		}
+
+		// Compute the smaller child's histogram fresh; the larger child
+		// reuses the parent buffer via subtraction.
+		leftIdx := idx[nd.lo:mid]
+		rightIdx := idx[mid:nd.hi]
+		var leftHist, rightHist []cell
+		if len(leftIdx) <= len(rightIdx) {
+			leftHist = tb.getHist()
+			tb.computeHist(leftIdx, cols, resid, leftHist)
+			tb.subtractHist(nd.hist, leftHist, cols)
+			rightHist = nd.hist
+		} else {
+			rightHist = tb.getHist()
+			tb.computeHist(rightIdx, cols, resid, rightHist)
+			tb.subtractHist(nd.hist, rightHist, cols)
+			leftHist = nd.hist
+		}
+
+		var leftSum float64
+		for _, i := range leftIdx {
+			leftSum += resid[i]
+		}
+		rightSum := nd.sum - leftSum
+
+		leftID := int32(len(tr.nodes))
+		tr.nodes = append(tr.nodes, node{feature: -1}, node{feature: -1})
+		n := &tr.nodes[nd.nodeID]
+		n.feature = int32(feat)
+		n.threshold = threshold
+		n.left = leftID
+		n.right = leftID + 1
+
+		stack = append(stack,
+			buildNode{nodeID: leftID, lo: nd.lo, hi: mid, depth: nd.depth + 1,
+				sum: leftSum, count: float64(len(leftIdx)), hist: leftHist},
+			buildNode{nodeID: leftID + 1, lo: mid, hi: nd.hi, depth: nd.depth + 1,
+				sum: rightSum, count: float64(len(rightIdx)), hist: rightHist},
+		)
+	}
+	return tr
+}
+
+// bestSplit scans the node histogram for the highest-gain split.
+func (tb *treeBuilder) bestSplit(hist []cell, cols []int, total, count float64) (feat, bin int, gain float64) {
+	lambda := tb.p.Lambda
+	minChild := tb.p.MinChildWeight
+	parentScore := total * total / (count + lambda)
+
+	bestFeat, bestBin := -1, 0
+	bestGain := 0.0
+	for _, f := range cols {
+		h := hist[f*tb.nBins : (f+1)*tb.nBins]
+		var ls, lc float64
+		nEdges := len(tb.b.edges[f])
+		for b := 0; b < nEdges; b++ {
+			ls += h[b].sum
+			lc += h[b].count
+			rc := count - lc
+			if lc < minChild || rc < minChild {
+				continue
+			}
+			rs := total - ls
+			g := ls*ls/(lc+lambda) + rs*rs/(rc+lambda) - parentScore
+			if g > bestGain || (g == bestGain && bestFeat >= 0 && f < bestFeat) {
+				bestFeat, bestBin, bestGain = f, b, g
+			}
+		}
+	}
+	if bestFeat < 0 || bestGain <= 1e-12 || math.IsNaN(bestGain) {
+		return -1, 0, 0
+	}
+	return bestFeat, bestBin, bestGain
+}

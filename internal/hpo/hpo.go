@@ -1,0 +1,285 @@
+// Package hpo implements the hyperparameter-optimization machinery of
+// Sec. VI.B: exhaustive grid search (the paper trains 8,046 XGBoost
+// configurations), random search, and an aging-evolution neural
+// architecture search in the style of AgEBO (populations per generation,
+// tournament selection, mutation). Candidate evaluation fans out over a
+// bounded worker pool.
+package hpo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"iotaxo/internal/rng"
+)
+
+// Result records one evaluated candidate.
+type Result[C any] struct {
+	Candidate C
+	Loss      float64
+	// Generation is the evolution generation (0 for grid/random search).
+	Generation int
+	Err        error
+}
+
+// Objective evaluates a candidate and returns its loss (lower is better).
+type Objective[C any] func(c C) (float64, error)
+
+// GridSearch evaluates every candidate on a pool of workers (GOMAXPROCS if
+// workers <= 0) and returns all results plus the best. Candidates whose
+// evaluation fails carry a non-nil Err and +Inf loss; GridSearch fails only
+// if every candidate fails.
+func GridSearch[C any](cands []C, eval Objective[C], workers int) ([]Result[C], Result[C], error) {
+	if len(cands) == 0 {
+		var zero Result[C]
+		return nil, zero, errors.New("hpo: no candidates")
+	}
+	results := make([]Result[C], len(cands))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				loss, err := eval(cands[i])
+				if err != nil {
+					results[i] = Result[C]{Candidate: cands[i], Loss: math.Inf(1), Err: err}
+					continue
+				}
+				results[i] = Result[C]{Candidate: cands[i], Loss: loss}
+			}
+		}()
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	best, err := bestOf(results)
+	return results, best, err
+}
+
+func bestOf[C any](results []Result[C]) (Result[C], error) {
+	best := Result[C]{Loss: math.Inf(1)}
+	found := false
+	for _, r := range results {
+		if r.Err == nil && r.Loss < best.Loss {
+			best = r
+			found = true
+		}
+	}
+	if !found {
+		return best, errors.New("hpo: every candidate evaluation failed")
+	}
+	return best, nil
+}
+
+// RandomSearch draws n candidates from sample and evaluates them like
+// GridSearch.
+func RandomSearch[C any](n int, seed uint64, sample func(r *rng.Rand) C, eval Objective[C], workers int) ([]Result[C], Result[C], error) {
+	if n <= 0 {
+		var zero Result[C]
+		return nil, zero, errors.New("hpo: n must be positive")
+	}
+	r := rng.New(seed)
+	cands := make([]C, n)
+	for i := range cands {
+		cands[i] = sample(r.Split(uint64(i)))
+	}
+	return GridSearch(cands, eval, workers)
+}
+
+// EvolutionConfig parameterizes the aging-evolution search.
+type EvolutionConfig struct {
+	// Population is the number of candidates per generation (the paper
+	// uses 30 networks per generation).
+	Population int
+	// Generations is the number of generations (the paper runs 10).
+	Generations int
+	// TournamentSize is how many live candidates are sampled when picking
+	// a parent; the fittest sampled candidate is mutated.
+	TournamentSize int
+	// Workers bounds evaluation parallelism (GOMAXPROCS if <= 0).
+	Workers int
+	// Seed drives sampling and mutation.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c EvolutionConfig) Validate() error {
+	switch {
+	case c.Population <= 1:
+		return fmt.Errorf("hpo: population %d too small", c.Population)
+	case c.Generations <= 0:
+		return fmt.Errorf("hpo: generations must be positive")
+	case c.TournamentSize <= 0 || c.TournamentSize > c.Population:
+		return fmt.Errorf("hpo: tournament size %d out of [1,%d]", c.TournamentSize, c.Population)
+	}
+	return nil
+}
+
+// Evolve runs aging evolution: generation 0 is randomly sampled; each
+// subsequent generation is produced by tournament-selecting parents from
+// the previous generation and mutating them. It returns every evaluated
+// candidate (annotated with its generation) and the best overall.
+func Evolve[C any](
+	cfg EvolutionConfig,
+	sample func(r *rng.Rand) C,
+	mutate func(c C, r *rng.Rand) C,
+	eval Objective[C],
+) ([]Result[C], Result[C], error) {
+	if err := cfg.Validate(); err != nil {
+		return zero2[C](err)
+	}
+	root := rng.New(cfg.Seed)
+
+	// Generation 0: random sample.
+	gen := make([]C, cfg.Population)
+	for i := range gen {
+		gen[i] = sample(root.Split(uint64(i) + 1))
+	}
+	var all []Result[C]
+	prev, _, err := GridSearch(gen, eval, cfg.Workers)
+	if err != nil {
+		return zero2[C](err)
+	}
+	all = append(all, prev...)
+
+	sel := root.Split(1 << 40)
+	for g := 1; g < cfg.Generations; g++ {
+		next := make([]C, cfg.Population)
+		// Elitism: the best candidate so far survives unchanged, so the
+		// per-generation best never regresses (matching the monotone
+		// best-so-far curve of Fig. 2).
+		if b, err := bestOf(prev); err == nil {
+			next[0] = b.Candidate
+		}
+		for i := 1; i < len(next); i++ {
+			parent := tournament(prev, cfg.TournamentSize, sel)
+			next[i] = mutate(parent.Candidate, sel.Split(uint64(g)<<20|uint64(i)))
+		}
+		results, _, err := GridSearch(next, eval, cfg.Workers)
+		if err != nil {
+			return zero2[C](err)
+		}
+		for i := range results {
+			results[i].Generation = g
+		}
+		all = append(all, results...)
+		prev = results
+	}
+	best, err := bestOf(all)
+	return all, best, err
+}
+
+func zero2[C any](err error) ([]Result[C], Result[C], error) {
+	var zero Result[C]
+	return nil, zero, err
+}
+
+// tournament picks k random members and returns the fittest.
+func tournament[C any](pop []Result[C], k int, r *rng.Rand) Result[C] {
+	best := pop[r.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[r.Intn(len(pop))]
+		if c.Loss < best.Loss {
+			best = c
+		}
+	}
+	return best
+}
+
+// GenerationStats summarizes one generation of an evolution run for the
+// Fig. 2 scatter: per-generation best/median loss and whether the global
+// best improved in that generation.
+type GenerationStats struct {
+	Generation int
+	Best       float64
+	Median     float64
+	Improved   bool
+}
+
+// Generations summarizes evolution results per generation.
+func Generations[C any](results []Result[C]) []GenerationStats {
+	byGen := map[int][]float64{}
+	maxGen := 0
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		byGen[r.Generation] = append(byGen[r.Generation], r.Loss)
+		if r.Generation > maxGen {
+			maxGen = r.Generation
+		}
+	}
+	var out []GenerationStats
+	globalBest := math.Inf(1)
+	for g := 0; g <= maxGen; g++ {
+		losses := byGen[g]
+		if len(losses) == 0 {
+			continue
+		}
+		best := math.Inf(1)
+		for _, l := range losses {
+			if l < best {
+				best = l
+			}
+		}
+		improved := best < globalBest
+		if improved {
+			globalBest = best
+		}
+		out = append(out, GenerationStats{
+			Generation: g,
+			Best:       best,
+			Median:     median(losses),
+			Improved:   improved,
+		})
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// TopK returns the k best successful results, ordered by loss.
+func TopK[C any](results []Result[C], k int) []Result[C] {
+	ok := make([]Result[C], 0, len(results))
+	for _, r := range results {
+		if r.Err == nil && !math.IsInf(r.Loss, 1) {
+			ok = append(ok, r)
+		}
+	}
+	// Insertion sort by loss (result sets are small).
+	for i := 1; i < len(ok); i++ {
+		for j := i; j > 0 && ok[j].Loss < ok[j-1].Loss; j-- {
+			ok[j], ok[j-1] = ok[j-1], ok[j]
+		}
+	}
+	if k > len(ok) {
+		k = len(ok)
+	}
+	return ok[:k]
+}

@@ -1,0 +1,223 @@
+package hpo
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"iotaxo/internal/nn"
+	"iotaxo/internal/rng"
+)
+
+func TestGridSearchFindsMinimum(t *testing.T) {
+	cands := []float64{5, 3, 8, -2, 7}
+	results, best, err := GridSearch(cands, func(c float64) (float64, error) {
+		return c * c, nil
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cands) {
+		t.Fatalf("got %d results", len(results))
+	}
+	if best.Candidate != -2 || best.Loss != 4 {
+		t.Errorf("best = %+v", best)
+	}
+	// Results stay aligned with candidates.
+	for i, r := range results {
+		if r.Candidate != cands[i] {
+			t.Errorf("result %d misaligned", i)
+		}
+	}
+}
+
+func TestGridSearchParallelism(t *testing.T) {
+	var inFlight, peak int64
+	n := 50
+	cands := make([]int, n)
+	_, _, err := GridSearch(cands, func(int) (float64, error) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+				break
+			}
+		}
+		atomic.AddInt64(&inFlight, -1)
+		return 0, nil
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&peak) > 4 {
+		t.Errorf("worker bound violated: peak %d", peak)
+	}
+}
+
+func TestGridSearchPartialFailure(t *testing.T) {
+	cands := []int{1, 2, 3}
+	results, best, err := GridSearch(cands, func(c int) (float64, error) {
+		if c == 2 {
+			return 0, errors.New("boom")
+		}
+		return float64(c), nil
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Candidate != 1 {
+		t.Errorf("best = %+v", best)
+	}
+	if results[1].Err == nil || !math.IsInf(results[1].Loss, 1) {
+		t.Error("failed candidate not marked")
+	}
+}
+
+func TestGridSearchAllFail(t *testing.T) {
+	_, _, err := GridSearch([]int{1, 2}, func(int) (float64, error) {
+		return 0, errors.New("nope")
+	}, 1)
+	if err == nil {
+		t.Error("all-failure grid search did not error")
+	}
+	if _, _, err := GridSearch(nil, func(int) (float64, error) { return 0, nil }, 1); err == nil {
+		t.Error("empty candidate list accepted")
+	}
+}
+
+func TestRandomSearch(t *testing.T) {
+	results, best, err := RandomSearch(40, 7, func(r *rng.Rand) float64 {
+		return r.Range(-10, 10)
+	}, func(c float64) (float64, error) {
+		return math.Abs(c - 3), nil
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 40 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if best.Loss > 2 {
+		t.Errorf("random search best loss %v too high", best.Loss)
+	}
+}
+
+func TestRandomSearchDeterministic(t *testing.T) {
+	sample := func(r *rng.Rand) float64 { return r.Float64() }
+	eval := func(c float64) (float64, error) { return c, nil }
+	_, b1, err := RandomSearch(10, 3, sample, eval, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b2, err := RandomSearch(10, 3, sample, eval, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Candidate != b2.Candidate {
+		t.Error("random search depends on worker count")
+	}
+}
+
+func TestEvolveImproves(t *testing.T) {
+	// Minimize (x-5)^2 over mutations of a scalar gene.
+	cfg := EvolutionConfig{Population: 20, Generations: 8, TournamentSize: 3, Seed: 11}
+	sample := func(r *rng.Rand) float64 { return r.Range(-20, 20) }
+	mutate := func(c float64, r *rng.Rand) float64 { return c + r.NormAt(0, 1) }
+	eval := func(c float64) (float64, error) { return (c - 5) * (c - 5), nil }
+	all, best, err := Evolve(cfg, sample, mutate, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != cfg.Population*cfg.Generations {
+		t.Fatalf("evaluated %d candidates, want %d", len(all), cfg.Population*cfg.Generations)
+	}
+	if best.Loss > 0.5 {
+		t.Errorf("evolution best loss = %v", best.Loss)
+	}
+	gens := Generations(all)
+	if len(gens) != cfg.Generations {
+		t.Fatalf("got %d generation stats", len(gens))
+	}
+	if !gens[0].Improved {
+		t.Error("generation 0 must set the initial best")
+	}
+	if gens[len(gens)-1].Best > gens[0].Best {
+		t.Error("evolution got worse over generations")
+	}
+}
+
+func TestEvolveValidation(t *testing.T) {
+	bad := []EvolutionConfig{
+		{},
+		{Population: 1, Generations: 2, TournamentSize: 1},
+		{Population: 10, Generations: 0, TournamentSize: 3},
+		{Population: 10, Generations: 2, TournamentSize: 11},
+	}
+	sample := func(r *rng.Rand) int { return 0 }
+	mutate := func(c int, r *rng.Rand) int { return c }
+	eval := func(int) (float64, error) { return 0, nil }
+	for i, cfg := range bad {
+		if _, _, err := Evolve(cfg, sample, mutate, eval); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	results := []Result[int]{
+		{Candidate: 1, Loss: 3},
+		{Candidate: 2, Loss: 1},
+		{Candidate: 3, Loss: 0, Err: errors.New("failed")},
+		{Candidate: 4, Loss: 2},
+	}
+	top := TopK(results, 2)
+	if len(top) != 2 || top[0].Candidate != 2 || top[1].Candidate != 4 {
+		t.Errorf("TopK = %+v", top)
+	}
+	if got := TopK(results, 10); len(got) != 3 {
+		t.Errorf("TopK overflow = %d results", len(got))
+	}
+}
+
+func TestGBTGrid(t *testing.T) {
+	grid := GBTGrid([]int{4, 16}, []int{6, 12, 18}, []float64{0.8, 1}, []float64{1})
+	if len(grid) != 12 {
+		t.Fatalf("grid size = %d, want 12", len(grid))
+	}
+	for _, p := range grid {
+		if err := p.Validate(); err != nil {
+			t.Errorf("grid point invalid: %v", err)
+		}
+	}
+}
+
+func TestSampleAndMutateNNValid(t *testing.T) {
+	r := rng.New(5)
+	for i := 0; i < 200; i++ {
+		p := SampleNN(r.Split(uint64(i)))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("sampled params invalid: %v", err)
+		}
+		q := MutateNN(p, r.Split(uint64(i)+1000))
+		if err := q.Validate(); err != nil {
+			t.Fatalf("mutated params invalid: %v", err)
+		}
+		if q.Seed == p.Seed {
+			t.Error("mutation kept the seed")
+		}
+	}
+}
+
+func TestMutateNNDoesNotAliasHidden(t *testing.T) {
+	p := nn.DefaultParams()
+	p.Hidden = []int{64, 64}
+	r := rng.New(6)
+	for i := 0; i < 50; i++ {
+		q := MutateNN(p, r.Split(uint64(i)))
+		q.Hidden[0] = -999
+		if p.Hidden[0] == -999 {
+			t.Fatal("mutation aliases the parent's Hidden slice")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package hpo
+
+import (
+	"iotaxo/internal/gbt"
+	"iotaxo/internal/nn"
+	"iotaxo/internal/rng"
+)
+
+// GBTGrid enumerates the four-dimensional hyperparameter grid of Sec. VI.B:
+// tree counts, depths, and the row/column fractions revealed to each tree.
+// Candidates start from the regularized TunedBase (the searches' operating
+// regime); every combination is returned, and the caller picks scale by
+// choosing the axis values (the paper's full grid has 8,046 points).
+func GBTGrid(trees, depths []int, subsamples, colsamples []float64) []gbt.Params {
+	var out []gbt.Params
+	for _, t := range trees {
+		for _, d := range depths {
+			for _, s := range subsamples {
+				for _, c := range colsamples {
+					p := gbt.TunedBase()
+					p.NumTrees = t
+					p.MaxDepth = d
+					p.Subsample = s
+					p.ColSample = c
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NN search space bounds for the AgEBO-style NAS (Sec. VI.B): layer counts,
+// widths, learning rates, and dropout ranges roughly matching DeepHyper's
+// tabular defaults.
+var (
+	nnWidths = []int{16, 32, 64, 96, 128, 192, 256}
+	nnDepths = []int{1, 2, 3, 4}
+	nnLRs    = []float64{3e-4, 1e-3, 3e-3, 1e-2}
+	nnDrops  = []float64{0, 0.05, 0.1, 0.2, 0.3}
+	nnDecays = []float64{0, 1e-5, 1e-4, 1e-3}
+)
+
+// SampleNN draws a random network architecture + hyperparameters.
+func SampleNN(r *rng.Rand) nn.Params {
+	p := nn.DefaultParams()
+	depth := nnDepths[r.Intn(len(nnDepths))]
+	p.Hidden = make([]int, depth)
+	for i := range p.Hidden {
+		p.Hidden[i] = nnWidths[r.Intn(len(nnWidths))]
+	}
+	if r.Bool(0.25) {
+		p.Activation = nn.Tanh
+	}
+	p.LearningRate = nnLRs[r.Intn(len(nnLRs))]
+	p.Dropout = nnDrops[r.Intn(len(nnDrops))]
+	p.WeightDecay = nnDecays[r.Intn(len(nnDecays))]
+	p.Seed = r.Uint64()
+	return p
+}
+
+// MutateNN perturbs one aspect of a network configuration: resize a layer,
+// add/remove a layer, or nudge an optimizer hyperparameter. The returned
+// config always gets a fresh seed so ensembles stay diverse.
+func MutateNN(p nn.Params, r *rng.Rand) nn.Params {
+	out := p
+	out.Hidden = append([]int(nil), p.Hidden...)
+	switch r.Intn(6) {
+	case 0: // resize a random layer
+		i := r.Intn(len(out.Hidden))
+		out.Hidden[i] = nnWidths[r.Intn(len(nnWidths))]
+	case 1: // add a layer (bounded)
+		if len(out.Hidden) < nnDepths[len(nnDepths)-1] {
+			out.Hidden = append(out.Hidden, nnWidths[r.Intn(len(nnWidths))])
+		} else {
+			out.Hidden[r.Intn(len(out.Hidden))] = nnWidths[r.Intn(len(nnWidths))]
+		}
+	case 2: // remove a layer (bounded)
+		if len(out.Hidden) > 1 {
+			out.Hidden = out.Hidden[:len(out.Hidden)-1]
+		} else {
+			out.Hidden[0] = nnWidths[r.Intn(len(nnWidths))]
+		}
+	case 3:
+		out.LearningRate = nnLRs[r.Intn(len(nnLRs))]
+	case 4:
+		out.Dropout = nnDrops[r.Intn(len(nnDrops))]
+	case 5:
+		out.WeightDecay = nnDecays[r.Intn(len(nnDecays))]
+	}
+	out.Seed = r.Uint64()
+	return out
+}

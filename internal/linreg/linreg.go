@@ -1,0 +1,123 @@
+// Package linreg implements ridge linear regression via the normal
+// equations and a Cholesky solve. It is the simplest baseline model class
+// the I/O modeling literature uses (Sec. VI.B cites linear regression
+// baselines) and anchors the low end of the capacity spectrum in the
+// application-modeling experiments.
+package linreg
+
+import (
+	"errors"
+	"fmt"
+
+	"iotaxo/internal/mat"
+)
+
+// Model is a fitted ridge regression.
+type Model struct {
+	// Weights has one coefficient per feature; Bias is the intercept.
+	Weights []float64
+	Bias    float64
+}
+
+// Fit solves min_w ||Xw + b - y||^2 + lambda*||w||^2. Features are centered
+// internally so the intercept is not penalized.
+func Fit(rows [][]float64, y []float64, lambda float64) (*Model, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("linreg: empty training set")
+	}
+	if len(rows) != len(y) {
+		return nil, fmt.Errorf("linreg: %d rows vs %d targets", len(rows), len(y))
+	}
+	if lambda < 0 {
+		return nil, errors.New("linreg: negative lambda")
+	}
+	n := len(rows)
+	d := len(rows[0])
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("linreg: row %d has %d features, want %d", i, len(r), d)
+		}
+	}
+
+	// Center features and targets.
+	xMean := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			xMean[j] += v
+		}
+	}
+	for j := range xMean {
+		xMean[j] /= float64(n)
+	}
+	yMean := 0.0
+	for _, v := range y {
+		yMean += v
+	}
+	yMean /= float64(n)
+
+	// Normal equations on centered data: (X^T X + lambda I) w = X^T y.
+	xtx := mat.New(d, d)
+	xty := make([]float64, d)
+	cr := make([]float64, d)
+	for i, r := range rows {
+		for j, v := range r {
+			cr[j] = v - xMean[j]
+		}
+		cy := y[i] - yMean
+		for j := 0; j < d; j++ {
+			vj := cr[j]
+			if vj == 0 {
+				continue
+			}
+			xtxRow := xtx.Row(j)
+			for k := j; k < d; k++ {
+				xtxRow[k] += vj * cr[k]
+			}
+			xty[j] += vj * cy
+		}
+	}
+	// Mirror the upper triangle and add the ridge.
+	reg := lambda
+	if reg == 0 {
+		reg = 1e-10 // keep the system positive definite
+	}
+	for j := 0; j < d; j++ {
+		for k := j + 1; k < d; k++ {
+			xtx.Set(k, j, xtx.At(j, k))
+		}
+		xtx.Set(j, j, xtx.At(j, j)+reg)
+	}
+
+	l, err := mat.Cholesky(xtx)
+	if err != nil {
+		return nil, fmt.Errorf("linreg: normal equations not solvable: %w", err)
+	}
+	w := mat.CholeskySolve(l, xty)
+
+	bias := yMean
+	for j := range w {
+		bias -= w[j] * xMean[j]
+	}
+	return &Model{Weights: w, Bias: bias}, nil
+}
+
+// Predict returns the prediction for one row.
+func (m *Model) Predict(row []float64) float64 {
+	if len(row) != len(m.Weights) {
+		panic(fmt.Sprintf("linreg: row has %d features, model has %d", len(row), len(m.Weights)))
+	}
+	s := m.Bias
+	for j, v := range row {
+		s += m.Weights[j] * v
+	}
+	return s
+}
+
+// PredictAll predicts every row.
+func (m *Model) PredictAll(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = m.Predict(r)
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package linreg
+
+import (
+	"math"
+	"testing"
+
+	"iotaxo/internal/rng"
+)
+
+func TestRecoversLinearFunction(t *testing.T) {
+	r := rng.New(1)
+	n := 500
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0, x1 := r.Norm(), r.Norm()
+		rows[i] = []float64{x0, x1}
+		y[i] = 3*x0 - 2*x1 + 5
+	}
+	m, err := Fit(rows, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-3) > 1e-6 || math.Abs(m.Weights[1]+2) > 1e-6 {
+		t.Errorf("weights = %v", m.Weights)
+	}
+	if math.Abs(m.Bias-5) > 1e-6 {
+		t.Errorf("bias = %v", m.Bias)
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	r := rng.New(2)
+	n := 100
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		rows[i] = []float64{x}
+		y[i] = 2*x + 0.3*r.Norm()
+	}
+	m0, err := Fit(rows, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBig, err := Fit(rows, y, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mBig.Weights[0]) >= math.Abs(m0.Weights[0]) {
+		t.Errorf("ridge did not shrink: %v vs %v", mBig.Weights[0], m0.Weights[0])
+	}
+}
+
+func TestHandlesCollinearFeatures(t *testing.T) {
+	// Duplicate columns make X^T X singular; the ridge must keep the solve
+	// stable.
+	r := rng.New(3)
+	n := 200
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		rows[i] = []float64{x, x}
+		y[i] = 4 * x
+	}
+	m, err := Fit(rows, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict([]float64{1, 1})
+	if math.Abs(pred-4) > 1e-3 {
+		t.Errorf("collinear prediction = %v, want 4", pred)
+	}
+}
+
+func TestUnpenalizedIntercept(t *testing.T) {
+	// A huge ridge should shrink weights to ~0 but leave the intercept at
+	// the target mean.
+	rows := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{11, 12, 13, 14}
+	m, err := Fit(rows, y, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Bias-12.5) > 0.01 {
+		t.Errorf("intercept = %v, want ~12.5 (mean)", m.Bias)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, 0); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Fit([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestPredictPanicsOnWidthMismatch(t *testing.T) {
+	m := &Model{Weights: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch did not panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestPredictAll(t *testing.T) {
+	m := &Model{Weights: []float64{2}, Bias: 1}
+	got := m.PredictAll([][]float64{{0}, {1}, {2}})
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("PredictAll[%d] = %v", i, got[i])
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package lmt synthesizes Lustre Monitoring Tools features: the I/O
+// subsystem-side log source used on NERSC Cori. LMT samples object storage
+// servers/targets (OSS/OST) and metadata servers/targets (MDS/MDT) every
+// five seconds; because a job may be served by any number of I/O nodes,
+// only min/max/mean/std aggregates over the job's runtime are exposed to
+// models (37 features, matching the paper's count).
+package lmt
+
+import (
+	"fmt"
+
+	"iotaxo/internal/stats"
+)
+
+// Metrics tracked per sample; each contributes min/max/mean/std features.
+var metricNames = []string{
+	"oss_cpu",        // OSS CPU utilization, percent
+	"oss_mem",        // OSS memory utilization, percent
+	"ost_read_rate",  // aggregate OST read bytes/s
+	"ost_write_rate", // aggregate OST write bytes/s
+	"ost_fullness",   // filesystem fullness, fraction
+	"mds_cpu",        // MDS CPU utilization, percent
+	"mds_ops_rate",   // metadata ops/s
+	"mdt_opens_rate", // opens/s on metadata targets
+	"mdt_close_rate", // closes/s on metadata targets
+}
+
+// Names lists the 37 LMT feature column names: 9 metrics x 4 aggregates,
+// plus the OST count.
+var Names = buildNames()
+
+func buildNames() []string {
+	var names []string
+	for _, m := range metricNames {
+		for _, agg := range []string{"min", "max", "mean", "std"} {
+			names = append(names, fmt.Sprintf("lmt_%s_%s", m, agg))
+		}
+	}
+	return append(names, "lmt_num_osts")
+}
+
+// NumMetrics is the number of per-sample metrics.
+const NumMetrics = 9
+
+// Sample is one observation of the storage system state during a job's
+// runtime.
+type Sample struct {
+	OSSCPU       float64
+	OSSMem       float64
+	OSTReadRate  float64
+	OSTWriteRate float64
+	OSTFullness  float64
+	MDSCPU       float64
+	MDSOpsRate   float64
+	MDTOpenRate  float64
+	MDTCloseRate float64
+}
+
+func (s Sample) values() [NumMetrics]float64 {
+	return [NumMetrics]float64{
+		s.OSSCPU, s.OSSMem, s.OSTReadRate, s.OSTWriteRate, s.OSTFullness,
+		s.MDSCPU, s.MDSOpsRate, s.MDTOpenRate, s.MDTCloseRate,
+	}
+}
+
+// Features aggregates the samples observed over a job's runtime into the
+// 37 LMT features, in Names order. At least one sample is required; numOSTs
+// is the OST count of the filesystem.
+func Features(samples []Sample, numOSTs int) ([]float64, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("lmt: no samples for job window")
+	}
+	series := make([][]float64, NumMetrics)
+	for i := range series {
+		series[i] = make([]float64, len(samples))
+	}
+	for j, s := range samples {
+		v := s.values()
+		for i := 0; i < NumMetrics; i++ {
+			series[i][j] = v[i]
+		}
+	}
+	out := make([]float64, 0, len(Names))
+	for i := 0; i < NumMetrics; i++ {
+		lo, hi := stats.MinMax(series[i])
+		out = append(out, lo, hi, stats.Mean(series[i]), stats.StdDev(series[i]))
+	}
+	out = append(out, float64(numOSTs))
+	return out, nil
+}

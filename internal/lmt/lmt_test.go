@@ -1,0 +1,61 @@
+package lmt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNamesCount(t *testing.T) {
+	if len(Names) != 37 {
+		t.Fatalf("LMT feature count = %d, want 37 (paper Sec. V)", len(Names))
+	}
+	seen := map[string]bool{}
+	for _, n := range Names {
+		if seen[n] {
+			t.Errorf("duplicate LMT feature %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestFeaturesAggregation(t *testing.T) {
+	samples := []Sample{
+		{OSSCPU: 10, OSTReadRate: 100},
+		{OSSCPU: 30, OSTReadRate: 300},
+		{OSSCPU: 20, OSTReadRate: 200},
+	}
+	f, err := Features(samples, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != len(Names) {
+		t.Fatalf("feature width %d, want %d", len(f), len(Names))
+	}
+	// oss_cpu aggregates occupy the first four slots: min, max, mean, std.
+	if f[0] != 10 || f[1] != 30 || f[2] != 20 {
+		t.Errorf("oss_cpu min/max/mean = %v/%v/%v", f[0], f[1], f[2])
+	}
+	if math.Abs(f[3]-10) > 1e-12 { // Bessel-corrected std of {10,20,30}
+		t.Errorf("oss_cpu std = %v, want 10", f[3])
+	}
+	// Last feature is the OST count.
+	if f[len(f)-1] != 56 {
+		t.Errorf("lmt_num_osts = %v", f[len(f)-1])
+	}
+}
+
+func TestFeaturesEmpty(t *testing.T) {
+	if _, err := Features(nil, 56); err == nil {
+		t.Error("empty sample window accepted")
+	}
+}
+
+func TestFeaturesSingleSample(t *testing.T) {
+	f, err := Features([]Sample{{OSSCPU: 42}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f[0] != 42 || f[1] != 42 || f[2] != 42 || f[3] != 0 {
+		t.Errorf("single-sample aggregates = %v", f[:4])
+	}
+}

@@ -1,0 +1,282 @@
+// Package nn implements feedforward neural networks for I/O throughput
+// regression: dense layers with ReLU or tanh activations, inverted dropout,
+// L2 weight decay, Adam optimization, and an optional heteroscedastic head
+// that predicts both a mean and a log-variance under a Gaussian
+// negative-log-likelihood loss.
+//
+// The heteroscedastic head is what the deep-ensemble uncertainty
+// decomposition (package uq, after AutoDEUQ) needs: each ensemble member
+// reports its own aleatory variance estimate, and the spread of member
+// means measures epistemic uncertainty.
+//
+// Inputs are expected to be standardized (see dataset.Scaler); targets are
+// standardized internally.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"iotaxo/internal/mat"
+	"iotaxo/internal/rng"
+)
+
+// Activation selects the hidden-layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota
+	Tanh
+)
+
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+// Params are the network and optimizer hyperparameters.
+type Params struct {
+	// Hidden lists hidden-layer widths, e.g. {64, 64}.
+	Hidden []int
+	// Activation is the hidden nonlinearity.
+	Activation Activation
+	// Dropout is the hidden-unit drop probability (0 disables).
+	Dropout float64
+	// WeightDecay is the L2 penalty coefficient.
+	WeightDecay float64
+	// LearningRate is Adam's step size.
+	LearningRate float64
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// BatchSize is the mini-batch size.
+	BatchSize int
+	// Heteroscedastic switches the head to (mean, log-variance) with a
+	// Gaussian NLL loss.
+	Heteroscedastic bool
+	// Seed drives initialization, shuffling, and dropout.
+	Seed uint64
+}
+
+// DefaultParams returns a reasonable starting configuration.
+func DefaultParams() Params {
+	return Params{
+		Hidden:       []int{64, 64},
+		Activation:   ReLU,
+		Dropout:      0.1,
+		WeightDecay:  1e-4,
+		LearningRate: 1e-3,
+		Epochs:       30,
+		BatchSize:    128,
+		Seed:         1,
+	}
+}
+
+// Validate checks hyperparameter ranges.
+func (p Params) Validate() error {
+	if len(p.Hidden) == 0 {
+		return errors.New("nn: at least one hidden layer required")
+	}
+	for _, h := range p.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("nn: non-positive hidden width %d", h)
+		}
+	}
+	switch {
+	case p.Dropout < 0 || p.Dropout >= 1:
+		return fmt.Errorf("nn: dropout %v out of [0,1)", p.Dropout)
+	case p.WeightDecay < 0:
+		return errors.New("nn: negative weight decay")
+	case p.LearningRate <= 0:
+		return errors.New("nn: non-positive learning rate")
+	case p.Epochs <= 0:
+		return errors.New("nn: non-positive epochs")
+	case p.BatchSize <= 0:
+		return errors.New("nn: non-positive batch size")
+	}
+	return nil
+}
+
+// layer is one dense layer with Adam state.
+type layer struct {
+	w      *mat.Matrix // in x out
+	b      []float64
+	mW, vW *mat.Matrix
+	mB, vB []float64
+}
+
+// Model is a trained network.
+type Model struct {
+	params Params
+	layers []layer
+	nIn    int
+	yMean  float64
+	yStd   float64
+	adamT  int
+}
+
+// Params returns the training hyperparameters.
+func (m *Model) Params() Params { return m.params }
+
+// outDim returns the network's output width.
+func (p Params) outDim() int {
+	if p.Heteroscedastic {
+		return 2
+	}
+	return 1
+}
+
+// newModel initializes layers with He/Xavier scaling.
+func newModel(p Params, nIn int, r *rng.Rand) *Model {
+	m := &Model{params: p, nIn: nIn, yStd: 1}
+	sizes := append([]int{nIn}, p.Hidden...)
+	sizes = append(sizes, p.outDim())
+	for li := 0; li+1 < len(sizes); li++ {
+		in, out := sizes[li], sizes[li+1]
+		l := layer{
+			w:  mat.New(in, out),
+			b:  make([]float64, out),
+			mW: mat.New(in, out),
+			vW: mat.New(in, out),
+			mB: make([]float64, out),
+			vB: make([]float64, out),
+		}
+		scale := math.Sqrt(2 / float64(in)) // He init for ReLU
+		if p.Activation == Tanh {
+			scale = math.Sqrt(1 / float64(in))
+		}
+		for i := range l.w.Data {
+			l.w.Data[i] = r.Norm() * scale
+		}
+		m.layers = append(m.layers, l)
+	}
+	return m
+}
+
+// forwardCache holds per-layer activations for backprop.
+type forwardCache struct {
+	// pre[i] is the pre-activation input to layer i's nonlinearity;
+	// act[i] is the post-activation output (act[0] is the input batch).
+	act []*mat.Matrix
+	// dropMask[i] is the inverted-dropout mask applied after layer i.
+	dropMask []*mat.Matrix
+}
+
+// forward runs a batch through the network. When train is true, dropout
+// masks are sampled from r and recorded in the cache.
+func (m *Model) forward(x *mat.Matrix, train bool, r *rng.Rand) (*mat.Matrix, *forwardCache) {
+	cache := &forwardCache{}
+	cache.act = append(cache.act, x)
+	h := x
+	last := len(m.layers) - 1
+	for li := range m.layers {
+		l := &m.layers[li]
+		z := mat.Mul(h, l.w)
+		mat.AddBias(z, l.b)
+		if li < last {
+			applyActivation(z, m.params.Activation)
+			if train && m.params.Dropout > 0 {
+				mask := mat.New(z.Rows, z.Cols)
+				keep := 1 - m.params.Dropout
+				inv := 1 / keep
+				for i := range mask.Data {
+					if r.Float64() < keep {
+						mask.Data[i] = inv
+					}
+				}
+				for i := range z.Data {
+					z.Data[i] *= mask.Data[i]
+				}
+				cache.dropMask = append(cache.dropMask, mask)
+			} else {
+				cache.dropMask = append(cache.dropMask, nil)
+			}
+		}
+		cache.act = append(cache.act, z)
+		h = z
+	}
+	return h, cache
+}
+
+func applyActivation(z *mat.Matrix, a Activation) {
+	switch a {
+	case ReLU:
+		for i, v := range z.Data {
+			if v < 0 {
+				z.Data[i] = 0
+			}
+		}
+	case Tanh:
+		for i, v := range z.Data {
+			z.Data[i] = math.Tanh(v)
+		}
+	}
+}
+
+// activationGrad multiplies grad elementwise by the activation derivative,
+// given the post-activation values.
+func activationGrad(grad, post *mat.Matrix, a Activation) {
+	switch a {
+	case ReLU:
+		for i := range grad.Data {
+			if post.Data[i] <= 0 {
+				grad.Data[i] = 0
+			}
+		}
+	case Tanh:
+		for i := range grad.Data {
+			t := post.Data[i]
+			grad.Data[i] *= 1 - t*t
+		}
+	}
+}
+
+// Predict returns the predicted target for one standardized feature row,
+// in the original target units.
+func (m *Model) Predict(row []float64) float64 {
+	mu, _ := m.PredictDist(row)
+	return mu
+}
+
+// PredictDist returns the predictive mean and aleatory variance for one
+// row. Homoscedastic models report zero variance.
+func (m *Model) PredictDist(row []float64) (mean, variance float64) {
+	if len(row) != m.nIn {
+		panic(fmt.Sprintf("nn: predict row has %d features, model trained on %d", len(row), m.nIn))
+	}
+	x := mat.FromRows([][]float64{row})
+	out, _ := m.forward(x, false, nil)
+	mu := out.At(0, 0)*m.yStd + m.yMean
+	if !m.params.Heteroscedastic {
+		return mu, 0
+	}
+	logVar := clampLogVar(out.At(0, 1))
+	return mu, math.Exp(logVar) * m.yStd * m.yStd
+}
+
+// PredictAll predicts every row.
+func (m *Model) PredictAll(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = m.Predict(r)
+	}
+	return out
+}
+
+func clampLogVar(s float64) float64 {
+	const lim = 10
+	if s > lim {
+		return lim
+	}
+	if s < -lim {
+		return -lim
+	}
+	return s
+}

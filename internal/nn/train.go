@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"iotaxo/internal/mat"
+	"iotaxo/internal/rng"
+)
+
+// Train fits a network to rows/targets. Rows should be standardized;
+// targets are standardized internally and de-standardized at prediction.
+func Train(p Params, rows [][]float64, y []float64) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("nn: empty training set")
+	}
+	if len(rows) != len(y) {
+		return nil, fmt.Errorf("nn: %d rows vs %d targets", len(rows), len(y))
+	}
+	nIn := len(rows[0])
+	for i, r := range rows {
+		if len(r) != nIn {
+			return nil, fmt.Errorf("nn: row %d has %d features, want %d", i, len(r), nIn)
+		}
+	}
+	r := rng.New(p.Seed)
+	m := newModel(p, nIn, r.Split(1))
+
+	// Standardize targets.
+	var sum, ss float64
+	for _, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("nn: non-finite target")
+		}
+		sum += v
+	}
+	m.yMean = sum / float64(len(y))
+	for _, v := range y {
+		d := v - m.yMean
+		ss += d * d
+	}
+	m.yStd = math.Sqrt(ss / float64(len(y)))
+	if m.yStd < 1e-12 {
+		m.yStd = 1
+	}
+	yStd := make([]float64, len(y))
+	for i, v := range y {
+		yStd[i] = (v - m.yMean) / m.yStd
+	}
+
+	shuffle := r.Split(2)
+	drop := r.Split(3)
+	order := make([]int, len(rows))
+	for i := range order {
+		order[i] = i
+	}
+	bs := p.BatchSize
+	if bs > len(rows) {
+		bs = len(rows)
+	}
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		shuffle.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for lo := 0; lo < len(order); lo += bs {
+			hi := lo + bs
+			if hi > len(order) {
+				hi = len(order)
+			}
+			batchRows := make([][]float64, hi-lo)
+			batchY := make([]float64, hi-lo)
+			for k := lo; k < hi; k++ {
+				batchRows[k-lo] = rows[order[k]]
+				batchY[k-lo] = yStd[order[k]]
+			}
+			m.trainBatch(batchRows, batchY, drop)
+		}
+	}
+	return m, nil
+}
+
+// trainBatch runs one forward/backward/Adam step.
+func (m *Model) trainBatch(rows [][]float64, y []float64, drop *rng.Rand) {
+	p := m.params
+	x := mat.FromRows(rows)
+	out, cache := m.forward(x, true, drop)
+	n := float64(len(rows))
+
+	// Output gradient.
+	grad := mat.New(out.Rows, out.Cols)
+	if p.Heteroscedastic {
+		// NLL = 0.5*(s + (y-mu)^2 / exp(s)), s = log variance.
+		for i := 0; i < out.Rows; i++ {
+			mu := out.At(i, 0)
+			s := clampLogVar(out.At(i, 1))
+			inv := math.Exp(-s)
+			d := mu - y[i]
+			grad.Set(i, 0, d*inv/n)
+			grad.Set(i, 1, 0.5*(1-d*d*inv)/n)
+		}
+	} else {
+		for i := 0; i < out.Rows; i++ {
+			grad.Set(i, 0, 2*(out.At(i, 0)-y[i])/n)
+		}
+	}
+
+	m.backward(cache, grad)
+}
+
+// backward propagates grad through the cached activations and applies Adam
+// updates (with decoupled weight decay) to every layer.
+func (m *Model) backward(cache *forwardCache, grad *mat.Matrix) {
+	p := m.params
+	m.adamT++
+	for li := len(m.layers) - 1; li >= 0; li-- {
+		l := &m.layers[li]
+		input := cache.act[li]
+
+		// dW = input^T * grad; db = column sums of grad.
+		dW := mat.Mul(input.T(), grad)
+		db := make([]float64, grad.Cols)
+		for i := 0; i < grad.Rows; i++ {
+			row := grad.Row(i)
+			for j, v := range row {
+				db[j] += v
+			}
+		}
+
+		var next *mat.Matrix
+		if li > 0 {
+			// Propagate: grad_in = grad * W^T, through dropout mask and
+			// activation derivative of the previous layer's output.
+			next = mat.Mul(grad, l.w.T())
+			if mask := cache.dropMask[li-1]; mask != nil {
+				for i := range next.Data {
+					next.Data[i] *= mask.Data[i]
+				}
+			}
+			activationGrad(next, cache.act[li], p.Activation)
+		}
+
+		m.adamStep(l, dW, db)
+		grad = next
+	}
+}
+
+// Adam hyperparameters (standard defaults).
+const (
+	beta1   = 0.9
+	beta2   = 0.999
+	epsAdam = 1e-8
+)
+
+func (m *Model) adamStep(l *layer, dW *mat.Matrix, db []float64) {
+	p := m.params
+	lr := p.LearningRate
+	t := float64(m.adamT)
+	c1 := 1 / (1 - math.Pow(beta1, t))
+	c2 := 1 / (1 - math.Pow(beta2, t))
+	for i, g := range dW.Data {
+		l.mW.Data[i] = beta1*l.mW.Data[i] + (1-beta1)*g
+		l.vW.Data[i] = beta2*l.vW.Data[i] + (1-beta2)*g*g
+		mHat := l.mW.Data[i] * c1
+		vHat := l.vW.Data[i] * c2
+		l.w.Data[i] -= lr * (mHat/(math.Sqrt(vHat)+epsAdam) + p.WeightDecay*l.w.Data[i])
+	}
+	for j, g := range db {
+		l.mB[j] = beta1*l.mB[j] + (1-beta1)*g
+		l.vB[j] = beta2*l.vB[j] + (1-beta2)*g*g
+		mHat := l.mB[j] * c1
+		vHat := l.vB[j] * c2
+		l.b[j] -= lr * mHat / (math.Sqrt(vHat) + epsAdam)
+	}
+}

@@ -1,0 +1,194 @@
+// Package report renders experiment results as aligned text tables, ASCII
+// histograms and heatmaps, and CSV series — the output layer for the
+// figure/table reproduction harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"iotaxo/internal/stats"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v unless already
+// strings.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the table as CSV (no quoting; intended for numeric
+// series).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Histogram renders a horizontal ASCII histogram of xs over nBins bins.
+func Histogram(w io.Writer, title string, xs []float64, nBins, width int) error {
+	if len(xs) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (no data)\n", title)
+		return err
+	}
+	lo, hi := stats.MinMax(xs)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	h := stats.NewHistogram(xs, nBins, lo, hi+1e-12)
+	max := h.MaxCount()
+	if max == 0 {
+		max = 1
+	}
+	if _, err := fmt.Fprintf(w, "%s (n=%d)\n", title, len(xs)); err != nil {
+		return err
+	}
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*width/max)
+		if _, err := fmt.Fprintf(w, "  %10.3g..%-10.3g |%-*s| %d\n",
+			h.Edges[i], h.Edges[i+1], width, bar, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// heatShades are the density glyphs for Heatmap, light to dark.
+var heatShades = []rune{' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'}
+
+// Heatmap renders a grid of values (rows x cols) with darker glyphs for
+// LOWER values (so the minimum — the best hyperparameter cell — stands
+// out, like Fig 1a's optimum).
+func Heatmap(w io.Writer, title string, rowLabels, colLabels []string, values [][]float64) error {
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range values {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	colw := 7
+	header := strings.Repeat(" ", 10)
+	for _, c := range colLabels {
+		header += fmt.Sprintf("%*s", colw, c)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for i, row := range values {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		line := fmt.Sprintf("%10s", label)
+		for _, v := range row {
+			frac := (v - lo) / (hi - lo)
+			shade := heatShades[int((1-frac)*float64(len(heatShades)-1)+0.5)]
+			line += fmt.Sprintf("%*s", colw, fmt.Sprintf("%c%5.1f", shade, 100*v))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  (values are median abs error %%; darker glyph = lower error; min %.2f%% max %.2f%%)\n",
+		100*lo, 100*hi)
+	return err
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// Bar renders a one-line share bar, e.g. for breakdown segments.
+func Bar(label string, frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return fmt.Sprintf("%-28s |%-*s| %6.1f%%", label, width, strings.Repeat("#", n), 100*frac)
+}

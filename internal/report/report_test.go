@@ -1,0 +1,93 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta-longer", 22)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"name", "value", "alpha", "beta-longer", "1.5", "22"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Errorf("got %d lines", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(1, 2)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\n1,2\n" {
+		t.Errorf("csv = %q", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{1, 1, 2, 3, 3, 3}
+	if err := Histogram(&buf, "demo", xs, 3, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo (n=6)") {
+		t.Errorf("missing title: %s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("no bars rendered")
+	}
+	if err := Histogram(&buf, "empty", nil, 3, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Error("empty histogram not handled")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	var buf bytes.Buffer
+	err := Heatmap(&buf, "grid",
+		[]string{"r0", "r1"}, []string{"c0", "c1"},
+		[][]float64{{0.10, 0.20}, {0.30, 0.40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "grid") || !strings.Contains(out, "r1") {
+		t.Errorf("heatmap missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "min 10.00% max 40.00%") {
+		t.Errorf("heatmap missing range line:\n%s", out)
+	}
+}
+
+func TestPctAndBar(t *testing.T) {
+	if Pct(0.1234) != "12.34%" {
+		t.Errorf("Pct = %s", Pct(0.1234))
+	}
+	b := Bar("share", 0.5, 10)
+	if !strings.Contains(b, "#####") || !strings.Contains(b, "50.0%") {
+		t.Errorf("Bar = %s", b)
+	}
+	if !strings.Contains(Bar("x", -1, 10), "0.0%") {
+		t.Error("negative fraction not clamped")
+	}
+	if !strings.Contains(Bar("x", 2, 10), "100.0%") {
+		t.Error("overflow fraction not clamped")
+	}
+}

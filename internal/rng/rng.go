@@ -1,0 +1,273 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams and distribution samplers used throughout the simulator and the
+// learning code.
+//
+// Reproducibility across parallel workers is the core requirement: data
+// generation, hyperparameter search, and ensemble training all fan out over
+// goroutines, and results must not depend on scheduling. Every parallel task
+// derives its own independent stream from a parent seed via Split, so the
+// sequence each task sees is a pure function of (seed, task id).
+package rng
+
+import "math"
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// SplitMix64 is the standard seeding generator from Steele et al.,
+// "Fast Splittable Pseudorandom Number Generators" (OOPSLA 2014).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic random stream. The zero value is not usable; use
+// New or Split.
+type Rand struct {
+	// xoshiro256** state.
+	s [4]uint64
+	// cached normal variate for the Box-Muller pair.
+	hasGauss bool
+	gauss    float64
+}
+
+// New returns a stream seeded from the given seed. Distinct seeds give
+// independent streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives an independent child stream identified by id. Children with
+// distinct ids are statistically independent of each other and of the
+// parent's future output. Split does not advance the parent stream, so the
+// mapping (parent seed, id) -> child sequence is stable.
+func (r *Rand) Split(id uint64) *Rand {
+	// Mix the parent state with the id through SplitMix64.
+	seed := r.s[0] ^ (r.s[2] << 1) ^ (id * 0xd1342543de82ef95)
+	return New(splitmix64(&seed))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a standard normal variate (Box-Muller with caching).
+func (r *Rand) Norm() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.hasGauss = true
+	return u * f
+}
+
+// NormAt returns a normal variate with the given mean and standard
+// deviation.
+func (r *Rand) NormAt(mean, sd float64) float64 { return mean + sd*r.Norm() }
+
+// LogNormal returns exp(N(mu, sigma)).
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Norm())
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp requires rate > 0")
+	}
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Poisson returns a Poisson variate with the given mean. For small means it
+// uses Knuth's product method; for large means a normal approximation with
+// continuity correction, which is adequate for workload modeling.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	v := r.NormAt(mean, math.Sqrt(mean))
+	if v < 0 {
+		return 0
+	}
+	return int(v + 0.5)
+}
+
+// Pareto returns a Pareto variate with minimum xm and shape alpha.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	return xm / math.Pow(1-r.Float64(), 1/alpha)
+}
+
+// Zipf draws an integer in [0, n) with probability proportional to
+// 1/(i+1)^s using inverse-CDF over precomputed weights is avoided; this is a
+// simple rejection-free cumulative scan suitable for the modest n used by
+// the workload generator.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf prepares a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf requires n > 0")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum}
+}
+
+// Draw samples a rank in [0, n).
+func (z *Zipf) Draw(r *Rand) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Categorical samples an index with probability proportional to weights.
+// It panics if weights is empty or sums to <= 0.
+func (r *Rand) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative categorical weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("rng: Categorical requires positive total weight")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n indices in place using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }

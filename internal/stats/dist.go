@@ -1,0 +1,274 @@
+package stats
+
+import "math"
+
+// Dist is a univariate continuous distribution. The taxonomy uses
+// distributions both to model noise (normal, lognormal) and to fit observed
+// duplicate-error spreads (Student-t; Sec. IX.A).
+type Dist interface {
+	PDF(x float64) float64
+	CDF(x float64) float64
+	// Quantile returns the inverse CDF at p in (0, 1).
+	Quantile(p float64) float64
+	Mean() float64
+	Variance() float64
+}
+
+// Normal is the N(Mu, Sigma^2) distribution.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// PDF returns the normal density at x.
+func (n Normal) PDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		return math.NaN()
+	}
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P(X <= x).
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		return math.NaN()
+	}
+	return 0.5 * math.Erfc(-(x-n.Mu)/(n.Sigma*math.Sqrt2))
+}
+
+// Quantile returns the inverse CDF at p.
+func (n Normal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return n.Mu + n.Sigma*math.Sqrt2*ErfInv(2*p-1)
+}
+
+// Mean returns Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Variance returns Sigma^2.
+func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
+
+// StudentT is a location-scale Student-t distribution with Nu degrees of
+// freedom, location Mu and scale Sigma. As Nu grows it converges to
+// Normal{Mu, Sigma}; for the small duplicate sets of Sec. IX.A, Nu = n-1.
+type StudentT struct {
+	Nu    float64
+	Mu    float64
+	Sigma float64
+}
+
+// PDF returns the density at x.
+func (t StudentT) PDF(x float64) float64 {
+	if t.Sigma <= 0 || t.Nu <= 0 {
+		return math.NaN()
+	}
+	z := (x - t.Mu) / t.Sigma
+	lg1 := LogGamma((t.Nu + 1) / 2)
+	lg2 := LogGamma(t.Nu / 2)
+	logc := lg1 - lg2 - 0.5*math.Log(t.Nu*math.Pi) - math.Log(t.Sigma)
+	return math.Exp(logc - (t.Nu+1)/2*math.Log1p(z*z/t.Nu))
+}
+
+// CDF returns P(X <= x), via the regularized incomplete beta function.
+func (t StudentT) CDF(x float64) float64 {
+	if t.Sigma <= 0 || t.Nu <= 0 {
+		return math.NaN()
+	}
+	z := (x - t.Mu) / t.Sigma
+	if z == 0 {
+		return 0.5
+	}
+	ib := RegIncBeta(t.Nu/2, 0.5, t.Nu/(t.Nu+z*z))
+	if z > 0 {
+		return 1 - 0.5*ib
+	}
+	return 0.5 * ib
+}
+
+// Quantile returns the inverse CDF at p via bisection on the CDF, which is
+// monotone; 200 iterations give ~1e-13 relative bracketing.
+func (t StudentT) Quantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	if p == 0.5 {
+		return t.Mu
+	}
+	// Bracket: start from the normal quantile and widen.
+	approx := Normal{Mu: t.Mu, Sigma: t.Sigma}.Quantile(p)
+	width := 8 * t.Sigma * math.Max(1, math.Sqrt(t.Nu/math.Max(t.Nu-2, 0.5)))
+	lo, hi := approx-width, approx+width
+	for t.CDF(lo) > p {
+		lo -= width
+		width *= 2
+	}
+	for t.CDF(hi) < p {
+		hi += width
+		width *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if t.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+math.Abs(mid)) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Mean returns the mean (Mu for Nu > 1, NaN otherwise).
+func (t StudentT) Mean() float64 {
+	if t.Nu <= 1 {
+		return math.NaN()
+	}
+	return t.Mu
+}
+
+// Variance returns Sigma^2 * Nu/(Nu-2) for Nu > 2, +Inf for 1 < Nu <= 2,
+// NaN otherwise.
+func (t StudentT) Variance() float64 {
+	switch {
+	case t.Nu > 2:
+		return t.Sigma * t.Sigma * t.Nu / (t.Nu - 2)
+	case t.Nu > 1:
+		return math.Inf(1)
+	default:
+		return math.NaN()
+	}
+}
+
+// LogNormal is the distribution of exp(N(Mu, Sigma^2)).
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// PDF returns the density at x (0 for x <= 0).
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-0.5*z*z) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P(X <= x).
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return Normal{Mu: l.Mu, Sigma: l.Sigma}.CDF(math.Log(x))
+}
+
+// Quantile returns the inverse CDF at p.
+func (l LogNormal) Quantile(p float64) float64 {
+	return math.Exp(Normal{Mu: l.Mu, Sigma: l.Sigma}.Quantile(p))
+}
+
+// Mean returns exp(Mu + Sigma^2/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Variance returns (exp(Sigma^2)-1) * exp(2Mu + Sigma^2).
+func (l LogNormal) Variance() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+
+// FitNormal estimates a Normal by sample mean and Bessel-corrected standard
+// deviation.
+func FitNormal(xs []float64) (Normal, error) {
+	if len(xs) == 0 {
+		return Normal{}, ErrEmpty
+	}
+	return Normal{Mu: Mean(xs), Sigma: StdDev(xs)}, nil
+}
+
+// FitStudentT fits a location-scale Student-t to xs by profile likelihood:
+// for each candidate Nu on a log grid, Mu and Sigma are estimated by EM-like
+// iteration (t as a scale mixture of normals), and the Nu with the highest
+// log-likelihood wins. This mirrors the paper's observation that pooled
+// small-set duplicate errors are t-distributed rather than normal.
+func FitStudentT(xs []float64) (StudentT, error) {
+	if len(xs) < 3 {
+		return StudentT{}, ErrEmpty
+	}
+	nus := []float64{1, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10, 15, 20, 30, 50, 100}
+	best := StudentT{}
+	bestLL := math.Inf(-1)
+	for _, nu := range nus {
+		cand := fitTFixedNu(xs, nu)
+		ll := tLogLik(xs, cand)
+		if ll > bestLL {
+			bestLL = ll
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+// fitTFixedNu runs 50 EM iterations for a fixed Nu.
+func fitTFixedNu(xs []float64, nu float64) StudentT {
+	mu := Median(xs)
+	sigma := MAD(xs) * 1.4826
+	if sigma <= 0 {
+		sigma = StdDev(xs)
+	}
+	if sigma <= 0 {
+		sigma = 1e-12
+	}
+	w := make([]float64, len(xs))
+	for iter := 0; iter < 50; iter++ {
+		// E-step: latent precision weights.
+		for i, x := range xs {
+			z := (x - mu) / sigma
+			w[i] = (nu + 1) / (nu + z*z)
+		}
+		// M-step.
+		var sw, swx float64
+		for i, x := range xs {
+			sw += w[i]
+			swx += w[i] * x
+		}
+		mu = swx / sw
+		var ss float64
+		for i, x := range xs {
+			d := x - mu
+			ss += w[i] * d * d
+		}
+		newSigma := math.Sqrt(ss / float64(len(xs)))
+		if math.Abs(newSigma-sigma) < 1e-12 {
+			sigma = newSigma
+			break
+		}
+		sigma = newSigma
+	}
+	if sigma <= 0 {
+		sigma = 1e-12
+	}
+	return StudentT{Nu: nu, Mu: mu, Sigma: sigma}
+}
+
+func tLogLik(xs []float64, t StudentT) float64 {
+	ll := 0.0
+	for _, x := range xs {
+		p := t.PDF(x)
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		ll += math.Log(p)
+	}
+	return ll
+}

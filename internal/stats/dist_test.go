@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iotaxo/internal/rng"
+)
+
+func TestErfInvRoundTrip(t *testing.T) {
+	for _, y := range []float64{-0.999, -0.9, -0.5, -0.1, 0, 0.1, 0.5, 0.9, 0.999, 0.999999} {
+		x := ErfInv(y)
+		if got := math.Erf(x); !almostEq(got, y, 1e-12) {
+			t.Errorf("Erf(ErfInv(%v)) = %v", y, got)
+		}
+	}
+}
+
+func TestErfInvProperty(t *testing.T) {
+	err := quick.Check(func(u float64) bool {
+		y := math.Mod(math.Abs(u), 1) // in [0,1)
+		if y >= 1 {
+			return true
+		}
+		x := ErfInv(y)
+		return almostEq(math.Erf(x), y, 1e-10)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErfInvEdges(t *testing.T) {
+	if !math.IsInf(ErfInv(1), 1) || !math.IsInf(ErfInv(-1), -1) {
+		t.Error("ErfInv at +-1 should be +-Inf")
+	}
+	if ErfInv(0) != 0 {
+		t.Error("ErfInv(0) != 0")
+	}
+	if !math.IsNaN(ErfInv(math.NaN())) {
+		t.Error("ErfInv(NaN) should be NaN")
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{1, 0.8413447460685429},
+	}
+	for _, c := range cases {
+		if got := n.CDF(c.x); !almostEq(got, c.want, 1e-10) {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileInverts(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 2}
+	for _, p := range []float64{0.001, 0.025, 0.16, 0.5, 0.84, 0.975, 0.999} {
+		x := n.Quantile(p)
+		if got := n.CDF(x); !almostEq(got, p, 1e-9) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormalPDFIntegratesToOne(t *testing.T) {
+	n := Normal{Mu: 1, Sigma: 0.7}
+	integral := 0.0
+	const dx = 0.001
+	for x := -6.0; x <= 8; x += dx {
+		integral += n.PDF(x) * dx
+	}
+	if !almostEq(integral, 1, 1e-3) {
+		t.Errorf("normal PDF integral = %v", integral)
+	}
+}
+
+func TestStudentTCDFSymmetry(t *testing.T) {
+	st := StudentT{Nu: 5, Mu: 0, Sigma: 1}
+	err := quick.Check(func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 10)
+		return almostEq(st.CDF(x)+st.CDF(-x), 1, 1e-10)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudentTKnownValues(t *testing.T) {
+	// t-distribution with 1 dof is Cauchy: CDF(1) = 0.75.
+	c := StudentT{Nu: 1, Mu: 0, Sigma: 1}
+	if got := c.CDF(1); !almostEq(got, 0.75, 1e-9) {
+		t.Errorf("Cauchy CDF(1) = %v, want 0.75", got)
+	}
+	// Critical value: t(0.975, nu=10) = 2.2281388519649385.
+	st := StudentT{Nu: 10, Mu: 0, Sigma: 1}
+	if got := st.Quantile(0.975); !almostEq(got, 2.2281388519649385, 1e-6) {
+		t.Errorf("t quantile(0.975, 10) = %v", got)
+	}
+}
+
+func TestStudentTApproachesNormal(t *testing.T) {
+	// As Nu -> infinity, the t-distribution converges to the normal.
+	st := StudentT{Nu: 1000, Mu: 0, Sigma: 1}
+	n := Normal{Mu: 0, Sigma: 1}
+	for _, x := range []float64{-2, -1, 0, 0.5, 1.5, 2.5} {
+		if !almostEq(st.CDF(x), n.CDF(x), 2e-3) {
+			t.Errorf("t(1000).CDF(%v)=%v vs normal %v", x, st.CDF(x), n.CDF(x))
+		}
+	}
+}
+
+func TestStudentTQuantileInverts(t *testing.T) {
+	st := StudentT{Nu: 4, Mu: -1, Sigma: 2.5}
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		x := st.Quantile(p)
+		if got := st.CDF(x); !almostEq(got, p, 1e-8) {
+			t.Errorf("t CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestStudentTVariance(t *testing.T) {
+	st := StudentT{Nu: 5, Mu: 0, Sigma: 2}
+	if got := st.Variance(); !almostEq(got, 4*5.0/3.0, 1e-12) {
+		t.Errorf("t variance = %v", got)
+	}
+	if !math.IsInf(StudentT{Nu: 1.5, Sigma: 1}.Variance(), 1) {
+		t.Error("variance for 1<nu<=2 should be +Inf")
+	}
+	if !math.IsNaN(StudentT{Nu: 0.5, Sigma: 1}.Variance()) {
+		t.Error("variance for nu<=1 should be NaN")
+	}
+}
+
+func TestLogNormal(t *testing.T) {
+	l := LogNormal{Mu: 0, Sigma: 0.5}
+	if got := l.CDF(1); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("lognormal CDF(median) = %v", got)
+	}
+	if got := l.Mean(); !almostEq(got, math.Exp(0.125), 1e-12) {
+		t.Errorf("lognormal mean = %v", got)
+	}
+	if l.PDF(-1) != 0 || l.CDF(-1) != 0 {
+		t.Error("lognormal should vanish for x <= 0")
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		if got := l.CDF(l.Quantile(p)); !almostEq(got, p, 1e-9) {
+			t.Errorf("lognormal quantile roundtrip at %v: %v", p, got)
+		}
+	}
+}
+
+func TestFitNormalRecovers(t *testing.T) {
+	r := rng.New(10)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.NormAt(2.5, 1.5)
+	}
+	n, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(n.Mu, 2.5, 0.05) || !almostEq(n.Sigma, 1.5, 0.05) {
+		t.Errorf("FitNormal = %+v", n)
+	}
+	if _, err := FitNormal(nil); err == nil {
+		t.Error("FitNormal(empty) should error")
+	}
+}
+
+func TestFitStudentTRecoversScaleOnNormalData(t *testing.T) {
+	// On genuinely normal data the t-fit should pick a large Nu and a scale
+	// near the true sigma.
+	r := rng.New(11)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.NormAt(0, 0.05)
+	}
+	st, err := FitStudentT(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nu < 8 {
+		t.Errorf("t-fit on normal data picked heavy tails: nu = %v", st.Nu)
+	}
+	if !almostEq(st.Sigma, 0.05, 0.01) {
+		t.Errorf("t-fit sigma = %v, want ~0.05", st.Sigma)
+	}
+}
+
+func TestFitStudentTDetectsHeavyTails(t *testing.T) {
+	// Data drawn from t(3) should be fit with small Nu.
+	r := rng.New(12)
+	xs := make([]float64, 8000)
+	for i := range xs {
+		// t(3) = normal / sqrt(chi2_3 / 3); chi2_3 = sum of 3 squared normals.
+		chi := r.Norm()*r.Norm() + r.Norm()*r.Norm() + r.Norm()*r.Norm()
+		xs[i] = r.Norm() / math.Sqrt(chi/3)
+	}
+	st, err := FitStudentT(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nu > 8 {
+		t.Errorf("t-fit on t(3) data picked nu = %v, want small", st.Nu)
+	}
+}
+
+func TestFitStudentTTooFew(t *testing.T) {
+	if _, err := FitStudentT([]float64{1, 2}); err == nil {
+		t.Error("FitStudentT with n<3 should error")
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("RegIncBeta boundary values wrong")
+	}
+	// I_x(1,1) = x (uniform distribution CDF).
+	for _, x := range []float64{0.1, 0.4, 0.9} {
+		if got := RegIncBeta(1, 1, x); !almostEq(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	if got := RegIncBeta(2.5, 4, 0.3) + RegIncBeta(4, 2.5, 0.7); !almostEq(got, 1, 1e-10) {
+		t.Errorf("incomplete beta symmetry violated: %v", got)
+	}
+	if !math.IsNaN(RegIncBeta(-1, 1, 0.5)) {
+		t.Error("invalid a should give NaN")
+	}
+}

@@ -1,0 +1,86 @@
+package stats
+
+import "math"
+
+// The paper's error metric (Eq. 6):
+//
+//	e(y, yhat) = (1/n) * sum_i | log10(y_i / yhat_i) |
+//
+// The metric is symmetric under over/under-prediction because
+// log(x) = -log(1/x). Errors are reported as percentages: an absolute
+// log-error e corresponds to a relative error of 10^e - 1 (e.g. e = 0.0414
+// is ~10%). Signed variants keep the sign of the log ratio so that -25%
+// means the model underestimated throughput by 25%.
+
+// LogRatio returns the signed log10 ratio log10(actual/predicted). Returns
+// NaN when either argument is not strictly positive.
+func LogRatio(actual, predicted float64) float64 {
+	if actual <= 0 || predicted <= 0 {
+		return math.NaN()
+	}
+	return math.Log10(actual / predicted)
+}
+
+// AbsLogRatio returns |log10(actual/predicted)|.
+func AbsLogRatio(actual, predicted float64) float64 {
+	return math.Abs(LogRatio(actual, predicted))
+}
+
+// LogErrors returns the element-wise signed log10 ratios of actual over
+// predicted. Panics if lengths differ.
+func LogErrors(actual, predicted []float64) []float64 {
+	if len(actual) != len(predicted) {
+		panic("stats: LogErrors length mismatch")
+	}
+	out := make([]float64, len(actual))
+	for i := range actual {
+		out[i] = LogRatio(actual[i], predicted[i])
+	}
+	return out
+}
+
+// AbsLogErrors returns element-wise |log10(actual/predicted)|.
+func AbsLogErrors(actual, predicted []float64) []float64 {
+	errs := LogErrors(actual, predicted)
+	for i, e := range errs {
+		errs[i] = math.Abs(e)
+	}
+	return errs
+}
+
+// MeanAbsLogError is Eq. 6: the mean |log10(y/yhat)| over the sample.
+func MeanAbsLogError(actual, predicted []float64) float64 {
+	return Mean(AbsLogErrors(actual, predicted))
+}
+
+// MedianAbsLogError is the median of |log10(y/yhat)|; the paper reports
+// medians because the error distributions are heavy-tailed.
+func MedianAbsLogError(actual, predicted []float64) float64 {
+	return Median(AbsLogErrors(actual, predicted))
+}
+
+// PctFromLog converts an absolute log10 error to the relative error
+// percentage the paper reports: pct = 10^e - 1 (as a fraction; multiply by
+// 100 for display). PctFromLog(0.0414) ~= 0.10.
+func PctFromLog(e float64) float64 {
+	return math.Pow(10, e) - 1
+}
+
+// LogFromPct is the inverse of PctFromLog: e = log10(1 + pct).
+func LogFromPct(pct float64) float64 {
+	return math.Log10(1 + pct)
+}
+
+// SignedPctFromLog converts a signed log10 ratio e = log10(actual/predicted)
+// into the paper's signed relative error, predicted/actual - 1. A -25% value
+// means the model underestimated real throughput by 25% (Sec. V).
+func SignedPctFromLog(e float64) float64 {
+	return math.Pow(10, -e) - 1
+}
+
+// MedianAbsPctError returns the median absolute error expressed as a
+// relative percentage fraction (the headline numbers in the paper, e.g.
+// 0.1051 for "10.51%").
+func MedianAbsPctError(actual, predicted []float64) float64 {
+	return PctFromLog(MedianAbsLogError(actual, predicted))
+}

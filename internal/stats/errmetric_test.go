@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogRatioSymmetry(t *testing.T) {
+	// Eq. 6 rationale: overestimating by factor k and underestimating by
+	// factor k produce the same absolute error.
+	err := quick.Check(func(rawY, rawK float64) bool {
+		y := 1 + math.Mod(math.Abs(rawY), 1000)
+		k := 1.01 + math.Mod(math.Abs(rawK), 10)
+		over := AbsLogRatio(y, y*k)
+		under := AbsLogRatio(y, y/k)
+		return almostEq(over, under, 1e-9)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogRatioKnown(t *testing.T) {
+	if got := LogRatio(100, 10); !almostEq(got, 1, 1e-12) {
+		t.Errorf("LogRatio(100,10) = %v, want 1", got)
+	}
+	if got := LogRatio(10, 100); !almostEq(got, -1, 1e-12) {
+		t.Errorf("LogRatio(10,100) = %v, want -1", got)
+	}
+	if !math.IsNaN(LogRatio(-1, 10)) || !math.IsNaN(LogRatio(10, 0)) {
+		t.Error("non-positive inputs should give NaN")
+	}
+}
+
+func TestPctLogRoundTrip(t *testing.T) {
+	err := quick.Check(func(raw float64) bool {
+		pct := math.Mod(math.Abs(raw), 5) // relative error in [0, 500%)
+		e := LogFromPct(pct)
+		return almostEq(PctFromLog(e), pct, 1e-9)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPctFromLogKnown(t *testing.T) {
+	// The paper: a model within +-5.71% corresponds to a small log error.
+	if got := PctFromLog(LogFromPct(0.0571)); !almostEq(got, 0.0571, 1e-12) {
+		t.Errorf("round trip = %v", got)
+	}
+	if got := PctFromLog(1); !almostEq(got, 9, 1e-12) {
+		t.Errorf("PctFromLog(1) = %v, want 9 (10x = +900%%)", got)
+	}
+}
+
+func TestSignedPct(t *testing.T) {
+	// Paper convention: predicting 75 when actual is 100 is a -25% error
+	// ("the model underestimated real I/O throughput by 25%").
+	e := LogRatio(100, 75)
+	if got := SignedPctFromLog(e); !almostEq(got, -0.25, 1e-12) {
+		t.Errorf("SignedPctFromLog = %v, want -0.25", got)
+	}
+	// Predicting 125 when actual is 100 is a +25% overestimate.
+	e = LogRatio(100, 125)
+	if got := SignedPctFromLog(e); !almostEq(got, 0.25, 1e-12) {
+		t.Errorf("overestimate branch = %v", got)
+	}
+}
+
+func TestMeanMedianAbsLogError(t *testing.T) {
+	actual := []float64{10, 100, 1000}
+	pred := []float64{10, 100, 1000}
+	if got := MeanAbsLogError(actual, pred); got != 0 {
+		t.Errorf("perfect prediction error = %v", got)
+	}
+	pred2 := []float64{100, 100, 1000} // one 10x error
+	if got := MeanAbsLogError(actual, pred2); !almostEq(got, 1.0/3, 1e-12) {
+		t.Errorf("mean abs log error = %v", got)
+	}
+	if got := MedianAbsLogError(actual, pred2); got != 0 {
+		t.Errorf("median abs log error = %v, want 0", got)
+	}
+}
+
+func TestMedianAbsPctError(t *testing.T) {
+	actual := []float64{100, 100, 100}
+	pred := []float64{110, 90.909090909090907, 100}
+	got := MedianAbsPctError(actual, pred)
+	if !almostEq(got, 0.1, 1e-9) {
+		t.Errorf("MedianAbsPctError = %v, want ~0.1", got)
+	}
+}
+
+func TestLogErrorsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	LogErrors([]float64{1}, []float64{1, 2})
+}

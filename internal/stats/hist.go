@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-width binned summary of a sample.
+type Histogram struct {
+	// Edges has len(Counts)+1 entries; bin i covers [Edges[i], Edges[i+1]).
+	Edges  []float64
+	Counts []int
+	// Underflow and Overflow count samples outside [Edges[0], Edges[len-1]).
+	Underflow int
+	Overflow  int
+}
+
+// NewHistogram bins xs into n equal-width bins over [lo, hi). Values outside
+// the range land in Underflow/Overflow. Panics if n <= 0 or hi <= lo.
+func NewHistogram(xs []float64, n int, lo, hi float64) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs n > 0 bins")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	h := &Histogram{
+		Edges:  make([]float64, n+1),
+		Counts: make([]int, n),
+	}
+	width := (hi - lo) / float64(n)
+	for i := range h.Edges {
+		h.Edges[i] = lo + float64(i)*width
+	}
+	for _, x := range xs {
+		switch {
+		case x < lo:
+			h.Underflow++
+		case x >= hi:
+			h.Overflow++
+		default:
+			idx := int((x - lo) / width)
+			if idx >= n { // float round-off at the top edge
+				idx = n - 1
+			}
+			h.Counts[idx]++
+		}
+	}
+	return h
+}
+
+// Total returns the number of in-range samples.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// MaxCount returns the largest bin count (0 for an empty histogram).
+func (h *Histogram) MaxCount() int {
+	m := 0
+	for _, c := range h.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (copied and sorted).
+func NewECDF(xs []float64) *ECDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns the fraction of samples <= x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	idx := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile of the sample.
+func (e *ECDF) Quantile(q float64) float64 { return QuantileSorted(e.sorted, q) }
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// InverseCumulativeShare answers the question posed by Fig. 5's marginals:
+// "what fraction of the total mass of values is contributed by samples whose
+// key is below k?". Keys and values must be parallel slices (e.g. key =
+// epistemic uncertainty, value = absolute error). The returned function maps
+// a key threshold to the fraction of total value at or below it; it returns
+// NaN if the total value is zero.
+func InverseCumulativeShare(keys, values []float64) func(threshold float64) float64 {
+	if len(keys) != len(values) {
+		panic("stats: InverseCumulativeShare length mismatch")
+	}
+	type kv struct{ k, v float64 }
+	items := make([]kv, len(keys))
+	total := 0.0
+	for i := range keys {
+		items[i] = kv{keys[i], values[i]}
+		total += values[i]
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].k < items[j].k })
+	cum := make([]float64, len(items))
+	acc := 0.0
+	for i, it := range items {
+		acc += it.v
+		cum[i] = acc
+	}
+	return func(threshold float64) float64 {
+		if total == 0 {
+			return math.NaN()
+		}
+		// Find the last index with key <= threshold.
+		lo, hi := 0, len(items)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if items[mid].k <= threshold {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			return 0
+		}
+		return cum[lo-1] / total
+	}
+}
+
+// Shoulder locates the end of the "quick rise" of an inverse cumulative
+// error curve (Sec. VIII.A): scanning thresholds upward, it returns the
+// first threshold at which at least half the error mass has accumulated
+// and the marginal accumulation falls below slope times the average. For
+// an EU/error curve this lands just above the in-distribution bulk, in the
+// flat region the paper selects its OoD threshold from (0.24, above the
+// EU≈0.1 shoulder). Returns the maximum key when the curve is degenerate.
+func Shoulder(keys, values []float64, slope float64) float64 {
+	if len(keys) == 0 {
+		return math.NaN()
+	}
+	share := InverseCumulativeShare(keys, values)
+	lo, hi := MinMax(keys)
+	if hi <= lo {
+		return hi
+	}
+	const steps = 200
+	dx := (hi - lo) / steps
+	avg := 1.0 / (hi - lo) // average slope of a curve rising 0 -> 1
+	prev := share(lo)
+	for i := 1; i <= steps; i++ {
+		x := lo + float64(i)*dx
+		cur := share(x)
+		grad := (cur - prev) / dx
+		if cur >= 0.5 && grad < slope*avg {
+			return x
+		}
+		prev = cur
+	}
+	return hi
+}

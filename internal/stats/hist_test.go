@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"iotaxo/internal/rng"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	xs := []float64{-1, 0, 0.5, 1, 1.5, 2, 3}
+	h := NewHistogram(xs, 2, 0, 2)
+	if h.Underflow != 1 {
+		t.Errorf("underflow = %d", h.Underflow)
+	}
+	if h.Overflow != 2 { // 2 and 3 are >= hi
+		t.Errorf("overflow = %d", h.Overflow)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total() != 4 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.MaxCount() != 2 {
+		t.Errorf("max = %d", h.MaxCount())
+	}
+}
+
+func TestHistogramEdgeRoundoff(t *testing.T) {
+	// A value just below hi must land in the last bin, never out of range.
+	h := NewHistogram([]float64{math.Nextafter(1, 0)}, 3, 0, 1)
+	if h.Counts[2] != 1 {
+		t.Errorf("top-edge value misplaced: %v", h.Counts)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(nil, 0, 0, 1) },
+		func() { NewHistogram(nil, 3, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("ECDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	if got := e.Quantile(0.5); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("ECDF quantile = %v", got)
+	}
+}
+
+func TestInverseCumulativeShare(t *testing.T) {
+	// Three samples: key 1 holds 10% of error, key 2 holds 30%, key 3 60%.
+	keys := []float64{1, 2, 3}
+	vals := []float64{10, 30, 60}
+	share := InverseCumulativeShare(keys, vals)
+	if got := share(0.5); got != 0 {
+		t.Errorf("share below all keys = %v", got)
+	}
+	if got := share(1); !almostEq(got, 0.1, 1e-12) {
+		t.Errorf("share(1) = %v", got)
+	}
+	if got := share(2.5); !almostEq(got, 0.4, 1e-12) {
+		t.Errorf("share(2.5) = %v", got)
+	}
+	if got := share(3); !almostEq(got, 1, 1e-12) {
+		t.Errorf("share(3) = %v", got)
+	}
+}
+
+func TestInverseCumulativeShareMonotone(t *testing.T) {
+	r := rng.New(5)
+	n := 200
+	keys := make([]float64, n)
+	vals := make([]float64, n)
+	for i := range keys {
+		keys[i] = r.Float64()
+		vals[i] = r.Float64()
+	}
+	share := InverseCumulativeShare(keys, vals)
+	prev := -1.0
+	for x := 0.0; x <= 1; x += 0.01 {
+		cur := share(x)
+		if cur < prev-1e-12 {
+			t.Fatalf("share not monotone at %v", x)
+		}
+		prev = cur
+	}
+}
+
+func TestShoulderFindsConcentration(t *testing.T) {
+	// 95% of the error mass sits below key 0.1; the remaining 5% spreads up
+	// to 1.0. The shoulder should be found near the low end.
+	keys := make([]float64, 0, 400)
+	vals := make([]float64, 0, 400)
+	for i := 0; i < 380; i++ {
+		keys = append(keys, 0.1*float64(i)/380)
+		vals = append(vals, 1)
+	}
+	for i := 0; i < 20; i++ {
+		keys = append(keys, 0.1+0.9*float64(i)/20)
+		vals = append(vals, 1)
+	}
+	sh := Shoulder(keys, vals, 2)
+	if sh > 0.3 {
+		t.Errorf("shoulder = %v, want below 0.3", sh)
+	}
+	if sh <= 0 {
+		t.Errorf("shoulder = %v, want positive", sh)
+	}
+}
+
+func TestShoulderDegenerate(t *testing.T) {
+	if got := Shoulder([]float64{2, 2, 2}, []float64{1, 1, 1}, 2); got != 2 {
+		t.Errorf("degenerate shoulder = %v", got)
+	}
+	if !math.IsNaN(Shoulder(nil, nil, 2)) {
+		t.Error("empty shoulder should be NaN")
+	}
+}

@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the Kolmogorov-Smirnov statistic sup_x |F_n(x) -
+// F(x)| between the empirical distribution of xs and the given
+// distribution. Smaller is a better fit; Sec. IX.A's claim that the ∆t=0
+// duplicate deviations are t-distributed rather than normal is quantified
+// by comparing the two statistics. Returns NaN for an empty sample.
+func KSStatistic(xs []float64, d Dist) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	maxDev := 0.0
+	for i, x := range sorted {
+		f := d.CDF(x)
+		// The empirical CDF jumps from i/n to (i+1)/n at x; check both.
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if dev := math.Abs(f - lo); dev > maxDev {
+			maxDev = dev
+		}
+		if dev := math.Abs(f - hi); dev > maxDev {
+			maxDev = dev
+		}
+	}
+	return maxDev
+}

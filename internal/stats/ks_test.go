@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"iotaxo/internal/rng"
+)
+
+func TestKSMatchingDistribution(t *testing.T) {
+	r := rng.New(31)
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = r.NormAt(2, 0.5)
+	}
+	ks := KSStatistic(xs, Normal{Mu: 2, Sigma: 0.5})
+	// The KS statistic for a correct model scales like 1/sqrt(n) ~ 0.016.
+	if ks > 0.05 {
+		t.Errorf("KS against the true distribution = %v", ks)
+	}
+}
+
+func TestKSMismatchedDistribution(t *testing.T) {
+	r := rng.New(32)
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = r.NormAt(2, 0.5)
+	}
+	good := KSStatistic(xs, Normal{Mu: 2, Sigma: 0.5})
+	shifted := KSStatistic(xs, Normal{Mu: 2.5, Sigma: 0.5})
+	if shifted < 5*good {
+		t.Errorf("shifted KS %v not clearly above matched %v", shifted, good)
+	}
+}
+
+func TestKSPrefersTOnHeavyTails(t *testing.T) {
+	// A scale mixture of normals (the ∆t=0 situation across apps) is
+	// better described by a t-distribution than by a single normal.
+	r := rng.New(33)
+	xs := make([]float64, 6000)
+	for i := range xs {
+		sigma := 0.01
+		if i%2 == 0 {
+			sigma = 0.05
+		}
+		xs[i] = sigma * r.Norm()
+	}
+	tFit, err := FitStudentT(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFit, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksT := KSStatistic(xs, tFit)
+	ksN := KSStatistic(xs, nFit)
+	if ksT >= ksN {
+		t.Errorf("t fit KS %v not below normal fit KS %v", ksT, ksN)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if !math.IsNaN(KSStatistic(nil, Normal{Mu: 0, Sigma: 1})) {
+		t.Error("empty sample should give NaN")
+	}
+}

@@ -1,0 +1,264 @@
+// Package stats implements the statistical substrate the taxonomy needs:
+// descriptive statistics with Bessel's correction, weighted quantiles,
+// normal and Student-t distributions, histogram/ECDF summaries, and the
+// paper's log10-ratio error metric (Eq. 6).
+//
+// Everything is implemented from textbook formulas on top of the standard
+// library; no external numerical packages are used.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the unbiased sample variance (Bessel's correction,
+// dividing by n-1). It returns 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// PopVariance returns the population (biased, divide-by-n) variance.
+func PopVariance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+// StdDev returns the Bessel-corrected sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// BesselCorrect converts a biased (divide-by-n) variance computed from n
+// samples into the unbiased estimate, multiplying by n/(n-1). This is the
+// correction the paper applies to duplicate-set variances (Sec. VI.A, IX.A).
+// n <= 1 returns the input unchanged.
+func BesselCorrect(biasedVar float64, n int) float64 {
+	if n <= 1 {
+		return biasedVar
+	}
+	return biasedVar * float64(n) / float64(n-1)
+}
+
+// Median returns the median of xs without modifying it.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default).
+// It returns NaN for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile for already-sorted input; it avoids the copy.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WeightedQuantile returns the q-th quantile of xs under the given
+// non-negative weights. The paper uses weighting so that huge duplicate sets
+// do not dominate pooled distributions (Sec. IX.A). Returns NaN when the
+// sample is empty or total weight is zero. Panics if lengths differ.
+func WeightedQuantile(xs, weights []float64, q float64) float64 {
+	if len(xs) != len(weights) {
+		panic("stats: WeightedQuantile length mismatch")
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	type wx struct{ x, w float64 }
+	items := make([]wx, 0, len(xs))
+	total := 0.0
+	for i, x := range xs {
+		w := weights[i]
+		if w < 0 {
+			panic("stats: negative weight")
+		}
+		if w == 0 {
+			continue
+		}
+		items = append(items, wx{x, w})
+		total += w
+	}
+	if total == 0 || len(items) == 0 {
+		return math.NaN()
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].x < items[j].x })
+	if q <= 0 {
+		return items[0].x
+	}
+	if q >= 1 {
+		return items[len(items)-1].x
+	}
+	target := q * total
+	acc := 0.0
+	for _, it := range items {
+		acc += it.w
+		if acc >= target {
+			return it.x
+		}
+	}
+	return items[len(items)-1].x
+}
+
+// MAD returns the median absolute deviation from the median.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
+// MinMax returns the minimum and maximum of xs. It returns (0, 0) for an
+// empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Summary bundles the descriptive statistics reported for feature columns
+// and error distributions.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P90    float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    StdDev(xs),
+		Min:    sorted[0],
+		P25:    quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		P75:    quantileSorted(sorted, 0.75),
+		P90:    quantileSorted(sorted, 0.90),
+		P95:    quantileSorted(sorted, 0.95),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// Correlation returns the Pearson correlation of xs and ys. It returns 0
+// when either side has zero variance. Panics if lengths differ.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Correlation length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

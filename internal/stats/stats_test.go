@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"iotaxo/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	// Population variance is 4; Bessel-corrected is 4*8/7.
+	if v := PopVariance(xs); !almostEq(v, 4, 1e-12) {
+		t.Errorf("PopVariance = %v, want 4", v)
+	}
+	if v := Variance(xs); !almostEq(v, 4*8.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", v, 4*8.0/7.0)
+	}
+}
+
+func TestVarianceSmall(t *testing.T) {
+	if Variance(nil) != 0 || Variance([]float64{3}) != 0 {
+		t.Error("Variance of n<2 should be 0")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean of empty should be 0")
+	}
+}
+
+func TestBesselCorrect(t *testing.T) {
+	if got := BesselCorrect(4, 8); !almostEq(got, 4*8.0/7.0, 1e-12) {
+		t.Errorf("BesselCorrect(4,8) = %v", got)
+	}
+	if got := BesselCorrect(4, 1); got != 4 {
+		t.Errorf("BesselCorrect(4,1) = %v, want unchanged", got)
+	}
+}
+
+func TestBesselMatchesVariance(t *testing.T) {
+	// Property: Variance == BesselCorrect(PopVariance, n).
+	r := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormAt(3, 2)
+		}
+		want := Variance(xs)
+		got := BesselCorrect(PopVariance(xs), n)
+		if !almostEq(got, want, 1e-9*(1+math.Abs(want))) {
+			t.Fatalf("mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestQuantileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(empty) should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	r := rng.New(2)
+	err := quick.Check(func(seed uint32) bool {
+		rr := r.Split(uint64(seed))
+		n := 1 + rr.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rr.NormAt(0, 10)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.05 {
+			v := Quantile(xs, math.Min(q, 1))
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileWithinBounds(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := MinMax(xs)
+		for _, q := range []float64{0, 0.3, 0.5, 0.9, 1} {
+			v := Quantile(xs, q)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	// All the weight on the middle value.
+	if got := WeightedQuantile(xs, []float64{0, 1, 0}, 0.5); got != 2 {
+		t.Errorf("WeightedQuantile = %v, want 2", got)
+	}
+	// Uniform weights should approximate the unweighted median.
+	if got := WeightedQuantile(xs, []float64{1, 1, 1}, 0.5); got != 2 {
+		t.Errorf("uniform WeightedQuantile = %v, want 2", got)
+	}
+	if !math.IsNaN(WeightedQuantile(nil, nil, 0.5)) {
+		t.Error("empty WeightedQuantile should be NaN")
+	}
+	if !math.IsNaN(WeightedQuantile(xs, []float64{0, 0, 0}, 0.5)) {
+		t.Error("zero-weight WeightedQuantile should be NaN")
+	}
+}
+
+func TestWeightedQuantileSkew(t *testing.T) {
+	xs := []float64{1, 10}
+	w := []float64{9, 1}
+	if got := WeightedQuantile(xs, w, 0.5); got != 1 {
+		t.Errorf("weighted median = %v, want 1 (90%% of weight)", got)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	if got := MAD(xs); got != 1 {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 || s.Min != 1 || s.Max != 10 {
+		t.Errorf("Summarize basic fields wrong: %+v", s)
+	}
+	if !almostEq(s.Median, 5.5, 1e-12) {
+		t.Errorf("median = %v", s.Median)
+	}
+	if !almostEq(s.Mean, 5.5, 1e-12) {
+		t.Errorf("mean = %v", s.Mean)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Correlation(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Correlation(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if got := Correlation(xs, []float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("zero-variance correlation = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v, %v)", lo, hi)
+	}
+}
+
+func TestMedianSortedAgreement(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Norm()
+		}
+		sorted := make([]float64, n)
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		if got, want := Median(xs), QuantileSorted(sorted, 0.5); !almostEq(got, want, 1e-12) {
+			t.Fatalf("Median disagreement: %v vs %v", got, want)
+		}
+	}
+}

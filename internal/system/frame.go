@@ -1,0 +1,189 @@
+package system
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"iotaxo/internal/cobalt"
+	"iotaxo/internal/darshan"
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/lmt"
+	"iotaxo/internal/rng"
+)
+
+// lmtSamplesPerJob is how many effective LMT observations are aggregated
+// per job. LMT itself samples every 5 s, but consecutive samples are
+// heavily autocorrelated; a handful of effective samples per job window
+// matches the information content of real server-side aggregates.
+const lmtSamplesPerJob = 6
+
+// Stream id base for per-job LMT observation noise.
+const streamLMTBase = 1 << 30
+
+// Frame converts the generated history into the tabular dataset the models
+// train on: Darshan POSIX + MPI-IO features, Cobalt scheduler features,
+// and (when the machine collects them) LMT filesystem features. Feature
+// extraction fans out over GOMAXPROCS workers; per-job RNG streams keep the
+// result independent of scheduling.
+func (m *Machine) Frame() (*dataset.Frame, error) {
+	cols := make([]string, 0, 160)
+	cols = append(cols, darshan.POSIXNames...)
+	cols = append(cols, darshan.MPIIONames...)
+	cols = append(cols, cobalt.Names...)
+	if m.Cfg.CollectLMT {
+		cols = append(cols, lmt.Names...)
+	}
+	frame, err := dataset.NewFrame(cols)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(m.Jobs)
+	rows := make([][]float64, n)
+	root := rng.New(m.Cfg.Seed)
+
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				row, err := m.featureRow(&m.Jobs[i], root)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				rows[i] = row
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for i := range m.Jobs {
+		j := &m.Jobs[i]
+		meta := dataset.Meta{
+			JobID:     j.ID,
+			App:       j.Arch.Name,
+			Start:     j.Start,
+			End:       j.End,
+			ConfigKey: j.Cfg.ID,
+			OoD:       j.OoD,
+			Truth: &dataset.Truth{
+				Base:       j.BaseLog,
+				Global:     j.GlobalLog,
+				Contention: j.ContLog,
+				Noise:      j.NoiseLog,
+			},
+		}
+		if err := frame.Append(rows[i], j.Throughput, meta); err != nil {
+			return nil, err
+		}
+	}
+	return frame, nil
+}
+
+func (m *Machine) featureRow(j *Job, root *rng.Rand) ([]float64, error) {
+	row := make([]float64, 0, 160)
+	row = append(row, darshan.POSIXFeatures(j.Arch, j.Cfg)...)
+	row = append(row, darshan.MPIIOFeatures(j.Arch, j.Cfg)...)
+	cores := j.Cfg.Nodes * coreMultiplier(j)
+	row = append(row, cobalt.Features(j.Cfg.Nodes, cores, j.QueueWait, j.Start, j.End)...)
+	if m.Cfg.CollectLMT {
+		samples := m.sampleLMT(j, root.Split(streamLMTBase+uint64(j.ID)))
+		feats, err := lmt.Features(samples, m.Cfg.NumOSTs)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, feats...)
+	}
+	return row, nil
+}
+
+// coreMultiplier reports cores per node; Cobalt logs allocated cores, which
+// typically exceed the Darshan-visible process count.
+func coreMultiplier(j *Job) int {
+	if j.Arch.ProcsPerNode >= 32 {
+		return 64
+	}
+	return 64 // Theta KNL: 64 cores/node regardless of procs used
+}
+
+// sampleLMT observes the storage system at lmtSamplesPerJob points across
+// the job's runtime. Observations blend the true global state (weather)
+// and load with per-sample measurement noise, which is what lets a
+// LMT-enriched model recover most of the system modeling error (Fig 4)
+// without making the features a perfect oracle.
+func (m *Machine) sampleLMT(j *Job, r *rng.Rand) []lmt.Sample {
+	cfg := m.Cfg
+	span := j.End - j.Start
+	samples := make([]lmt.Sample, lmtSamplesPerJob)
+	fillBase := 0.35 + 0.4*(j.Start-cfg.Start)/(cfg.End-cfg.Start)
+	for k := range samples {
+		t := j.Start + span*(float64(k)+0.5)/lmtSamplesPerJob
+		load := m.Load.At(t)
+		degraded, severity := m.Weather.Degraded(t)
+		weatherMult := pow10(m.Weather.GlobalLog(t))
+		served := load
+		if served > 1 {
+			served = 1
+		}
+		served *= weatherMult
+		degradedBoost := 0.0
+		if degraded {
+			degradedBoost = 25 * (1 - pow10(severity))
+		}
+		noise := func(scale float64) float64 {
+			v := 1 + scale*r.Norm()
+			if v < 0.05 {
+				v = 0.05
+			}
+			return v
+		}
+		readShare := 0.45 + 0.1*r.Float64()
+		ostRate := served * cfg.PeakBytesPerSec
+		samples[k] = lmt.Sample{
+			OSSCPU:       clamp(8+65*load+degradedBoost*noise(0.3), 0, 100),
+			OSSMem:       clamp(30+45*load*noise(0.15), 0, 100),
+			OSTReadRate:  ostRate * readShare * noise(0.25),
+			OSTWriteRate: ostRate * (1 - readShare) * noise(0.25),
+			OSTFullness:  clamp(fillBase+0.02*r.Norm(), 0, 1),
+			MDSCPU:       clamp(12+50*load+degradedBoost*0.8*noise(0.3), 0, 100),
+			MDSOpsRate:   clamp(4000*load*weatherMult*noise(0.3), 0, 1e9),
+			MDTOpenRate:  clamp(1500*load*weatherMult*noise(0.35), 0, 1e9),
+			MDTCloseRate: clamp(1450*load*weatherMult*noise(0.35), 0, 1e9),
+		}
+	}
+	return samples
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func pow10(x float64) float64 {
+	const ln10 = 2.302585092994046
+	return math.Exp(x * ln10)
+}

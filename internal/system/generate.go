@@ -1,0 +1,206 @@
+package system
+
+import (
+	"math"
+
+	"iotaxo/internal/apps"
+	"iotaxo/internal/rng"
+)
+
+// Stable stream ids for the generator's independent random substreams.
+const (
+	streamWeather = 1
+	streamPools   = 2
+	streamArrival = 3
+	streamJobBase = 1 << 20
+)
+
+// Generate runs the data-generating process and returns the machine with
+// its full job history. Generation is deterministic in cfg.Seed.
+func Generate(cfg *Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	m := &Machine{
+		Cfg:     cfg,
+		Weather: GenWeather(cfg, root.Split(streamWeather)),
+	}
+
+	pools := buildPools(cfg, root.Split(streamPools))
+	m.Jobs = genArrivals(cfg, pools, root.Split(streamArrival))
+
+	// Build the load profile from job demands plus background traffic.
+	m.Load = NewLoadProfile(cfg.Start, cfg.End+14*86400, cfg.LoadBucketSec)
+	m.Load.AddBaseline(cfg.BaselineLoad, cfg.BaselineSwing)
+	for i := range m.Jobs {
+		j := &m.Jobs[i]
+		demand := relDemand(j, cfg)
+		m.Load.Add(j.Start, j.End, demand)
+	}
+
+	// Realize each job's throughput decomposition. Per-job streams keyed by
+	// job ID keep this deterministic under any parallel schedule.
+	for i := range m.Jobs {
+		realize(&m.Jobs[i], m, root.Split(streamJobBase+uint64(m.Jobs[i].ID)))
+	}
+	return m, nil
+}
+
+// pool is the recurring configuration pool of one archetype.
+type pool struct {
+	arch    *apps.Archetype
+	configs []apps.Config
+	zipf    *rng.Zipf
+}
+
+// poolSet holds pools for the production and novel catalogs.
+type poolSet struct {
+	prod      []pool
+	prodDist  []float64
+	novel     []pool
+	novelDist []float64
+	nextID    uint64
+}
+
+func buildPools(cfg *Config, r *rng.Rand) *poolSet {
+	ps := &poolSet{nextID: 1}
+	build := func(cat *apps.Catalog) []pool {
+		out := make([]pool, len(cat.Archetypes))
+		for i := range cat.Archetypes {
+			arch := &cat.Archetypes[i]
+			pr := r.Split(uint64(i) + 17)
+			configs := make([]apps.Config, cfg.ConfigsPerApp)
+			for k := range configs {
+				configs[k] = arch.NewConfig(ps.nextID, pr)
+				ps.nextID++
+			}
+			out[i] = pool{
+				arch:    arch,
+				configs: configs,
+				zipf:    rng.NewZipf(len(configs), cfg.ConfigZipfS),
+			}
+		}
+		return out
+	}
+	ps.prod = build(&cfg.Catalog)
+	ps.prodDist = cfg.Catalog.Weights
+	if len(cfg.NovelCatalog.Archetypes) > 0 {
+		ps.novel = build(&cfg.NovelCatalog)
+		ps.novelDist = cfg.NovelCatalog.Weights
+	}
+	return ps
+}
+
+// genArrivals simulates the job arrival process. Submission event times are
+// drawn i.i.d. uniform over the period — a Poisson process conditioned on
+// its count — so the history fills the whole collection window regardless
+// of how batching inflates the job count. A fraction of events are batched
+// resubmissions of the same configuration (producing the ∆t=0 duplicate
+// sets of Sec. IX), and a small post-deployment share of arrivals comes
+// from the novel catalog.
+func genArrivals(cfg *Config, ps *poolSet, r *rng.Rand) []Job {
+	span := cfg.End - cfg.Start
+	novelStart := cfg.Start + cfg.NovelStartFrac*span
+
+	jobs := make([]Job, 0, cfg.NumJobs+64)
+	id := 0
+	for len(jobs) < cfg.NumJobs {
+		t := cfg.Start + r.Float64()*span
+		novel := t >= novelStart && len(ps.novel) > 0 && r.Bool(cfg.NovelShare)
+		var pl *pool
+		if novel {
+			pl = &ps.novel[r.Categorical(ps.novelDist)]
+		} else {
+			pl = &ps.prod[r.Categorical(ps.prodDist)]
+		}
+		// Pick a configuration: recurring (pooled, Zipf popularity) or a
+		// fresh one-off configuration.
+		var jcfg apps.Config
+		if r.Bool(cfg.NovelConfigRate) {
+			jcfg = pl.arch.NewConfig(ps.nextID, r)
+			ps.nextID++
+		} else {
+			jcfg = pl.configs[pl.zipf.Draw(r)]
+		}
+		// Batched resubmissions: identical (app, config), same start time.
+		n := 1
+		if r.Bool(cfg.BatchProb) {
+			if r.Bool(cfg.LargeBatchProb / cfg.BatchProb) {
+				n = 8 + r.Intn(24) // rare parameter-sweep campaigns
+			} else {
+				// Mostly pairs: 70% of same-instant duplicate sets on Theta
+				// have exactly two jobs, 96% have six or fewer (Sec. IX.A).
+				n = 2
+				for n < 7 && r.Bool(0.25) {
+					n++
+				}
+			}
+		}
+		for k := 0; k < n && len(jobs) < cfg.NumJobs; k++ {
+			j := Job{
+				ID:        id,
+				Arch:      pl.arch,
+				Cfg:       jcfg,
+				QueueWait: r.LogNormal(math.Log(600), 1.2),
+				Start:     t,
+				OoD:       novel,
+			}
+			j.BaseLog = pl.arch.BaseLogThroughput(jcfg, cfg.PeakBytesPerSec)
+			j.End = j.Start + duration(&j)
+			jobs = append(jobs, j)
+			id++
+		}
+	}
+	return jobs
+}
+
+// duration derives the job's wall time from its I/O volume and idealized
+// throughput: I/O takes volume/fa seconds and occupies a config-specific
+// fraction of the run. The fraction is a pure function of the config so
+// duplicates share wall time structure.
+func duration(j *Job) float64 {
+	ioTime := j.Cfg.GiB * float64(1<<30) / math.Pow(10, j.BaseLog)
+	// Hash the config id into a stable I/O fraction in [0.05, 0.55).
+	h := j.Cfg.ID * 0x9e3779b97f4a7c15
+	ioFrac := 0.05 + 0.5*float64(h>>11)/float64(1<<53)
+	d := ioTime / ioFrac
+	const week = 7 * 86400
+	if d > week {
+		d = week
+	}
+	if d < 30 {
+		d = 30
+	}
+	return d
+}
+
+// relDemand is the job's average offered load as a fraction of system
+// capacity while it runs.
+func relDemand(j *Job, cfg *Config) float64 {
+	bytes := j.Cfg.GiB * float64(1<<30)
+	d := bytes / (j.End - j.Start) / cfg.PeakBytesPerSec
+	if d > 0.1 {
+		d = 0.1 // a single job only ever touches a slice of the OSTs
+	}
+	return d
+}
+
+// realize fills in the ground-truth decomposition and throughput of job j.
+func realize(j *Job, m *Machine, r *rng.Rand) {
+	cfg := m.Cfg
+	mid := (j.Start + j.End) / 2
+	// Global system impact, scaled by the app's system sensitivity.
+	j.GlobalLog = j.Arch.SystemSens * m.Weather.GlobalLog(mid)
+	// Contention: mean load over the runtime window drives a shared
+	// penalty; placement luck adds a per-job zero-mean jitter that grows
+	// with load.
+	load := m.Load.MeanOver(j.Start, j.End)
+	j.LoadMean = load
+	mean := ContentionLog(load, cfg.ContentionKnee, cfg.ContentionScaleLog10)
+	jitter := cfg.PlacementSigmaLog10 * load * r.Norm()
+	j.ContLog = j.Arch.ContentionSens * (mean + jitter)
+	// Inherent noise.
+	j.NoiseLog = cfg.NoiseSigmaLog10 * j.Arch.NoiseSens * r.Norm()
+	j.Throughput = math.Pow(10, j.PhiLog())
+}

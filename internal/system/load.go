@@ -1,0 +1,98 @@
+package system
+
+import "math"
+
+// LoadProfile tracks the aggregate relative I/O demand on the filesystem
+// over time, bucketed at a fixed resolution. Demand is expressed as a
+// fraction of system capacity; values above ~1 mean the storage system is
+// oversubscribed and jobs contend (the paper's ζl component).
+type LoadProfile struct {
+	start, end float64
+	bucket     float64
+	demand     []float64
+}
+
+// NewLoadProfile creates a profile covering [start, end) with the given
+// bucket width in seconds.
+func NewLoadProfile(start, end, bucket float64) *LoadProfile {
+	if end <= start || bucket <= 0 {
+		panic("system: invalid load profile bounds")
+	}
+	n := int(math.Ceil((end-start)/bucket)) + 1
+	return &LoadProfile{start: start, end: end, bucket: bucket, demand: make([]float64, n)}
+}
+
+func (lp *LoadProfile) idx(t float64) int {
+	i := int((t - lp.start) / lp.bucket)
+	if i < 0 {
+		return 0
+	}
+	if i >= len(lp.demand) {
+		return len(lp.demand) - 1
+	}
+	return i
+}
+
+// Add records a job demanding rel (fraction of capacity) during [from, to).
+func (lp *LoadProfile) Add(from, to, rel float64) {
+	if to <= from {
+		to = from + 1
+	}
+	for i := lp.idx(from); i <= lp.idx(to); i++ {
+		lp.demand[i] += rel
+	}
+}
+
+// AddBaseline adds a diurnal background demand pattern: mean background
+// level with a day/night swing of the given amplitude.
+func (lp *LoadProfile) AddBaseline(mean, swing float64) {
+	const day = 86400.0
+	for i := range lp.demand {
+		t := lp.start + float64(i)*lp.bucket
+		lp.demand[i] += mean + swing*math.Sin(2*math.Pi*t/day)
+	}
+}
+
+// At returns the relative demand at time t.
+func (lp *LoadProfile) At(t float64) float64 { return lp.demand[lp.idx(t)] }
+
+// MeanOver returns the average relative demand over [from, to).
+func (lp *LoadProfile) MeanOver(from, to float64) float64 {
+	i0, i1 := lp.idx(from), lp.idx(to)
+	if i1 < i0 {
+		i0, i1 = i1, i0
+	}
+	sum := 0.0
+	for i := i0; i <= i1; i++ {
+		sum += lp.demand[i]
+	}
+	return sum / float64(i1-i0+1)
+}
+
+// MaxOver returns the peak relative demand over [from, to).
+func (lp *LoadProfile) MaxOver(from, to float64) float64 {
+	i0, i1 := lp.idx(from), lp.idx(to)
+	if i1 < i0 {
+		i0, i1 = i1, i0
+	}
+	max := 0.0
+	for i := i0; i <= i1; i++ {
+		if lp.demand[i] > max {
+			max = lp.demand[i]
+		}
+	}
+	return max
+}
+
+// ContentionLog converts a relative load level into the mean contention
+// multiplier in log10 space: zero while the system has headroom, and an
+// increasingly negative penalty as demand exceeds the knee. scale sets the
+// log10 penalty per unit of excess demand.
+func ContentionLog(load, knee, scale float64) float64 {
+	excess := load - knee
+	if excess <= 0 {
+		return 0
+	}
+	// Smooth onset: softplus-like but cheap.
+	return -scale * excess * excess / (0.5 + excess)
+}

@@ -1,0 +1,238 @@
+// Package system implements the data-generating process the paper
+// formalizes in Eq. 3:
+//
+//	φ(j) = fa(j) + fg(j, ζg(t)) + fl(j, ζl(t,j)) + fn(j, ζ, ω)
+//
+// (in log10 space), as a stochastic HPC machine simulator. A Machine
+// generates a multi-year job history with application-level behavior
+// (fa, from the archetype catalog), global system climate and weather
+// (fg), contention between concurrent jobs over shared storage (fl), and
+// inherent noise (fn) — and records each job's ground-truth decomposition
+// so the taxonomy's litmus tests can be validated against injected truth.
+//
+// Two presets model the paper's testbeds: ThetaLike (Darshan + Cobalt
+// logs, no LMT, ~100K jobs over 2017-2020) and CoriLike (Darshan + LMT,
+// higher duplicate rate and noise, 2018-2019).
+package system
+
+import (
+	"fmt"
+
+	"iotaxo/internal/apps"
+)
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	Name string
+	Seed uint64
+
+	// NumJobs is the target job count (>= 1 GiB jobs, as in the paper).
+	NumJobs int
+	// Start and End bound the collection period (unix seconds).
+	Start, End float64
+
+	// PeakBytesPerSec is the healthy aggregate filesystem bandwidth.
+	PeakBytesPerSec float64
+	// NumOSTs is the object storage target count (reported in LMT logs).
+	NumOSTs int
+
+	// NoiseSigmaLog10 is the inherent noise ω: the std of the log10
+	// multiplier applied to every job (scaled by app noise sensitivity).
+	NoiseSigmaLog10 float64
+
+	// Weather parameters (global system state ζg).
+	DegradationRatePerDay    float64 // Poisson rate of service degradations
+	DegradationMeanDays      float64 // mean degradation duration
+	DegradationSeverityLog10 float64 // mean |log10| severity of an event
+	DriftAmpLog10            float64 // seasonal climate drift amplitude
+	UpgradeCount             int     // provisioning/upgrade step count
+	UpgradeStepLog10         float64 // std of each upgrade's log10 step
+
+	// Contention parameters (local system state ζl).
+	ContentionKnee       float64 // relative load where contention begins
+	ContentionScaleLog10 float64 // log10 penalty per unit excess load
+	PlacementSigmaLog10  float64 // per-job placement luck std at unit load
+	BaselineLoad         float64 // mean background demand (fraction of peak)
+	BaselineSwing        float64 // diurnal swing of background demand
+	LoadBucketSec        float64 // load profile resolution
+
+	// Workload parameters.
+	Catalog         apps.Catalog
+	ConfigsPerApp   int     // recurring configuration pool size per app
+	NovelConfigRate float64 // chance a job runs a fresh, never-pooled config
+	ConfigZipfS     float64 // popularity skew of pooled configs
+	BatchProb       float64 // chance an arrival is a batched resubmission
+	LargeBatchProb  float64 // chance a batch is a large campaign
+
+	// Out-of-distribution behavior (Sec. VIII).
+	NovelCatalog   apps.Catalog
+	NovelStartFrac float64 // fraction through the period when novel apps appear
+	NovelShare     float64 // post-start share of arrivals from the novel catalog
+
+	// CollectLMT controls whether the machine produces LMT features
+	// (Cori does; Theta does not).
+	CollectLMT bool
+}
+
+// Validate checks configuration invariants.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumJobs <= 0:
+		return fmt.Errorf("system: NumJobs must be positive, got %d", c.NumJobs)
+	case c.End <= c.Start:
+		return fmt.Errorf("system: End must be after Start")
+	case c.PeakBytesPerSec <= 0:
+		return fmt.Errorf("system: PeakBytesPerSec must be positive")
+	case c.NoiseSigmaLog10 < 0:
+		return fmt.Errorf("system: negative noise sigma")
+	case c.ConfigsPerApp <= 0:
+		return fmt.Errorf("system: ConfigsPerApp must be positive")
+	case c.NovelConfigRate < 0 || c.NovelConfigRate > 1:
+		return fmt.Errorf("system: NovelConfigRate out of [0,1]")
+	case c.LoadBucketSec <= 0:
+		return fmt.Errorf("system: LoadBucketSec must be positive")
+	}
+	if err := c.Catalog.Validate(); err != nil {
+		return err
+	}
+	if len(c.NovelCatalog.Archetypes) > 0 {
+		if err := c.NovelCatalog.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unix timestamps for the collection periods.
+const (
+	ts2017 = 1483228800 // 2017-01-01
+	ts2018 = 1514764800 // 2018-01-01
+	ts2020 = 1577836800 // 2020-01-01
+	tsMid  = 1593561600 // 2020-07-01
+)
+
+// ThetaLike returns a machine modeled on ALCF Theta's collection: Darshan
+// and Cobalt logs from 2017-2020, ~100K jobs above 1 GiB, no I/O subsystem
+// logs, and an inherent noise level near ±5.7% (1σ).
+func ThetaLike(numJobs int) *Config {
+	return &Config{
+		Name:            "theta-like",
+		Seed:            0x7e7a,
+		NumJobs:         numJobs,
+		Start:           ts2017,
+		End:             tsMid,
+		PeakBytesPerSec: 200e9, // ~200 GB/s Lustre scratch
+		NumOSTs:         56,
+		NoiseSigmaLog10: 0.0241, // 10^0.0241 - 1 = 5.7%
+
+		DegradationRatePerDay:    0.045,
+		DegradationMeanDays:      3.5,
+		DegradationSeverityLog10: 0.16,
+		DriftAmpLog10:            0.040,
+		UpgradeCount:             3,
+		UpgradeStepLog10:         0.018,
+
+		ContentionKnee:       0.80,
+		ContentionScaleLog10: 0.12,
+		PlacementSigmaLog10:  0.010,
+		BaselineLoad:         0.55,
+		BaselineSwing:        0.20,
+		LoadBucketSec:        900,
+
+		Catalog:         apps.Production(40),
+		ConfigsPerApp:   30,
+		NovelConfigRate: 0.80,
+		ConfigZipfS:     0.9,
+		BatchProb:       0.02,
+		LargeBatchProb:  0.0008,
+
+		NovelCatalog:   apps.Novel(4),
+		NovelStartFrac: 0.8,
+		NovelShare:     0.035,
+
+		CollectLMT: false,
+	}
+}
+
+// CoriLike returns a machine modeled on NERSC Cori's collection: Darshan
+// and LMT logs from 2018-2019, a much larger and more repetitive job mix
+// (54% duplicates in the paper), and higher inherent noise (±7.2%).
+func CoriLike(numJobs int) *Config {
+	return &Config{
+		Name:            "cori-like",
+		Seed:            0xc021,
+		NumJobs:         numJobs,
+		Start:           ts2018,
+		End:             ts2020,
+		PeakBytesPerSec: 700e9, // cscratch1
+		NumOSTs:         248,
+		NoiseSigmaLog10: 0.0302, // 10^0.0302 - 1 = 7.2%
+
+		DegradationRatePerDay:    0.07,
+		DegradationMeanDays:      2.5,
+		DegradationSeverityLog10: 0.18,
+		DriftAmpLog10:            0.052,
+		UpgradeCount:             3,
+		UpgradeStepLog10:         0.020,
+
+		ContentionKnee:       0.75,
+		ContentionScaleLog10: 0.15,
+		PlacementSigmaLog10:  0.013,
+		BaselineLoad:         0.60,
+		BaselineSwing:        0.22,
+		LoadBucketSec:        900,
+
+		Catalog:         apps.Production(40),
+		ConfigsPerApp:   40,
+		NovelConfigRate: 0.52,
+		ConfigZipfS:     1.0,
+		BatchProb:       0.05,
+		LargeBatchProb:  0.0015,
+
+		NovelCatalog:   apps.Novel(4),
+		NovelStartFrac: 0.8,
+		NovelShare:     0.03,
+
+		CollectLMT: true,
+	}
+}
+
+// Job is one simulated HPC job with its ground-truth decomposition.
+type Job struct {
+	ID   int
+	Arch *apps.Archetype
+	Cfg  apps.Config
+
+	// QueueWait, Start and End are scheduler timing (unix seconds).
+	QueueWait float64
+	Start     float64
+	End       float64
+
+	// Ground-truth log10 components (Eq. 3).
+	BaseLog   float64 // fa(j)
+	GlobalLog float64 // fg(j, ζg(t))
+	ContLog   float64 // fl(j, ζl(t,j))
+	NoiseLog  float64 // fn(j, ζ, ω)
+
+	// Throughput is the realized I/O throughput in bytes/s:
+	// 10^(BaseLog+GlobalLog+ContLog+NoiseLog).
+	Throughput float64
+
+	// LoadMean is the mean relative system load over the job's runtime.
+	LoadMean float64
+	// OoD marks jobs drawn from the novel (post-deployment) catalog.
+	OoD bool
+}
+
+// PhiLog returns the job's total log10 throughput.
+func (j *Job) PhiLog() float64 {
+	return j.BaseLog + j.GlobalLog + j.ContLog + j.NoiseLog
+}
+
+// Machine is a generated system history.
+type Machine struct {
+	Cfg     *Config
+	Weather *Weather
+	Load    *LoadProfile
+	Jobs    []Job
+}

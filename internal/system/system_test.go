@@ -1,0 +1,352 @@
+package system
+
+import (
+	"math"
+	"testing"
+
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/rng"
+	"iotaxo/internal/stats"
+)
+
+// smallTheta returns a fast Theta-like machine for unit tests.
+func smallTheta(t *testing.T, jobs int) *Machine {
+	t.Helper()
+	m, err := Generate(ThetaLike(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := smallTheta(t, 500)
+	b := smallTheta(t, 500)
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].Throughput != b.Jobs[i].Throughput {
+			t.Fatalf("job %d throughput differs", i)
+		}
+		if a.Jobs[i].Cfg.ID != b.Jobs[i].Cfg.ID {
+			t.Fatalf("job %d config differs", i)
+		}
+	}
+}
+
+func TestGenerateJobCount(t *testing.T) {
+	m := smallTheta(t, 1234)
+	if len(m.Jobs) != 1234 {
+		t.Fatalf("generated %d jobs, want 1234", len(m.Jobs))
+	}
+}
+
+func TestDecompositionConsistency(t *testing.T) {
+	// φ must equal the product of its components (Eq. 3).
+	m := smallTheta(t, 300)
+	for i := range m.Jobs {
+		j := &m.Jobs[i]
+		want := math.Pow(10, j.BaseLog+j.GlobalLog+j.ContLog+j.NoiseLog)
+		if math.Abs(want-j.Throughput) > 1e-6*want {
+			t.Fatalf("job %d: throughput %v != composed %v", i, j.Throughput, want)
+		}
+		if j.Throughput <= 0 {
+			t.Fatalf("job %d: non-positive throughput", i)
+		}
+	}
+}
+
+func TestJobsWithinPeriod(t *testing.T) {
+	cfg := ThetaLike(400)
+	m, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Jobs {
+		j := &m.Jobs[i]
+		if j.Start < cfg.Start || j.Start >= cfg.End {
+			t.Fatalf("job %d starts outside period", i)
+		}
+		if j.End <= j.Start {
+			t.Fatalf("job %d has non-positive duration", i)
+		}
+	}
+}
+
+func TestDuplicatesShareTruthBase(t *testing.T) {
+	// Jobs with the same config must share fa exactly, and differ only in
+	// system components.
+	m := smallTheta(t, 2000)
+	byCfg := map[uint64][]*Job{}
+	for i := range m.Jobs {
+		j := &m.Jobs[i]
+		byCfg[j.Cfg.ID] = append(byCfg[j.Cfg.ID], j)
+	}
+	found := 0
+	for _, js := range byCfg {
+		if len(js) < 2 {
+			continue
+		}
+		found++
+		for _, j := range js[1:] {
+			if j.BaseLog != js[0].BaseLog {
+				t.Fatalf("duplicates of config %d disagree on BaseLog", j.Cfg.ID)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no duplicate sets generated")
+	}
+}
+
+func TestNovelJobsOnlyAfterCut(t *testing.T) {
+	cfg := CoriLike(8000)
+	m, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := cfg.Start + cfg.NovelStartFrac*(cfg.End-cfg.Start)
+	novel := 0
+	for i := range m.Jobs {
+		j := &m.Jobs[i]
+		if j.OoD {
+			novel++
+			if j.Start < cut {
+				t.Fatalf("OoD job %d starts before the novel cut", i)
+			}
+		}
+	}
+	if novel == 0 {
+		t.Fatal("no OoD jobs generated")
+	}
+	frac := float64(novel) / float64(len(m.Jobs))
+	if frac > 0.05 {
+		t.Fatalf("OoD fraction %v too high", frac)
+	}
+}
+
+func TestWeatherDegradationsHurt(t *testing.T) {
+	cfg := ThetaLike(100)
+	w := GenWeather(cfg, rng.New(3))
+	if w.Events() == 0 {
+		t.Skip("no degradations drawn for this seed")
+	}
+	// Global impact during a degradation must be below the climate-only
+	// level just before it.
+	for _, d := range w.events {
+		during := w.GlobalLog((d.start + d.end) / 2)
+		_, sev := w.Degraded((d.start + d.end) / 2)
+		if sev >= 0 {
+			t.Fatal("degradation with non-negative severity")
+		}
+		// Removing the active severities should raise the level.
+		if during-sev < during {
+			t.Fatal("severity accounting inconsistent")
+		}
+	}
+}
+
+func TestLoadProfile(t *testing.T) {
+	lp := NewLoadProfile(0, 10000, 100)
+	lp.Add(1000, 2000, 0.5)
+	if got := lp.At(1500); got != 0.5 {
+		t.Errorf("load at 1500 = %v", got)
+	}
+	if got := lp.At(5000); got != 0 {
+		t.Errorf("load at 5000 = %v", got)
+	}
+	if got := lp.MeanOver(1000, 2000); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("mean over window = %v", got)
+	}
+	if got := lp.MaxOver(0, 10000); got != 0.5 {
+		t.Errorf("max = %v", got)
+	}
+	// Out-of-range times clamp rather than panic.
+	_ = lp.At(-50)
+	_ = lp.At(1e12)
+}
+
+func TestContentionLog(t *testing.T) {
+	if got := ContentionLog(0.5, 0.8, 0.2); got != 0 {
+		t.Errorf("below-knee contention = %v, want 0", got)
+	}
+	p1 := ContentionLog(1.0, 0.8, 0.2)
+	p2 := ContentionLog(1.5, 0.8, 0.2)
+	if p1 >= 0 || p2 >= 0 {
+		t.Error("contention penalties must be negative")
+	}
+	if p2 >= p1 {
+		t.Error("contention must grow with load")
+	}
+}
+
+func TestFrameShape(t *testing.T) {
+	m := smallTheta(t, 300)
+	f, err := m.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 300 {
+		t.Fatalf("frame rows = %d", f.Len())
+	}
+	// Theta: 48 POSIX + 48 MPI-IO + 5 Cobalt, no LMT.
+	if f.NumCols() != 101 {
+		t.Fatalf("theta frame cols = %d, want 101", f.NumCols())
+	}
+	if _, err := f.SelectPrefix("lmt_"); err == nil {
+		t.Error("theta frame should not carry LMT columns")
+	}
+}
+
+func TestCoriFrameHasLMT(t *testing.T) {
+	m, err := Generate(CoriLike(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumCols() != 138 {
+		t.Fatalf("cori frame cols = %d, want 138", f.NumCols())
+	}
+	lmtf, err := f.SelectPrefix("lmt_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lmtf.NumCols() != 37 {
+		t.Fatalf("lmt cols = %d, want 37", lmtf.NumCols())
+	}
+}
+
+func TestFrameDeterministicUnderParallelism(t *testing.T) {
+	// Feature extraction fans out over workers; per-job streams must make
+	// the frame identical across runs.
+	m1 := smallTheta(t, 400)
+	f1, err := m1.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := smallTheta(t, 400)
+	f2, err := m2.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < f1.Len(); i++ {
+		r1, r2 := f1.Row(i), f2.Row(i)
+		for j := range r1 {
+			if r1[j] != r2[j] {
+				t.Fatalf("row %d col %d differs across runs", i, j)
+			}
+		}
+	}
+}
+
+func TestFrameDuplicateFeatureEquality(t *testing.T) {
+	// The paper's duplicate definition: same app, identical application
+	// features. Rows sharing ConfigKey must have identical POSIX+MPI-IO
+	// features (Cobalt timing and LMT features may differ).
+	m := smallTheta(t, 2000)
+	f, err := m.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appFeat, err := f.SelectPrefix("posix_", "mpiio_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCfg := map[uint64]int{}
+	checked := 0
+	for i := 0; i < appFeat.Len(); i++ {
+		key := appFeat.Meta(i).ConfigKey
+		if first, ok := byCfg[key]; ok {
+			checked++
+			for j := range appFeat.Row(i) {
+				if appFeat.Row(i)[j] != appFeat.Row(first)[j] {
+					t.Fatalf("duplicate rows %d/%d differ at %s", first, i, appFeat.Columns()[j])
+				}
+			}
+		} else {
+			byCfg[key] = i
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no duplicate pairs to check")
+	}
+}
+
+func TestCalibrationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check needs a larger sample")
+	}
+	// The generated datasets must keep the paper-shaped statistics that the
+	// litmus tests rely on. Wide tolerances: this guards the shape, not the
+	// third digit.
+	m, err := Generate(ThetaLike(12000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := dataset.DuplicateSets(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dataset.Stats(f, sets)
+	if st.Fraction < 0.12 || st.Fraction > 0.45 {
+		t.Errorf("theta duplicate fraction = %v, want ~0.25", st.Fraction)
+	}
+	// Within-set absolute deviation should be around 10%.
+	var devs []float64
+	for _, s := range sets {
+		logs := make([]float64, 0, s.Len())
+		for _, ri := range s.Rows {
+			logs = append(logs, math.Log10(f.Y()[ri]))
+		}
+		mean := stats.Mean(logs)
+		bessel := math.Sqrt(float64(len(logs)) / float64(len(logs)-1))
+		for _, l := range logs {
+			devs = append(devs, math.Abs(l-mean)*bessel)
+		}
+	}
+	floor := stats.PctFromLog(stats.Median(devs))
+	if floor < 0.05 || floor > 0.18 {
+		t.Errorf("theta duplicate floor = %v, want ~0.10", floor)
+	}
+	var ood int
+	for i := 0; i < f.Len(); i++ {
+		if f.Meta(i).OoD {
+			ood++
+		}
+	}
+	oodFrac := float64(ood) / float64(f.Len())
+	if oodFrac < 0.001 || oodFrac > 0.03 {
+		t.Errorf("theta OoD fraction = %v, want ~0.007", oodFrac)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []*Config{
+		{},
+		func() *Config { c := ThetaLike(100); c.NumJobs = 0; return c }(),
+		func() *Config { c := ThetaLike(100); c.End = c.Start; return c }(),
+		func() *Config { c := ThetaLike(100); c.PeakBytesPerSec = 0; return c }(),
+		func() *Config { c := ThetaLike(100); c.NovelConfigRate = 1.5; return c }(),
+		func() *Config { c := ThetaLike(100); c.ConfigsPerApp = 0; return c }(),
+		func() *Config { c := ThetaLike(100); c.LoadBucketSec = 0; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := ThetaLike(100).Validate(); err != nil {
+		t.Errorf("preset invalid: %v", err)
+	}
+	if err := CoriLike(100).Validate(); err != nil {
+		t.Errorf("preset invalid: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package system
+
+import (
+	"math"
+	"sort"
+
+	"iotaxo/internal/rng"
+)
+
+// Climate and weather follow the paper's (and UMAMI's) terminology:
+// "climate" is the slow evolution of the system — provisioning steps,
+// software upgrades, gradual fill — while "weather" is transient service
+// degradation windows that depress every concurrent job.
+//
+// Both act multiplicatively on throughput; this file works in log10 space.
+
+// degradation is one weather event: during [start, end) throughput is
+// multiplied by 10^severity (severity < 0).
+type degradation struct {
+	start, end float64
+	severity   float64
+}
+
+// upgrade is one climate step: from time t onward the baseline shifts by
+// step (log10, either sign).
+type upgrade struct {
+	t    float64
+	step float64
+}
+
+// harmonic is one sinusoidal climate component.
+type harmonic struct {
+	amp, period, phase float64
+}
+
+// Weather holds the global system state ζg(t) in log10 space.
+type Weather struct {
+	drift    []harmonic
+	upgrades []upgrade
+	events   []degradation
+}
+
+// Drift harmonics: relative amplitude and period of the climate components
+// (seasonal cycle, quarterly maintenance rhythm, monthly usage pattern).
+var driftShape = []struct {
+	relAmp float64
+	period float64
+}{
+	{1.0, 365.25 * 86400},
+	{0.6, 90 * 86400},
+	{0.4, 30 * 86400},
+}
+
+// GenWeather samples a weather history for [start, end) (unix seconds).
+func GenWeather(cfg *Config, r *rng.Rand) *Weather {
+	w := &Weather{}
+	for _, h := range driftShape {
+		w.drift = append(w.drift, harmonic{
+			amp:    cfg.DriftAmpLog10 * h.relAmp,
+			period: h.period,
+			phase:  r.Range(0, 2*math.Pi),
+		})
+	}
+	// Upgrade epochs: UpgradeCount steps at uniform times.
+	for i := 0; i < cfg.UpgradeCount; i++ {
+		w.upgrades = append(w.upgrades, upgrade{
+			t:    r.Range(cfg.Start, cfg.End),
+			step: r.NormAt(0, cfg.UpgradeStepLog10),
+		})
+	}
+	sort.Slice(w.upgrades, func(a, b int) bool { return w.upgrades[a].t < w.upgrades[b].t })
+	// Degradation windows: Poisson arrivals, lognormal durations,
+	// exponential severities.
+	days := (cfg.End - cfg.Start) / 86400
+	n := r.Poisson(days * cfg.DegradationRatePerDay)
+	for i := 0; i < n; i++ {
+		start := r.Range(cfg.Start, cfg.End)
+		duration := r.LogNormal(math.Log(cfg.DegradationMeanDays*86400), 0.8)
+		severity := -r.Exp(1 / cfg.DegradationSeverityLog10)
+		w.events = append(w.events, degradation{start: start, end: start + duration, severity: severity})
+	}
+	sort.Slice(w.events, func(a, b int) bool { return w.events[a].start < w.events[b].start })
+	return w
+}
+
+// GlobalLog returns the global system impact ζg(t) as a log10 multiplier:
+// 0 on a nominal day, negative during degradations, drifting with climate.
+func (w *Weather) GlobalLog(t float64) float64 {
+	v := 0.0
+	for _, h := range w.drift {
+		v += h.amp * math.Sin(2*math.Pi*t/h.period+h.phase)
+	}
+	for _, u := range w.upgrades {
+		if t >= u.t {
+			v += u.step
+		}
+	}
+	for _, d := range w.events {
+		if t >= d.start && t < d.end {
+			v += d.severity
+		}
+	}
+	return v
+}
+
+// Degraded reports whether any degradation window covers t, and the summed
+// severity (log10, <= 0) of active windows.
+func (w *Weather) Degraded(t float64) (bool, float64) {
+	sum := 0.0
+	active := false
+	for _, d := range w.events {
+		if t >= d.start && t < d.end {
+			active = true
+			sum += d.severity
+		}
+	}
+	return active, sum
+}
+
+// Events returns the number of degradation windows (for reporting).
+func (w *Weather) Events() int { return len(w.events) }

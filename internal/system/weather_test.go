@@ -1,0 +1,112 @@
+package system
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iotaxo/internal/rng"
+)
+
+func TestWeatherDeterministic(t *testing.T) {
+	cfg := ThetaLike(100)
+	w1 := GenWeather(cfg, rng.New(5))
+	w2 := GenWeather(cfg, rng.New(5))
+	for i := 0; i < 50; i++ {
+		tt := cfg.Start + float64(i)*(cfg.End-cfg.Start)/50
+		if w1.GlobalLog(tt) != w2.GlobalLog(tt) {
+			t.Fatal("weather not deterministic in its seed")
+		}
+	}
+}
+
+func TestWeatherBounded(t *testing.T) {
+	// Climate + upgrades + stacked degradations stay within plausible
+	// bounds: the system never gets faster than ~2x nominal or slower
+	// than ~1/100x for the preset parameter ranges.
+	for _, cfg := range []*Config{ThetaLike(100), CoriLike(100)} {
+		for seed := uint64(0); seed < 5; seed++ {
+			w := GenWeather(cfg, rng.New(seed))
+			for i := 0; i <= 1000; i++ {
+				tt := cfg.Start + float64(i)*(cfg.End-cfg.Start)/1000
+				g := w.GlobalLog(tt)
+				if g > 0.35 || g < -2 {
+					t.Fatalf("%s seed %d: weather log %v out of bounds at %v", cfg.Name, seed, g, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestWeatherDegradedConsistency(t *testing.T) {
+	// Wherever Degraded reports activity, the summed severity must be
+	// negative and included in GlobalLog.
+	cfg := CoriLike(100)
+	w := GenWeather(cfg, rng.New(7))
+	err := quick.Check(func(u float64) bool {
+		frac := math.Mod(math.Abs(u), 1)
+		tt := cfg.Start + frac*(cfg.End-cfg.Start)
+		active, sev := w.Degraded(tt)
+		if !active {
+			return sev == 0
+		}
+		return sev < 0
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadProfileMeanMatchesPointSamples(t *testing.T) {
+	lp := NewLoadProfile(0, 100000, 100)
+	lp.AddBaseline(0.5, 0.2)
+	lp.Add(10000, 20000, 0.3)
+	// MeanOver equals the average of At over the same buckets.
+	sum := 0.0
+	n := 0
+	for tt := 10000.0; tt < 20000; tt += 100 {
+		sum += lp.At(tt)
+		n++
+	}
+	got := lp.MeanOver(10000, 20000-1)
+	if math.Abs(got-sum/float64(n)) > 0.02 {
+		t.Errorf("MeanOver %v vs sampled mean %v", got, sum/float64(n))
+	}
+}
+
+func TestLoadBaselineDiurnal(t *testing.T) {
+	lp := NewLoadProfile(0, 2*86400, 600)
+	lp.AddBaseline(0.5, 0.2)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for tt := 0.0; tt < 2*86400; tt += 600 {
+		v := lp.At(tt)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo < 0.3 {
+		t.Errorf("diurnal swing %v too small for amplitude 0.2", hi-lo)
+	}
+	if lo < 0.29 || hi > 0.71 {
+		t.Errorf("baseline range [%v, %v] outside 0.5 +- 0.2", lo, hi)
+	}
+}
+
+func TestNewLoadProfilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLoadProfile(10, 5, 1) },
+		func() { NewLoadProfile(0, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

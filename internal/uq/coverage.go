@@ -1,0 +1,72 @@
+package uq
+
+import (
+	"fmt"
+	"math"
+
+	"iotaxo/internal/stats"
+)
+
+// CoverageReport measures the calibration of the ensemble's predictive
+// distribution: for each nominal confidence level, the empirical fraction
+// of targets that fall inside the interval mean ± z * sqrt(AU+EU).
+// Well-calibrated uncertainty has empirical ≈ nominal; the I/O modeling
+// literature rarely checks this (Sec. III: "I/O modeling works rarely
+// attempt to quantify ML model uncertainty").
+type CoverageReport struct {
+	Levels    []float64
+	Empirical []float64
+	// MeanZ is the mean standardized residual magnitude; ~0.8 for a
+	// calibrated Gaussian model.
+	MeanZ float64
+}
+
+// Coverage computes the report for predictions against true targets (in
+// the same units as the ensemble's training targets).
+func Coverage(preds []Prediction, actual []float64, levels []float64) (CoverageReport, error) {
+	if len(preds) != len(actual) {
+		return CoverageReport{}, fmt.Errorf("uq: %d predictions vs %d targets", len(preds), len(actual))
+	}
+	if len(preds) == 0 {
+		return CoverageReport{}, fmt.Errorf("uq: no predictions")
+	}
+	if len(levels) == 0 {
+		levels = []float64{0.5, 0.68, 0.9, 0.95}
+	}
+	rep := CoverageReport{Levels: levels, Empirical: make([]float64, len(levels))}
+	n := stats.Normal{Mu: 0, Sigma: 1}
+	var zsum float64
+	zs := make([]float64, len(preds))
+	for i, p := range preds {
+		sd := math.Sqrt(p.TotalVariance())
+		if sd <= 0 {
+			sd = 1e-12
+		}
+		z := math.Abs(actual[i]-p.Mean) / sd
+		zs[i] = z
+		zsum += z
+	}
+	rep.MeanZ = zsum / float64(len(preds))
+	for li, level := range levels {
+		zCrit := n.Quantile(0.5 + level/2)
+		hits := 0
+		for _, z := range zs {
+			if z <= zCrit {
+				hits++
+			}
+		}
+		rep.Empirical[li] = float64(hits) / float64(len(zs))
+	}
+	return rep, nil
+}
+
+// Calibrated reports whether every level's empirical coverage is within
+// tol of nominal.
+func (r CoverageReport) Calibrated(tol float64) bool {
+	for i, level := range r.Levels {
+		if math.Abs(r.Empirical[i]-level) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,113 @@
+package uq
+
+import (
+	"math"
+	"testing"
+
+	"iotaxo/internal/rng"
+)
+
+func TestCoverageOfPerfectGaussian(t *testing.T) {
+	// Hand-build predictions whose uncertainty exactly matches the noise
+	// generating the targets: coverage must match nominal levels.
+	r := rng.New(1)
+	n := 20000
+	preds := make([]Prediction, n)
+	actual := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sd := 0.5 + r.Float64()
+		preds[i] = Prediction{Mean: 3, AU: sd * sd, EU: 0}
+		actual[i] = 3 + sd*r.Norm()
+	}
+	rep, err := Coverage(preds, actual, []float64{0.5, 0.68, 0.9, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, level := range rep.Levels {
+		if math.Abs(rep.Empirical[i]-level) > 0.02 {
+			t.Errorf("level %v: empirical %v", level, rep.Empirical[i])
+		}
+	}
+	if !rep.Calibrated(0.02) {
+		t.Error("Calibrated(0.02) = false for a perfect model")
+	}
+	// E|Z| for a standard normal is sqrt(2/pi) ~ 0.798.
+	if math.Abs(rep.MeanZ-0.798) > 0.03 {
+		t.Errorf("mean |z| = %v", rep.MeanZ)
+	}
+}
+
+func TestCoverageDetectsOverconfidence(t *testing.T) {
+	// Claimed variance is 4x too small: empirical coverage must fall well
+	// short of nominal.
+	r := rng.New(2)
+	n := 5000
+	preds := make([]Prediction, n)
+	actual := make([]float64, n)
+	for i := 0; i < n; i++ {
+		preds[i] = Prediction{Mean: 0, AU: 0.25, EU: 0} // claims sd 0.5
+		actual[i] = r.Norm()                            // true sd 1
+	}
+	rep, err := Coverage(preds, actual, []float64{0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Empirical[0] > 0.90 {
+		t.Errorf("overconfident model passed: %v", rep.Empirical[0])
+	}
+	if rep.Calibrated(0.02) {
+		t.Error("Calibrated accepted an overconfident model")
+	}
+}
+
+func TestCoverageDefaultsAndErrors(t *testing.T) {
+	preds := []Prediction{{Mean: 0, AU: 1}}
+	rep, err := Coverage(preds, []float64{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Levels) != 4 {
+		t.Errorf("default levels = %v", rep.Levels)
+	}
+	if _, err := Coverage(preds, nil, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Coverage(nil, nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCoverageZeroVariance(t *testing.T) {
+	// Zero predicted variance must not divide by zero.
+	preds := []Prediction{{Mean: 1, AU: 0, EU: 0}}
+	rep, err := Coverage(preds, []float64{1}, []float64{0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(rep.MeanZ) || math.IsInf(rep.MeanZ, 0) {
+		t.Error("zero variance produced non-finite z")
+	}
+}
+
+func TestEnsembleRoughCalibration(t *testing.T) {
+	// A trained ensemble on homoscedastic data should be in the right
+	// calibration ballpark (loose bounds: small nets, short training).
+	e, _, _ := trainToy(t, 3)
+	r := rng.New(9)
+	n := 400
+	rows := make([][]float64, n)
+	actual := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := r.Range(-1, 1)
+		rows[i] = []float64{x}
+		actual[i] = x + 0.1*r.Norm()
+	}
+	preds := e.PredictAll(rows)
+	rep, err := Coverage(preds, actual, []float64{0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Empirical[0] < 0.8 {
+		t.Errorf("95%% interval covers only %v", rep.Empirical[0])
+	}
+}

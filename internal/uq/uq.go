@@ -1,0 +1,218 @@
+// Package uq implements deep-ensemble uncertainty quantification in the
+// style of AutoDEUQ (Sec. VIII): an ensemble of heteroscedastic neural
+// networks — typically the top candidates of a neural architecture search —
+// whose predictive variance decomposes by the law of total variance into
+//
+//	aleatory  AU = mean over members of each member's predicted variance
+//	epistemic EU = variance over members of the predicted means
+//
+// Samples where members disagree (high EU) lack training support and are
+// flagged out-of-distribution; samples where members agree but all predict
+// high variance (high AU) are inherently noisy.
+package uq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"iotaxo/internal/nn"
+	"iotaxo/internal/stats"
+)
+
+// Ensemble is a set of trained heteroscedastic networks.
+type Ensemble struct {
+	Members []*nn.Model
+}
+
+// TrainEnsemble trains one network per parameter set (forcing the
+// heteroscedastic head) over a bounded worker pool. Parameter sets should
+// be architecturally diverse — e.g. hpo.TopK of a NAS run — since ensemble
+// diversity is what makes the epistemic signal meaningful.
+func TrainEnsemble(paramSets []nn.Params, rows [][]float64, y []float64, workers int) (*Ensemble, error) {
+	if len(paramSets) < 2 {
+		return nil, errors.New("uq: an ensemble needs at least 2 members")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(paramSets) {
+		workers = len(paramSets)
+	}
+	members := make([]*nn.Model, len(paramSets))
+	errs := make([]error, len(paramSets))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p := paramSets[i]
+				p.Heteroscedastic = true
+				// Distinct seeds even if the caller reused one config.
+				p.Seed ^= uint64(i+1) * 0x9e3779b97f4a7c15
+				m, err := nn.Train(p, rows, y)
+				members[i], errs[i] = m, err
+			}
+		}()
+	}
+	for i := range paramSets {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("uq: member training failed: %w", err)
+		}
+	}
+	return &Ensemble{Members: members}, nil
+}
+
+// Prediction is the decomposed predictive distribution for one sample.
+type Prediction struct {
+	// Mean is the ensemble-mean prediction.
+	Mean float64
+	// AU is the aleatory variance (mean of member variances).
+	AU float64
+	// EU is the epistemic variance (variance of member means).
+	EU float64
+}
+
+// TotalVariance returns AU + EU (the law of total variance).
+func (p Prediction) TotalVariance() float64 { return p.AU + p.EU }
+
+// Predict decomposes the ensemble's predictive distribution for one row.
+func (e *Ensemble) Predict(row []float64) Prediction {
+	k := len(e.Members)
+	means := make([]float64, k)
+	var auSum float64
+	for i, m := range e.Members {
+		mu, v := m.PredictDist(row)
+		means[i] = mu
+		auSum += v
+	}
+	return Prediction{
+		Mean: stats.Mean(means),
+		AU:   auSum / float64(k),
+		EU:   stats.PopVariance(means),
+	}
+}
+
+// PredictAll decomposes every row, in parallel for large inputs.
+func (e *Ensemble) PredictAll(rows [][]float64) []Prediction {
+	out := make([]Prediction, len(rows))
+	workers := runtime.GOMAXPROCS(0)
+	if len(rows) < 256 || workers <= 1 {
+		for i, r := range rows {
+			out[i] = e.Predict(r)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(rows) + workers - 1) / workers
+	for lo := 0; lo < len(rows); lo += chunk {
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = e.Predict(rows[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// EUs extracts the epistemic standard deviations of predictions.
+func EUs(preds []Prediction) []float64 {
+	out := make([]float64, len(preds))
+	for i, p := range preds {
+		out[i] = math.Sqrt(p.EU)
+	}
+	return out
+}
+
+// AUs extracts the aleatory standard deviations of predictions.
+func AUs(preds []Prediction) []float64 {
+	out := make([]float64, len(preds))
+	for i, p := range preds {
+		out[i] = math.Sqrt(p.AU)
+	}
+	return out
+}
+
+// ClassifyOoD flags predictions whose epistemic standard deviation exceeds
+// the threshold.
+func ClassifyOoD(preds []Prediction, euThreshold float64) []bool {
+	out := make([]bool, len(preds))
+	for i, p := range preds {
+		out[i] = math.Sqrt(p.EU) > euThreshold
+	}
+	return out
+}
+
+// errBudgetFrac is the fraction of total error attributed to the high-EU
+// tail by StableThreshold. The paper's threshold (0.24) lands just past the
+// shoulder of the inverse cumulative error curve and attributes 2.4%
+// (Theta) / 2.1% (Cori) of error to OoD jobs; a 3% budget reproduces that
+// operating point.
+const errBudgetFrac = 0.03
+
+// StableThreshold picks an EU threshold from the inverse cumulative error
+// curve (Sec. VIII.A): scanning samples from the highest epistemic
+// uncertainty down, it accumulates their error until the OoD budget
+// (errBudgetFrac of total error) is spent, extending across EU ties (a
+// threshold cannot split equal EU values), and places the threshold just
+// below the last included sample. Jobs beyond the shoulder of the curve —
+// few, high-EU, disproportionately wrong — end up flagged. absErrs must
+// align with preds.
+func StableThreshold(preds []Prediction, absErrs []float64) float64 {
+	if len(preds) != len(absErrs) {
+		panic("uq: StableThreshold length mismatch")
+	}
+	if len(preds) == 0 {
+		return 0
+	}
+	type kv struct{ eu, err float64 }
+	items := make([]kv, len(preds))
+	total := 0.0
+	for i, p := range preds {
+		items[i] = kv{math.Sqrt(p.EU), absErrs[i]}
+		total += absErrs[i]
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].eu > items[b].eu })
+	if total <= 0 {
+		return items[0].eu
+	}
+	budget := errBudgetFrac * total
+	cum := 0.0
+	cut := -1 // index of the last flagged sample
+	for i := 0; i < len(items); {
+		if cum >= budget {
+			break
+		}
+		// Include the whole tie group of items[i].
+		j := i
+		for j < len(items) && items[j].eu == items[i].eu {
+			cum += items[j].err
+			j++
+		}
+		cut = j - 1
+		i = j
+	}
+	if cut < 0 || cut == len(items)-1 {
+		// Nothing (or everything) flagged: threshold above the maximum.
+		return items[0].eu
+	}
+	// Midpoint between the last flagged EU and the next one down.
+	return (items[cut].eu + items[cut+1].eu) / 2
+}

@@ -1,0 +1,144 @@
+package uq
+
+import (
+	"math"
+	"testing"
+
+	"iotaxo/internal/nn"
+	"iotaxo/internal/rng"
+)
+
+// trainToy builds an ensemble on y = x with noise, trained only on
+// x in [-1, 1]; x far outside is out-of-distribution.
+func trainToy(t *testing.T, k int) (*Ensemble, [][]float64, []float64) {
+	t.Helper()
+	r := rng.New(1)
+	n := 1200
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := r.Range(-1, 1)
+		rows[i] = []float64{x}
+		y[i] = x + 0.1*r.Norm()
+	}
+	params := make([]nn.Params, k)
+	for i := range params {
+		p := nn.DefaultParams()
+		p.Hidden = []int{16 + 8*i}
+		p.Epochs = 60
+		p.Dropout = 0
+		p.Seed = uint64(i + 1)
+		params[i] = p
+	}
+	e, err := TrainEnsemble(params, rows, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, rows, y
+}
+
+func TestEnsembleMeanAccurate(t *testing.T) {
+	e, _, _ := trainToy(t, 3)
+	for _, x := range []float64{-0.5, 0, 0.5} {
+		p := e.Predict([]float64{x})
+		if math.Abs(p.Mean-x) > 0.1 {
+			t.Errorf("mean at %v = %v", x, p.Mean)
+		}
+	}
+}
+
+func TestEUHigherOutOfDistribution(t *testing.T) {
+	e, _, _ := trainToy(t, 4)
+	inDist := e.Predict([]float64{0.3})
+	outDist := e.Predict([]float64{8})
+	if outDist.EU <= inDist.EU*4 {
+		t.Errorf("EU in=%v out=%v: OoD point not flagged by disagreement", inDist.EU, outDist.EU)
+	}
+}
+
+func TestAUReflectsNoise(t *testing.T) {
+	e, _, _ := trainToy(t, 3)
+	p := e.Predict([]float64{0.2})
+	sigma := math.Sqrt(p.AU)
+	if sigma < 0.04 || sigma > 0.3 {
+		t.Errorf("aleatory sigma = %v, want near the injected 0.1", sigma)
+	}
+}
+
+func TestTotalVariance(t *testing.T) {
+	p := Prediction{AU: 0.3, EU: 0.2}
+	if p.TotalVariance() != 0.5 {
+		t.Error("total variance != AU + EU")
+	}
+}
+
+func TestPredictAllMatchesPredict(t *testing.T) {
+	e, rows, _ := trainToy(t, 2)
+	preds := e.PredictAll(rows[:300])
+	for i := 0; i < 300; i += 37 {
+		single := e.Predict(rows[i])
+		if preds[i] != single {
+			t.Fatalf("PredictAll[%d] != Predict", i)
+		}
+	}
+}
+
+func TestClassifyOoD(t *testing.T) {
+	// EU is a variance; the threshold applies to its square root.
+	preds := []Prediction{{EU: 0.0016}, {EU: 1e-8}} // sd 0.04 and 1e-4
+	flags := ClassifyOoD(preds, 0.1)
+	if flags[0] || flags[1] {
+		t.Error("low-EU classified as OoD")
+	}
+	flags = ClassifyOoD(preds, 0.01)
+	if !flags[0] || flags[1] {
+		t.Errorf("threshold classification wrong: %v", flags)
+	}
+}
+
+func TestEUsAUs(t *testing.T) {
+	preds := []Prediction{{AU: 4, EU: 9}}
+	if EUs(preds)[0] != 3 || AUs(preds)[0] != 2 {
+		t.Error("EUs/AUs should return standard deviations")
+	}
+}
+
+func TestStableThreshold(t *testing.T) {
+	// Error concentrated at low EU with a high-EU tail carrying the rest.
+	var preds []Prediction
+	var errs []float64
+	for i := 0; i < 95; i++ {
+		preds = append(preds, Prediction{EU: 0.0001})
+		errs = append(errs, 1)
+	}
+	for i := 0; i < 5; i++ {
+		preds = append(preds, Prediction{EU: 0.09})
+		errs = append(errs, 3)
+	}
+	th := StableThreshold(preds, errs)
+	if th <= 0.01 || th > 0.3 {
+		t.Errorf("threshold = %v, want between the clusters", th)
+	}
+}
+
+func TestTrainEnsembleErrors(t *testing.T) {
+	rows := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	if _, err := TrainEnsemble([]nn.Params{nn.DefaultParams()}, rows, y, 1); err == nil {
+		t.Error("single-member ensemble accepted")
+	}
+	bad := nn.DefaultParams()
+	bad.Hidden = nil
+	if _, err := TrainEnsemble([]nn.Params{bad, bad}, rows, y, 1); err == nil {
+		t.Error("invalid member params accepted")
+	}
+}
+
+func TestEnsembleForcesHeteroscedastic(t *testing.T) {
+	e, _, _ := trainToy(t, 2)
+	for _, m := range e.Members {
+		if !m.Params().Heteroscedastic {
+			t.Error("member trained without heteroscedastic head")
+		}
+	}
+}

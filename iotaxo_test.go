@@ -1,0 +1,109 @@
+package iotaxo
+
+import (
+	"testing"
+
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/rng"
+)
+
+func TestFacadeGenerateAndModel(t *testing.T) {
+	f, err := Generate(ThetaLike(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 1500 {
+		t.Fatalf("frame rows = %d", f.Len())
+	}
+	app, err := f.SelectPrefix("posix_", "mpiio_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := app.SplitRandom(rng.New(1), 0.7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := TargetTransform{}
+	p := DefaultGBTParams()
+	p.NumTrees = 40
+	m, err := TrainGBT(p, split.Train.Rows(), tt.ForwardAll(split.Train.Y()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate(m, split.Test)
+	if rep.N != split.Test.Len() || rep.MedianAbsPct <= 0 || rep.MedianAbsPct > 2 {
+		t.Fatalf("implausible evaluation: %+v", rep)
+	}
+}
+
+func TestFacadeLitmusTests(t *testing.T) {
+	f, err := Generate(CoriLike(2500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, err := EstimateDuplicateFloor(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor.Sets == 0 || floor.FloorPct <= 0 {
+		t.Fatalf("floor = %+v", floor)
+	}
+	noise, err := EstimateNoise(f, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noise.Bound68Pct <= 0 || noise.Bound95Pct <= noise.Bound68Pct {
+		t.Fatalf("noise = %+v", noise)
+	}
+}
+
+func TestFacadeMachineAccess(t *testing.T) {
+	m, err := GenerateMachine(ThetaLike(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Jobs) != 300 {
+		t.Fatalf("jobs = %d", len(m.Jobs))
+	}
+	// Ground truth is exposed for validation studies.
+	j := m.Jobs[0]
+	if j.Throughput <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+}
+
+func TestFacadeNN(t *testing.T) {
+	r := rng.New(3)
+	rows := make([][]float64, 400)
+	y := make([]float64, 400)
+	for i := range rows {
+		x := r.Range(-1, 1)
+		rows[i] = []float64{x}
+		y[i] = 2 * x
+	}
+	p := DefaultNNParams()
+	p.Epochs = 10
+	m, err := TrainNN(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0.5}); got < 0.5 || got > 1.5 {
+		t.Errorf("NN prediction = %v, want ~1", got)
+	}
+	ens, err := TrainEnsemble([]NNParams{p, p, p}, rows, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ens.Members) != 3 {
+		t.Fatal("ensemble size wrong")
+	}
+}
+
+func TestFacadeTypesAreAliases(t *testing.T) {
+	// The facade must expose the same types the internal packages use, so
+	// values flow freely between layers.
+	var f *Frame = dataset.MustNewFrame([]string{"a"})
+	if f.NumCols() != 1 {
+		t.Fatal("alias mismatch")
+	}
+}
