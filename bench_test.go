@@ -12,13 +12,16 @@ package iotaxo
 // are asserted in the package tests and recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"iotaxo/internal/core"
 	"iotaxo/internal/experiments"
 	"iotaxo/internal/gbt"
+	"iotaxo/internal/serve"
 )
 
 // benchJobs is the dataset size used by the benchmarks. Large enough for
@@ -305,6 +308,97 @@ func BenchmarkWorkloadMap(b *testing.B) {
 		b.ReportMetric(res.Purity, "app_purity")
 	}
 }
+
+// Serving benchmarks: the online path of internal/serve. The headline
+// comparison is the duplicate-aware cache on a duplicate-heavy workload
+// (the paper's Sec. VI finding at serving time): CacheOn must beat
+// CacheOff on ns/row while answering most rows from cache.
+
+var (
+	serveOnce   sync.Once
+	serveBundle *serve.ModelVersion
+	serveRows   [][]float64
+	serveErr    error
+)
+
+// serveFixture trains one bench-scale serving bundle (theta, ensemble of
+// three) once for all serving benchmarks.
+func serveFixture(b *testing.B) (*serve.ModelVersion, [][]float64) {
+	b.Helper()
+	serveOnce.Do(func() {
+		frame, err := Generate(ThetaLike(1500))
+		if err != nil {
+			serveErr = err
+			return
+		}
+		cfg := serve.BootstrapConfig{
+			Jobs: 1500, Trees: 60, Depth: 6,
+			EnsembleSize: 3, Epochs: 6, Seed: 1, Versions: 1,
+		}
+		serveBundle, serveErr = serve.BuildVersion("theta", 1, frame, cfg)
+		serveRows = frame.Rows()
+	})
+	if serveErr != nil {
+		b.Fatal(serveErr)
+	}
+	return serveBundle, serveRows
+}
+
+// benchServe pushes a pre-generated workload through an in-process service
+// and reports per-row cost plus the cache hit ratio.
+func benchServe(b *testing.B, cacheSize, batchSize int, dupRate float64) {
+	mv, pool := serveFixture(b)
+	reg := serve.NewRegistry()
+	if err := reg.Add(mv); err != nil {
+		b.Fatal(err)
+	}
+	svc := serve.NewService(reg, serve.Options{
+		MaxBatch:  64,
+		MaxDelay:  200 * time.Microsecond,
+		CacheSize: cacheSize,
+	})
+	defer svc.Close()
+	gen, err := serve.NewLoadGen(serve.LoadSpec{
+		System: "theta", Requests: 1, BatchSize: batchSize,
+		DupRate: dupRate, Seed: 7,
+	}, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-generate the request stream outside the timer.
+	const nReqs = 256
+	reqs := make([][][]float64, nReqs)
+	for i := range reqs {
+		reqs[i] = gen.NextRows()
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		if _, _, err := svc.Predict(ctx, "theta", 0, reqs[i%nReqs]); err != nil {
+			b.Fatal(err)
+		}
+		rows += batchSize
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(rows), "ns/row")
+	b.ReportMetric(100*svc.Metrics().HitRatio(), "cache_hit_%")
+	b.ReportMetric(svc.Metrics().MeanBatchSize(), "rows/eval_batch")
+}
+
+// BenchmarkServeDupHeavyCacheOn/Off is the acceptance comparison: an 80%
+// duplicate workload with and without the duplicate-aware cache.
+func BenchmarkServeDupHeavyCacheOn(b *testing.B)  { benchServe(b, 1<<16, 8, 0.8) }
+func BenchmarkServeDupHeavyCacheOff(b *testing.B) { benchServe(b, 0, 8, 0.8) }
+
+// BenchmarkServeUniqueCacheOn bounds the cache's overhead when nothing
+// repeats (every row unique, hits only from the 256-request cycle).
+func BenchmarkServeUniqueCacheOn(b *testing.B) { benchServe(b, 1<<16, 8, 0) }
+
+// Batch-size sweep (uncached): amortization of the micro-batch path.
+func BenchmarkServeBatch1(b *testing.B)  { benchServe(b, 0, 1, 0) }
+func BenchmarkServeBatch16(b *testing.B) { benchServe(b, 0, 16, 0) }
+func BenchmarkServeBatch64(b *testing.B) { benchServe(b, 0, 64, 0) }
 
 func BenchmarkTableT3(b *testing.B) {
 	theta, cori := benchFrames(b)

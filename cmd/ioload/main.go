@@ -1,0 +1,135 @@
+// Command ioload drives an ioserve instance with a synthetic serving
+// workload: Poisson arrivals with configurable duplicate and OoD-injection
+// rates, reporting latency percentiles and the cache/guardrail behavior the
+// taxonomy predicts (duplicates hit the cache, novel jobs trip the OoD
+// flag).
+//
+// Usage:
+//
+//	ioload -addr http://localhost:8080 -system theta -requests 500 -rate 200
+//	ioload -system theta -dup 0.7 -batch 8          # duplicate-heavy traffic
+//	ioload -system cori -ood 0.2                    # novelty-heavy traffic
+//
+// The row pool is generated from the same simulated system the server was
+// bootstrapped from, so feature schemas line up by construction.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"iotaxo/internal/serve"
+	"iotaxo/internal/system"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "ioserve base URL")
+		sysName  = flag.String("system", "theta", "system to target: theta or cori")
+		version  = flag.Int("version", 0, "model version to pin (0 = latest)")
+		requests = flag.Int("requests", 200, "requests to issue")
+		batch    = flag.Int("batch", 4, "rows per request")
+		rate     = flag.Float64("rate", 100, "mean Poisson arrival rate, req/s (<= 0: closed loop)")
+		dup      = flag.Float64("dup", 0.5, "duplicate-row probability")
+		ood      = flag.Float64("ood", 0.05, "OoD-injection probability")
+		conc     = flag.Int("concurrency", 8, "max in-flight requests")
+		poolJobs = flag.Int("pool-jobs", 2000, "jobs generated for the row pool")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if err := run(*addr, *sysName, *version, *requests, *batch, *rate, *dup, *ood, *conc, *poolJobs, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ioload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, sysName string, version, requests, batch int, rate, dup, ood float64, conc, poolJobs int, seed uint64) error {
+	var cfg *system.Config
+	switch sysName {
+	case "theta":
+		cfg = system.ThetaLike(poolJobs)
+	case "cori":
+		cfg = system.CoriLike(poolJobs)
+	default:
+		return fmt.Errorf("unknown system %q (want theta or cori)", sysName)
+	}
+	cfg.Seed = seed
+	m, err := system.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	frame, err := m.Frame()
+	if err != nil {
+		return err
+	}
+	gen, err := serve.NewLoadGen(serve.LoadSpec{
+		System:      sysName,
+		Requests:    requests,
+		BatchSize:   batch,
+		Rate:        rate,
+		DupRate:     dup,
+		OoDRate:     ood,
+		Concurrency: conc,
+		Seed:        seed,
+	}, frame.Rows())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ioload: %d requests x %d rows -> %s (%s, rate %.0f/s, dup %.0f%%, ood %.0f%%)\n",
+		requests, batch, addr, sysName, rate, 100*dup, 100*ood)
+	stats, err := gen.Run(context.Background(), httpTarget(addr, sysName, version))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("requests        %d (%d errors)\n", stats.Requests, stats.Errors)
+	fmt.Printf("rows            %d\n", stats.Rows)
+	fmt.Printf("achieved rate   %.1f req/s\n", stats.AchievedRPS)
+	fmt.Printf("latency p50     %v\n", stats.P50)
+	fmt.Printf("latency p95     %v\n", stats.P95)
+	fmt.Printf("latency p99     %v\n", stats.P99)
+	if stats.Rows > 0 {
+		fmt.Printf("cache hits      %d (%.1f%%)\n", stats.CacheHits, 100*float64(stats.CacheHits)/float64(stats.Rows))
+		fmt.Printf("ood flagged     %d (%.1f%%)\n", stats.OoDFlagged, 100*float64(stats.OoDFlagged)/float64(stats.Rows))
+	}
+	return nil
+}
+
+// httpTarget adapts the /v1/predict endpoint to a load-generator target.
+func httpTarget(addr, sysName string, version int) serve.Target {
+	client := &http.Client{Timeout: 30 * time.Second}
+	url := addr + "/v1/predict"
+	return func(ctx context.Context, rows [][]float64) ([]serve.PredictionResult, error) {
+		body, err := json.Marshal(serve.PredictRequest{System: sysName, Version: version, Rows: rows})
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return nil, fmt.Errorf("server returned %d: %s", resp.StatusCode, e.Error)
+		}
+		var pr serve.PredictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			return nil, err
+		}
+		return pr.Predictions, nil
+	}
+}

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"iotaxo/internal/core"
@@ -34,13 +35,13 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "framework seed")
 	)
 	flag.Parse()
-	if err := run(*sysName, *jobs, *csvPath, *name, *full, *seed); err != nil {
+	if err := run(os.Stdout, *sysName, *jobs, *csvPath, *name, *full, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "iotaxo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sysName string, jobs int, csvPath, name string, full bool, seed uint64) error {
+func run(out io.Writer, sysName string, jobs int, csvPath, name string, full bool, seed uint64) error {
 	var frame *dataset.Frame
 	switch {
 	case csvPath != "":
@@ -91,5 +92,5 @@ func run(sysName string, jobs int, csvPath, name string, full bool, seed uint64)
 	if err != nil {
 		return err
 	}
-	return res.Render(os.Stdout)
+	return res.Render(out)
 }

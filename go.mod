@@ -1,0 +1,3 @@
+module iotaxo
+
+go 1.24

@@ -49,6 +49,28 @@ func FitScaler(f *Frame, logTransform bool) *Scaler {
 	return s
 }
 
+// NewScaler reconstructs a scaler from persisted statistics (e.g. a serving
+// manifest). Mean and std must have equal length; stds must be positive.
+func NewScaler(logTransform bool, mean, std []float64) (*Scaler, error) {
+	if len(mean) != len(std) {
+		return nil, fmt.Errorf("dataset: scaler has %d means for %d stds", len(mean), len(std))
+	}
+	if len(mean) == 0 {
+		return nil, fmt.Errorf("dataset: scaler has no columns")
+	}
+	for j, sd := range std {
+		if !(sd > 0) || math.IsInf(sd, 0) || math.IsNaN(mean[j]) || math.IsInf(mean[j], 0) {
+			return nil, fmt.Errorf("dataset: scaler column %d has invalid stats (mean %v, std %v)", j, mean[j], sd)
+		}
+	}
+	return &Scaler{
+		Log:   logTransform,
+		Mean:  append([]float64(nil), mean...),
+		Std:   append([]float64(nil), std...),
+		ncols: len(mean),
+	}, nil
+}
+
 func (s *Scaler) pre(x float64) float64 {
 	if !s.Log {
 		return x

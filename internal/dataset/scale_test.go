@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNewScalerRoundTrip checks a scaler rebuilt from persisted statistics
+// transforms identically to the fitted original.
+func TestNewScalerRoundTrip(t *testing.T) {
+	f := MustNewFrame([]string{"a", "b"})
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		if err := f.Append([]float64{x, 1000 * x * x}, 1, Meta{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fitted := FitScaler(f, true)
+	rebuilt, err := NewScaler(fitted.Log, fitted.Mean, fitted.Std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{7, 49000}
+	a := make([]float64, 2)
+	b := make([]float64, 2)
+	if err := fitted.TransformRow(row, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.TransformRow(row, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Errorf("rebuilt scaler differs: %v != %v", b, a)
+	}
+}
+
+func TestNewScalerRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name      string
+		mean, std []float64
+	}{
+		{"length mismatch", []float64{0}, []float64{1, 1}},
+		{"empty", nil, nil},
+		{"zero std", []float64{0}, []float64{0}},
+		{"negative std", []float64{0}, []float64{-1}},
+		{"nan mean", []float64{math.NaN()}, []float64{1}},
+		{"inf std", []float64{0}, []float64{math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		if _, err := NewScaler(false, tc.mean, tc.std); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -141,6 +141,10 @@ func (m *Model) Params() Params { return m.params }
 // NumTrees returns the number of fitted trees.
 func (m *Model) NumTrees() int { return len(m.trees) }
 
+// NumFeatures returns the feature-row width the model was trained on, so
+// callers (e.g. a serving registry) can validate inputs before Predict.
+func (m *Model) NumFeatures() int { return m.nFeature }
+
 // Predict returns the prediction for one feature row.
 func (m *Model) Predict(row []float64) float64 {
 	if len(row) != m.nFeature {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Serialization: trained models round-trip through JSON so a tuned model
@@ -59,8 +60,12 @@ func (m *Model) WriteJSON(w io.Writer) error {
 	return enc.Encode(jm)
 }
 
-// ReadJSON deserializes a model written by WriteJSON, validating the tree
-// structure (indices in range, no leaves with children).
+// ReadJSON deserializes a model written by WriteJSON. Model files may come
+// from outside the training pipeline (the serving registry loads whatever is
+// on disk), so every structural invariant is checked: version match, valid
+// hyperparameters, finite numerics, gain aligned with the feature count, and
+// trees whose child indices only point forward — which rules out cycles and
+// guarantees Predict terminates.
 func ReadJSON(r io.Reader) (*Model, error) {
 	var jm jsonModel
 	dec := json.NewDecoder(r)
@@ -68,10 +73,24 @@ func ReadJSON(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("gbt: decoding model: %w", err)
 	}
 	if jm.Version != serializationVersion {
-		return nil, fmt.Errorf("gbt: unsupported model version %d", jm.Version)
+		return nil, fmt.Errorf("gbt: unsupported model version %d (this build reads version %d)", jm.Version, serializationVersion)
+	}
+	if err := jm.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("gbt: model file carries invalid params: %w", err)
 	}
 	if jm.NFeature <= 0 {
 		return nil, fmt.Errorf("gbt: model has %d features", jm.NFeature)
+	}
+	if math.IsNaN(jm.Bias) || math.IsInf(jm.Bias, 0) {
+		return nil, fmt.Errorf("gbt: non-finite bias %v", jm.Bias)
+	}
+	if jm.Gain != nil && len(jm.Gain) != jm.NFeature {
+		return nil, fmt.Errorf("gbt: gain has %d entries for %d features", len(jm.Gain), jm.NFeature)
+	}
+	for i, g := range jm.Gain {
+		if math.IsNaN(g) || math.IsInf(g, 0) || g < 0 {
+			return nil, fmt.Errorf("gbt: invalid gain %v for feature %d", g, i)
+		}
 	}
 	m := &Model{
 		params:   jm.Params,
@@ -90,12 +109,21 @@ func ReadJSON(r io.Reader) (*Model, error) {
 		for ni, jn := range nodes {
 			if jn.Feature >= 0 {
 				if int(jn.Feature) >= jm.NFeature {
-					return nil, fmt.Errorf("gbt: tree %d node %d: feature %d out of range", ti, ni, jn.Feature)
+					return nil, fmt.Errorf("gbt: tree %d node %d: feature %d out of range [0,%d)", ti, ni, jn.Feature, jm.NFeature)
 				}
-				if jn.Left <= 0 || jn.Right <= 0 ||
+				if math.IsNaN(jn.Threshold) {
+					return nil, fmt.Errorf("gbt: tree %d node %d: NaN threshold", ti, ni)
+				}
+				// The builder appends children after their parent, so valid
+				// trees have strictly forward child links; enforcing that
+				// here makes cycles (and non-terminating Predict walks)
+				// unrepresentable.
+				if int(jn.Left) <= ni || int(jn.Right) <= ni ||
 					int(jn.Left) >= len(nodes) || int(jn.Right) >= len(nodes) {
-					return nil, fmt.Errorf("gbt: tree %d node %d: child index out of range", ti, ni)
+					return nil, fmt.Errorf("gbt: tree %d node %d: child indices (%d,%d) must point forward within [%d,%d)", ti, ni, jn.Left, jn.Right, ni+1, len(nodes))
 				}
+			} else if math.IsNaN(jn.Value) || math.IsInf(jn.Value, 0) {
+				return nil, fmt.Errorf("gbt: tree %d leaf %d: non-finite value %v", ti, ni, jn.Value)
 			}
 			tr.nodes[ni] = node{
 				feature:   jn.Feature,

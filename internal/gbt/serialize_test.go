@@ -83,3 +83,37 @@ func TestReadJSONValidatesTreeStructure(t *testing.T) {
 		t.Error("empty tree accepted")
 	}
 }
+
+// TestReadJSONRejectsHostileFiles covers the malformed-but-well-typed files
+// an untrusted model directory could contain: cyclic trees that would hang
+// Predict, misaligned gain vectors, and out-of-range hyperparameters.
+func TestReadJSONRejectsHostileFiles(t *testing.T) {
+	valid := `{"version":1,"params":{"NumTrees":1,"MaxDepth":2,"LearningRate":0.1,` +
+		`"Subsample":1,"ColSample":1,"MinChildWeight":1,"Lambda":1,"NumBins":64,"Seed":1},` +
+		`"bias":0,"n_feature":2,"gain":[0,0],` +
+		`"trees":[[{"f":0,"t":0.5,"l":1,"r":2},{"f":-1,"v":1},{"f":-1,"v":2}]]}`
+	if _, err := ReadJSON(strings.NewReader(valid)); err != nil {
+		t.Fatalf("valid fixture rejected: %v", err)
+	}
+	cases := map[string]string{
+		// A self-loop or backward child link would make tree.predict spin
+		// forever; ReadJSON requires strictly forward links.
+		"self-loop child":    strings.Replace(valid, `"l":1,"r":2`, `"l":0,"r":2`, 1),
+		"backward child":     strings.Replace(valid, `"trees":[[{"f":0,"t":0.5,"l":1,"r":2},{"f":-1,"v":1},{"f":-1,"v":2}]]`, `"trees":[[{"f":-1,"v":0},{"f":0,"t":0.5,"l":0,"r":2},{"f":-1,"v":2}]]`, 1),
+		"gain length":        strings.Replace(valid, `"gain":[0,0]`, `"gain":[0,0,0]`, 1),
+		"negative gain":      strings.Replace(valid, `"gain":[0,0]`, `"gain":[-1,0]`, 1),
+		"zero learning rate": strings.Replace(valid, `"LearningRate":0.1`, `"LearningRate":0`, 1),
+		"hostile depth":      strings.Replace(valid, `"MaxDepth":2`, `"MaxDepth":4000`, 1),
+		"future version":     strings.Replace(valid, `"version":1`, `"version":2`, 1),
+	}
+	for name, s := range cases {
+		if _, err := ReadJSON(strings.NewReader(s)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// The error for a structural defect should say where it is.
+	_, err := ReadJSON(strings.NewReader(strings.Replace(valid, `"l":1,"r":2`, `"l":0,"r":2`, 1)))
+	if err == nil || !strings.Contains(err.Error(), "tree 0 node 0") {
+		t.Errorf("structural error not located: %v", err)
+	}
+}

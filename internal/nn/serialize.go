@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"iotaxo/internal/mat"
+)
+
+// Serialization: trained networks round-trip through JSON so deep-ensemble
+// members can be deployed to the serving registry alongside the GBT models
+// they guard. Only inference state is kept — Adam moments are training-time
+// scratch and are dropped; a deserialized model predicts identically but
+// cannot resume training.
+
+// jsonLayer is one dense layer's inference state.
+type jsonLayer struct {
+	In     int       `json:"in"`
+	Out    int       `json:"out"`
+	Weight []float64 `json:"w"` // row-major In x Out
+	Bias   []float64 `json:"b"`
+}
+
+// jsonNN is the serialized form of a Model.
+type jsonNN struct {
+	Version int         `json:"version"`
+	Params  Params      `json:"params"`
+	NIn     int         `json:"n_in"`
+	YMean   float64     `json:"y_mean"`
+	YStd    float64     `json:"y_std"`
+	Layers  []jsonLayer `json:"layers"`
+}
+
+// nnSerializationVersion guards format evolution.
+const nnSerializationVersion = 1
+
+// WriteJSON serializes the model's inference state.
+func (m *Model) WriteJSON(w io.Writer) error {
+	jm := jsonNN{
+		Version: nnSerializationVersion,
+		Params:  m.params,
+		NIn:     m.nIn,
+		YMean:   m.yMean,
+		YStd:    m.yStd,
+		Layers:  make([]jsonLayer, len(m.layers)),
+	}
+	for i, l := range m.layers {
+		jm.Layers[i] = jsonLayer{
+			In:     l.w.Rows,
+			Out:    l.w.Cols,
+			Weight: l.w.Data,
+			Bias:   l.b,
+		}
+	}
+	return json.NewEncoder(w).Encode(jm)
+}
+
+// ReadJSON deserializes a model written by WriteJSON, validating the layer
+// topology against the recorded hyperparameters: the hidden widths, input
+// width, and head width must chain correctly and every weight must be
+// finite, since model files may come from an untrusted serving directory.
+func ReadJSON(r io.Reader) (*Model, error) {
+	var jm jsonNN
+	if err := json.NewDecoder(r).Decode(&jm); err != nil {
+		return nil, fmt.Errorf("nn: decoding model: %w", err)
+	}
+	if jm.Version != nnSerializationVersion {
+		return nil, fmt.Errorf("nn: unsupported model version %d (this build reads version %d)", jm.Version, nnSerializationVersion)
+	}
+	if err := jm.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("nn: model file carries invalid params: %w", err)
+	}
+	if jm.NIn <= 0 {
+		return nil, fmt.Errorf("nn: model has %d inputs", jm.NIn)
+	}
+	if jm.YStd <= 0 || math.IsNaN(jm.YStd) || math.IsInf(jm.YStd, 0) ||
+		math.IsNaN(jm.YMean) || math.IsInf(jm.YMean, 0) {
+		return nil, fmt.Errorf("nn: invalid target statistics (mean %v, std %v)", jm.YMean, jm.YStd)
+	}
+	// The layer chain must be nIn -> Hidden... -> outDim.
+	wantSizes := append([]int{jm.NIn}, jm.Params.Hidden...)
+	wantSizes = append(wantSizes, jm.Params.outDim())
+	if len(jm.Layers) != len(wantSizes)-1 {
+		return nil, fmt.Errorf("nn: %d layers for %d hidden widths", len(jm.Layers), len(jm.Params.Hidden))
+	}
+	m := &Model{params: jm.Params, nIn: jm.NIn, yMean: jm.YMean, yStd: jm.YStd}
+	for i, jl := range jm.Layers {
+		if jl.In != wantSizes[i] || jl.Out != wantSizes[i+1] {
+			return nil, fmt.Errorf("nn: layer %d is %dx%d, want %dx%d", i, jl.In, jl.Out, wantSizes[i], wantSizes[i+1])
+		}
+		if len(jl.Weight) != jl.In*jl.Out {
+			return nil, fmt.Errorf("nn: layer %d has %d weights for %dx%d", i, len(jl.Weight), jl.In, jl.Out)
+		}
+		if len(jl.Bias) != jl.Out {
+			return nil, fmt.Errorf("nn: layer %d has %d biases for width %d", i, len(jl.Bias), jl.Out)
+		}
+		for _, v := range jl.Weight {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("nn: layer %d has a non-finite weight", i)
+			}
+		}
+		for _, v := range jl.Bias {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("nn: layer %d has a non-finite bias", i)
+			}
+		}
+		l := layer{
+			w: &mat.Matrix{Rows: jl.In, Cols: jl.Out, Data: append([]float64(nil), jl.Weight...)},
+			b: append([]float64(nil), jl.Bias...),
+		}
+		m.layers = append(m.layers, l)
+	}
+	return m, nil
+}

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"iotaxo/internal/rng"
+)
+
+// serializeFixture trains a small heteroscedastic network on a noisy line.
+func serializeFixture(t *testing.T) (*Model, [][]float64) {
+	t.Helper()
+	r := rng.New(7)
+	n := 400
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		a, b := r.Norm(), r.Norm()
+		rows[i] = []float64{a, b}
+		y[i] = 2*a - b + 0.1*r.Norm()
+	}
+	p := DefaultParams()
+	p.Hidden = []int{16}
+	p.Epochs = 8
+	p.Heteroscedastic = true
+	m, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, rows
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	m, rows := serializeFixture(t)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		mu, v := m.PredictDist(rows[i])
+		bmu, bv := back.PredictDist(rows[i])
+		if mu != bmu || v != bv {
+			t.Fatalf("row %d: (%v,%v) != (%v,%v) after round trip", i, mu, v, bmu, bv)
+		}
+	}
+	if back.Params().Heteroscedastic != m.Params().Heteroscedastic {
+		t.Error("params changed")
+	}
+}
+
+func TestReadJSONRejectsMalformed(t *testing.T) {
+	m, _ := serializeFixture(t)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	cases := map[string]string{
+		"garbage":        "{not json",
+		"future version": strings.Replace(good, `"version":1`, `"version":3`, 1),
+		"zero inputs":    strings.Replace(good, `"n_in":2`, `"n_in":0`, 1),
+		"zero y std":     strings.Replace(good, `"y_std":`, `"y_std":0,"y_was":`, 1),
+		"topology":       strings.Replace(good, `"in":2,"out":16`, `"in":3,"out":16`, 1),
+		"bad params":     strings.Replace(good, `"Epochs":8`, `"Epochs":0`, 1),
+	}
+	for name, s := range cases {
+		if _, err := ReadJSON(strings.NewReader(s)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadJSONRejectsWrongWeightCount(t *testing.T) {
+	m, _ := serializeFixture(t)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the first layer's weights.
+	s := buf.String()
+	i := strings.Index(s, `"w":[`)
+	if i < 0 {
+		t.Fatal("no weights in serialized form")
+	}
+	j := strings.Index(s[i:], ",")
+	bad := s[:i+5] + s[i+j+1:] // drop the first weight value
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("truncated weights accepted")
+	}
+}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Micro-batching worker pool. Concurrent predict calls are coalesced into
+// batches of up to MaxBatch rows, waiting at most MaxDelay for stragglers —
+// the standard online-serving trade of a bounded latency tax for amortized
+// evaluation (one tree walk setup, one member-parallel ensemble pass per
+// batch instead of per row). Batches are grouped per model version before
+// evaluation, so mixed-system traffic shares the same pool.
+
+// ErrBatcherClosed is returned for submissions after Close.
+var ErrBatcherClosed = errors.New("serve: batcher closed")
+
+// batchReq is one enqueued row awaiting evaluation.
+type batchReq struct {
+	mv  *ModelVersion
+	row []float64
+	out chan batchResp
+}
+
+// batchResp carries the evaluated result back to the submitter.
+type batchResp struct {
+	res Result
+	err error
+}
+
+// Result is one model evaluation in log10 and linear space, with its
+// guardrail annotation (nil when the bundle has no ensemble).
+type Result struct {
+	PredLog float64
+	Pred    float64
+	Guard   *Guard
+}
+
+// Batcher coalesces requests into micro-batches across a worker pool.
+type Batcher struct {
+	reqs     chan *batchReq
+	stop     chan struct{}
+	done     chan struct{}
+	maxBatch int
+	maxDelay time.Duration
+	metrics  *Metrics
+}
+
+// NewBatcher starts workers goroutines collecting micro-batches of up to
+// maxBatch rows with a maxDelay straggler window. metrics may be nil.
+func NewBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metrics) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = 32
+	}
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Millisecond
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	b := &Batcher{
+		reqs:     make(chan *batchReq, workers*maxBatch*4),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		metrics:  metrics,
+	}
+	running := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		running <- struct{}{}
+		go func() {
+			defer func() { <-running }()
+			b.worker()
+		}()
+	}
+	go func() {
+		<-b.stop
+		for i := 0; i < workers; i++ {
+			running <- struct{}{}
+		}
+		// Workers are gone; fail anything still queued.
+		for {
+			select {
+			case req := <-b.reqs:
+				req.out <- batchResp{err: ErrBatcherClosed}
+			default:
+				close(b.done)
+				return
+			}
+		}
+	}()
+	return b
+}
+
+// Close stops the workers. Queued requests receive ErrBatcherClosed.
+func (b *Batcher) Close() {
+	close(b.stop)
+	<-b.done
+}
+
+// enqueue submits one row and returns the response channel. The caller
+// gathers responses after enqueueing a whole request, so a multi-row client
+// batch lands in the same micro-batch without self-induced delay.
+func (b *Batcher) enqueue(ctx context.Context, mv *ModelVersion, row []float64) (chan batchResp, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req := &batchReq{mv: mv, row: row, out: make(chan batchResp, 1)}
+	select {
+	case b.reqs <- req:
+		return req.out, nil
+	case <-b.stop:
+		return nil, ErrBatcherClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// wait blocks for a response. It also watches the shutdown signal: a
+// request that raced with Close and landed in the queue after the drain
+// would otherwise strand its submitter.
+func (b *Batcher) wait(ctx context.Context, out chan batchResp) (Result, error) {
+	select {
+	case resp := <-out:
+		return resp.res, resp.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	case <-b.done:
+		// Prefer a response that was delivered just before shutdown.
+		select {
+		case resp := <-out:
+			return resp.res, resp.err
+		default:
+			return Result{}, ErrBatcherClosed
+		}
+	}
+}
+
+// Submit is the single-row convenience path: enqueue and wait.
+func (b *Batcher) Submit(ctx context.Context, mv *ModelVersion, row []float64) (Result, error) {
+	out, err := b.enqueue(ctx, mv, row)
+	if err != nil {
+		return Result{}, err
+	}
+	return b.wait(ctx, out)
+}
+
+// worker collects and evaluates micro-batches until the batcher stops.
+func (b *Batcher) worker() {
+	for {
+		select {
+		case <-b.stop:
+			return
+		case first := <-b.reqs:
+			batch := make([]*batchReq, 1, b.maxBatch)
+			batch[0] = first
+			timer := time.NewTimer(b.maxDelay)
+		collect:
+			for len(batch) < b.maxBatch {
+				select {
+				case req := <-b.reqs:
+					batch = append(batch, req)
+				case <-timer.C:
+					break collect
+				case <-b.stop:
+					break collect
+				}
+			}
+			timer.Stop()
+			b.flush(batch)
+		}
+	}
+}
+
+// flush groups a micro-batch by model version, evaluates each group, and
+// answers every submitter.
+func (b *Batcher) flush(batch []*batchReq) {
+	if b.metrics != nil {
+		b.metrics.Batches.Add(1)
+		b.metrics.BatchedRows.Add(uint64(len(batch)))
+	}
+	groups := make(map[*ModelVersion][]int)
+	for i, req := range batch {
+		groups[req.mv] = append(groups[req.mv], i)
+	}
+	for mv, idxs := range groups {
+		rows := make([][]float64, len(idxs))
+		for k, i := range idxs {
+			rows[k] = batch[i].row
+		}
+		results, err := evaluate(mv, rows)
+		if err != nil {
+			if b.metrics != nil {
+				b.metrics.Errors.Add(1)
+			}
+			for _, i := range idxs {
+				batch[i].out <- batchResp{err: err}
+			}
+			continue
+		}
+		for k, i := range idxs {
+			batch[i].out <- batchResp{res: results[k]}
+		}
+	}
+}
+
+// evaluate runs one model version over a group of rows: the GBT point
+// prediction plus, when the bundle is guarded, the deep ensemble's
+// decomposed uncertainty (members evaluated in parallel) and its taxonomy
+// diagnosis. A guarded bundle that cannot produce its guard (scaler
+// mismatch) fails the whole group rather than silently serving unguarded
+// predictions.
+func evaluate(mv *ModelVersion, rows [][]float64) ([]Result, error) {
+	predLogs := mv.Model.PredictAll(rows)
+	results := make([]Result, len(rows))
+	var guards []Guard
+	if mv.Ensemble != nil {
+		scaled := make([][]float64, len(rows))
+		for i, row := range rows {
+			dst := make([]float64, len(row))
+			if err := mv.Scaler.TransformRow(row, dst); err != nil {
+				return nil, fmt.Errorf("serve: model %s v%d: guardrail scaling failed: %w", mv.System, mv.Version, err)
+			}
+			scaled[i] = dst
+		}
+		preds := mv.Ensemble.PredictBatch(scaled)
+		guards = make([]Guard, len(preds))
+		for i, p := range preds {
+			guards[i] = mv.Guard.Diagnose(p)
+		}
+	}
+	for i := range rows {
+		results[i] = Result{
+			PredLog: predLogs[i],
+			Pred:    math.Pow(10, predLogs[i]),
+		}
+		if guards != nil {
+			g := guards[i]
+			results[i].Guard = &g
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBatcherMatchesDirectEvaluation(t *testing.T) {
+	frame, _, v2 := fixture(t)
+	m := &Metrics{}
+	b := NewBatcher(8, time.Millisecond, 2, m)
+	defer b.Close()
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		row := frame.Row(i)
+		res, err := b.Submit(ctx, v2, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := v2.Model.Predict(row)
+		if res.PredLog != want {
+			t.Fatalf("row %d: batched %v != direct %v", i, res.PredLog, want)
+		}
+		if res.Guard == nil {
+			t.Fatalf("row %d: no guard on guarded bundle", i)
+		}
+	}
+}
+
+func TestBatcherCoalesces(t *testing.T) {
+	frame, _, v2 := fixture(t)
+	m := &Metrics{}
+	// One worker and a generous delay so concurrent submissions must
+	// share micro-batches.
+	b := NewBatcher(64, 20*time.Millisecond, 1, m)
+	defer b.Close()
+	const n = 48
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Submit(context.Background(), v2, frame.Row(i))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.BatchedRows.Load(); got != n {
+		t.Fatalf("batched %d rows, want %d", got, n)
+	}
+	if mean := m.MeanBatchSize(); mean < 2 {
+		t.Errorf("mean batch size %.1f; concurrent load did not coalesce", mean)
+	}
+}
+
+func TestBatcherMixedVersionsInOneBatch(t *testing.T) {
+	frame, v1, v2 := fixture(t)
+	b := NewBatcher(32, 10*time.Millisecond, 1, nil)
+	defer b.Close()
+	var wg sync.WaitGroup
+	results := make([]Result, 2)
+	errs := make([]error, 2)
+	row := frame.Row(3)
+	for i, mv := range []*ModelVersion{v1, v2} {
+		wg.Add(1)
+		go func(i int, mv *ModelVersion) {
+			defer wg.Done()
+			results[i], errs[i] = b.Submit(context.Background(), mv, row)
+		}(i, mv)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatal(i, err)
+		}
+	}
+	if results[0].PredLog != v1.Model.Predict(row) || results[1].PredLog != v2.Model.Predict(row) {
+		t.Error("mixed-version batch routed rows to the wrong model")
+	}
+}
+
+func TestBatcherClose(t *testing.T) {
+	_, _, v2 := fixture(t)
+	b := NewBatcher(4, time.Millisecond, 1, nil)
+	b.Close()
+	if _, err := b.Submit(context.Background(), v2, make([]float64, len(v2.Columns))); err == nil {
+		t.Error("submit after close succeeded")
+	}
+}
+
+func TestBatcherContextCancel(t *testing.T) {
+	_, _, v2 := fixture(t)
+	b := NewBatcher(4, time.Millisecond, 1, nil)
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Submit(ctx, v2, make([]float64, len(v2.Columns))); err == nil {
+		t.Error("submit with canceled context succeeded")
+	}
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"fmt"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/gbt"
+	"iotaxo/internal/nn"
+	"iotaxo/internal/system"
+	"iotaxo/internal/uq"
+)
+
+// Bootstrap: train serving bundles from scratch so the service can start
+// with no pre-existing artifacts (`ioserve -bootstrap`). For each simulated
+// system this trains the production GBT, the guarding deep ensemble, and
+// calibrates the guardrail the way the offline framework would: the OoD
+// threshold from the inverse cumulative error curve (litmus test 3) and the
+// noise floor from concurrent duplicates (litmus test 4).
+
+// BootstrapConfig sizes the bootstrap training runs.
+type BootstrapConfig struct {
+	// Systems names the simulated systems to train ("theta", "cori").
+	Systems []string
+	// Jobs per generated dataset.
+	Jobs int
+	// Versions per system; version k uses k-step-refined hyperparameters,
+	// so a bootstrapped registry exercises version pinning.
+	Versions int
+	// Trees / Depth size the GBT per version.
+	Trees, Depth int
+	// EnsembleSize / Epochs size the guarding ensemble.
+	EnsembleSize int
+	Epochs       int
+	// Workers bounds ensemble-training parallelism.
+	Workers int
+	// Seed drives generation and training.
+	Seed uint64
+}
+
+// DefaultBootstrap returns a laptop-sized bootstrap: two systems, two
+// versions each, ensembles of three.
+func DefaultBootstrap() BootstrapConfig {
+	return BootstrapConfig{
+		Systems:      []string{"theta", "cori"},
+		Jobs:         4000,
+		Versions:     2,
+		Trees:        80,
+		Depth:        7,
+		EnsembleSize: 3,
+		Epochs:       10,
+		Seed:         1,
+	}
+}
+
+// Bootstrap trains every configured bundle and, when dir is non-empty,
+// persists them in the registry layout. The returned registry is usable
+// directly (e.g. for in-process serving or tests).
+func Bootstrap(cfg BootstrapConfig, dir string) (*Registry, error) {
+	if len(cfg.Systems) == 0 {
+		return nil, fmt.Errorf("serve: bootstrap needs at least one system")
+	}
+	if cfg.Versions <= 0 {
+		cfg.Versions = 1
+	}
+	reg := NewRegistry()
+	for _, name := range cfg.Systems {
+		var sysCfg *system.Config
+		switch name {
+		case "theta":
+			sysCfg = system.ThetaLike(cfg.Jobs)
+		case "cori":
+			sysCfg = system.CoriLike(cfg.Jobs)
+		default:
+			return nil, fmt.Errorf("serve: unknown bootstrap system %q (want theta or cori)", name)
+		}
+		sysCfg.Seed = cfg.Seed
+		machine, err := system.Generate(sysCfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: generating %s: %w", name, err)
+		}
+		frame, err := machine.Frame()
+		if err != nil {
+			return nil, fmt.Errorf("serve: framing %s: %w", name, err)
+		}
+		for v := 1; v <= cfg.Versions; v++ {
+			mv, err := BuildVersion(name, v, frame, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := reg.Add(mv); err != nil {
+				return nil, err
+			}
+			if dir != "" {
+				if err := SaveVersion(dir, mv); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return reg, nil
+}
+
+// BuildVersion trains one serving bundle from a frame. Higher versions get
+// progressively more regularized hyperparameters, mimicking the paper's
+// Step 2.2 tuning trajectory (defaults overfit; tuning closes the gap).
+func BuildVersion(name string, version int, frame *dataset.Frame, cfg BootstrapConfig) (*ModelVersion, error) {
+	if frame.Len() == 0 {
+		return nil, fmt.Errorf("serve: empty frame for %s", name)
+	}
+	yLog := dataset.TargetTransform{}.ForwardAll(frame.Y())
+	rows := frame.Rows()
+
+	p := gbt.TunedBase()
+	p.NumTrees = cfg.Trees
+	if p.NumTrees <= 0 {
+		p.NumTrees = 80
+	}
+	p.MaxDepth = cfg.Depth
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 7
+	}
+	p.Seed = cfg.Seed + uint64(version)
+	// Version ladder: v1 ships the aggressive defaults regime, later
+	// versions the tuned one — so /v1/models shows a meaningful history.
+	if version == 1 && cfg.Versions > 1 {
+		p.LearningRate = 0.3
+		p.MinChildWeight = 1
+	}
+	model, err := gbt.Train(p, rows, yLog)
+	if err != nil {
+		return nil, fmt.Errorf("serve: training %s v%d: %w", name, version, err)
+	}
+
+	scaler := dataset.FitScaler(frame, true)
+	scaled, err := scaler.Transform(frame)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scaling %s: %w", name, err)
+	}
+	ensembleSize := cfg.EnsembleSize
+	if ensembleSize < 2 {
+		ensembleSize = 3
+	}
+	paramSets := make([]nn.Params, ensembleSize)
+	for i := range paramSets {
+		np := nn.DefaultParams()
+		// Architecturally diverse members, as the EU signal requires.
+		np.Hidden = []int{24 + 16*i}
+		np.Epochs = cfg.Epochs
+		if np.Epochs <= 0 {
+			np.Epochs = 10
+		}
+		np.Seed = cfg.Seed + uint64(100*version+i)
+		paramSets[i] = np
+	}
+	ensemble, err := uq.TrainEnsemble(paramSets, scaled, yLog, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("serve: training %s v%d ensemble: %w", name, version, err)
+	}
+
+	// Calibrate the guardrail exactly as the offline litmus tests would.
+	preds := ensemble.PredictAll(scaled)
+	gbtPreds := model.PredictAll(rows)
+	rep := core.EvaluatePredictions(gbtPreds, frame.Y())
+	guard := GuardConfig{EUThreshold: uq.StableThreshold(preds, rep.AbsLogErrors)}
+	if noise, err := core.EstimateNoise(frame, nil, 1.0); err == nil {
+		guard.NoiseSigmaLog = noise.SigmaLog
+		guard.NoiseFloorPct = noise.FloorPct
+	}
+
+	return &ModelVersion{
+		System:    name,
+		Version:   version,
+		Columns:   frame.Columns(),
+		Model:     model,
+		Ensemble:  ensemble,
+		Scaler:    scaler,
+		Guard:     guard,
+		TrainedOn: frame.Len(),
+	}, nil
+}

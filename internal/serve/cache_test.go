@@ -1,0 +1,106 @@
+package serve
+
+import "testing"
+
+func TestHashKeyDistinguishes(t *testing.T) {
+	row := []float64{1, 2, 3}
+	base := HashKey("theta", 1, row)
+	if HashKey("theta", 1, []float64{1, 2, 3}) != base {
+		t.Error("identical inputs hash differently")
+	}
+	if HashKey("cori", 1, row) == base {
+		t.Error("system not mixed into key")
+	}
+	if HashKey("theta", 2, row) == base {
+		t.Error("version not mixed into key")
+	}
+	if HashKey("theta", 1, []float64{1, 2, 4}) == base {
+		t.Error("row not mixed into key")
+	}
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewCache(64)
+	row := []float64{1.5, -2.25}
+	key := HashKey("theta", 1, row)
+	if _, ok := c.Get(key, row); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key, row, Result{PredLog: 7})
+	res, ok := c.Get(key, row)
+	if !ok || res.PredLog != 7 {
+		t.Fatalf("want hit with 7, got %v %v", res, ok)
+	}
+	// Same key, different row (synthetic collision) must miss.
+	if _, ok := c.Get(key, []float64{9, 9}); ok {
+		t.Error("collision row served wrong entry")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Capacity 16 -> 1 entry per shard; a second insert into the same
+	// shard evicts the first.
+	c := NewCache(16)
+	var rows [][]float64
+	var keys []uint64
+	// Find two rows landing in the same shard.
+	for i := 0; len(rows) < 2; i++ {
+		row := []float64{float64(i)}
+		key := HashKey("theta", 1, row)
+		if len(rows) == 0 || key&(cacheShards-1) == keys[0]&(cacheShards-1) {
+			if len(rows) == 1 && key == keys[0] {
+				continue
+			}
+			rows = append(rows, row)
+			keys = append(keys, key)
+		}
+	}
+	c.Put(keys[0], rows[0], Result{PredLog: 1})
+	c.Put(keys[1], rows[1], Result{PredLog: 2})
+	if _, ok := c.Get(keys[0], rows[0]); ok {
+		t.Error("LRU entry not evicted from full shard")
+	}
+	if _, ok := c.Get(keys[1], rows[1]); !ok {
+		t.Error("fresh entry missing")
+	}
+}
+
+func TestCacheRecencyOrder(t *testing.T) {
+	// With room for 2 per shard, touching the older entry keeps it alive.
+	c := NewCache(2 * cacheShards)
+	shard := func(k uint64) uint64 { return k & (cacheShards - 1) }
+	var rows [][]float64
+	var keys []uint64
+	for i := 0; len(rows) < 3; i++ {
+		row := []float64{float64(i), 42}
+		key := HashKey("theta", 1, row)
+		if len(rows) == 0 || shard(key) == shard(keys[0]) {
+			rows = append(rows, row)
+			keys = append(keys, key)
+		}
+	}
+	c.Put(keys[0], rows[0], Result{PredLog: 1})
+	c.Put(keys[1], rows[1], Result{PredLog: 2})
+	if _, ok := c.Get(keys[0], rows[0]); !ok { // refresh 0; 1 is now LRU
+		t.Fatal("warm entry missing")
+	}
+	c.Put(keys[2], rows[2], Result{PredLog: 3})
+	if _, ok := c.Get(keys[0], rows[0]); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := c.Get(keys[1], rows[1]); ok {
+		t.Error("least recently used entry survived")
+	}
+}
+
+func TestNilCacheIsSafe(t *testing.T) {
+	var c *Cache
+	row := []float64{1}
+	if _, ok := c.Get(1, row); ok {
+		t.Error("nil cache hit")
+	}
+	c.Put(1, row, Result{})
+	if c.Len() != 0 {
+		t.Error("nil cache has length")
+	}
+}

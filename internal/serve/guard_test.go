@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"testing"
+
+	"iotaxo/internal/uq"
+)
+
+func TestDiagnoseGeneralization(t *testing.T) {
+	cfg := GuardConfig{EUThreshold: 0.2, NoiseSigmaLog: 0.02, NoiseFloorPct: 0.057}
+	g := cfg.Diagnose(uq.Prediction{Mean: 8, EU: 0.09, AU: 0.01}) // EU sd = 0.3
+	if !g.OoD || g.ErrorSource != SourceGeneralization {
+		t.Errorf("high-EU prediction not flagged: %+v", g)
+	}
+	if g.EU < 0.29 || g.EU > 0.31 {
+		t.Errorf("EU sd wrong: %v", g.EU)
+	}
+	if g.NoiseFloorPct != 0.057 {
+		t.Errorf("noise floor not echoed: %v", g.NoiseFloorPct)
+	}
+}
+
+func TestDiagnoseInherentNoise(t *testing.T) {
+	cfg := GuardConfig{EUThreshold: 0.2, NoiseSigmaLog: 0.02}
+	// EU sd 0.1 (in-distribution), AU sd 0.025 <= 1.5*0.02.
+	g := cfg.Diagnose(uq.Prediction{EU: 0.01, AU: 0.000625})
+	if g.OoD {
+		t.Errorf("in-distribution row flagged OoD: %+v", g)
+	}
+	if !g.AtNoiseFloor || g.ErrorSource != SourceInherentNoise {
+		t.Errorf("at-floor prediction not diagnosed as inherent noise: %+v", g)
+	}
+}
+
+func TestDiagnoseModeling(t *testing.T) {
+	cfg := GuardConfig{EUThreshold: 0.2, NoiseSigmaLog: 0.02}
+	// In-distribution, spread well above the floor.
+	g := cfg.Diagnose(uq.Prediction{EU: 0.01, AU: 0.04}) // AU sd = 0.2
+	if g.OoD || g.AtNoiseFloor || g.ErrorSource != SourceModeling {
+		t.Errorf("reducible-error prediction misdiagnosed: %+v", g)
+	}
+}
+
+func TestDiagnoseUncalibrated(t *testing.T) {
+	// Zero thresholds disable both signals: nothing is flagged.
+	g := GuardConfig{}.Diagnose(uq.Prediction{EU: 100, AU: 100})
+	if g.OoD || g.AtNoiseFloor {
+		t.Errorf("uncalibrated guard flagged: %+v", g)
+	}
+	if g.ErrorSource != SourceModeling {
+		t.Errorf("uncalibrated guard source: %q", g.ErrorSource)
+	}
+}

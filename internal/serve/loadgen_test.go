@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestLoadGenDuplicateKnobDrivesCache(t *testing.T) {
+	frame, _, _ := fixture(t)
+	reg := fixtureRegistry(t)
+	svc := NewService(reg, Options{MaxBatch: 16, MaxDelay: time.Millisecond, CacheSize: 8192})
+	defer svc.Close()
+	gen, err := NewLoadGen(LoadSpec{
+		System:      "theta",
+		Requests:    60,
+		BatchSize:   4,
+		DupRate:     0.7,
+		Concurrency: 4,
+		Seed:        3,
+	}, frame.Rows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := gen.Run(context.Background(), ServiceTarget(svc, "theta", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 60 || stats.Rows != 240 {
+		t.Fatalf("stats volume: %+v", stats)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("%d load errors", stats.Errors)
+	}
+	// With a 70% duplicate rate the cache must absorb a large share.
+	hitFrac := float64(stats.CacheHits) / float64(stats.Rows)
+	if hitFrac < 0.4 {
+		t.Errorf("cache hit fraction %.2f under duplicate-heavy load", hitFrac)
+	}
+	if stats.P50 <= 0 || stats.P99 < stats.P50 {
+		t.Errorf("latency percentiles: %+v", stats)
+	}
+}
+
+func TestLoadGenOoDKnobTripsGuardrail(t *testing.T) {
+	frame, _, _ := fixture(t)
+	reg := fixtureRegistry(t)
+	svc := NewService(reg, Options{MaxBatch: 16, MaxDelay: time.Millisecond})
+	defer svc.Close()
+	gen, err := NewLoadGen(LoadSpec{
+		System:    "theta",
+		Requests:  40,
+		BatchSize: 4,
+		OoDRate:   0.5,
+		Seed:      4,
+	}, frame.Rows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := gen.Run(context.Background(), ServiceTarget(svc, "theta", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OoDFlagged == 0 {
+		t.Error("OoD injection never tripped the guardrail")
+	}
+	if got := svc.Metrics().OoDFlagged.Load(); got == 0 {
+		t.Error("service metrics saw no OoD rows")
+	}
+}
+
+func TestLoadGenPoissonPacing(t *testing.T) {
+	frame, _, _ := fixture(t)
+	gen, err := NewLoadGen(LoadSpec{
+		System:    "theta",
+		Requests:  20,
+		BatchSize: 1,
+		Rate:      2000, // ~10ms total; enough to observe pacing without slowing tests
+		Seed:      5,
+	}, frame.Rows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	stats, err := gen.Run(context.Background(), func(ctx context.Context, rows [][]float64) ([]PredictionResult, error) {
+		calls++
+		return make([]PredictionResult, len(rows)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 20 || stats.Requests != 20 {
+		t.Fatalf("issued %d/%d requests", calls, stats.Requests)
+	}
+	if stats.AchievedRPS <= 0 {
+		t.Error("no achieved rate recorded")
+	}
+}
+
+func TestLoadGenValidation(t *testing.T) {
+	frame, _, _ := fixture(t)
+	bad := []LoadSpec{
+		{Requests: 0, BatchSize: 1},
+		{Requests: 1, BatchSize: 0},
+		{Requests: 1, BatchSize: 1, DupRate: 1.5},
+		{Requests: 1, BatchSize: 1, OoDRate: -0.1},
+	}
+	for i, spec := range bad {
+		if _, err := NewLoadGen(spec, frame.Rows()); err == nil {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+	if _, err := NewLoadGen(LoadSpec{Requests: 1, BatchSize: 1}, nil); err == nil {
+		t.Error("empty pool accepted")
+	}
+}

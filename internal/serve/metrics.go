@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics are the service's counters, exposed at GET /metrics in the
+// Prometheus text exposition format. All fields are cumulative; rates and
+// ratios are left to the scraper except the two derived gauges (mean batch
+// size, cache hit ratio) that the acceptance benchmarks read directly.
+type Metrics struct {
+	// Requests counts calls to the predict path (HTTP or in-process).
+	Requests atomic.Uint64
+	// Predictions counts individual rows predicted (cache hits included).
+	Predictions atomic.Uint64
+	// CacheHits / CacheMisses split Predictions by cache outcome. Misses
+	// equals rows that went through a model evaluation.
+	CacheHits   atomic.Uint64
+	CacheMisses atomic.Uint64
+	// OoDFlagged counts rows whose guardrail raised the ood flag.
+	OoDFlagged atomic.Uint64
+	// Batches / BatchedRows describe micro-batching efficacy: BatchedRows
+	// over Batches is the mean evaluated batch size.
+	Batches     atomic.Uint64
+	BatchedRows atomic.Uint64
+	// Errors counts failed predict calls.
+	Errors atomic.Uint64
+	// LatencyNs accumulates predict-path wall time in nanoseconds.
+	LatencyNs atomic.Uint64
+}
+
+// MeanBatchSize returns evaluated rows per micro-batch (0 if none ran).
+func (m *Metrics) MeanBatchSize() float64 {
+	b := m.Batches.Load()
+	if b == 0 {
+		return 0
+	}
+	return float64(m.BatchedRows.Load()) / float64(b)
+}
+
+// HitRatio returns the cache hit fraction across all predictions.
+func (m *Metrics) HitRatio() float64 {
+	h, ms := m.CacheHits.Load(), m.CacheMisses.Load()
+	if h+ms == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+ms)
+}
+
+// WriteText renders the counters in Prometheus text exposition format.
+func (m *Metrics) WriteText(w io.Writer) error {
+	counters := []struct {
+		name, help string
+		val        uint64
+	}{
+		{"ioserve_requests_total", "Predict calls served.", m.Requests.Load()},
+		{"ioserve_predictions_total", "Rows predicted.", m.Predictions.Load()},
+		{"ioserve_cache_hits_total", "Predictions answered from the duplicate cache.", m.CacheHits.Load()},
+		{"ioserve_cache_misses_total", "Predictions evaluated by a model.", m.CacheMisses.Load()},
+		{"ioserve_ood_flagged_total", "Predictions flagged out-of-distribution.", m.OoDFlagged.Load()},
+		{"ioserve_batches_total", "Micro-batches evaluated.", m.Batches.Load()},
+		{"ioserve_batched_rows_total", "Rows evaluated through micro-batches.", m.BatchedRows.Load()},
+		{"ioserve_errors_total", "Failed predict calls.", m.Errors.Load()},
+		{"ioserve_latency_ns_total", "Cumulative predict latency in nanoseconds.", m.LatencyNs.Load()},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.val); err != nil {
+			return err
+		}
+	}
+	gauges := []struct {
+		name, help string
+		val        float64
+	}{
+		{"ioserve_batch_size_mean", "Mean rows per evaluated micro-batch.", m.MeanBatchSize()},
+		{"ioserve_cache_hit_ratio", "Fraction of predictions answered from cache.", m.HitRatio()},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

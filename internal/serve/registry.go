@@ -1,0 +1,426 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/gbt"
+	"iotaxo/internal/nn"
+	"iotaxo/internal/uq"
+)
+
+// Model registry: versioned, per-system model bundles loaded from a
+// directory tree. Each bundle pairs the production GBT model with the deep
+// ensemble that guards it, the feature schema it expects, the scaler the
+// ensemble's networks need, and the guardrail calibration. On-disk layout:
+//
+//	<root>/<system>/v<version>/manifest.json
+//	<root>/<system>/v<version>/model.gbt.json
+//	<root>/<system>/v<version>/member_<i>.nn.json
+//
+// Everything under <root> is treated as untrusted input: model files go
+// through the validating gbt.ReadJSON / nn.ReadJSON decoders and the
+// manifest's schema is cross-checked against the loaded artifacts.
+
+// ErrUnknownModel is returned when a requested system or version is not
+// registered; the HTTP layer maps it to 404.
+var ErrUnknownModel = errors.New("serve: unknown model")
+
+// manifestName and artifact names inside a version directory.
+const (
+	manifestName  = "manifest.json"
+	gbtModelName  = "model.gbt.json"
+	memberPattern = "member_%d.nn.json"
+)
+
+// scalerJSON persists dataset.Scaler statistics in the manifest.
+type scalerJSON struct {
+	Log  bool      `json:"log"`
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+}
+
+// manifest is the version directory's self-description.
+type manifest struct {
+	System   string      `json:"system"`
+	Version  int         `json:"version"`
+	Columns  []string    `json:"columns"`
+	Model    string      `json:"model"`
+	Ensemble []string    `json:"ensemble,omitempty"`
+	Scaler   *scalerJSON `json:"scaler,omitempty"`
+	Guard    GuardConfig `json:"guard"`
+	// TrainedOn records the training-set size (informational).
+	TrainedOn int `json:"trained_on,omitempty"`
+}
+
+// ModelVersion is one loaded bundle.
+type ModelVersion struct {
+	System  string
+	Version int
+	// Columns is the feature schema: request rows must carry exactly
+	// these features, in this order.
+	Columns []string
+	// Model is the serving model (predicts log10 throughput from a raw
+	// feature row).
+	Model *gbt.Model
+	// Ensemble and Scaler power the taxonomy guardrail; both nil for an
+	// unguarded bundle.
+	Ensemble *uq.Ensemble
+	Scaler   *dataset.Scaler
+	Guard    GuardConfig
+	// TrainedOn is the training-set size recorded at export time.
+	TrainedOn int
+}
+
+// validate cross-checks the bundle's internal consistency.
+func (mv *ModelVersion) validate() error {
+	if mv.System == "" {
+		return fmt.Errorf("serve: model version has no system name")
+	}
+	if mv.Version <= 0 {
+		return fmt.Errorf("serve: model %s has non-positive version %d", mv.System, mv.Version)
+	}
+	if mv.Model == nil {
+		return fmt.Errorf("serve: model %s v%d has no GBT model", mv.System, mv.Version)
+	}
+	if len(mv.Columns) != mv.Model.NumFeatures() {
+		return fmt.Errorf("serve: model %s v%d: %d columns for a %d-feature model",
+			mv.System, mv.Version, len(mv.Columns), mv.Model.NumFeatures())
+	}
+	if (mv.Ensemble == nil) != (mv.Scaler == nil) {
+		return fmt.Errorf("serve: model %s v%d: ensemble and scaler must be persisted together", mv.System, mv.Version)
+	}
+	if mv.Ensemble != nil {
+		if len(mv.Ensemble.Members) < 2 {
+			return fmt.Errorf("serve: model %s v%d: ensemble has %d members, need >= 2",
+				mv.System, mv.Version, len(mv.Ensemble.Members))
+		}
+		if err := mv.Scaler.TransformRow(make([]float64, len(mv.Columns)), make([]float64, len(mv.Columns))); err != nil {
+			return fmt.Errorf("serve: model %s v%d: scaler does not match schema: %w", mv.System, mv.Version, err)
+		}
+	}
+	return nil
+}
+
+// VersionInfo is the listing entry served at GET /v1/models.
+type VersionInfo struct {
+	System       string      `json:"system"`
+	Version      int         `json:"version"`
+	Latest       bool        `json:"latest"`
+	Features     int         `json:"features"`
+	Trees        int         `json:"trees"`
+	EnsembleSize int         `json:"ensemble_size"`
+	Guard        GuardConfig `json:"guard"`
+	TrainedOn    int         `json:"trained_on,omitempty"`
+}
+
+// Registry holds the loaded bundles, newest version last per system.
+type Registry struct {
+	mu      sync.RWMutex
+	systems map[string][]*ModelVersion
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{systems: make(map[string][]*ModelVersion)}
+}
+
+// Add registers a bundle after validation. Duplicate (system, version)
+// pairs are rejected.
+func (r *Registry) Add(mv *ModelVersion) error {
+	if err := mv.validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vs := r.systems[mv.System]
+	for _, have := range vs {
+		if have.Version == mv.Version {
+			return fmt.Errorf("serve: model %s v%d already registered", mv.System, mv.Version)
+		}
+	}
+	vs = append(vs, mv)
+	sort.Slice(vs, func(a, b int) bool { return vs[a].Version < vs[b].Version })
+	r.systems[mv.System] = vs
+	return nil
+}
+
+// Get returns the bundle for a system. version <= 0 selects the latest.
+func (r *Registry) Get(system string, version int) (*ModelVersion, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	vs := r.systems[system]
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("%w: system %q", ErrUnknownModel, system)
+	}
+	if version <= 0 {
+		return vs[len(vs)-1], nil
+	}
+	for _, mv := range vs {
+		if mv.Version == version {
+			return mv, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: system %q version %d", ErrUnknownModel, system, version)
+}
+
+// Systems returns the registered system names, sorted.
+func (r *Registry) Systems() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.systemsLocked()
+}
+
+// NumVersions returns the total bundle count.
+func (r *Registry) NumVersions() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, vs := range r.systems {
+		n += len(vs)
+	}
+	return n
+}
+
+// List describes every bundle, sorted by (system, version).
+func (r *Registry) List() []VersionInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []VersionInfo
+	for _, system := range r.systemsLocked() {
+		vs := r.systems[system]
+		for i, mv := range vs {
+			info := VersionInfo{
+				System:    mv.System,
+				Version:   mv.Version,
+				Latest:    i == len(vs)-1,
+				Features:  len(mv.Columns),
+				Trees:     mv.Model.NumTrees(),
+				Guard:     mv.Guard,
+				TrainedOn: mv.TrainedOn,
+			}
+			if mv.Ensemble != nil {
+				info.EnsembleSize = len(mv.Ensemble.Members)
+			}
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+func (r *Registry) systemsLocked() []string {
+	out := make([]string, 0, len(r.systems))
+	for s := range r.systems {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// versionDirPattern matches v<N> directories.
+var versionDirPattern = regexp.MustCompile(`^v([0-9]+)$`)
+
+// LoadRegistry walks root and loads every <system>/v<N>/manifest.json it
+// finds. Directories without a manifest are skipped silently (so a registry
+// root can hold unrelated files); a manifest that fails to load is an error
+// — a serving fleet must not come up with a partial model set.
+func LoadRegistry(root string) (*Registry, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading registry root: %w", err)
+	}
+	reg := NewRegistry()
+	for _, sys := range entries {
+		if !sys.IsDir() {
+			continue
+		}
+		sysDir := filepath.Join(root, sys.Name())
+		vdirs, err := os.ReadDir(sysDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: reading %s: %w", sysDir, err)
+		}
+		for _, vd := range vdirs {
+			if !vd.IsDir() || !versionDirPattern.MatchString(vd.Name()) {
+				continue
+			}
+			dir := filepath.Join(sysDir, vd.Name())
+			if _, err := os.Stat(filepath.Join(dir, manifestName)); errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			mv, err := loadVersionDir(dir, sys.Name())
+			if err != nil {
+				return nil, err
+			}
+			if err := reg.Add(mv); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if reg.NumVersions() == 0 {
+		return nil, fmt.Errorf("serve: no model bundles under %s", root)
+	}
+	return reg, nil
+}
+
+// loadVersionDir loads one bundle directory.
+func loadVersionDir(dir, wantSystem string) (*ModelVersion, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading manifest in %s: %w", dir, err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("serve: parsing manifest in %s: %w", dir, err)
+	}
+	if m.System != wantSystem {
+		return nil, fmt.Errorf("serve: manifest in %s names system %q, directory says %q", dir, m.System, wantSystem)
+	}
+	wantVersion := 0
+	if sub := versionDirPattern.FindStringSubmatch(filepath.Base(dir)); sub != nil {
+		wantVersion, _ = strconv.Atoi(sub[1])
+	}
+	if wantVersion != 0 && m.Version != wantVersion {
+		return nil, fmt.Errorf("serve: manifest in %s claims version %d", dir, m.Version)
+	}
+	mv := &ModelVersion{
+		System:    m.System,
+		Version:   m.Version,
+		Columns:   m.Columns,
+		Guard:     m.Guard,
+		TrainedOn: m.TrainedOn,
+	}
+	modelPath, err := artifactPath(dir, m.Model)
+	if err != nil {
+		return nil, err
+	}
+	mv.Model, err = readGBT(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Ensemble) > 0 {
+		ens := &uq.Ensemble{}
+		for _, rel := range m.Ensemble {
+			memberPath, err := artifactPath(dir, rel)
+			if err != nil {
+				return nil, err
+			}
+			member, err := readNN(memberPath)
+			if err != nil {
+				return nil, err
+			}
+			ens.Members = append(ens.Members, member)
+		}
+		mv.Ensemble = ens
+		if m.Scaler == nil {
+			return nil, fmt.Errorf("serve: manifest in %s has an ensemble but no scaler", dir)
+		}
+	}
+	if m.Scaler != nil {
+		mv.Scaler, err = dataset.NewScaler(m.Scaler.Log, m.Scaler.Mean, m.Scaler.Std)
+		if err != nil {
+			return nil, fmt.Errorf("serve: manifest in %s: %w", dir, err)
+		}
+	}
+	return mv, nil
+}
+
+// artifactPath confines a manifest-referenced artifact to its version
+// directory: manifests are untrusted, and a relative path like
+// "../../etc/x" must not escape the registry tree.
+func artifactPath(dir, rel string) (string, error) {
+	if rel == "" || !filepath.IsLocal(rel) {
+		return "", fmt.Errorf("serve: manifest in %s references non-local artifact path %q", dir, rel)
+	}
+	return filepath.Join(dir, rel), nil
+}
+
+func readGBT(path string) (*gbt.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening model %s: %w", path, err)
+	}
+	defer f.Close()
+	m, err := gbt.ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading %s: %w", path, err)
+	}
+	return m, nil
+}
+
+func readNN(path string) (*nn.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening ensemble member %s: %w", path, err)
+	}
+	defer f.Close()
+	m, err := nn.ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// SaveVersion writes a bundle into the registry layout under root, creating
+// <root>/<system>/v<version>/ and its manifest and artifacts.
+func SaveVersion(root string, mv *ModelVersion) error {
+	if err := mv.validate(); err != nil {
+		return err
+	}
+	dir := filepath.Join(root, mv.System, fmt.Sprintf("v%d", mv.Version))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: creating %s: %w", dir, err)
+	}
+	m := manifest{
+		System:    mv.System,
+		Version:   mv.Version,
+		Columns:   mv.Columns,
+		Model:     gbtModelName,
+		Guard:     mv.Guard,
+		TrainedOn: mv.TrainedOn,
+	}
+	if err := writeJSONFile(filepath.Join(dir, gbtModelName), mv.Model.WriteJSON); err != nil {
+		return err
+	}
+	if mv.Ensemble != nil {
+		for i, member := range mv.Ensemble.Members {
+			name := fmt.Sprintf(memberPattern, i)
+			if err := writeJSONFile(filepath.Join(dir, name), member.WriteJSON); err != nil {
+				return err
+			}
+			m.Ensemble = append(m.Ensemble, name)
+		}
+		m.Scaler = &scalerJSON{Log: mv.Scaler.Log, Mean: mv.Scaler.Mean, Std: mv.Scaler.Std}
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("serve: writing manifest: %w", err)
+	}
+	return nil
+}
+
+func writeJSONFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("serve: creating %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRegistryVersionSelection(t *testing.T) {
+	reg := fixtureRegistry(t)
+	latest, err := reg.Get("theta", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Version != 2 {
+		t.Errorf("latest is v%d, want v2", latest.Version)
+	}
+	pinned, err := reg.Get("theta", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Version != 1 {
+		t.Errorf("pinned v1 got v%d", pinned.Version)
+	}
+	if _, err := reg.Get("theta", 9); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("missing version error: %v", err)
+	}
+	if _, err := reg.Get("frontier", 0); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("missing system error: %v", err)
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndInvalid(t *testing.T) {
+	_, v1, _ := fixture(t)
+	reg := NewRegistry()
+	if err := reg.Add(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(v1); err == nil {
+		t.Error("duplicate version accepted")
+	}
+	bad := *v1
+	bad.Columns = v1.Columns[:len(v1.Columns)-1]
+	if err := reg.Add(&bad); err == nil {
+		t.Error("column/model width mismatch accepted")
+	}
+	noScaler := *v1
+	noScaler.Version = 5
+	noScaler.Scaler = nil
+	if err := reg.Add(&noScaler); err == nil {
+		t.Error("ensemble without scaler accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	frame, v1, v2 := fixture(t)
+	dir := t.TempDir()
+	if err := SaveVersion(dir, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveVersion(dir, v2); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := LoadRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.NumVersions(); got != 2 {
+		t.Fatalf("loaded %d versions, want 2", got)
+	}
+	back, err := reg.Get("theta", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loaded artifacts must predict identically to the trained ones.
+	for i := 0; i < 25; i++ {
+		row := frame.Row(i)
+		if got, want := back.Model.Predict(row), v2.Model.Predict(row); got != want {
+			t.Fatalf("row %d: GBT %v != %v after round trip", i, got, want)
+		}
+	}
+	if back.Guard != v2.Guard {
+		t.Errorf("guard config changed: %+v != %+v", back.Guard, v2.Guard)
+	}
+	if len(back.Ensemble.Members) != len(v2.Ensemble.Members) {
+		t.Fatalf("ensemble size changed")
+	}
+	scaled := make([]float64, len(frame.Row(0)))
+	if err := back.Scaler.TransformRow(frame.Row(0), scaled); err != nil {
+		t.Fatalf("loaded scaler unusable: %v", err)
+	}
+	p1 := back.Ensemble.Predict(scaled)
+	wantScaled := make([]float64, len(scaled))
+	if err := v2.Scaler.TransformRow(frame.Row(0), wantScaled); err != nil {
+		t.Fatal(err)
+	}
+	p2 := v2.Ensemble.Predict(wantScaled)
+	if p1 != p2 {
+		t.Errorf("ensemble prediction changed: %+v != %+v", p1, p2)
+	}
+}
+
+func TestLoadRegistryRejectsTamperedModel(t *testing.T) {
+	_, v1, _ := fixture(t)
+	dir := t.TempDir()
+	if err := SaveVersion(dir, v1); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "theta", "v1", gbtModelName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a child pointer into a self-loop; the hardened decoder must
+	// refuse it and the registry must refuse to come up partially.
+	tampered := strings.Replace(string(raw), `"l":1`, `"l":0`, 1)
+	if tampered == string(raw) {
+		t.Skip("fixture model has no node with left child 1")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRegistry(dir); err == nil {
+		t.Error("registry loaded a tampered model")
+	}
+}
+
+func TestLoadRegistryRejectsManifestMismatch(t *testing.T) {
+	_, v1, _ := fixture(t)
+	dir := t.TempDir()
+	if err := SaveVersion(dir, v1); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "theta", "v1", manifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), `"version": 1`, `"version": 3`, 1)
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRegistry(dir); err == nil {
+		t.Error("registry accepted manifest/directory version mismatch")
+	}
+}
+
+func TestLoadRegistryRejectsEscapingArtifactPath(t *testing.T) {
+	_, v1, _ := fixture(t)
+	dir := t.TempDir()
+	if err := SaveVersion(dir, v1); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "theta", "v1", manifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hostile manifest must not be able to read outside its version
+	// directory.
+	tampered := strings.Replace(string(raw), `"model": "`+gbtModelName+`"`,
+		`"model": "../../../../etc/passwd"`, 1)
+	if tampered == string(raw) {
+		t.Fatal("manifest model path not found for tampering")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadRegistry(dir)
+	if err == nil || !strings.Contains(err.Error(), "non-local artifact path") {
+		t.Errorf("escaping artifact path not rejected: %v", err)
+	}
+}
+
+func TestLoadRegistryEmptyRoot(t *testing.T) {
+	if _, err := LoadRegistry(t.TempDir()); err == nil {
+		t.Error("empty registry root accepted")
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	reg := fixtureRegistry(t)
+	list := reg.List()
+	if len(list) != 2 {
+		t.Fatalf("listed %d versions, want 2", len(list))
+	}
+	if list[0].Version != 1 || list[0].Latest {
+		t.Errorf("v1 entry wrong: %+v", list[0])
+	}
+	if list[1].Version != 2 || !list[1].Latest {
+		t.Errorf("v2 entry wrong: %+v", list[1])
+	}
+	if list[1].EnsembleSize != 3 || list[1].Trees == 0 || list[1].Features == 0 {
+		t.Errorf("listing incomplete: %+v", list[1])
+	}
+}

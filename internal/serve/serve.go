@@ -1,0 +1,196 @@
+// Package serve is the online prediction-serving subsystem: it turns the
+// repo's offline taxonomy machinery into an HTTP service that predicts I/O
+// throughput per job and ships each prediction with its error-source
+// diagnosis.
+//
+// The pipeline per request:
+//
+//	registry  — versioned, per-system bundles of GBT model + deep
+//	            ensemble + scaler + guardrail calibration, loaded from a
+//	            directory of validated JSON artifacts (registry.go)
+//	cache     — a sharded LRU keyed on the feature-vector hash; the
+//	            paper's duplicate-dominance finding (Sec. VI: ~24% of jobs
+//	            are exact duplicates) makes this the cheapest prediction
+//	            path (cache.go)
+//	batcher   — misses are coalesced into micro-batches, evaluated with
+//	            ensemble members in parallel (batcher.go)
+//	guard     — every evaluated prediction is annotated with the taxonomy
+//	            guardrail: epistemic OoD flag and noise-floor diagnosis
+//	            (guard.go)
+//
+// server.go exposes the service over HTTP (POST /v1/predict, GET
+// /v1/models, /healthz, /metrics); loadgen.go generates Poisson traffic
+// with duplicate- and OoD-rate knobs; bootstrap.go trains and exports demo
+// registries so `ioserve -bootstrap` starts from nothing.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Options tune the serving pipeline.
+type Options struct {
+	// MaxBatch caps rows per micro-batch (default 32).
+	MaxBatch int
+	// MaxDelay is the straggler window a batch waits before evaluating
+	// (default 2ms).
+	MaxDelay time.Duration
+	// Workers is the micro-batch worker-pool size (default 2).
+	Workers int
+	// CacheSize is the duplicate cache capacity in entries; <= 0
+	// disables caching.
+	CacheSize int
+}
+
+// PredictionResult is one served prediction.
+type PredictionResult struct {
+	// Log10Throughput is the model output (the space models regress in).
+	Log10Throughput float64 `json:"log10_throughput"`
+	// Throughput is the same prediction in bytes/s.
+	Throughput float64 `json:"throughput_bytes_per_sec"`
+	// Guard is the taxonomy guardrail annotation; absent when the bundle
+	// has no ensemble.
+	Guard *Guard `json:"guard,omitempty"`
+	// CacheHit reports whether the duplicate cache answered this row.
+	CacheHit bool `json:"cache_hit"`
+}
+
+// Service ties registry, cache, batcher, and metrics into the predict path.
+type Service struct {
+	reg     *Registry
+	cache   *Cache
+	batcher *Batcher
+	metrics *Metrics
+}
+
+// NewService wires a service over a loaded registry.
+func NewService(reg *Registry, opt Options) *Service {
+	m := &Metrics{}
+	return &Service{
+		reg:     reg,
+		cache:   NewCache(opt.CacheSize),
+		batcher: NewBatcher(opt.MaxBatch, opt.MaxDelay, opt.Workers, m),
+		metrics: m,
+	}
+}
+
+// Close stops the worker pool.
+func (s *Service) Close() { s.batcher.Close() }
+
+// Registry exposes the model registry (for listings).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Metrics exposes the service counters.
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Predict serves a batch of rows against one model version (version <= 0
+// means latest), returning the results and the bundle that produced them.
+// Rows must match the bundle's feature schema. Rows that hit the duplicate
+// cache are answered immediately; the rest go through the micro-batcher in
+// one wave, so a multi-row request coalesces naturally.
+func (s *Service) Predict(ctx context.Context, system string, version int, rows [][]float64) ([]PredictionResult, *ModelVersion, error) {
+	start := time.Now()
+	s.metrics.Requests.Add(1)
+	results, mv, err := s.predict(ctx, system, version, rows)
+	if err != nil {
+		s.metrics.Errors.Add(1)
+		return nil, nil, err
+	}
+	s.metrics.LatencyNs.Add(uint64(time.Since(start).Nanoseconds()))
+	return results, mv, nil
+}
+
+func (s *Service) predict(ctx context.Context, system string, version int, rows [][]float64) ([]PredictionResult, *ModelVersion, error) {
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("serve: empty request")
+	}
+	mv, err := s.reg.Get(system, version)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, row := range rows {
+		if len(row) != len(mv.Columns) {
+			return nil, nil, fmt.Errorf("serve: row %d has %d features, model %s v%d expects %d",
+				i, len(row), mv.System, mv.Version, len(mv.Columns))
+		}
+	}
+
+	results := make([]PredictionResult, len(rows))
+	type miss struct {
+		i   int
+		key uint64
+		out chan batchResp
+		// dependents are later rows in this request with the same
+		// feature vector; they ride on this evaluation as cache hits.
+		dependents []int
+	}
+	var misses []*miss
+	pending := make(map[uint64]*miss)
+	var hits uint64
+	for i, row := range rows {
+		key := HashKey(mv.System, mv.Version, row)
+		if res, ok := s.cache.Get(key, row); ok {
+			results[i] = fromResult(res, true)
+			hits++
+			continue
+		}
+		// Duplicate of a row already in flight in this request: don't
+		// evaluate it twice. Only when caching is enabled — with the
+		// cache off, every row pays full evaluation so the cache-on/off
+		// comparison isolates duplicate-awareness as a whole.
+		if s.cache != nil {
+			if p, ok := pending[key]; ok && rowsEqual(rows[p.i], row) {
+				p.dependents = append(p.dependents, i)
+				hits++
+				continue
+			}
+		}
+		out, err := s.batcher.enqueue(ctx, mv, row)
+		if err != nil {
+			return nil, nil, err
+		}
+		m := &miss{i: i, key: key, out: out}
+		misses = append(misses, m)
+		pending[key] = m
+	}
+	for _, ms := range misses {
+		res, err := s.batcher.wait(ctx, ms.out)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.cache.Put(ms.key, rows[ms.i], res)
+		results[ms.i] = fromResult(res, false)
+		for _, di := range ms.dependents {
+			results[di] = fromResult(res, true)
+		}
+	}
+
+	s.metrics.Predictions.Add(uint64(len(rows)))
+	s.metrics.CacheHits.Add(hits)
+	s.metrics.CacheMisses.Add(uint64(len(misses)))
+	var ood uint64
+	for _, r := range results {
+		if r.Guard != nil && r.Guard.OoD {
+			ood++
+		}
+	}
+	s.metrics.OoDFlagged.Add(ood)
+	return results, mv, nil
+}
+
+// fromResult converts an evaluation to the response shape. The guard is
+// copied so cached entries stay immutable.
+func fromResult(res Result, cacheHit bool) PredictionResult {
+	pr := PredictionResult{
+		Log10Throughput: res.PredLog,
+		Throughput:      res.Pred,
+		CacheHit:        cacheHit,
+	}
+	if res.Guard != nil {
+		g := *res.Guard
+		pr.Guard = &g
+	}
+	return pr
+}

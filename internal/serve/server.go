@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// HTTP layer. Endpoints:
+//
+//	POST /v1/predict  — single row ("row") or batch ("rows")
+//	GET  /v1/models   — registry listing
+//	GET  /healthz     — liveness + registry summary
+//	GET  /metrics     — Prometheus text format
+//
+// The handler owns no state beyond the Service; it can be mounted into any
+// mux or served directly.
+
+// maxRequestBody bounds predict request bodies (16 MiB ~ 100k-row batches
+// of 20 features; far above anything the batcher wants in one request).
+const maxRequestBody = 16 << 20
+
+// PredictRequest is the POST /v1/predict body.
+type PredictRequest struct {
+	// System selects the model family (e.g. "theta"); required.
+	System string `json:"system"`
+	// Version pins a model version; 0 or absent means latest.
+	Version int `json:"version,omitempty"`
+	// Row is the single-prediction form; Rows the batch form. Exactly
+	// one must be set.
+	Row  []float64   `json:"row,omitempty"`
+	Rows [][]float64 `json:"rows,omitempty"`
+}
+
+// PredictResponse is the POST /v1/predict reply.
+type PredictResponse struct {
+	System      string             `json:"system"`
+	Version     int                `json:"version"`
+	Count       int                `json:"count"`
+	Predictions []PredictionResult `json:"predictions"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler wraps a Service as an http.Handler.
+func Handler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		handlePredict(svc, w, r)
+	})
+	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"models": svc.Registry().List()})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"systems":  svc.Registry().Systems(),
+			"versions": svc.Registry().NumVersions(),
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = svc.Metrics().WriteText(w)
+	})
+	return mux
+}
+
+func handlePredict(svc *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	if req.System == "" {
+		writeError(w, http.StatusBadRequest, "missing \"system\"")
+		return
+	}
+	rows := req.Rows
+	if req.Row != nil {
+		if rows != nil {
+			writeError(w, http.StatusBadRequest, "set \"row\" or \"rows\", not both")
+			return
+		}
+		rows = [][]float64{req.Row}
+	}
+	if len(rows) == 0 {
+		writeError(w, http.StatusBadRequest, "no rows to predict")
+		return
+	}
+	results, mv, err := svc.Predict(r.Context(), req.System, req.Version, rows)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrUnknownModel):
+			status = http.StatusNotFound
+		case errors.Is(err, ErrBatcherClosed):
+			status = http.StatusServiceUnavailable
+		default:
+			// Schema mismatches and malformed batches are client errors.
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		System:      req.System,
+		Version:     mv.Version,
+		Count:       len(results),
+		Predictions: results,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

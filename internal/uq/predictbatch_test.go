@@ -1,0 +1,46 @@
+package uq
+
+import (
+	"testing"
+
+	"iotaxo/internal/nn"
+	"iotaxo/internal/rng"
+)
+
+// TestPredictBatchMatchesPredict verifies the member-parallel batch path
+// decomposes identically to the per-row path.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	r := rng.New(3)
+	n := 120
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		a, b := r.Norm(), r.Norm()
+		rows[i] = []float64{a, b}
+		y[i] = a + 0.5*b + 0.05*r.Norm()
+	}
+	params := make([]nn.Params, 3)
+	for i := range params {
+		p := nn.DefaultParams()
+		p.Hidden = []int{8 + 4*i}
+		p.Epochs = 4
+		p.Seed = uint64(i + 1)
+		params[i] = p
+	}
+	e, err := TrainEnsemble(params, rows, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := e.PredictBatch(rows)
+	if len(batch) != n {
+		t.Fatalf("batch returned %d predictions for %d rows", len(batch), n)
+	}
+	for i, row := range rows {
+		if single := e.Predict(row); batch[i] != single {
+			t.Fatalf("row %d: batch %+v != single %+v", i, batch[i], single)
+		}
+	}
+	if got := e.PredictBatch(nil); got != nil {
+		t.Errorf("empty batch returned %v", got)
+	}
+}
