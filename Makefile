@@ -1,0 +1,30 @@
+# Developer entry points. `make test` is the tier-1 gate; `make bench`
+# records a BENCH_<date>.json snapshot of the tier-2 benchmarks.
+
+GO ?= go
+
+.PHONY: all build test vet fmt bench bench-smoke
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# Full tier-2 benchmark snapshot -> BENCH_<date>.json (see scripts/bench.sh
+# for the BENCH_PATTERN / BENCH_TIME / BENCH_OUT knobs).
+bench:
+	./scripts/bench.sh
+
+# Two cheap benchmarks as a CI smoke signal that the bench harness and the
+# JSON recorder still work.
+bench-smoke:
+	BENCH_PATTERN='^(BenchmarkFig1b|BenchmarkTableT1)$$' ./scripts/bench.sh

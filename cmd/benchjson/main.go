@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so benchmark runs can be recorded as BENCH_<date>.json
+// artifacts and diffed across commits (see scripts/bench.sh and the
+// "Performance" section of the README).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed line.
+type Result struct {
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline wall-clock cost.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every custom b.ReportMetric unit (e.g. "best_err_%").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the document emitted for one bench run.
+type Report struct {
+	Date       string            `json:"date"`
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// parse consumes go-test bench output, collecting the environment header
+// (goos/goarch/pkg/cpu) and every Benchmark line.
+func parse(r io.Reader) (Report, error) {
+	rep := Report{
+		Date:       time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		Env:        map[string]string{},
+		Benchmarks: map[string]Result{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rep.Env[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the -N GOMAXPROCS suffix go test appends on parallel runs.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			default:
+				res.Metrics[unit] = val
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		rep.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("benchjson: no Benchmark lines on stdin")
+	}
+	return rep, nil
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

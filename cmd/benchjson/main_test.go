@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: iotaxo
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig1a    	       1	6326583248 ns/op	        11.90 best_err_%	        14.05 default_err_%
+BenchmarkFig3-8   	       3	1295238564 ns/op	        11.77 posix_test_err_%
+PASS
+ok  	iotaxo	11.588s
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Env["goos"] != "linux" || rep.Env["cpu"] == "" {
+		t.Errorf("env not captured: %v", rep.Env)
+	}
+	fig1a, ok := rep.Benchmarks["Fig1a"]
+	if !ok {
+		t.Fatalf("Fig1a missing: %v", rep.Benchmarks)
+	}
+	if fig1a.NsPerOp != 6326583248 || fig1a.Iterations != 1 {
+		t.Errorf("Fig1a parsed as %+v", fig1a)
+	}
+	if fig1a.Metrics["best_err_%"] != 11.90 {
+		t.Errorf("Fig1a metrics %v", fig1a.Metrics)
+	}
+	fig3, ok := rep.Benchmarks["Fig3"] // -8 GOMAXPROCS suffix stripped
+	if !ok {
+		t.Fatalf("Fig3 missing: %v", rep.Benchmarks)
+	}
+	if fig3.Metrics["posix_test_err_%"] != 11.77 {
+		t.Errorf("Fig3 metrics %v", fig3.Metrics)
+	}
+	if _, err := parse(strings.NewReader("nothing here")); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"iotaxo/internal/dataset"
 	"iotaxo/internal/stats"
@@ -71,10 +72,16 @@ func EvaluatePredictions(predLog []float64, actual []float64) ErrorReport {
 		rep.SignedLogErrors[i] = e
 		rep.AbsLogErrors[i] = math.Abs(e)
 	}
-	rep.MedianAbsLog = stats.Median(rep.AbsLogErrors)
+	// One sorted copy serves both quantiles (Median sorts internally too;
+	// evaluation runs once per trained model, so the duplicate sort shows
+	// up in every search and experiment).
+	sorted := make([]float64, len(rep.AbsLogErrors))
+	copy(sorted, rep.AbsLogErrors)
+	sort.Float64s(sorted)
+	rep.MedianAbsLog = stats.QuantileSorted(sorted, 0.5)
 	rep.MedianAbsPct = stats.PctFromLog(rep.MedianAbsLog)
 	rep.MeanAbsLog = stats.Mean(rep.AbsLogErrors)
-	rep.P90AbsPct = stats.PctFromLog(stats.Quantile(rep.AbsLogErrors, 0.9))
+	rep.P90AbsPct = stats.PctFromLog(stats.QuantileSorted(sorted, 0.9))
 	return rep
 }
 

@@ -188,6 +188,11 @@ type Fig3Row struct {
 // Fig3 trains tuned models per feature set on a TIME split (deployment
 // protocol): timestamps memorize the training set but cannot help on
 // future jobs, reproducing the Cobalt overfit.
+//
+// Every feature set is a column subset of the same frame and the time
+// split is positional, so the full frame is quantized once and each set
+// trains on a column view of that shared binning; training error comes
+// straight from the in-sample predictions boosting maintains anyway.
 func Fig3(f *dataset.Frame, sc Scale) (*Fig3Result, error) {
 	posix, err := f.SelectPrefix("posix_")
 	if err != nil {
@@ -214,23 +219,41 @@ func Fig3(f *dataset.Frame, sc Scale) (*Fig3Result, error) {
 			frame *dataset.Frame
 		}{"POSIX+Cobalt", cobalt})
 	}
-	res := &Fig3Result{}
+	fullSplit, err := f.SplitByFraction(sc.TrainFrac, sc.ValFrac)
+	if err != nil {
+		return nil, err
+	}
 	tt := dataset.TargetTransform{}
+	trainY := tt.ForwardAll(fullSplit.Train.Y())
+	bd, err := gbt.Bin(fullSplit.Train.Rows(), sc.TunedParams.NumBins)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{}
 	for _, s := range sets {
-		split, err := s.frame.SplitByFraction(sc.TrainFrac, sc.ValFrac)
+		names := s.frame.Columns()
+		testFrame, err := fullSplit.Test.Select(names)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]int, 0, len(names))
+		for _, name := range names {
+			cols = append(cols, f.ColumnIndex(name))
+		}
+		sbd, err := bd.SelectColumns(cols)
 		if err != nil {
 			return nil, err
 		}
 		p := sc.TunedParams
 		p.Seed = sc.Seed
-		m, err := trainGBT(p, split.Train, tt)
+		m, trainPred, err := gbt.FitBinned(p, sbd, trainY)
 		if err != nil {
 			return nil, err
 		}
 		res.Rows = append(res.Rows, Fig3Row{
 			Features: s.name,
-			TrainPct: core.Evaluate(m, split.Train).MedianAbsPct,
-			TestPct:  core.Evaluate(m, split.Test).MedianAbsPct,
+			TrainPct: core.EvaluatePredictions(trainPred, fullSplit.Train.Y()).MedianAbsPct,
+			TestPct:  core.Evaluate(m, testFrame).MedianAbsPct,
 		})
 	}
 	return res, nil
@@ -416,7 +439,3 @@ func (r *Fig5Result) Render(w io.Writer) error {
 }
 
 func hasCol(f *dataset.Frame, name string) bool { return f.ColumnIndex(name) >= 0 }
-
-func trainGBT(p gbt.Params, train *dataset.Frame, tt dataset.TargetTransform) (*gbt.Model, error) {
-	return gbt.Train(p, train.Rows(), tt.ForwardAll(train.Y()))
-}

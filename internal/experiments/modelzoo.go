@@ -29,7 +29,9 @@ type ModelZooRow struct {
 }
 
 // ModelZoo trains one representative of each model class on the
-// application features.
+// application features. All tree-based models share one binned view of the
+// training rows, and their training error comes from the in-sample
+// predictions boosting maintains (bit-identical to a full prediction pass).
 func ModelZoo(f *dataset.Frame, sc Scale, nnEpochs int) (*ModelZooResult, error) {
 	app, err := appFrame(f)
 	if err != nil {
@@ -54,6 +56,13 @@ func ModelZoo(f *dataset.Frame, sc Scale, nnEpochs int) (*ModelZooResult, error)
 			TestPct:  core.Evaluate(m, split.Test).MedianAbsPct,
 		})
 	}
+	addFitted := func(name string, m core.Regressor, trainPred []float64) {
+		res.Rows = append(res.Rows, ModelZooRow{
+			Model:    name,
+			TrainPct: core.EvaluatePredictions(trainPred, split.Train.Y()).MedianAbsPct,
+			TestPct:  core.Evaluate(m, split.Test).MedianAbsPct,
+		})
+	}
 
 	// Ridge regression on standardized log features.
 	scaler := dataset.FitScaler(split.Train, true)
@@ -67,31 +76,47 @@ func ModelZoo(f *dataset.Frame, sc Scale, nnEpochs int) (*ModelZooResult, error)
 	}
 	add("ridge regression", &scaledRegressor{scaler: scaler, inner: lr})
 
+	// One binned view per distinct bin budget serves the tree-based models
+	// (with default budgets everywhere this is a single quantization pass;
+	// a Scale with a custom TunedParams.NumBins just gets its own view).
+	binned := map[int]*gbt.Binned{}
+	fitTree := func(p gbt.Params) (*gbt.Model, []float64, error) {
+		bd, ok := binned[p.NumBins]
+		if !ok {
+			var err error
+			if bd, err = gbt.Bin(split.Train.Rows(), p.NumBins); err != nil {
+				return nil, nil, err
+			}
+			binned[p.NumBins] = bd
+		}
+		return gbt.FitBinned(p, bd, trainY)
+	}
+
 	// Single deep decision tree (a one-tree GBT at full learning rate).
 	treeParams := gbt.TunedBase()
 	treeParams.NumTrees = 1
 	treeParams.LearningRate = 1
 	treeParams.MaxDepth = 16
 	treeParams.Seed = sc.Seed
-	tree, err := gbt.Train(treeParams, split.Train.Rows(), trainY)
+	tree, treePred, err := fitTree(treeParams)
 	if err != nil {
 		return nil, err
 	}
-	add("decision tree", tree)
+	addFitted("decision tree", tree, treePred)
 
 	// Gradient-boosted trees (library defaults, then tuned).
-	def, err := gbt.Train(gbt.DefaultParams(), split.Train.Rows(), trainY)
+	def, defPred, err := fitTree(gbt.DefaultParams())
 	if err != nil {
 		return nil, err
 	}
-	add("GBT (defaults)", def)
+	addFitted("GBT (defaults)", def, defPred)
 	p := sc.TunedParams
 	p.Seed = sc.Seed
-	tuned, err := gbt.Train(p, split.Train.Rows(), trainY)
+	tuned, tunedPred, err := fitTree(p)
 	if err != nil {
 		return nil, err
 	}
-	add("GBT (tuned)", tuned)
+	addFitted("GBT (tuned)", tuned, tunedPred)
 
 	// Feedforward network on standardized features.
 	np := nn.DefaultParams()
@@ -122,11 +147,17 @@ func (s *scaledRegressor) Predict(row []float64) float64 {
 }
 
 func (s *scaledRegressor) PredictAll(rows [][]float64) []float64 {
-	out := make([]float64, len(rows))
+	// Standardize once, then let the inner model take the whole batch (the
+	// nn path turns that into chunked matrix products).
+	scaled := make([][]float64, len(rows))
 	for i, r := range rows {
-		out[i] = s.Predict(r)
+		dst := make([]float64, len(r))
+		if err := s.scaler.TransformRow(r, dst); err != nil {
+			panic(err)
+		}
+		scaled[i] = dst
 	}
-	return out
+	return s.inner.PredictAll(scaled)
 }
 
 // Render prints the comparison table.

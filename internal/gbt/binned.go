@@ -1,0 +1,199 @@
+package gbt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binned is an immutable, reusable quantile-binned view of a training
+// matrix. Binning is the only part of GBT training that depends on the raw
+// feature values, so a hyperparameter sweep over the same rows can quantize
+// once with Bin and train every candidate with TrainBinned — instead of
+// re-quantizing per candidate, which is what Train does internally.
+//
+// The codes are stored twice: column-major (colCodes[f][i]) for the
+// sequential root-histogram pass and in-place partitioning, and row-major
+// (rowCodes[i*nCols+f]) for the scattered-row histogram passes of deep tree
+// nodes and for coded prediction of out-of-sample rows during training.
+// Histograms use a variable-width layout — feature f owns the cell range
+// [binStart[f], binStart[f]+binCount(f)) — so features with few distinct
+// values (common in I/O counters) cost proportionally less to clear,
+// subtract, and scan.
+type Binned struct {
+	nRows   int
+	nCols   int
+	numBins int
+	// colCodes[f][i] is the bin index of row i on feature f.
+	colCodes [][]uint8
+	// rowCodes[i*nCols+f] duplicates colCodes row-major.
+	rowCodes []uint8
+	// edges[f][b] is the raw upper edge of bin b (the split threshold).
+	edges [][]float64
+	// binStart[f] is feature f's offset into a histogram buffer; feature f
+	// owns len(edges[f])+1 cells. totalBins is the buffer length.
+	binStart  []int
+	totalBins int
+	// rootCount[cell] is the per-cell row count over ALL rows. Counts do
+	// not depend on residuals, so full-sample root histograms reuse them
+	// every boosting round instead of re-counting.
+	rootCount []float64
+}
+
+// Bin quantizes rows into at most numBins quantile bins per feature. Rows
+// must be rectangular and non-empty; numBins must be in [2,256]. The result
+// is safe for concurrent use by any number of TrainBinned calls.
+func Bin(rows [][]float64, numBins int) (*Binned, error) {
+	if numBins < 2 || numBins > 256 {
+		return nil, fmt.Errorf("gbt: NumBins %d out of [2,256]", numBins)
+	}
+	if len(rows) == 0 {
+		return nil, ErrNoData
+	}
+	nf := len(rows[0])
+	for i, r := range rows {
+		if len(r) != nf {
+			return nil, fmt.Errorf("gbt: row %d has %d features, want %d", i, len(r), nf)
+		}
+	}
+	n := len(rows)
+	b := &Binned{nRows: n, nCols: nf, numBins: numBins}
+	b.colCodes = make([][]uint8, nf)
+	b.edges = make([][]float64, nf)
+	b.rowCodes = make([]uint8, n*nf)
+	b.binStart = make([]int, nf)
+
+	// Quantile candidate edges from a (possibly strided) sorted copy.
+	sampleCap := 65536
+	stride := 1
+	if n > sampleCap {
+		stride = n / sampleCap
+	}
+	vals := make([]float64, 0, n/stride+1)
+	for f := 0; f < nf; f++ {
+		vals = vals[:0]
+		for i := 0; i < n; i += stride {
+			vals = append(vals, rows[i][f])
+		}
+		sort.Float64s(vals)
+		edges := quantileEdges(vals, numBins)
+		b.edges[f] = edges
+		codes := make([]uint8, n)
+		for i := 0; i < n; i++ {
+			c := code(edges, rows[i][f])
+			codes[i] = c
+			b.rowCodes[i*nf+f] = c
+		}
+		b.colCodes[f] = codes
+		b.binStart[f] = b.totalBins
+		b.totalBins += len(edges) + 1
+	}
+	b.rootCount = make([]float64, b.totalBins)
+	for f := 0; f < nf; f++ {
+		hc := b.rootCount[b.binStart[f]:]
+		for _, c := range b.colCodes[f] {
+			hc[c]++
+		}
+	}
+	return b, nil
+}
+
+// SelectColumns returns a binned view restricted to the given feature
+// indices (in the given order). Quantile edges are computed per column, so
+// the subset's codes and edges are exactly what Bin would produce from the
+// corresponding raw column subset — feature-set comparisons over one frame
+// can quantize the full frame once and slice views per set. Codes and edges
+// are shared with the parent; only the row-major mirror and the histogram
+// layout are rebuilt.
+func (b *Binned) SelectColumns(cols []int) (*Binned, error) {
+	nf := len(cols)
+	if nf == 0 {
+		return nil, fmt.Errorf("gbt: empty column selection")
+	}
+	s := &Binned{nRows: b.nRows, nCols: nf, numBins: b.numBins}
+	s.colCodes = make([][]uint8, nf)
+	s.edges = make([][]float64, nf)
+	s.binStart = make([]int, nf)
+	for k, f := range cols {
+		if f < 0 || f >= b.nCols {
+			return nil, fmt.Errorf("gbt: column %d out of range [0,%d)", f, b.nCols)
+		}
+		s.colCodes[k] = b.colCodes[f]
+		s.edges[k] = b.edges[f]
+		s.binStart[k] = s.totalBins
+		s.totalBins += len(b.edges[f]) + 1
+	}
+	s.rowCodes = make([]uint8, b.nRows*nf)
+	for k, f := range cols {
+		codes := b.colCodes[f]
+		for i := 0; i < b.nRows; i++ {
+			s.rowCodes[i*nf+k] = codes[i]
+		}
+	}
+	s.rootCount = make([]float64, s.totalBins)
+	for k, f := range cols {
+		copy(s.rootCount[s.binStart[k]:s.binStart[k]+s.binCount(k)],
+			b.rootCount[b.binStart[f]:b.binStart[f]+b.binCount(f)])
+	}
+	return s, nil
+}
+
+// NumRows returns the number of binned rows.
+func (b *Binned) NumRows() int { return b.nRows }
+
+// NumFeatures returns the feature count.
+func (b *Binned) NumFeatures() int { return b.nCols }
+
+// NumBins returns the bin budget the view was built with. TrainBinned
+// requires the candidate's Params.NumBins to match it.
+func (b *Binned) NumBins() int { return b.numBins }
+
+// binCount returns the number of occupied cells of feature f.
+func (b *Binned) binCount(f int) int { return len(b.edges[f]) + 1 }
+
+// quantileEdges returns up to numBins-1 distinct interior edges.
+func quantileEdges(sorted []float64, numBins int) []float64 {
+	edges := make([]float64, 0, numBins-1)
+	n := len(sorted)
+	for k := 1; k < numBins; k++ {
+		v := sorted[k*(n-1)/numBins]
+		if len(edges) == 0 || v > edges[len(edges)-1] {
+			edges = append(edges, v)
+		}
+	}
+	return edges
+}
+
+// code returns the bin index of v: the number of edges strictly below v.
+// Note code(edges, v) <= b exactly when v <= edges[b], so threshold
+// comparisons on raw values and on bin codes partition rows identically.
+func code(edges []float64, v float64) uint8 {
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if edges[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint8(lo)
+}
+
+// checkTargets validates the training targets against the binned rows.
+func (b *Binned) checkTargets(y []float64) error {
+	return checkTargets(b.nRows, y)
+}
+
+// checkTargets validates targets against a row count.
+func checkTargets(nRows int, y []float64) error {
+	if nRows != len(y) {
+		return fmt.Errorf("gbt: %d rows vs %d targets", nRows, len(y))
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("gbt: non-finite target at row %d", i)
+		}
+	}
+	return nil
+}

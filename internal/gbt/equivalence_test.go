@@ -1,0 +1,249 @@
+package gbt
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"iotaxo/internal/rng"
+)
+
+// The fast path must be observably equivalent to the reference path:
+// shared binning (TrainBinned/FitBinned), leaf-partition boosting updates,
+// the blocked PredictAll kernel, and warm-started prefix sweeps all claim
+// bit-identical predictions. These tests pin that claim on fixed seeds.
+
+// equivConfigs covers the regimes that exercise different training paths:
+// full-sample leaf updates, subsampled coded out-of-sample prediction,
+// column sampling, deep trees, and a coarse bin budget.
+func equivConfigs() []Params {
+	full := DefaultParams()
+	full.NumTrees = 40
+
+	sub := TunedBase()
+	sub.NumTrees = 30
+	sub.MaxDepth = 10
+	sub.Subsample = 0.6
+	sub.ColSample = 0.5
+	sub.Seed = 7
+
+	coarse := DefaultParams()
+	coarse.NumTrees = 25
+	coarse.MaxDepth = 4
+	coarse.NumBins = 16
+	coarse.Subsample = 0.8
+
+	return []Params{full, sub, coarse}
+}
+
+func bitEqual(t *testing.T, label string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s: index %d differs: %v vs %v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// TestTrainBinnedMatchesTrain: one shared Bin + TrainBinned must produce
+// the same model (predictions and split gains) as Train on the raw rows.
+func TestTrainBinnedMatchesTrain(t *testing.T) {
+	rows, y := synth(2500, 0.1, 31)
+	probe, _ := synth(400, 0.1, 32)
+	for ci, p := range equivConfigs() {
+		ref, err := Train(p, rows, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd, err := Bin(rows, p.NumBins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := TrainBinned(p, bd, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitEqual(t, "train preds", ref.PredictAll(rows), fast.PredictAll(rows))
+		bitEqual(t, "probe preds", ref.PredictAll(probe), fast.PredictAll(probe))
+		bitEqual(t, "importance", ref.FeatureImportance(), fast.FeatureImportance())
+		_ = ci
+	}
+}
+
+// TestFitBinnedTrainPred: the in-sample predictions boosting maintains must
+// equal a full prediction pass over the training rows.
+func TestFitBinnedTrainPred(t *testing.T) {
+	rows, y := synth(1800, 0.2, 33)
+	for _, p := range equivConfigs() {
+		bd, err := Bin(rows, p.NumBins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, trainPred, err := FitBinned(p, bd, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitEqual(t, "maintained train preds", m.PredictAll(rows), trainPred)
+	}
+}
+
+// TestPredictAllMatchesPredict: the blocked batch kernel must reproduce
+// per-row Predict bit-for-bit, including on chunk-boundary sizes.
+func TestPredictAllMatchesPredict(t *testing.T) {
+	rows, y := synth(3000, 0.1, 34)
+	p := DefaultParams()
+	p.NumTrees = 60
+	m, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 127, 128, 129, 1000} {
+		sub := rows[:n]
+		want := make([]float64, n)
+		for i, r := range sub {
+			want[i] = m.Predict(r)
+		}
+		bitEqual(t, "blocked PredictAll", want, m.PredictAll(sub))
+	}
+}
+
+// TestPredictStagesMatchesIndependentModels: scoring tree-count prefixes of
+// one max-trees model must match independently trained models with the same
+// effective tree count — the warm-start sweep's core claim.
+func TestPredictStagesMatchesIndependentModels(t *testing.T) {
+	rows, y := synth(1500, 0.15, 35)
+	probe, _ := synth(300, 0.15, 36)
+	base := TunedBase()
+	base.MaxDepth = 7
+	base.Subsample = 0.7
+	base.Seed = 3
+	stages := []int{4, 16, 41, 64}
+
+	full := base
+	full.NumTrees = stages[len(stages)-1]
+	m, err := Train(full, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := m.PredictStages(probe, stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, k := range stages {
+		pk := base
+		pk.NumTrees = k
+		mk, err := Train(pk, rows, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitEqual(t, "staged prefix", mk.PredictAll(probe), staged[si])
+	}
+}
+
+// TestPredictStagesValidation: stage lists must be ascending and in range.
+func TestPredictStagesValidation(t *testing.T) {
+	rows, y := synth(300, 0, 37)
+	p := DefaultParams()
+	p.NumTrees = 10
+	m, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PredictStages(rows[:5], []int{5, 3}); err == nil {
+		t.Error("descending stages accepted")
+	}
+	if _, err := m.PredictStages(rows[:5], []int{4, 11}); err == nil {
+		t.Error("stage beyond NumTrees accepted")
+	}
+	out, err := m.PredictStages(rows[:5], []int{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out[0] {
+		if out[0][i] != m.bias {
+			t.Error("stage 0 is not the bias")
+		}
+	}
+	bitEqual(t, "full stage", m.PredictAll(rows[:5]), out[1])
+}
+
+// TestSelectColumnsMatchesDirectBinning: a column view of a shared Bin must
+// train the same model as binning the raw column subset.
+func TestSelectColumnsMatchesDirectBinning(t *testing.T) {
+	rows, y := synth(1200, 0.1, 38)
+	sub := make([][]float64, len(rows))
+	colIdx := []int{0, 2}
+	for i, r := range rows {
+		sub[i] = []float64{r[0], r[2]}
+	}
+	p := DefaultParams()
+	p.NumTrees = 30
+	bdFull, err := Bin(rows, p.NumBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := bdFull.SelectColumns(colIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mView, err := TrainBinned(p, view, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mDirect, err := Train(p, sub, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitEqual(t, "column view preds", mDirect.PredictAll(sub), mView.PredictAll(sub))
+
+	if _, err := bdFull.SelectColumns(nil); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if _, err := bdFull.SelectColumns([]int{99}); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+// TestSampleColsSorted: the per-round column sample must come back in
+// ascending order for any fraction.
+func TestSampleColsSorted(t *testing.T) {
+	r := rng.New(9)
+	var buf []int
+	for i := 0; i < 50; i++ {
+		cols := sampleCols(&buf, 20, 0.4, r)
+		if !sort.IntsAreSorted(cols) {
+			t.Fatalf("unsorted column sample %v", cols)
+		}
+		if len(cols) != 8 {
+			t.Fatalf("sample size %d, want 8", len(cols))
+		}
+		seen := map[int]bool{}
+		for _, c := range cols {
+			if c < 0 || c >= 20 || seen[c] {
+				t.Fatalf("invalid sample %v", cols)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+// TestTrainBinnedRejectsMismatchedBins: reusing a view with a different bin
+// budget must fail loudly rather than silently change the model.
+func TestTrainBinnedRejectsMismatchedBins(t *testing.T) {
+	rows, y := synth(200, 0, 39)
+	bd, err := Bin(rows, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.NumBins = 32
+	if _, err := TrainBinned(p, bd, y); err == nil {
+		t.Error("bin-budget mismatch accepted")
+	}
+	if _, err := TrainBinned(DefaultParams(), bd, y[:50]); err == nil {
+		t.Error("target length mismatch accepted")
+	}
+}

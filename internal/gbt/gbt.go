@@ -14,7 +14,7 @@ package gbt
 import (
 	"errors"
 	"fmt"
-	"math"
+	"sort"
 
 	"iotaxo/internal/rng"
 )
@@ -97,7 +97,12 @@ func (p Params) Validate() error {
 // node is one tree node in the flattened representation.
 type node struct {
 	// feature < 0 marks a leaf; value holds the leaf weight.
-	feature   int32
+	feature int32
+	// bin is the split threshold in bin-code space (codes <= bin go left).
+	// Only populated by training — it lets boosting predict out-of-sample
+	// rows on uint8 bin codes — and is not serialized; models loaded from
+	// JSON predict on raw thresholds only.
+	bin       int32
 	threshold float64
 	left      int32
 	right     int32
@@ -118,6 +123,24 @@ func (t *tree) predict(row []float64) float64 {
 			return n.value
 		}
 		if row[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// predictCoded walks the tree for one row of bin codes (rc[f] is the code
+// of feature f). Because code(edges, v) <= bin exactly when v <= edges[bin],
+// this lands in the same leaf as predict on the raw row.
+func (t *tree) predictCoded(rc []uint8) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if rc[n.feature] <= uint8(n.bin) {
 			i = n.left
 		} else {
 			i = n.right
@@ -157,15 +180,6 @@ func (m *Model) Predict(row []float64) float64 {
 	return s
 }
 
-// PredictAll predicts every row.
-func (m *Model) PredictAll(rows [][]float64) []float64 {
-	out := make([]float64, len(rows))
-	for i, r := range rows {
-		out[i] = m.Predict(r)
-	}
-	return out
-}
-
 // FeatureImportance returns the total split gain per feature, normalized
 // to sum to 1 (all zeros if the model never split).
 func (m *Model) FeatureImportance() []float64 {
@@ -186,55 +200,100 @@ func (m *Model) FeatureImportance() []float64 {
 // ErrNoData is returned when training has no rows.
 var ErrNoData = errors.New("gbt: empty training set")
 
-// Train fits a model to rows/targets. Rows must be rectangular.
+// Train fits a model to rows/targets. Rows must be rectangular. Callers
+// training several candidates on the same rows should Bin once and use
+// TrainBinned, which skips the per-call quantization.
 func Train(p Params, rows [][]float64, y []float64) (*Model, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if len(rows) == 0 {
-		return nil, ErrNoData
+	// Reject bad targets before paying for quantization.
+	if err := checkTargets(len(rows), y); err != nil {
+		return nil, err
 	}
-	if len(rows) != len(y) {
-		return nil, fmt.Errorf("gbt: %d rows vs %d targets", len(rows), len(y))
+	bd, err := Bin(rows, p.NumBins)
+	if err != nil {
+		return nil, err
 	}
-	nf := len(rows[0])
-	for i, r := range rows {
-		if len(r) != nf {
-			return nil, fmt.Errorf("gbt: row %d has %d features, want %d", i, len(r), nf)
-		}
-	}
-	for i, v := range y {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("gbt: non-finite target at row %d", i)
-		}
-	}
+	return TrainBinned(p, bd, y)
+}
 
-	b := newBinner(rows, p.NumBins)
+// TrainBinned fits a model to a pre-quantized dataset. It produces exactly
+// the model Train would build from the raw rows, provided p.NumBins matches
+// the bin budget the view was built with.
+func TrainBinned(p Params, bd *Binned, y []float64) (*Model, error) {
+	m, _, err := FitBinned(p, bd, y)
+	return m, err
+}
+
+// FitBinned is TrainBinned returning also the model's final in-sample
+// predictions, which boosting maintains incrementally anyway; they are
+// bit-identical to m.PredictAll over the training rows, so callers that
+// evaluate training error can skip that full prediction pass.
+func FitBinned(p Params, bd *Binned, y []float64) (*Model, []float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if p.NumBins != bd.numBins {
+		return nil, nil, fmt.Errorf("gbt: params want %d bins, view binned with %d", p.NumBins, bd.numBins)
+	}
+	if err := bd.checkTargets(y); err != nil {
+		return nil, nil, err
+	}
+	n, nf := bd.nRows, bd.nCols
 	m := &Model{params: p, nFeature: nf, gain: make([]float64, nf)}
 	m.bias = mean(y)
 
-	pred := make([]float64, len(y))
+	pred := make([]float64, n)
 	for i := range pred {
 		pred[i] = m.bias
 	}
-	resid := make([]float64, len(y))
+	resid := make([]float64, n)
 	r := rng.New(p.Seed)
-	builder := newTreeBuilder(b, p, m.gain)
+	builder := newTreeBuilder(bd, p, m.gain)
+
+	fullRows := p.Subsample >= 1
+	idx := make([]int32, n)
+	var colBuf []int
+	var inSample []bool
+	if !fullRows {
+		inSample = make([]bool, n)
+	}
+	lr := p.LearningRate
 
 	for t := 0; t < p.NumTrees; t++ {
 		for i := range resid {
 			resid[i] = y[i] - pred[i]
 		}
-		rowsIdx := sampleRows(len(y), p.Subsample, r)
-		cols := sampleCols(nf, p.ColSample, r)
-		tr := builder.build(rowsIdx, cols, resid)
+		rowsIdx := sampleRows(idx, p.Subsample, r)
+		cols := sampleCols(&colBuf, nf, p.ColSample, r)
+		tr, leaves := builder.build(rowsIdx, cols, resid, fullRows)
 		m.trees = append(m.trees, tr)
-		// Update predictions over ALL rows (not just the subsample).
-		for i := range pred {
-			pred[i] += p.LearningRate * tr.predict(rows[i])
+		// Update predictions over ALL rows (not just the subsample):
+		// in-sample rows straight from the leaf partition of the index
+		// buffer, out-of-sample rows by walking the tree on bin codes.
+		for _, lf := range leaves {
+			v := lr * lf.value
+			for _, i := range rowsIdx[lf.lo:lf.hi] {
+				pred[i] += v
+			}
+		}
+		if !fullRows {
+			for i := range inSample {
+				inSample[i] = false
+			}
+			for _, i := range rowsIdx {
+				inSample[i] = true
+			}
+			rowCodes := bd.rowCodes
+			for i := range pred {
+				if !inSample[i] {
+					pred[i] += lr * tr.predictCoded(rowCodes[i*nf:i*nf+nf])
+				}
+			}
 		}
 	}
-	return m, nil
+	return m, pred, nil
 }
 
 func mean(xs []float64) float64 {
@@ -245,33 +304,38 @@ func mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-func sampleRows(n int, frac float64, r *rng.Rand) []int32 {
+// sampleRows fills idx with the boosting round's row sample: the identity
+// when frac >= 1, otherwise a partial Fisher-Yates prefix of size
+// frac*len(idx). idx is caller-owned scratch reused across rounds.
+func sampleRows(idx []int32, frac float64, r *rng.Rand) []int32 {
+	n := len(idx)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
 	if frac >= 1 {
-		idx := make([]int32, n)
-		for i := range idx {
-			idx[i] = int32(i)
-		}
 		return idx
 	}
 	k := int(frac * float64(n))
 	if k < 1 {
 		k = 1
 	}
-	// Partial Fisher-Yates over a scratch permutation.
-	perm := make([]int32, n)
-	for i := range perm {
-		perm[i] = int32(i)
-	}
 	for i := 0; i < k; i++ {
 		j := i + r.Intn(n-i)
-		perm[i], perm[j] = perm[j], perm[i]
+		idx[i], idx[j] = idx[j], idx[i]
 	}
-	return perm[:k]
+	return idx[:k]
 }
 
-func sampleCols(n int, frac float64, r *rng.Rand) []int {
+// sampleCols returns the round's feature sample in ascending order, so the
+// histogram and split scans touch features in a deterministic, memory-
+// friendly order regardless of the permutation the sampler drew. buf is
+// caller-owned scratch reused across rounds.
+func sampleCols(buf *[]int, n int, frac float64, r *rng.Rand) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	idx := (*buf)[:n]
 	if frac >= 1 {
-		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = i
 		}
@@ -282,6 +346,8 @@ func sampleCols(n int, frac float64, r *rng.Rand) []int {
 		k = 1
 	}
 	perm := r.Perm(n)
-	cols := perm[:k]
+	cols := idx[:k]
+	copy(cols, perm[:k])
+	sort.Ints(cols)
 	return cols
 }

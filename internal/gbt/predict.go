@@ -1,0 +1,145 @@
+package gbt
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Batch prediction kernels. Walking every tree for one row before moving to
+// the next row streams the whole ensemble (megabytes of nodes) through the
+// cache per row; these kernels instead fix a chunk of rows and walk one
+// tree across the chunk, so each tree's nodes are hot for the whole chunk.
+// Per row, trees are still accumulated in ascending order, so results are
+// bit-identical to Predict. Chunks are independent and fan out across CPUs.
+
+// predictChunk is the number of rows a tree is walked across before moving
+// to the next tree. 128 rows keep the chunk's accumulators and row headers
+// resident while a tree's nodes are reused 128 times.
+const predictChunk = 128
+
+// PredictAll predicts every row.
+func (m *Model) PredictAll(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	if len(rows) == 0 {
+		return out
+	}
+	for i, r := range rows {
+		if len(r) != m.nFeature {
+			panic(fmt.Sprintf("gbt: predict row has %d features, model trained on %d", len(r), m.nFeature))
+		}
+		out[i] = m.bias
+	}
+	parallelChunks(len(rows), predictChunk, func(lo, hi int) {
+		m.predictBlock(rows, out, lo, hi)
+	})
+	return out
+}
+
+// predictBlock accumulates all trees over rows [lo,hi) into out, walking
+// chunk-by-chunk with the tree loop outermost within each chunk.
+func (m *Model) predictBlock(rows [][]float64, out []float64, lo, hi int) {
+	lr := m.params.LearningRate
+	for clo := lo; clo < hi; clo += predictChunk {
+		chi := clo + predictChunk
+		if chi > hi {
+			chi = hi
+		}
+		chunk := rows[clo:chi]
+		acc := out[clo:chi]
+		for t := range m.trees {
+			tr := &m.trees[t]
+			for i, r := range chunk {
+				acc[i] += lr * tr.predict(r)
+			}
+		}
+	}
+}
+
+// PredictStages evaluates every prefix of the ensemble named in stages
+// (ascending tree counts, each in [0, NumTrees]) over rows, in a single
+// pass: out[s][i] is bit-identical to what a model trained with
+// NumTrees=stages[s] (and otherwise equal Params) would predict for
+// rows[i], because boosting round t depends only on rounds before it.
+// This collapses the tree-count axis of a hyperparameter sweep into one
+// training run plus one staged prediction pass.
+func (m *Model) PredictStages(rows [][]float64, stages []int) ([][]float64, error) {
+	if !sort.IntsAreSorted(stages) {
+		return nil, fmt.Errorf("gbt: stages %v not ascending", stages)
+	}
+	if len(stages) > 0 && (stages[0] < 0 || stages[len(stages)-1] > len(m.trees)) {
+		return nil, fmt.Errorf("gbt: stages %v out of [0,%d]", stages, len(m.trees))
+	}
+	out := make([][]float64, len(stages))
+	for s := range out {
+		out[s] = make([]float64, len(rows))
+	}
+	if len(stages) == 0 || len(rows) == 0 {
+		return out, nil
+	}
+	for _, r := range rows {
+		if len(r) != m.nFeature {
+			panic(fmt.Sprintf("gbt: predict row has %d features, model trained on %d", len(r), m.nFeature))
+		}
+	}
+	lr := m.params.LearningRate
+	parallelChunks(len(rows), predictChunk, func(lo, hi int) {
+		acc := make([]float64, predictChunk)
+		for clo := lo; clo < hi; clo += predictChunk {
+			chi := clo + predictChunk
+			if chi > hi {
+				chi = hi
+			}
+			chunk := rows[clo:chi]
+			a := acc[:len(chunk)]
+			for i := range a {
+				a[i] = m.bias
+			}
+			next := 0
+			for next < len(stages) && stages[next] == 0 {
+				copy(out[next][clo:chi], a)
+				next++
+			}
+			for t := 0; t < len(m.trees) && next < len(stages); t++ {
+				tr := &m.trees[t]
+				for i, r := range chunk {
+					a[i] += lr * tr.predict(r)
+				}
+				for next < len(stages) && stages[next] == t+1 {
+					copy(out[next][clo:chi], a)
+					next++
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// parallelChunks splits [0, n) into chunk-aligned spans across CPUs and
+// runs fn on each; on a single CPU (or small n) it just runs fn inline.
+func parallelChunks(n, chunk int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	spans := (n + chunk - 1) / chunk
+	if workers > spans {
+		workers = spans
+	}
+	if workers <= 1 || n < 4*chunk {
+		fn(0, n)
+		return
+	}
+	per := ((spans + workers - 1) / workers) * chunk
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -3,79 +3,8 @@ package gbt
 import (
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 )
-
-// binner quantizes each feature into at most NumBins quantile bins. Codes
-// are stored column-major ([feature][row]) so per-node histogram passes
-// stream memory sequentially.
-type binner struct {
-	nRows int
-	nCols int
-	// codes[f][i] is the bin index of row i on feature f.
-	codes [][]uint8
-	// edges[f][b] is the raw upper edge of bin b (split threshold value).
-	edges [][]float64
-}
-
-func newBinner(rows [][]float64, numBins int) *binner {
-	n := len(rows)
-	nf := len(rows[0])
-	b := &binner{nRows: n, nCols: nf}
-	b.codes = make([][]uint8, nf)
-	b.edges = make([][]float64, nf)
-
-	// Quantile candidate edges from a (possibly strided) sorted copy.
-	sampleCap := 65536
-	stride := 1
-	if n > sampleCap {
-		stride = n / sampleCap
-	}
-	vals := make([]float64, 0, n/stride+1)
-	for f := 0; f < nf; f++ {
-		vals = vals[:0]
-		for i := 0; i < n; i += stride {
-			vals = append(vals, rows[i][f])
-		}
-		sort.Float64s(vals)
-		edges := quantileEdges(vals, numBins)
-		b.edges[f] = edges
-		codes := make([]uint8, n)
-		for i := 0; i < n; i++ {
-			codes[i] = code(edges, rows[i][f])
-		}
-		b.codes[f] = codes
-	}
-	return b
-}
-
-// quantileEdges returns up to numBins-1 distinct interior edges.
-func quantileEdges(sorted []float64, numBins int) []float64 {
-	edges := make([]float64, 0, numBins-1)
-	n := len(sorted)
-	for k := 1; k < numBins; k++ {
-		v := sorted[k*(n-1)/numBins]
-		if len(edges) == 0 || v > edges[len(edges)-1] {
-			edges = append(edges, v)
-		}
-	}
-	return edges
-}
-
-// code returns the bin index of v: the number of edges strictly below v.
-func code(edges []float64, v float64) uint8 {
-	lo, hi := 0, len(edges)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if edges[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return uint8(lo)
-}
 
 // histogram cell: gradient sum and count per bin.
 type cell struct {
@@ -88,81 +17,244 @@ type cell struct {
 // and each split computes only the smaller child's histogram — the larger
 // child's is derived by subtracting from the parent's (the standard
 // LightGBM/XGBoost histogram-subtraction trick).
+//
+// Histogram buffers use the Binned view's variable-width layout
+// (binStart/totalBins), so low-cardinality features cost proportionally
+// less. Large sequential nodes accumulate column-major; scattered nodes
+// accumulate row-major, reading each sampled row's codes as one contiguous
+// block instead of gathering per feature.
 type treeBuilder struct {
-	b     *binner
-	p     Params
-	gain  []float64
-	nBins int
-	// pool of nf*nBins histogram buffers for reuse across nodes/trees.
-	pool [][]cell
+	b    *Binned
+	p    Params
+	gain []float64
+	// pool of histogram buffers for reuse across nodes/trees.
+	pool []*histBuf
+	// resG holds residuals gathered in node-index order (one shared
+	// buffer: depth-first growth computes one histogram at a time).
+	resG []float64
 }
 
-func newTreeBuilder(b *binner, p Params, gain []float64) *treeBuilder {
-	return &treeBuilder{b: b, p: p, gain: gain, nBins: p.NumBins}
+// histBuf is a pooled histogram buffer with dirty-cell tracking: a node
+// with r rows touches at most r*cols cells, so small nodes record what
+// they dirtied and the pool clears only that instead of streaming the
+// whole buffer through the cache on every reuse.
+type histBuf struct {
+	cells []cell
+	// touched lists (possibly duplicated) dirty cell indices; meaningful
+	// only when full is false.
+	touched []int32
+	// full marks the buffer densely dirtied (root/large-node passes).
+	full bool
 }
 
-func (tb *treeBuilder) getHist() []cell {
+// leafRange records one leaf's slice of the build-time row-index buffer,
+// so boosting can update in-sample predictions without tree traversal.
+type leafRange struct {
+	lo, hi int
+	value  float64
+}
+
+func newTreeBuilder(b *Binned, p Params, gain []float64) *treeBuilder {
+	return &treeBuilder{b: b, p: p, gain: gain, resG: make([]float64, b.nRows)}
+}
+
+// getHist returns an all-zero histogram buffer.
+func (tb *treeBuilder) getHist() *histBuf {
 	if n := len(tb.pool); n > 0 {
 		h := tb.pool[n-1]
 		tb.pool = tb.pool[:n-1]
-		for i := range h {
-			h[i] = cell{}
-		}
 		return h
 	}
-	return make([]cell, tb.b.nCols*tb.nBins)
+	return &histBuf{cells: make([]cell, tb.b.totalBins)}
 }
 
-func (tb *treeBuilder) putHist(h []cell) { tb.pool = append(tb.pool, h) }
+// putHist zeroes the buffer (sparsely when the dirty list is short) and
+// returns it to the pool.
+func (tb *treeBuilder) putHist(h *histBuf) {
+	if h.full || len(h.touched) >= len(h.cells)/2 {
+		clear(h.cells)
+	} else {
+		for _, ci := range h.touched {
+			h.cells[ci] = cell{}
+		}
+	}
+	h.touched = h.touched[:0]
+	h.full = false
+	tb.pool = append(tb.pool, h)
+}
+
+// rootHistFull accumulates the full-sample root histogram: sums stream
+// column-major over all rows, counts are copied from the precomputed
+// per-cell row counts (they do not depend on residuals).
+func (tb *treeBuilder) rootHistFull(cols []int, resid []float64, hb *histBuf) {
+	hb.full = true
+	hist := hb.cells
+	accum := func(f int) {
+		h := hist[tb.b.binStart[f]:]
+		codes := tb.b.colCodes[f]
+		for i, c := range codes {
+			h[c].sum += resid[i]
+		}
+		rc := tb.b.rootCount[tb.b.binStart[f]:]
+		for b := 0; b < tb.b.binCount(f); b++ {
+			h[b].count = rc[b]
+		}
+	}
+	if tb.parallelCols(tb.b.nRows, cols, accum) {
+		return
+	}
+	// Groups of four features accumulate together: four independent
+	// scatter chains per row hide the update latency of each other (real
+	// I/O frames are duplicate-heavy, so consecutive rows often hit the
+	// same cell and a single chain serializes on dependent adds).
+	k := 0
+	for ; k+3 < len(cols); k += 4 {
+		f1, f2, f3, f4 := cols[k], cols[k+1], cols[k+2], cols[k+3]
+		h1 := hist[tb.b.binStart[f1]:]
+		h2 := hist[tb.b.binStart[f2]:]
+		h3 := hist[tb.b.binStart[f3]:]
+		h4 := hist[tb.b.binStart[f4]:]
+		c1 := tb.b.colCodes[f1]
+		c2 := tb.b.colCodes[f2]
+		c3 := tb.b.colCodes[f3]
+		c4 := tb.b.colCodes[f4]
+		for i, c := range c1 {
+			r := resid[i]
+			h1[c].sum += r
+			h2[c2[i]].sum += r
+			h3[c3[i]].sum += r
+			h4[c4[i]].sum += r
+		}
+		for _, f := range []int{f1, f2, f3, f4} {
+			h := hist[tb.b.binStart[f]:]
+			rc := tb.b.rootCount[tb.b.binStart[f]:]
+			for b := 0; b < tb.b.binCount(f); b++ {
+				h[b].count = rc[b]
+			}
+		}
+	}
+	for ; k < len(cols); k++ {
+		accum(cols[k])
+	}
+}
 
 // computeHist accumulates gradient histograms for the sampled cols over the
-// given row indices. Features are processed in parallel for large nodes.
-func (tb *treeBuilder) computeHist(idx []int32, cols []int, resid []float64, hist []cell) {
+// given row indices. Residuals are gathered once into node order, then the
+// row-major pass reads each row's codes contiguously; nodes that cannot
+// dirty more than half the buffer record the cells they touch so the pool
+// can clear sparsely. Wide sequential nodes fall back to the column-major
+// feature-parallel path.
+func (tb *treeBuilder) computeHist(idx []int32, cols []int, resid []float64, hb *histBuf) {
+	hist := hb.cells
+	resG := tb.resG[:len(idx)]
+	for k, i := range idx {
+		resG[k] = resid[i]
+	}
+	sparse := len(idx)*len(cols) < len(hist)/2
+	if !sparse {
+		hb.full = true
+	}
 	accum := func(f int) {
-		h := hist[f*tb.nBins : (f+1)*tb.nBins]
-		codes := tb.b.codes[f]
-		for _, i := range idx {
-			c := codes[i]
-			h[c].sum += resid[i]
-			h[c].count++
+		h := hist[tb.b.binStart[f]:]
+		codes := tb.b.colCodes[f]
+		for k, i := range idx {
+			h[codes[i]].sum += resG[k]
+			h[codes[i]].count++
 		}
 	}
-	const parallelWork = 1 << 17
-	if len(idx)*len(cols) >= parallelWork {
-		workers := runtime.GOMAXPROCS(0)
-		if workers > len(cols) {
-			workers = len(cols)
-		}
-		if workers > 1 {
-			var wg sync.WaitGroup
-			chunk := (len(cols) + workers - 1) / workers
-			for lo := 0; lo < len(cols); lo += chunk {
-				hi := lo + chunk
-				if hi > len(cols) {
-					hi = len(cols)
-				}
-				wg.Add(1)
-				go func(lo, hi int) {
-					defer wg.Done()
-					for k := lo; k < hi; k++ {
-						accum(cols[k])
-					}
-				}(lo, hi)
+	if tb.parallelCols(len(idx), cols, accum) {
+		// The parallel path records no dirty cells; whatever the sparse
+		// heuristic said, this buffer must be cleared densely on reuse.
+		hb.full = true
+		return
+	}
+	nc := tb.b.nCols
+	rowCodes := tb.b.rowCodes
+	binStart := tb.b.binStart
+	if sparse {
+		touched := hb.touched
+		for k, i := range idx {
+			rc := rowCodes[int(i)*nc : int(i)*nc+nc]
+			r := resG[k]
+			for _, f := range cols {
+				ci := int32(binStart[f] + int(rc[f]))
+				touched = append(touched, ci)
+				h := &hist[ci]
+				h.sum += r
+				h.count++
 			}
-			wg.Wait()
-			return
+		}
+		hb.touched = touched
+		return
+	}
+	if len(cols) == nc {
+		// Full column set (ColSample = 1, the common case): iterate the
+		// row's code block directly, no cols indirection.
+		for k, i := range idx {
+			rc := rowCodes[int(i)*nc : int(i)*nc+nc]
+			r := resG[k]
+			for f, c := range rc {
+				h := &hist[binStart[f]+int(c)]
+				h.sum += r
+				h.count++
+			}
+		}
+		return
+	}
+	for k, i := range idx {
+		rc := rowCodes[int(i)*nc : int(i)*nc+nc]
+		r := resG[k]
+		for _, f := range cols {
+			h := &hist[binStart[f]+int(rc[f])]
+			h.sum += r
+			h.count++
 		}
 	}
-	for _, f := range cols {
-		accum(f)
+}
+
+// parallelCols runs accum per feature across workers when the node is large
+// enough and more than one CPU is available. Per-feature accumulation order
+// is unchanged, so results are bit-identical to the sequential path.
+func (tb *treeBuilder) parallelCols(nRows int, cols []int, accum func(f int)) bool {
+	const parallelWork = 1 << 17
+	if nRows*len(cols) < parallelWork {
+		return false
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cols) {
+		workers = len(cols)
+	}
+	if workers <= 1 {
+		return false
+	}
+	var wg sync.WaitGroup
+	chunk := (len(cols) + workers - 1) / workers
+	for lo := 0; lo < len(cols); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cols) {
+			hi = len(cols)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				accum(cols[k])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return true
 }
 
 // subtractHist computes parent -= child in place for the sampled cols.
-func (tb *treeBuilder) subtractHist(parent, child []cell, cols []int) {
+// Cells untouched in both stay exactly zero, so the parent's dirty list
+// remains valid.
+func (tb *treeBuilder) subtractHist(parent, child *histBuf, cols []int) {
 	for _, f := range cols {
-		p := parent[f*tb.nBins : (f+1)*tb.nBins]
-		c := child[f*tb.nBins : (f+1)*tb.nBins]
+		off := tb.b.binStart[f]
+		nb := tb.b.binCount(f)
+		p := parent.cells[off : off+nb]
+		c := child.cells[off : off+nb]
 		for b := range p {
 			p[b].sum -= c[b].sum
 			p[b].count -= c[b].count
@@ -177,20 +269,27 @@ type buildNode struct {
 	depth  int
 	sum    float64
 	count  float64
-	hist   []cell
+	hist   *histBuf
 }
 
 // build grows one tree over the sampled rows and columns against resid.
-func (tb *treeBuilder) build(rowIdx []int32, cols []int, resid []float64) tree {
+// fullRows marks idx as the identity over all binned rows, enabling the
+// precomputed-count root path. It returns the tree and the leaf partition
+// of idx (leaves reference idx slices, valid until idx is next reused).
+func (tb *treeBuilder) build(idx []int32, cols []int, resid []float64, fullRows bool) (tree, []leafRange) {
 	tr := tree{}
-	idx := rowIdx
+	var leaves []leafRange
 
 	var rootSum float64
 	for _, i := range idx {
 		rootSum += resid[i]
 	}
 	rootHist := tb.getHist()
-	tb.computeHist(idx, cols, resid, rootHist)
+	if fullRows {
+		tb.rootHistFull(cols, resid, rootHist)
+	} else {
+		tb.computeHist(idx, cols, resid, rootHist)
+	}
 
 	tr.nodes = append(tr.nodes, node{feature: -1})
 	stack := []buildNode{{
@@ -205,13 +304,14 @@ func (tb *treeBuilder) build(rowIdx []int32, cols []int, resid []float64) tree {
 		leafValue := nd.sum / (nd.count + tb.p.Lambda)
 		makeLeaf := func() {
 			tr.nodes[nd.nodeID].value = leafValue
+			leaves = append(leaves, leafRange{lo: nd.lo, hi: nd.hi, value: leafValue})
 			tb.putHist(nd.hist)
 		}
 		if nd.depth >= tb.p.MaxDepth || nd.count < 2*tb.p.MinChildWeight {
 			makeLeaf()
 			continue
 		}
-		feat, bin, gain := tb.bestSplit(nd.hist, cols, nd.sum, nd.count)
+		feat, bin, gain := tb.bestSplit(nd.hist.cells, cols, nd.sum, nd.count)
 		if feat < 0 {
 			makeLeaf()
 			continue
@@ -220,7 +320,7 @@ func (tb *treeBuilder) build(rowIdx []int32, cols []int, resid []float64) tree {
 		threshold := tb.b.edges[feat][bin]
 
 		// Partition the node's index slice in place.
-		codes := tb.b.codes[feat]
+		codes := tb.b.colCodes[feat]
 		lo, hi := nd.lo, nd.hi-1
 		for lo <= hi {
 			if codes[idx[lo]] <= uint8(bin) {
@@ -241,7 +341,7 @@ func (tb *treeBuilder) build(rowIdx []int32, cols []int, resid []float64) tree {
 		// reuses the parent buffer via subtraction.
 		leftIdx := idx[nd.lo:mid]
 		rightIdx := idx[mid:nd.hi]
-		var leftHist, rightHist []cell
+		var leftHist, rightHist *histBuf
 		if len(leftIdx) <= len(rightIdx) {
 			leftHist = tb.getHist()
 			tb.computeHist(leftIdx, cols, resid, leftHist)
@@ -264,6 +364,7 @@ func (tb *treeBuilder) build(rowIdx []int32, cols []int, resid []float64) tree {
 		tr.nodes = append(tr.nodes, node{feature: -1}, node{feature: -1})
 		n := &tr.nodes[nd.nodeID]
 		n.feature = int32(feat)
+		n.bin = int32(bin)
 		n.threshold = threshold
 		n.left = leftID
 		n.right = leftID + 1
@@ -275,7 +376,7 @@ func (tb *treeBuilder) build(rowIdx []int32, cols []int, resid []float64) tree {
 				sum: rightSum, count: float64(len(rightIdx)), hist: rightHist},
 		)
 	}
-	return tr
+	return tr, leaves
 }
 
 // bestSplit scans the node histogram for the highest-gain split.
@@ -287,14 +388,20 @@ func (tb *treeBuilder) bestSplit(hist []cell, cols []int, total, count float64) 
 	bestFeat, bestBin := -1, 0
 	bestGain := 0.0
 	for _, f := range cols {
-		h := hist[f*tb.nBins : (f+1)*tb.nBins]
-		var ls, lc float64
 		nEdges := len(tb.b.edges[f])
-		for b := 0; b < nEdges; b++ {
+		off := tb.b.binStart[f]
+		h := hist[off : off+nEdges]
+		var ls, lc float64
+		for b := range h {
 			ls += h[b].sum
 			lc += h[b].count
 			rc := count - lc
-			if lc < minChild || rc < minChild {
+			if rc < minChild {
+				// rc only shrinks as the scan advances; no later bin of
+				// this feature can satisfy the split minimum either.
+				break
+			}
+			if lc < minChild {
 				continue
 			}
 			rs := total - ls

@@ -1,0 +1,49 @@
+package gbt
+
+import (
+	"testing"
+
+	"iotaxo/internal/rng"
+)
+
+// synthWide mimics the experiment workloads: ~30 features, a mix of
+// continuous and low-cardinality columns.
+func synthWide(n, nf int, seed uint64) ([][]float64, []float64) {
+	r := rng.New(seed)
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, nf)
+		var s float64
+		for f := 0; f < nf; f++ {
+			if f%4 == 3 {
+				row[f] = float64(r.Intn(6))
+			} else {
+				row[f] = r.Norm()
+			}
+			if f < 8 {
+				s += row[f] * float64(f%3)
+			}
+		}
+		rows[i] = row
+		y[i] = s + 0.3*r.Norm()
+	}
+	return rows, y
+}
+
+// BenchmarkTrainWide is the training-bound shape the experiments hit:
+// tuned-scale depth and tree count on a wide frame.
+func BenchmarkTrainWide(b *testing.B) {
+	rows, y := synthWide(5000, 30, 99)
+	p := DefaultParams()
+	p.NumTrees = 60
+	p.MaxDepth = 9
+	p.LearningRate = 0.08
+	p.MinChildWeight = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(p, rows, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package hpo
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"iotaxo/internal/gbt"
+)
+
+// GBT grid evaluation with a warm-started tree axis. Boosting round t
+// depends only on rounds before it (and on a seed-deterministic sampling
+// stream), so candidates that differ only in NumTrees are prefixes of one
+// another: the sweep trains each such chain ONCE to its largest tree count
+// and scores every smaller count from staged predictions of that single
+// model. The tree-count axis collapses from O(sum of counts) training cost
+// to O(max count), and every loss is bit-identical to training the
+// candidate individually on the same binned view.
+
+// chainKey strips the tree axis so candidates group into warm-start chains.
+func chainKey(p gbt.Params) gbt.Params {
+	p.NumTrees = 0
+	return p
+}
+
+// GBTGridSearch evaluates every candidate like GridSearch would with an
+// objective that trains on the binned view and scores validation
+// predictions, but warm-starts the NumTrees axis. score maps a candidate's
+// validation predictions (aligned with valRows) to its loss. Results are
+// returned in grid order; candidates whose chain fails to train carry a
+// non-nil Err and +Inf loss, and the search fails only if every candidate
+// fails. All candidates must share the view's NumBins.
+func GBTGridSearch(
+	grid []gbt.Params,
+	bd *gbt.Binned,
+	y []float64,
+	valRows [][]float64,
+	score func(valPred []float64) (float64, error),
+	workers int,
+) ([]Result[gbt.Params], Result[gbt.Params], error) {
+	if len(grid) == 0 {
+		var zero Result[gbt.Params]
+		return nil, zero, errors.New("hpo: no candidates")
+	}
+	results := make([]Result[gbt.Params], len(grid))
+
+	// Group candidates into chains; within a chain sort by tree count so
+	// the staged prediction pass snapshots prefixes in ascending order.
+	groups := make(map[gbt.Params][]int)
+	var keys []gbt.Params
+	for i, p := range grid {
+		k := chainKey(p)
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	for _, k := range keys {
+		idxs := groups[k]
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return grid[idxs[a]].NumTrees < grid[idxs[b]].NumTrees
+		})
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	evalChain := func(k gbt.Params) {
+		idxs := groups[k]
+		stages := make([]int, len(idxs))
+		for j, gi := range idxs {
+			stages[j] = grid[gi].NumTrees
+		}
+		full := grid[idxs[len(idxs)-1]] // largest tree count in the chain
+		fail := func(err error) {
+			for _, gi := range idxs {
+				results[gi] = Result[gbt.Params]{Candidate: grid[gi], Loss: math.Inf(1), Err: err}
+			}
+		}
+		m, err := gbt.TrainBinned(full, bd, y)
+		if err != nil {
+			fail(err)
+			return
+		}
+		stagePreds, err := m.PredictStages(valRows, stages)
+		if err != nil {
+			fail(err)
+			return
+		}
+		for j, gi := range idxs {
+			loss, err := score(stagePreds[j])
+			if err != nil {
+				results[gi] = Result[gbt.Params]{Candidate: grid[gi], Loss: math.Inf(1), Err: err}
+				continue
+			}
+			results[gi] = Result[gbt.Params]{Candidate: grid[gi], Loss: loss}
+		}
+	}
+	if workers <= 1 {
+		for _, k := range keys {
+			evalChain(k)
+		}
+	} else {
+		next := make(chan gbt.Params)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range next {
+					evalChain(k)
+				}
+			}()
+		}
+		for _, k := range keys {
+			next <- k
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	best, err := bestOf(results)
+	return results, best, err
+}

@@ -1,0 +1,110 @@
+package hpo
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"iotaxo/internal/gbt"
+	"iotaxo/internal/rng"
+)
+
+func sweepData(n int, seed uint64) ([][]float64, []float64) {
+	r := rng.New(seed)
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []float64{r.Norm(), r.Norm(), r.Range(0, 1)}
+		y[i] = math.Sin(rows[i][0])*2 + rows[i][1]*rows[i][2] + 0.2*r.Norm()
+	}
+	return rows, y
+}
+
+// TestGBTGridSearchMatchesGridSearch: the warm-started sweep must return
+// exactly the losses (and the same best candidate) the plain per-candidate
+// GridSearch produces.
+func TestGBTGridSearchMatchesGridSearch(t *testing.T) {
+	rows, y := sweepData(1200, 41)
+	valRows, valY := sweepData(300, 42)
+
+	grid := GBTGrid([]int{5, 20, 45}, []int{3, 6}, []float64{1, 0.7}, []float64{1})
+	for i := range grid {
+		grid[i].Seed = 5
+	}
+	rmse := func(pred []float64) (float64, error) {
+		s := 0.0
+		for i, p := range pred {
+			d := p - valY[i]
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(pred))), nil
+	}
+
+	refResults, refBest, err := GridSearch(grid, func(p gbt.Params) (float64, error) {
+		m, err := gbt.Train(p, rows, y)
+		if err != nil {
+			return 0, err
+		}
+		return rmse(m.PredictAll(valRows))
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bd, err := gbt.Bin(rows, grid[0].NumBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastResults, fastBest, err := GBTGridSearch(grid, bd, y, valRows, rmse, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(fastResults) != len(refResults) {
+		t.Fatalf("result count %d vs %d", len(fastResults), len(refResults))
+	}
+	for i := range refResults {
+		if refResults[i].Candidate != fastResults[i].Candidate {
+			t.Fatalf("candidate %d reordered: %+v vs %+v", i, refResults[i].Candidate, fastResults[i].Candidate)
+		}
+		if math.Float64bits(refResults[i].Loss) != math.Float64bits(fastResults[i].Loss) {
+			t.Fatalf("candidate %d loss %v vs %v", i, refResults[i].Loss, fastResults[i].Loss)
+		}
+	}
+	if refBest.Candidate != fastBest.Candidate || refBest.Loss != fastBest.Loss {
+		t.Fatalf("best mismatch: %+v/%v vs %+v/%v", refBest.Candidate, refBest.Loss, fastBest.Candidate, fastBest.Loss)
+	}
+}
+
+// TestGBTGridSearchErrors: empty grids fail, and a failing score marks only
+// the affected candidates.
+func TestGBTGridSearchErrors(t *testing.T) {
+	rows, y := sweepData(200, 43)
+	bd, err := gbt.Bin(rows, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := GBTGridSearch(nil, bd, y, rows, func([]float64) (float64, error) { return 0, nil }, 1); err == nil {
+		t.Error("empty grid accepted")
+	}
+
+	grid := GBTGrid([]int{2, 4}, []int{3}, []float64{1}, []float64{1})
+	boom := errors.New("boom")
+	calls := 0
+	results, best, err := GBTGridSearch(grid, bd, y, rows, func([]float64) (float64, error) {
+		calls++
+		if calls == 1 {
+			return 0, boom
+		}
+		return 1.5, nil
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !math.IsInf(results[0].Loss, 1) {
+		t.Error("failed candidate not marked")
+	}
+	if best.Candidate.NumTrees != 4 || best.Loss != 1.5 {
+		t.Errorf("best = %+v/%v", best.Candidate, best.Loss)
+	}
+}

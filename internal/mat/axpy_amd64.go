@@ -1,0 +1,18 @@
+package mat
+
+// axpyAsm computes y += alpha*x over len(x) elements using two-lane SSE2
+// (see axpy_amd64.s). The kernel iterates x's length only and never reads
+// y's, so callers MUST guarantee len(y) >= len(x); axpy below is the only
+// caller and enforces equality. Bit-identical to the scalar loop.
+//
+//go:noescape
+func axpyAsm(alpha float64, x, y []float64)
+
+// axpy dispatches the platform kernel for y += alpha*x. Callers guarantee
+// len(x) == len(y).
+func axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: axpy length mismatch")
+	}
+	axpyAsm(alpha, x, y)
+}

@@ -1,0 +1,65 @@
+// SSE2 axpy kernel: y[j] += alpha * x[j].
+//
+// MULPD/ADDPD are element-wise IEEE-754 double operations, so every y[j]
+// receives exactly one multiply and one add with the same rounding the
+// scalar Go loop performs — results are bit-identical, just two lanes at a
+// time. SSE2 is part of the amd64 baseline, so no feature detection is
+// needed.
+
+#include "textflag.h"
+
+// func axpyAsm(alpha float64, x, y []float64)
+TEXT ·axpyAsm(SB), NOSPLIT, $0-56
+	MOVSD alpha+0(FP), X0
+	UNPCKLPD X0, X0          // broadcast alpha to both lanes
+	MOVQ x_base+8(FP), SI
+	MOVQ x_len+16(FP), CX
+	MOVQ y_base+32(FP), DI
+
+	MOVQ CX, AX
+	SHRQ $3, AX              // 8 elements per unrolled iteration
+	JZ   tail
+
+loop8:
+	MOVUPS (SI), X1
+	MOVUPS 16(SI), X2
+	MOVUPS 32(SI), X5
+	MOVUPS 48(SI), X6
+	MULPD  X0, X1
+	MULPD  X0, X2
+	MULPD  X0, X5
+	MULPD  X0, X6
+	MOVUPS (DI), X3
+	MOVUPS 16(DI), X4
+	MOVUPS 32(DI), X7
+	MOVUPS 48(DI), X8
+	ADDPD  X1, X3
+	ADDPD  X2, X4
+	ADDPD  X5, X7
+	ADDPD  X6, X8
+	MOVUPS X3, (DI)
+	MOVUPS X4, 16(DI)
+	MOVUPS X7, 32(DI)
+	MOVUPS X8, 48(DI)
+	ADDQ   $64, SI
+	ADDQ   $64, DI
+	DECQ   AX
+	JNZ    loop8
+
+tail:
+	ANDQ $7, CX
+	JZ   done
+
+tailloop:
+	MOVSD (SI), X1
+	MULSD X0, X1
+	MOVSD (DI), X2
+	ADDSD X1, X2
+	MOVSD X2, (DI)
+	ADDQ  $8, SI
+	ADDQ  $8, DI
+	DECQ  CX
+	JNZ   tailloop
+
+done:
+	RET

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package mat
+
+// axpy computes y += alpha*x. Portable fallback for non-amd64 targets.
+func axpy(alpha float64, x, y []float64) {
+	for j, v := range x {
+		y[j] += alpha * v
+	}
+}

@@ -1,0 +1,42 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAxpyBitIdentical checks the platform kernel against the scalar loop
+// bit-for-bit across lengths covering the vector body and every tail case,
+// including zeros, denormals, and huge magnitudes.
+func TestAxpyBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specials := []float64{0, math.Copysign(0, -1), 1e-308, -1e-308, 1e308, 0.1, -3.75}
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 63, 64, 65, 257} {
+		for _, alpha := range []float64{0, 1, -2.5, 0.3333333333333333, 1e-200, 1e200} {
+			x := make([]float64, n)
+			want := make([]float64, n)
+			got := make([]float64, n)
+			for i := range x {
+				if i < len(specials) {
+					x[i] = specials[i]
+				} else {
+					x[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+				}
+				base := rng.NormFloat64()
+				want[i] = base
+				got[i] = base
+			}
+			for i, v := range x {
+				want[i] += alpha * v
+			}
+			axpy(alpha, x, got)
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("n=%d alpha=%v i=%d: got %x want %x", n, alpha, i,
+						math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+}

@@ -81,6 +81,19 @@ func Mul(a, b *Matrix) *Matrix {
 	return out
 }
 
+// MulInto computes out = a*b into a caller-owned matrix (overwriting it),
+// so hot loops can reuse buffers instead of allocating per product.
+func MulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulInto dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulInto output is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	clear(out.Data)
+	mulInto(out, a, b)
+}
+
 const parallelThreshold = 1 << 16
 
 // mulInto computes out = a*b, where out is already sized.
@@ -94,7 +107,9 @@ func mulInto(out, a, b *Matrix) {
 }
 
 // mulRows computes rows [lo, hi) of out = a*b with an ikj loop order that
-// streams b rows sequentially (cache-friendly for row-major storage).
+// streams b rows sequentially (cache-friendly for row-major storage). The
+// inner saxpy runs on the platform axpy kernel (SSE2 on amd64), which is
+// bit-identical to the scalar loop.
 func mulRows(out, a, b *Matrix, lo, hi int) {
 	n := b.Cols
 	for i := lo; i < hi; i++ {
@@ -105,9 +120,7 @@ func mulRows(out, a, b *Matrix, lo, hi int) {
 				continue
 			}
 			bRow := b.Data[k*n : (k+1)*n]
-			for j, bv := range bRow {
-				outRow[j] += aik * bv
-			}
+			axpy(aik, bRow, outRow)
 		}
 	}
 }
@@ -137,6 +150,55 @@ func parallelRows(n int, fn func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// MulATB returns aᵀ*b without materializing the transpose. Each output
+// element accumulates over a's rows in ascending order with the same
+// zero-skip as mulRows, so the result is bit-identical to Mul(a.T(), b) —
+// minus the transpose allocation and copy. This is the dW = inputᵀ*grad
+// shape of backprop.
+func MulATB(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulATB dimension mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	MulATBInto(out, a, b)
+	return out
+}
+
+// MulATBInto is MulATB into a caller-owned matrix (overwriting it).
+func MulATBInto(out, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulATBInto dimension mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulATBInto output is %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols))
+	}
+	clear(out.Data)
+	n := b.Cols
+	for k := 0; k < a.Rows; k++ {
+		aRow := a.Row(k)
+		bRow := b.Row(k)
+		for i, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			axpy(av, bRow, out.Data[i*n:(i+1)*n])
+		}
+	}
+}
+
+// TInto writes m's transpose into a caller-owned matrix.
+func TInto(out, m *Matrix) {
+	if out.Rows != m.Cols || out.Cols != m.Rows {
+		panic(fmt.Sprintf("mat: TInto output is %dx%d, want %dx%d", out.Rows, out.Cols, m.Cols, m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
 }
 
 // MulVec returns a * x for a vector x of length a.Cols.
@@ -173,9 +235,7 @@ func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("mat: Axpy length mismatch")
 	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	axpy(alpha, x, y)
 }
 
 // Scale multiplies every element of x by alpha in place.

@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"iotaxo/internal/rng"
+)
+
+// TestBatchedPredictionMatchesPerRow pins the batched inference paths
+// (PredictAll, PredictDistAll) to the per-row reference bit-for-bit,
+// including across the internal chunk boundary.
+func TestBatchedPredictionMatchesPerRow(t *testing.T) {
+	r := rng.New(17)
+	n := predictBatchChunk + 77 // force a chunk boundary plus a partial tail
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		a, b := r.Norm(), r.Norm()
+		rows[i] = []float64{a, b}
+		y[i] = math.Sin(a) + 0.3*b + 0.05*r.Norm()
+	}
+	p := DefaultParams()
+	p.Epochs = 3
+	p.Heteroscedastic = true
+	m, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := m.PredictAll(rows)
+	means := make([]float64, n)
+	vars := make([]float64, n)
+	m.PredictDistAll(rows, means, vars)
+	for i, row := range rows {
+		mu, va := m.PredictDist(row)
+		if math.Float64bits(all[i]) != math.Float64bits(mu) {
+			t.Fatalf("row %d: PredictAll %v vs Predict %v", i, all[i], mu)
+		}
+		if math.Float64bits(means[i]) != math.Float64bits(mu) || math.Float64bits(vars[i]) != math.Float64bits(va) {
+			t.Fatalf("row %d: PredictDistAll (%v,%v) vs PredictDist (%v,%v)", i, means[i], vars[i], mu, va)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch did not panic")
+		}
+	}()
+	m.PredictAll([][]float64{{1}})
+}

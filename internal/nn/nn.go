@@ -160,18 +160,15 @@ func newModel(p Params, nIn int, r *rng.Rand) *Model {
 	return m
 }
 
-// forwardCache holds per-layer activations for backprop.
+// forwardCache holds per-layer activations (act[0] is the input batch);
+// the gradient-check test replays backprop from it. Training does not use
+// this path — trainBatch runs its own scratch-arena forward with dropout.
 type forwardCache struct {
-	// pre[i] is the pre-activation input to layer i's nonlinearity;
-	// act[i] is the post-activation output (act[0] is the input batch).
 	act []*mat.Matrix
-	// dropMask[i] is the inverted-dropout mask applied after layer i.
-	dropMask []*mat.Matrix
 }
 
-// forward runs a batch through the network. When train is true, dropout
-// masks are sampled from r and recorded in the cache.
-func (m *Model) forward(x *mat.Matrix, train bool, r *rng.Rand) (*mat.Matrix, *forwardCache) {
+// forward runs an inference batch through the network.
+func (m *Model) forward(x *mat.Matrix) (*mat.Matrix, *forwardCache) {
 	cache := &forwardCache{}
 	cache.act = append(cache.act, x)
 	h := x
@@ -179,25 +176,10 @@ func (m *Model) forward(x *mat.Matrix, train bool, r *rng.Rand) (*mat.Matrix, *f
 	for li := range m.layers {
 		l := &m.layers[li]
 		z := mat.Mul(h, l.w)
-		mat.AddBias(z, l.b)
 		if li < last {
-			applyActivation(z, m.params.Activation)
-			if train && m.params.Dropout > 0 {
-				mask := mat.New(z.Rows, z.Cols)
-				keep := 1 - m.params.Dropout
-				inv := 1 / keep
-				for i := range mask.Data {
-					if r.Float64() < keep {
-						mask.Data[i] = inv
-					}
-				}
-				for i := range z.Data {
-					z.Data[i] *= mask.Data[i]
-				}
-				cache.dropMask = append(cache.dropMask, mask)
-			} else {
-				cache.dropMask = append(cache.dropMask, nil)
-			}
+			addBiasActivate(z, l.b, m.params.Activation)
+		} else {
+			mat.AddBias(z, l.b)
 		}
 		cache.act = append(cache.act, z)
 		h = z
@@ -217,6 +199,38 @@ func applyActivation(z *mat.Matrix, a Activation) {
 		for i, v := range z.Data {
 			z.Data[i] = math.Tanh(v)
 		}
+	}
+}
+
+// addBiasActivate fuses the bias broadcast and the activation into one pass
+// over z — the same per-element add-then-activate the two separate passes
+// perform, one memory sweep instead of two.
+func addBiasActivate(z *mat.Matrix, b []float64, a Activation) {
+	if len(b) != z.Cols {
+		panic("nn: bias dimension mismatch")
+	}
+	switch a {
+	case ReLU:
+		for i := 0; i < z.Rows; i++ {
+			row := z.Row(i)
+			for j := range row {
+				v := row[j] + b[j]
+				if v < 0 {
+					v = 0
+				}
+				row[j] = v
+			}
+		}
+	case Tanh:
+		for i := 0; i < z.Rows; i++ {
+			row := z.Row(i)
+			for j := range row {
+				row[j] = math.Tanh(row[j] + b[j])
+			}
+		}
+	default:
+		mat.AddBias(z, b)
+		applyActivation(z, a)
 	}
 }
 
@@ -252,7 +266,7 @@ func (m *Model) PredictDist(row []float64) (mean, variance float64) {
 		panic(fmt.Sprintf("nn: predict row has %d features, model trained on %d", len(row), m.nIn))
 	}
 	x := mat.FromRows([][]float64{row})
-	out, _ := m.forward(x, false, nil)
+	out, _ := m.forward(x)
 	mu := out.At(0, 0)*m.yStd + m.yMean
 	if !m.params.Heteroscedastic {
 		return mu, 0
@@ -261,12 +275,63 @@ func (m *Model) PredictDist(row []float64) (mean, variance float64) {
 	return mu, math.Exp(logVar) * m.yStd * m.yStd
 }
 
-// PredictAll predicts every row.
+// predictBatchChunk bounds the rows per batched forward pass, so scratch
+// activations stay cache-sized regardless of input length.
+const predictBatchChunk = 1024
+
+// PredictAll predicts every row. Rows are forwarded through the network in
+// batches — one matrix product per layer per chunk instead of one tiny
+// product per row — with results bit-identical to per-row Predict (each
+// output row's dot products accumulate in the same order either way).
 func (m *Model) PredictAll(rows [][]float64) []float64 {
 	out := make([]float64, len(rows))
-	for i, r := range rows {
-		out[i] = m.Predict(r)
+	for lo := 0; lo < len(rows); lo += predictBatchChunk {
+		hi := lo + predictBatchChunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		o := m.forwardRows(rows[lo:hi])
+		for i := 0; i < o.Rows; i++ {
+			out[lo+i] = o.At(i, 0)*m.yStd + m.yMean
+		}
 	}
+	return out
+}
+
+// PredictDistAll returns the predictive means and aleatory variances for
+// every row via batched forward passes; it matches per-row PredictDist
+// bit-for-bit. Homoscedastic models report zero variance.
+func (m *Model) PredictDistAll(rows [][]float64, means, variances []float64) {
+	if len(means) != len(rows) || len(variances) != len(rows) {
+		panic("nn: PredictDistAll output length mismatch")
+	}
+	for lo := 0; lo < len(rows); lo += predictBatchChunk {
+		hi := lo + predictBatchChunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		o := m.forwardRows(rows[lo:hi])
+		for i := 0; i < o.Rows; i++ {
+			means[lo+i] = o.At(i, 0)*m.yStd + m.yMean
+			if m.params.Heteroscedastic {
+				variances[lo+i] = math.Exp(clampLogVar(o.At(i, 1))) * m.yStd * m.yStd
+			} else {
+				variances[lo+i] = 0
+			}
+		}
+	}
+}
+
+// forwardRows runs an inference forward pass over raw rows, validating
+// widths like Predict does.
+func (m *Model) forwardRows(rows [][]float64) *mat.Matrix {
+	for _, r := range rows {
+		if len(r) != m.nIn {
+			panic(fmt.Sprintf("nn: predict row has %d features, model trained on %d", len(r), m.nIn))
+		}
+	}
+	x := mat.FromRows(rows)
+	out, _ := m.forward(x)
 	return out
 }
 

@@ -190,7 +190,7 @@ func TestGradientCheck(t *testing.T) {
 
 		loss := func() float64 {
 			x := mat.FromRows(rows)
-			out, _ := m.forward(x, false, nil)
+			out, _ := m.forward(x)
 			total := 0.0
 			n := float64(len(rows))
 			for i := range rows {
@@ -242,7 +242,7 @@ func TestGradientCheck(t *testing.T) {
 func (m *Model) paramGradient(rows [][]float64, y []float64, layerIdx, weightIdx int) float64 {
 	p := m.params
 	x := mat.FromRows(rows)
-	out, cache := m.forward(x, false, nil)
+	out, cache := m.forward(x)
 	n := float64(len(rows))
 	grad := mat.New(out.Rows, out.Cols)
 	if p.Heteroscedastic {

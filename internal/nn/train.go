@@ -10,6 +10,12 @@ import (
 
 // Train fits a network to rows/targets. Rows should be standardized;
 // targets are standardized internally and de-standardized at prediction.
+//
+// The mini-batch loop runs on a preallocated scratch arena: activations,
+// dropout masks, gradients, and Adam deltas live in per-layer buffers
+// reused across batches (sliced down for the final partial batch), so the
+// hot path performs no per-batch allocations. The arithmetic and the rng
+// draw order are unchanged from the allocating formulation.
 func Train(p Params, rows [][]float64, y []float64) (*Model, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -61,6 +67,7 @@ func Train(p Params, rows [][]float64, y []float64) (*Model, error) {
 	if bs > len(rows) {
 		bs = len(rows)
 	}
+	scr := newTrainScratch(m, bs)
 	for epoch := 0; epoch < p.Epochs; epoch++ {
 		shuffle.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for lo := 0; lo < len(order); lo += bs {
@@ -68,58 +75,142 @@ func Train(p Params, rows [][]float64, y []float64) (*Model, error) {
 			if hi > len(order) {
 				hi = len(order)
 			}
-			batchRows := make([][]float64, hi-lo)
-			batchY := make([]float64, hi-lo)
-			for k := lo; k < hi; k++ {
-				batchRows[k-lo] = rows[order[k]]
-				batchY[k-lo] = yStd[order[k]]
+			n := hi - lo
+			for k := 0; k < n; k++ {
+				copy(scr.x.Data[k*nIn:(k+1)*nIn], rows[order[lo+k]])
+				scr.y[k] = yStd[order[lo+k]]
 			}
-			m.trainBatch(batchRows, batchY, drop)
+			m.trainBatch(scr, n, drop)
 		}
 	}
 	return m, nil
 }
 
-// trainBatch runs one forward/backward/Adam step.
-func (m *Model) trainBatch(rows [][]float64, y []float64, drop *rng.Rand) {
+// trainScratch holds every buffer one mini-batch step needs, sized for the
+// full batch; partial batches use row-truncated views.
+type trainScratch struct {
+	bs int
+	x  *mat.Matrix // batch inputs (bs x nIn)
+	y  []float64
+	// act[li] is layer li's post-activation output; mask[li] its dropout
+	// mask (hidden layers only); grad[li] the gradient flowing into layer
+	// li's output.
+	act  []*mat.Matrix
+	mask []*mat.Matrix
+	grad []*mat.Matrix
+	// dW[li], db[li], wT[li] are per-layer backprop scratch.
+	dW []*mat.Matrix
+	db [][]float64
+	wT []*mat.Matrix
+}
+
+func newTrainScratch(m *Model, bs int) *trainScratch {
+	scr := &trainScratch{
+		bs: bs,
+		x:  mat.New(bs, m.nIn),
+		y:  make([]float64, bs),
+	}
+	last := len(m.layers) - 1
+	for li, l := range m.layers {
+		out := l.w.Cols
+		in := l.w.Rows
+		scr.act = append(scr.act, mat.New(bs, out))
+		scr.grad = append(scr.grad, mat.New(bs, out))
+		scr.dW = append(scr.dW, mat.New(in, out))
+		scr.db = append(scr.db, make([]float64, out))
+		if li > 0 {
+			// Layer 0 never propagates a gradient below itself, so it
+			// needs no transpose buffer.
+			scr.wT = append(scr.wT, mat.New(out, in))
+		} else {
+			scr.wT = append(scr.wT, nil)
+		}
+		if li < last && m.params.Dropout > 0 {
+			scr.mask = append(scr.mask, mat.New(bs, out))
+		} else {
+			scr.mask = append(scr.mask, nil)
+		}
+	}
+	return scr
+}
+
+// view returns an n-row window of a full-batch buffer.
+func view(m *mat.Matrix, n int) *mat.Matrix {
+	if n == m.Rows {
+		return m
+	}
+	return &mat.Matrix{Rows: n, Cols: m.Cols, Data: m.Data[:n*m.Cols]}
+}
+
+// trainBatch runs one forward/backward/Adam step over the first n rows of
+// the scratch batch.
+func (m *Model) trainBatch(scr *trainScratch, n int, drop *rng.Rand) {
 	p := m.params
-	x := mat.FromRows(rows)
-	out, cache := m.forward(x, true, drop)
-	n := float64(len(rows))
+	last := len(m.layers) - 1
+
+	// Forward, recording activations and dropout masks.
+	h := view(scr.x, n)
+	for li := range m.layers {
+		l := &m.layers[li]
+		z := view(scr.act[li], n)
+		mat.MulInto(z, h, l.w)
+		if li < last {
+			addBiasActivate(z, l.b, p.Activation)
+			if p.Dropout > 0 {
+				mask := view(scr.mask[li], n)
+				keep := 1 - p.Dropout
+				inv := 1 / keep
+				for i := range mask.Data {
+					if drop.Float64() < keep {
+						mask.Data[i] = inv
+					} else {
+						mask.Data[i] = 0
+					}
+				}
+				for i := range z.Data {
+					z.Data[i] *= mask.Data[i]
+				}
+			}
+		} else {
+			mat.AddBias(z, l.b)
+		}
+		h = z
+	}
 
 	// Output gradient.
-	grad := mat.New(out.Rows, out.Cols)
+	out := view(scr.act[last], n)
+	grad := view(scr.grad[last], n)
+	nf := float64(n)
 	if p.Heteroscedastic {
 		// NLL = 0.5*(s + (y-mu)^2 / exp(s)), s = log variance.
 		for i := 0; i < out.Rows; i++ {
 			mu := out.At(i, 0)
 			s := clampLogVar(out.At(i, 1))
 			inv := math.Exp(-s)
-			d := mu - y[i]
-			grad.Set(i, 0, d*inv/n)
-			grad.Set(i, 1, 0.5*(1-d*d*inv)/n)
+			d := mu - scr.y[i]
+			grad.Set(i, 0, d*inv/nf)
+			grad.Set(i, 1, 0.5*(1-d*d*inv)/nf)
 		}
 	} else {
 		for i := 0; i < out.Rows; i++ {
-			grad.Set(i, 0, 2*(out.At(i, 0)-y[i])/n)
+			grad.Set(i, 0, 2*(out.At(i, 0)-scr.y[i])/nf)
 		}
 	}
 
-	m.backward(cache, grad)
-}
-
-// backward propagates grad through the cached activations and applies Adam
-// updates (with decoupled weight decay) to every layer.
-func (m *Model) backward(cache *forwardCache, grad *mat.Matrix) {
-	p := m.params
+	// Backward with Adam updates (decoupled weight decay) per layer.
 	m.adamT++
-	for li := len(m.layers) - 1; li >= 0; li-- {
+	for li := last; li >= 0; li-- {
 		l := &m.layers[li]
-		input := cache.act[li]
+		input := view(scr.x, n)
+		if li > 0 {
+			input = view(scr.act[li-1], n)
+		}
 
 		// dW = input^T * grad; db = column sums of grad.
-		dW := mat.Mul(input.T(), grad)
-		db := make([]float64, grad.Cols)
+		dW := scr.dW[li]
+		mat.MulATBInto(dW, input, grad)
+		db := scr.db[li]
+		clear(db)
 		for i := 0; i < grad.Rows; i++ {
 			row := grad.Row(i)
 			for j, v := range row {
@@ -131,13 +222,17 @@ func (m *Model) backward(cache *forwardCache, grad *mat.Matrix) {
 		if li > 0 {
 			// Propagate: grad_in = grad * W^T, through dropout mask and
 			// activation derivative of the previous layer's output.
-			next = mat.Mul(grad, l.w.T())
-			if mask := cache.dropMask[li-1]; mask != nil {
+			wT := scr.wT[li]
+			mat.TInto(wT, l.w)
+			next = view(scr.grad[li-1], n)
+			mat.MulInto(next, grad, wT)
+			if p.Dropout > 0 {
+				mask := view(scr.mask[li-1], n)
 				for i := range next.Data {
 					next.Data[i] *= mask.Data[i]
 				}
 			}
-			activationGrad(next, cache.act[li], p.Activation)
+			activationGrad(next, view(scr.act[li-1], n), p.Activation)
 		}
 
 		m.adamStep(l, dW, db)

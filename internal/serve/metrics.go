@@ -3,13 +3,22 @@ package serve
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Metrics are the service's counters, exposed at GET /metrics in the
 // Prometheus text exposition format. All fields are cumulative; rates and
 // ratios are left to the scraper except the two derived gauges (mean batch
 // size, cache hit ratio) that the acceptance benchmarks read directly.
+//
+// Counters exist at two granularities: the unlabeled totals below, and
+// per-system series (System) rendered with a {system="..."} label, so a
+// mixed-traffic deployment can tell which model family is hot, missing its
+// cache, or flagging OoD jobs. Request latency is additionally recorded in
+// a fixed-bucket histogram (ioserve_request_latency_seconds).
 type Metrics struct {
 	// Requests counts calls to the predict path (HTTP or in-process).
 	Requests atomic.Uint64
@@ -29,6 +38,105 @@ type Metrics struct {
 	Errors atomic.Uint64
 	// LatencyNs accumulates predict-path wall time in nanoseconds.
 	LatencyNs atomic.Uint64
+
+	// Latency is the predict-call latency histogram.
+	Latency LatencyHist
+	// perSystem maps system name -> *SystemMetrics.
+	perSystem sync.Map
+}
+
+// SystemMetrics are the per-system counter labels.
+type SystemMetrics struct {
+	Requests    atomic.Uint64
+	Predictions atomic.Uint64
+	CacheHits   atomic.Uint64
+	CacheMisses atomic.Uint64
+	OoDFlagged  atomic.Uint64
+	Errors      atomic.Uint64
+}
+
+// System returns (creating on first use) the counters labeled with the
+// given system name.
+func (m *Metrics) System(name string) *SystemMetrics {
+	if v, ok := m.perSystem.Load(name); ok {
+		return v.(*SystemMetrics)
+	}
+	v, _ := m.perSystem.LoadOrStore(name, &SystemMetrics{})
+	return v.(*SystemMetrics)
+}
+
+// Systems returns the known system labels, sorted.
+func (m *Metrics) Systems() []string {
+	var names []string
+	m.perSystem.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// numLatencyBuckets is the finite bucket count of the latency histogram.
+const numLatencyBuckets = 14
+
+// latencyBuckets are the histogram upper bounds in nanoseconds (50µs .. 1s,
+// roughly 1-2.5-5 per decade). Prometheus convention: cumulative buckets
+// plus an implicit +Inf.
+var latencyBuckets = [numLatencyBuckets]uint64{
+	50_000, 100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000, 10_000_000,
+	25_000_000, 50_000_000, 100_000_000, 250_000_000,
+	500_000_000, 1_000_000_000,
+}
+
+// LatencyHist is a fixed-bucket latency histogram with atomic counters.
+type LatencyHist struct {
+	// buckets[i] counts observations <= latencyBuckets[i]; overflow counts
+	// the +Inf remainder.
+	buckets  [numLatencyBuckets]atomic.Uint64
+	overflow atomic.Uint64
+	sumNs    atomic.Uint64
+	count    atomic.Uint64
+}
+
+// Observe records one request duration.
+func (h *LatencyHist) Observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.sumNs.Add(ns)
+	h.count.Add(1)
+	for i, ub := range latencyBuckets {
+		if ns <= ub {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.overflow.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() uint64 { return h.count.Load() }
+
+// writeText renders the histogram in Prometheus exposition format.
+func (h *LatencyHist) writeText(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s Predict call latency.\n# TYPE %s histogram\n", name, name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(ub)/1e9, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.overflow.Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	return err
 }
 
 // MeanBatchSize returns evaluated rows per micro-batch (0 if none ran).
@@ -49,7 +157,11 @@ func (m *Metrics) HitRatio() float64 {
 	return float64(h) / float64(h+ms)
 }
 
-// WriteText renders the counters in Prometheus text exposition format.
+// WriteText renders the counters in Prometheus text exposition format: the
+// unlabeled totals, the per-system series (under their own
+// ioserve_system_* names, so aggregating either family never double
+// counts — totals also include failures that never resolved to a system),
+// then the derived gauges and the latency histogram.
 func (m *Metrics) WriteText(w io.Writer) error {
 	counters := []struct {
 		name, help string
@@ -70,6 +182,34 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	systems := m.Systems()
+	perSystem := []struct {
+		name, help string
+		pick       func(*SystemMetrics) *atomic.Uint64
+	}{
+		{"ioserve_system_requests_total", "Predict calls served, by system.",
+			func(s *SystemMetrics) *atomic.Uint64 { return &s.Requests }},
+		{"ioserve_system_predictions_total", "Rows predicted, by system.",
+			func(s *SystemMetrics) *atomic.Uint64 { return &s.Predictions }},
+		{"ioserve_system_cache_hits_total", "Cache-answered predictions, by system.",
+			func(s *SystemMetrics) *atomic.Uint64 { return &s.CacheHits }},
+		{"ioserve_system_cache_misses_total", "Model-evaluated predictions, by system.",
+			func(s *SystemMetrics) *atomic.Uint64 { return &s.CacheMisses }},
+		{"ioserve_system_ood_flagged_total", "OoD-flagged predictions, by system.",
+			func(s *SystemMetrics) *atomic.Uint64 { return &s.OoDFlagged }},
+		{"ioserve_system_errors_total", "Failed predict calls, by system.",
+			func(s *SystemMetrics) *atomic.Uint64 { return &s.Errors }},
+	}
+	for _, c := range perSystem {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name); err != nil {
+			return err
+		}
+		for _, name := range systems {
+			if _, err := fmt.Fprintf(w, "%s{system=%q} %d\n", c.name, name, c.pick(m.System(name)).Load()); err != nil {
+				return err
+			}
+		}
+	}
 	gauges := []struct {
 		name, help string
 		val        float64
@@ -82,5 +222,5 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return m.Latency.writeText(w, "ioserve_request_latency_seconds")
 }

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLatencyHistObserve checks bucket assignment, cumulative rendering,
+// and the sum/count lines.
+func TestLatencyHistObserve(t *testing.T) {
+	var h LatencyHist
+	h.Observe(10 * time.Microsecond)  // <= 50µs bucket
+	h.Observe(50 * time.Microsecond)  // boundary: still <= 50µs
+	h.Observe(200 * time.Microsecond) // <= 250µs
+	h.Observe(3 * time.Second)        // +Inf overflow
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	var sb strings.Builder
+	if err := h.writeText(&sb, "x_seconds"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE x_seconds histogram",
+		"x_seconds_bucket{le=\"5e-05\"} 2",
+		"x_seconds_bucket{le=\"0.00025\"} 3",
+		"x_seconds_bucket{le=\"1\"} 3",
+		"x_seconds_bucket{le=\"+Inf\"} 4",
+		"x_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative counts must be monotone: every later bucket >= earlier.
+	prev := uint64(0)
+	var cum uint64
+	for i := range latencyBuckets {
+		cum += h.buckets[i].Load()
+		if cum < prev {
+			t.Fatalf("bucket %d not cumulative", i)
+		}
+		prev = cum
+	}
+}
+
+// TestPerSystemMetrics drives the in-process service and checks the
+// per-system counters and labeled exposition lines.
+func TestPerSystemMetrics(t *testing.T) {
+	_, v1, _ := fixture(t)
+	reg := NewRegistry()
+	if err := reg.Add(v1); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(reg, Options{MaxBatch: 8, MaxDelay: time.Millisecond, CacheSize: 1 << 10})
+	defer svc.Close()
+
+	row := fixtureFrame.Row(0)
+	ctx := context.Background()
+	// Two requests for the same row: second is a cache hit.
+	for i := 0; i < 2; i++ {
+		if _, _, err := svc.Predict(ctx, "theta", 0, [][]float64{row}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One failing request for an unknown system: counted on the unlabeled
+	// totals only — bogus names must not create labeled series, or a
+	// misbehaving client could grow /metrics cardinality without bound.
+	if _, _, err := svc.Predict(ctx, "nope", 0, [][]float64{row}); err == nil {
+		t.Fatal("expected unknown-system error")
+	}
+	// One failing request for a known system (schema mismatch): labeled.
+	if _, _, err := svc.Predict(ctx, "theta", 0, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("expected width-mismatch error")
+	}
+
+	sys := svc.Metrics().System("theta")
+	if got := sys.Requests.Load(); got != 3 {
+		t.Errorf("theta requests = %d, want 3", got)
+	}
+	if got := sys.Predictions.Load(); got != 2 {
+		t.Errorf("theta predictions = %d, want 2", got)
+	}
+	if got := sys.CacheHits.Load(); got != 1 {
+		t.Errorf("theta cache hits = %d, want 1", got)
+	}
+	if got := sys.CacheMisses.Load(); got != 1 {
+		t.Errorf("theta cache misses = %d, want 1", got)
+	}
+	if got := sys.Errors.Load(); got != 1 {
+		t.Errorf("theta errors = %d, want 1", got)
+	}
+	if got := svc.Metrics().Errors.Load(); got != 2 {
+		t.Errorf("global errors = %d, want 2", got)
+	}
+	for _, name := range svc.Metrics().Systems() {
+		if name != "theta" {
+			t.Errorf("unexpected labeled system %q", name)
+		}
+	}
+	if got := svc.Metrics().Latency.Count(); got != 2 {
+		t.Errorf("latency observations = %d, want 2 (errors not timed)", got)
+	}
+
+	var sb strings.Builder
+	if err := svc.Metrics().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`ioserve_system_requests_total{system="theta"} 3`,
+		`ioserve_system_cache_hits_total{system="theta"} 1`,
+		`ioserve_system_errors_total{system="theta"} 1`,
+		"ioserve_errors_total 2",
+		"# TYPE ioserve_request_latency_seconds histogram",
+		"ioserve_request_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(out, `system="nope"`) {
+		t.Error("unknown system leaked into labeled series")
+	}
+}

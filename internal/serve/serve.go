@@ -93,12 +93,21 @@ func (s *Service) Metrics() *Metrics { return s.metrics }
 func (s *Service) Predict(ctx context.Context, system string, version int, rows [][]float64) ([]PredictionResult, *ModelVersion, error) {
 	start := time.Now()
 	s.metrics.Requests.Add(1)
+	// Per-system series are created inside predict, only after the
+	// registry resolves the system — a flood of bogus system names must
+	// not grow the metrics map (and /metrics cardinality) without bound;
+	// such failures count only toward the unlabeled totals.
 	results, mv, err := s.predict(ctx, system, version, rows)
 	if err != nil {
 		s.metrics.Errors.Add(1)
+		if mv != nil {
+			s.metrics.System(mv.System).Errors.Add(1)
+		}
 		return nil, nil, err
 	}
-	s.metrics.LatencyNs.Add(uint64(time.Since(start).Nanoseconds()))
+	elapsed := time.Since(start)
+	s.metrics.LatencyNs.Add(uint64(elapsed.Nanoseconds()))
+	s.metrics.Latency.Observe(elapsed)
 	return results, mv, nil
 }
 
@@ -110,9 +119,11 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 	if err != nil {
 		return nil, nil, err
 	}
+	sys := s.metrics.System(mv.System)
+	sys.Requests.Add(1)
 	for i, row := range rows {
 		if len(row) != len(mv.Columns) {
-			return nil, nil, fmt.Errorf("serve: row %d has %d features, model %s v%d expects %d",
+			return nil, mv, fmt.Errorf("serve: row %d has %d features, model %s v%d expects %d",
 				i, len(row), mv.System, mv.Version, len(mv.Columns))
 		}
 	}
@@ -149,7 +160,7 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 		}
 		out, err := s.batcher.enqueue(ctx, mv, row)
 		if err != nil {
-			return nil, nil, err
+			return nil, mv, err
 		}
 		m := &miss{i: i, key: key, out: out}
 		misses = append(misses, m)
@@ -158,7 +169,7 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 	for _, ms := range misses {
 		res, err := s.batcher.wait(ctx, ms.out)
 		if err != nil {
-			return nil, nil, err
+			return nil, mv, err
 		}
 		s.cache.Put(ms.key, rows[ms.i], res)
 		results[ms.i] = fromResult(res, false)
@@ -170,6 +181,9 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 	s.metrics.Predictions.Add(uint64(len(rows)))
 	s.metrics.CacheHits.Add(hits)
 	s.metrics.CacheMisses.Add(uint64(len(misses)))
+	sys.Predictions.Add(uint64(len(rows)))
+	sys.CacheHits.Add(hits)
+	sys.CacheMisses.Add(uint64(len(misses)))
 	var ood uint64
 	for _, r := range results {
 		if r.Guard != nil && r.Guard.OoD {
@@ -177,6 +191,7 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 		}
 	}
 	s.metrics.OoDFlagged.Add(ood)
+	sys.OoDFlagged.Add(ood)
 	return results, mv, nil
 }
 

@@ -103,39 +103,18 @@ func (e *Ensemble) Predict(row []float64) Prediction {
 	}
 }
 
-// PredictAll decomposes every row, in parallel for large inputs.
+// PredictAll decomposes every row. Each member forwards the whole input in
+// batched matrix passes (nn.PredictDistAll) — one product per layer per
+// chunk instead of one per row — and members fan out across CPUs when more
+// than one is available. Results match per-row Predict bit-for-bit.
 func (e *Ensemble) PredictAll(rows [][]float64) []Prediction {
-	out := make([]Prediction, len(rows))
-	workers := runtime.GOMAXPROCS(0)
-	if len(rows) < 256 || workers <= 1 {
-		for i, r := range rows {
-			out[i] = e.Predict(r)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (len(rows) + workers - 1) / workers
-	for lo := 0; lo < len(rows); lo += chunk {
-		hi := lo + chunk
-		if hi > len(rows) {
-			hi = len(rows)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = e.Predict(rows[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+	return e.PredictBatch(rows)
 }
 
-// PredictBatch decomposes a batch with member-level parallelism: each
-// ensemble member walks the whole batch in its own goroutine. For the small
-// batches an online serving path coalesces (tens of rows), this beats the
-// row-level parallelism of PredictAll, which only engages at 256+ rows.
+// PredictBatch decomposes a batch with member-level parallelism over
+// batched member forwards. This is the serving-path kernel: the
+// micro-batcher hands it coalesced batches, and each member's pass is a
+// chunked matrix product rather than per-row network walks.
 func (e *Ensemble) PredictBatch(rows [][]float64) []Prediction {
 	if len(rows) == 0 {
 		return nil
@@ -143,20 +122,27 @@ func (e *Ensemble) PredictBatch(rows [][]float64) []Prediction {
 	k := len(e.Members)
 	means := make([][]float64, k)
 	vars := make([][]float64, k)
-	var wg sync.WaitGroup
-	for mi, m := range e.Members {
-		wg.Add(1)
-		go func(mi int, m *nn.Model) {
-			defer wg.Done()
-			mu := make([]float64, len(rows))
-			va := make([]float64, len(rows))
-			for i, r := range rows {
-				mu[i], va[i] = m.PredictDist(r)
-			}
-			means[mi], vars[mi] = mu, va
-		}(mi, m)
+	eachMember := func(mi int) {
+		mu := make([]float64, len(rows))
+		va := make([]float64, len(rows))
+		e.Members[mi].PredictDistAll(rows, mu, va)
+		means[mi], vars[mi] = mu, va
 	}
-	wg.Wait()
+	if runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for mi := range e.Members {
+			wg.Add(1)
+			go func(mi int) {
+				defer wg.Done()
+				eachMember(mi)
+			}(mi)
+		}
+		wg.Wait()
+	} else {
+		for mi := range e.Members {
+			eachMember(mi)
+		}
+	}
 	out := make([]Prediction, len(rows))
 	memberMeans := make([]float64, k)
 	for i := range rows {
