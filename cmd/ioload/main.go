@@ -9,9 +9,17 @@
 //	ioload -addr http://localhost:8080 -system theta -requests 500 -rate 200
 //	ioload -system theta -dup 0.7 -batch 8          # duplicate-heavy traffic
 //	ioload -system cori -ood 0.2                    # novelty-heavy traffic
+//	ioload -system theta -churn-registry ./registry -churn-bumps 3
 //
 // The row pool is generated from the same simulated system the server was
 // bootstrapped from, so feature schemas line up by construction.
+//
+// The version-churn scenario (-churn-registry) exercises live reload under
+// traffic: while the load runs, ioload periodically copies the registry's
+// highest version directory to v(N+1) on disk (the server must be watching
+// the same directory with -reload-interval) and reports every model
+// version observed in responses — a clean run sees the version advance
+// with zero request errors.
 package main
 
 import (
@@ -22,11 +30,20 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
+	"sync"
 	"time"
 
 	"iotaxo/internal/serve"
 	"iotaxo/internal/system"
 )
+
+// churnSpec configures the version-churn scenario; registry == "" disables.
+type churnSpec struct {
+	registry string
+	interval time.Duration
+	bumps    int
+}
 
 func main() {
 	var (
@@ -41,15 +58,20 @@ func main() {
 		conc     = flag.Int("concurrency", 8, "max in-flight requests")
 		poolJobs = flag.Int("pool-jobs", 2000, "jobs generated for the row pool")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		churnReg = flag.String("churn-registry", "",
+			"registry directory to bump versions into while the load runs (the server must watch it with -reload-interval)")
+		churnInt   = flag.Duration("churn-interval", 2*time.Second, "delay between version bumps")
+		churnBumps = flag.Int("churn-bumps", 3, "number of version bumps to perform")
 	)
 	flag.Parse()
-	if err := run(*addr, *sysName, *version, *requests, *batch, *rate, *dup, *ood, *conc, *poolJobs, *seed); err != nil {
+	churn := churnSpec{registry: *churnReg, interval: *churnInt, bumps: *churnBumps}
+	if err := run(*addr, *sysName, *version, *requests, *batch, *rate, *dup, *ood, *conc, *poolJobs, *seed, churn); err != nil {
 		fmt.Fprintln(os.Stderr, "ioload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, sysName string, version, requests, batch int, rate, dup, ood float64, conc, poolJobs int, seed uint64) error {
+func run(addr, sysName string, version, requests, batch int, rate, dup, ood float64, conc, poolJobs int, seed uint64, churn churnSpec) error {
 	var cfg *system.Config
 	switch sysName {
 	case "theta":
@@ -83,7 +105,24 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 	}
 	fmt.Fprintf(os.Stderr, "ioload: %d requests x %d rows -> %s (%s, rate %.0f/s, dup %.0f%%, ood %.0f%%)\n",
 		requests, batch, addr, sysName, rate, 100*dup, 100*ood)
-	stats, err := gen.Run(context.Background(), httpTarget(addr, sysName, version))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		churnWG  sync.WaitGroup
+		churnRes churnResult
+	)
+	if churn.registry != "" {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			churnRes = runChurn(ctx, churn, sysName)
+		}()
+	}
+	tracker := &versionTracker{seen: make(map[int]int)}
+	stats, err := gen.Run(ctx, httpTarget(addr, sysName, version, tracker))
+	cancel()
+	churnWG.Wait()
 	if err != nil {
 		return err
 	}
@@ -97,11 +136,95 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 		fmt.Printf("cache hits      %d (%.1f%%)\n", stats.CacheHits, 100*float64(stats.CacheHits)/float64(stats.Rows))
 		fmt.Printf("ood flagged     %d (%.1f%%)\n", stats.OoDFlagged, 100*float64(stats.OoDFlagged)/float64(stats.Rows))
 	}
+	fmt.Printf("versions seen   %s\n", tracker.String())
+	// The churn scenario's contract is "the served version advances with
+	// zero request errors" — enforce it in the exit code so scripts and CI
+	// can rely on it.
+	if churn.registry != "" {
+		switch {
+		case stats.Errors > 0:
+			return fmt.Errorf("version churn caused %d request errors", stats.Errors)
+		case churnRes.err != nil:
+			return fmt.Errorf("version churn: %w", churnRes.err)
+		case churnRes.published == 0:
+			return fmt.Errorf("version churn: the load finished before any bump was published; raise -requests or lower -churn-interval")
+		case tracker.distinct() < 2:
+			return fmt.Errorf("version churn: %d version(s) were published but responses never advanced past %s (is the server watching %s with -reload-interval?)",
+				churnRes.published, tracker.String(), churn.registry)
+		}
+	}
 	return nil
 }
 
+// churnResult reports what the bump goroutine accomplished.
+type churnResult struct {
+	published int
+	err       error
+}
+
+// runChurn performs the on-disk version bumps for the churn scenario.
+func runChurn(ctx context.Context, churn churnSpec, sysName string) churnResult {
+	var res churnResult
+	for i := 0; i < churn.bumps; i++ {
+		select {
+		case <-ctx.Done():
+			return res
+		case <-time.After(churn.interval):
+		}
+		v, err := serve.BumpVersion(churn.registry, sysName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ioload: churn bump failed: %v\n", err)
+			res.err = err
+			return res
+		}
+		res.published++
+		fmt.Fprintf(os.Stderr, "ioload: churn published %s v%d\n", sysName, v)
+	}
+	return res
+}
+
+// versionTracker counts responses per served model version, so the churn
+// scenario can show the live swap happening under traffic.
+type versionTracker struct {
+	mu   sync.Mutex
+	seen map[int]int
+}
+
+func (t *versionTracker) record(version int) {
+	t.mu.Lock()
+	t.seen[version]++
+	t.mu.Unlock()
+}
+
+func (t *versionTracker) distinct() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.seen)
+}
+
+func (t *versionTracker) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	versions := make([]int, 0, len(t.seen))
+	for v := range t.seen {
+		versions = append(versions, v)
+	}
+	sort.Ints(versions)
+	var buf bytes.Buffer
+	for i, v := range versions {
+		if i > 0 {
+			buf.WriteString(", ")
+		}
+		fmt.Fprintf(&buf, "v%d (%d req)", v, t.seen[v])
+	}
+	if buf.Len() == 0 {
+		return "none"
+	}
+	return buf.String()
+}
+
 // httpTarget adapts the /v1/predict endpoint to a load-generator target.
-func httpTarget(addr, sysName string, version int) serve.Target {
+func httpTarget(addr, sysName string, version int, tracker *versionTracker) serve.Target {
 	client := &http.Client{Timeout: 30 * time.Second}
 	url := addr + "/v1/predict"
 	return func(ctx context.Context, rows [][]float64) ([]serve.PredictionResult, error) {
@@ -129,6 +252,9 @@ func httpTarget(addr, sysName string, version int) serve.Target {
 		var pr serve.PredictResponse
 		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 			return nil, err
+		}
+		if tracker != nil {
+			tracker.record(pr.Version)
 		}
 		return pr.Predictions, nil
 	}

@@ -7,13 +7,24 @@
 //	ioserve -models ./registry                    # serve an existing registry
 //	ioserve -bootstrap -models ./registry         # train demo bundles, then serve
 //	ioserve -bootstrap -jobs 2000 -addr :9000     # smaller bootstrap, custom port
+//	ioserve -models ./registry -reload-interval 5s -shadow-fraction 0.1
 //
 // Endpoints:
 //
-//	POST /v1/predict  {"system":"theta","rows":[[...]]}   (or "row":[...])
-//	GET  /v1/models   registry listing
-//	GET  /healthz     liveness
-//	GET  /metrics     Prometheus text format
+//	POST /v1/predict            {"system":"theta","rows":[[...]]}  (or "row":[...])
+//	GET  /v1/models             registry listing
+//	GET  /v1/versions           lifecycle view (active/latest, shadow deltas)
+//	POST /v1/versions/promote   {"system":"theta","version":2}
+//	POST /v1/versions/rollback  {"system":"theta"}
+//	POST /v1/versions/reload    force a registry reload poll
+//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus text format
+//
+// With -reload-interval the registry directory is polled for new, changed,
+// or removed version directories and the live registry swapped without a
+// restart; with -shadow-fraction a deterministic slice of served traffic
+// is mirrored to the adjacent model versions and the online error deltas
+// exposed at /metrics and /v1/versions.
 //
 // Every prediction carries the paper's taxonomy guardrail: the deep
 // ensemble's epistemic uncertainty with an OoD flag (Sec. VIII) and a
@@ -31,46 +42,67 @@ import (
 	"iotaxo/internal/serve"
 )
 
+// config carries the parsed flags.
+type config struct {
+	addr           string
+	models         string
+	bootstrap      bool
+	jobs           int
+	versions       int
+	maxBatch       int
+	maxDelay       time.Duration
+	workers        int
+	cacheSize      int
+	seed           uint64
+	reloadInterval time.Duration
+	shadowFraction float64
+	shadowWorkers  int
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		models    = flag.String("models", "", "model registry directory")
-		bootstrap = flag.Bool("bootstrap", false, "train demo bundles into -models before serving")
-		jobs      = flag.Int("jobs", 4000, "jobs per bootstrapped system")
-		versions  = flag.Int("versions", 2, "bootstrapped versions per system")
-		maxBatch  = flag.Int("max-batch", 32, "micro-batch size cap")
-		maxDelay  = flag.Duration("max-delay", 2*time.Millisecond, "micro-batch straggler window")
-		workers   = flag.Int("workers", 2, "micro-batch worker pool size")
-		cacheSize = flag.Int("cache", 1<<16, "duplicate cache capacity in entries (0 disables)")
-		seed      = flag.Uint64("seed", 1, "bootstrap seed")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.models, "models", "", "model registry directory")
+	flag.BoolVar(&cfg.bootstrap, "bootstrap", false, "train demo bundles into -models before serving")
+	flag.IntVar(&cfg.jobs, "jobs", 4000, "jobs per bootstrapped system")
+	flag.IntVar(&cfg.versions, "versions", 2, "bootstrapped versions per system")
+	flag.IntVar(&cfg.maxBatch, "max-batch", 32, "micro-batch size cap")
+	flag.DurationVar(&cfg.maxDelay, "max-delay", 2*time.Millisecond, "micro-batch straggler window")
+	flag.IntVar(&cfg.workers, "workers", 2, "micro-batch worker pool size")
+	flag.IntVar(&cfg.cacheSize, "cache", 1<<16, "duplicate cache capacity in entries (0 disables)")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "bootstrap seed")
+	flag.DurationVar(&cfg.reloadInterval, "reload-interval", 0,
+		"poll -models for new/changed/removed versions and swap them live (0 disables)")
+	flag.Float64Var(&cfg.shadowFraction, "shadow-fraction", 0,
+		"fraction of active-version rows mirrored to adjacent versions for online comparison (0 disables)")
+	flag.IntVar(&cfg.shadowWorkers, "shadow-workers", 1, "shadow mirror worker pool size")
 	flag.Parse()
-	if err := run(*addr, *models, *bootstrap, *jobs, *versions, *maxBatch, *maxDelay, *workers, *cacheSize, *seed); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ioserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, models string, bootstrap bool, jobs, versions, maxBatch int, maxDelay time.Duration, workers, cacheSize int, seed uint64) error {
+func run(cfg config) error {
 	var reg *serve.Registry
 	var err error
 	switch {
-	case bootstrap:
-		cfg := serve.DefaultBootstrap()
-		cfg.Jobs = jobs
-		cfg.Versions = versions
-		cfg.Seed = seed
+	case cfg.bootstrap:
+		bcfg := serve.DefaultBootstrap()
+		bcfg.Jobs = cfg.jobs
+		bcfg.Versions = cfg.versions
+		bcfg.Seed = cfg.seed
 		fmt.Fprintf(os.Stderr, "ioserve: bootstrapping %v (%d jobs, %d versions each)...\n",
-			cfg.Systems, cfg.Jobs, cfg.Versions)
-		reg, err = serve.Bootstrap(cfg, models)
+			bcfg.Systems, bcfg.Jobs, bcfg.Versions)
+		reg, err = serve.Bootstrap(bcfg, cfg.models)
 		if err != nil {
 			return err
 		}
-		if models != "" {
-			fmt.Fprintf(os.Stderr, "ioserve: registry persisted under %s\n", models)
+		if cfg.models != "" {
+			fmt.Fprintf(os.Stderr, "ioserve: registry persisted under %s\n", cfg.models)
 		}
-	case models != "":
-		reg, err = serve.LoadRegistry(models)
+	case cfg.models != "":
+		reg, err = serve.LoadRegistry(cfg.models)
 		if err != nil {
 			return err
 		}
@@ -79,19 +111,40 @@ func run(addr, models string, bootstrap bool, jobs, versions, maxBatch int, maxD
 	}
 
 	svc := serve.NewService(reg, serve.Options{
-		MaxBatch:  maxBatch,
-		MaxDelay:  maxDelay,
-		Workers:   workers,
-		CacheSize: cacheSize,
+		MaxBatch:       cfg.maxBatch,
+		MaxDelay:       cfg.maxDelay,
+		Workers:        cfg.workers,
+		CacheSize:      cfg.cacheSize,
+		ShadowFraction: cfg.shadowFraction,
+		ShadowWorkers:  cfg.shadowWorkers,
 	})
 	defer svc.Close()
-	for _, info := range reg.List() {
-		fmt.Fprintf(os.Stderr, "ioserve: %s v%d (%d features, %d trees, ensemble %d, eu_threshold %.3f)\n",
-			info.System, info.Version, info.Features, info.Trees, info.EnsembleSize, info.Guard.EUThreshold)
+	if cfg.reloadInterval > 0 {
+		if cfg.models == "" {
+			return fmt.Errorf("-reload-interval needs -models (an on-disk registry to watch)")
+		}
+		rel, err := serve.NewReloader(svc, cfg.models, cfg.reloadInterval)
+		if err != nil {
+			return err
+		}
+		rel.Start()
+		fmt.Fprintf(os.Stderr, "ioserve: reloading %s every %v\n", cfg.models, cfg.reloadInterval)
 	}
-	fmt.Fprintf(os.Stderr, "ioserve: listening on %s\n", addr)
+	if cfg.shadowFraction > 0 {
+		fmt.Fprintf(os.Stderr, "ioserve: mirroring %.1f%% of active-version rows to adjacent versions\n",
+			100*cfg.shadowFraction)
+	}
+	for _, info := range reg.List() {
+		marker := ""
+		if info.Active {
+			marker = " [active]"
+		}
+		fmt.Fprintf(os.Stderr, "ioserve: %s v%d (%d features, %d trees, ensemble %d, eu_threshold %.3f)%s\n",
+			info.System, info.Version, info.Features, info.Trees, info.EnsembleSize, info.Guard.EUThreshold, marker)
+	}
+	fmt.Fprintf(os.Stderr, "ioserve: listening on %s\n", cfg.addr)
 	server := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           serve.Handler(svc),
 		ReadHeaderTimeout: 5 * time.Second,
 	}

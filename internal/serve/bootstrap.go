@@ -1,7 +1,11 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
 
 	"iotaxo/internal/core"
 	"iotaxo/internal/dataset"
@@ -99,6 +103,77 @@ func Bootstrap(cfg BootstrapConfig, dir string) (*Registry, error) {
 		}
 	}
 	return reg, nil
+}
+
+// BumpVersion copies a system's highest on-disk version directory to
+// v(N+1), rewriting the manifest's version field, and returns the new
+// version number. The artifacts are byte-identical — only the version
+// changes — which makes it the cheap way to mint a "new" model version for
+// reload demos and the version-churn load scenario (`ioload -churn`)
+// without retraining. Files are written artifacts-first, manifest last, so
+// a concurrent reload poll never sees a publishable half-written
+// directory.
+func BumpVersion(root, system string) (int, error) {
+	sysDir := filepath.Join(root, system)
+	entries, err := os.ReadDir(sysDir)
+	if err != nil {
+		return 0, fmt.Errorf("serve: bump reading %s: %w", sysDir, err)
+	}
+	highest := 0
+	for _, e := range entries {
+		sub := versionDirPattern.FindStringSubmatch(e.Name())
+		if !e.IsDir() || sub == nil {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(sysDir, e.Name(), manifestName)); err != nil {
+			continue
+		}
+		if v, _ := strconv.Atoi(sub[1]); v > highest {
+			highest = v
+		}
+	}
+	if highest == 0 {
+		return 0, fmt.Errorf("serve: bump found no versions under %s", sysDir)
+	}
+	srcDir := filepath.Join(sysDir, fmt.Sprintf("v%d", highest))
+	newVersion := highest + 1
+	dstDir := filepath.Join(sysDir, fmt.Sprintf("v%d", newVersion))
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return 0, fmt.Errorf("serve: bump creating %s: %w", dstDir, err)
+	}
+	files, err := os.ReadDir(srcDir)
+	if err != nil {
+		return 0, fmt.Errorf("serve: bump reading %s: %w", srcDir, err)
+	}
+	for _, f := range files {
+		if f.IsDir() || f.Name() == manifestName {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(srcDir, f.Name()))
+		if err != nil {
+			return 0, fmt.Errorf("serve: bump copying %s: %w", f.Name(), err)
+		}
+		if err := os.WriteFile(filepath.Join(dstDir, f.Name()), raw, 0o644); err != nil {
+			return 0, fmt.Errorf("serve: bump writing %s: %w", f.Name(), err)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(srcDir, manifestName))
+	if err != nil {
+		return 0, fmt.Errorf("serve: bump reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return 0, fmt.Errorf("serve: bump parsing manifest: %w", err)
+	}
+	m.Version = newVersion
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("serve: bump encoding manifest: %w", err)
+	}
+	if err := writeManifestAtomic(dstDir, append(out, '\n')); err != nil {
+		return 0, err
+	}
+	return newVersion, nil
 }
 
 // BuildVersion trains one serving bundle from a frame. Higher versions get

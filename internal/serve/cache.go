@@ -49,6 +49,12 @@ func HashKey(system string, version int, row []float64) uint64 {
 type cacheEntry struct {
 	key uint64
 	row []float64 // kept to disambiguate hash collisions
+	// mv is the exact bundle that produced res. A hit requires pointer
+	// equality with the bundle being served: when a live reload replaces a
+	// version in place, the new bundle is a new pointer, so entries from
+	// the old artifacts can never answer for the new ones — even in the
+	// window before InvalidateSystem reclaims them.
+	mv  *ModelVersion
 	res Result
 }
 
@@ -99,8 +105,10 @@ func rowsEqual(a, b []float64) bool {
 	return true
 }
 
-// Get returns the cached result for (key, row) and marks it most recent.
-func (c *Cache) Get(key uint64, row []float64) (Result, bool) {
+// Get returns the cached result for (key, row) under bundle mv and marks
+// it most recent. Entries produced by a different bundle pointer (a since-
+// replaced version) never hit.
+func (c *Cache) Get(key uint64, row []float64, mv *ModelVersion) (Result, bool) {
 	if c == nil {
 		return Result{}, false
 	}
@@ -112,7 +120,7 @@ func (c *Cache) Get(key uint64, row []float64) (Result, bool) {
 		return Result{}, false
 	}
 	e := el.Value.(*cacheEntry)
-	if !rowsEqual(e.row, row) {
+	if e.mv != mv || !rowsEqual(e.row, row) {
 		return Result{}, false
 	}
 	s.order.MoveToFront(el)
@@ -121,7 +129,7 @@ func (c *Cache) Get(key uint64, row []float64) (Result, bool) {
 
 // Put inserts or refreshes a result, evicting the shard's least recently
 // used entry when full.
-func (c *Cache) Put(key uint64, row []float64, res Result) {
+func (c *Cache) Put(key uint64, row []float64, mv *ModelVersion, res Result) {
 	if c == nil {
 		return
 	}
@@ -129,7 +137,15 @@ func (c *Cache) Put(key uint64, row []float64, res Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		e := el.Value.(*cacheEntry)
+		// Replace the row as well: on a hash collision the resident entry
+		// may describe a different feature vector, and a refreshed result
+		// must stay paired with the row that produced it.
+		if !rowsEqual(e.row, row) {
+			e.row = append(e.row[:0], row...)
+		}
+		e.mv = mv
+		e.res = res
 		s.order.MoveToFront(el)
 		return
 	}
@@ -143,8 +159,37 @@ func (c *Cache) Put(key uint64, row []float64, res Result) {
 	s.items[key] = s.order.PushFront(&cacheEntry{
 		key: key,
 		row: append([]float64(nil), row...),
+		mv:  mv,
 		res: res,
 	})
+}
+
+// InvalidateSystem drops every resident entry belonging to a system,
+// returning the number removed. The reloader calls this when a system's
+// version set changes: pointer-scoped entries already cannot serve stale
+// results, so this is about promptly reclaiming memory from retired
+// bundles (and making "stale entries are gone" directly observable).
+func (c *Cache) InvalidateSystem(system string) int {
+	if c == nil {
+		return 0
+	}
+	dropped := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.order.Front(); el != nil; {
+			next := el.Next()
+			e := el.Value.(*cacheEntry)
+			if e.mv.System == system {
+				s.order.Remove(el)
+				delete(s.items, e.key)
+				dropped++
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+	return dropped
 }
 
 // Len returns the resident entry count across shards.

@@ -2,6 +2,14 @@ package serve
 
 import "testing"
 
+// cacheMV returns distinct bundle identities for cache tests — entries are
+// scoped to the producing bundle pointer, so tests need stable ones.
+var (
+	cacheBundleA = &ModelVersion{System: "theta", Version: 1}
+	cacheBundleB = &ModelVersion{System: "theta", Version: 1}
+	cacheBundleC = &ModelVersion{System: "cori", Version: 1}
+)
+
 func TestHashKeyDistinguishes(t *testing.T) {
 	row := []float64{1, 2, 3}
 	base := HashKey("theta", 1, row)
@@ -23,17 +31,59 @@ func TestCacheHitAndMiss(t *testing.T) {
 	c := NewCache(64)
 	row := []float64{1.5, -2.25}
 	key := HashKey("theta", 1, row)
-	if _, ok := c.Get(key, row); ok {
+	if _, ok := c.Get(key, row, cacheBundleA); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put(key, row, Result{PredLog: 7})
-	res, ok := c.Get(key, row)
+	c.Put(key, row, cacheBundleA, Result{PredLog: 7})
+	res, ok := c.Get(key, row, cacheBundleA)
 	if !ok || res.PredLog != 7 {
 		t.Fatalf("want hit with 7, got %v %v", res, ok)
 	}
 	// Same key, different row (synthetic collision) must miss.
-	if _, ok := c.Get(key, []float64{9, 9}); ok {
+	if _, ok := c.Get(key, []float64{9, 9}, cacheBundleA); ok {
 		t.Error("collision row served wrong entry")
+	}
+}
+
+func TestCacheBundleScoped(t *testing.T) {
+	// An entry produced by one bundle must not answer for another bundle
+	// with the same (system, version) — that is exactly the situation
+	// after a live reload replaces a version's artifacts in place.
+	c := NewCache(64)
+	row := []float64{3, 4}
+	key := HashKey("theta", 1, row)
+	c.Put(key, row, cacheBundleA, Result{PredLog: 1})
+	if _, ok := c.Get(key, row, cacheBundleB); ok {
+		t.Error("entry from a replaced bundle served for its successor")
+	}
+	if _, ok := c.Get(key, row, cacheBundleA); !ok {
+		t.Error("entry missing for its own bundle")
+	}
+	// Put under the new bundle refreshes the entry in place.
+	c.Put(key, row, cacheBundleB, Result{PredLog: 2})
+	if res, ok := c.Get(key, row, cacheBundleB); !ok || res.PredLog != 2 {
+		t.Errorf("refreshed entry wrong: %v %v", res, ok)
+	}
+}
+
+func TestCacheInvalidateSystem(t *testing.T) {
+	c := NewCache(64)
+	rowT, rowC := []float64{1}, []float64{2}
+	keyT := HashKey("theta", 1, rowT)
+	keyC := HashKey("cori", 1, rowC)
+	c.Put(keyT, rowT, cacheBundleA, Result{PredLog: 1})
+	c.Put(keyC, rowC, cacheBundleC, Result{PredLog: 2})
+	if dropped := c.InvalidateSystem("theta"); dropped != 1 {
+		t.Errorf("dropped %d entries, want 1", dropped)
+	}
+	if _, ok := c.Get(keyT, rowT, cacheBundleA); ok {
+		t.Error("invalidated entry still resident")
+	}
+	if _, ok := c.Get(keyC, rowC, cacheBundleC); !ok {
+		t.Error("unrelated system's entry was dropped")
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
 	}
 }
 
@@ -55,12 +105,12 @@ func TestCacheLRUEviction(t *testing.T) {
 			keys = append(keys, key)
 		}
 	}
-	c.Put(keys[0], rows[0], Result{PredLog: 1})
-	c.Put(keys[1], rows[1], Result{PredLog: 2})
-	if _, ok := c.Get(keys[0], rows[0]); ok {
+	c.Put(keys[0], rows[0], cacheBundleA, Result{PredLog: 1})
+	c.Put(keys[1], rows[1], cacheBundleA, Result{PredLog: 2})
+	if _, ok := c.Get(keys[0], rows[0], cacheBundleA); ok {
 		t.Error("LRU entry not evicted from full shard")
 	}
-	if _, ok := c.Get(keys[1], rows[1]); !ok {
+	if _, ok := c.Get(keys[1], rows[1], cacheBundleA); !ok {
 		t.Error("fresh entry missing")
 	}
 }
@@ -79,16 +129,16 @@ func TestCacheRecencyOrder(t *testing.T) {
 			keys = append(keys, key)
 		}
 	}
-	c.Put(keys[0], rows[0], Result{PredLog: 1})
-	c.Put(keys[1], rows[1], Result{PredLog: 2})
-	if _, ok := c.Get(keys[0], rows[0]); !ok { // refresh 0; 1 is now LRU
+	c.Put(keys[0], rows[0], cacheBundleA, Result{PredLog: 1})
+	c.Put(keys[1], rows[1], cacheBundleA, Result{PredLog: 2})
+	if _, ok := c.Get(keys[0], rows[0], cacheBundleA); !ok { // refresh 0; 1 is now LRU
 		t.Fatal("warm entry missing")
 	}
-	c.Put(keys[2], rows[2], Result{PredLog: 3})
-	if _, ok := c.Get(keys[0], rows[0]); !ok {
+	c.Put(keys[2], rows[2], cacheBundleA, Result{PredLog: 3})
+	if _, ok := c.Get(keys[0], rows[0], cacheBundleA); !ok {
 		t.Error("recently used entry evicted")
 	}
-	if _, ok := c.Get(keys[1], rows[1]); ok {
+	if _, ok := c.Get(keys[1], rows[1], cacheBundleA); ok {
 		t.Error("least recently used entry survived")
 	}
 }
@@ -96,11 +146,14 @@ func TestCacheRecencyOrder(t *testing.T) {
 func TestNilCacheIsSafe(t *testing.T) {
 	var c *Cache
 	row := []float64{1}
-	if _, ok := c.Get(1, row); ok {
+	if _, ok := c.Get(1, row, cacheBundleA); ok {
 		t.Error("nil cache hit")
 	}
-	c.Put(1, row, Result{})
+	c.Put(1, row, cacheBundleA, Result{})
 	if c.Len() != 0 {
 		t.Error("nil cache has length")
+	}
+	if c.InvalidateSystem("theta") != 0 {
+		t.Error("nil cache invalidated entries")
 	}
 }

@@ -39,10 +39,23 @@ type Metrics struct {
 	// LatencyNs accumulates predict-path wall time in nanoseconds.
 	LatencyNs atomic.Uint64
 
+	// ReloadPolls / ReloadApplied / ReloadErrors describe the registry
+	// reloader: polls of the registry root, polls that changed the live
+	// version set, and poll or load failures.
+	ReloadPolls   atomic.Uint64
+	ReloadApplied atomic.Uint64
+	ReloadErrors  atomic.Uint64
+	// VersionSwaps counts bundles added, replaced, or retired by reloads.
+	VersionSwaps atomic.Uint64
+	// CacheInvalidated counts cache entries dropped on version bumps.
+	CacheInvalidated atomic.Uint64
+
 	// Latency is the predict-call latency histogram.
 	Latency LatencyHist
 	// perSystem maps system name -> *SystemMetrics.
 	perSystem sync.Map
+	// shadowStats maps ShadowKey -> *ShadowStat.
+	shadowStats sync.Map
 }
 
 // SystemMetrics are the per-system counter labels.
@@ -74,6 +87,159 @@ func (m *Metrics) Systems() []string {
 	})
 	sort.Strings(names)
 	return names
+}
+
+// ShadowKey labels one online version comparison: traffic served by
+// Primary, mirrored to Target in the given Role ("shadow" for v(N-1),
+// "canary" for a staged newer version).
+type ShadowKey struct {
+	System  string
+	Primary int
+	Target  int
+	Role    string
+}
+
+// ShadowStat accumulates the online deltas between a primary version and a
+// mirror target. Updates come from the shadow workers (off the predict
+// latency path), so a mutex over plain fields is fine here.
+type ShadowStat struct {
+	mu          sync.Mutex
+	mirrored    uint64
+	dropped     uint64
+	errors      uint64
+	absDeltaLog float64 // sum |Δ log10 throughput| across mirrored rows
+	absDelta    float64 // sum |Δ throughput| (bytes/s)
+	oodAgree    uint64  // rows where both versions' OoD flags match
+	oodTarget   uint64  // rows the target flagged OoD
+	latencyNs   uint64  // target evaluation wall time
+}
+
+// observe records one mirrored-row comparison.
+func (s *ShadowStat) observe(deltaLog, delta float64, agree, targetOoD bool, latNs uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mirrored++
+	s.absDeltaLog += deltaLog
+	s.absDelta += delta
+	if agree {
+		s.oodAgree++
+	}
+	if targetOoD {
+		s.oodTarget++
+	}
+	s.latencyNs += latNs
+}
+
+func (s *ShadowStat) observeDropped() {
+	s.mu.Lock()
+	s.dropped++
+	s.mu.Unlock()
+}
+
+func (s *ShadowStat) observeError() {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+// ShadowSnapshot is the exported view of one comparison's accumulated
+// deltas (served at GET /v1/versions and rendered into /metrics).
+type ShadowSnapshot struct {
+	System  string `json:"system"`
+	Primary int    `json:"primary"`
+	Target  int    `json:"target"`
+	Role    string `json:"role"`
+	// Mirrored counts rows evaluated on the target; Dropped rows shed when
+	// the mirror queue was full; Errors failed target evaluations.
+	Mirrored uint64 `json:"mirrored"`
+	Dropped  uint64 `json:"dropped,omitempty"`
+	Errors   uint64 `json:"errors,omitempty"`
+	// MAELog is the mean |Δ log10 throughput| between the versions; MAE
+	// the same delta in bytes/s.
+	MAELog float64 `json:"mae_log"`
+	MAE    float64 `json:"mae_bytes_per_sec"`
+	// OoDAgreement is the fraction of mirrored rows where both versions'
+	// OoD flags agreed; OoDTarget the fraction the target flagged.
+	OoDAgreement float64 `json:"ood_agreement"`
+	OoDTarget    float64 `json:"ood_target_rate"`
+	// MeanLatency is the target's mean per-row evaluation time in seconds.
+	MeanLatency float64 `json:"mean_latency_seconds"`
+}
+
+func (s *ShadowStat) snapshot(k ShadowKey) ShadowSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := ShadowSnapshot{
+		System: k.System, Primary: k.Primary, Target: k.Target, Role: k.Role,
+		Mirrored: s.mirrored, Dropped: s.dropped, Errors: s.errors,
+	}
+	if s.mirrored > 0 {
+		n := float64(s.mirrored)
+		snap.MAELog = s.absDeltaLog / n
+		snap.MAE = s.absDelta / n
+		snap.OoDAgreement = float64(s.oodAgree) / n
+		snap.OoDTarget = float64(s.oodTarget) / n
+		snap.MeanLatency = float64(s.latencyNs) / n / 1e9
+	}
+	return snap
+}
+
+// Shadow returns (creating on first use) the delta accumulator for one
+// version comparison.
+func (m *Metrics) Shadow(k ShadowKey) *ShadowStat {
+	if v, ok := m.shadowStats.Load(k); ok {
+		return v.(*ShadowStat)
+	}
+	v, _ := m.shadowStats.LoadOrStore(k, &ShadowStat{})
+	return v.(*ShadowStat)
+}
+
+// PruneShadow drops a system's comparisons whose primary or target
+// version is no longer live, so version churn over a long-running
+// deployment cannot grow /metrics cardinality (or the /v1/versions shadow
+// array) without bound. Returns the number of comparisons dropped.
+func (m *Metrics) PruneShadow(system string, live func(version int) bool) int {
+	dropped := 0
+	m.shadowStats.Range(func(k, _ any) bool {
+		key := k.(ShadowKey)
+		if key.System != system {
+			return true
+		}
+		if !live(key.Primary) || !live(key.Target) {
+			m.shadowStats.Delete(k)
+			dropped++
+		}
+		return true
+	})
+	return dropped
+}
+
+// ShadowSnapshots exports every comparison, sorted by (system, primary,
+// target, role). system filters when non-empty.
+func (m *Metrics) ShadowSnapshots(system string) []ShadowSnapshot {
+	var out []ShadowSnapshot
+	m.shadowStats.Range(func(k, v any) bool {
+		key := k.(ShadowKey)
+		if system != "" && key.System != system {
+			return true
+		}
+		out = append(out, v.(*ShadowStat).snapshot(key))
+		return true
+	})
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if x.System != y.System {
+			return x.System < y.System
+		}
+		if x.Primary != y.Primary {
+			return x.Primary < y.Primary
+		}
+		if x.Target != y.Target {
+			return x.Target < y.Target
+		}
+		return x.Role < y.Role
+	})
+	return out
 }
 
 // numLatencyBuckets is the finite bucket count of the latency histogram.
@@ -176,6 +342,11 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		{"ioserve_batched_rows_total", "Rows evaluated through micro-batches.", m.BatchedRows.Load()},
 		{"ioserve_errors_total", "Failed predict calls.", m.Errors.Load()},
 		{"ioserve_latency_ns_total", "Cumulative predict latency in nanoseconds.", m.LatencyNs.Load()},
+		{"ioserve_reload_polls_total", "Registry reload polls.", m.ReloadPolls.Load()},
+		{"ioserve_reloads_applied_total", "Reload polls that changed the live version set.", m.ReloadApplied.Load()},
+		{"ioserve_reload_errors_total", "Failed reload polls or version loads.", m.ReloadErrors.Load()},
+		{"ioserve_version_swaps_total", "Model bundles added, replaced, or retired by reloads.", m.VersionSwaps.Load()},
+		{"ioserve_cache_invalidated_total", "Cache entries dropped on version bumps.", m.CacheInvalidated.Load()},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.val); err != nil {
@@ -222,5 +393,49 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	if err := m.writeShadowText(w); err != nil {
+		return err
+	}
 	return m.Latency.writeText(w, "ioserve_request_latency_seconds")
+}
+
+// writeShadowText renders the per-comparison shadow series. Counters carry
+// {system, primary, target, role} labels; the derived means are gauges so
+// dashboards can plot the version delta without scraping two series.
+func (m *Metrics) writeShadowText(w io.Writer) error {
+	snaps := m.ShadowSnapshots("")
+	if len(snaps) == 0 {
+		return nil
+	}
+	series := []struct {
+		name, help, kind string
+		val              func(ShadowSnapshot) float64
+	}{
+		{"ioserve_shadow_mirrored_total", "Rows mirrored to a non-serving version.", "counter",
+			func(s ShadowSnapshot) float64 { return float64(s.Mirrored) }},
+		{"ioserve_shadow_dropped_total", "Mirror rows shed because the shadow queue was full.", "counter",
+			func(s ShadowSnapshot) float64 { return float64(s.Dropped) }},
+		{"ioserve_shadow_errors_total", "Failed mirror evaluations.", "counter",
+			func(s ShadowSnapshot) float64 { return float64(s.Errors) }},
+		{"ioserve_shadow_mae_log", "Mean |delta log10 throughput| between primary and target.", "gauge",
+			func(s ShadowSnapshot) float64 { return s.MAELog }},
+		{"ioserve_shadow_mae_bytes_per_sec", "Mean |delta throughput| between primary and target.", "gauge",
+			func(s ShadowSnapshot) float64 { return s.MAE }},
+		{"ioserve_shadow_ood_agreement", "Fraction of mirrored rows with matching OoD flags.", "gauge",
+			func(s ShadowSnapshot) float64 { return s.OoDAgreement }},
+		{"ioserve_shadow_latency_seconds_mean", "Mean target evaluation time per mirrored row.", "gauge",
+			func(s ShadowSnapshot) float64 { return s.MeanLatency }},
+	}
+	for _, sr := range series {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", sr.name, sr.help, sr.name, sr.kind); err != nil {
+			return err
+		}
+		for _, s := range snaps {
+			if _, err := fmt.Fprintf(w, "%s{system=%q,primary=\"%d\",target=\"%d\",role=%q} %g\n",
+				sr.name, s.System, s.Primary, s.Target, s.Role, sr.val(s)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

@@ -126,3 +126,25 @@ func TestPerSystemMetrics(t *testing.T) {
 		t.Error("unknown system leaked into labeled series")
 	}
 }
+
+func TestPruneShadowDropsRetiredComparisons(t *testing.T) {
+	m := &Metrics{}
+	m.Shadow(ShadowKey{"theta", 2, 1, RoleShadow}).observe(0.1, 1, true, false, 100)
+	m.Shadow(ShadowKey{"theta", 3, 2, RoleShadow}).observe(0.2, 2, true, false, 100)
+	m.Shadow(ShadowKey{"cori", 2, 1, RoleShadow}).observe(0.3, 3, true, false, 100)
+	// theta v1 retired: only the comparison touching it goes; cori's
+	// identical-looking key is out of scope.
+	live := map[int]bool{2: true, 3: true}
+	if dropped := m.PruneShadow("theta", func(v int) bool { return live[v] }); dropped != 1 {
+		t.Fatalf("dropped %d comparisons, want 1", dropped)
+	}
+	snaps := m.ShadowSnapshots("")
+	if len(snaps) != 2 {
+		t.Fatalf("%d comparisons survive, want 2: %+v", len(snaps), snaps)
+	}
+	for _, s := range snaps {
+		if s.System == "theta" && s.Target == 1 {
+			t.Errorf("retired comparison survived: %+v", s)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"iotaxo/internal/dataset"
 	"iotaxo/internal/gbt"
@@ -116,6 +117,7 @@ type VersionInfo struct {
 	System       string      `json:"system"`
 	Version      int         `json:"version"`
 	Latest       bool        `json:"latest"`
+	Active       bool        `json:"active"`
 	Features     int         `json:"features"`
 	Trees        int         `json:"trees"`
 	EnsembleSize int         `json:"ensemble_size"`
@@ -123,47 +125,295 @@ type VersionInfo struct {
 	TrainedOn    int         `json:"trained_on,omitempty"`
 }
 
-// Registry holds the loaded bundles, newest version last per system.
+// Registry holds the loaded bundles behind a copy-on-write snapshot, so a
+// live reload can swap model versions under concurrent predict traffic.
+//
+// Locking contract (pinned by TestRegistryGetNeverObservesPartialVersion and
+// the -race CI job):
+//
+//   - Readers (Get, Systems, NumVersions, List, ActiveVersion,
+//     ShadowTargets) load the snapshot pointer atomically and never take a
+//     lock. A snapshot is immutable after publication, so a reader can
+//     never observe a torn version list or a partially-validated
+//     ModelVersion — it sees the registry entirely before or entirely
+//     after any mutation.
+//   - Writers (Add, AddOrReplace, Remove, Promote, Rollback) serialize on
+//     writeMu, validate fully *before* touching shared state, build a
+//     fresh snapshot by cloning (published maps and slices are never
+//     mutated in place), and publish with a single atomic store.
+//   - *ModelVersion bundles are immutable once registered. A reload never
+//     mutates a bundle; it loads a new one and swaps the pointer.
 type Registry struct {
-	mu      sync.RWMutex
+	// writeMu serializes mutators; it is never held by readers.
+	writeMu sync.Mutex
+	snap    atomic.Pointer[registrySnap]
+}
+
+// registrySnap is one immutable registry state. Versions are sorted
+// ascending per system. active pins the serving default for a system; a
+// system with no entry auto-tracks its highest version (so a freshly
+// reloaded version goes live immediately unless an operator pinned one).
+// prior remembers the effective default before the last Promote, for
+// Rollback.
+type registrySnap struct {
 	systems map[string][]*ModelVersion
+	active  map[string]int
+	prior   map[string]int
+}
+
+func newRegistrySnap() *registrySnap {
+	return &registrySnap{
+		systems: make(map[string][]*ModelVersion),
+		active:  make(map[string]int),
+		prior:   make(map[string]int),
+	}
+}
+
+// clone deep-copies the snapshot's containers (bundles are shared — they
+// are immutable).
+func (s *registrySnap) clone() *registrySnap {
+	ns := &registrySnap{
+		systems: make(map[string][]*ModelVersion, len(s.systems)),
+		active:  make(map[string]int, len(s.active)),
+		prior:   make(map[string]int, len(s.prior)),
+	}
+	for k, vs := range s.systems {
+		ns.systems[k] = append([]*ModelVersion(nil), vs...)
+	}
+	for k, v := range s.active {
+		ns.active[k] = v
+	}
+	for k, v := range s.prior {
+		ns.prior[k] = v
+	}
+	return ns
+}
+
+// activeVersion resolves a system's serving default: the pinned version if
+// one is set (and still registered), else the highest registered version.
+// Returns 0 for an unknown system.
+func (s *registrySnap) activeVersion(system string) int {
+	vs := s.systems[system]
+	if len(vs) == 0 {
+		return 0
+	}
+	if av, ok := s.active[system]; ok {
+		for _, mv := range vs {
+			if mv.Version == av {
+				return av
+			}
+		}
+	}
+	return vs[len(vs)-1].Version
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{systems: make(map[string][]*ModelVersion)}
+	r := &Registry{}
+	r.snap.Store(newRegistrySnap())
+	return r
 }
 
 // Add registers a bundle after validation. Duplicate (system, version)
 // pairs are rejected.
 func (r *Registry) Add(mv *ModelVersion) error {
+	_, err := r.insert(mv, false)
+	return err
+}
+
+// AddOrReplace registers a bundle, swapping out any existing bundle with
+// the same (system, version) — the reloader's path when a version directory
+// is rewritten in place. Reports whether an existing bundle was replaced.
+func (r *Registry) AddOrReplace(mv *ModelVersion) (bool, error) {
+	return r.insert(mv, true)
+}
+
+func (r *Registry) insert(mv *ModelVersion, replace bool) (bool, error) {
 	if err := mv.validate(); err != nil {
-		return err
+		return false, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	vs := r.systems[mv.System]
-	for _, have := range vs {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	snap := r.snap.Load().clone()
+	vs := snap.systems[mv.System]
+	replacedAt := -1
+	for i, have := range vs {
 		if have.Version == mv.Version {
-			return fmt.Errorf("serve: model %s v%d already registered", mv.System, mv.Version)
+			if !replace {
+				return false, fmt.Errorf("serve: model %s v%d already registered", mv.System, mv.Version)
+			}
+			replacedAt = i
 		}
 	}
-	vs = append(vs, mv)
-	sort.Slice(vs, func(a, b int) bool { return vs[a].Version < vs[b].Version })
-	r.systems[mv.System] = vs
+	if replacedAt >= 0 {
+		vs[replacedAt] = mv
+	} else {
+		vs = append(vs, mv)
+		sort.Slice(vs, func(a, b int) bool { return vs[a].Version < vs[b].Version })
+	}
+	snap.systems[mv.System] = vs
+	r.snap.Store(snap)
+	return replacedAt >= 0, nil
+}
+
+// Remove retires a registered bundle (e.g. its version directory vanished
+// from disk). A pin pointing at the removed version is dropped, so the
+// system falls back to auto-tracking its highest remaining version.
+func (r *Registry) Remove(system string, version int) error {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	snap := r.snap.Load().clone()
+	vs := snap.systems[system]
+	at := -1
+	for i, mv := range vs {
+		if mv.Version == version {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return fmt.Errorf("%w: system %q version %d", ErrUnknownModel, system, version)
+	}
+	vs = append(vs[:at:at], vs[at+1:]...)
+	if len(vs) == 0 {
+		delete(snap.systems, system)
+	} else {
+		snap.systems[system] = vs
+	}
+	if snap.active[system] == version {
+		delete(snap.active, system)
+	}
+	if snap.prior[system] == version {
+		delete(snap.prior, system)
+	}
+	r.snap.Store(snap)
 	return nil
 }
 
-// Get returns the bundle for a system. version <= 0 selects the latest.
+// Promote pins version as system's serving default (what version <= 0
+// requests resolve to). The previously effective default is remembered for
+// Rollback. Pinning also freezes auto-tracking: a higher version arriving
+// later via reload becomes a canary (shadow-evaluated, not served) until
+// it is promoted in turn.
+func (r *Registry) Promote(system string, version int) error {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	snap := r.snap.Load().clone()
+	found := false
+	for _, mv := range snap.systems[system] {
+		if mv.Version == version {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: system %q version %d", ErrUnknownModel, system, version)
+	}
+	if prev := snap.activeVersion(system); prev != version {
+		snap.prior[system] = prev
+	}
+	snap.active[system] = version
+	r.snap.Store(snap)
+	return nil
+}
+
+// Rollback reverts system's serving default to the version that was
+// effective before the last Promote, returning the now-active version.
+// Rolling back a promote that pinned the already-active version clears
+// the pin instead, restoring auto-tracking of the highest version.
+func (r *Registry) Rollback(system string) (int, error) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	snap := r.snap.Load().clone()
+	if len(snap.systems[system]) == 0 {
+		return 0, fmt.Errorf("%w: system %q", ErrUnknownModel, system)
+	}
+	prev, ok := snap.prior[system]
+	if !ok {
+		if _, pinned := snap.active[system]; pinned {
+			delete(snap.active, system)
+			r.snap.Store(snap)
+			return snap.activeVersion(system), nil
+		}
+		return 0, fmt.Errorf("serve: system %q has no promotion to roll back", system)
+	}
+	found := false
+	for _, mv := range snap.systems[system] {
+		if mv.Version == prev {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("serve: rollback target %s v%d is no longer registered", system, prev)
+	}
+	snap.prior[system] = snap.activeVersion(system)
+	snap.active[system] = prev
+	r.snap.Store(snap)
+	return prev, nil
+}
+
+// ActiveVersion reports the serving default for a system.
+func (r *Registry) ActiveVersion(system string) (int, error) {
+	v := r.snap.Load().activeVersion(system)
+	if v == 0 {
+		return 0, fmt.Errorf("%w: system %q", ErrUnknownModel, system)
+	}
+	return v, nil
+}
+
+// Pinned reports whether a promotion holds system's serving default
+// (freezing auto-tracking of the highest version). A pin whose version
+// was since removed does not count — the system is auto-tracking again.
+func (r *Registry) Pinned(system string) bool {
+	snap := r.snap.Load()
+	av, ok := snap.active[system]
+	if !ok {
+		return false
+	}
+	for _, mv := range snap.systems[system] {
+		if mv.Version == av {
+			return true
+		}
+	}
+	return false
+}
+
+// ShadowTargets returns the comparison bundles adjacent to a system's
+// active version: prev is the next-lower registered version (the shadow,
+// v(N-1)), canary the next-higher one (present only while a pin holds a
+// newer reloaded version out of the serving path). Either may be nil.
+func (r *Registry) ShadowTargets(system string) (prev, canary *ModelVersion) {
+	snap := r.snap.Load()
+	vs := snap.systems[system]
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	av := snap.activeVersion(system)
+	for i, mv := range vs {
+		if mv.Version == av {
+			if i > 0 {
+				prev = vs[i-1]
+			}
+			if i+1 < len(vs) {
+				canary = vs[i+1]
+			}
+			return prev, canary
+		}
+	}
+	return nil, nil
+}
+
+// Get returns the bundle for a system. version <= 0 selects the serving
+// default (the promoted version, or the highest registered one).
 func (r *Registry) Get(system string, version int) (*ModelVersion, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	vs := r.systems[system]
+	snap := r.snap.Load()
+	vs := snap.systems[system]
 	if len(vs) == 0 {
 		return nil, fmt.Errorf("%w: system %q", ErrUnknownModel, system)
 	}
 	if version <= 0 {
-		return vs[len(vs)-1], nil
+		version = snap.activeVersion(system)
 	}
 	for _, mv := range vs {
 		if mv.Version == version {
@@ -175,17 +425,13 @@ func (r *Registry) Get(system string, version int) (*ModelVersion, error) {
 
 // Systems returns the registered system names, sorted.
 func (r *Registry) Systems() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.systemsLocked()
+	return r.snap.Load().systemNames()
 }
 
 // NumVersions returns the total bundle count.
 func (r *Registry) NumVersions() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	n := 0
-	for _, vs := range r.systems {
+	for _, vs := range r.snap.Load().systems {
 		n += len(vs)
 	}
 	return n
@@ -193,16 +439,17 @@ func (r *Registry) NumVersions() int {
 
 // List describes every bundle, sorted by (system, version).
 func (r *Registry) List() []VersionInfo {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	snap := r.snap.Load()
 	var out []VersionInfo
-	for _, system := range r.systemsLocked() {
-		vs := r.systems[system]
+	for _, system := range snap.systemNames() {
+		vs := snap.systems[system]
+		av := snap.activeVersion(system)
 		for i, mv := range vs {
 			info := VersionInfo{
 				System:    mv.System,
 				Version:   mv.Version,
 				Latest:    i == len(vs)-1,
+				Active:    mv.Version == av,
 				Features:  len(mv.Columns),
 				Trees:     mv.Model.NumTrees(),
 				Guard:     mv.Guard,
@@ -217,10 +464,10 @@ func (r *Registry) List() []VersionInfo {
 	return out
 }
 
-func (r *Registry) systemsLocked() []string {
-	out := make([]string, 0, len(r.systems))
-	for s := range r.systems {
-		out = append(out, s)
+func (s *registrySnap) systemNames() []string {
+	out := make([]string, 0, len(s.systems))
+	for name := range s.systems {
+		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
@@ -330,6 +577,12 @@ func loadVersionDir(dir, wantSystem string) (*ModelVersion, error) {
 			return nil, fmt.Errorf("serve: manifest in %s: %w", dir, err)
 		}
 	}
+	// Validate here, not just at registration: loadVersionDir is the trust
+	// boundary for on-disk input (including live-reloaded directories), so
+	// it must never hand back a bundle the registry would refuse.
+	if err := mv.validate(); err != nil {
+		return nil, fmt.Errorf("serve: manifest in %s: %w", dir, err)
+	}
 	return mv, nil
 }
 
@@ -370,7 +623,10 @@ func readNN(path string) (*nn.Model, error) {
 }
 
 // SaveVersion writes a bundle into the registry layout under root, creating
-// <root>/<system>/v<version>/ and its manifest and artifacts.
+// <root>/<system>/v<version>/ and its manifest and artifacts. The manifest
+// is written last: LoadRegistry and the reloader skip directories without a
+// manifest, so its appearance is what publishes the version — a concurrent
+// reload poll never loads a half-written directory.
 func SaveVersion(root string, mv *ModelVersion) error {
 	if err := mv.validate(); err != nil {
 		return err
@@ -404,8 +660,33 @@ func SaveVersion(root string, mv *ModelVersion) error {
 	if err != nil {
 		return fmt.Errorf("serve: encoding manifest: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestName), append(raw, '\n'), 0o644); err != nil {
-		return fmt.Errorf("serve: writing manifest: %w", err)
+	return writeManifestAtomic(dir, append(raw, '\n'))
+}
+
+// writeManifestAtomic publishes a manifest via temp-file-and-rename, so a
+// reload poll racing the publisher can never read a half-written manifest
+// — it sees either no manifest (directory skipped) or the complete one.
+func writeManifestAtomic(dir string, raw []byte) error {
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("serve: staging manifest in %s: %w", dir, err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: staging manifest in %s: %w", dir, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: staging manifest in %s: %w", dir, err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: staging manifest in %s: %w", dir, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: publishing manifest in %s: %w", dir, err)
 	}
 	return nil
 }

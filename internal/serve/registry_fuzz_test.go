@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzModelJSON is a minimal valid gbt model file: one single-leaf tree
+// over two features.
+const fuzzModelJSON = `{"version":1,"params":{"NumTrees":1,"MaxDepth":1,"LearningRate":0.1,` +
+	`"Subsample":1,"ColSample":1,"MinChildWeight":1,"Lambda":1,"NumBins":2,"Seed":1},` +
+	`"bias":0.5,"n_feature":2,"gain":[0,0],"trees":[[{"f":-1,"v":0.25}]]}`
+
+// fuzzManifestJSON matches fuzzModelJSON: two columns, no ensemble.
+const fuzzManifestJSON = `{"system":"theta","version":1,"columns":["a","b"],` +
+	`"model":"model.gbt.json","guard":{"eu_threshold":0.5}}`
+
+// FuzzLoadVersionDir hardens the registry's trust boundary: version
+// directories arrive from disk (startup load and live reload), so a
+// truncated or hostile manifest/model pair must produce an error — never a
+// panic, and never a bundle that fails validation. Checked-in seeds live
+// in testdata/fuzz/FuzzLoadVersionDir.
+func FuzzLoadVersionDir(f *testing.F) {
+	man := []byte(fuzzManifestJSON)
+	mod := []byte(fuzzModelJSON)
+	f.Add(man, mod)
+	f.Add(man[:len(man)/2], mod) // truncated manifest
+	f.Add(man, mod[:len(mod)/2]) // truncated model
+	f.Add([]byte(`{"system":"theta","version":1,"columns":["a","b"],"model":"../../etc/passwd","guard":{}}`), mod)
+	f.Add([]byte(`{"system":"cori","version":1,"columns":["a","b"],"model":"model.gbt.json","guard":{}}`), mod)
+	f.Add([]byte(`{"system":"theta","version":7,"columns":["a","b"],"model":"model.gbt.json","guard":{}}`), mod)
+	f.Add([]byte(`{"system":"theta","version":1,"columns":["a"],"model":"model.gbt.json","guard":{}}`), mod)
+	f.Add([]byte(`{"system":"theta","version":1,"columns":["a","b"],"model":"model.gbt.json",`+
+		`"ensemble":["member_0.nn.json"],"guard":{}}`), mod)
+	f.Add([]byte(`{not json`), []byte(`{not json`))
+
+	f.Fuzz(func(t *testing.T, manifest, model []byte) {
+		dir := filepath.Join(t.TempDir(), "v1")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, manifestName), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, gbtModelName), model, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mv, err := loadVersionDir(dir, "theta")
+		if err != nil {
+			if mv != nil {
+				t.Fatal("loadVersionDir returned a bundle alongside an error")
+			}
+			return
+		}
+		// The loader is the trust boundary: anything it accepts must pass
+		// full validation and be registrable.
+		if verr := mv.validate(); verr != nil {
+			t.Fatalf("loadVersionDir accepted an invalid bundle: %v", verr)
+		}
+		if mv.System != "theta" || mv.Version != 1 {
+			t.Fatalf("accepted bundle claims %s v%d from theta/v1", mv.System, mv.Version)
+		}
+		if err := NewRegistry().Add(mv); err != nil {
+			t.Fatalf("accepted bundle rejected by registry: %v", err)
+		}
+	})
+}

@@ -180,16 +180,173 @@ func TestLoadRegistryEmptyRoot(t *testing.T) {
 	}
 }
 
+func TestRegistryPromoteRollback(t *testing.T) {
+	_, v1, v2 := fixture(t)
+	reg := NewRegistry()
+	if err := reg.Add(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(v2); err != nil {
+		t.Fatal(err)
+	}
+	// Default: auto-track the highest version.
+	if av, err := reg.ActiveVersion("theta"); err != nil || av != 2 {
+		t.Fatalf("default active %d (%v), want 2", av, err)
+	}
+	// Promote pins v1; version<=0 Gets follow the pin.
+	if err := reg.Promote("theta", 1); err != nil {
+		t.Fatal(err)
+	}
+	if mv, err := reg.Get("theta", 0); err != nil || mv.Version != 1 {
+		t.Fatalf("pinned Get: %v %v", mv, err)
+	}
+	// Rollback restores the pre-promote default (v2), and toggling back
+	// works because rollback records the state it replaced.
+	if v, err := reg.Rollback("theta"); err != nil || v != 2 {
+		t.Fatalf("rollback: %d %v", v, err)
+	}
+	if v, err := reg.Rollback("theta"); err != nil || v != 1 {
+		t.Fatalf("second rollback: %d %v", v, err)
+	}
+	// Errors: unknown version / system, nothing to roll back.
+	if err := reg.Promote("theta", 9); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("promote of missing version: %v", err)
+	}
+	if err := reg.Promote("frontier", 1); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("promote of missing system: %v", err)
+	}
+	if _, err := reg.Rollback("frontier"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("rollback of missing system: %v", err)
+	}
+	fresh := NewRegistry()
+	if err := fresh.Add(v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Rollback("theta"); err == nil {
+		t.Error("rollback without promotion succeeded")
+	}
+}
+
+func TestRegistryPinCurrentAndUnpin(t *testing.T) {
+	_, v1, v2 := fixture(t)
+	reg := NewRegistry()
+	if err := reg.Add(v1); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Pinned("theta") {
+		t.Error("fresh system reported pinned")
+	}
+	// Promote the already-active version: a pure pin (freeze
+	// auto-tracking) with no prior to return to.
+	if err := reg.Promote("theta", 1); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Pinned("theta") {
+		t.Error("pin of the active version not reported")
+	}
+	// A newer version arriving now stages as a canary instead of serving.
+	if err := reg.Add(v2); err != nil {
+		t.Fatal(err)
+	}
+	if mv, err := reg.Get("theta", 0); err != nil || mv.Version != 1 {
+		t.Fatalf("pin did not freeze auto-tracking: %v %v", mv, err)
+	}
+	// Rollback of a pure pin clears it, restoring auto-tracking — the
+	// pin must never be irreversible.
+	v, err := reg.Rollback("theta")
+	if err != nil || v != 2 {
+		t.Fatalf("unpin rollback: %d %v", v, err)
+	}
+	if reg.Pinned("theta") {
+		t.Error("pin survived rollback")
+	}
+	if mv, err := reg.Get("theta", 0); err != nil || mv.Version != 2 {
+		t.Fatalf("auto-tracking not restored: %v %v", mv, err)
+	}
+}
+
+func TestRegistryShadowTargets(t *testing.T) {
+	_, v1, v2 := fixture(t)
+	reg := NewRegistry()
+	if err := reg.Add(v1); err != nil {
+		t.Fatal(err)
+	}
+	// Single version: nothing to compare against.
+	if prev, canary := reg.ShadowTargets("theta"); prev != nil || canary != nil {
+		t.Errorf("single-version targets: %v %v", prev, canary)
+	}
+	if err := reg.Add(v2); err != nil {
+		t.Fatal(err)
+	}
+	// Auto-tracking v2: v1 is the shadow, no canary.
+	prev, canary := reg.ShadowTargets("theta")
+	if prev == nil || prev.Version != 1 || canary != nil {
+		t.Errorf("auto-track targets: %v %v", prev, canary)
+	}
+	// Pinned to v1: no shadow below, v2 becomes the canary.
+	if err := reg.Promote("theta", 1); err != nil {
+		t.Fatal(err)
+	}
+	prev, canary = reg.ShadowTargets("theta")
+	if prev != nil || canary == nil || canary.Version != 2 {
+		t.Errorf("pinned targets: %v %v", prev, canary)
+	}
+	if p, c := reg.ShadowTargets("frontier"); p != nil || c != nil {
+		t.Errorf("unknown system targets: %v %v", p, c)
+	}
+}
+
+func TestRegistryAddOrReplaceAndRemove(t *testing.T) {
+	_, v1, v2 := fixture(t)
+	reg := NewRegistry()
+	if err := reg.Add(v1); err != nil {
+		t.Fatal(err)
+	}
+	// Replace v1 in place with a distinct bundle identity.
+	v1b := *v1
+	replaced, err := reg.AddOrReplace(&v1b)
+	if err != nil || !replaced {
+		t.Fatalf("replace: %v %v", replaced, err)
+	}
+	got, err := reg.Get("theta", 1)
+	if err != nil || got != &v1b {
+		t.Fatalf("replacement not visible: %v %v", got, err)
+	}
+	if replaced, err := reg.AddOrReplace(v2); err != nil || replaced {
+		t.Fatalf("fresh AddOrReplace: %v %v", replaced, err)
+	}
+	// Removing the active pinned version drops the pin.
+	if err := reg.Promote("theta", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Remove("theta", 2); err != nil {
+		t.Fatal(err)
+	}
+	if mv, err := reg.Get("theta", 0); err != nil || mv.Version != 1 {
+		t.Fatalf("after removing pinned active: %v %v", mv, err)
+	}
+	if err := reg.Remove("theta", 2); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("double remove: %v", err)
+	}
+	// Removing the last version retires the system entirely.
+	if err := reg.Remove("theta", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("theta", 0); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("empty system still resolvable: %v", err)
+	}
+}
+
 func TestRegistryList(t *testing.T) {
 	reg := fixtureRegistry(t)
 	list := reg.List()
 	if len(list) != 2 {
 		t.Fatalf("listed %d versions, want 2", len(list))
 	}
-	if list[0].Version != 1 || list[0].Latest {
+	if list[0].Version != 1 || list[0].Latest || list[0].Active {
 		t.Errorf("v1 entry wrong: %+v", list[0])
 	}
-	if list[1].Version != 2 || !list[1].Latest {
+	if list[1].Version != 2 || !list[1].Latest || !list[1].Active {
 		t.Errorf("v2 entry wrong: %+v", list[1])
 	}
 	if list[1].EnsembleSize != 3 || list[1].Trees == 0 || list[1].Features == 0 {

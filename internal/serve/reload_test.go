@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// removeVersionDir deletes <root>/<system>/v<version> from disk.
+func removeVersionDir(t *testing.T, root, system string, version int) {
+	t.Helper()
+	dir := filepath.Join(root, system, "v"+strconv.Itoa(version))
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeCorruptVersionDir publishes a version directory whose manifest is
+// well-formed but whose model artifact is garbage.
+func writeCorruptVersionDir(t *testing.T, root, system string, version int) {
+	t.Helper()
+	dir := filepath.Join(root, system, "v"+strconv.Itoa(version))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, gbtModelName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest := `{"system":"` + system + `","version":` + strconv.Itoa(version) +
+		`,"columns":["a","b"],"model":"` + gbtModelName + `","guard":{"eu_threshold":0}}`
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// diskService loads a SaveVersion'd registry from dir into a fresh service
+// with a manual-only reloader.
+func diskService(t *testing.T, dir string, opt Options) (*Service, *Reloader) {
+	t.Helper()
+	reg, err := LoadRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(reg, opt)
+	t.Cleanup(svc.Close)
+	rel, err := NewReloader(svc, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, rel
+}
+
+func TestReloaderAddReplaceRemove(t *testing.T) {
+	_, v1, v2 := fixture(t)
+	dir := t.TempDir()
+	if err := SaveVersion(dir, v1); err != nil {
+		t.Fatal(err)
+	}
+	svc, rel := diskService(t, dir, Options{MaxDelay: time.Millisecond, CacheSize: 1024})
+
+	// No change: a poll is a no-op.
+	stats, err := rel.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Changed() {
+		t.Fatalf("no-op poll applied changes: %+v", stats)
+	}
+
+	// Add: publish v2.
+	if err := SaveVersion(dir, v2); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = rel.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added != 1 || stats.Replaced != 0 || stats.Removed != 0 {
+		t.Fatalf("add poll: %+v", stats)
+	}
+	mv, err := svc.Registry().Get("theta", 0)
+	if err != nil || mv.Version != 2 {
+		t.Fatalf("latest after add: %v %v", mv, err)
+	}
+
+	// Replace: rewrite v2's directory in place (same version number, new
+	// artifacts — here just rewritten bytes); the bundle pointer must
+	// change and cached v2 entries must be invalidated.
+	before := mv
+	frame, _, _ := fixture(t)
+	if _, _, err := svc.Predict(context.Background(), "theta", 0, [][]float64{frame.Row(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if svc.cache.Len() == 0 {
+		t.Fatal("expected a cached v2 entry")
+	}
+	// Force a new mtime so the fingerprint flips even on coarse clocks.
+	mpath := filepath.Join(dir, "theta", "v2", manifestName)
+	raw, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpath, append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = rel.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replaced != 1 {
+		t.Fatalf("replace poll: %+v", stats)
+	}
+	if stats.Invalidated == 0 {
+		t.Error("replace did not invalidate cached entries")
+	}
+	after, err := svc.Registry().Get("theta", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before {
+		t.Error("replace kept the old bundle pointer")
+	}
+
+	// Remove: retire v2 on disk; latest falls back to v1.
+	removeVersionDir(t, dir, "theta", 2)
+	stats, err = rel.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Removed != 1 {
+		t.Fatalf("remove poll: %+v", stats)
+	}
+	if mv, err = svc.Registry().Get("theta", 0); err != nil || mv.Version != 1 {
+		t.Fatalf("latest after remove: %v %v", mv, err)
+	}
+	if _, err := svc.Registry().Get("theta", 2); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("retired version still resolvable: %v", err)
+	}
+}
+
+func TestReloaderBumpVersion(t *testing.T) {
+	_, v1, _ := fixture(t)
+	dir := t.TempDir()
+	if err := SaveVersion(dir, v1); err != nil {
+		t.Fatal(err)
+	}
+	svc, rel := diskService(t, dir, Options{MaxDelay: time.Millisecond})
+	v, err := BumpVersion(dir, "theta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("bumped to v%d, want v2", v)
+	}
+	if _, err := rel.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	mv, err := svc.Registry().Get("theta", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bumped bundle is byte-identical except the version.
+	frame, _, _ := fixture(t)
+	if got, want := mv.Model.Predict(frame.Row(0)), v1.Model.Predict(frame.Row(0)); got != want {
+		t.Errorf("bumped model predicts %v, want %v", got, want)
+	}
+	if _, err := BumpVersion(dir, "frontier"); err == nil {
+		t.Error("bump of unknown system succeeded")
+	}
+}
+
+// TestConcurrentPredictDuringReloadAndPromote is the concurrency torture
+// test: N goroutines predict while reloads (on-disk bumps + polls) and
+// promote/rollback churn run concurrently. Every response must succeed and
+// report a version that was live at some point; the -race CI job turns any
+// torn snapshot or locking slip into a hard failure.
+func TestConcurrentPredictDuringReloadAndPromote(t *testing.T) {
+	frame, v1, v2 := fixture(t)
+	dir := t.TempDir()
+	if err := SaveVersion(dir, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveVersion(dir, v2); err != nil {
+		t.Fatal(err)
+	}
+	svc, rel := diskService(t, dir, Options{
+		MaxBatch: 8, MaxDelay: 100 * time.Microsecond, CacheSize: 4096,
+		ShadowFraction: 0.5,
+	})
+
+	const (
+		readers  = 8
+		duration = 600 * time.Millisecond
+	)
+	var (
+		highest  atomic.Int64 // highest version ever published
+		failures atomic.Int64
+		served   atomic.Int64
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	highest.Store(2)
+	ctx := context.Background()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rows := [][]float64{frame.Row(r), frame.Row(r + 8), frame.Row(r)}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				results, mv, err := svc.Predict(ctx, "theta", 0, rows)
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("predict failed: %v", err)
+					return
+				}
+				served.Add(1)
+				// No torn reads: the reported version must be one that
+				// has been live (1..highest published), and the whole
+				// response must come from that single bundle.
+				if int64(mv.Version) < 1 || int64(mv.Version) > highest.Load() {
+					failures.Add(1)
+					t.Errorf("served version %d was never live (max %d)", mv.Version, highest.Load())
+					return
+				}
+				if len(results) != len(rows) {
+					failures.Add(1)
+					t.Errorf("short response: %d results", len(results))
+					return
+				}
+				want := mv.Model.Predict(rows[0])
+				if results[0].Log10Throughput != want {
+					failures.Add(1)
+					t.Errorf("response row inconsistent with reported bundle v%d", mv.Version)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Mutator 1: on-disk version bumps + reload polls.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(40 * time.Millisecond):
+			}
+			v, err := BumpVersion(dir, "theta")
+			if err != nil {
+				t.Errorf("bump: %v", err)
+				return
+			}
+			// Publish the new ceiling before the reload can serve it.
+			highest.Store(int64(v))
+			if _, err := rel.Poll(); err != nil {
+				t.Errorf("poll: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Mutator 2: promote/rollback churn across whatever is registered.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(13 * time.Millisecond):
+			}
+			reg := svc.Registry()
+			target := 1 + i%int(highest.Load())
+			if err := reg.Promote("theta", target); err != nil && !errors.Is(err, ErrUnknownModel) {
+				t.Errorf("promote: %v", err)
+				return
+			}
+			if i%3 == 2 {
+				if _, err := reg.Rollback("theta"); err != nil && !errors.Is(err, ErrUnknownModel) {
+					// "no promotion to roll back" is legal churn noise.
+					continue
+				}
+			}
+		}
+	}()
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d failures across %d served requests", failures.Load(), served.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("torture test served nothing")
+	}
+	t.Logf("served %d requests across versions 1..%d", served.Load(), highest.Load())
+}
+
+// TestRegistryGetNeverObservesPartialVersion pins the locking contract:
+// concurrent Gets during Add/Remove churn must only ever see fully
+// validated bundles, and an invalid Add must be rejected without ever
+// becoming visible.
+func TestRegistryGetNeverObservesPartialVersion(t *testing.T) {
+	_, v1, v2 := fixture(t)
+	reg := NewRegistry()
+	if err := reg.Add(v1); err != nil {
+		t.Fatal(err)
+	}
+
+	invalid := *v2
+	invalid.Columns = v2.Columns[:len(v2.Columns)-1] // breaks schema/model width
+
+	var (
+		stop = make(chan struct{})
+		wg   sync.WaitGroup
+	)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mv, err := reg.Get("theta", 0)
+				if err != nil {
+					t.Errorf("system vanished mid-churn: %v", err)
+					return
+				}
+				// A visible bundle must always be complete: validate()
+				// re-checks every invariant Add enforces.
+				if verr := mv.validate(); verr != nil {
+					t.Errorf("observed partially-validated bundle: %v", verr)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// The invalid bundle must never register.
+			if err := reg.Add(&invalid); err == nil {
+				t.Error("invalid bundle accepted")
+				return
+			}
+			if err := reg.Add(v2); err != nil {
+				t.Errorf("add v2: %v", err)
+				return
+			}
+			if err := reg.Remove("theta", 2); err != nil {
+				t.Errorf("remove v2: %v", err)
+				return
+			}
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestShadowSamplingDeterministic: the mirror decision is a pure function
+// of the feature vector, so the same row is always in (or always out) and
+// the sampled fraction tracks the configured one.
+func TestShadowSamplingDeterministic(t *testing.T) {
+	m := &Metrics{}
+	s := NewShadow(NewRegistry(), 0.3, 1, 16, m)
+	defer s.Close()
+	frame, _, _ := fixture(t)
+	in := 0
+	for i := 0; i < frame.Len(); i++ {
+		h := HashKey("theta", 0, frame.Row(i))
+		first := s.sampled(h)
+		for k := 0; k < 3; k++ {
+			if s.sampled(h) != first {
+				t.Fatalf("row %d sampling flapped", i)
+			}
+		}
+		if first {
+			in++
+		}
+	}
+	frac := float64(in) / float64(frame.Len())
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("sampled fraction %.2f far from configured 0.30", frac)
+	}
+	if NewShadow(NewRegistry(), 0, 1, 1, m) != nil {
+		t.Error("zero fraction built a shadow")
+	}
+	full := NewShadow(NewRegistry(), 1.0, 1, 16, m)
+	defer full.Close()
+	for i := 0; i < 32; i++ {
+		if !full.sampled(HashKey("theta", 0, frame.Row(i))) {
+			t.Errorf("fraction 1.0 skipped row %d", i)
+		}
+	}
+}

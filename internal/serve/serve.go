@@ -17,16 +17,24 @@
 //	guard     — every evaluated prediction is annotated with the taxonomy
 //	            guardrail: epistemic OoD flag and noise-floor diagnosis
 //	            (guard.go)
+//	reload    — the registry root is watched by polling; new or rewritten
+//	            version directories are loaded, swapped in atomically, and
+//	            the bumped system's cache entries invalidated (reload.go)
+//	shadow    — a deterministic slice of active-version traffic is
+//	            mirrored to the adjacent versions, accumulating online
+//	            error deltas for promote/rollback decisions (shadow.go)
 //
 // server.go exposes the service over HTTP (POST /v1/predict, GET
-// /v1/models, /healthz, /metrics); loadgen.go generates Poisson traffic
-// with duplicate- and OoD-rate knobs; bootstrap.go trains and exports demo
+// /v1/models, GET /v1/versions plus its promote/rollback/reload admin
+// actions, /healthz, /metrics); loadgen.go generates Poisson traffic with
+// duplicate- and OoD-rate knobs; bootstrap.go trains and exports demo
 // registries so `ioserve -bootstrap` starts from nothing.
 package serve
 
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,6 +50,14 @@ type Options struct {
 	// CacheSize is the duplicate cache capacity in entries; <= 0
 	// disables caching.
 	CacheSize int
+	// ShadowFraction mirrors this deterministic slice of active-version
+	// rows to the adjacent registry versions for online comparison
+	// (shadow.go); <= 0 disables mirroring.
+	ShadowFraction float64
+	// ShadowWorkers / ShadowQueue size the mirror worker pool and its
+	// queue (defaults 1 and 256).
+	ShadowWorkers int
+	ShadowQueue   int
 }
 
 // PredictionResult is one served prediction.
@@ -57,12 +73,16 @@ type PredictionResult struct {
 	CacheHit bool `json:"cache_hit"`
 }
 
-// Service ties registry, cache, batcher, and metrics into the predict path.
+// Service ties registry, cache, batcher, shadow, and metrics into the
+// predict path.
 type Service struct {
 	reg     *Registry
 	cache   *Cache
 	batcher *Batcher
+	shadow  *Shadow
 	metrics *Metrics
+	// reloader is attached by NewReloader (nil when reloading is off).
+	reloader atomic.Pointer[Reloader]
 }
 
 // NewService wires a service over a loaded registry.
@@ -72,12 +92,18 @@ func NewService(reg *Registry, opt Options) *Service {
 		reg:     reg,
 		cache:   NewCache(opt.CacheSize),
 		batcher: NewBatcher(opt.MaxBatch, opt.MaxDelay, opt.Workers, m),
+		shadow:  NewShadow(reg, opt.ShadowFraction, opt.ShadowWorkers, opt.ShadowQueue, m),
 		metrics: m,
 	}
 }
 
-// Close stops the worker pool.
-func (s *Service) Close() { s.batcher.Close() }
+// Close stops the reloader (if attached), the shadow mirror, and the
+// worker pool.
+func (s *Service) Close() {
+	s.reloader.Load().Close()
+	s.shadow.Close()
+	s.batcher.Close()
+}
 
 // Registry exposes the model registry (for listings).
 func (s *Service) Registry() *Registry { return s.reg }
@@ -85,8 +111,15 @@ func (s *Service) Registry() *Registry { return s.reg }
 // Metrics exposes the service counters.
 func (s *Service) Metrics() *Metrics { return s.metrics }
 
+// Reloader returns the attached registry reloader, or nil.
+func (s *Service) Reloader() *Reloader { return s.reloader.Load() }
+
+func (s *Service) attachReloader(r *Reloader) { s.reloader.Store(r) }
+
 // Predict serves a batch of rows against one model version (version <= 0
-// means latest), returning the results and the bundle that produced them.
+// selects the serving default: the promoted version, or the highest
+// registered one), returning the results and the bundle that produced
+// them.
 // Rows must match the bundle's feature schema. Rows that hit the duplicate
 // cache are answered immediately; the rest go through the micro-batcher in
 // one wave, so a multi-row request coalesces naturally.
@@ -115,6 +148,10 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 	if len(rows) == 0 {
 		return nil, nil, fmt.Errorf("serve: empty request")
 	}
+	// The bundle is resolved exactly once per request; every row, cache
+	// key, and the reported version below use this pointer, so a reload
+	// swapping versions mid-request can never produce a torn read — the
+	// whole request is served by one consistent bundle.
 	mv, err := s.reg.Get(system, version)
 	if err != nil {
 		return nil, nil, err
@@ -142,7 +179,7 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 	var hits uint64
 	for i, row := range rows {
 		key := HashKey(mv.System, mv.Version, row)
-		if res, ok := s.cache.Get(key, row); ok {
+		if res, ok := s.cache.Get(key, row, mv); ok {
 			results[i] = fromResult(res, true)
 			hits++
 			continue
@@ -171,7 +208,7 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 		if err != nil {
 			return nil, mv, err
 		}
-		s.cache.Put(ms.key, rows[ms.i], res)
+		s.cache.Put(ms.key, rows[ms.i], mv, res)
 		results[ms.i] = fromResult(res, false)
 		for _, di := range ms.dependents {
 			results[di] = fromResult(res, true)
@@ -192,6 +229,7 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 	}
 	s.metrics.OoDFlagged.Add(ood)
 	sys.OoDFlagged.Add(ood)
+	s.shadow.Mirror(mv, rows, results)
 	return results, mv, nil
 }
 

@@ -9,10 +9,15 @@ import (
 
 // HTTP layer. Endpoints:
 //
-//	POST /v1/predict  — single row ("row") or batch ("rows")
-//	GET  /v1/models   — registry listing
-//	GET  /healthz     — liveness + registry summary
-//	GET  /metrics     — Prometheus text format
+//	POST /v1/predict            — single row ("row") or batch ("rows")
+//	GET  /v1/models             — registry listing
+//	GET  /v1/versions           — per-system lifecycle view: versions,
+//	                              active/latest markers, shadow deltas
+//	POST /v1/versions/promote   — pin {"system","version"} as serving default
+//	POST /v1/versions/rollback  — revert {"system"} to the pre-promote default
+//	POST /v1/versions/reload    — force a registry reload poll
+//	GET  /healthz               — liveness + registry summary
+//	GET  /metrics               — Prometheus text format
 //
 // The handler owns no state beyond the Service; it can be mounted into any
 // mux or served directly.
@@ -58,6 +63,55 @@ func Handler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"models": svc.Registry().List()})
+	})
+	mux.HandleFunc("/v1/versions", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"systems": systemVersions(svc)})
+	})
+	mux.HandleFunc("/v1/versions/promote", func(w http.ResponseWriter, r *http.Request) {
+		handleVersionAction(svc, w, r, func(req versionActionRequest) (int, error) {
+			if req.Version <= 0 {
+				return 0, errBadRequest("missing \"version\"")
+			}
+			if err := svc.Registry().Promote(req.System, req.Version); err != nil {
+				return 0, err
+			}
+			return req.Version, nil
+		})
+	})
+	mux.HandleFunc("/v1/versions/rollback", func(w http.ResponseWriter, r *http.Request) {
+		handleVersionAction(svc, w, r, func(req versionActionRequest) (int, error) {
+			return svc.Registry().Rollback(req.System)
+		})
+	})
+	mux.HandleFunc("/v1/versions/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		rel := svc.Reloader()
+		if rel == nil {
+			writeError(w, http.StatusConflict, "no reloader attached (start ioserve with -reload-interval)")
+			return
+		}
+		stats, err := rel.Poll()
+		body := map[string]any{"reload": stats}
+		status := http.StatusOK
+		if err != nil {
+			// Per-directory load failures are the documented skip-and-
+			// keep-serving policy — report them at 200 alongside the
+			// stats. Only a poll that failed wholesale (the root itself
+			// unscannable) is a server fault that status-code-driven
+			// automation must see as one.
+			body["error"] = err.Error()
+			if errors.Is(err, errScanFailed) {
+				status = http.StatusInternalServerError
+			}
+		}
+		writeJSON(w, status, body)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -122,6 +176,98 @@ func handlePredict(svc *Service, w http.ResponseWriter, r *http.Request) {
 		Count:       len(results),
 		Predictions: results,
 	})
+}
+
+// SystemVersions is one system's lifecycle view at GET /v1/versions.
+type SystemVersions struct {
+	System string `json:"system"`
+	// Active is the serving default; Pinned reports whether an operator
+	// promotion holds it (false = auto-tracking the highest version).
+	Active   int              `json:"active"`
+	Pinned   bool             `json:"pinned"`
+	Versions []VersionInfo    `json:"versions"`
+	Shadow   []ShadowSnapshot `json:"shadow,omitempty"`
+}
+
+// systemVersions assembles the lifecycle view for every system.
+func systemVersions(svc *Service) []SystemVersions {
+	byName := make(map[string]*SystemVersions)
+	var order []*SystemVersions
+	for _, info := range svc.Registry().List() {
+		sv, ok := byName[info.System]
+		if !ok {
+			sv = &SystemVersions{
+				System: info.System,
+				Pinned: svc.Registry().Pinned(info.System),
+				Shadow: svc.Metrics().ShadowSnapshots(info.System),
+			}
+			byName[info.System] = sv
+			order = append(order, sv)
+		}
+		if info.Active {
+			sv.Active = info.Version
+		}
+		sv.Versions = append(sv.Versions, info)
+	}
+	out := make([]SystemVersions, len(order))
+	for i, sv := range order {
+		out[i] = *sv
+	}
+	return out
+}
+
+// versionActionRequest is the POST body of the promote/rollback actions.
+type versionActionRequest struct {
+	System  string `json:"system"`
+	Version int    `json:"version,omitempty"`
+}
+
+// badRequestError marks client errors that must map to 400 rather than the
+// registry's 404.
+type badRequestError string
+
+func errBadRequest(msg string) error    { return badRequestError(msg) }
+func (e badRequestError) Error() string { return string(e) }
+
+// handleVersionAction decodes an admin action, applies it, and answers
+// with the system's refreshed lifecycle view.
+func handleVersionAction(svc *Service, w http.ResponseWriter, r *http.Request, apply func(versionActionRequest) (int, error)) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req versionActionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	if req.System == "" {
+		writeError(w, http.StatusBadRequest, "missing \"system\"")
+		return
+	}
+	active, err := apply(req)
+	if err != nil {
+		status := http.StatusConflict
+		var bad badRequestError
+		switch {
+		case errors.Is(err, ErrUnknownModel):
+			status = http.StatusNotFound
+		case errors.As(err, &bad):
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	for _, sv := range systemVersions(svc) {
+		if sv.System == req.System {
+			writeJSON(w, http.StatusOK, sv)
+			return
+		}
+	}
+	// Unreachable unless the system vanished between apply and listing.
+	writeJSON(w, http.StatusOK, map[string]any{"system": req.System, "active": active})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
