@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench bench-smoke
+.PHONY: all build test vet fmt bench bench-smoke benchcmp
 
 all: build test
 
@@ -28,3 +28,8 @@ bench:
 # JSON recorder still work.
 bench-smoke:
 	BENCH_PATTERN='^(BenchmarkFig1b|BenchmarkTableT1)$$' ./scripts/bench.sh
+
+# Diff the two newest BENCH_*.json snapshots; fails on >10% regression in
+# the serving/predict benchmarks (see scripts/benchcmp.sh for knobs).
+benchcmp:
+	./scripts/benchcmp.sh

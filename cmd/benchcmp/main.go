@@ -1,0 +1,125 @@
+// Command benchcmp diffs two BENCH_<date>.json snapshots (produced by
+// `make bench` via cmd/benchjson) and fails when a benchmark regressed by
+// more than the threshold. It is the CI tripwire for the serving/predict
+// hot paths: scripts/benchcmp.sh feeds it the two newest snapshots.
+//
+// Usage:
+//
+//	benchcmp [-threshold 10] [-pattern 'Serve|Predict'] old.json new.json
+//
+// Benchmarks present in only one snapshot are reported and skipped; if
+// the snapshots share no benchmark matching the pattern the comparison is
+// a no-op (exit 0) — a tripwire must not fail on missing data, only on
+// measured regressions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// report mirrors cmd/benchjson's output document.
+type report struct {
+	Date       string `json:"date"`
+	Benchmarks map[string]struct {
+		Iterations int64   `json:"iterations"`
+		NsPerOp    float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	pattern := flag.String("pattern", "Serve|Predict", "regexp selecting the benchmarks to compare")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold pct] [-pattern re] old.json new.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *pattern, *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath, pattern string, threshold float64) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -pattern: %w", err)
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	var names []string
+	for name := range oldRep.Benchmarks {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("benchcmp %s (%s) -> %s (%s), threshold %.0f%%\n",
+		oldPath, oldRep.Date, newPath, newRep.Date, threshold)
+	compared, regressions := 0, 0
+	for _, name := range names {
+		ob := oldRep.Benchmarks[name]
+		nb, ok := newRep.Benchmarks[name]
+		if !ok {
+			fmt.Printf("  %-32s only in %s, skipped\n", name, oldPath)
+			continue
+		}
+		if ob.NsPerOp <= 0 || nb.NsPerOp <= 0 {
+			fmt.Printf("  %-32s no ns/op on one side, skipped\n", name)
+			continue
+		}
+		compared++
+		delta := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-32s %14.0f -> %14.0f ns/op  %+7.2f%%  %s\n",
+			name, ob.NsPerOp, nb.NsPerOp, delta, verdict)
+	}
+	for name := range newRep.Benchmarks {
+		if re.MatchString(name) {
+			if _, ok := oldRep.Benchmarks[name]; !ok {
+				fmt.Printf("  %-32s new in %s (no baseline)\n", name, newPath)
+			}
+		}
+	}
+	if compared == 0 {
+		fmt.Println("  no common benchmarks match the pattern; nothing to compare")
+		return nil
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d of %d compared benchmarks regressed more than %.0f%%", regressions, compared, threshold)
+	}
+	fmt.Printf("  %d benchmarks within threshold\n", compared)
+	return nil
+}
+
+func load(path string) (report, error) {
+	var rep report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("%s holds no benchmarks", path)
+	}
+	return rep, nil
+}

@@ -10,22 +10,36 @@
 //	ioload -system theta -dup 0.7 -batch 8          # duplicate-heavy traffic
 //	ioload -system cori -ood 0.2                    # novelty-heavy traffic
 //	ioload -system theta -churn-registry ./registry -churn-bumps 3
+//	ioload -system theta -drift-ramp 3 -requests 2000 -rate 200
 //
 // The row pool is generated from the same simulated system the server was
 // bootstrapped from, so feature schemas line up by construction.
 //
 // The version-churn scenario (-churn-registry) exercises live reload under
 // traffic: while the load runs, ioload periodically copies the registry's
-// highest version directory to v(N+1) on disk (the server must be watching
-// the same directory with -reload-interval) and reports every model
-// version observed in responses — a clean run sees the version advance
-// with zero request errors.
+// highest version directory to v(N+1) on disk, forces a reload poll over
+// the admin API, and reports every model version observed in responses — a
+// clean run sees the version advance with zero request errors.
+//
+// The drift-injection scenario (-drift-ramp) exercises the closed loop end
+// to end: after a warm-up, every feature is scaled along a gradual ramp (a
+// temporal concept drift), ground truth is posted to /v1/feedback, and the
+// run then holds drifted traffic steady until the server's drift control
+// plane has detected the shift, retrained, published a new version, and
+// auto-promoted it — or the -drift-wait deadline expires, in which case
+// ioload exits non-zero.
+//
+// Admin actions (forced reloads, drift controls) authenticate with
+// -admin-token / $IOSERVE_ADMIN_TOKEN. A server that rejects an admin
+// action mid-scenario (401/403/409) aborts the run with a non-zero exit —
+// admin failures are never folded into the served-error counters.
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -34,6 +48,9 @@ import (
 	"sync"
 	"time"
 
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/drift"
+	"iotaxo/internal/rng"
 	"iotaxo/internal/serve"
 	"iotaxo/internal/system"
 )
@@ -43,6 +60,13 @@ type churnSpec struct {
 	registry string
 	interval time.Duration
 	bumps    int
+}
+
+// driftSpec configures the drift-injection scenario; ramp <= 0 disables.
+type driftSpec struct {
+	ramp      float64       // final feature multiplier is 1+ramp
+	rampAfter float64       // fraction of requests served before the ramp starts
+	wait      time.Duration // how long to hold drifted traffic for the loop to close
 }
 
 func main() {
@@ -58,20 +82,33 @@ func main() {
 		conc     = flag.Int("concurrency", 8, "max in-flight requests")
 		poolJobs = flag.Int("pool-jobs", 2000, "jobs generated for the row pool")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		token    = flag.String("admin-token", os.Getenv("IOSERVE_ADMIN_TOKEN"),
+			"bearer token for admin actions (default $IOSERVE_ADMIN_TOKEN)")
 		churnReg = flag.String("churn-registry", "",
 			"registry directory to bump versions into while the load runs (the server must watch it with -reload-interval)")
 		churnInt   = flag.Duration("churn-interval", 2*time.Second, "delay between version bumps")
 		churnBumps = flag.Int("churn-bumps", 3, "number of version bumps to perform")
+		driftRamp  = flag.Float64("drift-ramp", 0,
+			"drift scenario: ramp every feature up to (1+ramp)x over the run (0 disables)")
+		driftAfter = flag.Float64("drift-ramp-after", 0.3,
+			"drift scenario: fraction of requests served before the ramp starts")
+		driftWait = flag.Duration("drift-wait", 90*time.Second,
+			"drift scenario: how long to hold drifted traffic waiting for retrain + auto-promote")
 	)
 	flag.Parse()
 	churn := churnSpec{registry: *churnReg, interval: *churnInt, bumps: *churnBumps}
-	if err := run(*addr, *sysName, *version, *requests, *batch, *rate, *dup, *ood, *conc, *poolJobs, *seed, churn); err != nil {
+	dr := driftSpec{ramp: *driftRamp, rampAfter: *driftAfter, wait: *driftWait}
+	if churn.registry != "" && dr.ramp > 0 {
+		fmt.Fprintln(os.Stderr, "ioload: -churn-registry and -drift-ramp are separate scenarios; pick one")
+		os.Exit(2)
+	}
+	if err := run(*addr, *sysName, *version, *requests, *batch, *rate, *dup, *ood, *conc, *poolJobs, *seed, *token, churn, dr); err != nil {
 		fmt.Fprintln(os.Stderr, "ioload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, sysName string, version, requests, batch int, rate, dup, ood float64, conc, poolJobs int, seed uint64, churn churnSpec) error {
+func run(addr, sysName string, version, requests, batch int, rate, dup, ood float64, conc, poolJobs int, seed uint64, token string, churn churnSpec, dr driftSpec) error {
 	var cfg *system.Config
 	switch sysName {
 	case "theta":
@@ -89,6 +126,9 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 	frame, err := m.Frame()
 	if err != nil {
 		return err
+	}
+	if dr.ramp > 0 {
+		return runDriftScenario(addr, sysName, token, requests, batch, rate, seed, frame, dr)
 	}
 	gen, err := serve.NewLoadGen(serve.LoadSpec{
 		System:      sysName,
@@ -116,7 +156,7 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 		churnWG.Add(1)
 		go func() {
 			defer churnWG.Done()
-			churnRes = runChurn(ctx, churn, sysName)
+			churnRes = runChurn(ctx, churn, addr, sysName, token)
 		}()
 	}
 	tracker := &versionTracker{seen: make(map[int]int)}
@@ -139,13 +179,14 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 	fmt.Printf("versions seen   %s\n", tracker.String())
 	// The churn scenario's contract is "the served version advances with
 	// zero request errors" — enforce it in the exit code so scripts and CI
-	// can rely on it.
+	// can rely on it. Admin rejections surfaced through churnRes.err are
+	// scenario-fatal in their own right, never counted as served errors.
 	if churn.registry != "" {
 		switch {
-		case stats.Errors > 0:
-			return fmt.Errorf("version churn caused %d request errors", stats.Errors)
 		case churnRes.err != nil:
 			return fmt.Errorf("version churn: %w", churnRes.err)
+		case stats.Errors > 0:
+			return fmt.Errorf("version churn caused %d request errors", stats.Errors)
 		case churnRes.published == 0:
 			return fmt.Errorf("version churn: the load finished before any bump was published; raise -requests or lower -churn-interval")
 		case tracker.distinct() < 2:
@@ -156,15 +197,64 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 	return nil
 }
 
+// adminError marks a server-side rejection of an admin action: these abort
+// the scenario with a non-zero exit rather than being folded into the
+// served-error counters.
+type adminError struct {
+	action string
+	status int
+	msg    string
+}
+
+func (e *adminError) Error() string {
+	hint := ""
+	if e.status == http.StatusUnauthorized || e.status == http.StatusForbidden {
+		hint = " (set -admin-token / $IOSERVE_ADMIN_TOKEN to match the server)"
+	}
+	return fmt.Sprintf("server rejected admin action %s with status %d: %s%s", e.action, e.status, e.msg, hint)
+}
+
+// adminPost performs one authenticated admin action against the server.
+func adminPost(client *http.Client, addr, path, token string, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, addr+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("admin action %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return &adminError{action: path, status: resp.StatusCode, msg: e.Error}
+	}
+	return nil
+}
+
 // churnResult reports what the bump goroutine accomplished.
 type churnResult struct {
 	published int
 	err       error
 }
 
-// runChurn performs the on-disk version bumps for the churn scenario.
-func runChurn(ctx context.Context, churn churnSpec, sysName string) churnResult {
+// runChurn performs the on-disk version bumps for the churn scenario, and
+// forces a reload poll over the admin API after each bump so the swap is
+// prompt and the admin surface is exercised under load.
+func runChurn(ctx context.Context, churn churnSpec, addr, sysName, token string) churnResult {
 	var res churnResult
+	client := &http.Client{Timeout: 10 * time.Second}
 	for i := 0; i < churn.bumps; i++ {
 		select {
 		case <-ctx.Done():
@@ -179,6 +269,11 @@ func runChurn(ctx context.Context, churn churnSpec, sysName string) churnResult 
 		}
 		res.published++
 		fmt.Fprintf(os.Stderr, "ioload: churn published %s v%d\n", sysName, v)
+		if err := adminPost(client, addr, "/v1/versions/reload", token, map[string]any{}); err != nil {
+			fmt.Fprintf(os.Stderr, "ioload: %v\n", err)
+			res.err = err
+			return res
+		}
 	}
 	return res
 }
@@ -258,4 +353,201 @@ func httpTarget(addr, sysName string, version int, tracker *versionTracker) serv
 		}
 		return pr.Predictions, nil
 	}
+}
+
+// runDriftScenario drives the detect→retrain→publish→promote loop: ramped
+// feature shift with ground-truth feedback, then a hold phase until the
+// server promotes a retrained version or the deadline passes.
+func runDriftScenario(addr, sysName, token string, requests, batch int, rate float64, seed uint64, frame *dataset.Frame, dr driftSpec) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	r := rng.New(seed)
+	rows := frame.Rows()
+	ys := frame.Y()
+	tracker := &versionTracker{seen: make(map[int]int)}
+
+	initialMax, err := maxRegisteredVersion(client, addr, sysName)
+	if err != nil {
+		return fmt.Errorf("drift scenario: reading initial versions: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "ioload: drift scenario -> %s (%s, %d requests, ramp to %.1fx after %.0f%%, starting from v%d)\n",
+		addr, sysName, requests, 1+dr.ramp, 100*dr.rampAfter, initialMax)
+
+	// sendOne issues one predict+feedback pair at the given shift factor.
+	sendOne := func(factor float64) error {
+		reqRows := make([][]float64, batch)
+		actual := make([]float64, batch)
+		for i := range reqRows {
+			j := r.Intn(len(rows))
+			row := append([]float64(nil), rows[j]...)
+			for k := range row {
+				row[k] *= factor
+			}
+			reqRows[i] = row
+			actual[i] = ys[j]
+		}
+		body, _ := json.Marshal(serve.PredictRequest{System: sysName, Rows: reqRows})
+		resp, err := client.Post(addr+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		var pr serve.PredictResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&pr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("predict returned %d", resp.StatusCode)
+		}
+		if decErr == nil {
+			tracker.record(pr.Version)
+		}
+		// Feedback is a control-plane action (it feeds retraining), so it
+		// authenticates like the admin endpoints and a rejection aborts
+		// the scenario instead of being counted as a served error.
+		return adminPost(client, addr, "/v1/feedback",
+			token, drift.FeedbackRequest{System: sysName, Rows: reqRows, Actual: actual})
+	}
+	pace := func() {
+		if rate > 0 {
+			time.Sleep(time.Duration(r.Exp(rate) * float64(time.Second)))
+		}
+	}
+
+	// Phase 1: warm-up + ramp.
+	rampStart := int(dr.rampAfter * float64(requests))
+	reqErrors := 0
+	for i := 0; i < requests; i++ {
+		factor := 1.0
+		if i >= rampStart && requests > rampStart {
+			factor = 1 + dr.ramp*float64(i-rampStart)/float64(requests-rampStart)
+		}
+		if err := sendOne(factor); err != nil {
+			var ae *adminError
+			if errors.As(err, &ae) {
+				return err
+			}
+			reqErrors++
+			if reqErrors > requests/10+10 {
+				return fmt.Errorf("drift scenario: aborting after %d request errors (%v)", reqErrors, err)
+			}
+		}
+		pace()
+	}
+	fmt.Fprintf(os.Stderr, "ioload: ramp done (%d requests, %d errors); holding drifted traffic for the loop to close\n",
+		requests, reqErrors)
+
+	// Phase 2: hold drifted traffic until a version newer than the initial
+	// set is promoted to serving, or the deadline expires. The deadline is
+	// checked every iteration — a server that stops answering the status
+	// poll (or the traffic) must still end the run with a non-zero exit,
+	// never hang it.
+	deadline := time.Now().Add(dr.wait)
+	lastPoll := time.Time{}
+	lastActive := 0
+	for {
+		if time.Now().After(deadline) {
+			fmt.Printf("versions seen   %s\n", tracker.String())
+			reportDriftStatus(client, addr, sysName)
+			return fmt.Errorf("drift scenario: no retrained version promoted within %v (last seen serving v%d; is the server running with -drift-interval, -auto-promote, and -reload-interval?)",
+				dr.wait, lastActive)
+		}
+		if err := sendOne(1 + dr.ramp); err != nil {
+			var ae *adminError
+			if errors.As(err, &ae) {
+				return err
+			}
+			// Keep the pace even when requests fail, so a down server
+			// cannot turn the hold phase into a busy-spin.
+			time.Sleep(100 * time.Millisecond)
+		}
+		pace()
+		if time.Since(lastPoll) < time.Second {
+			continue
+		}
+		lastPoll = time.Now()
+		active, err := activeVersion(client, addr, sysName)
+		if err != nil {
+			continue
+		}
+		lastActive = active
+		if active > initialMax {
+			fmt.Printf("versions seen   %s\n", tracker.String())
+			fmt.Printf("drift loop      closed: %s v%d retrained, published, and promoted\n", sysName, active)
+			reportDriftStatus(client, addr, sysName)
+			return nil
+		}
+	}
+}
+
+// activeVersion reads the serving default from GET /v1/versions.
+func activeVersion(client *http.Client, addr, sysName string) (int, error) {
+	var listing struct {
+		Systems []serve.SystemVersions `json:"systems"`
+	}
+	if err := getJSON(client, addr+"/v1/versions", &listing); err != nil {
+		return 0, err
+	}
+	for _, s := range listing.Systems {
+		if s.System == sysName {
+			return s.Active, nil
+		}
+	}
+	return 0, fmt.Errorf("system %q not in /v1/versions", sysName)
+}
+
+// maxRegisteredVersion reads the highest registered version.
+func maxRegisteredVersion(client *http.Client, addr, sysName string) (int, error) {
+	var listing struct {
+		Systems []serve.SystemVersions `json:"systems"`
+	}
+	if err := getJSON(client, addr+"/v1/versions", &listing); err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, s := range listing.Systems {
+		if s.System != sysName {
+			continue
+		}
+		for _, v := range s.Versions {
+			if v.Version > max {
+				max = v.Version
+			}
+		}
+	}
+	if max == 0 {
+		return 0, fmt.Errorf("system %q not in /v1/versions", sysName)
+	}
+	return max, nil
+}
+
+// reportDriftStatus prints the server's drift decisions for the system.
+func reportDriftStatus(client *http.Client, addr, sysName string) {
+	var report drift.StatusReport
+	if err := getJSON(client, addr+"/v1/drift", &report); err != nil {
+		fmt.Fprintf(os.Stderr, "ioload: reading /v1/drift: %v\n", err)
+		return
+	}
+	for _, s := range report.Systems {
+		if s.System != sysName {
+			continue
+		}
+		fmt.Printf("drift status    phase=%s psi_max=%.3f (%s) err_mae_log=%.3f windows=%d retrains=%v\n",
+			s.Phase, s.PSIMax, s.PSIMaxFeature, s.ErrorMAELog, s.Windows, s.Retrains)
+	}
+	for _, d := range report.Decisions {
+		if d.System == sysName {
+			fmt.Printf("decision        %s %s v%d applied=%v: %s\n",
+				d.Time.Format(time.TimeOnly), d.Action, d.Version, d.Applied, d.Reason)
+		}
+	}
+}
+
+func getJSON(client *http.Client, url string, into any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
 }

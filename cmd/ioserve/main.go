@@ -8,15 +8,21 @@
 //	ioserve -bootstrap -models ./registry         # train demo bundles, then serve
 //	ioserve -bootstrap -jobs 2000 -addr :9000     # smaller bootstrap, custom port
 //	ioserve -models ./registry -reload-interval 5s -shadow-fraction 0.1
+//	ioserve -models ./registry -reload-interval 5s -shadow-fraction 0.1 \
+//	        -drift-interval 30s -auto-promote -auto-rollback \
+//	        -admin-token $IOSERVE_ADMIN_TOKEN
 //
 // Endpoints:
 //
 //	POST /v1/predict            {"system":"theta","rows":[[...]]}  (or "row":[...])
 //	GET  /v1/models             registry listing
 //	GET  /v1/versions           lifecycle view (active/latest, shadow deltas)
-//	POST /v1/versions/promote   {"system":"theta","version":2}
-//	POST /v1/versions/rollback  {"system":"theta"}
-//	POST /v1/versions/reload    force a registry reload poll
+//	POST /v1/versions/promote   {"system":"theta","version":2}      [admin]
+//	POST /v1/versions/rollback  {"system":"theta"}                  [admin]
+//	POST /v1/versions/reload    force a registry reload poll        [admin]
+//	GET  /v1/drift              drift-monitor status + decision log
+//	POST /v1/drift/retrain      {"system":"theta"} force a retrain  [admin]
+//	POST /v1/feedback           ground-truth ingestion              [admin]
 //	GET  /healthz               liveness
 //	GET  /metrics               Prometheus text format
 //
@@ -25,6 +31,17 @@
 // restart; with -shadow-fraction a deterministic slice of served traffic
 // is mirrored to the adjacent model versions and the online error deltas
 // exposed at /metrics and /v1/versions.
+//
+// With -drift-interval the closed-loop control plane (internal/drift) runs
+// on top: live traffic is compared per feature against the training-time
+// reference histograms (PSI/KS), ground truth posted to /v1/feedback is
+// tracked against the noise floor, confirmed drift triggers an automated
+// retrain published through the registry protocol, and the policy engine
+// auto-promotes a clean candidate (-auto-promote) or rolls back a
+// regressing one (-auto-rollback).
+//
+// -admin-token (or IOSERVE_ADMIN_TOKEN) gates every [admin] endpoint with
+// a bearer token; unset leaves them open (development mode).
 //
 // Every prediction carries the paper's taxonomy guardrail: the deep
 // ensemble's epistemic uncertainty with an OoD flag (Sec. VIII) and a
@@ -39,6 +56,7 @@ import (
 	"os"
 	"time"
 
+	"iotaxo/internal/drift"
 	"iotaxo/internal/serve"
 )
 
@@ -57,6 +75,12 @@ type config struct {
 	reloadInterval time.Duration
 	shadowFraction float64
 	shadowWorkers  int
+	adminToken     string
+	driftInterval  time.Duration
+	psiThreshold   float64
+	autoPromote    bool
+	autoRollback   bool
+	retrainWindow  int
 }
 
 func main() {
@@ -76,6 +100,18 @@ func main() {
 	flag.Float64Var(&cfg.shadowFraction, "shadow-fraction", 0,
 		"fraction of active-version rows mirrored to adjacent versions for online comparison (0 disables)")
 	flag.IntVar(&cfg.shadowWorkers, "shadow-workers", 1, "shadow mirror worker pool size")
+	flag.StringVar(&cfg.adminToken, "admin-token", os.Getenv("IOSERVE_ADMIN_TOKEN"),
+		"bearer token required on mutating admin endpoints (default $IOSERVE_ADMIN_TOKEN; empty leaves them open)")
+	flag.DurationVar(&cfg.driftInterval, "drift-interval", 0,
+		"drift-detection window period; enables the closed-loop control plane (0 disables)")
+	flag.Float64Var(&cfg.psiThreshold, "drift-psi-threshold", 0.2,
+		"per-feature PSI above which a window counts toward a drift signal")
+	flag.BoolVar(&cfg.autoPromote, "auto-promote", false,
+		"let the policy engine promote a retrained candidate after k clean windows")
+	flag.BoolVar(&cfg.autoRollback, "auto-rollback", false,
+		"let the policy engine roll back a regressing version after k bad windows")
+	flag.IntVar(&cfg.retrainWindow, "retrain-window", 4096,
+		"feedback rows buffered per system for automated retraining")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ioserve:", err)
@@ -134,6 +170,38 @@ func run(cfg config) error {
 		fmt.Fprintf(os.Stderr, "ioserve: mirroring %.1f%% of active-version rows to adjacent versions\n",
 			100*cfg.shadowFraction)
 	}
+
+	handler := serve.NewHandler(svc, serve.HandlerConfig{AdminToken: cfg.adminToken})
+	if cfg.driftInterval > 0 {
+		dcfg := drift.Config{
+			Root:          cfg.models,
+			Interval:      cfg.driftInterval,
+			PSIThreshold:  cfg.psiThreshold,
+			AutoPromote:   cfg.autoPromote,
+			AutoRollback:  cfg.autoRollback,
+			RetrainWindow: cfg.retrainWindow,
+		}
+		if cfg.shadowFraction > 0 {
+			// With mirroring on, demand shadow evidence before verdicts.
+			dcfg.MinMirrored = 16
+		}
+		ctl := drift.New(svc, dcfg)
+		ctl.Start()
+		defer ctl.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		driftHandler := ctl.Handler(cfg.adminToken)
+		mux.Handle("/v1/drift", driftHandler)
+		mux.Handle("/v1/drift/", driftHandler)
+		mux.Handle("/v1/feedback", driftHandler)
+		handler = mux
+		fmt.Fprintf(os.Stderr, "ioserve: drift control plane on (window %v, psi %.2f, auto-promote %v, auto-rollback %v)\n",
+			cfg.driftInterval, cfg.psiThreshold, cfg.autoPromote, cfg.autoRollback)
+	}
+	if cfg.adminToken != "" {
+		fmt.Fprintln(os.Stderr, "ioserve: admin endpoints require a bearer token")
+	}
+
 	for _, info := range reg.List() {
 		marker := ""
 		if info.Active {
@@ -145,7 +213,7 @@ func run(cfg config) error {
 	fmt.Fprintf(os.Stderr, "ioserve: listening on %s\n", cfg.addr)
 	server := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           serve.Handler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return server.ListenAndServe()

@@ -1,0 +1,129 @@
+package drift
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// HTTP surface: status is open; feedback and the forced retrain are
+// admin-gated with the shared serving token.
+func TestHandler(t *testing.T) {
+	frame, v1, _ := fixture(t)
+	cfg := testConfig()
+	h := newHarness(t, cfg, v1)
+	const token = "drift-admin"
+	ts := httptest.NewServer(h.ctl.Handler(token))
+	t.Cleanup(ts.Close)
+
+	post := func(path string, body any, hdr map[string]string) (*http.Response, []byte) {
+		t.Helper()
+		raw, _ := json.Marshal(body)
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	auth := map[string]string{"Authorization": "Bearer " + token}
+
+	// Feedback is a control-plane action: unauthenticated posts are
+	// rejected (they would otherwise steer retraining with fabricated
+	// ground truth), authenticated ones ingest and report the active
+	// version's error.
+	rows := [][]float64{frame.Row(0), frame.Row(1)}
+	if resp, _ := post("/v1/feedback", FeedbackRequest{
+		System: "theta", Rows: rows, Actual: []float64{frame.Y()[0], frame.Y()[1]},
+	}, nil); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("feedback without token: status %d, want 401", resp.StatusCode)
+	}
+	resp, body := post("/v1/feedback", FeedbackRequest{
+		System: "theta", Rows: rows, Actual: []float64{frame.Y()[0], frame.Y()[1]},
+	}, auth)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback: status %d: %s", resp.StatusCode, body)
+	}
+	var fr FeedbackResult
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Count != 2 || fr.ActiveVersion != 1 || fr.BufferRows != 2 {
+		t.Errorf("feedback result: %+v", fr)
+	}
+
+	// Bad feedback is a client error.
+	if resp, _ := post("/v1/feedback", FeedbackRequest{System: "theta", Rows: rows, Actual: []float64{1}}, auth); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("misaligned feedback: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post("/v1/feedback", FeedbackRequest{System: "theta", Rows: rows, Actual: []float64{-1, 0}}, auth); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-positive actuals: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post("/v1/feedback", FeedbackRequest{System: "nope", Rows: rows, Actual: []float64{1, 1}}, auth); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown system feedback: status %d, want 404", resp.StatusCode)
+	}
+
+	// Status is open and carries the system.
+	sresp, err := http.Get(ts.URL + "/v1/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report StatusReport
+	if err := json.NewDecoder(sresp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK || len(report.Systems) != 1 || report.Systems[0].System != "theta" {
+		t.Fatalf("status: %d %+v", sresp.StatusCode, report)
+	}
+
+	// Forced retrain: 401 without the token; with it, 409 until enough
+	// feedback rows are buffered.
+	if resp, _ := post("/v1/drift/retrain", retrainRequest{System: "theta"}, nil); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("retrain without token: status %d, want 401", resp.StatusCode)
+	}
+	if resp, _ := post("/v1/drift/retrain", retrainRequest{System: "nope"}, auth); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("retrain unknown system: status %d, want 404", resp.StatusCode)
+	}
+	if resp, body := post("/v1/drift/retrain", retrainRequest{System: "theta"}, auth); resp.StatusCode != http.StatusConflict {
+		t.Errorf("retrain with %d buffered rows: status %d (%s), want 409", fr.BufferRows, resp.StatusCode, body)
+	}
+
+	// Fill the buffer past MinRetrainRows and force a retrain for real.
+	batch := make([][]float64, 50)
+	actual := make([]float64, 50)
+	for n := 0; n < cfg.MinRetrainRows; n += len(batch) {
+		for i := range batch {
+			j := (n + i) % frame.Len()
+			batch[i] = frame.Row(j)
+			actual[i] = frame.Y()[j]
+		}
+		if resp, body := post("/v1/feedback", FeedbackRequest{System: "theta", Rows: batch, Actual: actual}, auth); resp.StatusCode != http.StatusOK {
+			t.Fatalf("feedback fill: status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if resp, body := post("/v1/drift/retrain", retrainRequest{System: "theta"}, auth); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("forced retrain: status %d (%s), want 202", resp.StatusCode, body)
+	}
+	st := h.waitRetrain(t)
+	if st.Phase != PhaseStaged || st.StagedVersion != 2 {
+		t.Fatalf("forced retrain did not stage v2: %+v", st)
+	}
+	// The incumbent stays pinned to v1 while the candidate is evaluated.
+	if av, _ := h.svc.Registry().ActiveVersion("theta"); av != 1 {
+		t.Errorf("forced retrain went live uninvited: active v%d", av)
+	}
+}

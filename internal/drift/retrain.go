@@ -1,0 +1,258 @@
+package drift
+
+import (
+	"fmt"
+	"math"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/dataset"
+	"iotaxo/internal/gbt"
+	"iotaxo/internal/hpo"
+	"iotaxo/internal/nn"
+	"iotaxo/internal/serve"
+	"iotaxo/internal/uq"
+)
+
+// Retraining orchestrator. A confirmed drift signal hands the accumulated
+// feedback window to a background retrain that mirrors what the offline
+// pipeline would do, on the PR-2 fast path:
+//
+//  1. the window is split temporally (newest quarter validates — drift
+//     means the newest rows are the distribution that matters);
+//  2. the training slice is quantized once (gbt.Bin) and a small
+//     hyperparameter grid is swept with hpo.GBTGridSearch, whose
+//     warm-started tree axis scores every NumTrees candidate from one
+//     trained chain;
+//  3. the winning configuration trains the final model on the full
+//     window, a fresh guardrail ensemble is fitted, the EU threshold is
+//     recalibrated, and the window's feature distribution becomes the new
+//     bundle's reference histograms;
+//  4. the incumbent is pinned (so the candidate cannot serve untested),
+//     and the bundle is published with serve.SaveVersion — artifacts
+//     first, manifest last via temp-file+rename — for the live Reloader
+//     to pick up; with no on-disk root it is registered directly.
+//
+// The noise-floor calibration (NoiseSigmaLog/NoiseFloorPct) is carried
+// over from the incumbent: measuring it needs concurrent-duplicate timing
+// metadata that online feedback does not carry, and the floor is a
+// property of the system, not of the model.
+
+// launchRetrainLocked transitions the system into PhaseRetraining and
+// starts the background retrain. Caller holds st.mu.
+func (c *Controller) launchRetrainLocked(st *systemState, reason string) {
+	rows, ys := st.bufferSnapshot()
+	st.phase = PhaseRetraining
+	st.retrains["started"]++
+	c.retrains.Add(1)
+	go func() {
+		defer c.retrains.Done()
+		c.retrain(st, rows, ys, reason)
+	}()
+}
+
+// retrain runs one full retrain-and-publish cycle off the tick loop.
+func (c *Controller) retrain(st *systemState, rows [][]float64, ys []float64, reason string) {
+	staged, err := c.trainAndPublish(st.system, rows, ys)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err != nil {
+		st.retrains["failed"]++
+		c.record(st, Decision{Action: ActionRetrainFailed, Reason: err.Error(), Applied: false})
+		st.phase = PhaseStable
+		st.cooldown = c.cfg.ConfirmWindows
+		return
+	}
+	st.retrains["published"]++
+	c.record(st, Decision{
+		Action:  ActionPublish,
+		Version: staged,
+		Reason:  "retrained on " + fmtInt(len(rows)) + " feedback rows (" + reason + ")",
+		Applied: true,
+	})
+	// The publish pinned the incumbent, so the candidate stages as a
+	// canary; track it through promotion. If a reload raced us and the
+	// candidate is not registered yet, evalStaged keeps waiting for it via
+	// versionRegistered on the next ticks.
+	st.phase = PhaseStaged
+	st.staged = staged
+	st.stageLeft = c.cfg.WatchWindows
+	st.compareVersion = staged
+	st.cleanStreak = 0
+}
+
+// trainAndPublish trains a candidate bundle from the feedback window and
+// publishes it, returning the new version number.
+func (c *Controller) trainAndPublish(system string, rows [][]float64, ys []float64) (int, error) {
+	reg := c.svc.Registry()
+	active, err := reg.ActiveVersion(system)
+	if err != nil {
+		return 0, err
+	}
+	incumbent, err := reg.Get(system, active)
+	if err != nil {
+		return 0, err
+	}
+	cols := incumbent.Columns
+	for i, r := range rows {
+		if len(r) != len(cols) {
+			return 0, fmt.Errorf("drift: buffered row %d has %d features, schema wants %d", i, len(r), len(cols))
+		}
+	}
+	yLog := make([]float64, len(ys))
+	for i, y := range ys {
+		yLog[i] = math.Log10(y)
+	}
+
+	model, err := c.sweepGBT(rows, yLog)
+	if err != nil {
+		return 0, err
+	}
+
+	// Guardrail ensemble + calibration, the way bootstrap does it.
+	frame, err := dataset.NewFrame(cols)
+	if err != nil {
+		return 0, err
+	}
+	for i := range rows {
+		if err := frame.Append(rows[i], ys[i], dataset.Meta{JobID: i}); err != nil {
+			return 0, err
+		}
+	}
+	scaler := dataset.FitScaler(frame, true)
+	scaled, err := scaler.Transform(frame)
+	if err != nil {
+		return 0, err
+	}
+	rc := c.cfg.Retrain
+	paramSets := make([]nn.Params, rc.EnsembleSize)
+	for i := range paramSets {
+		np := nn.DefaultParams()
+		np.Hidden = []int{24 + 16*i}
+		np.Epochs = rc.Epochs
+		np.Seed = rc.Seed + uint64(1000+i)
+		paramSets[i] = np
+	}
+	ensemble, err := uq.TrainEnsemble(paramSets, scaled, yLog, rc.Workers)
+	if err != nil {
+		return 0, fmt.Errorf("drift: retraining %s ensemble: %w", system, err)
+	}
+	preds := ensemble.PredictAll(scaled)
+	rep := core.EvaluatePredictions(model.PredictAll(rows), ys)
+	guard := serve.GuardConfig{
+		EUThreshold:   uq.StableThreshold(preds, rep.AbsLogErrors),
+		NoiseSigmaLog: incumbent.Guard.NoiseSigmaLog,
+		NoiseFloorPct: incumbent.Guard.NoiseFloorPct,
+	}
+	ref, err := serve.BuildFeatureHists(cols, rows, 0)
+	if err != nil {
+		return 0, err
+	}
+
+	// Version: one past the highest registered for this system.
+	newVersion := 0
+	for _, info := range reg.List() {
+		if info.System == system && info.Version > newVersion {
+			newVersion = info.Version
+		}
+	}
+	newVersion++
+
+	mv := &serve.ModelVersion{
+		System:    system,
+		Version:   newVersion,
+		Columns:   cols,
+		Model:     model,
+		Ensemble:  ensemble,
+		Scaler:    scaler,
+		Guard:     guard,
+		TrainedOn: len(rows),
+		Reference: ref,
+	}
+
+	// Pin the incumbent before the candidate becomes loadable: auto-track
+	// must not put an unevaluated model into the serving path.
+	if cur, err := reg.ActiveVersion(system); err == nil {
+		if err := reg.Promote(system, cur); err != nil {
+			return 0, fmt.Errorf("drift: pinning incumbent %s v%d: %w", system, cur, err)
+		}
+		st := c.state(system)
+		st.mu.Lock()
+		c.record(st, Decision{Action: ActionPin, Version: cur,
+			Reason: "incumbent pinned; candidate v" + fmtInt(newVersion) + " stages as canary", Applied: true})
+		st.mu.Unlock()
+	}
+
+	if c.cfg.Root == "" {
+		if err := reg.Add(mv); err != nil {
+			return 0, err
+		}
+		return newVersion, nil
+	}
+	if err := serve.SaveVersion(c.cfg.Root, mv); err != nil {
+		return 0, err
+	}
+	// Nudge the reloader so the candidate is registered within this tick
+	// rather than one poll later; a failed poll just means the regular
+	// polling loop picks the directory up instead.
+	if rel := c.svc.Reloader(); rel != nil {
+		_, _ = rel.Poll()
+	}
+	return newVersion, nil
+}
+
+// sweepGBT runs the warm-started grid over the feedback window and trains
+// the winner on the full window.
+func (c *Controller) sweepGBT(rows [][]float64, yLog []float64) (*gbt.Model, error) {
+	rc := c.cfg.Retrain
+	nVal := len(rows) / 4
+	if nVal < 1 {
+		return nil, fmt.Errorf("drift: %d rows cannot be split for validation", len(rows))
+	}
+	trainRows, trainY := rows[:len(rows)-nVal], yLog[:len(rows)-nVal]
+	valRows, valY := rows[len(rows)-nVal:], yLog[len(rows)-nVal:]
+
+	base := gbt.TunedBase()
+	base.NumBins = rc.Bins
+	base.Seed = rc.Seed
+	shallow := rc.Depth - 2
+	if shallow < 2 {
+		shallow = 2
+	}
+	var grid []gbt.Params
+	for _, depth := range []int{shallow, rc.Depth} {
+		for _, trees := range []int{rc.Trees / 2, rc.Trees} {
+			if trees < 1 {
+				trees = 1
+			}
+			p := base
+			p.MaxDepth = depth
+			p.NumTrees = trees
+			grid = append(grid, p)
+		}
+	}
+	bd, err := gbt.Bin(trainRows, base.NumBins)
+	if err != nil {
+		return nil, err
+	}
+	score := func(valPred []float64) (float64, error) {
+		var sum float64
+		for i := range valPred {
+			sum += math.Abs(valPred[i] - valY[i])
+		}
+		return sum / float64(len(valPred)), nil
+	}
+	_, best, err := hpo.GBTGridSearch(grid, bd, trainY, valRows, score, rc.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("drift: hyperparameter sweep: %w", err)
+	}
+
+	bdAll, err := gbt.Bin(rows, base.NumBins)
+	if err != nil {
+		return nil, err
+	}
+	model, err := gbt.TrainBinned(best.Candidate, bdAll, yLog)
+	if err != nil {
+		return nil, fmt.Errorf("drift: final training: %w", err)
+	}
+	return model, nil
+}

@@ -1,0 +1,110 @@
+package drift
+
+import "math"
+
+// Distribution-shift statistics over binned counts. Both detectors compare
+// a live traffic window against the training-time reference histogram
+// persisted with the serving bundle (serve.FeatureHist); working on counts
+// in the reference's own bins keeps the online cost at one bin lookup per
+// row per feature, with the statistics themselves computed only at window
+// close.
+
+// PSI returns the Population Stability Index between a reference and a
+// live count vector over the same bins:
+//
+//	PSI = Σ_b (live_b - ref_b) · ln(live_b / ref_b)
+//
+// with each side's proportions floored at half a count (0.5/total), so an
+// empty bin reads as "less than one sample" rather than as an infinite
+// log-ratio. The conventional reading: < 0.1 stable, 0.1–0.25 moderate
+// shift, > 0.25 significant shift. Returns 0 when either side is empty
+// (no evidence is not drift evidence).
+func PSI(ref, live []uint64) float64 {
+	if len(ref) != len(live) {
+		return math.NaN()
+	}
+	refTotal, liveTotal := total(ref), total(live)
+	if refTotal == 0 || liveTotal == 0 {
+		return 0
+	}
+	refFloor := 0.5 / float64(refTotal)
+	liveFloor := 0.5 / float64(liveTotal)
+	psi := 0.0
+	for b := range ref {
+		pr := math.Max(float64(ref[b])/float64(refTotal), refFloor)
+		pl := math.Max(float64(live[b])/float64(liveTotal), liveFloor)
+		psi += (pl - pr) * math.Log(pl/pr)
+	}
+	return psi
+}
+
+// PSINullBias approximates E[PSI] for two same-distribution samples of
+// the given sizes over the given bin count: PSI is a symmetrized KL
+// divergence, and 2n·KL of a fitted multinomial is asymptotically
+// χ²(B−1), so sampling noise alone contributes ≈ (B−1)·(1/n_ref +
+// 1/n_live). The detector subtracts this before thresholding — otherwise
+// a small window over many bins reads as permanent "drift".
+func PSINullBias(bins int, refTotal, liveTotal uint64) float64 {
+	if bins < 2 || refTotal == 0 || liveTotal == 0 {
+		return 0
+	}
+	return float64(bins-1) * (1/float64(refTotal) + 1/float64(liveTotal))
+}
+
+// KSNullCritical is the 95% two-sample Kolmogorov–Smirnov critical value
+// c(α)·√(1/n₁ + 1/n₂) with c(0.05) = 1.36: same-distribution samples stay
+// below it 95% of the time, so the detector measures KS exceedance above
+// this line rather than the raw statistic.
+func KSNullCritical(refTotal, liveTotal uint64) float64 {
+	if refTotal == 0 || liveTotal == 0 {
+		return 0
+	}
+	return 1.36 * math.Sqrt(1/float64(refTotal)+1/float64(liveTotal))
+}
+
+// KS returns the Kolmogorov–Smirnov statistic between the two binned
+// samples: the maximum absolute difference of their cumulative bin
+// proportions, evaluated at the bin boundaries (the exact KS statistic of
+// the two step distributions induced by the binning). Returns 0 when
+// either side is empty.
+func KS(ref, live []uint64) float64 {
+	if len(ref) != len(live) {
+		return math.NaN()
+	}
+	refTotal, liveTotal := total(ref), total(live)
+	if refTotal == 0 || liveTotal == 0 {
+		return 0
+	}
+	var cumRef, cumLive, maxDev float64
+	for b := range ref {
+		cumRef += float64(ref[b]) / float64(refTotal)
+		cumLive += float64(live[b]) / float64(liveTotal)
+		if dev := math.Abs(cumRef - cumLive); dev > maxDev {
+			maxDev = dev
+		}
+	}
+	return maxDev
+}
+
+func total(counts []uint64) uint64 {
+	var t uint64
+	for _, c := range counts {
+		t += c
+	}
+	return t
+}
+
+// halfNormalFactor converts a residual standard deviation into the mean
+// absolute deviation of a centered normal: E|X| = σ·√(2/π).
+var halfNormalFactor = math.Sqrt(2 / math.Pi)
+
+// NoiseExplainedMAE is the mean absolute log-error a *perfect* model would
+// still show on a system whose irreducible ∆t=0 noise has the given sigma
+// (litmus test 4): the half-normal mean of the noise distribution. Rolling
+// serving error below a small multiple of this bound is noise, not drift.
+func NoiseExplainedMAE(sigmaLog float64) float64 {
+	if sigmaLog <= 0 {
+		return 0
+	}
+	return sigmaLog * halfNormalFactor
+}

@@ -1,0 +1,111 @@
+package drift
+
+import (
+	"math"
+	"testing"
+
+	"iotaxo/internal/rng"
+	"iotaxo/internal/serve"
+)
+
+// Golden PSI/KS values, hand-computed from the definitions.
+func TestPSIGolden(t *testing.T) {
+	cases := []struct {
+		name      string
+		ref, live []uint64
+		want      float64
+	}{
+		// Identical proportions: zero shift.
+		{"identical", []uint64{25, 25, 25, 25}, []uint64{50, 50, 50, 50}, 0},
+		// pl = .1/.2/.3/.4 against uniform .25; Σ (pl-pr)·ln(pl/pr):
+		{"tilted", []uint64{25, 25, 25, 25}, []uint64{10, 20, 30, 40},
+			-0.15*math.Log(0.4) - 0.05*math.Log(0.8) + 0.05*math.Log(1.2) + 0.15*math.Log(1.6)},
+		// One-bin swap .5/.5 → .9/.1: (0.4)ln(1.8) + (−0.4)ln(0.2) = 0.8789...
+		{"swap", []uint64{50, 50}, []uint64{90, 10}, 0.4*math.Log(1.8) - 0.4*math.Log(0.2)},
+	}
+	for _, tc := range cases {
+		if got := PSI(tc.ref, tc.live); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("PSI(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestKSGolden(t *testing.T) {
+	// cumRef = .25/.5/.75/1, cumLive = .1/.3/.6/1 → max dev 0.2 at bin 1?
+	// |.25-.1|=.15, |.5-.3|=.2, |.75-.6|=.15, |1-1|=0 → 0.2.
+	if got := KS([]uint64{25, 25, 25, 25}, []uint64{10, 20, 30, 40}); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("KS = %v, want 0.2", got)
+	}
+	if got := KS([]uint64{10, 10}, []uint64{10, 10}); got != 0 {
+		t.Errorf("KS identical = %v, want 0", got)
+	}
+}
+
+func TestPSIEmptyAndMismatch(t *testing.T) {
+	if got := PSI([]uint64{1, 2}, []uint64{0, 0}); got != 0 {
+		t.Errorf("PSI with empty live = %v, want 0", got)
+	}
+	if got := PSI([]uint64{1}, []uint64{1, 2}); !math.IsNaN(got) {
+		t.Errorf("PSI length mismatch = %v, want NaN", got)
+	}
+	if got := KS([]uint64{1}, []uint64{1, 2}); !math.IsNaN(got) {
+		t.Errorf("KS length mismatch = %v, want NaN", got)
+	}
+}
+
+// TestPSIShiftedNormal pins the detector behavior the thresholds are tuned
+// for: a same-distribution resample stays far below 0.1 ("stable"), a one-
+// sigma mean shift lands far above 0.25 ("significant").
+func TestPSIShiftedNormal(t *testing.T) {
+	r := rng.New(42)
+	refSample := make([]float64, 4000)
+	for i := range refSample {
+		refSample[i] = r.Norm()
+	}
+	hists, err := serve.BuildFeatureHists([]string{"x"}, wrapRows(refSample), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hists[0]
+
+	bin := func(sample []float64) []uint64 {
+		counts := make([]uint64, h.NumBins())
+		for _, v := range sample {
+			counts[h.BinIndex(v)]++
+		}
+		return counts
+	}
+	same := make([]float64, 1000)
+	shifted := make([]float64, 1000)
+	for i := range same {
+		same[i] = r.Norm()
+		shifted[i] = r.Norm() + 1
+	}
+	if psi := PSI(h.Counts, bin(same)); psi >= 0.1 {
+		t.Errorf("stationary resample PSI = %v, want < 0.1", psi)
+	}
+	if psi := PSI(h.Counts, bin(shifted)); psi <= 0.25 {
+		t.Errorf("1-sigma shift PSI = %v, want > 0.25", psi)
+	}
+	if ks := KS(h.Counts, bin(shifted)); ks <= 0.25 {
+		t.Errorf("1-sigma shift KS = %v, want > 0.25", ks)
+	}
+}
+
+func TestNoiseExplainedMAE(t *testing.T) {
+	if got := NoiseExplainedMAE(0); got != 0 {
+		t.Errorf("NoiseExplainedMAE(0) = %v", got)
+	}
+	want := 0.05 * math.Sqrt(2/math.Pi)
+	if got := NoiseExplainedMAE(0.05); math.Abs(got-want) > 1e-15 {
+		t.Errorf("NoiseExplainedMAE(0.05) = %v, want %v", got, want)
+	}
+}
+
+func wrapRows(vals []float64) [][]float64 {
+	rows := make([][]float64, len(vals))
+	for i, v := range vals {
+		rows[i] = []float64{v}
+	}
+	return rows
+}

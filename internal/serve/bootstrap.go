@@ -243,6 +243,13 @@ func BuildVersion(name string, version int, frame *dataset.Frame, cfg BootstrapC
 		guard.NoiseFloorPct = noise.FloorPct
 	}
 
+	// Persist the training-time feature distribution so the bundle can be
+	// drift-monitored after any number of save/load round trips.
+	ref, err := BuildFeatureHists(frame.Columns(), rows, 0)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reference histograms for %s v%d: %w", name, version, err)
+	}
+
 	return &ModelVersion{
 		System:    name,
 		Version:   version,
@@ -252,5 +259,6 @@ func BuildVersion(name string, version int, frame *dataset.Frame, cfg BootstrapC
 		Scaler:    scaler,
 		Guard:     guard,
 		TrainedOn: frame.Len(),
+		Reference: ref,
 	}, nil
 }

@@ -56,6 +56,32 @@ type Metrics struct {
 	perSystem sync.Map
 	// shadowStats maps ShadowKey -> *ShadowStat.
 	shadowStats sync.Map
+
+	// collectorMu guards collectors: extra exposition writers registered
+	// by subsystems outside serve (e.g. internal/drift), appended to the
+	// /metrics output after the built-in series.
+	collectorMu sync.Mutex
+	collectors  []func(io.Writer) error
+}
+
+// RegisterCollector appends an extra Prometheus-text writer to the
+// /metrics output and returns a function that unregisters it. Collectors
+// run after the built-in series, in registration order; a collector must
+// write complete series (HELP/TYPE plus samples) under its own metric
+// names. Subsystems with a lifecycle (e.g. internal/drift) must
+// unregister on close, or a replacement would duplicate metric families.
+func (m *Metrics) RegisterCollector(c func(io.Writer) error) (unregister func()) {
+	m.collectorMu.Lock()
+	m.collectors = append(m.collectors, c)
+	idx := len(m.collectors) - 1
+	m.collectorMu.Unlock()
+	return func() {
+		m.collectorMu.Lock()
+		if idx < len(m.collectors) {
+			m.collectors[idx] = nil
+		}
+		m.collectorMu.Unlock()
+	}
 }
 
 // SystemMetrics are the per-system counter labels.
@@ -396,7 +422,21 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	if err := m.writeShadowText(w); err != nil {
 		return err
 	}
-	return m.Latency.writeText(w, "ioserve_request_latency_seconds")
+	if err := m.Latency.writeText(w, "ioserve_request_latency_seconds"); err != nil {
+		return err
+	}
+	m.collectorMu.Lock()
+	extra := append([]func(io.Writer) error(nil), m.collectors...)
+	m.collectorMu.Unlock()
+	for _, c := range extra {
+		if c == nil { // unregistered
+			continue
+		}
+		if err := c(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeShadowText renders the per-comparison shadow series. Counters carry

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"testing"
+)
+
+func TestBuildFeatureHists(t *testing.T) {
+	cols := []string{"a", "b"}
+	rows := make([][]float64, 100)
+	for i := range rows {
+		rows[i] = []float64{float64(i), 7} // a: uniform 0..99, b: constant
+	}
+	hists, err := BuildFeatureHists(cols, rows, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hists) != 2 {
+		t.Fatalf("got %d hists", len(hists))
+	}
+	a := hists[0]
+	if a.Name != "a" || a.NumBins() != 10 {
+		t.Fatalf("feature a: %+v", a)
+	}
+	if a.Total() != 100 {
+		t.Errorf("feature a total = %d", a.Total())
+	}
+	// Quantile bins over a uniform sample are balanced.
+	for b, c := range a.Counts {
+		if c < 5 || c > 15 {
+			t.Errorf("feature a bin %d count %d, want ~10", b, c)
+		}
+	}
+	// Constant feature collapses to two bins: everything at or below the
+	// constant, nothing above — and a larger live value is distinguishable.
+	b := hists[1]
+	if b.NumBins() != 2 {
+		t.Fatalf("constant feature bins = %d, want 2", b.NumBins())
+	}
+	if b.Counts[0] != 100 || b.Counts[1] != 0 {
+		t.Errorf("constant feature counts = %v", b.Counts)
+	}
+	if b.BinIndex(7) != 0 || b.BinIndex(8) != 1 {
+		t.Error("constant feature bin boundaries wrong")
+	}
+
+	if _, err := BuildFeatureHists(cols, nil, 10); err == nil {
+		t.Error("no rows accepted")
+	}
+	if _, err := BuildFeatureHists(cols, [][]float64{{1}}, 10); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+// TestReferenceRoundTrip pins that the reference histograms survive the
+// SaveVersion/LoadRegistry protocol — the drift detector must be able to
+// monitor bundles loaded from disk, including live-reloaded ones.
+func TestReferenceRoundTrip(t *testing.T) {
+	_, v1, _ := fixture(t)
+	if len(v1.Reference) == 0 {
+		t.Fatal("BuildVersion produced no reference histograms")
+	}
+	dir := t.TempDir()
+	if err := SaveVersion(dir, v1); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := LoadRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := reg.Get("theta", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mv.Reference) != len(v1.Reference) {
+		t.Fatalf("loaded %d reference hists, want %d", len(mv.Reference), len(v1.Reference))
+	}
+	for i := range mv.Reference {
+		got, want := mv.Reference[i], v1.Reference[i]
+		if got.Name != want.Name || len(got.Cuts) != len(want.Cuts) || got.Total() != want.Total() {
+			t.Errorf("reference %d mismatch: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestReferenceValidation(t *testing.T) {
+	cols := []string{"a", "b"}
+	ok := FeatureHist{Name: "a", Cuts: []float64{1}, Counts: []uint64{3, 4}}
+	cases := []struct {
+		name string
+		ref  []FeatureHist
+		want bool
+	}{
+		{"nil ok", nil, true},
+		{"valid", []FeatureHist{ok}, true},
+		{"unknown column", []FeatureHist{{Name: "zz", Cuts: []float64{1}, Counts: []uint64{1, 1}}}, false},
+		{"duplicate", []FeatureHist{ok, ok}, false},
+		{"cuts not ascending", []FeatureHist{{Name: "a", Cuts: []float64{2, 1}, Counts: []uint64{1, 1, 1}}}, false},
+		{"nan cut", []FeatureHist{{Name: "a", Cuts: []float64{nan()}, Counts: []uint64{1, 1}}}, false},
+		{"count/cut mismatch", []FeatureHist{{Name: "a", Cuts: []float64{1, 2}, Counts: []uint64{1, 1}}}, false},
+		{"empty", []FeatureHist{{Name: "a", Cuts: []float64{1}, Counts: []uint64{0, 0}}}, false},
+		{"more hists than columns", []FeatureHist{
+			{Name: "a", Cuts: []float64{1}, Counts: []uint64{1, 1}},
+			{Name: "b", Cuts: []float64{1}, Counts: []uint64{1, 1}},
+			{Name: "a", Cuts: []float64{1}, Counts: []uint64{1, 1}},
+		}, false},
+	}
+	for _, tc := range cases {
+		err := validateReference(tc.ref, cols)
+		if (err == nil) != tc.want {
+			t.Errorf("%s: err = %v, want ok=%v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return 0 / z
+}

@@ -61,6 +61,10 @@ type manifest struct {
 	Guard    GuardConfig `json:"guard"`
 	// TrainedOn records the training-set size (informational).
 	TrainedOn int `json:"trained_on,omitempty"`
+	// Reference carries the training-time per-feature histograms the drift
+	// detectors compare live traffic against (reference.go); optional —
+	// bundles without it serve normally but cannot be drift-monitored.
+	Reference []FeatureHist `json:"reference,omitempty"`
 }
 
 // ModelVersion is one loaded bundle.
@@ -80,6 +84,9 @@ type ModelVersion struct {
 	Guard    GuardConfig
 	// TrainedOn is the training-set size recorded at export time.
 	TrainedOn int
+	// Reference is the training-time feature distribution (may be nil;
+	// required for drift monitoring, see internal/drift).
+	Reference []FeatureHist
 }
 
 // validate cross-checks the bundle's internal consistency.
@@ -108,6 +115,9 @@ func (mv *ModelVersion) validate() error {
 		if err := mv.Scaler.TransformRow(make([]float64, len(mv.Columns)), make([]float64, len(mv.Columns))); err != nil {
 			return fmt.Errorf("serve: model %s v%d: scaler does not match schema: %w", mv.System, mv.Version, err)
 		}
+	}
+	if err := validateReference(mv.Reference, mv.Columns); err != nil {
+		return fmt.Errorf("serve: model %s v%d: %w", mv.System, mv.Version, err)
 	}
 	return nil
 }
@@ -544,6 +554,7 @@ func loadVersionDir(dir, wantSystem string) (*ModelVersion, error) {
 		Columns:   m.Columns,
 		Guard:     m.Guard,
 		TrainedOn: m.TrainedOn,
+		Reference: m.Reference,
 	}
 	modelPath, err := artifactPath(dir, m.Model)
 	if err != nil {
@@ -642,6 +653,7 @@ func SaveVersion(root string, mv *ModelVersion) error {
 		Model:     gbtModelName,
 		Guard:     mv.Guard,
 		TrainedOn: mv.TrainedOn,
+		Reference: mv.Reference,
 	}
 	if err := writeJSONFile(filepath.Join(dir, gbtModelName), mv.Model.WriteJSON); err != nil {
 		return err

@@ -73,6 +73,18 @@ type PredictionResult struct {
 	CacheHit bool `json:"cache_hit"`
 }
 
+// Observer receives every successfully served request. It is called
+// synchronously on the predict path after the response is assembled, so
+// implementations must be cheap, non-blocking, and panic-free; anything
+// expensive belongs on the observer's own queue. The drift detectors
+// (internal/drift) use this to watch the live feature distribution.
+type Observer interface {
+	ObserveServed(mv *ModelVersion, rows [][]float64, results []PredictionResult)
+}
+
+// observerBox wraps the interface so it can live in an atomic.Pointer.
+type observerBox struct{ obs Observer }
+
 // Service ties registry, cache, batcher, shadow, and metrics into the
 // predict path.
 type Service struct {
@@ -83,6 +95,8 @@ type Service struct {
 	metrics *Metrics
 	// reloader is attached by NewReloader (nil when reloading is off).
 	reloader atomic.Pointer[Reloader]
+	// observer is attached by SetObserver (nil when nothing watches).
+	observer atomic.Pointer[observerBox]
 }
 
 // NewService wires a service over a loaded registry.
@@ -116,6 +130,16 @@ func (s *Service) Reloader() *Reloader { return s.reloader.Load() }
 
 func (s *Service) attachReloader(r *Reloader) { s.reloader.Store(r) }
 
+// SetObserver attaches (or, with nil, detaches) the served-traffic
+// observer. Safe to call while traffic is flowing.
+func (s *Service) SetObserver(o Observer) {
+	if o == nil {
+		s.observer.Store(nil)
+		return
+	}
+	s.observer.Store(&observerBox{obs: o})
+}
+
 // Predict serves a batch of rows against one model version (version <= 0
 // selects the serving default: the promoted version, or the highest
 // registered one), returning the results and the bundle that produced
@@ -130,7 +154,7 @@ func (s *Service) Predict(ctx context.Context, system string, version int, rows 
 	// registry resolves the system — a flood of bogus system names must
 	// not grow the metrics map (and /metrics cardinality) without bound;
 	// such failures count only toward the unlabeled totals.
-	results, mv, err := s.predict(ctx, system, version, rows)
+	results, mv, err := s.predict(ctx, system, version, rows, false)
 	if err != nil {
 		s.metrics.Errors.Add(1)
 		if mv != nil {
@@ -144,7 +168,17 @@ func (s *Service) Predict(ctx context.Context, system string, version int, rows 
 	return results, mv, nil
 }
 
-func (s *Service) predict(ctx context.Context, system string, version int, rows [][]float64) ([]PredictionResult, *ModelVersion, error) {
+// PredictQuiet evaluates rows exactly like Predict — same registry
+// resolution, duplicate cache, micro-batcher, and guardrails — but
+// records nothing: no serving metrics, no shadow mirroring, no observer
+// notification. Control-plane evaluations (e.g. internal/drift scoring
+// ground-truth feedback against model versions) use it so backfilled
+// feedback never reads as live traffic or double-counts served rows.
+func (s *Service) PredictQuiet(ctx context.Context, system string, version int, rows [][]float64) ([]PredictionResult, *ModelVersion, error) {
+	return s.predict(ctx, system, version, rows, true)
+}
+
+func (s *Service) predict(ctx context.Context, system string, version int, rows [][]float64, quiet bool) ([]PredictionResult, *ModelVersion, error) {
 	if len(rows) == 0 {
 		return nil, nil, fmt.Errorf("serve: empty request")
 	}
@@ -156,8 +190,9 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 	if err != nil {
 		return nil, nil, err
 	}
-	sys := s.metrics.System(mv.System)
-	sys.Requests.Add(1)
+	if !quiet {
+		s.metrics.System(mv.System).Requests.Add(1)
+	}
 	for i, row := range rows {
 		if len(row) != len(mv.Columns) {
 			return nil, mv, fmt.Errorf("serve: row %d has %d features, model %s v%d expects %d",
@@ -215,9 +250,13 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 		}
 	}
 
+	if quiet {
+		return results, mv, nil
+	}
 	s.metrics.Predictions.Add(uint64(len(rows)))
 	s.metrics.CacheHits.Add(hits)
 	s.metrics.CacheMisses.Add(uint64(len(misses)))
+	sys := s.metrics.System(mv.System)
 	sys.Predictions.Add(uint64(len(rows)))
 	sys.CacheHits.Add(hits)
 	sys.CacheMisses.Add(uint64(len(misses)))
@@ -230,6 +269,9 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 	s.metrics.OoDFlagged.Add(ood)
 	sys.OoDFlagged.Add(ood)
 	s.shadow.Mirror(mv, rows, results)
+	if box := s.observer.Load(); box != nil {
+		box.obs.ObserveServed(mv, rows, results)
+	}
 	return results, mv, nil
 }
 

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 )
 
 // HTTP layer. Endpoints:
@@ -20,7 +22,9 @@ import (
 //	GET  /metrics               — Prometheus text format
 //
 // The handler owns no state beyond the Service; it can be mounted into any
-// mux or served directly.
+// mux or served directly. The three mutating admin actions (promote,
+// rollback, reload) can be gated behind a bearer token via
+// HandlerConfig.AdminToken; the read and predict paths are never gated.
 
 // maxRequestBody bounds predict request bodies (16 MiB ~ 100k-row batches
 // of 20 features; far above anything the batcher wants in one request).
@@ -51,8 +55,50 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Handler wraps a Service as an http.Handler.
-func Handler(svc *Service) http.Handler {
+// HandlerConfig tunes the HTTP layer.
+type HandlerConfig struct {
+	// AdminToken, when non-empty, is required (constant-time compared) on
+	// every mutating admin endpoint: requests must carry it as
+	// "Authorization: Bearer <token>" or "X-Admin-Token: <token>", and a
+	// missing or mismatched token is answered with 401 before the body is
+	// read. Empty leaves the admin endpoints open (the pre-authn behavior).
+	AdminToken string
+}
+
+// AdminAuthorized reports whether a request may perform admin actions
+// under the given token ("" means no authn is configured — every request
+// qualifies). The comparison is constant-time, so the check does not leak
+// how much of a guessed token matched.
+func AdminAuthorized(r *http.Request, token string) bool {
+	if token == "" {
+		return true
+	}
+	got := r.Header.Get("X-Admin-Token")
+	if auth := r.Header.Get("Authorization"); got == "" && strings.HasPrefix(auth, "Bearer ") {
+		got = strings.TrimPrefix(auth, "Bearer ")
+	}
+	return subtle.ConstantTimeCompare([]byte(got), []byte(token)) == 1
+}
+
+// RequireAdmin wraps a handler with the admin-token gate; internal/drift
+// reuses it for its own mutating endpoints so the whole control plane
+// shares one credential.
+func RequireAdmin(token string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !AdminAuthorized(r, token) {
+			w.Header().Set("WWW-Authenticate", "Bearer")
+			writeError(w, http.StatusUnauthorized, "admin token required")
+			return
+		}
+		next(w, r)
+	}
+}
+
+// Handler wraps a Service as an http.Handler with open admin endpoints.
+func Handler(svc *Service) http.Handler { return NewHandler(svc, HandlerConfig{}) }
+
+// NewHandler wraps a Service as an http.Handler under the given config.
+func NewHandler(svc *Service, cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
 		handlePredict(svc, w, r)
@@ -71,7 +117,7 @@ func Handler(svc *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"systems": systemVersions(svc)})
 	})
-	mux.HandleFunc("/v1/versions/promote", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/versions/promote", RequireAdmin(cfg.AdminToken, func(w http.ResponseWriter, r *http.Request) {
 		handleVersionAction(svc, w, r, func(req versionActionRequest) (int, error) {
 			if req.Version <= 0 {
 				return 0, errBadRequest("missing \"version\"")
@@ -81,13 +127,13 @@ func Handler(svc *Service) http.Handler {
 			}
 			return req.Version, nil
 		})
-	})
-	mux.HandleFunc("/v1/versions/rollback", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/versions/rollback", RequireAdmin(cfg.AdminToken, func(w http.ResponseWriter, r *http.Request) {
 		handleVersionAction(svc, w, r, func(req versionActionRequest) (int, error) {
 			return svc.Registry().Rollback(req.System)
 		})
-	})
-	mux.HandleFunc("/v1/versions/reload", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/versions/reload", RequireAdmin(cfg.AdminToken, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
 			return
@@ -112,7 +158,7 @@ func Handler(svc *Service) http.Handler {
 			}
 		}
 		writeJSON(w, status, body)
-	})
+	}))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":   "ok",
