@@ -24,10 +24,12 @@ fmt:
 bench:
 	./scripts/bench.sh
 
-# Two cheap benchmarks as a CI smoke signal that the bench harness and the
-# JSON recorder still work.
+# Cheap benchmarks as a CI smoke signal: two fast figure benchmarks prove
+# the harness and the JSON recorder still work, and the serving trio runs
+# with -benchmem so benchcmp can gate the hot path's ns/op and allocs/op
+# against the committed snapshot.
 bench-smoke:
-	BENCH_PATTERN='^(BenchmarkFig1b|BenchmarkTableT1)$$' ./scripts/bench.sh
+	BENCH_PATTERN='^(BenchmarkFig1b|BenchmarkTableT1|BenchmarkServeDupHeavyCacheOn|BenchmarkServeDupHeavyCacheOff|BenchmarkServeBatch16)$$' ./scripts/bench.sh
 
 # Diff the two newest BENCH_*.json snapshots; fails on >10% regression in
 # the serving/predict benchmarks (see scripts/benchcmp.sh for knobs).

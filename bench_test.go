@@ -372,6 +372,9 @@ func benchServe(b *testing.B, cacheSize, batchSize int, dupRate float64) {
 		reqs[i] = gen.NextRows()
 	}
 	ctx := context.Background()
+	// Serving-path heap traffic is a tracked regression axis (benchcmp
+	// tripwires on allocs/op), so these benchmarks always report it.
+	b.ReportAllocs()
 	b.ResetTimer()
 	rows := 0
 	for i := 0; i < b.N; i++ {

@@ -1,15 +1,18 @@
 // Command benchcmp diffs two BENCH_<date>.json snapshots (produced by
 // `make bench` via cmd/benchjson) and fails when a benchmark regressed by
-// more than the threshold. It is the CI tripwire for the serving/predict
-// hot paths: scripts/benchcmp.sh feeds it the two newest snapshots.
+// more than the threshold — in wall clock (ns/op) or in heap traffic
+// (allocs/op, when both snapshots carry the -benchmem columns). It is the
+// CI tripwire for the serving/predict hot paths: scripts/benchcmp.sh feeds
+// it the two newest snapshots.
 //
 // Usage:
 //
 //	benchcmp [-threshold 10] [-pattern 'Serve|Predict'] old.json new.json
 //
-// Benchmarks present in only one snapshot are reported and skipped; if
-// the snapshots share no benchmark matching the pattern the comparison is
-// a no-op (exit 0) — a tripwire must not fail on missing data, only on
+// Benchmarks present in only one snapshot are reported and skipped, as is
+// the allocs/op comparison when either side predates -benchmem recording;
+// if the snapshots share no benchmark matching the pattern the comparison
+// is a no-op (exit 0) — a tripwire must not fail on missing data, only on
 // measured regressions.
 package main
 
@@ -17,35 +20,45 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"sort"
 )
 
-// report mirrors cmd/benchjson's output document.
+// report mirrors cmd/benchjson's output document. AllocsPerOp is a
+// pointer: nil means the snapshot predates -benchmem recording (skip the
+// alloc comparison), while a present 0 is a real zero-allocation baseline
+// that regressions must be measured against.
 type report struct {
 	Date       string `json:"date"`
 	Benchmarks map[string]struct {
-		Iterations int64   `json:"iterations"`
-		NsPerOp    float64 `json:"ns_per_op"`
+		Iterations  int64    `json:"iterations"`
+		NsPerOp     float64  `json:"ns_per_op"`
+		AllocsPerOp *float64 `json:"allocs_per_op"`
 	} `json:"benchmarks"`
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	threshold := flag.Float64("threshold", 10, "ns/op regression threshold in percent")
+	allocThreshold := flag.Float64("alloc-threshold", -1,
+		"allocs/op regression threshold in percent (< 0: same as -threshold); allocs are machine-independent, so cross-machine comparisons can gate them tighter than wall clock")
 	pattern := flag.String("pattern", "Serve|Predict", "regexp selecting the benchmarks to compare")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold pct] [-pattern re] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold pct] [-alloc-threshold pct] [-pattern re] old.json new.json")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *pattern, *threshold); err != nil {
+	if *allocThreshold < 0 {
+		*allocThreshold = *threshold
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *pattern, *threshold, *allocThreshold); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath, pattern string, threshold float64) error {
+func run(oldPath, newPath, pattern string, threshold, allocThreshold float64) error {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		return fmt.Errorf("bad -pattern: %w", err)
@@ -67,8 +80,8 @@ func run(oldPath, newPath, pattern string, threshold float64) error {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("benchcmp %s (%s) -> %s (%s), threshold %.0f%%\n",
-		oldPath, oldRep.Date, newPath, newRep.Date, threshold)
+	fmt.Printf("benchcmp %s (%s) -> %s (%s), thresholds ns %.0f%% / allocs %.0f%%\n",
+		oldPath, oldRep.Date, newPath, newRep.Date, threshold, allocThreshold)
 	compared, regressions := 0, 0
 	for _, name := range names {
 		ob := oldRep.Benchmarks[name]
@@ -88,8 +101,33 @@ func run(oldPath, newPath, pattern string, threshold float64) error {
 			verdict = "REGRESSION"
 			regressions++
 		}
-		fmt.Printf("  %-32s %14.0f -> %14.0f ns/op  %+7.2f%%  %s\n",
+		fmt.Printf("  %-32s %14.0f -> %14.0f ns/op      %+7.2f%%  %s\n",
 			name, ob.NsPerOp, nb.NsPerOp, delta, verdict)
+		// Heap-traffic tripwire. Snapshots recorded before -benchmem (or
+		// runs without it) carry no allocs/op — that side is skipped,
+		// never failed. A recorded 0 is a real baseline: any allocation
+		// appearing on a zero-alloc path is a regression by definition.
+		if ob.AllocsPerOp == nil || nb.AllocsPerOp == nil {
+			continue
+		}
+		oa, na := *ob.AllocsPerOp, *nb.AllocsPerOp
+		var aDelta float64
+		regressed := false
+		switch {
+		case oa > 0:
+			aDelta = 100 * (na - oa) / oa
+			regressed = aDelta > allocThreshold
+		case na > 0: // 0 -> N: infinite relative growth
+			aDelta = math.Inf(1)
+			regressed = true
+		}
+		aVerdict := "ok"
+		if regressed {
+			aVerdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-32s %14.0f -> %14.0f allocs/op  %+7.2f%%  %s\n",
+			name, oa, na, aDelta, aVerdict)
 	}
 	for name := range newRep.Benchmarks {
 		if re.MatchString(name) {
@@ -103,7 +141,7 @@ func run(oldPath, newPath, pattern string, threshold float64) error {
 		return nil
 	}
 	if regressions > 0 {
-		return fmt.Errorf("%d of %d compared benchmarks regressed more than %.0f%%", regressions, compared, threshold)
+		return fmt.Errorf("%d ns/op or allocs/op regression(s) beyond threshold across %d compared benchmarks", regressions, compared)
 	}
 	fmt.Printf("  %d benchmarks within threshold\n", compared)
 	return nil

@@ -20,6 +20,12 @@ type Result struct {
 	Iterations int64 `json:"iterations"`
 	// NsPerOp is the headline wall-clock cost.
 	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp / BytesPerOp are the -benchmem columns; nil (absent in
+	// the JSON) when the run did not report them, so a genuine 0
+	// allocs/op is distinguishable from "not measured". cmd/benchcmp
+	// tripwires on allocs_per_op the same way it does on ns_per_op.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	// Metrics holds every custom b.ReportMetric unit (e.g. "best_err_%").
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
@@ -75,6 +81,12 @@ func parse(r io.Reader) (Report, error) {
 			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				res.NsPerOp = val
+			case "allocs/op":
+				v := val
+				res.AllocsPerOp = &v
+			case "B/op":
+				v := val
+				res.BytesPerOp = &v
 			default:
 				res.Metrics[unit] = val
 			}

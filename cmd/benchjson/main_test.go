@@ -12,6 +12,7 @@ pkg: iotaxo
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkFig1a    	       1	6326583248 ns/op	        11.90 best_err_%	        14.05 default_err_%
 BenchmarkFig3-8   	       3	1295238564 ns/op	        11.77 posix_test_err_%
+BenchmarkServeBatch16 	   10000	    203158 ns/op	     12697 ns/row	    3585 B/op	       9 allocs/op
 PASS
 ok  	iotaxo	11.588s
 `
@@ -38,6 +39,22 @@ ok  	iotaxo	11.588s
 	}
 	if fig3.Metrics["posix_test_err_%"] != 11.77 {
 		t.Errorf("Fig3 metrics %v", fig3.Metrics)
+	}
+	serve16, ok := rep.Benchmarks["ServeBatch16"]
+	if !ok {
+		t.Fatalf("ServeBatch16 missing: %v", rep.Benchmarks)
+	}
+	if serve16.AllocsPerOp == nil || *serve16.AllocsPerOp != 9 ||
+		serve16.BytesPerOp == nil || *serve16.BytesPerOp != 3585 {
+		t.Errorf("-benchmem columns parsed as %+v", serve16)
+	}
+	if serve16.Metrics["ns/row"] != 12697 {
+		t.Errorf("ServeBatch16 metrics %v", serve16.Metrics)
+	}
+	// A run without -benchmem must record absence, not zero — benchcmp
+	// treats a present 0 as a true zero-allocation baseline.
+	if fig1a.AllocsPerOp != nil {
+		t.Errorf("allocs_per_op present without -benchmem: %+v", fig1a)
 	}
 	if _, err := parse(strings.NewReader("nothing here")); err == nil {
 		t.Error("empty input accepted")

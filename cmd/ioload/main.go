@@ -278,6 +278,39 @@ func runChurn(ctx context.Context, churn churnSpec, addr, sysName, token string)
 	return res
 }
 
+// latencyRecorder accumulates per-request predict latencies for the drift
+// scenario, whose report would otherwise carry no tail percentiles (the
+// steady and churn scenarios get p50/p95/p99 from serve.LoadStats) —
+// serving-path regressions show up in p95/p99 long before they move the
+// mean.
+type latencyRecorder struct {
+	mu   sync.Mutex
+	lats []time.Duration
+}
+
+func (l *latencyRecorder) record(d time.Duration) {
+	l.mu.Lock()
+	l.lats = append(l.lats, d)
+	l.mu.Unlock()
+}
+
+// report prints p50/p95/p99 over the recorded latencies (no-op when
+// nothing succeeded).
+func (l *latencyRecorder) report() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.lats) == 0 {
+		return
+	}
+	sort.Slice(l.lats, func(a, b int) bool { return l.lats[a] < l.lats[b] })
+	pick := func(q float64) time.Duration {
+		return l.lats[int(q*float64(len(l.lats)-1))]
+	}
+	fmt.Printf("latency p50     %v\n", pick(0.50))
+	fmt.Printf("latency p95     %v\n", pick(0.95))
+	fmt.Printf("latency p99     %v\n", pick(0.99))
+}
+
 // versionTracker counts responses per served model version, so the churn
 // scenario can show the live swap happening under traffic.
 type versionTracker struct {
@@ -364,6 +397,7 @@ func runDriftScenario(addr, sysName, token string, requests, batch int, rate flo
 	rows := frame.Rows()
 	ys := frame.Y()
 	tracker := &versionTracker{seen: make(map[int]int)}
+	lats := &latencyRecorder{}
 
 	initialMax, err := maxRegisteredVersion(client, addr, sysName)
 	if err != nil {
@@ -386,6 +420,7 @@ func runDriftScenario(addr, sysName, token string, requests, batch int, rate flo
 			actual[i] = ys[j]
 		}
 		body, _ := json.Marshal(serve.PredictRequest{System: sysName, Rows: reqRows})
+		predStart := time.Now()
 		resp, err := client.Post(addr+"/v1/predict", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return err
@@ -396,6 +431,7 @@ func runDriftScenario(addr, sysName, token string, requests, batch int, rate flo
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("predict returned %d", resp.StatusCode)
 		}
+		lats.record(time.Since(predStart))
 		if decErr == nil {
 			tracker.record(pr.Version)
 		}
@@ -445,6 +481,7 @@ func runDriftScenario(addr, sysName, token string, requests, batch int, rate flo
 	for {
 		if time.Now().After(deadline) {
 			fmt.Printf("versions seen   %s\n", tracker.String())
+			lats.report()
 			reportDriftStatus(client, addr, sysName)
 			return fmt.Errorf("drift scenario: no retrained version promoted within %v (last seen serving v%d; is the server running with -drift-interval, -auto-promote, and -reload-interval?)",
 				dr.wait, lastActive)
@@ -470,6 +507,7 @@ func runDriftScenario(addr, sysName, token string, requests, batch int, rate flo
 		lastActive = active
 		if active > initialMax {
 			fmt.Printf("versions seen   %s\n", tracker.String())
+			lats.report()
 			fmt.Printf("drift loop      closed: %s v%d retrained, published, and promoted\n", sysName, active)
 			reportDriftStatus(client, addr, sysName)
 			return nil

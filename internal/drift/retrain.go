@@ -168,6 +168,12 @@ func (c *Controller) trainAndPublish(system string, rows [][]float64, ys []float
 		TrainedOn: len(rows),
 		Reference: ref,
 	}
+	// Compile the candidate's flat engine off the serving path, before
+	// publication: direct registration (no on-disk root) hands the bundle
+	// to shadow/canary traffic immediately, and the save path re-compiles
+	// in loadVersionDir when the reloader picks the directory up — either
+	// way no request ever pays the compilation inline.
+	mv.Flat()
 
 	// Pin the incumbent before the candidate becomes loadable: auto-track
 	// must not put an unevaluated model into the serving path.

@@ -1,6 +1,7 @@
 package gbt
 
 import (
+	"bytes"
 	"math"
 	"sort"
 	"testing"
@@ -205,6 +206,135 @@ func TestSelectColumnsMatchesDirectBinning(t *testing.T) {
 	if _, err := bdFull.SelectColumns([]int{99}); err == nil {
 		t.Error("out-of-range column accepted")
 	}
+}
+
+// TestFlatMatchesModel: the compiled Flat engine must reproduce
+// Model.Predict / Model.PredictAll bit-for-bit across randomized models —
+// varied depth, bin budgets, and sampling regimes — on training rows,
+// held-out rows, and chunk-boundary batch sizes.
+func TestFlatMatchesModel(t *testing.T) {
+	rows, y := synth(2200, 0.1, 41)
+	probe, _ := synth(513, 0.1, 42) // crosses the 128/512 chunk boundaries
+	r := rng.New(43)
+	for trial := 0; trial < 8; trial++ {
+		p := DefaultParams()
+		p.NumTrees = 10 + r.Intn(40)
+		p.MaxDepth = 2 + r.Intn(10)
+		p.NumBins = 2 + r.Intn(200)
+		p.LearningRate = 0.05 + 0.3*r.Float64()
+		p.Subsample = 0.5 + 0.5*r.Float64()
+		p.ColSample = 0.5 + 0.5*r.Float64()
+		p.Seed = uint64(trial + 1)
+		m, err := Train(p, rows, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl := m.Compile()
+		if !fl.Quantized() {
+			t.Fatalf("trial %d: compiled model not quantized (bins %d)", trial, p.NumBins)
+		}
+		if fl.NumTrees() != m.NumTrees() || fl.NumFeatures() != m.NumFeatures() {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		bitEqual(t, "flat train preds", m.PredictAll(rows), fl.PredictAll(rows))
+		bitEqual(t, "flat probe preds", m.PredictAll(probe), fl.PredictAll(probe))
+		for _, n := range []int{1, 127, 128, 129} {
+			sub := probe[:n]
+			got := make([]float64, n)
+			fl.PredictAllInto(sub, got)
+			bitEqual(t, "flat chunk sizes", m.PredictAll(sub), got)
+		}
+		for i := 0; i < 50; i++ {
+			row := probe[r.Intn(len(probe))]
+			if math.Float64bits(m.Predict(row)) != math.Float64bits(fl.Predict(row)) {
+				t.Fatalf("trial %d: single-row Flat.Predict diverges", trial)
+			}
+		}
+	}
+}
+
+// TestFlatDegenerateSingleLeaf: a model whose trees never split must
+// compile and predict the bias-plus-leaf constant everywhere.
+func TestFlatDegenerateSingleLeaf(t *testing.T) {
+	// A constant target admits no gainful split, so every tree is one leaf.
+	rows, _ := synth(300, 0, 44)
+	y := make([]float64, len(rows))
+	for i := range y {
+		y[i] = 3.5
+	}
+	p := DefaultParams()
+	p.NumTrees = 5
+	m, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := m.Compile()
+	bitEqual(t, "single-leaf preds", m.PredictAll(rows), fl.PredictAll(rows))
+	for _, tr := range m.trees {
+		if len(tr.nodes) != 1 || tr.nodes[0].feature >= 0 {
+			t.Fatal("expected degenerate single-leaf trees")
+		}
+	}
+}
+
+// TestFlatRoundTripSerialized: a model that went through the JSON
+// serialization (losing its training-time bin codes) must still compile to
+// a bit-identical Flat — the registry's load path.
+func TestFlatRoundTripSerialized(t *testing.T) {
+	rows, y := synth(900, 0.1, 45)
+	p := TunedBase()
+	p.NumTrees = 25
+	p.MaxDepth = 8
+	m, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := loaded.Compile()
+	bitEqual(t, "serialized flat preds", m.PredictAll(rows), fl.PredictAll(rows))
+}
+
+// TestFlatNaNRow: raw traversal sends a NaN feature right at every split
+// (NaN <= t is false); the quantized walk must do the same.
+func TestFlatNaNRow(t *testing.T) {
+	rows, y := synth(800, 0.1, 46)
+	p := DefaultParams()
+	p.NumTrees = 20
+	m, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := m.Compile()
+	row := append([]float64(nil), rows[0]...)
+	row[1] = math.NaN()
+	batch := [][]float64{row, rows[1], row}
+	bitEqual(t, "nan rows", m.PredictAll(batch), fl.PredictAll(batch))
+}
+
+// TestFlatPredictAllIntoValidation: output-length mismatches must panic
+// rather than silently truncate.
+func TestFlatPredictAllIntoValidation(t *testing.T) {
+	rows, y := synth(50, 0, 47)
+	p := DefaultParams()
+	p.NumTrees = 3
+	m, err := Train(p, rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := m.Compile()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short output accepted")
+		}
+	}()
+	fl.PredictAllInto(rows, make([]float64, len(rows)-1))
 }
 
 // TestSampleColsSorted: the per-round column sample must come back in

@@ -61,3 +61,67 @@ func FuzzReadJSON(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFlatCompile hardens the flat compilation round trip: any model the
+// validating decoder accepts — however degenerate or hostile its structure
+// — must compile to a Flat whose predictions are bit-identical to the
+// pointer walk, batched and single-row, including on non-finite inputs.
+// Checked-in seeds live in testdata/fuzz/FuzzFlatCompile.
+func FuzzFlatCompile(f *testing.F) {
+	rows, y := synth(200, 0.05, 11)
+	for _, trees := range []int{1, 8} {
+		p := DefaultParams()
+		p.NumTrees = trees
+		p.MaxDepth = 5
+		m, err := Train(p, rows, y)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String(), int64(3))
+	}
+	f.Add(`{"version":1,"params":{"NumTrees":1,"MaxDepth":1,"LearningRate":0.1,`+
+		`"Subsample":1,"ColSample":1,"MinChildWeight":1,"Lambda":1,"NumBins":2,"Seed":1},`+
+		`"bias":0.5,"n_feature":2,"gain":[0,0],"trees":[[{"f":-1,"v":0.25}]]}`, int64(7))
+
+	f.Fuzz(func(t *testing.T, s string, probeSeed int64) {
+		m, err := ReadJSON(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		fl := m.Compile()
+		if fl.NumTrees() != m.NumTrees() || fl.NumFeatures() != m.NumFeatures() {
+			t.Fatal("compiled shape diverges from the source model")
+		}
+		probe, _ := synth(140, 0.2, uint64(probeSeed))
+		batch := make([][]float64, len(probe))
+		for i := range probe {
+			batch[i] = probe[i][:0]
+			for j := 0; j < m.NumFeatures(); j++ {
+				batch[i] = append(batch[i], probe[i][j%len(probe[i])])
+			}
+		}
+		// Sprinkle non-finite values: the quantized walk must agree with
+		// the raw comparisons on them too.
+		batch[0][0] = math.NaN()
+		if m.NumFeatures() > 1 {
+			batch[1][1] = math.Inf(1)
+			batch[2][1] = math.Inf(-1)
+		}
+		want := m.PredictAll(batch)
+		got := fl.PredictAll(batch)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("row %d: model %v vs flat %v", i, want[i], got[i])
+			}
+		}
+		for i := 0; i < 5 && i < len(batch); i++ {
+			if math.Float64bits(m.Predict(batch[i])) != math.Float64bits(fl.Predict(batch[i])) {
+				t.Fatalf("single row %d diverges", i)
+			}
+		}
+	})
+}

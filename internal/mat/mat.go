@@ -25,6 +25,35 @@ func New(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
+// Resized returns m reshaped to rows x cols, reusing its backing array when
+// capacity allows (and growing it otherwise). The contents are unspecified
+// afterwards — callers overwrite them (MulInto clears, CopyRows copies).
+// A nil m allocates fresh; hot loops pass the previous call's matrix back
+// in, so steady state allocates nothing.
+func Resized(m *Matrix, rows, cols int) *Matrix {
+	if m == nil {
+		return New(rows, cols)
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// CopyRows copies row slices into m, which must already be len(rows) x
+// len(rows[i]) (see Resized); the allocation-free counterpart of FromRows.
+func CopyRows(m *Matrix, rows [][]float64) {
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+}
+
 // FromRows builds a matrix from row slices, which must all share a length.
 func FromRows(rows [][]float64) *Matrix {
 	if len(rows) == 0 {

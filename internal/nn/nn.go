@@ -279,18 +279,30 @@ func (m *Model) PredictDist(row []float64) (mean, variance float64) {
 // activations stay cache-sized regardless of input length.
 const predictBatchChunk = 1024
 
+// InferScratch holds the reusable buffers of batched inference: the input
+// matrix and one activation matrix per layer. The zero value is ready to
+// use; buffers grow to the largest (chunk, width) seen and are then reused,
+// so a serving loop that keeps a scratch per worker allocates nothing in
+// steady state. A scratch is not safe for concurrent use, but may be shared
+// sequentially across models of different architectures (buffers resize).
+type InferScratch struct {
+	x   *mat.Matrix
+	act []*mat.Matrix
+}
+
 // PredictAll predicts every row. Rows are forwarded through the network in
 // batches — one matrix product per layer per chunk instead of one tiny
 // product per row — with results bit-identical to per-row Predict (each
 // output row's dot products accumulate in the same order either way).
 func (m *Model) PredictAll(rows [][]float64) []float64 {
 	out := make([]float64, len(rows))
+	var s InferScratch
 	for lo := 0; lo < len(rows); lo += predictBatchChunk {
 		hi := lo + predictBatchChunk
 		if hi > len(rows) {
 			hi = len(rows)
 		}
-		o := m.forwardRows(rows[lo:hi])
+		o := m.forwardScratch(rows[lo:hi], &s)
 		for i := 0; i < o.Rows; i++ {
 			out[lo+i] = o.At(i, 0)*m.yStd + m.yMean
 		}
@@ -302,6 +314,15 @@ func (m *Model) PredictAll(rows [][]float64) []float64 {
 // every row via batched forward passes; it matches per-row PredictDist
 // bit-for-bit. Homoscedastic models report zero variance.
 func (m *Model) PredictDistAll(rows [][]float64, means, variances []float64) {
+	var s InferScratch
+	m.PredictDistAllScratch(rows, means, variances, &s)
+}
+
+// PredictDistAllScratch is PredictDistAll forwarding through caller-owned
+// scratch buffers, so a hot serving loop pays no per-call activation
+// allocations. Results are bit-identical to PredictDistAll (the buffered
+// products run the same mat kernels in the same order).
+func (m *Model) PredictDistAllScratch(rows [][]float64, means, variances []float64, s *InferScratch) {
 	if len(means) != len(rows) || len(variances) != len(rows) {
 		panic("nn: PredictDistAll output length mismatch")
 	}
@@ -310,7 +331,7 @@ func (m *Model) PredictDistAll(rows [][]float64, means, variances []float64) {
 		if hi > len(rows) {
 			hi = len(rows)
 		}
-		o := m.forwardRows(rows[lo:hi])
+		o := m.forwardScratch(rows[lo:hi], s)
 		for i := 0; i < o.Rows; i++ {
 			means[lo+i] = o.At(i, 0)*m.yStd + m.yMean
 			if m.params.Heteroscedastic {
@@ -322,17 +343,37 @@ func (m *Model) PredictDistAll(rows [][]float64, means, variances []float64) {
 	}
 }
 
-// forwardRows runs an inference forward pass over raw rows, validating
-// widths like Predict does.
-func (m *Model) forwardRows(rows [][]float64) *mat.Matrix {
+// forwardScratch runs an inference forward pass over raw rows (validating
+// widths like Predict does) through s's reused activation buffers. The
+// returned matrix is owned by s and valid until its next use. Products go
+// through the same mat.MulInto/axpy kernels as the allocating forward, so
+// outputs are bit-identical.
+func (m *Model) forwardScratch(rows [][]float64, s *InferScratch) *mat.Matrix {
 	for _, r := range rows {
 		if len(r) != m.nIn {
 			panic(fmt.Sprintf("nn: predict row has %d features, model trained on %d", len(r), m.nIn))
 		}
 	}
-	x := mat.FromRows(rows)
-	out, _ := m.forward(x)
-	return out
+	s.x = mat.Resized(s.x, len(rows), m.nIn)
+	mat.CopyRows(s.x, rows)
+	for len(s.act) < len(m.layers) {
+		s.act = append(s.act, nil)
+	}
+	h := s.x
+	last := len(m.layers) - 1
+	for li := range m.layers {
+		l := &m.layers[li]
+		s.act[li] = mat.Resized(s.act[li], h.Rows, l.w.Cols)
+		z := s.act[li]
+		mat.MulInto(z, h, l.w)
+		if li < last {
+			addBiasActivate(z, l.b, m.params.Activation)
+		} else {
+			mat.AddBias(z, l.b)
+		}
+		h = z
+	}
+	return h
 }
 
 func clampLogVar(s float64) float64 {

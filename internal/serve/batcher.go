@@ -5,30 +5,84 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
+
+	"iotaxo/internal/uq"
 )
 
 // Micro-batching worker pool. Concurrent predict calls are coalesced into
-// batches of up to MaxBatch rows, waiting at most MaxDelay for stragglers —
-// the standard online-serving trade of a bounded latency tax for amortized
-// evaluation (one tree walk setup, one member-parallel ensemble pass per
-// batch instead of per row). Batches are grouped per model version before
-// evaluation, so mixed-system traffic shares the same pool.
+// batches of up to MaxBatch rows — the standard online-serving trade of
+// amortized evaluation (one flat tree walk, one member-parallel ensemble
+// pass per batch instead of per row). Submissions travel as *waves*: all of
+// one request's miss rows in a single queue entry, so a worker picks a
+// whole request up in one channel operation and a multi-row request never
+// splits across workers.
+//
+// Batching is adaptive, driven by queue pressure rather than a clock: a
+// worker drains every queued wave (up to MaxBatch rows) and evaluates the
+// moment the queue empties. Under load the queue refills while workers
+// evaluate, so batches grow on their own; when traffic is light nothing
+// artificial delays a request. The MaxDelay straggler window survives only
+// for the case where batching has not yet paid anything — a lone single-row
+// wave — which may wait up to MaxDelay for a partner. Batches are grouped
+// per model version before evaluation, so mixed-system traffic shares the
+// same pool.
 
 // ErrBatcherClosed is returned for submissions after Close.
 var ErrBatcherClosed = errors.New("serve: batcher closed")
 
-// batchReq is one enqueued row awaiting evaluation.
-type batchReq struct {
-	mv  *ModelVersion
-	row []float64
-	out chan batchResp
+// waveReq is one enqueued submission: every miss row of one request bound
+// for one model version. Pooled — see waveReqPool.
+type waveReq struct {
+	mv   *ModelVersion
+	rows [][]float64
+	out  chan waveResp
 }
 
-// batchResp carries the evaluated result back to the submitter.
-type batchResp struct {
-	res Result
-	err error
+// waveResp carries the evaluated results back to the submitter. The
+// results slice is pooled; the submitter consumes it and returns it via
+// putResults.
+type waveResp struct {
+	results []Result
+	err     error
+}
+
+// waveReqPool recycles wave requests and their response channels. A
+// request is pooled only after its single response was consumed (the
+// channel is then provably empty); abandoned requests — context timeouts,
+// shutdown races — are left to the garbage collector.
+var waveReqPool = sync.Pool{
+	New: func() any { return &waveReq{out: make(chan waveResp, 1)} },
+}
+
+// resultsPool recycles the per-wave result slices that cross the response
+// channel.
+var resultsPool = sync.Pool{New: func() any { return new([]Result) }}
+
+// putResults returns a consumed response slice to the pool, cleared so an
+// idle pooled slice pins no guard blocks. Clearing len suffices: a pooled
+// slice's backing array is all-zero beyond len by induction (fresh
+// allocations are zeroed, getResults exposes only [0,n), and every put
+// re-zeroes exactly the prefix that was written).
+func putResults(rs []Result) {
+	if rs == nil {
+		return
+	}
+	for i := range rs {
+		rs[i] = Result{}
+	}
+	rs = rs[:0]
+	resultsPool.Put(&rs)
+}
+
+// getResults returns a pooled slice resized to n.
+func getResults(n int) []Result {
+	rs := *resultsPool.Get().(*[]Result)
+	if cap(rs) < n {
+		rs = make([]Result, n)
+	}
+	return rs[:n]
 }
 
 // Result is one model evaluation in log10 and linear space, with its
@@ -39,9 +93,9 @@ type Result struct {
 	Guard   *Guard
 }
 
-// Batcher coalesces requests into micro-batches across a worker pool.
+// Batcher coalesces request waves into micro-batches across a worker pool.
 type Batcher struct {
-	reqs     chan *batchReq
+	reqs     chan *waveReq
 	stop     chan struct{}
 	done     chan struct{}
 	maxBatch int
@@ -50,7 +104,9 @@ type Batcher struct {
 }
 
 // NewBatcher starts workers goroutines collecting micro-batches of up to
-// maxBatch rows with a maxDelay straggler window. metrics may be nil.
+// maxBatch rows; a lone single-row wave waits at most maxDelay for company
+// (multi-row waves never wait — they are already a batch). metrics may be
+// nil.
 func NewBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metrics) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 32
@@ -62,7 +118,7 @@ func NewBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metr
 		workers = 2
 	}
 	b := &Batcher{
-		reqs:     make(chan *batchReq, workers*maxBatch*4),
+		reqs:     make(chan *waveReq, workers*maxBatch),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		maxBatch: maxBatch,
@@ -86,7 +142,7 @@ func NewBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metr
 		for {
 			select {
 			case req := <-b.reqs:
-				req.out <- batchResp{err: ErrBatcherClosed}
+				req.out <- waveResp{err: ErrBatcherClosed}
 			default:
 				close(b.done)
 				return
@@ -102,136 +158,316 @@ func (b *Batcher) Close() {
 	<-b.done
 }
 
-// enqueue submits one row and returns the response channel. The caller
-// gathers responses after enqueueing a whole request, so a multi-row client
-// batch lands in the same micro-batch without self-induced delay.
-func (b *Batcher) enqueue(ctx context.Context, mv *ModelVersion, row []float64) (chan batchResp, error) {
+// SubmitWave evaluates one request's rows against one model version,
+// blocking until the worker pool answers. The returned results slice is
+// pooled — the caller must finish with it (copying what it keeps) and hand
+// it back via putResults.
+func (b *Batcher) SubmitWave(ctx context.Context, mv *ModelVersion, rows [][]float64) ([]Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	req := &batchReq{mv: mv, row: row, out: make(chan batchResp, 1)}
+	req := waveReqPool.Get().(*waveReq)
+	req.mv, req.rows = mv, rows
 	select {
 	case b.reqs <- req:
-		return req.out, nil
 	case <-b.stop:
+		req.mv, req.rows = nil, nil
+		waveReqPool.Put(req)
 		return nil, ErrBatcherClosed
 	case <-ctx.Done():
+		req.mv, req.rows = nil, nil
+		waveReqPool.Put(req)
 		return nil, ctx.Err()
 	}
-}
-
-// wait blocks for a response. It also watches the shutdown signal: a
-// request that raced with Close and landed in the queue after the drain
-// would otherwise strand its submitter.
-func (b *Batcher) wait(ctx context.Context, out chan batchResp) (Result, error) {
+	// The request is now owned by the pool's worker side; it may only be
+	// recycled after its one response is consumed. On the abandonment
+	// paths below the worker may still send later, so the request (and
+	// its channel) must be left to the garbage collector.
 	select {
-	case resp := <-out:
-		return resp.res, resp.err
+	case resp := <-req.out:
+		req.mv, req.rows = nil, nil
+		waveReqPool.Put(req)
+		return resp.results, resp.err
 	case <-ctx.Done():
-		return Result{}, ctx.Err()
+		return nil, ctx.Err()
 	case <-b.done:
 		// Prefer a response that was delivered just before shutdown.
 		select {
-		case resp := <-out:
-			return resp.res, resp.err
+		case resp := <-req.out:
+			req.mv, req.rows = nil, nil
+			waveReqPool.Put(req)
+			return resp.results, resp.err
 		default:
-			return Result{}, ErrBatcherClosed
+			return nil, ErrBatcherClosed
 		}
 	}
 }
 
-// Submit is the single-row convenience path: enqueue and wait.
+// Submit is the single-row convenience path.
 func (b *Batcher) Submit(ctx context.Context, mv *ModelVersion, row []float64) (Result, error) {
-	out, err := b.enqueue(ctx, mv, row)
+	rows := [][]float64{row}
+	results, err := b.SubmitWave(ctx, mv, rows)
 	if err != nil {
 		return Result{}, err
 	}
-	return b.wait(ctx, out)
+	res := results[0]
+	putResults(results)
+	return res, nil
+}
+
+// workerState is one worker's reusable flush machinery: the collected
+// waves, the per-version grouping, the gathered row headers, and the
+// straggler timer all keep their backing storage across iterations, so a
+// steady-state flush allocates nothing beyond what escapes to submitters.
+type workerState struct {
+	waves  []*waveReq
+	groups []evalGroup
+	rows   [][]float64
+	timer  *time.Timer
+}
+
+// evalGroup is one model version's slice of a micro-batch: indices into
+// workerState.waves.
+type evalGroup struct {
+	mv    *ModelVersion
+	waves []int
 }
 
 // worker collects and evaluates micro-batches until the batcher stops.
+// Collection is pressure-driven: drain whatever is queued (up to maxBatch
+// rows) and flush the moment the queue empties. Only a lone single-row
+// wave arms the straggler timer — any multi-row wave is already worth
+// evaluating, and waiting on a clock would just tax its latency.
 func (b *Batcher) worker() {
+	w := &workerState{timer: time.NewTimer(time.Hour)}
+	if !w.timer.Stop() {
+		<-w.timer.C
+	}
 	for {
 		select {
 		case <-b.stop:
 			return
 		case first := <-b.reqs:
-			batch := make([]*batchReq, 1, b.maxBatch)
-			batch[0] = first
-			timer := time.NewTimer(b.maxDelay)
-		collect:
-			for len(batch) < b.maxBatch {
+			w.waves = append(w.waves[:0], first)
+			total := len(first.rows)
+		drain:
+			for total < b.maxBatch {
 				select {
 				case req := <-b.reqs:
-					batch = append(batch, req)
-				case <-timer.C:
-					break collect
-				case <-b.stop:
-					break collect
+					w.waves = append(w.waves, req)
+					total += len(req.rows)
+				default:
+					if total > 1 {
+						break drain
+					}
+					// A lone single row: give a partner maxDelay to show.
+					w.timer.Reset(b.maxDelay)
+					select {
+					case req := <-b.reqs:
+						if !w.timer.Stop() {
+							<-w.timer.C
+						}
+						w.waves = append(w.waves, req)
+						total += len(req.rows)
+					case <-w.timer.C:
+						break drain
+					case <-b.stop:
+						if !w.timer.Stop() {
+							<-w.timer.C
+						}
+						break drain
+					}
 				}
 			}
-			timer.Stop()
-			b.flush(batch)
+			b.flush(w)
 		}
 	}
 }
 
 // flush groups a micro-batch by model version, evaluates each group, and
-// answers every submitter.
-func (b *Batcher) flush(batch []*batchReq) {
+// answers every submitter. Each wave's response slice is pooled; the
+// worker's own buffers (and the pooled evaluation scratch) are reused
+// across iterations.
+func (b *Batcher) flush(w *workerState) {
+	totalRows := 0
+	for _, wave := range w.waves {
+		totalRows += len(wave.rows)
+	}
 	if b.metrics != nil {
 		b.metrics.Batches.Add(1)
-		b.metrics.BatchedRows.Add(uint64(len(batch)))
+		b.metrics.BatchedRows.Add(uint64(totalRows))
 	}
-	groups := make(map[*ModelVersion][]int)
-	for i, req := range batch {
-		groups[req.mv] = append(groups[req.mv], i)
-	}
-	for mv, idxs := range groups {
-		rows := make([][]float64, len(idxs))
-		for k, i := range idxs {
-			rows[k] = batch[i].row
+	// Group by bundle pointer with a linear scan: micro-batches hold very
+	// few distinct versions (usually one), so this beats a per-flush map.
+	groups := w.groups[:0]
+nextWave:
+	for i, wave := range w.waves {
+		for gi := range groups {
+			if groups[gi].mv == wave.mv {
+				groups[gi].waves = append(groups[gi].waves, i)
+				continue nextWave
+			}
 		}
-		results, err := evaluate(mv, rows)
+		if len(groups) < cap(groups) {
+			groups = groups[:len(groups)+1]
+			g := &groups[len(groups)-1]
+			g.mv = wave.mv
+			g.waves = append(g.waves[:0], i)
+		} else {
+			groups = append(groups, evalGroup{mv: wave.mv, waves: []int{i}})
+		}
+	}
+	w.groups = groups
+
+	s := evalScratchPool.Get().(*evalScratch)
+	maxRows := 0
+	for gi := range groups {
+		g := &groups[gi]
+		rows := w.rows[:0]
+		for _, wi := range g.waves {
+			rows = append(rows, w.waves[wi].rows...)
+		}
+		w.rows = rows
+		if len(rows) > maxRows {
+			maxRows = len(rows)
+		}
+		results, err := evaluateInto(g.mv, rows, s)
 		if err != nil {
 			if b.metrics != nil {
 				b.metrics.Errors.Add(1)
 			}
-			for _, i := range idxs {
-				batch[i].out <- batchResp{err: err}
+			for _, wi := range g.waves {
+				w.waves[wi].out <- waveResp{err: err}
 			}
-			continue
+		} else {
+			off := 0
+			for _, wi := range g.waves {
+				wave := w.waves[wi]
+				n := len(wave.rows)
+				rs := getResults(n)
+				copy(rs, results[off:off+n])
+				off += n
+				wave.out <- waveResp{results: rs}
+			}
 		}
-		for k, i := range idxs {
-			batch[i].out <- batchResp{res: results[k]}
-		}
+		// Drop the bundle reference (a retired version must not be pinned
+		// by idle workers) but keep the index array for the next flush.
+		g.mv = nil
 	}
+	s.release()
+	// Clear wave and row pointers so an idle worker pins no request data.
+	// For w.rows the prefix written this flush (its largest group) is
+	// enough: everything beyond it is still nil from the previous flush's
+	// clear, so the cost stays proportional to this flush, not to the
+	// largest flush the worker ever handled.
+	for i := range w.waves {
+		w.waves[i] = nil
+	}
+	rows := w.rows[:maxRows]
+	for i := range rows {
+		rows[i] = nil
+	}
+	w.rows = rows[:0]
 }
 
-// evaluate runs one model version over a group of rows: the GBT point
-// prediction plus, when the bundle is guarded, the deep ensemble's
-// decomposed uncertainty (members evaluated in parallel) and its taxonomy
-// diagnosis. A guarded bundle that cannot produce its guard (scaler
-// mismatch) fails the whole group rather than silently serving unguarded
-// predictions.
+// evalScratch holds the reusable buffers of one group evaluation: the
+// prediction vector, the scaled feature block the guardrail ensemble reads
+// (one flat backing array), the ensemble scratch, and the result slice
+// whose values are copied out to submitters. Pooled via evalScratchPool so
+// concurrent workers and the shadow mirror share warm buffers without
+// contention.
+type evalScratch struct {
+	predLogs  []float64
+	scaledBuf []float64
+	scaled    [][]float64
+	preds     []uq.Prediction
+	results   []Result
+	// used is the result prefix written since the last release, so
+	// release's guard-pointer clear costs the last batch, not the largest
+	// batch this scratch ever held.
+	used int
+	uq   uq.BatchScratch
+}
+
+var evalScratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// release returns the scratch to the pool, first dropping the escaping
+// references its result buffer still holds (guard pointers into the last
+// batch's guard block) so an idle pooled scratch pins nothing beyond its
+// own arrays. Only the written prefix needs clearing — the tail is still
+// nil from the previous release.
+func (s *evalScratch) release() {
+	for i := 0; i < s.used; i++ {
+		s.results[i].Guard = nil
+	}
+	s.used = 0
+	evalScratchPool.Put(s)
+}
+
+// evaluate runs one model version over a group of rows with internally
+// pooled scratch, returning results safe to retain. The shadow mirror's
+// entry point; the batcher's hot path uses evaluateInto directly.
 func evaluate(mv *ModelVersion, rows [][]float64) ([]Result, error) {
-	predLogs := mv.Model.PredictAll(rows)
-	results := make([]Result, len(rows))
+	s := evalScratchPool.Get().(*evalScratch)
+	defer s.release()
+	results, err := evaluateInto(mv, rows, s)
+	if err != nil {
+		return nil, err
+	}
+	return append([]Result(nil), results...), nil
+}
+
+// evaluateInto runs one model version over a group of rows: the GBT point
+// prediction on the bundle's compiled flat engine plus, when the bundle is
+// guarded, the deep ensemble's decomposed uncertainty (members evaluated in
+// parallel) and its taxonomy diagnosis. A guarded bundle that cannot
+// produce its guard (scaler mismatch) fails the whole group rather than
+// silently serving unguarded predictions.
+//
+// The returned slice is owned by s and valid until its next use; callers
+// must copy the Result values out before reusing s. Guard annotations are
+// allocated fresh — they outlive the call via Result pointers and the
+// duplicate cache.
+func evaluateInto(mv *ModelVersion, rows [][]float64, s *evalScratch) ([]Result, error) {
+	n := len(rows)
+	if cap(s.predLogs) < n {
+		s.predLogs = make([]float64, n)
+	}
+	predLogs := s.predLogs[:n]
+	mv.Flat().PredictAllInto(rows, predLogs)
 	var guards []Guard
 	if mv.Ensemble != nil {
-		scaled := make([][]float64, len(rows))
+		nf := len(mv.Columns)
+		if cap(s.scaledBuf) < n*nf {
+			s.scaledBuf = make([]float64, n*nf)
+		}
+		if cap(s.scaled) < n {
+			s.scaled = make([][]float64, n)
+		}
+		scaled := s.scaled[:n]
 		for i, row := range rows {
-			dst := make([]float64, len(row))
+			dst := s.scaledBuf[i*nf : (i+1)*nf]
 			if err := mv.Scaler.TransformRow(row, dst); err != nil {
 				return nil, fmt.Errorf("serve: model %s v%d: guardrail scaling failed: %w", mv.System, mv.Version, err)
 			}
 			scaled[i] = dst
 		}
-		preds := mv.Ensemble.PredictBatch(scaled)
-		guards = make([]Guard, len(preds))
-		for i, p := range preds {
-			guards[i] = mv.Guard.Diagnose(p)
+		if cap(s.preds) < n {
+			s.preds = make([]uq.Prediction, n)
 		}
+		preds := s.preds[:n]
+		mv.Ensemble.PredictBatchInto(scaled, preds, &s.uq)
+		guards = make([]Guard, n)
+		for i := range preds {
+			guards[i] = mv.Guard.Diagnose(preds[i])
+		}
+	}
+	if cap(s.results) < n {
+		s.results = make([]Result, n)
+	}
+	results := s.results[:n]
+	if n > s.used {
+		s.used = n
 	}
 	for i := range rows {
 		results[i] = Result{
@@ -239,8 +475,9 @@ func evaluate(mv *ModelVersion, rows [][]float64) ([]Result, error) {
 			Pred:    math.Pow(10, predLogs[i]),
 		}
 		if guards != nil {
-			g := guards[i]
-			results[i].Guard = &g
+			results[i].Guard = &guards[i]
+		} else {
+			results[i].Guard = nil
 		}
 	}
 	return results, nil

@@ -86,6 +86,64 @@ func TestBatcherMixedVersionsInOneBatch(t *testing.T) {
 	}
 }
 
+// TestEvaluateFlatMatchesReference pins the zero-allocation evaluation
+// path against the reference computation it replaced: Model.PredictAll for
+// the point prediction and per-row Ensemble.Predict + Diagnose for the
+// guardrail, all bit-identical.
+func TestEvaluateFlatMatchesReference(t *testing.T) {
+	frame, v1, _ := fixture(t)
+	rows := frame.Rows()[:137] // crosses the flat engine's chunk handling
+	got, err := evaluate(v1, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLogs := v1.Model.PredictAll(rows)
+	for i, row := range rows {
+		if got[i].PredLog != wantLogs[i] {
+			t.Fatalf("row %d: flat PredLog %v != reference %v", i, got[i].PredLog, wantLogs[i])
+		}
+		scaled := make([]float64, len(row))
+		if err := v1.Scaler.TransformRow(row, scaled); err != nil {
+			t.Fatal(err)
+		}
+		ref := v1.Guard.Diagnose(v1.Ensemble.Predict(scaled))
+		g := got[i].Guard
+		if g == nil {
+			t.Fatalf("row %d: missing guard", i)
+		}
+		if g.EU != ref.EU || g.AU != ref.AU || g.OoD != ref.OoD ||
+			g.AtNoiseFloor != ref.AtNoiseFloor || g.ErrorSource != ref.ErrorSource {
+			t.Fatalf("row %d: guard %+v != reference %+v", i, *g, ref)
+		}
+	}
+}
+
+// TestEvaluateSteadyStateAllocs: with a warm scratch, evaluating an
+// unguarded bundle must stay allocation-free (the guarded path additionally
+// allocates the escaping Guard block and the ensemble's member fan-out).
+func TestEvaluateSteadyStateAllocs(t *testing.T) {
+	frame, v1, _ := fixture(t)
+	unguarded := v1.derive()
+	unguarded.Ensemble = nil
+	unguarded.Scaler = nil
+	rows := frame.Rows()[:16]
+	s := &evalScratch{}
+	if _, err := evaluateInto(unguarded, rows, s); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := evaluateInto(unguarded, rows, s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The flat engine's chunk codes come from a sync.Pool, which may
+	// occasionally refill after a GC; anything beyond that is a leak in
+	// the zero-allocation contract.
+	if allocs > 1 {
+		t.Fatalf("steady-state evaluateInto allocates %.1f times per call, want <= 1", allocs)
+	}
+}
+
 func TestBatcherClose(t *testing.T) {
 	_, _, v2 := fixture(t)
 	b := NewBatcher(4, time.Millisecond, 1, nil)

@@ -250,7 +250,7 @@ func BuildVersion(name string, version int, frame *dataset.Frame, cfg BootstrapC
 		return nil, fmt.Errorf("serve: reference histograms for %s v%d: %w", name, version, err)
 	}
 
-	return &ModelVersion{
+	mv := &ModelVersion{
 		System:    name,
 		Version:   version,
 		Columns:   frame.Columns(),
@@ -260,5 +260,10 @@ func BuildVersion(name string, version int, frame *dataset.Frame, cfg BootstrapC
 		Guard:     guard,
 		TrainedOn: frame.Len(),
 		Reference: ref,
-	}, nil
+	}
+	// Compile at build time: bundles handed straight to benchmarks or an
+	// in-process service (no registry insert) still serve on the flat
+	// engine from the first request.
+	mv.Flat()
+	return mv, nil
 }

@@ -133,6 +133,14 @@ func (c *Cache) Put(key uint64, row []float64, mv *ModelVersion, res Result) {
 	if c == nil {
 		return
 	}
+	// A miss's Guard points into its evaluation batch's shared guard
+	// block; a cache entry can outlive that batch by arbitrarily long, so
+	// retain a private copy rather than pinning the whole block for one
+	// resident row.
+	if res.Guard != nil {
+		g := *res.Guard
+		res.Guard = &g
+	}
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()

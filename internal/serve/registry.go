@@ -87,6 +87,40 @@ type ModelVersion struct {
 	// Reference is the training-time feature distribution (may be nil;
 	// required for drift monitoring, see internal/drift).
 	Reference []FeatureHist
+
+	// flat caches the compiled inference engine for Model. It is built at
+	// most once per bundle (registration and the load paths compile
+	// eagerly; Flat() covers bundles evaluated without registration) and
+	// shared by every request the bundle serves. Guarded by flatOnce, so
+	// ModelVersion must not be copied by value — all users hold pointers.
+	flatOnce sync.Once
+	flat     *gbt.Flat
+}
+
+// Flat returns the bundle's compiled inference engine, building it on
+// first use. Predictions are bit-identical to Model.PredictAll (pinned by
+// the gbt equivalence suite), so the serving path always walks the
+// flattened representation.
+func (mv *ModelVersion) Flat() *gbt.Flat {
+	mv.flatOnce.Do(func() { mv.flat = mv.Model.Compile() })
+	return mv.flat
+}
+
+// derive returns a field-wise copy of mv with a fresh compilation slot —
+// the sanctioned way to build a variant bundle (ModelVersion itself must
+// not be copied by value: it embeds the compile-once guard).
+func (mv *ModelVersion) derive() *ModelVersion {
+	return &ModelVersion{
+		System:    mv.System,
+		Version:   mv.Version,
+		Columns:   mv.Columns,
+		Model:     mv.Model,
+		Ensemble:  mv.Ensemble,
+		Scaler:    mv.Scaler,
+		Guard:     mv.Guard,
+		TrainedOn: mv.TrainedOn,
+		Reference: mv.Reference,
+	}
 }
 
 // validate cross-checks the bundle's internal consistency.
@@ -242,6 +276,10 @@ func (r *Registry) insert(mv *ModelVersion, replace bool) (bool, error) {
 	if err := mv.validate(); err != nil {
 		return false, err
 	}
+	// Compile outside the registry lock's reader path: the first request
+	// against a fresh bundle must find the flat engine already built, not
+	// pay the compilation (or contend on the once) inline.
+	mv.Flat()
 	r.writeMu.Lock()
 	defer r.writeMu.Unlock()
 	snap := r.snap.Load().clone()
@@ -594,6 +632,10 @@ func loadVersionDir(dir, wantSystem string) (*ModelVersion, error) {
 	if err := mv.validate(); err != nil {
 		return nil, fmt.Errorf("serve: manifest in %s: %w", dir, err)
 	}
+	// Compile on the load path (startup and live reload alike): a freshly
+	// swapped-in version serves its first request on the flat engine
+	// without an inline compilation stall.
+	mv.Flat()
 	return mv, nil
 }
 

@@ -41,15 +41,15 @@ func TestRegistryRejectsDuplicatesAndInvalid(t *testing.T) {
 	if err := reg.Add(v1); err == nil {
 		t.Error("duplicate version accepted")
 	}
-	bad := *v1
+	bad := v1.derive()
 	bad.Columns = v1.Columns[:len(v1.Columns)-1]
-	if err := reg.Add(&bad); err == nil {
+	if err := reg.Add(bad); err == nil {
 		t.Error("column/model width mismatch accepted")
 	}
-	noScaler := *v1
+	noScaler := v1.derive()
 	noScaler.Version = 5
 	noScaler.Scaler = nil
-	if err := reg.Add(&noScaler); err == nil {
+	if err := reg.Add(noScaler); err == nil {
 		t.Error("ensemble without scaler accepted")
 	}
 }
@@ -303,13 +303,13 @@ func TestRegistryAddOrReplaceAndRemove(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Replace v1 in place with a distinct bundle identity.
-	v1b := *v1
-	replaced, err := reg.AddOrReplace(&v1b)
+	v1b := v1.derive()
+	replaced, err := reg.AddOrReplace(v1b)
 	if err != nil || !replaced {
 		t.Fatalf("replace: %v %v", replaced, err)
 	}
 	got, err := reg.Get("theta", 1)
-	if err != nil || got != &v1b {
+	if err != nil || got != v1b {
 		t.Fatalf("replacement not visible: %v %v", got, err)
 	}
 	if replaced, err := reg.AddOrReplace(v2); err != nil || replaced {

@@ -321,7 +321,7 @@ func TestRegistryGetNeverObservesPartialVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	invalid := *v2
+	invalid := v2.derive()
 	invalid.Columns = v2.Columns[:len(v2.Columns)-1] // breaks schema/model width
 
 	var (
@@ -362,7 +362,7 @@ func TestRegistryGetNeverObservesPartialVersion(t *testing.T) {
 			default:
 			}
 			// The invalid bundle must never register.
-			if err := reg.Add(&invalid); err == nil {
+			if err := reg.Add(invalid); err == nil {
 				t.Error("invalid bundle accepted")
 				return
 			}

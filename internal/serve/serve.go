@@ -12,8 +12,10 @@
 //	            paper's duplicate-dominance finding (Sec. VI: ~24% of jobs
 //	            are exact duplicates) makes this the cheapest prediction
 //	            path (cache.go)
-//	batcher   — misses are coalesced into micro-batches, evaluated with
-//	            ensemble members in parallel (batcher.go)
+//	batcher   — misses are coalesced into micro-batches (one wave per
+//	            request, adaptive pressure-driven flushing) and evaluated
+//	            on the bundle's compiled flat GBT engine with ensemble
+//	            members in parallel, all on pooled buffers (batcher.go)
 //	guard     — every evaluated prediction is annotated with the taxonomy
 //	            guardrail: epistemic OoD flag and noise-floor diagnosis
 //	            (guard.go)
@@ -40,10 +42,18 @@ import (
 
 // Options tune the serving pipeline.
 type Options struct {
-	// MaxBatch caps rows per micro-batch (default 32).
+	// MaxBatch bounds cross-request coalescing: a worker stops collecting
+	// further waves once its batch holds at least this many rows (default
+	// 32). A single request's wave is never split, so one request larger
+	// than MaxBatch is still evaluated whole (the evaluation kernels
+	// chunk internally), and the last wave collected may overshoot the
+	// bound by its own size. Batching is adaptive — workers flush the
+	// moment the queue empties — so this only matters under sustained
+	// pressure.
 	MaxBatch int
-	// MaxDelay is the straggler window a batch waits before evaluating
-	// (default 2ms).
+	// MaxDelay is the straggler window a lone single-row submission may
+	// wait for company (default 2ms). Multi-row requests never wait: they
+	// arrive as a wave that is already worth evaluating.
 	MaxDelay time.Duration
 	// Workers is the micro-batch worker-pool size (default 2).
 	Workers int
@@ -201,21 +211,53 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 	}
 
 	results := make([]PredictionResult, len(rows))
+	// guardBuf backs every result's Guard annotation for this request: one
+	// amortized allocation instead of one copy per row, keeping the fully-
+	// cached request path at two heap allocations (results + guardBuf).
+	// Copying out of the cached Result is still what keeps cache entries
+	// immutable under response consumers.
+	var guardBuf []Guard
+	setResult := func(i int, res Result, cacheHit bool) {
+		pr := PredictionResult{
+			Log10Throughput: res.PredLog,
+			Throughput:      res.Pred,
+			CacheHit:        cacheHit,
+		}
+		if res.Guard != nil {
+			if guardBuf == nil {
+				guardBuf = make([]Guard, len(rows))
+			}
+			guardBuf[i] = *res.Guard
+			pr.Guard = &guardBuf[i]
+		}
+		results[i] = pr
+	}
 	type miss struct {
 		i   int
 		key uint64
-		out chan batchResp
 		// dependents are later rows in this request with the same
 		// feature vector; they ride on this evaluation as cache hits.
 		dependents []int
 	}
-	var misses []*miss
-	pending := make(map[uint64]*miss)
+	// All of a request's misses travel to the worker pool as one wave, so
+	// a multi-row request is picked up by one worker in one queue
+	// operation and never splits across micro-batches.
+	var misses []miss
+	var missRows [][]float64
 	var hits uint64
+	// In-request duplicate lookup: typical requests hold few misses, so a
+	// linear scan beats a per-request map — but the HTTP layer admits
+	// ~100k-row batches, where a scan would go quadratic; those index
+	// their misses by key instead.
+	const dupScanCutoff = 64
+	var pending map[uint64]int
+	if s.cache != nil && len(rows) > dupScanCutoff {
+		pending = make(map[uint64]int, len(rows))
+	}
 	for i, row := range rows {
 		key := HashKey(mv.System, mv.Version, row)
 		if res, ok := s.cache.Get(key, row, mv); ok {
-			results[i] = fromResult(res, true)
+			setResult(i, res, true)
 			hits++
 			continue
 		}
@@ -224,30 +266,50 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 		// cache off, every row pays full evaluation so the cache-on/off
 		// comparison isolates duplicate-awareness as a whole.
 		if s.cache != nil {
-			if p, ok := pending[key]; ok && rowsEqual(rows[p.i], row) {
-				p.dependents = append(p.dependents, i)
+			dupIdx := -1
+			if pending != nil {
+				if mi, ok := pending[key]; ok && rowsEqual(rows[misses[mi].i], row) {
+					dupIdx = mi
+				}
+			} else {
+				for mi := range misses {
+					if misses[mi].key == key && rowsEqual(rows[misses[mi].i], row) {
+						dupIdx = mi
+						break
+					}
+				}
+			}
+			if dupIdx >= 0 {
+				misses[dupIdx].dependents = append(misses[dupIdx].dependents, i)
 				hits++
 				continue
 			}
 		}
-		out, err := s.batcher.enqueue(ctx, mv, row)
-		if err != nil {
-			return nil, mv, err
+		if misses == nil {
+			misses = make([]miss, 0, len(rows)-i)
+			missRows = make([][]float64, 0, len(rows)-i)
 		}
-		m := &miss{i: i, key: key, out: out}
-		misses = append(misses, m)
-		pending[key] = m
+		misses = append(misses, miss{i: i, key: key})
+		missRows = append(missRows, row)
+		if pending != nil {
+			pending[key] = len(misses) - 1
+		}
 	}
-	for _, ms := range misses {
-		res, err := s.batcher.wait(ctx, ms.out)
+	if len(misses) > 0 {
+		wave, err := s.batcher.SubmitWave(ctx, mv, missRows)
 		if err != nil {
 			return nil, mv, err
 		}
-		s.cache.Put(ms.key, rows[ms.i], mv, res)
-		results[ms.i] = fromResult(res, false)
-		for _, di := range ms.dependents {
-			results[di] = fromResult(res, true)
+		for k := range misses {
+			ms := &misses[k]
+			res := wave[k]
+			s.cache.Put(ms.key, rows[ms.i], mv, res)
+			setResult(ms.i, res, false)
+			for _, di := range ms.dependents {
+				setResult(di, res, true)
+			}
 		}
+		putResults(wave)
 	}
 
 	if quiet {
@@ -273,19 +335,4 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 		box.obs.ObserveServed(mv, rows, results)
 	}
 	return results, mv, nil
-}
-
-// fromResult converts an evaluation to the response shape. The guard is
-// copied so cached entries stay immutable.
-func fromResult(res Result, cacheHit bool) PredictionResult {
-	pr := PredictionResult{
-		Log10Throughput: res.PredLog,
-		Throughput:      res.Pred,
-		CacheHit:        cacheHit,
-	}
-	if res.Guard != nil {
-		g := *res.Guard
-		pr.Guard = &g
-	}
-	return pr
 }

@@ -119,14 +119,50 @@ func (e *Ensemble) PredictBatch(rows [][]float64) []Prediction {
 	if len(rows) == 0 {
 		return nil
 	}
-	k := len(e.Members)
-	means := make([][]float64, k)
-	vars := make([][]float64, k)
+	out := make([]Prediction, len(rows))
+	var s BatchScratch
+	e.PredictBatchInto(rows, out, &s)
+	return out
+}
+
+// BatchScratch holds the reusable buffers of PredictBatchInto: flat
+// per-member mean/variance planes plus each member's network activation
+// arena. The zero value is ready; buffers grow to the largest batch seen
+// and are then reused. Not safe for concurrent use — serving workers keep
+// one each (or pool them).
+type BatchScratch struct {
+	means, vars []float64 // k planes of n values each
+	memberMeans []float64
+	nn          []*nn.InferScratch
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-provided slice
+// (len(out) must equal len(rows)) through reusable scratch buffers: member
+// forwards run through the internal/mat axpy kernels into s's arenas
+// instead of allocating per member per call. Results are bit-identical to
+// PredictBatch and per-row Predict.
+func (e *Ensemble) PredictBatchInto(rows [][]float64, out []Prediction, s *BatchScratch) {
+	if len(out) != len(rows) {
+		panic(fmt.Sprintf("uq: PredictBatchInto output has %d slots for %d rows", len(out), len(rows)))
+	}
+	if len(rows) == 0 {
+		return
+	}
+	n, k := len(rows), len(e.Members)
+	if cap(s.means) < k*n {
+		s.means = make([]float64, k*n)
+		s.vars = make([]float64, k*n)
+	}
+	s.means, s.vars = s.means[:k*n], s.vars[:k*n]
+	if cap(s.memberMeans) < k {
+		s.memberMeans = make([]float64, k)
+	}
+	s.memberMeans = s.memberMeans[:k]
+	for len(s.nn) < k {
+		s.nn = append(s.nn, new(nn.InferScratch))
+	}
 	eachMember := func(mi int) {
-		mu := make([]float64, len(rows))
-		va := make([]float64, len(rows))
-		e.Members[mi].PredictDistAll(rows, mu, va)
-		means[mi], vars[mi] = mu, va
+		e.Members[mi].PredictDistAllScratch(rows, s.means[mi*n:(mi+1)*n], s.vars[mi*n:(mi+1)*n], s.nn[mi])
 	}
 	if runtime.GOMAXPROCS(0) > 1 {
 		var wg sync.WaitGroup
@@ -143,13 +179,12 @@ func (e *Ensemble) PredictBatch(rows [][]float64) []Prediction {
 			eachMember(mi)
 		}
 	}
-	out := make([]Prediction, len(rows))
-	memberMeans := make([]float64, k)
+	memberMeans := s.memberMeans
 	for i := range rows {
 		var auSum float64
 		for mi := 0; mi < k; mi++ {
-			memberMeans[mi] = means[mi][i]
-			auSum += vars[mi][i]
+			memberMeans[mi] = s.means[mi*n+i]
+			auSum += s.vars[mi*n+i]
 		}
 		out[i] = Prediction{
 			Mean: stats.Mean(memberMeans),
@@ -157,7 +192,6 @@ func (e *Ensemble) PredictBatch(rows [][]float64) []Prediction {
 			EU:   stats.PopVariance(memberMeans),
 		}
 	}
-	return out
 }
 
 // EUs extracts the epistemic standard deviations of predictions.

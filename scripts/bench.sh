@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Runs the tier-2 benchmark suite and records the results as
-# BENCH_<date>.json so the performance trajectory is tracked per commit.
+# Runs the tier-2 benchmark suite (with -benchmem, so allocs/op and B/op
+# land in the snapshot for the benchcmp alloc tripwire) and records the
+# results as BENCH_<date>.json so the performance trajectory is tracked
+# per commit.
 #
 #   make bench                 # full training-bound + serving suite
 #   make bench-smoke           # two fast benchmarks (CI smoke)
@@ -21,6 +23,6 @@ out=${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -timeout 3600s . | tee "$tmp"
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem -timeout 3600s . | tee "$tmp"
 go run ./cmd/benchjson < "$tmp" > "$out"
 echo "wrote $out"

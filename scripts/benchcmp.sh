@@ -6,6 +6,7 @@
 #   ./scripts/benchcmp.sh                       # two newest by mtime
 #   ./scripts/benchcmp.sh OLD.json NEW.json     # explicit pair
 #   BENCHCMP_THRESHOLD=15 ./scripts/benchcmp.sh
+#   BENCHCMP_ALLOC_THRESHOLD=10 ./scripts/benchcmp.sh   # gate allocs tighter
 #   BENCHCMP_PATTERN='Serve' ./scripts/benchcmp.sh
 #
 # With fewer than two snapshots there is nothing to compare; that is a
@@ -15,6 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 threshold=${BENCHCMP_THRESHOLD:-10}
+alloc_threshold=${BENCHCMP_ALLOC_THRESHOLD:--1}
 pattern=${BENCHCMP_PATTERN:-'Serve|Predict'}
 
 if [ $# -eq 2 ]; then
@@ -29,4 +31,4 @@ else
   new=${snaps[0]} old=${snaps[1]}
 fi
 
-exec go run ./cmd/benchcmp -threshold "$threshold" -pattern "$pattern" "$old" "$new"
+exec go run ./cmd/benchcmp -threshold "$threshold" -alloc-threshold "$alloc_threshold" -pattern "$pattern" "$old" "$new"
