@@ -345,17 +345,19 @@ func serveFixture(b *testing.B) (*serve.ModelVersion, [][]float64) {
 }
 
 // benchServe pushes a pre-generated workload through an in-process service
-// and reports per-row cost plus the cache hit ratio.
-func benchServe(b *testing.B, cacheSize, batchSize int, dupRate float64) {
+// and reports per-row cost plus the cache hit ratio. traceEvery > 0 turns
+// request tracing on (1-in-N head sampling) to price the tracing path.
+func benchServe(b *testing.B, cacheSize, batchSize int, dupRate float64, traceEvery int) {
 	mv, pool := serveFixture(b)
 	reg := serve.NewRegistry()
 	if err := reg.Add(mv); err != nil {
 		b.Fatal(err)
 	}
 	svc := serve.NewService(reg, serve.Options{
-		MaxBatch:  64,
-		MaxDelay:  200 * time.Microsecond,
-		CacheSize: cacheSize,
+		MaxBatch:   64,
+		MaxDelay:   200 * time.Microsecond,
+		CacheSize:  cacheSize,
+		TraceEvery: traceEvery,
 	})
 	defer svc.Close()
 	gen, err := serve.NewLoadGen(serve.LoadSpec{
@@ -391,17 +393,24 @@ func benchServe(b *testing.B, cacheSize, batchSize int, dupRate float64) {
 
 // BenchmarkServeDupHeavyCacheOn/Off is the acceptance comparison: an 80%
 // duplicate workload with and without the duplicate-aware cache.
-func BenchmarkServeDupHeavyCacheOn(b *testing.B)  { benchServe(b, 1<<16, 8, 0.8) }
-func BenchmarkServeDupHeavyCacheOff(b *testing.B) { benchServe(b, 0, 8, 0.8) }
+func BenchmarkServeDupHeavyCacheOn(b *testing.B)  { benchServe(b, 1<<16, 8, 0.8, 0) }
+func BenchmarkServeDupHeavyCacheOff(b *testing.B) { benchServe(b, 0, 8, 0.8, 0) }
 
 // BenchmarkServeUniqueCacheOn bounds the cache's overhead when nothing
 // repeats (every row unique, hits only from the 256-request cycle).
-func BenchmarkServeUniqueCacheOn(b *testing.B) { benchServe(b, 1<<16, 8, 0) }
+func BenchmarkServeUniqueCacheOn(b *testing.B) { benchServe(b, 1<<16, 8, 0, 0) }
 
 // Batch-size sweep (uncached): amortization of the micro-batch path.
-func BenchmarkServeBatch1(b *testing.B)  { benchServe(b, 0, 1, 0) }
-func BenchmarkServeBatch16(b *testing.B) { benchServe(b, 0, 16, 0) }
-func BenchmarkServeBatch64(b *testing.B) { benchServe(b, 0, 64, 0) }
+func BenchmarkServeBatch1(b *testing.B)  { benchServe(b, 0, 1, 0, 0) }
+func BenchmarkServeBatch16(b *testing.B) { benchServe(b, 0, 16, 0, 0) }
+func BenchmarkServeBatch64(b *testing.B) { benchServe(b, 0, 64, 0, 0) }
+
+// BenchmarkServeBatch16Traced prices the tracing path: every request is
+// head-sampled into the trace ring (the worst case — production samples a
+// small fraction). Informational: not in the committed snapshot, so
+// benchcmp's regression gate never keys on it; compare against
+// ServeBatch16 by eye to see what a retained trace costs.
+func BenchmarkServeBatch16Traced(b *testing.B) { benchServe(b, 0, 16, 0, 1) }
 
 func BenchmarkTableT3(b *testing.B) {
 	theta, cori := benchFrames(b)

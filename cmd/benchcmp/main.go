@@ -8,6 +8,15 @@
 // Usage:
 //
 //	benchcmp [-threshold 10] [-pattern 'Serve|Predict'] old.json new.json
+//	benchcmp -max-allocs 'ServeBatch16<=44,ServeDupHeavyCacheOff<=43' old.json new.json
+//
+// -max-allocs adds absolute allocs/op ceilings checked against the NEW
+// snapshot (substring match on the benchmark name): unlike the relative
+// gate, an absolute ceiling cannot drift upward across a chain of
+// re-baselines, so it pins budgets like "the serving path stays under N
+// allocations" permanently. A named benchmark missing from the new
+// snapshot or lacking allocs/op is reported and skipped, consistent with
+// the no-fail-on-missing-data policy below.
 //
 // Benchmarks present in only one snapshot are reported and skipped, as is
 // the allocs/op comparison when either side predates -benchmem recording;
@@ -24,6 +33,8 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // report mirrors cmd/benchjson's output document. AllocsPerOp is a
@@ -44,21 +55,88 @@ func main() {
 	allocThreshold := flag.Float64("alloc-threshold", -1,
 		"allocs/op regression threshold in percent (< 0: same as -threshold); allocs are machine-independent, so cross-machine comparisons can gate them tighter than wall clock")
 	pattern := flag.String("pattern", "Serve|Predict", "regexp selecting the benchmarks to compare")
+	maxAllocs := flag.String("max-allocs", "",
+		"absolute allocs/op ceilings on the new snapshot, comma-separated 'Name<=N' (substring match)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold pct] [-alloc-threshold pct] [-pattern re] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold pct] [-alloc-threshold pct] [-pattern re] [-max-allocs 'Name<=N,...'] old.json new.json")
 		os.Exit(2)
 	}
 	if *allocThreshold < 0 {
 		*allocThreshold = *threshold
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *pattern, *threshold, *allocThreshold); err != nil {
+	ceilings, err := parseMaxAllocs(*maxAllocs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), *pattern, *threshold, *allocThreshold, ceilings); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath, pattern string, threshold, allocThreshold float64) error {
+// allocCeiling is one parsed -max-allocs entry.
+type allocCeiling struct {
+	name string
+	max  float64
+}
+
+// parseMaxAllocs parses the comma-separated 'Name<=N' ceiling list.
+func parseMaxAllocs(spec string) ([]allocCeiling, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []allocCeiling
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, limit, ok := strings.Cut(part, "<=")
+		if !ok {
+			return nil, fmt.Errorf("bad -max-allocs entry %q (want Name<=N)", part)
+		}
+		max, err := strconv.ParseFloat(strings.TrimSpace(limit), 64)
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("bad -max-allocs bound in %q", part)
+		}
+		out = append(out, allocCeiling{name: strings.TrimSpace(name), max: max})
+	}
+	return out, nil
+}
+
+// checkCeilings asserts the absolute allocs/op budgets against the new
+// snapshot, returning the number of breaches. Missing benchmarks or
+// missing allocs/op are reported and skipped, never failed.
+func checkCeilings(rep report, ceilings []allocCeiling) int {
+	breaches := 0
+	for _, c := range ceilings {
+		matched := false
+		for name, b := range rep.Benchmarks {
+			if !strings.Contains(name, c.name) {
+				continue
+			}
+			matched = true
+			if b.AllocsPerOp == nil {
+				fmt.Printf("  %-32s no allocs/op recorded, ceiling <=%g skipped\n", name, c.max)
+				continue
+			}
+			verdict := "ok"
+			if *b.AllocsPerOp > c.max {
+				verdict = "OVER BUDGET"
+				breaches++
+			}
+			fmt.Printf("  %-32s %14.0f allocs/op vs ceiling %g  %s\n", name, *b.AllocsPerOp, c.max, verdict)
+		}
+		if !matched {
+			fmt.Printf("  %-32s not in new snapshot, ceiling <=%g skipped\n", c.name, c.max)
+		}
+	}
+	return breaches
+}
+
+func run(oldPath, newPath, pattern string, threshold, allocThreshold float64, ceilings []allocCeiling) error {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
 		return fmt.Errorf("bad -pattern: %w", err)
@@ -136,12 +214,14 @@ func run(oldPath, newPath, pattern string, threshold, allocThreshold float64) er
 			}
 		}
 	}
-	if compared == 0 {
+	breaches := checkCeilings(newRep, ceilings)
+	if compared == 0 && breaches == 0 {
 		fmt.Println("  no common benchmarks match the pattern; nothing to compare")
 		return nil
 	}
-	if regressions > 0 {
-		return fmt.Errorf("%d ns/op or allocs/op regression(s) beyond threshold across %d compared benchmarks", regressions, compared)
+	if regressions > 0 || breaches > 0 {
+		return fmt.Errorf("%d regression(s) beyond threshold and %d absolute alloc budget breach(es) across %d compared benchmarks",
+			regressions, breaches, compared)
 	}
 	fmt.Printf("  %d benchmarks within threshold\n", compared)
 	return nil

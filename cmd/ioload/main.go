@@ -160,7 +160,8 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 		}()
 	}
 	tracker := &versionTracker{seen: make(map[int]int)}
-	stats, err := gen.Run(ctx, httpTarget(addr, sysName, version, tracker))
+	timings := &serverTimingAgg{}
+	stats, err := gen.Run(ctx, httpTarget(addr, sysName, version, tracker, timings))
 	cancel()
 	churnWG.Wait()
 	if err != nil {
@@ -176,6 +177,7 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 		fmt.Printf("cache hits      %d (%.1f%%)\n", stats.CacheHits, 100*float64(stats.CacheHits)/float64(stats.Rows))
 		fmt.Printf("ood flagged     %d (%.1f%%)\n", stats.OoDFlagged, 100*float64(stats.OoDFlagged)/float64(stats.Rows))
 	}
+	timings.report()
 	fmt.Printf("versions seen   %s\n", tracker.String())
 	// The churn scenario's contract is "the served version advances with
 	// zero request errors" — enforce it in the exit code so scripts and CI
@@ -311,6 +313,56 @@ func (l *latencyRecorder) report() {
 	fmt.Printf("latency p99     %v\n", pick(0.99))
 }
 
+// serverTimingAgg aggregates the server-reported per-stage timings
+// (PredictResponse.ServerTimings) alongside the client-observed request
+// time, so the report can split end-to-end latency into where it was
+// actually spent: server queue wait vs compute vs everything else (wire,
+// JSON, client scheduling).
+type serverTimingAgg struct {
+	mu       sync.Mutex
+	n        int64
+	clientNs int64
+	st       serve.ServerTimings // field-wise sums
+}
+
+func (a *serverTimingAgg) record(clientElapsed time.Duration, st *serve.ServerTimings) {
+	if st == nil {
+		return // pre-observability server: report falls back to client-only numbers
+	}
+	a.mu.Lock()
+	a.n++
+	a.clientNs += clientElapsed.Nanoseconds()
+	a.st.TotalNs += st.TotalNs
+	a.st.CacheLookupNs += st.CacheLookupNs
+	a.st.QueueWaitNs += st.QueueWaitNs
+	a.st.WaveAssembleNs += st.WaveAssembleNs
+	a.st.EvaluateNs += st.EvaluateNs
+	a.st.GuardNs += st.GuardNs
+	a.st.FinalizeNs += st.FinalizeNs
+	a.st.ObserveNs += st.ObserveNs
+	a.mu.Unlock()
+}
+
+// report prints the mean stage split. Client overhead is the gap between
+// what the client measured and what the server accounted for — transport,
+// serialization, and client-side scheduling.
+func (a *serverTimingAgg) report() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.n == 0 {
+		return
+	}
+	mean := func(sum int64) time.Duration {
+		return time.Duration(sum / a.n).Round(time.Microsecond)
+	}
+	fmt.Printf("server mean     %v (cache lookup %v, queue wait %v, assemble %v, evaluate %v [guard %v], finalize %v, observe %v)\n",
+		mean(a.st.TotalNs), mean(a.st.CacheLookupNs), mean(a.st.QueueWaitNs),
+		mean(a.st.WaveAssembleNs), mean(a.st.EvaluateNs), mean(a.st.GuardNs),
+		mean(a.st.FinalizeNs), mean(a.st.ObserveNs))
+	fmt.Printf("client overhead %v mean (wire + JSON; client %v - server %v)\n",
+		mean(a.clientNs-a.st.TotalNs), mean(a.clientNs), mean(a.st.TotalNs))
+}
+
 // versionTracker counts responses per served model version, so the churn
 // scenario can show the live swap happening under traffic.
 type versionTracker struct {
@@ -352,7 +404,7 @@ func (t *versionTracker) String() string {
 }
 
 // httpTarget adapts the /v1/predict endpoint to a load-generator target.
-func httpTarget(addr, sysName string, version int, tracker *versionTracker) serve.Target {
+func httpTarget(addr, sysName string, version int, tracker *versionTracker, timings *serverTimingAgg) serve.Target {
 	client := &http.Client{Timeout: 30 * time.Second}
 	url := addr + "/v1/predict"
 	return func(ctx context.Context, rows [][]float64) ([]serve.PredictionResult, error) {
@@ -365,6 +417,7 @@ func httpTarget(addr, sysName string, version int, tracker *versionTracker) serv
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		start := time.Now()
 		resp, err := client.Do(req)
 		if err != nil {
 			return nil, err
@@ -381,8 +434,12 @@ func httpTarget(addr, sysName string, version int, tracker *versionTracker) serv
 		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 			return nil, err
 		}
+		elapsed := time.Since(start)
 		if tracker != nil {
 			tracker.record(pr.Version)
+		}
+		if timings != nil {
+			timings.record(elapsed, pr.ServerTimings)
 		}
 		return pr.Predictions, nil
 	}

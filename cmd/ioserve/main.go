@@ -11,6 +11,8 @@
 //	ioserve -models ./registry -reload-interval 5s -shadow-fraction 0.1 \
 //	        -drift-interval 30s -auto-promote -auto-rollback \
 //	        -admin-token $IOSERVE_ADMIN_TOKEN
+//	ioserve -models ./registry -trace-sample 0.01 -pprof-addr localhost:6060 \
+//	        -log-format json -log-level debug
 //
 // Endpoints:
 //
@@ -20,6 +22,8 @@
 //	POST /v1/versions/promote   {"system":"theta","version":2}      [admin]
 //	POST /v1/versions/rollback  {"system":"theta"}                  [admin]
 //	POST /v1/versions/reload    force a registry reload poll        [admin]
+//	GET  /v1/trace              retained request traces             [admin]
+//	GET  /v1/trace/{id}         one trace's span tree               [admin]
 //	GET  /v1/drift              drift-monitor status + decision log
 //	POST /v1/drift/retrain      {"system":"theta"} force a retrain  [admin]
 //	POST /v1/feedback           ground-truth ingestion              [admin]
@@ -40,6 +44,14 @@
 // auto-promotes a clean candidate (-auto-promote) or rolls back a
 // regressing one (-auto-rollback).
 //
+// Observability: -trace-sample enables request tracing — every request's
+// per-stage latency split lands in the /metrics stage histograms, and
+// tail-sampling retains errors, OoD-flagged requests, requests slower than
+// the moving p99, plus the given head-sampled fraction in a ring served at
+// GET /v1/trace. -pprof-addr serves net/http/pprof on its own listener
+// (keep it loopback-only). Logs are structured (log/slog); -log-format
+// json emits one JSON object per line, -log-level tunes verbosity.
+//
 // -admin-token (or IOSERVE_ADMIN_TOKEN) gates every [admin] endpoint with
 // a bearer token; unset leaves them open (development mode).
 //
@@ -52,11 +64,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"iotaxo/internal/drift"
+	"iotaxo/internal/obs"
 	"iotaxo/internal/serve"
 )
 
@@ -81,6 +96,11 @@ type config struct {
 	autoPromote    bool
 	autoRollback   bool
 	retrainWindow  int
+	traceSample    float64
+	traceBuffer    int
+	pprofAddr      string
+	logFormat      string
+	logLevel       string
 }
 
 func main() {
@@ -112,6 +132,13 @@ func main() {
 		"let the policy engine roll back a regressing version after k bad windows")
 	flag.IntVar(&cfg.retrainWindow, "retrain-window", 4096,
 		"feedback rows buffered per system for automated retraining")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0,
+		"fraction of requests head-sampled into the trace ring; errors, OoD, and slow requests are always kept (0 disables tracing)")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 256, "retained-trace ring capacity")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "log verbosity: debug, info, warn, or error")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ioserve:", err)
@@ -119,23 +146,38 @@ func main() {
 	}
 }
 
+// traceEvery converts the -trace-sample fraction to the tracer's 1-in-N
+// head-sampling period (0 = disabled).
+func traceEvery(sample float64) int {
+	if sample <= 0 {
+		return 0
+	}
+	if sample >= 1 {
+		return 1
+	}
+	return int(math.Round(1 / sample))
+}
+
 func run(cfg config) error {
+	logger, err := obs.NewLogger(os.Stderr, cfg.logFormat, cfg.logLevel)
+	if err != nil {
+		return err
+	}
 	var reg *serve.Registry
-	var err error
 	switch {
 	case cfg.bootstrap:
 		bcfg := serve.DefaultBootstrap()
 		bcfg.Jobs = cfg.jobs
 		bcfg.Versions = cfg.versions
 		bcfg.Seed = cfg.seed
-		fmt.Fprintf(os.Stderr, "ioserve: bootstrapping %v (%d jobs, %d versions each)...\n",
-			bcfg.Systems, bcfg.Jobs, bcfg.Versions)
+		logger.Info("bootstrapping registry",
+			"systems", fmt.Sprint(bcfg.Systems), "jobs", bcfg.Jobs, "versions", bcfg.Versions)
 		reg, err = serve.Bootstrap(bcfg, cfg.models)
 		if err != nil {
 			return err
 		}
 		if cfg.models != "" {
-			fmt.Fprintf(os.Stderr, "ioserve: registry persisted under %s\n", cfg.models)
+			logger.Info("registry persisted", "dir", cfg.models)
 		}
 	case cfg.models != "":
 		reg, err = serve.LoadRegistry(cfg.models)
@@ -153,8 +195,12 @@ func run(cfg config) error {
 		CacheSize:      cfg.cacheSize,
 		ShadowFraction: cfg.shadowFraction,
 		ShadowWorkers:  cfg.shadowWorkers,
+		TraceEvery:     traceEvery(cfg.traceSample),
+		TraceBuffer:    cfg.traceBuffer,
+		Logger:         logger,
 	})
 	defer svc.Close()
+	svc.Metrics().RegisterCollector(obs.WriteRuntimeMetrics)
 	if cfg.reloadInterval > 0 {
 		if cfg.models == "" {
 			return fmt.Errorf("-reload-interval needs -models (an on-disk registry to watch)")
@@ -164,11 +210,14 @@ func run(cfg config) error {
 			return err
 		}
 		rel.Start()
-		fmt.Fprintf(os.Stderr, "ioserve: reloading %s every %v\n", cfg.models, cfg.reloadInterval)
+		logger.Info("registry reloading on", "dir", cfg.models, "interval", cfg.reloadInterval)
 	}
 	if cfg.shadowFraction > 0 {
-		fmt.Fprintf(os.Stderr, "ioserve: mirroring %.1f%% of active-version rows to adjacent versions\n",
-			100*cfg.shadowFraction)
+		logger.Info("shadow mirroring on", "fraction", cfg.shadowFraction)
+	}
+	if cfg.traceSample > 0 {
+		logger.Info("request tracing on",
+			"head_sample_every", traceEvery(cfg.traceSample), "ring", cfg.traceBuffer)
 	}
 
 	handler := serve.NewHandler(svc, serve.HandlerConfig{AdminToken: cfg.adminToken})
@@ -180,6 +229,7 @@ func run(cfg config) error {
 			AutoPromote:   cfg.autoPromote,
 			AutoRollback:  cfg.autoRollback,
 			RetrainWindow: cfg.retrainWindow,
+			Logger:        logger,
 		}
 		if cfg.shadowFraction > 0 {
 			// With mirroring on, demand shadow evidence before verdicts.
@@ -195,22 +245,39 @@ func run(cfg config) error {
 		mux.Handle("/v1/drift/", driftHandler)
 		mux.Handle("/v1/feedback", driftHandler)
 		handler = mux
-		fmt.Fprintf(os.Stderr, "ioserve: drift control plane on (window %v, psi %.2f, auto-promote %v, auto-rollback %v)\n",
-			cfg.driftInterval, cfg.psiThreshold, cfg.autoPromote, cfg.autoRollback)
+		logger.Info("drift control plane on",
+			"window", cfg.driftInterval, "psi", cfg.psiThreshold,
+			"auto_promote", cfg.autoPromote, "auto_rollback", cfg.autoRollback)
 	}
 	if cfg.adminToken != "" {
-		fmt.Fprintln(os.Stderr, "ioserve: admin endpoints require a bearer token")
+		logger.Info("admin endpoints require a bearer token")
+	}
+	if cfg.pprofAddr != "" {
+		// pprof gets its own mux on its own listener so profiling exposure
+		// is an explicit, separately firewallable choice — never a route
+		// that leaks onto the serving port.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: cfg.pprofAddr, Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", cfg.pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
 	}
 
 	for _, info := range reg.List() {
-		marker := ""
-		if info.Active {
-			marker = " [active]"
-		}
-		fmt.Fprintf(os.Stderr, "ioserve: %s v%d (%d features, %d trees, ensemble %d, eu_threshold %.3f)%s\n",
-			info.System, info.Version, info.Features, info.Trees, info.EnsembleSize, info.Guard.EUThreshold, marker)
+		logger.Info("model loaded",
+			"system", info.System, "version", info.Version, "features", info.Features,
+			"trees", info.Trees, "ensemble", info.EnsembleSize,
+			"eu_threshold", info.Guard.EUThreshold, "active", info.Active)
 	}
-	fmt.Fprintf(os.Stderr, "ioserve: listening on %s\n", cfg.addr)
+	logger.Info("listening", "addr", cfg.addr)
 	server := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           handler,

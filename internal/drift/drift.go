@@ -37,9 +37,11 @@ package drift
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
+	"iotaxo/internal/obs"
 	"iotaxo/internal/serve"
 )
 
@@ -130,6 +132,9 @@ type Config struct {
 	MinMirrored int
 	// Retrain sizes the automated training runs.
 	Retrain RetrainConfig
+	// Logger receives one structured line per control-plane decision
+	// (nil discards).
+	Logger *slog.Logger
 }
 
 // withDefaults fills zero fields.
@@ -169,6 +174,9 @@ func (c Config) withDefaults() Config {
 	def(&c.Retrain.Bins, 64)
 	if c.Retrain.Seed == 0 {
 		c.Retrain.Seed = 1
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }

@@ -73,6 +73,9 @@ func (c *Controller) record(st *systemState, d Decision) {
 		c.decisions = c.decisions[len(c.decisions)-maxDecisions:]
 	}
 	c.decMu.Unlock()
+	c.cfg.Logger.Info("drift decision",
+		"system", d.System, "action", d.Action, "version", d.Version,
+		"applied", d.Applied, "reason", d.Reason)
 }
 
 // Decisions returns the retained decision log, oldest first.

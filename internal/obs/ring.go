@@ -1,0 +1,80 @@
+package obs
+
+import "sync"
+
+// Ring is the fixed-capacity buffer of retained traces. It is lock-light
+// rather than lock-free: every operation holds the mutex for a single
+// bounded copy (a Trace is a small flat value), no evaluation or I/O ever
+// runs under it, and the predict path only touches it for the sampled
+// minority of requests that tail-sampling retains. Traces are stored by
+// value, so a pushed *Trace can be recycled immediately and readers can
+// never observe a trace mid-recycle.
+type Ring struct {
+	mu  sync.Mutex
+	buf []Trace
+	// n counts lifetime pushes; n % len(buf) is the next slot.
+	n uint64
+}
+
+// NewRing builds a ring retaining the last capacity traces (default 256).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Ring{buf: make([]Trace, capacity)}
+}
+
+// Push copies t into the ring, overwriting the oldest entry when full.
+func (r *Ring) Push(t *Trace) {
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = *t
+	r.n++
+	r.mu.Unlock()
+}
+
+// Len reports the retained trace count.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < uint64(len(r.buf)) {
+		return int(r.n)
+	}
+	return len(r.buf)
+}
+
+// Snapshot returns up to limit retained traces, newest first (limit <= 0
+// returns everything).
+func (r *Ring) Snapshot(limit int) []Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int(r.n)
+	if r.n >= uint64(len(r.buf)) {
+		n = len(r.buf)
+	}
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]Trace, 0, limit)
+	for i := 0; i < limit; i++ {
+		// Newest entry is at n-1; walk backwards.
+		slot := (r.n - 1 - uint64(i)) % uint64(len(r.buf))
+		out = append(out, r.buf[slot])
+	}
+	return out
+}
+
+// Get returns the retained trace with the given ID.
+func (r *Ring) Get(id uint64) (Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int(r.n)
+	if r.n >= uint64(len(r.buf)) {
+		n = len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		if r.buf[i].ID == id {
+			return r.buf[i], true
+		}
+	}
+	return Trace{}, false
+}

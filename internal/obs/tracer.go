@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Keep reasons recorded on retained traces (Trace.Keep) and counted in the
+// tracer's exposition series.
+const (
+	KeepError   = "error"
+	KeepOoD     = "ood"
+	KeepSlow    = "slow"
+	KeepSampled = "sampled"
+)
+
+// keepReasons orders the reasons for deterministic exposition.
+var keepReasons = [...]string{KeepError, KeepOoD, KeepSlow, KeepSampled}
+
+// Config tunes a Tracer.
+type Config struct {
+	// SampleEvery head-samples one of every N finished requests into the
+	// ring regardless of outcome (<= 0 disables head sampling; the tail
+	// keeps below still apply). Errors, OoD-flagged requests, and requests
+	// slower than the moving p99 threshold are always retained.
+	SampleEvery int
+	// RingSize is the retained-trace capacity (default 256).
+	RingSize int
+	// SlowAfter pins the slow-trace threshold to a fixed duration instead
+	// of the moving p99 estimate (tests; 0 keeps the adaptive threshold).
+	SlowAfter time.Duration
+}
+
+// slowBuckets is the latency ladder the moving p99 estimate is computed
+// over (same 50µs..1s shape as the serving histograms; +Inf implicit).
+var slowBuckets = [...]int64{
+	50_000, 100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000, 10_000_000,
+	25_000_000, 50_000_000, 100_000_000, 250_000_000,
+	500_000_000, 1_000_000_000,
+}
+
+// slowRecomputeEvery is how many finished traces elapse between p99
+// threshold refreshes; it is also the minimum sample before the adaptive
+// threshold arms (until then nothing is "slow").
+const slowRecomputeEvery = 128
+
+// Tracer owns the request-trace lifecycle: pooled Trace records, the
+// tail-sampling keep policy, and the retained-trace ring. A nil *Tracer is
+// inert — Start returns nil and Finish of a nil trace is a no-op — so the
+// serving path can thread one unconditionally.
+type Tracer struct {
+	cfg  Config
+	ring *Ring
+	pool sync.Pool
+
+	// seq + idBase generate unique trace IDs without coordination.
+	seq    atomic.Uint64
+	idBase uint64
+	// headCtr implements the 1-in-N head sample.
+	headCtr atomic.Uint64
+
+	// Moving p99: every finished trace lands in latCounts; every
+	// slowRecomputeEvery observations the p99 bucket bound is cached in
+	// slowNs (MaxInt64 until armed).
+	latCounts [len(slowBuckets) + 1]atomic.Uint64
+	latN      atomic.Uint64
+	slowNs    atomic.Int64
+
+	// kept / dropped count Finish outcomes, kept split by reason (indexed
+	// like keepReasons).
+	kept    [len(keepReasons)]atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewTracer builds a tracer under cfg.
+func NewTracer(cfg Config) *Tracer {
+	tr := &Tracer{cfg: cfg, ring: NewRing(cfg.RingSize)}
+	tr.idBase = uint64(time.Now().UnixNano()) << 16
+	tr.pool.New = func() any { return new(Trace) }
+	if cfg.SlowAfter > 0 {
+		tr.slowNs.Store(int64(cfg.SlowAfter))
+	} else {
+		tr.slowNs.Store(math.MaxInt64)
+	}
+	return tr
+}
+
+// Start returns a pooled, reset Trace for one request. Nil receiver (tracing
+// disabled) returns nil.
+func (tr *Tracer) Start(system string, version int, start time.Time) *Trace {
+	if tr == nil {
+		return nil
+	}
+	t := tr.pool.Get().(*Trace)
+	*t = Trace{ID: tr.idBase + tr.seq.Add(1), System: system, Version: version, Start: start}
+	return t
+}
+
+// Finish applies the tail-sampling policy and recycles t: retained traces
+// are copied into the ring and their ID returned; everything else is
+// dropped (returns 0). t must not be touched after Finish.
+func (tr *Tracer) Finish(t *Trace) uint64 {
+	if tr == nil || t == nil {
+		return 0
+	}
+	tr.observeLatency(t.Timings.TotalNs)
+	keep := -1
+	switch {
+	case t.Err != "":
+		keep = 0 // KeepError
+	case t.Timings.OoDFlagged > 0:
+		keep = 1 // KeepOoD
+	case t.Timings.TotalNs >= tr.slowNs.Load():
+		keep = 2 // KeepSlow
+	case tr.cfg.SampleEvery > 0 && tr.headCtr.Add(1)%uint64(tr.cfg.SampleEvery) == 0:
+		keep = 3 // KeepSampled
+	}
+	if keep < 0 {
+		tr.dropped.Add(1)
+		tr.pool.Put(t)
+		return 0
+	}
+	t.Keep = keepReasons[keep]
+	tr.kept[keep].Add(1)
+	id := t.ID
+	tr.ring.Push(t)
+	tr.pool.Put(t)
+	return id
+}
+
+// observeLatency feeds the moving p99 estimate.
+func (tr *Tracer) observeLatency(ns int64) {
+	idx := len(slowBuckets)
+	for i, ub := range slowBuckets {
+		if ns <= ub {
+			idx = i
+			break
+		}
+	}
+	tr.latCounts[idx].Add(1)
+	n := tr.latN.Add(1)
+	if tr.cfg.SlowAfter > 0 || n%slowRecomputeEvery != 0 {
+		return
+	}
+	// Recompute the p99 bucket bound. Racing recomputes both write a value
+	// derived from (nearly) the same counts; last write wins and the next
+	// refresh converges — this is a sampling threshold, not an invariant.
+	var counts [len(slowBuckets) + 1]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = tr.latCounts[i].Load()
+		total += counts[i]
+	}
+	target := total - total/100 // ceil(0.99 * total) within one observation
+	var cum uint64
+	slow := slowBuckets[len(slowBuckets)-1]
+	for i, ub := range slowBuckets {
+		cum += counts[i]
+		if cum >= target {
+			slow = ub
+			break
+		}
+	}
+	tr.slowNs.Store(slow)
+}
+
+// SlowThreshold reports the current slow-trace bar (MaxInt64 duration
+// until the adaptive estimate arms).
+func (tr *Tracer) SlowThreshold() time.Duration {
+	return time.Duration(tr.slowNs.Load())
+}
+
+// Recent returns up to limit retained traces, newest first.
+func (tr *Tracer) Recent(limit int) []Trace { return tr.ring.Snapshot(limit) }
+
+// Get returns the retained trace with the given ID.
+func (tr *Tracer) Get(id uint64) (Trace, bool) { return tr.ring.Get(id) }
+
+// WriteMetrics renders the tracer's exposition series (register with
+// serve.Metrics.RegisterCollector). Keep reasons render in fixed order so
+// scrapes are deterministic.
+func (tr *Tracer) WriteMetrics(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP ioserve_traces_kept_total Traces retained by tail-sampling, by reason.\n# TYPE ioserve_traces_kept_total counter\n"); err != nil {
+		return err
+	}
+	for i, reason := range keepReasons {
+		if _, err := fmt.Fprintf(w, "ioserve_traces_kept_total{reason=%q} %d\n", reason, tr.kept[i].Load()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP ioserve_traces_dropped_total Finished traces discarded by sampling.\n# TYPE ioserve_traces_dropped_total counter\nioserve_traces_dropped_total %d\n", tr.dropped.Load()); err != nil {
+		return err
+	}
+	slow := tr.slowNs.Load()
+	if slow == math.MaxInt64 {
+		slow = 0 // not yet armed; exposing MaxInt64 would wreck dashboards
+	}
+	_, err := fmt.Fprintf(w, "# HELP ioserve_trace_slow_threshold_seconds Moving p99 threshold above which traces are always retained (0 until armed).\n# TYPE ioserve_trace_slow_threshold_seconds gauge\nioserve_trace_slow_threshold_seconds %g\n", float64(slow)/1e9)
+	return err
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iotaxo/internal/uq"
@@ -38,6 +39,22 @@ type waveReq struct {
 	mv   *ModelVersion
 	rows [][]float64
 	out  chan waveResp
+	// enq / pick stamp the wave's enqueue and worker-pickup instants; the
+	// difference is the queue-wait stage, recorded for every wave — even
+	// one drained the instant it was queued.
+	enq  time.Time
+	pick time.Time
+}
+
+// WaveTiming attributes one wave's time inside the batcher: queued, riding
+// a forming micro-batch, and its group's evaluation split. GuardNs is the
+// guardrail slice of EvalNs (scaling + ensemble + diagnosis), not an
+// additional phase.
+type WaveTiming struct {
+	QueueNs    int64
+	AssembleNs int64
+	EvalNs     int64
+	GuardNs    int64
 }
 
 // waveResp carries the evaluated results back to the submitter. The
@@ -45,6 +62,7 @@ type waveReq struct {
 // putResults.
 type waveResp struct {
 	results []Result
+	timing  WaveTiming
 	err     error
 }
 
@@ -101,7 +119,19 @@ type Batcher struct {
 	maxBatch int
 	maxDelay time.Duration
 	metrics  *Metrics
+	// inflight counts waves accepted into the queue but not yet answered;
+	// exposed (with the instantaneous queue depth) as a /metrics gauge so
+	// batching pressure is visible beyond the cumulative mean batch size.
+	inflight atomic.Int64
 }
+
+// QueueDepth reports the waves currently sitting in the queue (a
+// scrape-time snapshot, not a synchronized count).
+func (b *Batcher) QueueDepth() int { return len(b.reqs) }
+
+// InflightWaves reports waves accepted but not yet answered (queued plus
+// being evaluated).
+func (b *Batcher) InflightWaves() int { return int(b.inflight.Load()) }
 
 // NewBatcher starts workers goroutines collecting micro-batches of up to
 // maxBatch rows; a lone single-row wave waits at most maxDelay for company
@@ -143,6 +173,7 @@ func NewBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metr
 			select {
 			case req := <-b.reqs:
 				req.out <- waveResp{err: ErrBatcherClosed}
+				b.inflight.Add(-1)
 			default:
 				close(b.done)
 				return
@@ -161,23 +192,26 @@ func (b *Batcher) Close() {
 // SubmitWave evaluates one request's rows against one model version,
 // blocking until the worker pool answers. The returned results slice is
 // pooled — the caller must finish with it (copying what it keeps) and hand
-// it back via putResults.
-func (b *Batcher) SubmitWave(ctx context.Context, mv *ModelVersion, rows [][]float64) ([]Result, error) {
+// it back via putResults. The WaveTiming reports where the wave's time
+// went inside the batcher (zero on error paths that never evaluated).
+func (b *Batcher) SubmitWave(ctx context.Context, mv *ModelVersion, rows [][]float64) ([]Result, WaveTiming, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, WaveTiming{}, err
 	}
 	req := waveReqPool.Get().(*waveReq)
 	req.mv, req.rows = mv, rows
+	req.enq = time.Now()
 	select {
 	case b.reqs <- req:
+		b.inflight.Add(1)
 	case <-b.stop:
 		req.mv, req.rows = nil, nil
 		waveReqPool.Put(req)
-		return nil, ErrBatcherClosed
+		return nil, WaveTiming{}, ErrBatcherClosed
 	case <-ctx.Done():
 		req.mv, req.rows = nil, nil
 		waveReqPool.Put(req)
-		return nil, ctx.Err()
+		return nil, WaveTiming{}, ctx.Err()
 	}
 	// The request is now owned by the pool's worker side; it may only be
 	// recycled after its one response is consumed. On the abandonment
@@ -187,18 +221,18 @@ func (b *Batcher) SubmitWave(ctx context.Context, mv *ModelVersion, rows [][]flo
 	case resp := <-req.out:
 		req.mv, req.rows = nil, nil
 		waveReqPool.Put(req)
-		return resp.results, resp.err
+		return resp.results, resp.timing, resp.err
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, WaveTiming{}, ctx.Err()
 	case <-b.done:
 		// Prefer a response that was delivered just before shutdown.
 		select {
 		case resp := <-req.out:
 			req.mv, req.rows = nil, nil
 			waveReqPool.Put(req)
-			return resp.results, resp.err
+			return resp.results, resp.timing, resp.err
 		default:
-			return nil, ErrBatcherClosed
+			return nil, WaveTiming{}, ErrBatcherClosed
 		}
 	}
 }
@@ -206,7 +240,7 @@ func (b *Batcher) SubmitWave(ctx context.Context, mv *ModelVersion, rows [][]flo
 // Submit is the single-row convenience path.
 func (b *Batcher) Submit(ctx context.Context, mv *ModelVersion, row []float64) (Result, error) {
 	rows := [][]float64{row}
-	results, err := b.SubmitWave(ctx, mv, rows)
+	results, _, err := b.SubmitWave(ctx, mv, rows)
 	if err != nil {
 		return Result{}, err
 	}
@@ -248,12 +282,14 @@ func (b *Batcher) worker() {
 		case <-b.stop:
 			return
 		case first := <-b.reqs:
+			first.pick = time.Now()
 			w.waves = append(w.waves[:0], first)
 			total := len(first.rows)
 		drain:
 			for total < b.maxBatch {
 				select {
 				case req := <-b.reqs:
+					req.pick = time.Now()
 					w.waves = append(w.waves, req)
 					total += len(req.rows)
 				default:
@@ -267,6 +303,7 @@ func (b *Batcher) worker() {
 						if !w.timer.Stop() {
 							<-w.timer.C
 						}
+						req.pick = time.Now()
 						w.waves = append(w.waves, req)
 						total += len(req.rows)
 					case <-w.timer.C:
@@ -320,6 +357,7 @@ nextWave:
 	w.groups = groups
 
 	s := evalScratchPool.Get().(*evalScratch)
+	flushStart := time.Now()
 	maxRows := 0
 	for gi := range groups {
 		g := &groups[gi]
@@ -331,13 +369,24 @@ nextWave:
 		if len(rows) > maxRows {
 			maxRows = len(rows)
 		}
+		evalStart := time.Now()
 		results, err := evaluateInto(g.mv, rows, s)
+		evalNs := time.Since(evalStart).Nanoseconds()
+		// Timing is per-wave: queue wait and assembly are the wave's own
+		// stamps; the evaluation split is shared by every wave the group
+		// coalesced (the whole point of batching is that they share it).
+		shared := WaveTiming{EvalNs: evalNs, GuardNs: s.guardNs}
 		if err != nil {
 			if b.metrics != nil {
 				b.metrics.Errors.Add(1)
 			}
 			for _, wi := range g.waves {
-				w.waves[wi].out <- waveResp{err: err}
+				wave := w.waves[wi]
+				timing := shared
+				timing.QueueNs = wave.pick.Sub(wave.enq).Nanoseconds()
+				timing.AssembleNs = flushStart.Sub(wave.pick).Nanoseconds()
+				wave.out <- waveResp{timing: timing, err: err}
+				b.inflight.Add(-1)
 			}
 		} else {
 			off := 0
@@ -347,7 +396,11 @@ nextWave:
 				rs := getResults(n)
 				copy(rs, results[off:off+n])
 				off += n
-				wave.out <- waveResp{results: rs}
+				timing := shared
+				timing.QueueNs = wave.pick.Sub(wave.enq).Nanoseconds()
+				timing.AssembleNs = flushStart.Sub(wave.pick).Nanoseconds()
+				wave.out <- waveResp{results: rs, timing: timing}
+				b.inflight.Add(-1)
 			}
 		}
 		// Drop the bundle reference (a retired version must not be pinned
@@ -386,7 +439,10 @@ type evalScratch struct {
 	// release's guard-pointer clear costs the last batch, not the largest
 	// batch this scratch ever held.
 	used int
-	uq   uq.BatchScratch
+	// guardNs is the guardrail slice of the last evaluateInto call's wall
+	// time (0 for unguarded bundles), read by flush for stage attribution.
+	guardNs int64
+	uq      uq.BatchScratch
 }
 
 var evalScratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
@@ -435,8 +491,10 @@ func evaluateInto(mv *ModelVersion, rows [][]float64, s *evalScratch) ([]Result,
 	}
 	predLogs := s.predLogs[:n]
 	mv.Flat().PredictAllInto(rows, predLogs)
+	s.guardNs = 0
 	var guards []Guard
 	if mv.Ensemble != nil {
+		guardStart := time.Now()
 		nf := len(mv.Columns)
 		if cap(s.scaledBuf) < n*nf {
 			s.scaledBuf = make([]float64, n*nf)
@@ -461,6 +519,7 @@ func evaluateInto(mv *ModelVersion, rows [][]float64, s *evalScratch) ([]Result,
 		for i := range preds {
 			guards[i] = mv.Guard.Diagnose(preds[i])
 		}
+		s.guardNs = time.Since(guardStart).Nanoseconds()
 	}
 	if cap(s.results) < n {
 		s.results = make([]Result, n)

@@ -7,7 +7,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"iotaxo/internal/obs"
 )
+
+// MetricsContentType is the exposition Content-Type served at GET
+// /metrics. Defined once so every handler (serve, tests, embedders
+// mounting their own mux) advertises the same format.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 // Metrics are the service's counters, exposed at GET /metrics in the
 // Prometheus text exposition format. All fields are cumulative; rates and
@@ -52,6 +59,16 @@ type Metrics struct {
 
 	// Latency is the predict-call latency histogram.
 	Latency LatencyHist
+	// stages are the per-stage latency histograms (one labeled family,
+	// ioserve_stage_latency_seconds{stage=...}), fed by ObserveStages so a
+	// p99 regression can be split into queue wait vs wave assembly vs
+	// evaluate vs guard work.
+	stages [obs.NumStages]LatencyHist
+	// QueueDepthFn / InflightWavesFn report the batcher's instantaneous
+	// queue depth and unanswered-wave count at scrape time (wired by
+	// NewService; nil leaves the gauges out of the exposition).
+	QueueDepthFn    func() int
+	InflightWavesFn func() int
 	// perSystem maps system name -> *SystemMetrics.
 	perSystem sync.Map
 	// shadowStats maps ShadowKey -> *ShadowStat.
@@ -313,22 +330,70 @@ func (h *LatencyHist) writeText(w io.Writer, name string) error {
 	if _, err := fmt.Fprintf(w, "# HELP %s Predict call latency.\n# TYPE %s histogram\n", name, name); err != nil {
 		return err
 	}
+	return h.writeSeries(w, name, "")
+}
+
+// writeSeries renders the bucket/sum/count sample lines, merging extra
+// label pairs (e.g. `stage="queue_wait",`) ahead of le so one histogram
+// family can carry several labeled series under a single HELP/TYPE header.
+func (h *LatencyHist) writeSeries(w io.Writer, name, labels string) error {
 	var cum uint64
 	for i, ub := range latencyBuckets {
 		cum += h.buckets[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(ub)/1e9, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", name, labels, float64(ub)/1e9, cum); err != nil {
 			return err
 		}
 	}
 	cum += h.overflow.Load()
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9); err != nil {
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels[:len(labels)-1] + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, float64(h.sumNs.Load())/1e9); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.count.Load())
 	return err
+}
+
+// StageHist returns the latency histogram of one pipeline stage.
+func (m *Metrics) StageHist(st obs.Stage) *LatencyHist { return &m.stages[st] }
+
+// ObserveStages records one request's per-stage split. cache_lookup and
+// observe record on every request; the batcher stages record whenever the
+// request had cache misses — explicitly including waves whose queue wait
+// rounded to zero because a worker drained them immediately, so the
+// queue-wait histogram reflects every queued wave, not just the delayed
+// ones. guard records only when a guarded bundle actually ran it.
+func (m *Metrics) ObserveStages(tm *obs.StageTimings) {
+	m.stages[obs.StageCacheLookup].Observe(time.Duration(tm.Ns[obs.StageCacheLookup]))
+	m.stages[obs.StageObserve].Observe(time.Duration(tm.Ns[obs.StageObserve]))
+	if tm.CacheMisses > 0 {
+		for _, st := range [...]obs.Stage{obs.StageQueueWait, obs.StageWaveAssemble, obs.StageEvaluate, obs.StageFinalize} {
+			m.stages[st].Observe(time.Duration(tm.Ns[st]))
+		}
+		if tm.Ns[obs.StageGuard] > 0 {
+			m.stages[obs.StageGuard].Observe(time.Duration(tm.Ns[obs.StageGuard]))
+		}
+	}
+}
+
+// writeStageText renders the per-stage histograms as one labeled family,
+// stages in pipeline order (fixed, so scrapes are diffable).
+func (m *Metrics) writeStageText(w io.Writer) error {
+	const name = "ioserve_stage_latency_seconds"
+	if _, err := fmt.Fprintf(w, "# HELP %s Predict latency attributed to one pipeline stage.\n# TYPE %s histogram\n", name, name); err != nil {
+		return err
+	}
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		if err := m.stages[st].writeSeries(w, name, fmt.Sprintf("stage=%q,", st.String())); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MeanBatchSize returns evaluated rows per micro-batch (0 if none ran).
@@ -414,6 +479,18 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		{"ioserve_batch_size_mean", "Mean rows per evaluated micro-batch.", m.MeanBatchSize()},
 		{"ioserve_cache_hit_ratio", "Fraction of predictions answered from cache.", m.HitRatio()},
 	}
+	if m.QueueDepthFn != nil {
+		gauges = append(gauges, struct {
+			name, help string
+			val        float64
+		}{"ioserve_batch_queue_depth", "Waves waiting in the batcher queue at scrape time.", float64(m.QueueDepthFn())})
+	}
+	if m.InflightWavesFn != nil {
+		gauges = append(gauges, struct {
+			name, help string
+			val        float64
+		}{"ioserve_batch_inflight_waves", "Waves enqueued but not yet answered at scrape time.", float64(m.InflightWavesFn())})
+	}
 	for _, g := range gauges {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.val); err != nil {
 			return err
@@ -423,6 +500,9 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		return err
 	}
 	if err := m.Latency.writeText(w, "ioserve_request_latency_seconds"); err != nil {
+		return err
+	}
+	if err := m.writeStageText(w); err != nil {
 		return err
 	}
 	m.collectorMu.Lock()

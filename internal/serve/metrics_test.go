@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"iotaxo/internal/obs"
 )
 
 // TestLatencyHistObserve checks bucket assignment, cumulative rendering,
@@ -145,6 +147,95 @@ func TestPruneShadowDropsRetiredComparisons(t *testing.T) {
 	for _, s := range snaps {
 		if s.System == "theta" && s.Target == 1 {
 			t.Errorf("retired comparison survived: %+v", s)
+		}
+	}
+}
+
+// TestObserveStages pins the recording rules: cache_lookup and observe on
+// every request, batcher stages only when rows missed the cache (and then
+// even at zero duration — an immediately drained wave still counts a
+// queue-wait observation), guard only when it ran.
+func TestObserveStages(t *testing.T) {
+	m := &Metrics{}
+	cached := obs.StageTimings{Rows: 4, CacheHits: 4}
+	cached.Ns[obs.StageCacheLookup] = 1000
+	m.ObserveStages(&cached)
+	if got := m.StageHist(obs.StageCacheLookup).Count(); got != 1 {
+		t.Fatalf("cache_lookup count = %d, want 1", got)
+	}
+	if got := m.StageHist(obs.StageQueueWait).Count(); got != 0 {
+		t.Fatalf("queue_wait recorded for a fully cached request: %d", got)
+	}
+
+	missed := obs.StageTimings{Rows: 4, CacheMisses: 4}
+	missed.Ns[obs.StageQueueWait] = 0 // drained immediately: still observed
+	missed.Ns[obs.StageEvaluate] = 50_000
+	m.ObserveStages(&missed)
+	if got := m.StageHist(obs.StageQueueWait).Count(); got != 1 {
+		t.Fatalf("zero-duration queue wait not recorded: %d", got)
+	}
+	if got := m.StageHist(obs.StageGuard).Count(); got != 0 {
+		t.Fatalf("guard recorded without running: %d", got)
+	}
+	missed.Ns[obs.StageGuard] = 10_000
+	m.ObserveStages(&missed)
+	if got := m.StageHist(obs.StageGuard).Count(); got != 1 {
+		t.Fatalf("guard count = %d, want 1", got)
+	}
+}
+
+// TestWriteTextDeterministicAndGauges: two consecutive scrapes of the same
+// state render byte-identically (sorted per-system and per-shadow series,
+// fixed stage order), and the batcher gauges appear only when wired.
+func TestWriteTextDeterministicAndGauges(t *testing.T) {
+	m := &Metrics{}
+	// Touch systems and shadows in non-sorted order.
+	m.System("theta").Requests.Add(2)
+	m.System("cori").Requests.Add(1)
+	m.Shadow(ShadowKey{"theta", 2, 1, RoleShadow}).observe(0.1, 1, true, false, 100)
+	m.Shadow(ShadowKey{"cori", 2, 1, RoleShadow}).observe(0.2, 2, true, false, 100)
+	var tm obs.StageTimings
+	tm.CacheMisses = 1
+	tm.Ns[obs.StageEvaluate] = 1000
+	m.ObserveStages(&tm)
+
+	render := func() string {
+		var sb strings.Builder
+		if err := m.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	if first != render() {
+		t.Fatal("two scrapes of identical state differ")
+	}
+	if strings.Contains(first, "ioserve_batch_queue_depth") {
+		t.Fatal("queue-depth gauge rendered without a wired QueueDepthFn")
+	}
+	// One stage family header, stages in pipeline order.
+	if got := strings.Count(first, "# TYPE ioserve_stage_latency_seconds histogram"); got != 1 {
+		t.Fatalf("stage family TYPE rendered %d times, want 1", got)
+	}
+	iCache := strings.Index(first, `ioserve_stage_latency_seconds_bucket{stage="cache_lookup"`)
+	iEval := strings.Index(first, `ioserve_stage_latency_seconds_bucket{stage="evaluate"`)
+	iObs := strings.Index(first, `ioserve_stage_latency_seconds_bucket{stage="observe"`)
+	if iCache < 0 || iEval < 0 || iObs < 0 || !(iCache < iEval && iEval < iObs) {
+		t.Fatalf("stage series out of pipeline order: cache=%d eval=%d observe=%d", iCache, iEval, iObs)
+	}
+	// Per-system series sorted: cori before theta.
+	iCori := strings.Index(first, `ioserve_system_requests_total{system="cori"}`)
+	iTheta := strings.Index(first, `ioserve_system_requests_total{system="theta"}`)
+	if iCori < 0 || iTheta < 0 || iCori > iTheta {
+		t.Fatalf("per-system series not sorted: cori=%d theta=%d", iCori, iTheta)
+	}
+
+	m.QueueDepthFn = func() int { return 3 }
+	m.InflightWavesFn = func() int { return 1 }
+	wired := render()
+	for _, want := range []string{"ioserve_batch_queue_depth 3", "ioserve_batch_inflight_waves 1"} {
+		if !strings.Contains(wired, want) {
+			t.Errorf("wired gauges missing %q", want)
 		}
 	}
 }

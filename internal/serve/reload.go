@@ -240,10 +240,16 @@ func (r *Reloader) Poll() (ReloadStats, error) {
 	m.VersionSwaps.Add(uint64(stats.Added + stats.Replaced + stats.Removed))
 	if stats.Changed() {
 		m.ReloadApplied.Add(1)
+		r.svc.logger.Info("registry reload applied",
+			"added", stats.Added, "replaced", stats.Replaced,
+			"removed", stats.Removed, "invalidated", stats.Invalidated,
+			"failed", stats.Failed)
 	}
 	if len(errs) > 0 {
 		m.ReloadErrors.Add(1)
-		return stats, fmt.Errorf("serve: reload: %w", errors.Join(errs...))
+		err := fmt.Errorf("serve: reload: %w", errors.Join(errs...))
+		r.svc.logger.Warn("registry reload errors", "failed", stats.Failed, "err", err)
+		return stats, err
 	}
 	return stats, nil
 }

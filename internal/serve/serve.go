@@ -36,8 +36,11 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync/atomic"
 	"time"
+
+	"iotaxo/internal/obs"
 )
 
 // Options tune the serving pipeline.
@@ -68,6 +71,20 @@ type Options struct {
 	// queue (defaults 1 and 256).
 	ShadowWorkers int
 	ShadowQueue   int
+	// TraceEvery enables request tracing: 1-in-N head sampling into the
+	// retained-trace ring on top of the always-keep tail policy (errors,
+	// OoD-flagged requests, slower-than-moving-p99 requests). <= 0 disables
+	// tracing entirely — the predict path then records stage timings into
+	// the /metrics histograms but never touches a Trace.
+	TraceEvery int
+	// TraceBuffer is the retained-trace ring capacity (default 256).
+	TraceBuffer int
+	// TraceSlowAfter pins the slow-trace keep threshold instead of the
+	// moving p99 estimate (mainly tests; 0 keeps the adaptive threshold).
+	TraceSlowAfter time.Duration
+	// Logger receives the service's structured logs (reload decisions,
+	// 5xx failures). Nil discards.
+	Logger *slog.Logger
 }
 
 // PredictionResult is one served prediction.
@@ -103,6 +120,12 @@ type Service struct {
 	batcher *Batcher
 	shadow  *Shadow
 	metrics *Metrics
+	// tracer owns request traces; nil when Options.TraceEvery <= 0, and a
+	// nil tracer no-ops, so the predict path threads it unconditionally.
+	tracer *obs.Tracer
+	// logger receives structured service logs (never nil; defaults to a
+	// discard logger).
+	logger *slog.Logger
 	// reloader is attached by NewReloader (nil when reloading is off).
 	reloader atomic.Pointer[Reloader]
 	// observer is attached by SetObserver (nil when nothing watches).
@@ -112,13 +135,28 @@ type Service struct {
 // NewService wires a service over a loaded registry.
 func NewService(reg *Registry, opt Options) *Service {
 	m := &Metrics{}
-	return &Service{
+	s := &Service{
 		reg:     reg,
 		cache:   NewCache(opt.CacheSize),
 		batcher: NewBatcher(opt.MaxBatch, opt.MaxDelay, opt.Workers, m),
 		shadow:  NewShadow(reg, opt.ShadowFraction, opt.ShadowWorkers, opt.ShadowQueue, m),
 		metrics: m,
+		logger:  opt.Logger,
 	}
+	if s.logger == nil {
+		s.logger = obs.NopLogger()
+	}
+	m.QueueDepthFn = s.batcher.QueueDepth
+	m.InflightWavesFn = s.batcher.InflightWaves
+	if opt.TraceEvery > 0 {
+		s.tracer = obs.NewTracer(obs.Config{
+			SampleEvery: opt.TraceEvery,
+			RingSize:    opt.TraceBuffer,
+			SlowAfter:   opt.TraceSlowAfter,
+		})
+		m.RegisterCollector(s.tracer.WriteMetrics)
+	}
+	return s
 }
 
 // Close stops the reloader (if attached), the shadow mirror, and the
@@ -134,6 +172,12 @@ func (s *Service) Registry() *Registry { return s.reg }
 
 // Metrics exposes the service counters.
 func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Tracer returns the request tracer, or nil when tracing is disabled.
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
+
+// Logger returns the service's structured logger (never nil).
+func (s *Service) Logger() *slog.Logger { return s.logger }
 
 // Reloader returns the attached registry reloader, or nil.
 func (s *Service) Reloader() *Reloader { return s.reloader.Load() }
@@ -158,24 +202,60 @@ func (s *Service) SetObserver(o Observer) {
 // cache are answered immediately; the rest go through the micro-batcher in
 // one wave, so a multi-row request coalesces naturally.
 func (s *Service) Predict(ctx context.Context, system string, version int, rows [][]float64) ([]PredictionResult, *ModelVersion, error) {
+	results, mv, _, _, err := s.PredictTraced(ctx, system, version, rows)
+	return results, mv, err
+}
+
+// PredictTraced is Predict plus observability: it returns the request's
+// per-stage latency attribution and, when tracing is on and tail-sampling
+// retained the request, the trace ID (0 otherwise). The HTTP layer uses it
+// to ship server-side timings and X-Trace-Id back to callers; embedders
+// that don't care call Predict.
+func (s *Service) PredictTraced(ctx context.Context, system string, version int, rows [][]float64) ([]PredictionResult, *ModelVersion, obs.StageTimings, uint64, error) {
 	start := time.Now()
 	s.metrics.Requests.Add(1)
+	// tm lives on this frame: stage attribution costs no allocation, and
+	// the pooled Trace (if any) is only filled from it at the very end.
+	var tm obs.StageTimings
+	tm.Rows = len(rows)
 	// Per-system series are created inside predict, only after the
 	// registry resolves the system — a flood of bogus system names must
 	// not grow the metrics map (and /metrics cardinality) without bound;
 	// such failures count only toward the unlabeled totals.
-	results, mv, err := s.predict(ctx, system, version, rows, false)
+	results, mv, err := s.predict(ctx, system, version, rows, false, &tm)
+	tm.TotalNs = time.Since(start).Nanoseconds()
 	if err != nil {
 		s.metrics.Errors.Add(1)
 		if mv != nil {
 			s.metrics.System(mv.System).Errors.Add(1)
 		}
-		return nil, nil, err
+		id := s.finishTrace(system, mv, start, &tm, err)
+		return nil, nil, tm, id, err
 	}
-	elapsed := time.Since(start)
-	s.metrics.LatencyNs.Add(uint64(elapsed.Nanoseconds()))
-	s.metrics.Latency.Observe(elapsed)
-	return results, mv, nil
+	s.metrics.LatencyNs.Add(uint64(tm.TotalNs))
+	s.metrics.Latency.Observe(time.Duration(tm.TotalNs))
+	s.metrics.ObserveStages(&tm)
+	id := s.finishTrace(system, mv, start, &tm, nil)
+	return results, mv, tm, id, nil
+}
+
+// finishTrace runs the request through tail-sampling: no-op (returns 0)
+// when tracing is off, otherwise fills a pooled Trace from tm and lets the
+// tracer decide retention.
+func (s *Service) finishTrace(system string, mv *ModelVersion, start time.Time, tm *obs.StageTimings, err error) uint64 {
+	if s.tracer == nil {
+		return 0
+	}
+	sys, ver := system, 0
+	if mv != nil {
+		sys, ver = mv.System, mv.Version
+	}
+	t := s.tracer.Start(sys, ver, start)
+	t.Timings = *tm
+	if err != nil {
+		t.Err = err.Error()
+	}
+	return s.tracer.Finish(t)
 }
 
 // PredictQuiet evaluates rows exactly like Predict — same registry
@@ -185,10 +265,15 @@ func (s *Service) Predict(ctx context.Context, system string, version int, rows 
 // ground-truth feedback against model versions) use it so backfilled
 // feedback never reads as live traffic or double-counts served rows.
 func (s *Service) PredictQuiet(ctx context.Context, system string, version int, rows [][]float64) ([]PredictionResult, *ModelVersion, error) {
-	return s.predict(ctx, system, version, rows, true)
+	var tm obs.StageTimings // measured then discarded: quiet calls stay invisible
+	return s.predict(ctx, system, version, rows, true, &tm)
 }
 
-func (s *Service) predict(ctx context.Context, system string, version int, rows [][]float64, quiet bool) ([]PredictionResult, *ModelVersion, error) {
+// predict is the shared serving path. tm (never nil) accumulates the
+// request's stage attribution as it flows through cache, batcher, and
+// finalization; the caller decides whether those timings reach /metrics or
+// a retained trace.
+func (s *Service) predict(ctx context.Context, system string, version int, rows [][]float64, quiet bool, tm *obs.StageTimings) ([]PredictionResult, *ModelVersion, error) {
 	if len(rows) == 0 {
 		return nil, nil, fmt.Errorf("serve: empty request")
 	}
@@ -254,6 +339,7 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 	if s.cache != nil && len(rows) > dupScanCutoff {
 		pending = make(map[uint64]int, len(rows))
 	}
+	cacheStart := time.Now()
 	for i, row := range rows {
 		key := HashKey(mv.System, mv.Version, row)
 		if res, ok := s.cache.Get(key, row, mv); ok {
@@ -295,11 +381,19 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 			pending[key] = len(misses) - 1
 		}
 	}
+	tm.Add(obs.StageCacheLookup, time.Since(cacheStart).Nanoseconds())
+	tm.CacheHits = int(hits)
+	tm.CacheMisses = len(misses)
 	if len(misses) > 0 {
-		wave, err := s.batcher.SubmitWave(ctx, mv, missRows)
+		wave, wt, err := s.batcher.SubmitWave(ctx, mv, missRows)
 		if err != nil {
 			return nil, mv, err
 		}
+		tm.Add(obs.StageQueueWait, wt.QueueNs)
+		tm.Add(obs.StageWaveAssemble, wt.AssembleNs)
+		tm.Add(obs.StageEvaluate, wt.EvalNs)
+		tm.Add(obs.StageGuard, wt.GuardNs)
+		finalizeStart := time.Now()
 		for k := range misses {
 			ms := &misses[k]
 			res := wave[k]
@@ -310,8 +404,16 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 			}
 		}
 		putResults(wave)
+		tm.Add(obs.StageFinalize, time.Since(finalizeStart).Nanoseconds())
 	}
 
+	var ood uint64
+	for _, r := range results {
+		if r.Guard != nil && r.Guard.OoD {
+			ood++
+		}
+	}
+	tm.OoDFlagged = int(ood)
 	if quiet {
 		return results, mv, nil
 	}
@@ -322,17 +424,13 @@ func (s *Service) predict(ctx context.Context, system string, version int, rows 
 	sys.Predictions.Add(uint64(len(rows)))
 	sys.CacheHits.Add(hits)
 	sys.CacheMisses.Add(uint64(len(misses)))
-	var ood uint64
-	for _, r := range results {
-		if r.Guard != nil && r.Guard.OoD {
-			ood++
-		}
-	}
 	s.metrics.OoDFlagged.Add(ood)
 	sys.OoDFlagged.Add(ood)
+	observeStart := time.Now()
 	s.shadow.Mirror(mv, rows, results)
 	if box := s.observer.Load(); box != nil {
 		box.obs.ObserveServed(mv, rows, results)
 	}
+	tm.Add(obs.StageObserve, time.Since(observeStart).Nanoseconds())
 	return results, mv, nil
 }

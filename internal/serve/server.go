@@ -6,7 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+
+	"iotaxo/internal/obs"
 )
 
 // HTTP layer. Endpoints:
@@ -18,12 +21,15 @@ import (
 //	POST /v1/versions/promote   — pin {"system","version"} as serving default
 //	POST /v1/versions/rollback  — revert {"system"} to the pre-promote default
 //	POST /v1/versions/reload    — force a registry reload poll
+//	GET  /v1/trace              — retained request traces, newest first
+//	GET  /v1/trace/{id}         — one trace's span tree
 //	GET  /healthz               — liveness + registry summary
 //	GET  /metrics               — Prometheus text format
 //
 // The handler owns no state beyond the Service; it can be mounted into any
-// mux or served directly. The three mutating admin actions (promote,
-// rollback, reload) can be gated behind a bearer token via
+// mux or served directly. The mutating admin actions (promote, rollback,
+// reload) and the trace endpoints (retained traces carry latency shape and
+// system/version topology) can be gated behind a bearer token via
 // HandlerConfig.AdminToken; the read and predict paths are never gated.
 
 // maxRequestBody bounds predict request bodies (16 MiB ~ 100k-row batches
@@ -48,6 +54,40 @@ type PredictResponse struct {
 	Version     int                `json:"version"`
 	Count       int                `json:"count"`
 	Predictions []PredictionResult `json:"predictions"`
+	// TraceID is set when tracing retained this request (also sent as the
+	// X-Trace-Id header); fetch the span tree at GET /v1/trace/{id}.
+	TraceID string `json:"trace_id,omitempty"`
+	// ServerTimings is the server-side latency split, so clients (cmd/ioload)
+	// can separate queue wait from compute without guessing.
+	ServerTimings *ServerTimings `json:"server_timings,omitempty"`
+}
+
+// ServerTimings is the server-side stage split shipped in PredictResponse.
+// GuardNs is a slice of EvaluateNs, and stages omit scheduling slack, so
+// the stages sum to less than TotalNs.
+type ServerTimings struct {
+	TotalNs        int64 `json:"total_ns"`
+	CacheLookupNs  int64 `json:"cache_lookup_ns"`
+	QueueWaitNs    int64 `json:"queue_wait_ns"`
+	WaveAssembleNs int64 `json:"wave_assemble_ns"`
+	EvaluateNs     int64 `json:"evaluate_ns"`
+	GuardNs        int64 `json:"guard_ns"`
+	FinalizeNs     int64 `json:"finalize_ns"`
+	ObserveNs      int64 `json:"observe_ns"`
+}
+
+// serverTimings converts the internal stage attribution to the wire form.
+func serverTimings(tm *obs.StageTimings) *ServerTimings {
+	return &ServerTimings{
+		TotalNs:        tm.TotalNs,
+		CacheLookupNs:  tm.Ns[obs.StageCacheLookup],
+		QueueWaitNs:    tm.Ns[obs.StageQueueWait],
+		WaveAssembleNs: tm.Ns[obs.StageWaveAssemble],
+		EvaluateNs:     tm.Ns[obs.StageEvaluate],
+		GuardNs:        tm.Ns[obs.StageGuard],
+		FinalizeNs:     tm.Ns[obs.StageFinalize],
+		ObserveNs:      tm.Ns[obs.StageObserve],
+	}
 }
 
 // errorResponse is the uniform error body.
@@ -159,6 +199,12 @@ func NewHandler(svc *Service, cfg HandlerConfig) http.Handler {
 		}
 		writeJSON(w, status, body)
 	}))
+	mux.HandleFunc("/v1/trace", RequireAdmin(cfg.AdminToken, func(w http.ResponseWriter, r *http.Request) {
+		handleTraceList(svc, w, r)
+	}))
+	mux.HandleFunc("/v1/trace/", RequireAdmin(cfg.AdminToken, func(w http.ResponseWriter, r *http.Request) {
+		handleTraceGet(svc, w, r)
+	}))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":   "ok",
@@ -167,7 +213,7 @@ func NewHandler(svc *Service, cfg HandlerConfig) http.Handler {
 		})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Header().Set("Content-Type", MetricsContentType)
 		_ = svc.Metrics().WriteText(w)
 	})
 	return mux
@@ -201,7 +247,14 @@ func handlePredict(svc *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no rows to predict")
 		return
 	}
-	results, mv, err := svc.Predict(r.Context(), req.System, req.Version, rows)
+	results, mv, tm, traceID, err := svc.PredictTraced(r.Context(), req.System, req.Version, rows)
+	traceHex := ""
+	if traceID != 0 {
+		traceHex = obs.FormatTraceID(traceID)
+		// Set on success and error alike: a failed request's retained trace
+		// is exactly the one an operator wants to look up.
+		w.Header().Set("X-Trace-Id", traceHex)
+	}
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
@@ -213,15 +266,79 @@ func handlePredict(svc *Service, w http.ResponseWriter, r *http.Request) {
 			// Schema mismatches and malformed batches are client errors.
 			status = http.StatusBadRequest
 		}
+		if status >= 500 {
+			svc.Logger().Error("predict failed",
+				"system", req.System, "rows", len(rows),
+				"status", status, "trace_id", traceHex, "err", err)
+		}
 		writeError(w, status, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, PredictResponse{
-		System:      req.System,
-		Version:     mv.Version,
-		Count:       len(results),
-		Predictions: results,
+		System:        req.System,
+		Version:       mv.Version,
+		Count:         len(results),
+		Predictions:   results,
+		TraceID:       traceHex,
+		ServerTimings: serverTimings(&tm),
 	})
+}
+
+// handleTraceList serves GET /v1/trace: the retained traces, newest first,
+// capped by ?limit=.
+func handleTraceList(svc *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	tr := svc.Tracer()
+	if tr == nil {
+		writeError(w, http.StatusConflict, "tracing disabled (start ioserve with -trace-sample)")
+		return
+	}
+	limit := 0
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = n
+	}
+	traces := tr.Recent(limit)
+	summaries := make([]obs.TraceSummary, len(traces))
+	for i := range traces {
+		summaries[i] = traces[i].Summary()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slow_threshold_ns": int64(tr.SlowThreshold()),
+		"traces":            summaries,
+	})
+}
+
+// handleTraceGet serves GET /v1/trace/{id}: one trace's span tree.
+func handleTraceGet(svc *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	tr := svc.Tracer()
+	if tr == nil {
+		writeError(w, http.StatusConflict, "tracing disabled (start ioserve with -trace-sample)")
+		return
+	}
+	idHex := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	id, err := obs.ParseTraceID(idHex)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad trace id %q", idHex))
+		return
+	}
+	t, ok := tr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("trace %s not retained (evicted or never kept)", idHex))
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Detail())
 }
 
 // SystemVersions is one system's lifecycle view at GET /v1/versions.

@@ -8,6 +8,7 @@
 #   BENCHCMP_THRESHOLD=15 ./scripts/benchcmp.sh
 #   BENCHCMP_ALLOC_THRESHOLD=10 ./scripts/benchcmp.sh   # gate allocs tighter
 #   BENCHCMP_PATTERN='Serve' ./scripts/benchcmp.sh
+#   BENCHCMP_MAX_ALLOCS='ServeBatch16<=44' ./scripts/benchcmp.sh  # absolute alloc budgets
 #
 # With fewer than two snapshots there is nothing to compare; that is a
 # skip (exit 0), not a failure — the tripwire only fires on measured
@@ -18,6 +19,7 @@ cd "$(dirname "$0")/.."
 threshold=${BENCHCMP_THRESHOLD:-10}
 alloc_threshold=${BENCHCMP_ALLOC_THRESHOLD:--1}
 pattern=${BENCHCMP_PATTERN:-'Serve|Predict'}
+max_allocs=${BENCHCMP_MAX_ALLOCS:-}
 
 if [ $# -eq 2 ]; then
   old=$1 new=$2
@@ -31,4 +33,5 @@ else
   new=${snaps[0]} old=${snaps[1]}
 fi
 
-exec go run ./cmd/benchcmp -threshold "$threshold" -alloc-threshold "$alloc_threshold" -pattern "$pattern" "$old" "$new"
+exec go run ./cmd/benchcmp -threshold "$threshold" -alloc-threshold "$alloc_threshold" \
+  -pattern "$pattern" -max-allocs "$max_allocs" "$old" "$new"
