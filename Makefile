@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench bench-smoke benchcmp
+.PHONY: all build test vet fmt bench bench-smoke benchcmp chaos-smoke
 
 all: build test
 
@@ -35,3 +35,9 @@ bench-smoke:
 # the serving/predict benchmarks (see scripts/benchcmp.sh for knobs).
 benchcmp:
 	./scripts/benchcmp.sh
+
+# Resilience smoke: ioserve under fault injection + admission control,
+# saturated by ioload, asserting sheds happen, nothing crashes, and
+# SIGTERM drains cleanly (see scripts/chaos_smoke.sh for knobs).
+chaos-smoke:
+	./scripts/chaos_smoke.sh

@@ -29,6 +29,12 @@
 // auto-promoted it — or the -drift-wait deadline expires, in which case
 // ioload exits non-zero.
 //
+// Transient predict failures (429 sheds, 5xx, transport errors) are
+// retried with capped jittered backoff honoring Retry-After (-retries;
+// retried attempts are reported apart from the error column). With
+// -expect-chaos the run additionally asserts the server was pushed into
+// load shedding and survived it — the contract of the chaos-smoke harness.
+//
 // Admin actions (forced reloads, drift controls) authenticate with
 // -admin-token / $IOSERVE_ADMIN_TOKEN. A server that rejects an admin
 // action mid-scenario (401/403/409) aborts the run with a non-zero exit —
@@ -36,6 +42,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -45,11 +52,15 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iotaxo/internal/dataset"
 	"iotaxo/internal/drift"
+	"iotaxo/internal/resilience"
 	"iotaxo/internal/rng"
 	"iotaxo/internal/serve"
 	"iotaxo/internal/system"
@@ -94,6 +105,10 @@ func main() {
 			"drift scenario: fraction of requests served before the ramp starts")
 		driftWait = flag.Duration("drift-wait", 90*time.Second,
 			"drift scenario: how long to hold drifted traffic waiting for retrain + auto-promote")
+		retries = flag.Int("retries", 2,
+			"retry a transiently failed predict (429, 5xx, transport error) up to this many times with capped jittered backoff (0 disables)")
+		expectChaos = flag.Bool("expect-chaos", false,
+			"assert the server was under chaos/overload: non-zero sheds on /metrics, live /healthz, and some successful requests, else exit non-zero")
 	)
 	flag.Parse()
 	churn := churnSpec{registry: *churnReg, interval: *churnInt, bumps: *churnBumps}
@@ -102,13 +117,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ioload: -churn-registry and -drift-ramp are separate scenarios; pick one")
 		os.Exit(2)
 	}
-	if err := run(*addr, *sysName, *version, *requests, *batch, *rate, *dup, *ood, *conc, *poolJobs, *seed, *token, churn, dr); err != nil {
+	if err := run(*addr, *sysName, *version, *requests, *batch, *rate, *dup, *ood, *conc, *poolJobs, *seed, *token, churn, dr, *retries, *expectChaos); err != nil {
 		fmt.Fprintln(os.Stderr, "ioload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, sysName string, version, requests, batch int, rate, dup, ood float64, conc, poolJobs int, seed uint64, token string, churn churnSpec, dr driftSpec) error {
+func run(addr, sysName string, version, requests, batch int, rate, dup, ood float64, conc, poolJobs int, seed uint64, token string, churn churnSpec, dr driftSpec, retries int, expectChaos bool) error {
 	var cfg *system.Config
 	switch sysName {
 	case "theta":
@@ -161,13 +176,21 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 	}
 	tracker := &versionTracker{seen: make(map[int]int)}
 	timings := &serverTimingAgg{}
-	stats, err := gen.Run(ctx, httpTarget(addr, sysName, version, tracker, timings))
+	rstats := &retryStats{}
+	stats, err := gen.Run(ctx, httpTarget(addr, sysName, version, tracker, timings, retries, seed, rstats))
 	cancel()
 	churnWG.Wait()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("requests        %d (%d errors)\n", stats.Requests, stats.Errors)
+	if retries > 0 {
+		// Retries are reported apart from errors: a retried-then-served
+		// request is a success, and folding the attempts into the error
+		// column would misread recovery as failure.
+		fmt.Printf("retries         %d (%d requests exhausted all %d attempts)\n",
+			rstats.retries.Load(), rstats.exhausted.Load(), retries+1)
+	}
 	fmt.Printf("rows            %d\n", stats.Rows)
 	fmt.Printf("achieved rate   %.1f req/s\n", stats.AchievedRPS)
 	fmt.Printf("latency p50     %v\n", stats.P50)
@@ -196,7 +219,85 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 				churnRes.published, tracker.String(), churn.registry)
 		}
 	}
+	if expectChaos {
+		return verifyChaos(addr, stats)
+	}
 	return nil
+}
+
+// retryStats counts retried predict attempts apart from the error column.
+type retryStats struct {
+	retries   atomic.Int64 // individual retry attempts issued
+	exhausted atomic.Int64 // requests that failed after every attempt
+}
+
+// verifyChaos is the -expect-chaos post-run assertion: the server survived
+// injected faults and overload (live /healthz), actually shed load
+// (ioserve_admission_shed_total > 0 on /metrics), and still served some
+// traffic. Any miss is a non-zero exit for the chaos-smoke harness.
+func verifyChaos(addr string, stats serve.LoadStats) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		return fmt.Errorf("expect-chaos: server did not survive the run: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("expect-chaos: /healthz returned %d after the run", resp.StatusCode)
+	}
+	shed, err := sumMetric(client, addr, "ioserve_admission_shed_total")
+	if err != nil {
+		return fmt.Errorf("expect-chaos: %w", err)
+	}
+	if shed == 0 {
+		return fmt.Errorf("expect-chaos: ioserve_admission_shed_total is 0 — the run never pushed the server into shedding")
+	}
+	if ok := stats.Requests - stats.Errors; ok <= 0 {
+		return fmt.Errorf("expect-chaos: no request succeeded (%d issued, %d errors) — shedding must degrade service, not replace it", stats.Requests, stats.Errors)
+	}
+	fmt.Printf("chaos check     ok: server live, %.0f requests shed, %d served\n", shed, stats.Requests-stats.Errors)
+	return nil
+}
+
+// sumMetric scrapes /metrics and sums every sample of the named series
+// across its label sets.
+func sumMetric(client *http.Client, addr, name string) (float64, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	var sum float64
+	found := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, "{") && !strings.HasPrefix(rest, " ") {
+			continue // a longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return 0, fmt.Errorf("parsing %s sample %q: %w", name, line, err)
+		}
+		sum += v
+		found = true
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("metric %s not present on /metrics (server too old, or admission control off?)", name)
+	}
+	return sum, nil
 }
 
 // adminError marks a server-side rejection of an admin action: these abort
@@ -404,23 +505,35 @@ func (t *versionTracker) String() string {
 }
 
 // httpTarget adapts the /v1/predict endpoint to a load-generator target.
-func httpTarget(addr, sysName string, version int, tracker *versionTracker, timings *serverTimingAgg) serve.Target {
+// Transient failures — 429 sheds, 5xx, transport errors — are retried up to
+// `retries` times with capped jittered backoff, honoring the server's
+// Retry-After when it names a longer wait; 4xx responses other than 429 are
+// caller bugs and fail immediately.
+func httpTarget(addr, sysName string, version int, tracker *versionTracker, timings *serverTimingAgg, retries int, seed uint64, rstats *retryStats) serve.Target {
 	client := &http.Client{Timeout: 30 * time.Second}
 	url := addr + "/v1/predict"
-	return func(ctx context.Context, rows [][]float64) ([]serve.PredictionResult, error) {
-		body, err := json.Marshal(serve.PredictRequest{System: sysName, Version: version, Rows: rows})
-		if err != nil {
-			return nil, err
-		}
+	r := rng.New(seed + 777)
+	var jitterMu sync.Mutex
+	bo := resilience.Backoff{Base: 50 * time.Millisecond, Max: time.Second, Rand: func() float64 {
+		jitterMu.Lock()
+		defer jitterMu.Unlock()
+		return r.Float64()
+	}}
+
+	// attempt issues one request; retryable reports whether a failure is
+	// worth another attempt, retryAfter a server-suggested minimum wait.
+	attempt := func(ctx context.Context, body []byte) (_ []serve.PredictionResult, retryable bool, retryAfter time.Duration, _ error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
-			return nil, err
+			return nil, false, 0, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		start := time.Now()
 		resp, err := client.Do(req)
 		if err != nil {
-			return nil, err
+			// Transport-level failure (conn reset, refused, timeout):
+			// retryable unless the caller's context is what ended it.
+			return nil, ctx.Err() == nil, 0, err
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
@@ -428,11 +541,18 @@ func httpTarget(addr, sysName string, version int, tracker *versionTracker, timi
 				Error string `json:"error"`
 			}
 			_ = json.NewDecoder(resp.Body).Decode(&e)
-			return nil, fmt.Errorf("server returned %d: %s", resp.StatusCode, e.Error)
+			retryable := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+			var after time.Duration
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+					after = time.Duration(secs) * time.Second
+				}
+			}
+			return nil, retryable, after, fmt.Errorf("server returned %d: %s", resp.StatusCode, e.Error)
 		}
 		var pr serve.PredictResponse
 		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-			return nil, err
+			return nil, false, 0, err
 		}
 		elapsed := time.Since(start)
 		if tracker != nil {
@@ -441,7 +561,38 @@ func httpTarget(addr, sysName string, version int, tracker *versionTracker, timi
 		if timings != nil {
 			timings.record(elapsed, pr.ServerTimings)
 		}
-		return pr.Predictions, nil
+		return pr.Predictions, false, 0, nil
+	}
+
+	return func(ctx context.Context, rows [][]float64) ([]serve.PredictionResult, error) {
+		body, err := json.Marshal(serve.PredictRequest{System: sysName, Version: version, Rows: rows})
+		if err != nil {
+			return nil, err
+		}
+		for try := 0; ; try++ {
+			preds, retryable, after, err := attempt(ctx, body)
+			if err == nil {
+				return preds, nil
+			}
+			if !retryable || try >= retries {
+				if retryable && retries > 0 {
+					rstats.exhausted.Add(1)
+				}
+				return nil, err
+			}
+			rstats.retries.Add(1)
+			delay := bo.Delay(try + 1)
+			if after > delay {
+				delay = after
+			}
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
 	}
 }
 

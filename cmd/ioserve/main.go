@@ -27,6 +27,7 @@
 //	GET  /v1/drift              drift-monitor status + decision log
 //	POST /v1/drift/retrain      {"system":"theta"} force a retrain  [admin]
 //	POST /v1/feedback           ground-truth ingestion              [admin]
+//	GET  /v1/resilience         admission gate + breaker status     [admin]
 //	GET  /healthz               liveness
 //	GET  /metrics               Prometheus text format
 //
@@ -52,6 +53,18 @@
 // (keep it loopback-only). Logs are structured (log/slog); -log-format
 // json emits one JSON object per line, -log-level tunes verbosity.
 //
+// Resilience: -admission-max-inflight bounds concurrent predict work and
+// sheds the excess with 429 + Retry-After (control traffic — feedback,
+// admin — is shed only at twice the cap); -admission-p99 adds a latency
+// trigger on the moving p99 of admitted requests. -default-deadline
+// propagates a per-request deadline end to end (clients can lower it with
+// X-Request-Timeout-Ms); expired requests are dropped before evaluation
+// and answered 504. The reloader and the drift retrain chain run behind
+// circuit breakers with jittered backoff, visible at GET /v1/resilience.
+// -chaos injects faults (latency, errors, panics, registry corruption) for
+// resilience testing; SIGINT/SIGTERM drains in-flight requests for
+// -shutdown-grace before exiting.
+//
 // -admin-token (or IOSERVE_ADMIN_TOKEN) gates every [admin] endpoint with
 // a bearer token; unset leaves them open (development mode).
 //
@@ -62,16 +75,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"iotaxo/internal/drift"
 	"iotaxo/internal/obs"
+	"iotaxo/internal/resilience"
+	"iotaxo/internal/resilience/chaos"
 	"iotaxo/internal/serve"
 )
 
@@ -101,6 +119,12 @@ type config struct {
 	pprofAddr      string
 	logFormat      string
 	logLevel       string
+
+	admissionMax    int
+	admissionP99    time.Duration
+	defaultDeadline time.Duration
+	shutdownGrace   time.Duration
+	chaosSpec       string
 }
 
 func main() {
@@ -139,6 +163,16 @@ func main() {
 		"serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "log verbosity: debug, info, warn, or error")
+	flag.IntVar(&cfg.admissionMax, "admission-max-inflight", 0,
+		"admission-control soft cap on concurrent predict requests; above it predict traffic is shed with 429 (0 disables admission control)")
+	flag.DurationVar(&cfg.admissionP99, "admission-p99", 0,
+		"shed predict traffic when the moving p99 of admitted requests exceeds this while the gate is above half its soft cap (0 disables the latency trigger)")
+	flag.DurationVar(&cfg.defaultDeadline, "default-deadline", 0,
+		"per-request deadline applied to predict requests; clients may lower it with the "+serve.DeadlineHeader+" header (0 disables)")
+	flag.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 10*time.Second,
+		"drain window for in-flight requests after SIGINT/SIGTERM before the listener is torn down")
+	flag.StringVar(&cfg.chaosSpec, "chaos", "",
+		`fault-injection spec, e.g. "latency=5ms:0.2,error=0.05,panic=0.01,corrupt=0.1" (empty disables; never set in production)`)
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ioserve:", err)
@@ -163,6 +197,23 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	// The signal context drives graceful shutdown: first SIGINT/SIGTERM
+	// starts the drain, a second one kills the process the default way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	var inj *chaos.Injector
+	if cfg.chaosSpec != "" {
+		ccfg, err := chaos.Parse(cfg.chaosSpec)
+		if err != nil {
+			return err
+		}
+		inj = chaos.NewInjector(ccfg, int64(cfg.seed))
+		if inj != nil {
+			logger.Warn("chaos injection ENABLED — never run this in production", "spec", cfg.chaosSpec)
+		}
+	}
+
 	var reg *serve.Registry
 	switch {
 	case cfg.bootstrap:
@@ -198,9 +249,26 @@ func run(cfg config) error {
 		TraceEvery:     traceEvery(cfg.traceSample),
 		TraceBuffer:    cfg.traceBuffer,
 		Logger:         logger,
+		Chaos:          inj,
 	})
 	defer svc.Close()
 	svc.Metrics().RegisterCollector(obs.WriteRuntimeMetrics)
+
+	// The resilience set aggregates the admission gate and the control-plane
+	// breakers behind one /metrics collector and the /v1/resilience view.
+	res := resilience.NewSet()
+	svc.Metrics().RegisterCollector(res.WriteMetrics)
+	var gate *resilience.Gate
+	if cfg.admissionMax > 0 {
+		gate = resilience.NewGate(resilience.GateConfig{
+			MaxInflight:  cfg.admissionMax,
+			P99Threshold: cfg.admissionP99,
+		})
+		res.SetGate(gate)
+		logger.Info("admission control on",
+			"max_inflight", cfg.admissionMax, "p99_threshold", cfg.admissionP99)
+	}
+
 	if cfg.reloadInterval > 0 {
 		if cfg.models == "" {
 			return fmt.Errorf("-reload-interval needs -models (an on-disk registry to watch)")
@@ -209,8 +277,33 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
+		rel.SetResilience(res.NewBreaker("reload", resilience.BreakerConfig{}))
 		rel.Start()
 		logger.Info("registry reloading on", "dir", cfg.models, "interval", cfg.reloadInterval)
+	}
+	if inj != nil && cfg.models != "" {
+		// Registry-corruption chaos: periodically roll the corrupt dice and,
+		// on a hit, drop a bogus version directory into the watched registry
+		// for the reloader's skip-and-backoff path to chew on.
+		go func() {
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if !inj.CorruptTick() {
+						continue
+					}
+					if dir, err := inj.CorruptRegistry(cfg.models); err != nil {
+						logger.Warn("chaos registry corruption failed", "err", err)
+					} else {
+						logger.Warn("chaos corrupted registry", "dir", dir)
+					}
+				}
+			}
+		}()
 	}
 	if cfg.shadowFraction > 0 {
 		logger.Info("shadow mirroring on", "fraction", cfg.shadowFraction)
@@ -220,7 +313,12 @@ func run(cfg config) error {
 			"head_sample_every", traceEvery(cfg.traceSample), "ring", cfg.traceBuffer)
 	}
 
-	handler := serve.NewHandler(svc, serve.HandlerConfig{AdminToken: cfg.adminToken})
+	handler := serve.NewHandler(svc, serve.HandlerConfig{
+		AdminToken:      cfg.adminToken,
+		Gate:            gate,
+		Resilience:      res,
+		DefaultDeadline: cfg.defaultDeadline,
+	})
 	if cfg.driftInterval > 0 {
 		dcfg := drift.Config{
 			Root:          cfg.models,
@@ -229,6 +327,7 @@ func run(cfg config) error {
 			AutoPromote:   cfg.autoPromote,
 			AutoRollback:  cfg.autoRollback,
 			RetrainWindow: cfg.retrainWindow,
+			Breaker:       res.NewBreaker("retrain", resilience.BreakerConfig{}),
 			Logger:        logger,
 		}
 		if cfg.shadowFraction > 0 {
@@ -240,7 +339,10 @@ func run(cfg config) error {
 		defer ctl.Close()
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
-		driftHandler := ctl.Handler(cfg.adminToken)
+		// Drift admin and feedback are control-class traffic: the gate sheds
+		// them only at the hard limit, so feedback keeps flowing while
+		// predict load is being shed.
+		driftHandler := resilience.AdmitHandler(gate, resilience.ClassControl, ctl.Handler(cfg.adminToken))
 		mux.Handle("/v1/drift", driftHandler)
 		mux.Handle("/v1/drift/", driftHandler)
 		mux.Handle("/v1/feedback", driftHandler)
@@ -252,6 +354,7 @@ func run(cfg config) error {
 	if cfg.adminToken != "" {
 		logger.Info("admin endpoints require a bearer token")
 	}
+	var psrv *http.Server
 	if cfg.pprofAddr != "" {
 		// pprof gets its own mux on its own listener so profiling exposure
 		// is an explicit, separately firewallable choice — never a route
@@ -262,13 +365,16 @@ func run(cfg config) error {
 		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		psrv := &http.Server{Addr: cfg.pprofAddr, Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		psrv = &http.Server{Addr: cfg.pprofAddr, Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			logger.Info("pprof listening", "addr", cfg.pprofAddr)
 			if err := psrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				logger.Error("pprof server failed", "err", err)
 			}
 		}()
+	}
+	if cfg.defaultDeadline > 0 {
+		logger.Info("request deadline on", "default", cfg.defaultDeadline, "header", serve.DeadlineHeader)
 	}
 
 	for _, info := range reg.List() {
@@ -282,6 +388,34 @@ func run(cfg config) error {
 		Addr:              cfg.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
-	return server.ListenAndServe()
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+		}
+	}()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let in-flight requests finish within
+	// the grace window, then the deferred Close calls stop the drift loop,
+	// reloader, and batcher workers.
+	stopSignals()
+	logger.Info("shutting down", "grace", cfg.shutdownGrace)
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
+	defer cancel()
+	if psrv != nil {
+		_ = psrv.Shutdown(sctx)
+	}
+	if err := server.Shutdown(sctx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	logger.Info("shutdown complete")
+	return nil
 }

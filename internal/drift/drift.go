@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"iotaxo/internal/obs"
+	"iotaxo/internal/resilience"
 	"iotaxo/internal/serve"
 )
 
@@ -132,6 +133,18 @@ type Config struct {
 	MinMirrored int
 	// Retrain sizes the automated training runs.
 	Retrain RetrainConfig
+	// Breaker, when non-nil, circuit-breaks the retrain→publish→promote
+	// chain: consecutive retrain failures trip it, suppressing further
+	// automatic launches until a cooldown probe (ForceRetrain bypasses it —
+	// an operator's forced launch is a deliberate manual probe). Create it
+	// from the process's resilience.Set so it shows up on /metrics and
+	// /v1/resilience.
+	Breaker *resilience.Breaker
+	// PublishRetries bounds the retried SaveVersion publish attempts of a
+	// successfully trained candidate (default 3): the training work is
+	// minutes, the publish is an fsync — a transient registry-root hiccup
+	// must not discard the model.
+	PublishRetries int
 	// Logger receives one structured line per control-plane decision
 	// (nil discards).
 	Logger *slog.Logger
@@ -172,6 +185,7 @@ func (c Config) withDefaults() Config {
 	def(&c.Retrain.EnsembleSize, 3)
 	def(&c.Retrain.Epochs, 8)
 	def(&c.Retrain.Bins, 64)
+	def(&c.PublishRetries, 3)
 	if c.Retrain.Seed == 0 {
 		c.Retrain.Seed = 1
 	}

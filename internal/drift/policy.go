@@ -36,6 +36,7 @@ import (
 // Decision actions recorded by the control plane.
 const (
 	ActionSignal        = "signal"         // drift confirmed
+	ActionBreakerOpen   = "breaker-open"   // retrain suppressed by the circuit breaker
 	ActionRetrainFailed = "retrain-failed" // orchestrator gave up
 	ActionPin           = "pin"            // incumbent pinned pre-publish
 	ActionPublish       = "publish"        // candidate version published
@@ -217,6 +218,18 @@ func (c *Controller) maybeRetrain(st *systemState, rep windowReport) {
 		// window as feedback accumulates.
 		st.retrains["skipped"]++
 		c.record(st, Decision{Action: ActionSignal, Reason: reason + "; waiting for feedback rows", Applied: false})
+		st.cooldown = 1
+		return
+	}
+	// The retrain breaker (consecutive retrain/publish failures) gates the
+	// launch: a systematically failing orchestrator — bad feedback schema,
+	// unwritable registry root — must not hot-loop expensive training runs.
+	// Allow also admits the half-open probe after the cooldown, so the
+	// launch below doubles as the probe.
+	if c.cfg.Breaker != nil && !c.cfg.Breaker.Allow() {
+		st.retrains["suppressed"]++
+		c.record(st, Decision{Action: ActionBreakerOpen,
+			Reason: reason + "; retrain breaker open, waiting for cooldown probe", Applied: false})
 		st.cooldown = 1
 		return
 	}

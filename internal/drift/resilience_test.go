@@ -1,0 +1,83 @@
+package drift
+
+import (
+	"testing"
+	"time"
+
+	"iotaxo/internal/resilience"
+	"iotaxo/internal/rng"
+)
+
+// TestBreakerSuppressesRetrain: with the retrain breaker open, confirmed
+// drift must not launch a retrain — the controller records a breaker-open
+// decision and stays stable until a cooldown probe. ForceRetrain, being an
+// operator's deliberate manual probe, bypasses the breaker.
+func TestBreakerSuppressesRetrain(t *testing.T) {
+	frame, v1, _ := fixture(t)
+	cfg := testConfig()
+	br := resilience.NewBreaker("retrain", resilience.BreakerConfig{Threshold: 1, Cooldown: time.Hour})
+	cfg.Breaker = br
+	h := newHarness(t, cfg, v1)
+	r := rng.New(5)
+	h.ctl.Tick()
+
+	// One failure at threshold 1 trips the breaker open.
+	br.Failure()
+	if br.Allow() {
+		t.Fatal("setup: breaker not open")
+	}
+
+	shifted := shiftRows(frame.Rows(), 3)
+	ys := frame.Y()
+	window := func() ([][]float64, []float64) {
+		rows := make([][]float64, 120)
+		actual := make([]float64, 120)
+		for i := range rows {
+			j := r.Intn(len(shifted))
+			rows[i] = shifted[j]
+			actual[i] = ys[j]
+		}
+		return rows, actual
+	}
+	// Enough breaching windows to confirm drift twice over: every
+	// confirmation must be suppressed while the breaker is open.
+	for w := 0; w < 4; w++ {
+		rows, actual := window()
+		h.feedWindow(t, rows, actual)
+	}
+	st := h.status(t)
+	if st.Phase != PhaseStable {
+		t.Fatalf("phase %q with an open breaker, want stable (no retrain launched)", st.Phase)
+	}
+	if st.Retrains["started"] != 0 {
+		t.Fatalf("%d retrains launched despite the open breaker", st.Retrains["started"])
+	}
+	if st.Retrains["suppressed"] == 0 {
+		t.Fatal("no suppressed retrain counted")
+	}
+	var sawBreakerOpen bool
+	for _, d := range h.ctl.Decisions() {
+		if d.Action == ActionBreakerOpen {
+			sawBreakerOpen = true
+			if d.Applied {
+				t.Error("breaker-open decision marked applied")
+			}
+		}
+	}
+	if !sawBreakerOpen {
+		t.Fatalf("no %s decision recorded: %+v", ActionBreakerOpen, h.ctl.Decisions())
+	}
+
+	// The operator's forced launch is the manual probe: it must run even
+	// with the breaker open, and its success closes the circuit.
+	if err := h.ctl.ForceRetrain("theta"); err != nil {
+		t.Fatalf("ForceRetrain with open breaker: %v", err)
+	}
+	st = h.waitRetrain(t)
+	if st.Phase != PhaseStaged {
+		t.Fatalf("forced retrain did not stage a candidate: %+v", st)
+	}
+	if got := br.Status(); got.State != resilience.StateClosed {
+		t.Fatalf("successful forced retrain left the breaker %s", got.State)
+	}
+}

@@ -1,14 +1,17 @@
 package drift
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"iotaxo/internal/core"
 	"iotaxo/internal/dataset"
 	"iotaxo/internal/gbt"
 	"iotaxo/internal/hpo"
 	"iotaxo/internal/nn"
+	"iotaxo/internal/resilience"
 	"iotaxo/internal/serve"
 	"iotaxo/internal/uq"
 )
@@ -50,18 +53,22 @@ func (c *Controller) launchRetrainLocked(st *systemState, reason string) {
 	}()
 }
 
-// retrain runs one full retrain-and-publish cycle off the tick loop.
+// retrain runs one full retrain-and-publish cycle off the tick loop. The
+// outcome feeds the retrain breaker: consecutive failures trip it (pausing
+// automatic launches), any success closes it.
 func (c *Controller) retrain(st *systemState, rows [][]float64, ys []float64, reason string) {
 	staged, err := c.trainAndPublish(st.system, rows, ys)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if err != nil {
+		c.cfg.Breaker.Failure()
 		st.retrains["failed"]++
 		c.record(st, Decision{Action: ActionRetrainFailed, Reason: err.Error(), Applied: false})
 		st.phase = PhaseStable
 		st.cooldown = c.cfg.ConfirmWindows
 		return
 	}
+	c.cfg.Breaker.Success()
 	st.retrains["published"]++
 	c.record(st, Decision{
 		Action:  ActionPublish,
@@ -194,7 +201,12 @@ func (c *Controller) trainAndPublish(system string, rows [][]float64, ys []float
 		}
 		return newVersion, nil
 	}
-	if err := serve.SaveVersion(c.cfg.Root, mv); err != nil {
+	// The training work above is minutes; the publish is an fsync. Retry a
+	// transient registry-root hiccup instead of discarding the model.
+	publish := resilience.Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second}
+	if err := resilience.Retry(context.Background(), c.cfg.PublishRetries, publish, func() error {
+		return serve.SaveVersion(c.cfg.Root, mv)
+	}); err != nil {
 		return 0, err
 	}
 	// Nudge the reloader so the candidate is registered within this tick

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// MovingP99 is a lock-free windowed p99 latency estimator over the shared
+// slowBuckets ladder. Observations accumulate in per-bucket counters; every
+// window-th observation the p99 bucket bound is recomputed from the window's
+// counts and the counters reset, so the estimate tracks the *recent*
+// distribution rather than the lifetime one. Until the first window
+// completes the estimate is disarmed (Value reports MaxInt64, Armed is
+// false) — callers that gate on "latency above p99" must check Armed first
+// or a disarmed estimator reads as infinitely slow.
+//
+// Both the tracer's slow-trace threshold and the admission gate's latency
+// shed trigger are built on this type, so the two subsystems agree on what
+// "p99" means.
+type MovingP99 struct {
+	window uint64
+	counts [len(slowBuckets) + 1]atomic.Uint64
+	n      atomic.Uint64
+	p99    atomic.Int64
+}
+
+// NewMovingP99 builds an estimator that recomputes every window
+// observations (<= 0 uses the tracer's default of 128).
+func NewMovingP99(window int) *MovingP99 {
+	if window <= 0 {
+		window = slowRecomputeEvery
+	}
+	m := &MovingP99{window: uint64(window)}
+	m.p99.Store(math.MaxInt64)
+	return m
+}
+
+// Observe records one request latency in nanoseconds.
+func (m *MovingP99) Observe(ns int64) {
+	idx := len(slowBuckets)
+	for i, ub := range slowBuckets {
+		if ns <= ub {
+			idx = i
+			break
+		}
+	}
+	m.counts[idx].Add(1)
+	if m.n.Add(1)%m.window != 0 {
+		return
+	}
+	// Recompute the p99 bucket bound from this window, draining the
+	// counters so the next window starts fresh. Racing recomputes split the
+	// counts between them (Swap is atomic per bucket); the loser sees a
+	// near-empty window and keeps the previous estimate — this is a
+	// sampling threshold, not an invariant.
+	var counts [len(slowBuckets) + 1]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = m.counts[i].Swap(0)
+		total += counts[i]
+	}
+	if total == 0 {
+		return
+	}
+	target := total - total/100 // ceil(0.99 * total) within one observation
+	var cum uint64
+	p := slowBuckets[len(slowBuckets)-1]
+	for i, ub := range slowBuckets {
+		cum += counts[i]
+		if cum >= target {
+			p = ub
+			break
+		}
+	}
+	m.p99.Store(p)
+}
+
+// Value reports the current p99 bound in nanoseconds (MaxInt64 until the
+// first window completes).
+func (m *MovingP99) Value() int64 { return m.p99.Load() }
+
+// Armed reports whether at least one window has completed and Value is a
+// real estimate.
+func (m *MovingP99) Armed() bool { return m.p99.Load() != math.MaxInt64 }
+
+// Seconds reports Value in seconds, 0 until armed (for gauges — exposing
+// MaxInt64 would wreck dashboards).
+func (m *MovingP99) Seconds() float64 {
+	v := m.p99.Load()
+	if v == math.MaxInt64 {
+		return 0
+	}
+	return float64(v) / 1e9
+}

@@ -85,8 +85,13 @@ type Trace struct {
 	Timings StageTimings
 	// Err is the predict error, empty on success.
 	Err string
-	// Keep records why tail-sampling retained this trace: "error", "ood",
-	// "slow", or "sampled".
+	// Shed marks a request rejected by admission control before any work
+	// ran; Deadline marks one whose deadline expired in flight. Both are
+	// classified ahead of Err in the keep policy and excluded from the
+	// moving-p99 feed (neither measured the model).
+	Shed, Deadline bool
+	// Keep records why tail-sampling retained this trace: "error",
+	// "deadline", "shed", "ood", "slow", or "sampled".
 	Keep string
 }
 

@@ -12,14 +12,16 @@ import (
 // Keep reasons recorded on retained traces (Trace.Keep) and counted in the
 // tracer's exposition series.
 const (
-	KeepError   = "error"
-	KeepOoD     = "ood"
-	KeepSlow    = "slow"
-	KeepSampled = "sampled"
+	KeepError    = "error"
+	KeepDeadline = "deadline"
+	KeepShed     = "shed"
+	KeepOoD      = "ood"
+	KeepSlow     = "slow"
+	KeepSampled  = "sampled"
 )
 
 // keepReasons orders the reasons for deterministic exposition.
-var keepReasons = [...]string{KeepError, KeepOoD, KeepSlow, KeepSampled}
+var keepReasons = [...]string{KeepError, KeepDeadline, KeepShed, KeepOoD, KeepSlow, KeepSampled}
 
 // Config tunes a Tracer.
 type Config struct {
@@ -64,12 +66,9 @@ type Tracer struct {
 	// headCtr implements the 1-in-N head sample.
 	headCtr atomic.Uint64
 
-	// Moving p99: every finished trace lands in latCounts; every
-	// slowRecomputeEvery observations the p99 bucket bound is cached in
-	// slowNs (MaxInt64 until armed).
-	latCounts [len(slowBuckets) + 1]atomic.Uint64
-	latN      atomic.Uint64
-	slowNs    atomic.Int64
+	// lat is the moving p99 estimate the adaptive slow-trace threshold is
+	// read from (unused when cfg.SlowAfter pins the threshold).
+	lat *MovingP99
 
 	// kept / dropped count Finish outcomes, kept split by reason (indexed
 	// like keepReasons).
@@ -79,14 +78,9 @@ type Tracer struct {
 
 // NewTracer builds a tracer under cfg.
 func NewTracer(cfg Config) *Tracer {
-	tr := &Tracer{cfg: cfg, ring: NewRing(cfg.RingSize)}
+	tr := &Tracer{cfg: cfg, ring: NewRing(cfg.RingSize), lat: NewMovingP99(0)}
 	tr.idBase = uint64(time.Now().UnixNano()) << 16
 	tr.pool.New = func() any { return new(Trace) }
-	if cfg.SlowAfter > 0 {
-		tr.slowNs.Store(int64(cfg.SlowAfter))
-	} else {
-		tr.slowNs.Store(math.MaxInt64)
-	}
 	return tr
 }
 
@@ -108,17 +102,25 @@ func (tr *Tracer) Finish(t *Trace) uint64 {
 	if tr == nil || t == nil {
 		return 0
 	}
-	tr.observeLatency(t.Timings.TotalNs)
+	// Shed and deadline-expired requests never reached the model, so their
+	// latency would poison the p99 the slow threshold adapts to.
+	if !t.Shed && !t.Deadline {
+		tr.observeLatency(t.Timings.TotalNs)
+	}
 	keep := -1
 	switch {
+	case t.Shed:
+		keep = 2 // KeepShed
+	case t.Deadline:
+		keep = 1 // KeepDeadline
 	case t.Err != "":
 		keep = 0 // KeepError
 	case t.Timings.OoDFlagged > 0:
-		keep = 1 // KeepOoD
-	case t.Timings.TotalNs >= tr.slowNs.Load():
-		keep = 2 // KeepSlow
+		keep = 3 // KeepOoD
+	case t.Timings.TotalNs >= int64(tr.SlowThreshold()):
+		keep = 4 // KeepSlow
 	case tr.cfg.SampleEvery > 0 && tr.headCtr.Add(1)%uint64(tr.cfg.SampleEvery) == 0:
-		keep = 3 // KeepSampled
+		keep = 5 // KeepSampled
 	}
 	if keep < 0 {
 		tr.dropped.Add(1)
@@ -133,46 +135,22 @@ func (tr *Tracer) Finish(t *Trace) uint64 {
 	return id
 }
 
-// observeLatency feeds the moving p99 estimate.
+// observeLatency feeds the moving p99 estimate (skipped when the threshold
+// is pinned — a fixed bar has nothing to adapt).
 func (tr *Tracer) observeLatency(ns int64) {
-	idx := len(slowBuckets)
-	for i, ub := range slowBuckets {
-		if ns <= ub {
-			idx = i
-			break
-		}
-	}
-	tr.latCounts[idx].Add(1)
-	n := tr.latN.Add(1)
-	if tr.cfg.SlowAfter > 0 || n%slowRecomputeEvery != 0 {
+	if tr.cfg.SlowAfter > 0 {
 		return
 	}
-	// Recompute the p99 bucket bound. Racing recomputes both write a value
-	// derived from (nearly) the same counts; last write wins and the next
-	// refresh converges — this is a sampling threshold, not an invariant.
-	var counts [len(slowBuckets) + 1]uint64
-	var total uint64
-	for i := range counts {
-		counts[i] = tr.latCounts[i].Load()
-		total += counts[i]
-	}
-	target := total - total/100 // ceil(0.99 * total) within one observation
-	var cum uint64
-	slow := slowBuckets[len(slowBuckets)-1]
-	for i, ub := range slowBuckets {
-		cum += counts[i]
-		if cum >= target {
-			slow = ub
-			break
-		}
-	}
-	tr.slowNs.Store(slow)
+	tr.lat.Observe(ns)
 }
 
 // SlowThreshold reports the current slow-trace bar (MaxInt64 duration
 // until the adaptive estimate arms).
 func (tr *Tracer) SlowThreshold() time.Duration {
-	return time.Duration(tr.slowNs.Load())
+	if tr.cfg.SlowAfter > 0 {
+		return tr.cfg.SlowAfter
+	}
+	return time.Duration(tr.lat.Value())
 }
 
 // Recent returns up to limit retained traces, newest first.
@@ -196,7 +174,7 @@ func (tr *Tracer) WriteMetrics(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# HELP ioserve_traces_dropped_total Finished traces discarded by sampling.\n# TYPE ioserve_traces_dropped_total counter\nioserve_traces_dropped_total %d\n", tr.dropped.Load()); err != nil {
 		return err
 	}
-	slow := tr.slowNs.Load()
+	slow := int64(tr.SlowThreshold())
 	if slow == math.MaxInt64 {
 		slow = 0 // not yet armed; exposing MaxInt64 would wreck dashboards
 	}

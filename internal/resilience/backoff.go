@@ -1,0 +1,93 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes capped jittered exponential delays. The zero value is
+// usable (100ms base, 10s cap, doubling, full jitter disabled at 0 —
+// Jitter is the fraction of the computed delay randomized, so 0.5 on a 1s
+// delay yields 0.5s..1s).
+type Backoff struct {
+	// Base is the first delay (<= 0 defaults to 100ms).
+	Base time.Duration
+	// Max caps the delay (<= 0 defaults to 10s).
+	Max time.Duration
+	// Factor is the per-attempt multiplier (< 2 defaults to 2).
+	Factor float64
+	// Jitter in [0,1] randomizes each delay down by up to that fraction,
+	// de-synchronizing retry storms (<= 0 defaults to 0.5).
+	Jitter float64
+	// Rand overrides the jitter source (tests); nil uses math/rand.
+	Rand func() float64
+}
+
+// Delay returns the wait before retry number attempt (1-based; attempt <=
+// 1 returns the jittered base).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max, factor, jitter := b.Base, b.Max, b.Factor, b.Jitter
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 10 * time.Second
+	}
+	if factor < 2 {
+		factor = 2
+	}
+	if jitter <= 0 {
+		jitter = 0.5
+	}
+	if jitter > 1 {
+		jitter = 1
+	}
+	d := float64(base)
+	for i := 1; i < attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	rnd := b.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	d -= d * jitter * rnd()
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// Retry runs fn up to attempts times, sleeping b.Delay between failures,
+// and returns the last error (nil on the first success). Context
+// cancellation interrupts the wait and returns ctx.Err.
+func Retry(ctx context.Context, attempts int, b Backoff, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt >= attempts {
+			return lastErr
+		}
+		t := time.NewTimer(b.Delay(attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states (rendered in BreakerStatus.State and the state gauge).
+const (
+	StateClosed   = "closed"
+	StateHalfOpen = "half-open"
+	StateOpen     = "open"
+)
+
+// BreakerConfig tunes a circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// open (<= 0 defaults to 3).
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing a single
+	// half-open probe (<= 0 defaults to 30s).
+	Cooldown time.Duration
+}
+
+// Breaker is a consecutive-failure circuit breaker for control-plane
+// operations (registry reloads, retrain launches): closed passes
+// everything, Threshold consecutive failures trip it open, and after
+// Cooldown a single half-open probe is allowed — its outcome closes or
+// re-opens the circuit. Callers ask Allow before the operation and report
+// Success/Failure after; all methods are safe on a nil receiver (breaking
+// disabled) and under concurrent use.
+type Breaker struct {
+	name string
+	cfg  BreakerConfig
+
+	mu       sync.Mutex
+	state    string
+	streak   int // consecutive failures while closed
+	openedAt time.Time
+
+	trips     uint64
+	successes uint64
+	failures  uint64
+}
+
+func newBreaker(name string, cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 30 * time.Second
+	}
+	return &Breaker{name: name, cfg: cfg, state: StateClosed}
+}
+
+// NewBreaker builds a standalone breaker (use Set.NewBreaker to also get
+// metrics and admin visibility).
+func NewBreaker(name string, cfg BreakerConfig) *Breaker { return newBreaker(name, cfg) }
+
+// Allow reports whether the protected operation may run now. While open it
+// returns false until Cooldown elapses, then lets exactly one probe
+// through (half-open); further Allow calls fail until that probe reports
+// its outcome.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if time.Since(b.openedAt) >= b.cfg.Cooldown {
+			b.state = StateHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe is in flight
+		return false
+	}
+}
+
+// Success reports a successful operation: the failure streak resets and a
+// half-open probe closes the circuit.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.successes++
+	b.streak = 0
+	b.state = StateClosed
+}
+
+// Failure reports a failed operation: a half-open probe re-opens the
+// circuit immediately; while closed, Threshold consecutive failures trip
+// it.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == StateHalfOpen {
+		b.trip()
+		return
+	}
+	if b.state != StateClosed {
+		return
+	}
+	b.streak++
+	if b.streak >= b.cfg.Threshold {
+		b.trip()
+	}
+}
+
+// trip must run under mu.
+func (b *Breaker) trip() {
+	b.state = StateOpen
+	b.openedAt = time.Now()
+	b.trips++
+	b.streak = 0
+}
+
+// BreakerStatus is one breaker's slice of the /v1/resilience view.
+type BreakerStatus struct {
+	Name            string  `json:"name"`
+	State           string  `json:"state"`
+	Streak          int     `json:"consecutive_failures"`
+	Trips           uint64  `json:"trips_total"`
+	Successes       uint64  `json:"successes_total"`
+	Failures        uint64  `json:"failures_total"`
+	CooldownSeconds float64 `json:"cooldown_seconds"`
+	OpenForSeconds  float64 `json:"open_for_seconds,omitempty"`
+}
+
+// Status snapshots the breaker.
+func (b *Breaker) Status() BreakerStatus {
+	if b == nil {
+		return BreakerStatus{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStatus{
+		Name:            b.name,
+		State:           b.state,
+		Streak:          b.streak,
+		Trips:           b.trips,
+		Successes:       b.successes,
+		Failures:        b.failures,
+		CooldownSeconds: b.cfg.Cooldown.Seconds(),
+	}
+	if b.state == StateOpen {
+		st.OpenForSeconds = time.Since(b.openedAt).Seconds()
+	}
+	return st
+}

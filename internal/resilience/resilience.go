@@ -1,0 +1,199 @@
+// Package resilience is the serving stack's fault-tolerance layer: a
+// bounded admission gate with load shedding in front of the batcher,
+// circuit breakers and jittered backoff for the control plane (reloader,
+// drift retraining), and the glue that exposes all of it on /metrics and
+// the /v1/resilience admin endpoint.
+//
+// The package sits between obs (it reuses the moving-p99 latency ladder)
+// and serve/drift (which thread a Gate and Breakers through their hot and
+// control paths). It has no dependency on either serving package, so the
+// cmd binaries can wire it into both without an import cycle.
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Set aggregates one process's resilience surfaces — at most one admission
+// gate plus any number of named circuit breakers — behind a single metrics
+// collector and admin-status view. A nil *Set is inert.
+type Set struct {
+	mu       sync.Mutex
+	gate     *Gate
+	breakers []*Breaker
+}
+
+// NewSet returns an empty Set.
+func NewSet() *Set { return &Set{} }
+
+// SetGate attaches the admission gate (nil is allowed and means "no
+// admission control configured").
+func (s *Set) SetGate(g *Gate) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.gate = g
+	s.mu.Unlock()
+}
+
+// Gate returns the attached admission gate (nil when none).
+func (s *Set) Gate() *Gate {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gate
+}
+
+// NewBreaker creates a named breaker under cfg and registers it with the
+// set. Names appear as the {name=...} label on breaker metrics and in the
+// /v1/resilience status, so keep them short and stable ("reload",
+// "retrain").
+func (s *Set) NewBreaker(name string, cfg BreakerConfig) *Breaker {
+	b := newBreaker(name, cfg)
+	if s != nil {
+		s.mu.Lock()
+		s.breakers = append(s.breakers, b)
+		sort.Slice(s.breakers, func(i, j int) bool { return s.breakers[i].name < s.breakers[j].name })
+		s.mu.Unlock()
+	}
+	return b
+}
+
+// Status is the /v1/resilience admin view.
+type Status struct {
+	Admission *GateStatus     `json:"admission,omitempty"`
+	Breakers  []BreakerStatus `json:"breakers,omitempty"`
+}
+
+// Status snapshots the set.
+func (s *Set) Status() Status {
+	var st Status
+	if s == nil {
+		return st
+	}
+	s.mu.Lock()
+	gate, breakers := s.gate, s.breakers
+	s.mu.Unlock()
+	if gate != nil {
+		gs := gate.Status()
+		st.Admission = &gs
+	}
+	for _, b := range breakers {
+		st.Breakers = append(st.Breakers, b.Status())
+	}
+	return st
+}
+
+// WriteMetrics renders the set's exposition series (register with
+// serve.Metrics.RegisterCollector). Breakers render sorted by name so
+// scrapes are deterministic.
+func (s *Set) WriteMetrics(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	gate, breakers := s.gate, s.breakers
+	s.mu.Unlock()
+	if gate != nil {
+		if err := gate.writeMetrics(w); err != nil {
+			return err
+		}
+	}
+	if len(breakers) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP ioserve_breaker_state Circuit breaker state (0 closed, 1 half-open, 2 open).\n# TYPE ioserve_breaker_state gauge\n"); err != nil {
+		return err
+	}
+	for _, b := range breakers {
+		st := b.Status()
+		if _, err := fmt.Fprintf(w, "ioserve_breaker_state{name=%q} %d\n", st.Name, stateGaugeValue(st.State)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP ioserve_breaker_trips_total Times each breaker transitioned closed/half-open to open.\n# TYPE ioserve_breaker_trips_total counter\n"); err != nil {
+		return err
+	}
+	for _, b := range breakers {
+		st := b.Status()
+		if _, err := fmt.Fprintf(w, "ioserve_breaker_trips_total{name=%q} %d\n", st.Name, st.Trips); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP ioserve_breaker_failures_total Operation failures observed by each breaker.\n# TYPE ioserve_breaker_failures_total counter\n"); err != nil {
+		return err
+	}
+	for _, b := range breakers {
+		st := b.Status()
+		if _, err := fmt.Fprintf(w, "ioserve_breaker_failures_total{name=%q} %d\n", st.Name, st.Failures); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func stateGaugeValue(state string) int {
+	switch state {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Handler returns the GET /v1/resilience admin handler: the set's status
+// as JSON (mount behind the admin-token middleware).
+func (s *Set) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, `{"error":"method not allowed"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Status())
+	})
+}
+
+// AdmitHandler wraps next with admission control under the given priority
+// class: shed requests get 429 + Retry-After without reaching next. A nil
+// gate passes everything through untouched. Control-class latencies are
+// not fed to the gate's p99 (the latency trigger watches predict traffic
+// only).
+func AdmitHandler(g *Gate, class Class, next http.Handler) http.Handler {
+	if g == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ok, reason := g.Admit(class)
+		if !ok {
+			w.Header().Set("Retry-After", g.RetryAfterHeader())
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, "{\"error\":\"overloaded (%s): retry later\"}\n", reason)
+			return
+		}
+		start := time.Now()
+		defer func() {
+			took := time.Since(start)
+			if class != ClassPredict {
+				took = -1
+			}
+			g.Release(took)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

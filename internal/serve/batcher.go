@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"iotaxo/internal/resilience/chaos"
 	"iotaxo/internal/uq"
 )
 
@@ -33,12 +34,33 @@ import (
 // ErrBatcherClosed is returned for submissions after Close.
 var ErrBatcherClosed = errors.New("serve: batcher closed")
 
+// ErrEvalPanic wraps a panic recovered during wave-group evaluation: the
+// group failed, the worker survived. Mapped to 502-class statuses by the
+// HTTP layer (a server fault, not a client one).
+var ErrEvalPanic = errors.New("serve: evaluation panicked")
+
+// waveReq lifecycle states (waveReq.state). A wave starts pending; exactly
+// one side wins the CAS race — the worker claiming it to answer, or the
+// submitter abandoning it (context done, shutdown) — and whichever side
+// loses takes responsibility for recycling the request.
+const (
+	wavePending uint32 = iota
+	waveAnswering
+	waveAbandoned
+)
+
 // waveReq is one enqueued submission: every miss row of one request bound
 // for one model version. Pooled — see waveReqPool.
 type waveReq struct {
+	// ctx is the submitter's request context; workers check it so a wave
+	// whose deadline already expired is dropped before evaluation instead
+	// of wasting model work.
+	ctx  context.Context
 	mv   *ModelVersion
 	rows [][]float64
 	out  chan waveResp
+	// state is the pending/answering/abandoned CAS described above.
+	state atomic.Uint32
 	// enq / pick stamp the wave's enqueue and worker-pickup instants; the
 	// difference is the queue-wait stage, recorded for every wave — even
 	// one drained the instant it was queued.
@@ -67,11 +89,23 @@ type waveResp struct {
 }
 
 // waveReqPool recycles wave requests and their response channels. A
-// request is pooled only after its single response was consumed (the
-// channel is then provably empty); abandoned requests — context timeouts,
-// shutdown races — are left to the garbage collector.
+// request is pooled only once its channel is provably empty: after its
+// single response was consumed, or after the state CAS proves nobody will
+// ever send (the worker saw the abandonment, or the submitter won the
+// abandon race before any worker committed). Abandoned-then-answered races
+// are resolved by deliver/recycleWave, so no request is ever leaked to the
+// garbage collector and no send ever hits a recycled channel.
 var waveReqPool = sync.Pool{
 	New: func() any { return &waveReq{out: make(chan waveResp, 1)} },
+}
+
+// recycleWave clears a wave's request references and returns it to the
+// pool. The caller must own the request outright (response consumed, or
+// the CAS proved the other side will never touch it again).
+func recycleWave(req *waveReq) {
+	req.ctx, req.mv, req.rows = nil, nil, nil
+	req.state.Store(wavePending)
+	waveReqPool.Put(req)
 }
 
 // resultsPool recycles the per-wave result slices that cross the response
@@ -119,6 +153,9 @@ type Batcher struct {
 	maxBatch int
 	maxDelay time.Duration
 	metrics  *Metrics
+	// chaos injects faults into wave-group evaluation when wired (nil in
+	// production); see internal/resilience/chaos.
+	chaos *chaos.Injector
 	// inflight counts waves accepted into the queue but not yet answered;
 	// exposed (with the instantaneous queue depth) as a /metrics gauge so
 	// batching pressure is visible beyond the cumulative mean batch size.
@@ -138,6 +175,12 @@ func (b *Batcher) InflightWaves() int { return int(b.inflight.Load()) }
 // (multi-row waves never wait — they are already a batch). metrics may be
 // nil.
 func NewBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metrics) *Batcher {
+	return newBatcher(maxBatch, maxDelay, workers, metrics, nil)
+}
+
+// newBatcher additionally wires a chaos injector into wave evaluation
+// (Options.Chaos; nil injects nothing).
+func newBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metrics, inj *chaos.Injector) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 32
 	}
@@ -154,6 +197,7 @@ func NewBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metr
 		maxBatch: maxBatch,
 		maxDelay: maxDelay,
 		metrics:  metrics,
+		chaos:    inj,
 	}
 	running := make(chan struct{}, workers)
 	for w := 0; w < workers; w++ {
@@ -172,8 +216,7 @@ func NewBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metr
 		for {
 			select {
 			case req := <-b.reqs:
-				req.out <- waveResp{err: ErrBatcherClosed}
-				b.inflight.Add(-1)
+				b.deliver(req, waveResp{err: ErrBatcherClosed})
 			default:
 				close(b.done)
 				return
@@ -190,51 +233,81 @@ func (b *Batcher) Close() {
 }
 
 // SubmitWave evaluates one request's rows against one model version,
-// blocking until the worker pool answers. The returned results slice is
-// pooled — the caller must finish with it (copying what it keeps) and hand
-// it back via putResults. The WaveTiming reports where the wave's time
-// went inside the batcher (zero on error paths that never evaluated).
+// blocking until the worker pool answers or ctx ends. The returned results
+// slice is pooled — the caller must finish with it (copying what it keeps)
+// and hand it back via putResults. The WaveTiming reports where the wave's
+// time went inside the batcher (zero on error paths that never evaluated).
+// A context that expires while the wave is queued or evaluating returns
+// ctx.Err() immediately (context.DeadlineExceeded for deadlines); the wave
+// itself is abandoned via the state CAS and recycled by whichever side
+// touches it last, so cancellation never leaks a pooled request.
 func (b *Batcher) SubmitWave(ctx context.Context, mv *ModelVersion, rows [][]float64) ([]Result, WaveTiming, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, WaveTiming{}, err
 	}
 	req := waveReqPool.Get().(*waveReq)
-	req.mv, req.rows = mv, rows
+	req.ctx, req.mv, req.rows = ctx, mv, rows
 	req.enq = time.Now()
 	select {
 	case b.reqs <- req:
 		b.inflight.Add(1)
 	case <-b.stop:
-		req.mv, req.rows = nil, nil
-		waveReqPool.Put(req)
+		recycleWave(req)
 		return nil, WaveTiming{}, ErrBatcherClosed
 	case <-ctx.Done():
-		req.mv, req.rows = nil, nil
-		waveReqPool.Put(req)
+		recycleWave(req)
 		return nil, WaveTiming{}, ctx.Err()
 	}
-	// The request is now owned by the pool's worker side; it may only be
-	// recycled after its one response is consumed. On the abandonment
-	// paths below the worker may still send later, so the request (and
-	// its channel) must be left to the garbage collector.
+	// The request is now shared with the worker side. From here the state
+	// CAS arbitrates: the submitter may only recycle after consuming the
+	// response (the channel is then provably empty) or after winning the
+	// pending→abandoned transition (no worker will ever send).
 	select {
 	case resp := <-req.out:
-		req.mv, req.rows = nil, nil
-		waveReqPool.Put(req)
+		recycleWave(req)
 		return resp.results, resp.timing, resp.err
 	case <-ctx.Done():
+		if req.state.CompareAndSwap(wavePending, waveAbandoned) {
+			// No worker had committed to answering: the one that picks
+			// this wave up will see the abandonment and recycle it.
+			return nil, WaveTiming{}, ctx.Err()
+		}
+		// Lost the race — a worker is mid-send on the buffered channel.
+		// Consume the response so the request can be recycled here.
+		resp := <-req.out
+		putResults(resp.results)
+		recycleWave(req)
 		return nil, WaveTiming{}, ctx.Err()
 	case <-b.done:
 		// Prefer a response that was delivered just before shutdown.
 		select {
 		case resp := <-req.out:
-			req.mv, req.rows = nil, nil
-			waveReqPool.Put(req)
+			recycleWave(req)
 			return resp.results, resp.timing, resp.err
 		default:
+		}
+		if req.state.CompareAndSwap(wavePending, waveAbandoned) {
 			return nil, WaveTiming{}, ErrBatcherClosed
 		}
+		resp := <-req.out
+		recycleWave(req)
+		return resp.results, resp.timing, resp.err
 	}
+}
+
+// deliver answers one wave, resolving the race against submitter
+// abandonment: winning the pending→answering CAS guarantees the submitter
+// is still waiting (or will consume the buffered response), so the send
+// cannot block or hit a recycled channel; losing it means the submitter is
+// gone and this side recycles the request and its pooled results.
+func (b *Batcher) deliver(wave *waveReq, resp waveResp) {
+	if wave.state.CompareAndSwap(wavePending, waveAnswering) {
+		wave.out <- resp
+	} else {
+		putResults(resp.results)
+		recycleWave(wave)
+	}
+	b.inflight.Add(-1)
 }
 
 // Submit is the single-row convenience path.
@@ -322,13 +395,30 @@ func (b *Batcher) worker() {
 }
 
 // flush groups a micro-batch by model version, evaluates each group, and
-// answers every submitter. Each wave's response slice is pooled; the
-// worker's own buffers (and the pooled evaluation scratch) are reused
-// across iterations.
+// answers every submitter. Waves whose context already ended are answered
+// with the context error *before* evaluation — their submitters are gone,
+// so model work on their rows would be pure waste — and dropped from the
+// batch. Each surviving wave's response slice is pooled; the worker's own
+// buffers (and the pooled evaluation scratch) are reused across iterations.
 func (b *Batcher) flush(w *workerState) {
 	totalRows := 0
-	for _, wave := range w.waves {
+	for i, wave := range w.waves {
+		if err := wave.ctx.Err(); err != nil {
+			if b.metrics != nil {
+				b.metrics.DeadlineDropped.Add(1)
+			}
+			b.deliver(wave, waveResp{
+				timing: WaveTiming{QueueNs: wave.pick.Sub(wave.enq).Nanoseconds()},
+				err:    err,
+			})
+			w.waves[i] = nil
+			continue
+		}
 		totalRows += len(wave.rows)
+	}
+	if totalRows == 0 {
+		clearWaves(w, 0)
+		return
 	}
 	if b.metrics != nil {
 		b.metrics.Batches.Add(1)
@@ -339,6 +429,9 @@ func (b *Batcher) flush(w *workerState) {
 	groups := w.groups[:0]
 nextWave:
 	for i, wave := range w.waves {
+		if wave == nil {
+			continue
+		}
 		for gi := range groups {
 			if groups[gi].mv == wave.mv {
 				groups[gi].waves = append(groups[gi].waves, i)
@@ -370,7 +463,7 @@ nextWave:
 			maxRows = len(rows)
 		}
 		evalStart := time.Now()
-		results, err := evaluateInto(g.mv, rows, s)
+		results, err := b.evaluateGroup(g.mv, rows, s)
 		evalNs := time.Since(evalStart).Nanoseconds()
 		// Timing is per-wave: queue wait and assembly are the wave's own
 		// stamps; the evaluation split is shared by every wave the group
@@ -385,8 +478,7 @@ nextWave:
 				timing := shared
 				timing.QueueNs = wave.pick.Sub(wave.enq).Nanoseconds()
 				timing.AssembleNs = flushStart.Sub(wave.pick).Nanoseconds()
-				wave.out <- waveResp{timing: timing, err: err}
-				b.inflight.Add(-1)
+				b.deliver(wave, waveResp{timing: timing, err: err})
 			}
 		} else {
 			off := 0
@@ -399,8 +491,7 @@ nextWave:
 				timing := shared
 				timing.QueueNs = wave.pick.Sub(wave.enq).Nanoseconds()
 				timing.AssembleNs = flushStart.Sub(wave.pick).Nanoseconds()
-				wave.out <- waveResp{results: rs, timing: timing}
-				b.inflight.Add(-1)
+				b.deliver(wave, waveResp{results: rs, timing: timing})
 			}
 		}
 		// Drop the bundle reference (a retired version must not be pinned
@@ -408,11 +499,15 @@ nextWave:
 		g.mv = nil
 	}
 	s.release()
-	// Clear wave and row pointers so an idle worker pins no request data.
-	// For w.rows the prefix written this flush (its largest group) is
-	// enough: everything beyond it is still nil from the previous flush's
-	// clear, so the cost stays proportional to this flush, not to the
-	// largest flush the worker ever handled.
+	clearWaves(w, maxRows)
+}
+
+// clearWaves clears the worker's wave and row pointers so an idle worker
+// pins no request data. For w.rows the prefix written this flush (its
+// largest group) is enough: everything beyond it is still nil from the
+// previous flush's clear, so the cost stays proportional to this flush,
+// not to the largest flush the worker ever handled.
+func clearWaves(w *workerState, maxRows int) {
 	for i := range w.waves {
 		w.waves[i] = nil
 	}
@@ -421,6 +516,33 @@ nextWave:
 		rows[i] = nil
 	}
 	w.rows = rows[:0]
+}
+
+// evaluateGroup runs one group evaluation with panic isolation and the
+// chaos hooks: a panic anywhere in model evaluation (or injected by the
+// chaos harness) is recovered, counted, and converted into a group error —
+// the wave fails, the worker and the process survive. The chaos hooks run
+// inside the recovered region so injected panics exercise exactly the
+// production containment path.
+func (b *Batcher) evaluateGroup(mv *ModelVersion, rows [][]float64, s *evalScratch) (results []Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if b.metrics != nil {
+				b.metrics.PanicsRecovered.Add(1)
+			}
+			s.guardNs = 0
+			results, err = nil, fmt.Errorf("%w: %s v%d: %v", ErrEvalPanic, mv.System, mv.Version, r)
+		}
+	}()
+	if b.chaos != nil {
+		b.chaos.EvalDelay()
+		b.chaos.EvalPanic()
+		if cerr := b.chaos.EvalError(); cerr != nil {
+			s.guardNs = 0
+			return nil, cerr
+		}
+	}
+	return evaluateInto(mv, rows, s)
 }
 
 // evalScratch holds the reusable buffers of one group evaluation: the

@@ -43,6 +43,13 @@ type Metrics struct {
 	BatchedRows atomic.Uint64
 	// Errors counts failed predict calls.
 	Errors atomic.Uint64
+	// DeadlineDropped counts waves answered with their context error and
+	// dropped from a micro-batch before evaluation (the deadline expired
+	// while the wave was queued — no model work was spent on it).
+	DeadlineDropped atomic.Uint64
+	// PanicsRecovered counts panics recovered inside wave-group evaluation
+	// (the wave failed; the worker and process survived).
+	PanicsRecovered atomic.Uint64
 	// LatencyNs accumulates predict-path wall time in nanoseconds.
 	LatencyNs atomic.Uint64
 
@@ -432,6 +439,8 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		{"ioserve_batches_total", "Micro-batches evaluated.", m.Batches.Load()},
 		{"ioserve_batched_rows_total", "Rows evaluated through micro-batches.", m.BatchedRows.Load()},
 		{"ioserve_errors_total", "Failed predict calls.", m.Errors.Load()},
+		{"ioserve_deadline_dropped_waves_total", "Waves dropped from micro-batches before evaluation because their deadline expired.", m.DeadlineDropped.Load()},
+		{"ioserve_eval_panics_recovered_total", "Panics recovered inside wave-group evaluation.", m.PanicsRecovered.Load()},
 		{"ioserve_latency_ns_total", "Cumulative predict latency in nanoseconds.", m.LatencyNs.Load()},
 		{"ioserve_reload_polls_total", "Registry reload polls.", m.ReloadPolls.Load()},
 		{"ioserve_reloads_applied_total", "Reload polls that changed the live version set.", m.ReloadApplied.Load()},

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; timing-sensitive assertions consult it because race
+// instrumentation inflates service times several-fold.
+const raceEnabled = true

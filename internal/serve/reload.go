@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"iotaxo/internal/resilience"
 )
 
 // Live registry reload. The paper's deployment story only works if a
@@ -63,6 +65,14 @@ type Reloader struct {
 	root     string
 	interval time.Duration
 
+	// backoff stretches the polling delay while polls fail (a corrupt
+	// version dir is retried every poll — without backoff that is a hot
+	// loop of load+validate work); breaker (optional, via SetResilience)
+	// trips on consecutive wholesale scan failures and pauses polling
+	// entirely until a cooldown probe.
+	backoff resilience.Backoff
+	breaker *resilience.Breaker
+
 	// mu serializes polls (ticker loop, forced polls via the admin
 	// endpoint, and tests calling Poll directly).
 	mu    sync.Mutex
@@ -98,6 +108,7 @@ func NewReloader(svc *Service, root string, interval time.Duration) (*Reloader, 
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	r.backoff = resilience.Backoff{Base: interval, Max: 8 * interval}
 	scan, _, err := r.scan()
 	if err != nil {
 		return nil, err
@@ -110,6 +121,14 @@ func NewReloader(svc *Service, root string, interval time.Duration) (*Reloader, 
 	svc.attachReloader(r)
 	return r, nil
 }
+
+// SetResilience attaches a circuit breaker to the poll loop (call before
+// Start). The breaker observes wholesale scan failures only — per-
+// directory load failures stay under the documented skip-and-keep-serving
+// policy and merely stretch the backoff — and while it is open the ticker
+// loop skips polls; a forced poll (the admin endpoint) still runs and acts
+// as a manual probe.
+func (r *Reloader) SetResilience(b *resilience.Breaker) { r.breaker = b }
 
 // Start launches the polling loop (idempotent, no-op when interval <= 0).
 func (r *Reloader) Start() {
@@ -138,16 +157,33 @@ func (r *Reloader) Interval() time.Duration { return r.interval }
 
 func (r *Reloader) loop() {
 	defer close(r.done)
-	ticker := time.NewTicker(r.interval)
-	defer ticker.Stop()
+	delay := r.interval
+	fails := 0
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
 	for {
 		select {
 		case <-r.stop:
 			return
-		case <-ticker.C:
-			// Errors are counted in metrics; the loop itself never dies.
-			_, _ = r.Poll()
+		case <-timer.C:
 		}
+		if r.breaker.Allow() {
+			// Errors are counted in metrics; the loop itself never dies.
+			// Failing polls stretch the next delay with jittered backoff —
+			// a persistently corrupt version dir re-validates every poll,
+			// and retrying that at full tick rate is a hot loop.
+			if _, err := r.Poll(); err != nil {
+				fails++
+			} else {
+				fails = 0
+			}
+		}
+		if fails > 0 {
+			delay = r.backoff.Delay(fails)
+		} else {
+			delay = r.interval
+		}
+		timer.Reset(delay)
 	}
 }
 
@@ -164,8 +200,13 @@ func (r *Reloader) Poll() (ReloadStats, error) {
 	scan, unreadable, err := r.scan()
 	if err != nil {
 		m.ReloadErrors.Add(1)
+		r.breaker.Failure()
 		return stats, fmt.Errorf("%w: %w", errScanFailed, err)
 	}
+	// The root scanned: the reload machinery itself works, so the breaker
+	// sees success even if individual version dirs fail to load below
+	// (that is the documented skip-and-keep-serving policy, not an outage).
+	r.breaker.Success()
 
 	var errs []error
 	bumped := make(map[string]bool)

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"iotaxo/internal/resilience"
+	"iotaxo/internal/resilience/chaos"
+)
+
+// TestOverloadShedsAndBoundsTail is the resilience acceptance check: drive
+// the server far past its admission cap and require that (a) load is
+// actually shed, (b) every rejection is a clean 429 (no 5xx, no transport
+// breakage), and (c) the requests that *were* admitted keep a tail close
+// to the unloaded baseline — shedding exists to protect the latency of
+// admitted work, so an overloaded p99 that balloons means the gate failed
+// at its one job.
+func TestOverloadShedsAndBoundsTail(t *testing.T) {
+	reg := fixtureRegistry(t)
+	// Injected evaluation latency makes queueing real with one worker; the
+	// cache is off so repeated rows cannot bypass the batcher.
+	inj := chaos.NewInjector(chaos.Config{Latency: 2 * time.Millisecond, LatencyProb: 1}, 1)
+	svc := NewService(reg, Options{MaxBatch: 4, MaxDelay: time.Millisecond, Workers: 1, CacheSize: 0, Chaos: inj})
+	t.Cleanup(svc.Close)
+	gate := resilience.NewGate(resilience.GateConfig{MaxInflight: 4})
+	ts := httptest.NewServer(NewHandler(svc, HandlerConfig{Gate: gate}))
+	t.Cleanup(ts.Close)
+	frame, _, _ := fixture(t)
+
+	// run issues total requests from conc workers, returning the status
+	// counts and the sorted latencies of the 200s.
+	run := func(conc, total int) (map[int]int, []time.Duration) {
+		t.Helper()
+		var mu sync.Mutex
+		statuses := make(map[int]int)
+		var lats []time.Duration
+		var wg sync.WaitGroup
+		per := total / conc
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				client := &http.Client{Timeout: 10 * time.Second}
+				for i := 0; i < per; i++ {
+					raw, err := json.Marshal(PredictRequest{System: "theta", Rows: [][]float64{frame.Row((w*per + i) % frame.Len())}})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					start := time.Now()
+					resp, err := client.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(raw))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+					took := time.Since(start)
+					mu.Lock()
+					statuses[resp.StatusCode]++
+					if resp.StatusCode == http.StatusOK {
+						lats = append(lats, took)
+					}
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		return statuses, lats
+	}
+	p99 := func(lats []time.Duration) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(0.99*float64(len(lats)-1))]
+	}
+
+	// Baseline: concurrency at the soft cap — nothing sheds.
+	baseStatuses, baseLats := run(4, 48)
+	if baseStatuses[http.StatusOK] != 48 {
+		t.Fatalf("unloaded baseline not clean: %v", baseStatuses)
+	}
+	basep99 := p99(baseLats)
+
+	// Overload: 8x the admission cap.
+	statuses, lats := run(32, 256)
+	shed := statuses[http.StatusTooManyRequests]
+	served := statuses[http.StatusOK]
+	if shed == 0 {
+		t.Fatalf("no sheds at 8x the admission cap: %v", statuses)
+	}
+	if served == 0 {
+		t.Fatalf("shedding replaced service entirely: %v", statuses)
+	}
+	for code, n := range statuses {
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			t.Errorf("%d requests failed with %d; overload must shed cleanly", n, code)
+		}
+	}
+	// The tail bound anchors on max(baseline, 10ms): CI machines make
+	// single-digit-millisecond baselines too noisy to multiply directly.
+	// Race instrumentation inflates evaluation several-fold, so under
+	// -race the shed/clean-429 contract is still enforced above but the
+	// latency bound is informational only.
+	floor := 10 * time.Millisecond
+	bound := 2 * basep99
+	if bound < 2*floor {
+		bound = 2 * floor
+	}
+	if got := p99(lats); got > bound && !raceEnabled {
+		t.Errorf("admitted p99 under overload = %v, want <= %v (baseline %v): the gate admitted more than it can serve",
+			got, bound, basep99)
+	}
+	t.Logf("baseline p99 %v; overload: %d served (p99 %v), %d shed", basep99, served, p99(lats), shed)
+}

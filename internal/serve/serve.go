@@ -35,12 +35,14 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sync/atomic"
 	"time"
 
 	"iotaxo/internal/obs"
+	"iotaxo/internal/resilience/chaos"
 )
 
 // Options tune the serving pipeline.
@@ -82,6 +84,10 @@ type Options struct {
 	// TraceSlowAfter pins the slow-trace keep threshold instead of the
 	// moving p99 estimate (mainly tests; 0 keeps the adaptive threshold).
 	TraceSlowAfter time.Duration
+	// Chaos wires the fault-injection harness into wave evaluation
+	// (internal/resilience/chaos, the ioserve -chaos flag). Nil — the
+	// production default — injects nothing.
+	Chaos *chaos.Injector
 	// Logger receives the service's structured logs (reload decisions,
 	// 5xx failures). Nil discards.
 	Logger *slog.Logger
@@ -138,7 +144,7 @@ func NewService(reg *Registry, opt Options) *Service {
 	s := &Service{
 		reg:     reg,
 		cache:   NewCache(opt.CacheSize),
-		batcher: NewBatcher(opt.MaxBatch, opt.MaxDelay, opt.Workers, m),
+		batcher: newBatcher(opt.MaxBatch, opt.MaxDelay, opt.Workers, m, opt.Chaos),
 		shadow:  NewShadow(reg, opt.ShadowFraction, opt.ShadowWorkers, opt.ShadowQueue, m),
 		metrics: m,
 		logger:  opt.Logger,
@@ -254,7 +260,25 @@ func (s *Service) finishTrace(system string, mv *ModelVersion, start time.Time, 
 	t.Timings = *tm
 	if err != nil {
 		t.Err = err.Error()
+		// Deadline-expired requests get their own keep reason and stay out
+		// of the moving-p99 feed: their latency measures the deadline, not
+		// the pipeline.
+		t.Deadline = errors.Is(err, context.DeadlineExceeded)
 	}
+	return s.tracer.Finish(t)
+}
+
+// TraceShed records an admission-shed request in the trace ring (keep
+// reason "shed") and returns its trace ID; 0 when tracing is off. Shed
+// requests never enter the predict path, so the HTTP layer calls this
+// directly from the admission rejection.
+func (s *Service) TraceShed(system string, reason string) uint64 {
+	if s.tracer == nil {
+		return 0
+	}
+	t := s.tracer.Start(system, 0, time.Now())
+	t.Shed = true
+	t.Err = "shed by admission control: " + reason
 	return s.tracer.Finish(t)
 }
 

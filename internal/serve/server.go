@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
@@ -8,8 +9,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"iotaxo/internal/obs"
+	"iotaxo/internal/resilience"
+	"iotaxo/internal/resilience/chaos"
 )
 
 // HTTP layer. Endpoints:
@@ -23,6 +27,7 @@ import (
 //	POST /v1/versions/reload    — force a registry reload poll
 //	GET  /v1/trace              — retained request traces, newest first
 //	GET  /v1/trace/{id}         — one trace's span tree
+//	GET  /v1/resilience         — admission gate + circuit breaker status
 //	GET  /healthz               — liveness + registry summary
 //	GET  /metrics               — Prometheus text format
 //
@@ -95,6 +100,12 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// DeadlineHeader is the request header carrying a per-request deadline in
+// whole milliseconds. The effective deadline is the tighter of this and
+// HandlerConfig.DefaultDeadline; a request that exceeds it is dropped
+// (from the batcher queue if it hasn't evaluated yet) and answered 504.
+const DeadlineHeader = "X-Request-Timeout-Ms"
+
 // HandlerConfig tunes the HTTP layer.
 type HandlerConfig struct {
 	// AdminToken, when non-empty, is required (constant-time compared) on
@@ -103,6 +114,17 @@ type HandlerConfig struct {
 	// missing or mismatched token is answered with 401 before the body is
 	// read. Empty leaves the admin endpoints open (the pre-authn behavior).
 	AdminToken string
+	// Gate, when non-nil, applies admission control to POST /v1/predict:
+	// shed requests are answered 429 + Retry-After before the body is
+	// read, and accepted-request latency feeds the gate's moving p99.
+	Gate *resilience.Gate
+	// Resilience, when non-nil, mounts GET /v1/resilience (admin-gated):
+	// the gate and breaker status view.
+	Resilience *resilience.Set
+	// DefaultDeadline bounds every predict request's end-to-end time
+	// (the -default-deadline flag). 0 means no server-imposed deadline;
+	// clients can always tighten via the DeadlineHeader.
+	DefaultDeadline time.Duration
 }
 
 // AdminAuthorized reports whether a request may perform admin actions
@@ -141,8 +163,15 @@ func Handler(svc *Service) http.Handler { return NewHandler(svc, HandlerConfig{}
 func NewHandler(svc *Service, cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
-		handlePredict(svc, w, r)
+		handlePredict(svc, &cfg, w, r)
 	})
+	if cfg.Resilience != nil {
+		mux.Handle("/v1/resilience", RequireAdmin(cfg.AdminToken, cfg.Resilience.Handler().ServeHTTP))
+	} else {
+		mux.HandleFunc("/v1/resilience", func(w http.ResponseWriter, r *http.Request) {
+			writeError(w, http.StatusConflict, "resilience layer not configured (start ioserve with -admission-max-inflight or -reload-interval)")
+		})
+	}
 	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "GET only")
@@ -219,10 +248,25 @@ func NewHandler(svc *Service, cfg HandlerConfig) http.Handler {
 	return mux
 }
 
-func handlePredict(svc *Service, w http.ResponseWriter, r *http.Request) {
+func handlePredict(svc *Service, cfg *HandlerConfig, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
+	}
+	// Admission runs before the body is read: a shed request must cost the
+	// server as close to nothing as possible, or shedding can't shed load.
+	if cfg.Gate != nil {
+		ok, reason := cfg.Gate.Admit(resilience.ClassPredict)
+		if !ok {
+			w.Header().Set("Retry-After", cfg.Gate.RetryAfterHeader())
+			if id := svc.TraceShed("", string(reason)); id != 0 {
+				w.Header().Set("X-Trace-Id", obs.FormatTraceID(id))
+			}
+			writeError(w, http.StatusTooManyRequests, fmt.Sprintf("overloaded (%s): retry later", reason))
+			return
+		}
+		admitStart := time.Now()
+		defer func() { cfg.Gate.Release(time.Since(admitStart)) }()
 	}
 	var req PredictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
@@ -247,7 +291,27 @@ func handlePredict(svc *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no rows to predict")
 		return
 	}
-	results, mv, tm, traceID, err := svc.PredictTraced(r.Context(), req.System, req.Version, rows)
+	// Deadline propagation: the tighter of the server default and the
+	// client's header bounds the whole predict call — queue wait included,
+	// so an expired wave is dropped before evaluation, not after.
+	ctx := r.Context()
+	deadline := cfg.DefaultDeadline
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("%s must be a positive integer of milliseconds", DeadlineHeader))
+			return
+		}
+		if d := time.Duration(ms) * time.Millisecond; deadline == 0 || d < deadline {
+			deadline = d
+		}
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	results, mv, tm, traceID, err := svc.PredictTraced(ctx, req.System, req.Version, rows)
 	traceHex := ""
 	if traceID != 0 {
 		traceHex = obs.FormatTraceID(traceID)
@@ -262,6 +326,15 @@ func handlePredict(svc *Service, w http.ResponseWriter, r *http.Request) {
 			status = http.StatusNotFound
 		case errors.Is(err, ErrBatcherClosed):
 			status = http.StatusServiceUnavailable
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			// The client went away; nobody reads this, but log-parsers do.
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, chaos.ErrInjected):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, ErrEvalPanic):
+			status = http.StatusInternalServerError
 		default:
 			// Schema mismatches and malformed batches are client errors.
 			status = http.StatusBadRequest
