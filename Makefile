@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench bench-smoke benchcmp chaos-smoke
+.PHONY: all build test vet fmt bench bench-smoke benchcmp chaos-smoke fleet-smoke
 
 all: build test
 
@@ -41,3 +41,10 @@ benchcmp:
 # SIGTERM drains cleanly (see scripts/chaos_smoke.sh for knobs).
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# Fleet smoke: iorouter over three ioserve replicas sharing one registry
+# tree — kill a replica mid-run and assert clean ejection with zero
+# request errors, rejoin on restart, and a graceful router drain (see
+# scripts/fleet_smoke.sh for knobs).
+fleet-smoke:
+	./scripts/fleet_smoke.sh

@@ -15,6 +15,11 @@
 // The row pool is generated from the same simulated system the server was
 // bootstrapped from, so feature schemas line up by construction.
 //
+// The target may be a single ioserve or an iorouter fleet front-end — the
+// predict surface is identical. Against a router the responses carry a
+// per-replica split, and the report adds a "replica rows" line showing the
+// routing skew across the fleet.
+//
 // The version-churn scenario (-churn-registry) exercises live reload under
 // traffic: while the load runs, ioload periodically copies the registry's
 // highest version directory to v(N+1) on disk, forces a reload poll over
@@ -60,6 +65,7 @@ import (
 
 	"iotaxo/internal/dataset"
 	"iotaxo/internal/drift"
+	"iotaxo/internal/fleet"
 	"iotaxo/internal/resilience"
 	"iotaxo/internal/rng"
 	"iotaxo/internal/serve"
@@ -177,7 +183,8 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 	tracker := &versionTracker{seen: make(map[int]int)}
 	timings := &serverTimingAgg{}
 	rstats := &retryStats{}
-	stats, err := gen.Run(ctx, httpTarget(addr, sysName, version, tracker, timings, retries, seed, rstats))
+	tally := &replicaTally{}
+	stats, err := gen.Run(ctx, httpTarget(addr, sysName, version, tracker, timings, retries, seed, rstats, tally))
 	cancel()
 	churnWG.Wait()
 	if err != nil {
@@ -201,6 +208,8 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 		fmt.Printf("ood flagged     %d (%.1f%%)\n", stats.OoDFlagged, 100*float64(stats.OoDFlagged)/float64(stats.Rows))
 	}
 	timings.report()
+	stats.PerReplica = tally.snapshot()
+	reportReplicaSplit(stats)
 	fmt.Printf("versions seen   %s\n", tracker.String())
 	// The churn scenario's contract is "the served version advances with
 	// zero request errors" — enforce it in the exit code so scripts and CI
@@ -229,6 +238,65 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 type retryStats struct {
 	retries   atomic.Int64 // individual retry attempts issued
 	exhausted atomic.Int64 // requests that failed after every attempt
+}
+
+// replicaTally accumulates the per-replica row split that iorouter
+// responses carry. Against a single ioserve the responses have no shares
+// and the tally stays empty.
+type replicaTally struct {
+	mu   sync.Mutex
+	rows map[string]int
+}
+
+func (t *replicaTally) record(shares []fleet.ReplicaShare) {
+	if len(shares) == 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.rows == nil {
+		t.rows = make(map[string]int)
+	}
+	for _, s := range shares {
+		t.rows[s.Replica] += s.Rows
+	}
+	t.mu.Unlock()
+}
+
+func (t *replicaTally) snapshot() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.rows) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(t.rows))
+	for k, v := range t.rows {
+		out[k] = v
+	}
+	return out
+}
+
+// reportReplicaSplit prints the routing skew when the target was a fleet
+// router (no-op against a single ioserve, whose responses carry no split).
+func reportReplicaSplit(stats serve.LoadStats) {
+	if len(stats.PerReplica) == 0 {
+		return
+	}
+	names := make([]string, 0, len(stats.PerReplica))
+	total := 0
+	for name, rows := range stats.PerReplica {
+		names = append(names, name)
+		total += rows
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	for i, name := range names {
+		if i > 0 {
+			buf.WriteString(", ")
+		}
+		fmt.Fprintf(&buf, "%s %d (%.1f%%)", name, stats.PerReplica[name],
+			100*float64(stats.PerReplica[name])/float64(total))
+	}
+	fmt.Printf("replica rows    %s\n", buf.String())
 }
 
 // verifyChaos is the -expect-chaos post-run assertion: the server survived
@@ -509,7 +577,7 @@ func (t *versionTracker) String() string {
 // `retries` times with capped jittered backoff, honoring the server's
 // Retry-After when it names a longer wait; 4xx responses other than 429 are
 // caller bugs and fail immediately.
-func httpTarget(addr, sysName string, version int, tracker *versionTracker, timings *serverTimingAgg, retries int, seed uint64, rstats *retryStats) serve.Target {
+func httpTarget(addr, sysName string, version int, tracker *versionTracker, timings *serverTimingAgg, retries int, seed uint64, rstats *retryStats, tally *replicaTally) serve.Target {
 	client := &http.Client{Timeout: 30 * time.Second}
 	url := addr + "/v1/predict"
 	r := rng.New(seed + 777)
@@ -550,7 +618,10 @@ func httpTarget(addr, sysName string, version int, tracker *versionTracker, timi
 			}
 			return nil, retryable, after, fmt.Errorf("server returned %d: %s", resp.StatusCode, e.Error)
 		}
-		var pr serve.PredictResponse
+		// Decode the superset shape: a fleet router's response is an
+		// ioserve PredictResponse plus the per-replica split; against a
+		// plain ioserve the replicas field is simply absent.
+		var pr fleet.Response
 		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 			return nil, false, 0, err
 		}
@@ -560,6 +631,9 @@ func httpTarget(addr, sysName string, version int, tracker *versionTracker, timi
 		}
 		if timings != nil {
 			timings.record(elapsed, pr.ServerTimings)
+		}
+		if tally != nil {
+			tally.record(pr.Replicas)
 		}
 		return pr.Predictions, false, 0, nil
 	}

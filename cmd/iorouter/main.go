@@ -1,0 +1,171 @@
+// Command iorouter is the fleet front end: it routes POST /v1/predict
+// traffic across N shared-nothing ioserve replicas under a pluggable
+// scoring policy, with health-checked membership and per-replica circuit
+// breakers.
+//
+// Usage:
+//
+//	iorouter -replicas http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//	iorouter -replicas ... -policy 'dup-affinity:3,queue-depth:2'
+//	iorouter -replicas ... -health-interval 500ms -breaker-threshold 2 -breaker-cooldown 3s
+//	iorouter -replicas ... -admin-token $IOSERVE_ADMIN_TOKEN   # unlock replica stats views
+//
+// Endpoints:
+//
+//	POST /v1/predict  — the ioserve predict contract; the response adds a
+//	                    "replicas" array with each replica's share of the
+//	                    batch, and X-Trace-Id carries the fleet trace ID
+//	                    stamped on every sub-request
+//	GET  /v1/fleet    — membership, breaker states, per-replica load and
+//	                    active versions
+//	GET  /healthz     — liveness (503 when no replica is on the ring)
+//	GET  /metrics     — iorouter_* series + per-replica breaker series
+//
+// Routing: each row's feature-vector hash is looked up on a consistent-
+// hash ring (so exact duplicate jobs — the workload mass the paper's
+// Sec. VI measures — chase the replica whose prediction cache already
+// holds them), then the -policy weighted scorers pick between the ring
+// owner and less-loaded peers. A replica that fails health checks or
+// trips its breaker is ejected and its hash arcs remapped minimally;
+// failed sub-requests fail over to the next-best replica.
+//
+// Replicas should share one registry tree (same -models directory, e.g.
+// on a shared filesystem) with -reload-interval set, so drift publishes
+// propagate fleet-wide; GET /v1/fleet shows each replica's active
+// versions converging after a publish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"iotaxo/internal/fleet"
+	"iotaxo/internal/obs"
+)
+
+// config carries the parsed flags.
+type config struct {
+	addr             string
+	replicas         string
+	policy           string
+	healthInterval   time.Duration
+	probeTimeout     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	adminToken       string
+	shutdownGrace    time.Duration
+	logFormat        string
+	logLevel         string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8070", "listen address")
+	flag.StringVar(&cfg.replicas, "replicas", "",
+		"comma-separated replica base URLs, e.g. http://10.0.0.7:8080,http://10.0.0.8:8080 (required)")
+	flag.StringVar(&cfg.policy, "policy", fleet.DefaultPolicy,
+		"routing policy as 'scorer[:weight],...'; scorers: dup-affinity (consistent-hash cache affinity), queue-depth (inverse load)")
+	flag.DurationVar(&cfg.healthInterval, "health-interval", time.Second,
+		"replica health/stats probe period")
+	flag.DurationVar(&cfg.probeTimeout, "probe-timeout", 2*time.Second,
+		"per-probe timeout")
+	flag.IntVar(&cfg.breakerThreshold, "breaker-threshold", 3,
+		"consecutive failures (probes or sub-requests) that eject a replica from the ring")
+	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", 5*time.Second,
+		"how long an ejected replica stays out before a half-open probe may readmit it")
+	flag.StringVar(&cfg.adminToken, "admin-token", os.Getenv("IOSERVE_ADMIN_TOKEN"),
+		"bearer token for the replicas' admin-gated stats views (default $IOSERVE_ADMIN_TOKEN; empty degrades gracefully)")
+	flag.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 10*time.Second,
+		"drain window for in-flight requests after SIGINT/SIGTERM")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "log verbosity: debug, info, warn, or error")
+	flag.Parse()
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "iorouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	logger, err := obs.NewLogger(os.Stderr, cfg.logFormat, cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(cfg.replicas) == "" {
+		return fmt.Errorf("-replicas is required")
+	}
+	policy, err := fleet.ParsePolicy(cfg.policy)
+	if err != nil {
+		return err
+	}
+	var backends []fleet.Predictor
+	for _, raw := range strings.Split(cfg.replicas, ",") {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			return fmt.Errorf("-replicas has an empty entry")
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return fmt.Errorf("replica %q: want an http(s) base URL", u)
+		}
+		// The host:port part names the replica in the ring, metrics, and
+		// response shares.
+		name := strings.TrimPrefix(strings.TrimPrefix(u, "http://"), "https://")
+		backends = append(backends, fleet.NewRemote(name, u, fleet.RemoteConfig{AdminToken: cfg.adminToken}))
+	}
+	rt, err := fleet.NewRouter(fleet.RouterConfig{
+		Policy:           policy,
+		HealthInterval:   cfg.healthInterval,
+		ProbeTimeout:     cfg.probeTimeout,
+		BreakerThreshold: cfg.breakerThreshold,
+		BreakerCooldown:  cfg.breakerCooldown,
+		Logger:           logger,
+	}, backends...)
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Stop()
+	logger.Info("fleet routing on",
+		"replicas", len(backends), "policy", rt.Policy(),
+		"health_interval", cfg.healthInterval,
+		"breaker_threshold", cfg.breakerThreshold, "breaker_cooldown", cfg.breakerCooldown)
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	logger.Info("listening", "addr", cfg.addr)
+	server := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           fleet.Handler(rt),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+		}
+	}()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stopSignals()
+	logger.Info("shutting down", "grace", cfg.shutdownGrace)
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
+	defer cancel()
+	if err := server.Shutdown(sctx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	logger.Info("shutdown complete")
+	return nil
+}

@@ -1,0 +1,104 @@
+// Package fleet turns the single-node serving stack into a horizontally
+// sharded fleet: a front-end router dispatches predict traffic to N
+// shared-nothing ioserve replicas, with pluggable scoring policies that
+// monetize the paper's duplicate-dominance finding at fleet scale.
+//
+// The pieces:
+//
+//	ring    — a consistent-hash ring over replica names keyed on the
+//	          feature-vector hash. Repeat jobs hash to the same arc, so
+//	          duplicate-affinity routing lands them on the replica whose
+//	          LRU cache already holds their prediction — the same shape
+//	          prefix-affinity routing takes in LLM serving stacks
+//	          (ring.go)
+//	policy  — the -policy 'dup-affinity:3,queue-depth:2' scorer syntax:
+//	          a weighted sum of per-replica scores (ring ownership,
+//	          inverse load) picks the destination, so operators dial the
+//	          affinity-vs-balance trade without code (policy.go)
+//	backends— the transport-neutral Predictor interface: Local wraps an
+//	          in-process serve.Service (fleet tests, embedded replicas),
+//	          Remote speaks the existing ioserve HTTP surface; both are
+//	          the same serve internals, so the router cannot observe
+//	          which transport it is talking to (local.go, remote.go)
+//	router  — health-checked membership with a per-replica circuit
+//	          breaker (internal/resilience): a dead replica is ejected
+//	          and its hash arcs remapped minimally (every other
+//	          replica's keys stay put), failed sub-requests fail over to
+//	          the next-best replica, and a recovered replica is probed
+//	          half-open before its arcs return (router.go)
+//	handler — the router's HTTP surface: POST /v1/predict (the ioserve
+//	          contract, plus a per-replica share split in the response),
+//	          GET /v1/fleet membership/health view, /healthz, /metrics
+//	          (handler.go, metrics.go)
+//
+// Replicas stay shared-nothing at serve time but share one published
+// registry tree on disk: the drift loop's publishes propagate fleet-wide
+// through each replica's own reloader, and the router's stats poll makes
+// the per-replica active versions visible at GET /v1/fleet.
+//
+// Trace propagation: the router stamps its own trace ID on the X-Trace-Id
+// header of every sub-request; replicas record it as the parent of any
+// trace they retain, so one router-side ID links the replica-side span
+// trees of all the shards that served a request.
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"iotaxo/internal/serve"
+)
+
+// ReplicaStats is one replica's load and topology snapshot, fed to the
+// queue-depth scorer and the GET /v1/fleet view. Remote backends refresh
+// it from the replica's admission-gate stats (/v1/resilience) and version
+// listing on the router's poll interval; Local backends read the gate
+// directly.
+type ReplicaStats struct {
+	// GateInflight is the replica's admission-gate inflight count, -1 when
+	// the replica runs without admission control (the router then falls
+	// back to its own dispatched-not-answered count alone).
+	GateInflight int64 `json:"gate_inflight"`
+	// ActiveVersions maps system -> the replica's serving-default version,
+	// so fleet-wide publish propagation is observable from the router.
+	ActiveVersions map[string]int `json:"active_versions,omitempty"`
+}
+
+// Predictor is the transport-neutral replica backend: the predict core
+// extracted behind an interface so router-local (in-process) and remote
+// (HTTP) replicas share the same serve internals.
+type Predictor interface {
+	// Name identifies the replica on the ring, in metrics labels, and in
+	// response shares. Stable and unique within a fleet.
+	Name() string
+	// Predict serves one (sub-)request. Failures that map to an HTTP
+	// status (shed 429s, client 4xx, replica 5xx) are *BackendError;
+	// anything else is a transport-level failure.
+	Predict(ctx context.Context, req *serve.PredictRequest) (*serve.PredictResponse, error)
+	// Health reports liveness (the router's probe; also the circuit
+	// breaker's half-open trial).
+	Health(ctx context.Context) error
+	// Stats snapshots the replica's load and active versions.
+	Stats(ctx context.Context) (ReplicaStats, error)
+}
+
+// BackendError is a replica-side failure that carries its HTTP status, so
+// the router can answer the client exactly as the replica would have
+// (429s stay 429s with their Retry-After, 404s stay 404s) and classify
+// breaker-worthy failures (5xx) apart from client errors and sheds.
+type BackendError struct {
+	Status int
+	// RetryAfter preserves the replica's Retry-After advice on sheds.
+	RetryAfter string
+	Msg        string
+}
+
+func (e *BackendError) Error() string {
+	return fmt.Sprintf("replica returned %d: %s", e.Status, e.Msg)
+}
+
+// Fault reports whether the error should count against the replica's
+// circuit breaker: server faults do, client errors and overload sheds do
+// not (a shedding replica is alive and protecting itself — ejecting it
+// would dogpile its load onto the survivors).
+func (e *BackendError) Fault() bool { return e.Status >= 500 }

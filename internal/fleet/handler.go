@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"iotaxo/internal/serve"
+)
+
+// The router's HTTP surface — a drop-in for ioserve's predict contract:
+//
+//	POST /v1/predict — the ioserve body, answered with the replica
+//	                   contract plus a per-replica share split
+//	GET  /v1/fleet   — membership, breaker states, per-replica load and
+//	                   active versions
+//	GET  /healthz    — liveness (503 when no replica is on the ring)
+//	GET  /metrics    — iorouter_* series + per-replica breaker series
+//
+// Clients that speak ioserve speak the router unchanged: same request
+// body, same error statuses (replica statuses pass through), same
+// X-Trace-Id and X-Request-Timeout-Ms headers.
+
+// maxRouterBody mirrors ioserve's predict body bound.
+const maxRouterBody = 16 << 20
+
+// Handler mounts the router's HTTP surface.
+func Handler(rt *Router) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		handleRoute(rt, w, r)
+	})
+	mux.HandleFunc("/v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, rt.View())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		view := rt.View()
+		status := http.StatusOK
+		state := "ok"
+		if view.Healthy == 0 {
+			status, state = http.StatusServiceUnavailable, "no healthy replicas"
+		}
+		writeJSON(w, status, map[string]any{
+			"status":   state,
+			"healthy":  view.Healthy,
+			"replicas": len(view.Replicas),
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", serve.MetricsContentType)
+		if err := rt.metrics.WriteMetrics(w); err != nil {
+			return
+		}
+		_ = rt.res.WriteMetrics(w)
+	})
+	return mux
+}
+
+func handleRoute(rt *Router, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req serve.PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRouterBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	// The client's deadline bounds the whole fan-out; Remote backends
+	// forward the remaining budget on X-Request-Timeout-Ms so replicas
+	// drop expired waves themselves.
+	ctx := r.Context()
+	if h := r.Header.Get(serve.DeadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("%s must be a positive integer of milliseconds", serve.DeadlineHeader))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
+	resp, err := rt.Route(ctx, &req)
+	if err != nil {
+		be, ok := err.(*BackendError)
+		if !ok {
+			be = &BackendError{Status: http.StatusServiceUnavailable, Msg: err.Error()}
+		}
+		if be.RetryAfter != "" {
+			w.Header().Set("Retry-After", be.RetryAfter)
+		}
+		writeError(w, be.Status, be.Msg)
+		return
+	}
+	if resp.TraceID != "" {
+		w.Header().Set(serve.TraceHeader, resp.TraceID)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"iotaxo/internal/resilience"
+	"iotaxo/internal/serve"
+)
+
+// Local is the in-process replica backend: a *serve.Service wrapped in
+// the Predictor interface, with the same admission-gate behavior the HTTP
+// layer applies. Fleet tests run 3 of these against one router under
+// -race; an embedded deployment can do the same in production. Because
+// Predict goes through serve.(*Service).ServeRequest — the exact core the
+// HTTP handler calls — a Local replica is behaviorally identical to a
+// Remote one minus the network.
+type Local struct {
+	name string
+	svc  *serve.Service
+	gate *resilience.Gate
+	// down simulates process death for chaos tests: while set, every call
+	// fails at the "transport", exactly as a killed remote replica would
+	// (connection refused), so the router's failover and breaker paths are
+	// exercised without real processes.
+	down atomic.Bool
+}
+
+// NewLocal wraps an in-process service as a replica backend. gate may be
+// nil (no admission control, as with ioserve started without
+// -admission-max-inflight).
+func NewLocal(name string, svc *serve.Service, gate *resilience.Gate) *Local {
+	return &Local{name: name, svc: svc, gate: gate}
+}
+
+// Name implements Predictor.
+func (l *Local) Name() string { return l.name }
+
+// SetDown toggles simulated process death. While down, Predict, Health,
+// and Stats all fail with transport-level errors.
+func (l *Local) SetDown(down bool) { l.down.Store(down) }
+
+// errDown is the simulated connection-refused failure.
+func (l *Local) errDown() error {
+	return fmt.Errorf("fleet: replica %s: connection refused (down)", l.name)
+}
+
+// Predict implements Predictor over the in-process serve core.
+func (l *Local) Predict(ctx context.Context, req *serve.PredictRequest) (*serve.PredictResponse, error) {
+	if l.down.Load() {
+		return nil, l.errDown()
+	}
+	if l.gate != nil {
+		ok, reason := l.gate.Admit(resilience.ClassPredict)
+		if !ok {
+			return nil, &BackendError{
+				Status:     429,
+				RetryAfter: l.gate.RetryAfterHeader(),
+				Msg:        fmt.Sprintf("overloaded (%s): retry later", reason),
+			}
+		}
+		start := time.Now()
+		defer func() { l.gate.Release(time.Since(start)) }()
+	}
+	resp, _, err := l.svc.ServeRequest(ctx, req)
+	if err != nil {
+		// Map through the same error->status table the HTTP layer uses, so
+		// the router classifies a local failure exactly as a remote one.
+		return nil, &BackendError{Status: serve.StatusForError(err), Msg: err.Error()}
+	}
+	return resp, nil
+}
+
+// Health implements Predictor: an in-process service is healthy iff it is
+// not simulating death.
+func (l *Local) Health(ctx context.Context) error {
+	if l.down.Load() {
+		return l.errDown()
+	}
+	return nil
+}
+
+// Stats implements Predictor from the gate and registry directly.
+func (l *Local) Stats(ctx context.Context) (ReplicaStats, error) {
+	if l.down.Load() {
+		return ReplicaStats{}, l.errDown()
+	}
+	st := ReplicaStats{GateInflight: -1, ActiveVersions: make(map[string]int)}
+	if l.gate != nil {
+		st.GateInflight = l.gate.Status().Inflight
+	}
+	for _, info := range l.svc.Registry().List() {
+		if info.Active {
+			st.ActiveVersions[info.System] = info.Version
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Router metrics, rendered in Prometheus text format at the router's
+// /metrics. The replica set is fixed at construction, so the per-replica
+// series live in plain maps of atomics — no locks on the dispatch path —
+// and render deterministically in sorted name order (rt.names).
+
+type replicaCounters struct {
+	requests atomic.Uint64 // sub-requests dispatched (failover retries included)
+	rows     atomic.Uint64 // rows dispatched
+	errors   atomic.Uint64 // sub-request failures (any kind)
+}
+
+type routerMetrics struct {
+	requests  atomic.Uint64 // client requests routed
+	errors    atomic.Uint64 // client requests failed
+	failovers atomic.Uint64 // sub-requests retried on another replica
+	remaps    atomic.Uint64 // ring membership flips (ejections + rejoins)
+	healthy   atomic.Int64  // current ring size
+
+	names      []string
+	perReplica map[string]*replicaCounters
+}
+
+func (m *routerMetrics) init(names []string) {
+	m.names = names
+	m.perReplica = make(map[string]*replicaCounters, len(names))
+	for _, n := range names {
+		m.perReplica[n] = &replicaCounters{}
+	}
+}
+
+func (m *routerMetrics) dispatched(name string, rows int) {
+	if c := m.perReplica[name]; c != nil {
+		c.requests.Add(1)
+		c.rows.Add(uint64(rows))
+	}
+}
+
+func (m *routerMetrics) replicaError(name string) {
+	if c := m.perReplica[name]; c != nil {
+		c.errors.Add(1)
+	}
+}
+
+// WriteMetrics renders the iorouter_* series.
+func (m *routerMetrics) WriteMetrics(w io.Writer) error {
+	type scalar struct {
+		name, help, typ string
+		val             uint64
+	}
+	scalars := []scalar{
+		{"iorouter_requests_total", "Client requests routed.", "counter", m.requests.Load()},
+		{"iorouter_errors_total", "Client requests answered with an error.", "counter", m.errors.Load()},
+		{"iorouter_failovers_total", "Sub-requests retried on another replica after a fault.", "counter", m.failovers.Load()},
+		{"iorouter_ring_remaps_total", "Ring membership flips (ejections and rejoins).", "counter", m.remaps.Load()},
+		{"iorouter_replicas_healthy", "Replicas currently on the ring.", "gauge", uint64(m.healthy.Load())},
+	}
+	for _, s := range scalars {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.typ, s.name, s.val); err != nil {
+			return err
+		}
+	}
+	type series struct {
+		name, help string
+		get        func(*replicaCounters) uint64
+	}
+	for _, s := range []series{
+		{"iorouter_replica_requests_total", "Sub-requests dispatched per replica.", func(c *replicaCounters) uint64 { return c.requests.Load() }},
+		{"iorouter_replica_rows_total", "Rows dispatched per replica.", func(c *replicaCounters) uint64 { return c.rows.Load() }},
+		{"iorouter_replica_errors_total", "Sub-request failures per replica.", func(c *replicaCounters) uint64 { return c.errors.Load() }},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", s.name, s.help, s.name); err != nil {
+			return err
+		}
+		for _, n := range m.names {
+			if _, err := fmt.Fprintf(w, "%s{replica=%q} %d\n", s.name, n, s.get(m.perReplica[n])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

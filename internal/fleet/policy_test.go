@@ -1,0 +1,228 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"iotaxo/internal/rng"
+	"iotaxo/internal/serve"
+)
+
+// TestParsePolicy is the table over the -policy flag grammar.
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		name   string
+		in     string
+		want   []ScorerSpec
+		errHas string // substring of the expected error; "" = success
+	}{
+		{
+			name: "canonical",
+			in:   "dup-affinity:3,queue-depth:2",
+			want: []ScorerSpec{{ScorerDupAffinity, 3}, {ScorerQueueDepth, 2}},
+		},
+		{
+			name: "single scorer",
+			in:   "queue-depth:1.5",
+			want: []ScorerSpec{{ScorerQueueDepth, 1.5}},
+		},
+		{
+			name: "omitted weight defaults to 1",
+			in:   "dup-affinity,queue-depth:4",
+			want: []ScorerSpec{{ScorerDupAffinity, 1}, {ScorerQueueDepth, 4}},
+		},
+		{
+			name: "whitespace tolerated",
+			in:   " dup-affinity : 2 , queue-depth ",
+			want: []ScorerSpec{{ScorerDupAffinity, 2}, {ScorerQueueDepth, 1}},
+		},
+		{
+			name: "fractional weights",
+			in:   "dup-affinity:0.75,queue-depth:0.25",
+			want: []ScorerSpec{{ScorerDupAffinity, 0.75}, {ScorerQueueDepth, 0.25}},
+		},
+		{name: "empty policy", in: "", errHas: "empty policy"},
+		{name: "blank policy", in: "   ", errHas: "empty policy"},
+		{name: "empty entry", in: "dup-affinity:3,,queue-depth:2", errHas: "empty entry"},
+		{name: "trailing comma", in: "dup-affinity:3,", errHas: "empty entry"},
+		{name: "unknown scorer", in: "prefix-affinity:3", errHas: `unknown scorer "prefix-affinity"`},
+		{name: "duplicate scorer", in: "queue-depth:1,queue-depth:2", errHas: "listed twice"},
+		{name: "zero weight", in: "dup-affinity:0", errHas: "positive finite"},
+		{name: "negative weight", in: "queue-depth:-2", errHas: "positive finite"},
+		{name: "non-numeric weight", in: "dup-affinity:lots", errHas: "bad weight"},
+		{name: "infinite weight", in: "dup-affinity:1e999", errHas: "bad weight"},
+		{name: "empty weight", in: "dup-affinity:", errHas: "bad weight"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParsePolicy(tc.in)
+			if tc.errHas != "" {
+				if err == nil {
+					t.Fatalf("ParsePolicy(%q) = %v, want error containing %q", tc.in, got, tc.errHas)
+				}
+				if !strings.Contains(err.Error(), tc.errHas) {
+					t.Fatalf("ParsePolicy(%q) error %q, want it to contain %q", tc.in, err, tc.errHas)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParsePolicy(%q): %v", tc.in, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("ParsePolicy(%q) = %+v, want %+v", tc.in, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("ParsePolicy(%q)[%d] = %+v, want %+v", tc.in, i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	specs, err := ParsePolicy(DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PolicyString(specs); got != DefaultPolicy {
+		t.Fatalf("round trip: %q -> %q", DefaultPolicy, got)
+	}
+}
+
+// TestPickReplica covers the weighted argmax: affinity dominance, the
+// load escape hatch, and the deterministic tie-break.
+func TestPickReplica(t *testing.T) {
+	affinityHeavy := []ScorerSpec{{ScorerDupAffinity, 3}, {ScorerQueueDepth, 2}}
+	loadHeavy := []ScorerSpec{{ScorerDupAffinity, 1}, {ScorerQueueDepth, 3}}
+	cases := []struct {
+		name  string
+		specs []ScorerSpec
+		cands []candidate
+		owner string
+		want  string
+	}{
+		{
+			name:  "idle owner wins under affinity",
+			specs: affinityHeavy,
+			cands: []candidate{{"a", 0}, {"b", 0}, {"c", 0}},
+			owner: "b",
+			want:  "b",
+		},
+		{
+			name:  "loaded owner still wins at 3:2",
+			specs: affinityHeavy,
+			cands: []candidate{{"a", 0}, {"b", 100}, {"c", 50}},
+			owner: "b",
+			// dup weight 3 exceeds the queue scorer's max differential 2,
+			// so affinity-dominant weights never abandon the cache arc.
+			want: "b",
+		},
+		{
+			name:  "loaded owner loses at 1:3",
+			specs: loadHeavy,
+			cands: []candidate{{"a", 0}, {"b", 100}, {"c", 50}},
+			owner: "b",
+			// owner: 1 + 3*(1-100/101) ≈ 1.03; idle peer "a": 3.
+			want: "a",
+		},
+		{
+			name:  "no owner falls back to least loaded",
+			specs: affinityHeavy,
+			cands: []candidate{{"a", 9}, {"b", 2}, {"c", 5}},
+			owner: "",
+			want:  "b",
+		},
+		{
+			name:  "equal scores tie-break by name",
+			specs: affinityHeavy,
+			cands: []candidate{{"c", 4}, {"a", 4}, {"b", 4}},
+			owner: "",
+			want:  "a",
+		},
+		{
+			name:  "owner not a candidate (already tried)",
+			specs: affinityHeavy,
+			cands: []candidate{{"a", 7}, {"c", 1}},
+			owner: "b",
+			want:  "c",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			i := pickReplica(tc.specs, tc.cands, tc.owner)
+			if i < 0 {
+				t.Fatalf("pickReplica returned none, want %q", tc.want)
+			}
+			if got := tc.cands[i].name; got != tc.want {
+				t.Fatalf("picked %q, want %q", got, tc.want)
+			}
+		})
+	}
+	if i := pickReplica(affinityHeavy, nil, "a"); i != -1 {
+		t.Fatalf("pickReplica with no candidates = %d, want -1", i)
+	}
+}
+
+// TestDupAffinityLocality is the golden routing test: on a duplicate-
+// heavy synthetic trace (the paper's Sec. VI workload shape), dup-affinity
+// routing must land >90%% of repeat feature-hashes on the replica that
+// served the hash first — that replica's cache already holds the answer.
+func TestDupAffinityLocality(t *testing.T) {
+	reps := []*stubReplica{newStub("replica-0"), newStub("replica-1"), newStub("replica-2")}
+	rt := newTestRouter(t, RouterConfig{}, reps[0], reps[1], reps[2])
+
+	r := rng.New(99)
+	pool := make([][]float64, 64)
+	for i := range pool {
+		pool[i] = []float64{r.Float64() * 100, r.Float64() * 10, float64(r.Intn(512)), r.Float64()}
+	}
+	firstServed := make(map[uint64]string)
+	repeats, sticky := 0, 0
+	for i := 0; i < 1000; i++ {
+		// 70% duplicate mass: replay a pool row verbatim.
+		row := pool[r.Intn(len(pool))]
+		if !r.Bool(0.7) {
+			row = append([]float64(nil), row...)
+			row[0] += r.Float64() // perturbed = a novel job
+		}
+		resp, err := rt.Route(context.Background(), &serve.PredictRequest{System: "theta", Row: row})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if len(resp.Replicas) != 1 {
+			t.Fatalf("request %d: %d shares for one row", i, len(resp.Replicas))
+		}
+		served := resp.Replicas[0].Replica
+		key := serve.HashKey("theta", 0, row)
+		if prev, seen := firstServed[key]; seen {
+			repeats++
+			if prev == served {
+				sticky++
+			}
+		} else {
+			firstServed[key] = served
+		}
+	}
+	if repeats < 300 {
+		t.Fatalf("trace generated only %d repeats; not duplicate-heavy", repeats)
+	}
+	locality := float64(sticky) / float64(repeats)
+	t.Logf("locality: %d/%d repeats (%.1f%%) routed to their first replica", sticky, repeats, locality*100)
+	if locality <= 0.90 {
+		t.Fatalf("cache-hit locality %.1f%% <= 90%%", locality*100)
+	}
+	// Sanity: the trace actually spread across the fleet rather than
+	// collapsing onto one replica.
+	spread := 0
+	for _, rep := range reps {
+		if rep.rowsServed() > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("only %d replicas served traffic: %s", spread, fmt.Sprint(rt.View()))
+	}
+}

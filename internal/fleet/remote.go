@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"iotaxo/internal/obs"
+	"iotaxo/internal/resilience"
+	"iotaxo/internal/serve"
+)
+
+// Remote is the HTTP replica backend: one ioserve process addressed over
+// the existing serving surface. The router's trace ID travels on
+// X-Trace-Id (the replica records it as its trace parent) and the
+// remaining context deadline on X-Request-Timeout-Ms (the replica drops
+// expired waves itself instead of computing answers nobody will read).
+type Remote struct {
+	name    string
+	baseURL string
+	client  *http.Client
+	// adminToken unlocks the replica's /v1/resilience stats view when the
+	// fleet runs with admin authn. Empty is fine: Stats degrades to
+	// GateInflight=-1 on 401 rather than failing the poll.
+	adminToken string
+}
+
+// RemoteConfig tunes a Remote backend.
+type RemoteConfig struct {
+	// Client defaults to an http.Client with a 10s timeout.
+	Client *http.Client
+	// AdminToken authorizes the replica's admin-gated stats endpoints.
+	AdminToken string
+}
+
+// NewRemote wraps an ioserve base URL (e.g. "http://10.0.0.7:8080") as a
+// replica backend.
+func NewRemote(name, baseURL string, cfg RemoteConfig) *Remote {
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Remote{name: name, baseURL: baseURL, client: client, adminToken: cfg.AdminToken}
+}
+
+// Name implements Predictor.
+func (r *Remote) Name() string { return r.name }
+
+// Predict implements Predictor over POST /v1/predict.
+func (r *Remote) Predict(ctx context.Context, req *serve.PredictRequest) (*serve.PredictResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encoding request for %s: %w", r.name, err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.baseURL+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if id := obs.TraceParent(ctx); id != 0 {
+		httpReq.Header.Set(serve.TraceHeader, obs.FormatTraceID(id))
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			httpReq.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
+	resp, err := r.client.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %s: %w", r.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, backendErrorFrom(resp)
+	}
+	var out serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("fleet: replica %s sent a bad response body: %w", r.name, err)
+	}
+	return &out, nil
+}
+
+// backendErrorFrom converts a non-200 replica response, preserving the
+// status and any Retry-After advice.
+func backendErrorFrom(resp *http.Response) *BackendError {
+	msg := "(no body)"
+	if b, err := io.ReadAll(io.LimitReader(resp.Body, 4<<10)); err == nil && len(b) > 0 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			msg = e.Error
+		} else {
+			msg = string(b)
+		}
+	}
+	return &BackendError{
+		Status:     resp.StatusCode,
+		RetryAfter: resp.Header.Get("Retry-After"),
+		Msg:        msg,
+	}
+}
+
+// Health implements Predictor over GET /healthz.
+func (r *Remote) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.baseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: replica %s health: %w", r.name, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: replica %s health: status %d", r.name, resp.StatusCode)
+	}
+	return nil
+}
+
+// Stats implements Predictor from the replica's resilience and version
+// views. A replica without the resilience layer (409) or with admin authn
+// the router lacks (401) degrades to GateInflight=-1 — the router then
+// scores it on its own dispatch counts alone — rather than failing.
+func (r *Remote) Stats(ctx context.Context) (ReplicaStats, error) {
+	st := ReplicaStats{GateInflight: -1, ActiveVersions: make(map[string]int)}
+	var res resilience.Status
+	switch err := r.getJSON(ctx, "/v1/resilience", true, &res); {
+	case err == nil:
+		if res.Admission != nil {
+			st.GateInflight = res.Admission.Inflight
+		}
+	case isDegradedStats(err):
+		// Keep -1 and fall through to versions.
+	default:
+		return st, err
+	}
+	var versions struct {
+		Systems []serve.SystemVersions `json:"systems"`
+	}
+	if err := r.getJSON(ctx, "/v1/versions", false, &versions); err != nil {
+		return st, err
+	}
+	for _, sv := range versions.Systems {
+		st.ActiveVersions[sv.System] = sv.Active
+	}
+	return st, nil
+}
+
+// isDegradedStats reports whether a stats sub-fetch failure means "view
+// unavailable on this replica" rather than "replica unreachable".
+func isDegradedStats(err error) bool {
+	be, ok := err.(*BackendError)
+	return ok && (be.Status == http.StatusUnauthorized || be.Status == http.StatusConflict)
+}
+
+// getJSON fetches one replica endpoint into out.
+func (r *Remote) getJSON(ctx context.Context, path string, admin bool, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.baseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	if admin && r.adminToken != "" {
+		req.Header.Set("X-Admin-Token", r.adminToken)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: replica %s %s: %w", r.name, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return backendErrorFrom(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Consistent-hash ring with virtual nodes. Duplicate-affinity routing
+// keys on the feature-vector hash: a repeat job hashes to the same point,
+// the same arc, the same replica — whose LRU cache already holds the
+// prediction. Virtual nodes (vnodesPerMember points per replica) keep the
+// arc shares close to uniform, and consistency keeps remaps minimal: when
+// a replica is ejected only *its* arcs move (to each arc's clockwise
+// successor); every key owned by a surviving replica stays put.
+
+// vnodesPerMember is the number of ring points per replica. 128 points
+// bounds per-replica share skew to a few percent at small fleet sizes
+// (see TestRingBalance) while keeping Add/Remove at ~128 sorted inserts.
+const vnodesPerMember = 128
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring maps 64-bit keys to member names. Not safe for concurrent
+// mutation; the router guards it with its membership mutex.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	members map[string]bool
+}
+
+// NewRing builds an empty ring.
+func NewRing() *Ring {
+	return &Ring{members: make(map[string]bool)}
+}
+
+// vnodeHash places virtual node i of a member on the ring. Raw FNV-1a
+// over short near-identical inputs clusters badly (adjacent vnode indices
+// land near each other and arcs skew 10x), so the sum goes through a
+// murmur3-style finalizer for full avalanche.
+func vnodeHash(member string, i int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(member))
+	h.Write([]byte{'#', byte(i), byte(i >> 8)})
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 64-bit finalizer: every input bit flips every
+// output bit with probability ~1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a member's virtual nodes. Adding an existing member is a
+// no-op.
+func (r *Ring) Add(member string) {
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for i := 0; i < vnodesPerMember; i++ {
+		r.points = append(r.points, ringPoint{hash: vnodeHash(member, i), member: member})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break by name so two members colliding on a hash point order
+		// deterministically regardless of insertion order.
+		return r.points[a].member < r.points[b].member
+	})
+}
+
+// Remove ejects a member's virtual nodes. Keys it owned fall to each
+// arc's clockwise successor; all other ownership is untouched.
+func (r *Ring) Remove(member string) {
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner returns the member owning key: the first ring point at or
+// clockwise after the key, wrapping at the top. Empty ring returns "".
+func (r *Ring) Owner(key uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Has reports membership.
+func (r *Ring) Has(member string) bool { return r.members[member] }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a compact membership view for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d members, %d points)", len(r.members), len(r.points))
+}

@@ -1,0 +1,513 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iotaxo/internal/obs"
+	"iotaxo/internal/resilience"
+	"iotaxo/internal/serve"
+)
+
+// Router is the fleet front end: it owns the membership ring, one circuit
+// breaker per replica, the health/stats prober, and the scored dispatch
+// path. Requests are split per-row by ring ownership (so a duplicate row
+// always chases its cache arc), each owner group is scored once under the
+// policy, sub-requests fan out in parallel, and failures fail over to the
+// next-best replica — a request is lost only when every live replica has
+// refused it.
+type Router struct {
+	policy  []ScorerSpec
+	logger  *slog.Logger
+	res     *resilience.Set
+	probeTO time.Duration
+
+	mu       sync.Mutex
+	ring     *Ring
+	replicas map[string]*replicaState
+	names    []string // sorted replica names, fixed at construction
+
+	metrics routerMetrics
+
+	idBase uint64
+	idSeq  atomic.Uint64
+
+	healthEvery time.Duration
+	startOnce   sync.Once
+	stopOnce    sync.Once
+	stopCh      chan struct{}
+	doneCh      chan struct{}
+}
+
+// replicaState is the router's per-replica bookkeeping.
+type replicaState struct {
+	backend Predictor
+	breaker *resilience.Breaker
+	// inflight counts rows dispatched by this router and not yet answered
+	// (the router-side component of the queue-depth score).
+	inflight atomic.Int64
+	// gateInflight is the replica's last polled admission-gate inflight
+	// (-1 when unknown or ungated).
+	gateInflight atomic.Int64
+
+	mu       sync.Mutex
+	versions map[string]int // last polled active versions
+}
+
+// load is the queue-depth scorer's input: router-tracked inflight rows
+// plus the replica's own gate inflight when known.
+func (rs *replicaState) load() int64 {
+	l := rs.inflight.Load()
+	if g := rs.gateInflight.Load(); g > 0 {
+		l += g
+	}
+	return l
+}
+
+// RouterConfig tunes a Router.
+type RouterConfig struct {
+	// Policy is the parsed scorer list (ParsePolicy). Empty defaults to
+	// DefaultPolicy.
+	Policy []ScorerSpec
+	// HealthInterval paces the health/stats prober (default 1s).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one health or stats probe (default 2s).
+	ProbeTimeout time.Duration
+	// BreakerThreshold / BreakerCooldown configure the per-replica circuit
+	// breakers (defaults per resilience.BreakerConfig: 3 failures, 30s).
+	// Fleet tests use a short cooldown so recovery is observable.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Logger defaults to a discard logger.
+	Logger *slog.Logger
+}
+
+// NewRouter builds a router over the given replicas. Replica names must
+// be unique. All replicas start in the ring (membership then follows
+// breaker state).
+func NewRouter(cfg RouterConfig, replicas ...Predictor) (*Router, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("fleet: router needs at least one replica")
+	}
+	policy := cfg.Policy
+	if len(policy) == 0 {
+		policy, _ = ParsePolicy(DefaultPolicy)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	rt := &Router{
+		policy:      policy,
+		logger:      logger,
+		res:         resilience.NewSet(),
+		probeTO:     cfg.ProbeTimeout,
+		ring:        NewRing(),
+		replicas:    make(map[string]*replicaState, len(replicas)),
+		idBase:      uint64(time.Now().UnixNano()) << 8,
+		healthEvery: cfg.HealthInterval,
+		stopCh:      make(chan struct{}),
+		doneCh:      make(chan struct{}),
+	}
+	for _, rep := range replicas {
+		name := rep.Name()
+		if name == "" {
+			return nil, fmt.Errorf("fleet: replica with empty name")
+		}
+		if _, dup := rt.replicas[name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate replica name %q", name)
+		}
+		rt.replicas[name] = &replicaState{
+			backend: rep,
+			breaker: rt.res.NewBreaker(name, resilience.BreakerConfig{
+				Threshold: cfg.BreakerThreshold,
+				Cooldown:  cfg.BreakerCooldown,
+			}),
+			versions: make(map[string]int),
+		}
+		rt.replicas[name].gateInflight.Store(-1)
+		rt.names = append(rt.names, name)
+		rt.ring.Add(name)
+	}
+	sort.Strings(rt.names)
+	rt.metrics.init(rt.names)
+	// Everyone starts on the ring (breakers are born closed); reconcile
+	// seeds the healthy gauge to match.
+	rt.reconcile()
+	return rt, nil
+}
+
+// Policy returns the canonical policy string.
+func (rt *Router) Policy() string { return PolicyString(rt.policy) }
+
+// Resilience exposes the per-replica breaker set (metrics, admin view).
+func (rt *Router) Resilience() *resilience.Set { return rt.res }
+
+// Start launches the health/stats prober. Stop with Stop.
+func (rt *Router) Start() {
+	rt.startOnce.Do(func() { go rt.probeLoop() })
+}
+
+// Stop halts the prober and waits for it to exit. Safe on a router that
+// was never started (tests drive ProbeOnce by hand).
+func (rt *Router) Stop() {
+	rt.stopOnce.Do(func() { close(rt.stopCh) })
+	// If Start never ran, claim the once ourselves and mark the loop done.
+	rt.startOnce.Do(func() { close(rt.doneCh) })
+	<-rt.doneCh
+}
+
+// probeLoop health-checks every replica each interval, feeds the
+// breakers, refreshes stats, and reconciles ring membership.
+func (rt *Router) probeLoop() {
+	defer close(rt.doneCh)
+	ticker := time.NewTicker(rt.healthEvery)
+	defer ticker.Stop()
+	// Probe immediately at start so a fleet that boots with a dead replica
+	// ejects it before the first tick.
+	rt.ProbeOnce()
+	for {
+		select {
+		case <-rt.stopCh:
+			return
+		case <-ticker.C:
+			rt.ProbeOnce()
+		}
+	}
+}
+
+// ProbeOnce runs one health/stats sweep over all replicas and reconciles
+// membership. Exported so tests (and the fleet smoke script via the
+// router's admin surface) can force a sweep instead of sleeping.
+func (rt *Router) ProbeOnce() {
+	var wg sync.WaitGroup
+	for _, name := range rt.names {
+		rs := rt.replicas[name]
+		// Allow is the breaker's half-open gate: an open breaker absorbs
+		// probes until its cooldown elapses, then admits exactly one.
+		if !rs.breaker.Allow() {
+			continue
+		}
+		wg.Add(1)
+		go func(name string, rs *replicaState) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), rt.probeTO)
+			defer cancel()
+			if err := rs.backend.Health(ctx); err != nil {
+				rs.breaker.Failure()
+				rt.logger.Warn("fleet health probe failed", "replica", name, "err", err)
+				return
+			}
+			rs.breaker.Success()
+			st, err := rs.backend.Stats(ctx)
+			if err != nil {
+				// Health passed; a stats hiccup costs freshness, not
+				// membership.
+				rt.logger.Warn("fleet stats poll failed", "replica", name, "err", err)
+				return
+			}
+			rs.gateInflight.Store(st.GateInflight)
+			rs.mu.Lock()
+			rs.versions = st.ActiveVersions
+			rs.mu.Unlock()
+		}(name, rs)
+	}
+	wg.Wait()
+	rt.reconcile()
+}
+
+// reconcile syncs ring membership with breaker state: a replica is on the
+// ring iff its breaker is closed. Each membership flip is one minimal
+// remap (only the flipped replica's arcs move).
+func (rt *Router) reconcile() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, name := range rt.names {
+		closed := rt.replicas[name].breaker.Status().State == resilience.StateClosed
+		switch {
+		case closed && !rt.ring.Has(name):
+			rt.ring.Add(name)
+			rt.metrics.remaps.Add(1)
+			rt.logger.Info("fleet replica joined ring", "replica", name, "ring", rt.ring.String())
+		case !closed && rt.ring.Has(name):
+			rt.ring.Remove(name)
+			rt.metrics.remaps.Add(1)
+			rt.logger.Warn("fleet replica ejected from ring", "replica", name, "ring", rt.ring.String())
+		}
+	}
+	healthy := int64(rt.ring.Size())
+	rt.metrics.healthy.Store(healthy)
+}
+
+// ReplicaShare is one replica's slice of a routed response.
+type ReplicaShare struct {
+	Replica string `json:"replica"`
+	Rows    int    `json:"rows"`
+	Version int    `json:"version"`
+}
+
+// Response is the router's POST /v1/predict reply: the replica contract
+// plus the per-replica split, so clients (cmd/ioload) can report routing
+// skew without scraping metrics.
+type Response struct {
+	serve.PredictResponse
+	Replicas []ReplicaShare `json:"replicas,omitempty"`
+}
+
+// traceID mints one fleet-level trace ID per routed request.
+func (rt *Router) traceID() uint64 {
+	return rt.idBase + rt.idSeq.Add(1)
+}
+
+// ownerGroup is one ring-owner's slice of a batch.
+type ownerGroup struct {
+	owner   string // ring owner of these rows' hashes ("" on empty ring)
+	indices []int  // positions in the original row order
+	rows    [][]float64
+}
+
+// Route serves one predict request across the fleet. The error, when
+// non-nil, is a *BackendError carrying the HTTP status the handler must
+// answer with (transport-level detail is folded into 503s).
+func (rt *Router) Route(ctx context.Context, req *serve.PredictRequest) (*Response, error) {
+	rt.metrics.requests.Add(1)
+	if req.System == "" {
+		return nil, &BackendError{Status: http.StatusBadRequest, Msg: "missing \"system\""}
+	}
+	rows := req.Rows
+	if req.Row != nil {
+		if rows != nil {
+			return nil, &BackendError{Status: http.StatusBadRequest, Msg: "set \"row\" or \"rows\", not both"}
+		}
+		rows = [][]float64{req.Row}
+	}
+	if len(rows) == 0 {
+		return nil, &BackendError{Status: http.StatusBadRequest, Msg: "no rows to predict"}
+	}
+	// The fleet trace ID rides the context: Local replicas read it as
+	// their trace parent directly, Remote ones send it on X-Trace-Id.
+	fid := rt.traceID()
+	ctx = obs.WithTraceParent(ctx, fid)
+
+	groups, err := rt.groupByOwner(req.System, rows)
+	if err != nil {
+		return nil, err
+	}
+
+	type groupResult struct {
+		replica string
+		version int
+		preds   []serve.PredictionResult
+		err     error
+	}
+	results := make([]groupResult, len(groups))
+	var wg sync.WaitGroup
+	for gi, g := range groups {
+		wg.Add(1)
+		go func(gi int, g ownerGroup) {
+			defer wg.Done()
+			sub := &serve.PredictRequest{System: req.System, Version: req.Version, Rows: g.rows}
+			name, resp, err := rt.dispatch(ctx, g.owner, sub)
+			if err != nil {
+				results[gi] = groupResult{err: err}
+				return
+			}
+			results[gi] = groupResult{replica: name, version: resp.Version, preds: resp.Predictions}
+		}(gi, g)
+	}
+	wg.Wait()
+
+	out := &Response{PredictResponse: serve.PredictResponse{
+		System:      req.System,
+		Count:       len(rows),
+		Predictions: make([]serve.PredictionResult, len(rows)),
+		TraceID:     obs.FormatTraceID(fid),
+	}}
+	shares := make(map[string]*ReplicaShare)
+	for gi, res := range results {
+		if res.err != nil {
+			// One failed owner group fails the request: partial batches are
+			// not part of the predict contract. The first error (by group
+			// order, deterministic) wins; sheds keep their Retry-After.
+			rt.metrics.errors.Add(1)
+			return nil, res.err
+		}
+		g := groups[gi]
+		if len(res.preds) != len(g.rows) {
+			rt.metrics.errors.Add(1)
+			return nil, &BackendError{Status: http.StatusBadGateway,
+				Msg: fmt.Sprintf("replica %s answered %d predictions for %d rows", res.replica, len(res.preds), len(g.rows))}
+		}
+		for i, idx := range g.indices {
+			out.Predictions[idx] = res.preds[i]
+		}
+		if res.version > out.Version {
+			out.Version = res.version
+		}
+		sh, ok := shares[res.replica]
+		if !ok {
+			sh = &ReplicaShare{Replica: res.replica, Version: res.version}
+			shares[res.replica] = sh
+		}
+		sh.Rows += len(g.rows)
+		if res.version > sh.Version {
+			sh.Version = res.version
+		}
+	}
+	for _, sh := range shares {
+		out.Replicas = append(out.Replicas, *sh)
+	}
+	sort.Slice(out.Replicas, func(a, b int) bool { return out.Replicas[a].Replica < out.Replicas[b].Replica })
+	return out, nil
+}
+
+// groupByOwner splits rows into ring-owner groups. Routing hashes pin
+// version 0 so a row keeps its owner across model version bumps — cache
+// keys are versioned, but arc residency shouldn't churn on every publish.
+func (rt *Router) groupByOwner(system string, rows [][]float64) ([]ownerGroup, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.ring.Size() == 0 {
+		rt.metrics.errors.Add(1)
+		return nil, &BackendError{Status: http.StatusServiceUnavailable, Msg: "no healthy replicas"}
+	}
+	byOwner := make(map[string]*ownerGroup)
+	var groups []ownerGroup
+	order := make([]string, 0, 4)
+	for i, row := range rows {
+		owner := rt.ring.Owner(serve.HashKey(system, 0, row))
+		g, ok := byOwner[owner]
+		if !ok {
+			byOwner[owner] = &ownerGroup{owner: owner}
+			g = byOwner[owner]
+			order = append(order, owner)
+		}
+		g.indices = append(g.indices, i)
+		g.rows = append(g.rows, row)
+	}
+	for _, owner := range order {
+		groups = append(groups, *byOwner[owner])
+	}
+	return groups, nil
+}
+
+// dispatch serves one owner group: score the live candidates, try the
+// winner, and on replica fault fail over to the next-best until the
+// candidates are exhausted. Client errors and sheds are returned as-is
+// (they would fail identically anywhere); only faults burn a candidate.
+func (rt *Router) dispatch(ctx context.Context, owner string, sub *serve.PredictRequest) (string, *serve.PredictResponse, error) {
+	tried := make(map[string]bool)
+	var lastErr error
+	for {
+		name, rs := rt.pick(owner, tried)
+		if rs == nil {
+			if lastErr == nil {
+				lastErr = &BackendError{Status: http.StatusServiceUnavailable, Msg: "no healthy replicas"}
+			}
+			return "", nil, lastErr
+		}
+		tried[name] = true
+		nrows := int64(len(sub.Rows))
+		rs.inflight.Add(nrows)
+		rt.metrics.dispatched(name, len(sub.Rows))
+		resp, err := rs.backend.Predict(ctx, sub)
+		rs.inflight.Add(-nrows)
+		if err == nil {
+			rs.breaker.Success()
+			return name, resp, nil
+		}
+		rt.metrics.replicaError(name)
+		if be, ok := err.(*BackendError); ok && !be.Fault() {
+			// 429 (replica protecting itself) and 4xx (the request is the
+			// problem): failing over would just repeat the answer. Hand the
+			// status straight back; the breaker stays untouched.
+			return "", nil, be
+		}
+		// Replica fault (5xx or transport): feed the breaker, eject if it
+		// trips, and fail the sub-request over to the next-best candidate.
+		rs.breaker.Failure()
+		rt.reconcile()
+		rt.metrics.failovers.Add(1)
+		rt.logger.Warn("fleet sub-request failed over", "replica", name, "err", err)
+		if be, ok := err.(*BackendError); ok {
+			lastErr = be
+		} else {
+			lastErr = &BackendError{Status: http.StatusServiceUnavailable, Msg: err.Error()}
+		}
+	}
+}
+
+// pick scores the untried ring members and returns the best (nil when
+// exhausted). Scoring sees the live loads, so two owner groups dispatched
+// concurrently spread instead of dogpiling.
+func (rt *Router) pick(owner string, tried map[string]bool) (string, *replicaState) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	cands := make([]candidate, 0, len(rt.names))
+	for _, name := range rt.ring.Members() {
+		if tried[name] {
+			continue
+		}
+		cands = append(cands, candidate{name: name, load: rt.replicas[name].load()})
+	}
+	i := pickReplica(rt.policy, cands, owner)
+	if i < 0 {
+		return "", nil
+	}
+	return cands[i].name, rt.replicas[cands[i].name]
+}
+
+// ReplicaView is one replica's slice of the GET /v1/fleet view.
+type ReplicaView struct {
+	Name           string         `json:"name"`
+	Breaker        string         `json:"breaker"`
+	InRing         bool           `json:"in_ring"`
+	RouterInflight int64          `json:"router_inflight"`
+	GateInflight   int64          `json:"gate_inflight"`
+	ActiveVersions map[string]int `json:"active_versions,omitempty"`
+}
+
+// FleetView is the GET /v1/fleet body.
+type FleetView struct {
+	Policy   string        `json:"policy"`
+	Healthy  int           `json:"healthy"`
+	Replicas []ReplicaView `json:"replicas"`
+}
+
+// View snapshots fleet membership and per-replica state.
+func (rt *Router) View() FleetView {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	v := FleetView{Policy: PolicyString(rt.policy), Healthy: rt.ring.Size()}
+	for _, name := range rt.names {
+		rs := rt.replicas[name]
+		rs.mu.Lock()
+		versions := make(map[string]int, len(rs.versions))
+		for k, val := range rs.versions {
+			versions[k] = val
+		}
+		rs.mu.Unlock()
+		v.Replicas = append(v.Replicas, ReplicaView{
+			Name:           name,
+			Breaker:        rs.breaker.Status().State,
+			InRing:         rt.ring.Has(name),
+			RouterInflight: rs.inflight.Load(),
+			GateInflight:   rs.gateInflight.Load(),
+			ActiveVersions: versions,
+		})
+	}
+	return v
+}

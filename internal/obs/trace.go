@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"strconv"
 	"time"
 )
@@ -76,7 +77,12 @@ func (t *StageTimings) Add(s Stage, ns int64) { t.Ns[s] += ns }
 type Trace struct {
 	// ID is the request's trace ID (rendered as 16 hex digits in JSON and
 	// the X-Trace-Id header).
-	ID      uint64
+	ID uint64
+	// Parent is the upstream hop's trace ID (0 when the request arrived
+	// directly). A fleet router stamps its own ID on the X-Trace-Id header
+	// of every sub-request it dispatches, so one router-side ID links the
+	// retained traces of all the replicas that served its rows.
+	Parent  uint64
 	System  string
 	Version int
 	// Start is the request's wall-clock start.
@@ -108,9 +114,32 @@ func ParseTraceID(s string) (uint64, error) {
 	return strconv.ParseUint(s, 16, 64)
 }
 
+// traceParentKey carries an upstream trace ID through a request context —
+// the fleet router's hop identity, read back when a replica-side trace is
+// retained.
+type traceParentKey struct{}
+
+// WithTraceParent records an upstream trace ID on the context. id 0 is a
+// no-op (no upstream hop).
+func WithTraceParent(ctx context.Context, id uint64) context.Context {
+	if id == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, traceParentKey{}, id)
+}
+
+// TraceParent returns the upstream trace ID carried by ctx, or 0.
+func TraceParent(ctx context.Context) uint64 {
+	id, _ := ctx.Value(traceParentKey{}).(uint64)
+	return id
+}
+
 // TraceSummary is the list view of one retained trace (GET /v1/trace).
 type TraceSummary struct {
-	TraceID    string    `json:"trace_id"`
+	TraceID string `json:"trace_id"`
+	// ParentID is the upstream hop's trace ID (the router's X-Trace-Id),
+	// absent for directly served requests.
+	ParentID   string    `json:"parent_trace_id,omitempty"`
 	System     string    `json:"system"`
 	Version    int       `json:"version"`
 	Start      time.Time `json:"start"`
@@ -139,8 +168,13 @@ type TraceDetail struct {
 
 // Summary renders the trace's list view.
 func (t *Trace) Summary() TraceSummary {
+	parent := ""
+	if t.Parent != 0 {
+		parent = FormatTraceID(t.Parent)
+	}
 	return TraceSummary{
 		TraceID:    FormatTraceID(t.ID),
+		ParentID:   parent,
 		System:     t.System,
 		Version:    t.Version,
 		Start:      t.Start,

@@ -145,6 +145,36 @@ type Result struct {
 	Guard   *Guard
 }
 
+// batchTimer abstracts the straggler timer so tests can drive the lone-
+// single-row wait deterministically instead of racing a real clock. The
+// contract mirrors *time.Timer: after Reset, either the timer fires (a
+// value appears on C) or Stop returns true; Stop returning false after a
+// Reset means the value is in C and must be drained.
+type batchTimer interface {
+	Reset(d time.Duration)
+	Stop() bool
+	C() <-chan time.Time
+}
+
+// realTimer is the production batchTimer over time.Timer.
+type realTimer struct{ t *time.Timer }
+
+func (r *realTimer) Reset(d time.Duration) { r.t.Reset(d) }
+func (r *realTimer) Stop() bool            { return r.t.Stop() }
+func (r *realTimer) C() <-chan time.Time   { return r.t.C }
+
+// timerFactory builds one worker's straggler timer, returned stopped and
+// drained.
+type timerFactory func() batchTimer
+
+func newRealTimer() batchTimer {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return &realTimer{t: t}
+}
+
 // Batcher coalesces request waves into micro-batches across a worker pool.
 type Batcher struct {
 	reqs     chan *waveReq
@@ -156,6 +186,9 @@ type Batcher struct {
 	// chaos injects faults into wave-group evaluation when wired (nil in
 	// production); see internal/resilience/chaos.
 	chaos *chaos.Injector
+	// newTimer builds each worker's straggler timer (newRealTimer in
+	// production; tests inject a hand-driven fake).
+	newTimer timerFactory
 	// inflight counts waves accepted into the queue but not yet answered;
 	// exposed (with the instantaneous queue depth) as a /metrics gauge so
 	// batching pressure is visible beyond the cumulative mean batch size.
@@ -181,6 +214,12 @@ func NewBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metr
 // newBatcher additionally wires a chaos injector into wave evaluation
 // (Options.Chaos; nil injects nothing).
 func newBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metrics, inj *chaos.Injector) *Batcher {
+	return newBatcherClocked(maxBatch, maxDelay, workers, metrics, inj, nil)
+}
+
+// newBatcherClocked additionally injects the straggler-timer factory (nil
+// uses the real clock); batcher tests drive the lone-wave path with a fake.
+func newBatcherClocked(maxBatch int, maxDelay time.Duration, workers int, metrics *Metrics, inj *chaos.Injector, tf timerFactory) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = 32
 	}
@@ -190,6 +229,9 @@ func newBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metr
 	if workers <= 0 {
 		workers = 2
 	}
+	if tf == nil {
+		tf = newRealTimer
+	}
 	b := &Batcher{
 		reqs:     make(chan *waveReq, workers*maxBatch),
 		stop:     make(chan struct{}),
@@ -198,6 +240,7 @@ func newBatcher(maxBatch int, maxDelay time.Duration, workers int, metrics *Metr
 		maxDelay: maxDelay,
 		metrics:  metrics,
 		chaos:    inj,
+		newTimer: tf,
 	}
 	running := make(chan struct{}, workers)
 	for w := 0; w < workers; w++ {
@@ -330,7 +373,7 @@ type workerState struct {
 	waves  []*waveReq
 	groups []evalGroup
 	rows   [][]float64
-	timer  *time.Timer
+	timer  batchTimer
 }
 
 // evalGroup is one model version's slice of a micro-batch: indices into
@@ -346,10 +389,7 @@ type evalGroup struct {
 // wave arms the straggler timer — any multi-row wave is already worth
 // evaluating, and waiting on a clock would just tax its latency.
 func (b *Batcher) worker() {
-	w := &workerState{timer: time.NewTimer(time.Hour)}
-	if !w.timer.Stop() {
-		<-w.timer.C
-	}
+	w := &workerState{timer: b.newTimer()}
 	for {
 		select {
 		case <-b.stop:
@@ -374,16 +414,16 @@ func (b *Batcher) worker() {
 					select {
 					case req := <-b.reqs:
 						if !w.timer.Stop() {
-							<-w.timer.C
+							<-w.timer.C()
 						}
 						req.pick = time.Now()
 						w.waves = append(w.waves, req)
 						total += len(req.rows)
-					case <-w.timer.C:
+					case <-w.timer.C():
 						break drain
 					case <-b.stop:
 						if !w.timer.Stop() {
-							<-w.timer.C
+							<-w.timer.C()
 						}
 						break drain
 					}

@@ -74,6 +74,11 @@ type LoadStats struct {
 	// Elapsed and AchievedRPS describe the run as executed.
 	Elapsed     time.Duration
 	AchievedRPS float64
+	// PerReplica counts rows served by each fleet replica, keyed by
+	// replica name. Populated only when the target is a fleet router whose
+	// responses carry the per-replica split (cmd/ioload fills it from the
+	// router's response shares); empty against a single ioserve.
+	PerReplica map[string]int
 }
 
 // oodScale is the multiplicative blow-up applied to perturbed rows; raw

@@ -235,20 +235,21 @@ func (s *Service) PredictTraced(ctx context.Context, system string, version int,
 		if mv != nil {
 			s.metrics.System(mv.System).Errors.Add(1)
 		}
-		id := s.finishTrace(system, mv, start, &tm, err)
+		id := s.finishTrace(ctx, system, mv, start, &tm, err)
 		return nil, nil, tm, id, err
 	}
 	s.metrics.LatencyNs.Add(uint64(tm.TotalNs))
 	s.metrics.Latency.Observe(time.Duration(tm.TotalNs))
 	s.metrics.ObserveStages(&tm)
-	id := s.finishTrace(system, mv, start, &tm, nil)
+	id := s.finishTrace(ctx, system, mv, start, &tm, nil)
 	return results, mv, tm, id, nil
 }
 
 // finishTrace runs the request through tail-sampling: no-op (returns 0)
 // when tracing is off, otherwise fills a pooled Trace from tm and lets the
-// tracer decide retention.
-func (s *Service) finishTrace(system string, mv *ModelVersion, start time.Time, tm *obs.StageTimings, err error) uint64 {
+// tracer decide retention. An upstream trace ID on ctx (a router hop) is
+// recorded as the retained trace's parent.
+func (s *Service) finishTrace(ctx context.Context, system string, mv *ModelVersion, start time.Time, tm *obs.StageTimings, err error) uint64 {
 	if s.tracer == nil {
 		return 0
 	}
@@ -257,6 +258,7 @@ func (s *Service) finishTrace(system string, mv *ModelVersion, start time.Time, 
 		sys, ver = mv.System, mv.Version
 	}
 	t := s.tracer.Start(sys, ver, start)
+	t.Parent = obs.TraceParent(ctx)
 	t.Timings = *tm
 	if err != nil {
 		t.Err = err.Error()

@@ -159,6 +159,75 @@ func RequireAdmin(token string, next http.HandlerFunc) http.HandlerFunc {
 // Handler wraps a Service as an http.Handler with open admin endpoints.
 func Handler(svc *Service) http.Handler { return NewHandler(svc, HandlerConfig{}) }
 
+// TraceHeader is the response (and router-hop request) header carrying the
+// trace ID. Inbound, a fleet router stamps its own trace ID here so the
+// replica's retained trace records it as the parent; outbound, it names
+// the trace the server retained for this request.
+const TraceHeader = "X-Trace-Id"
+
+// StatusForError maps a predict error to its HTTP status. Shared by the
+// in-process HTTP layer and the fleet router (which must translate backend
+// errors to statuses the same way a replica itself would).
+func StatusForError(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBatcherClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; nobody reads this, but log-parsers do.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, chaos.ErrInjected):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrEvalPanic):
+		return http.StatusInternalServerError
+	default:
+		// Schema mismatches and malformed batches are client errors.
+		return http.StatusBadRequest
+	}
+}
+
+// ServeRequest is the transport-neutral predict core: request validation,
+// the traced predict call, and response assembly, with no HTTP anywhere.
+// The HTTP handler and the fleet's in-process replica backend share it, so
+// a router-local replica serves exactly what a remote one would. The
+// returned trace hex is non-empty when tail-sampling retained the request
+// (set on success and error alike — a failed request's trace is exactly
+// the one an operator wants to look up).
+func (s *Service) ServeRequest(ctx context.Context, req *PredictRequest) (*PredictResponse, string, error) {
+	if req.System == "" {
+		return nil, "", errBadRequest("missing \"system\"")
+	}
+	rows := req.Rows
+	if req.Row != nil {
+		if rows != nil {
+			return nil, "", errBadRequest("set \"row\" or \"rows\", not both")
+		}
+		rows = [][]float64{req.Row}
+	}
+	if len(rows) == 0 {
+		return nil, "", errBadRequest("no rows to predict")
+	}
+	results, mv, tm, traceID, err := s.PredictTraced(ctx, req.System, req.Version, rows)
+	traceHex := ""
+	if traceID != 0 {
+		traceHex = obs.FormatTraceID(traceID)
+	}
+	if err != nil {
+		return nil, traceHex, err
+	}
+	return &PredictResponse{
+		System:        req.System,
+		Version:       mv.Version,
+		Count:         len(results),
+		Predictions:   results,
+		TraceID:       traceHex,
+		ServerTimings: serverTimings(&tm),
+	}, traceHex, nil
+}
+
 // NewHandler wraps a Service as an http.Handler under the given config.
 func NewHandler(svc *Service, cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
@@ -275,22 +344,6 @@ func handlePredict(svc *Service, cfg *HandlerConfig, w http.ResponseWriter, r *h
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
-	if req.System == "" {
-		writeError(w, http.StatusBadRequest, "missing \"system\"")
-		return
-	}
-	rows := req.Rows
-	if req.Row != nil {
-		if rows != nil {
-			writeError(w, http.StatusBadRequest, "set \"row\" or \"rows\", not both")
-			return
-		}
-		rows = [][]float64{req.Row}
-	}
-	if len(rows) == 0 {
-		writeError(w, http.StatusBadRequest, "no rows to predict")
-		return
-	}
 	// Deadline propagation: the tighter of the server default and the
 	// client's header bounds the whole predict call — queue wait included,
 	// so an expired wave is dropped before evaluation, not after.
@@ -311,50 +364,31 @@ func handlePredict(svc *Service, cfg *HandlerConfig, w http.ResponseWriter, r *h
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	results, mv, tm, traceID, err := svc.PredictTraced(ctx, req.System, req.Version, rows)
-	traceHex := ""
-	if traceID != 0 {
-		traceHex = obs.FormatTraceID(traceID)
+	// An upstream X-Trace-Id (the fleet router's hop identity) becomes the
+	// parent of whatever trace this replica retains, so one router-side ID
+	// finds the replica-side traces of every sub-request it fanned out.
+	if h := r.Header.Get(TraceHeader); h != "" {
+		if id, err := obs.ParseTraceID(h); err == nil {
+			ctx = obs.WithTraceParent(ctx, id)
+		}
+	}
+	resp, traceHex, err := svc.ServeRequest(ctx, &req)
+	if traceHex != "" {
 		// Set on success and error alike: a failed request's retained trace
 		// is exactly the one an operator wants to look up.
-		w.Header().Set("X-Trace-Id", traceHex)
+		w.Header().Set(TraceHeader, traceHex)
 	}
 	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, ErrUnknownModel):
-			status = http.StatusNotFound
-		case errors.Is(err, ErrBatcherClosed):
-			status = http.StatusServiceUnavailable
-		case errors.Is(err, context.DeadlineExceeded):
-			status = http.StatusGatewayTimeout
-		case errors.Is(err, context.Canceled):
-			// The client went away; nobody reads this, but log-parsers do.
-			status = http.StatusServiceUnavailable
-		case errors.Is(err, chaos.ErrInjected):
-			status = http.StatusServiceUnavailable
-		case errors.Is(err, ErrEvalPanic):
-			status = http.StatusInternalServerError
-		default:
-			// Schema mismatches and malformed batches are client errors.
-			status = http.StatusBadRequest
-		}
+		status := StatusForError(err)
 		if status >= 500 {
 			svc.Logger().Error("predict failed",
-				"system", req.System, "rows", len(rows),
+				"system", req.System,
 				"status", status, "trace_id", traceHex, "err", err)
 		}
 		writeError(w, status, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, PredictResponse{
-		System:        req.System,
-		Version:       mv.Version,
-		Count:         len(results),
-		Predictions:   results,
-		TraceID:       traceHex,
-		ServerTimings: serverTimings(&tm),
-	})
+	writeJSON(w, http.StatusOK, *resp)
 }
 
 // handleTraceList serves GET /v1/trace: the retained traces, newest first,
