@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench bench-smoke benchcmp chaos-smoke fleet-smoke
+.PHONY: all build test vet fmt bench bench-smoke benchcmp chaos-smoke fleet-smoke slo-smoke
 
 all: build test
 
@@ -48,3 +48,10 @@ chaos-smoke:
 # scripts/fleet_smoke.sh for knobs).
 fleet-smoke:
 	./scripts/fleet_smoke.sh
+
+# Observability smoke: iorouter with SLO tracking and tracing over a traced
+# ioserve replica — nominal load must meet the objectives, a stitched
+# cross-process trace must be retrievable, and a latency-chaos replica must
+# burn the error budget (see scripts/slo_smoke.sh for knobs).
+slo-smoke:
+	./scripts/slo_smoke.sh

@@ -66,6 +66,7 @@ import (
 	"iotaxo/internal/dataset"
 	"iotaxo/internal/drift"
 	"iotaxo/internal/fleet"
+	"iotaxo/internal/obs"
 	"iotaxo/internal/resilience"
 	"iotaxo/internal/rng"
 	"iotaxo/internal/serve"
@@ -115,6 +116,8 @@ func main() {
 			"retry a transiently failed predict (429, 5xx, transport error) up to this many times with capped jittered backoff (0 disables)")
 		expectChaos = flag.Bool("expect-chaos", false,
 			"assert the server was under chaos/overload: non-zero sheds on /metrics, live /healthz, and some successful requests, else exit non-zero")
+		expectSLO = flag.String("expect-slo", "",
+			"assert the server's /v1/slo state after the run: 'met' (every objective within budget) or 'burning' (at least one objective over budget), else exit non-zero")
 	)
 	flag.Parse()
 	churn := churnSpec{registry: *churnReg, interval: *churnInt, bumps: *churnBumps}
@@ -123,13 +126,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ioload: -churn-registry and -drift-ramp are separate scenarios; pick one")
 		os.Exit(2)
 	}
-	if err := run(*addr, *sysName, *version, *requests, *batch, *rate, *dup, *ood, *conc, *poolJobs, *seed, *token, churn, dr, *retries, *expectChaos); err != nil {
+	if *expectSLO != "" && *expectSLO != "met" && *expectSLO != "burning" {
+		fmt.Fprintln(os.Stderr, "ioload: -expect-slo must be 'met' or 'burning'")
+		os.Exit(2)
+	}
+	if err := run(*addr, *sysName, *version, *requests, *batch, *rate, *dup, *ood, *conc, *poolJobs, *seed, *token, churn, dr, *retries, *expectChaos, *expectSLO); err != nil {
 		fmt.Fprintln(os.Stderr, "ioload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, sysName string, version, requests, batch int, rate, dup, ood float64, conc, poolJobs int, seed uint64, token string, churn churnSpec, dr driftSpec, retries int, expectChaos bool) error {
+func run(addr, sysName string, version, requests, batch int, rate, dup, ood float64, conc, poolJobs int, seed uint64, token string, churn churnSpec, dr driftSpec, retries int, expectChaos bool, expectSLO string) error {
 	var cfg *system.Config
 	switch sysName {
 	case "theta":
@@ -229,7 +236,75 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 		}
 	}
 	if expectChaos {
-		return verifyChaos(addr, stats)
+		if err := verifyChaos(addr, stats); err != nil {
+			return err
+		}
+	}
+	// SLO compliance summary: best-effort when the server tracks objectives
+	// (-slo), enforced when the caller stated an expectation.
+	return reportSLO(addr, expectSLO)
+}
+
+// reportSLO fetches the server's /v1/slo state, prints one compliance line
+// per objective, and enforces the -expect-slo assertion: "met" demands
+// every objective within budget, "burning" at least one over it. A server
+// without SLO tracking (409/404) is fine unless an expectation was stated.
+func reportSLO(addr, expect string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(addr + "/v1/slo")
+	if err != nil {
+		if expect != "" {
+			return fmt.Errorf("expect-slo: reading /v1/slo: %w", err)
+		}
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if expect != "" {
+			return fmt.Errorf("expect-slo: /v1/slo returned %d (is the server running with -slo?)", resp.StatusCode)
+		}
+		return nil
+	}
+	var body struct {
+		Objectives []obs.SLOStatus `json:"objectives"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("decoding /v1/slo: %w", err)
+	}
+	if len(body.Objectives) == 0 {
+		if expect != "" {
+			return fmt.Errorf("expect-slo: /v1/slo reports no objectives")
+		}
+		return nil
+	}
+	burning := 0
+	for _, o := range body.Objectives {
+		observed := ""
+		if o.TargetNs > 0 {
+			observed = fmt.Sprintf("observed %v vs target %v",
+				time.Duration(o.ObservedQuantileNs).Round(time.Microsecond),
+				time.Duration(o.TargetNs).Round(time.Microsecond))
+		} else {
+			observed = fmt.Sprintf("observed %.3f%% vs target %.3f%%",
+				100*o.ObservedAvail, 100*o.TargetAvailability)
+		}
+		state := "met"
+		if !o.Met {
+			state = "BURNING"
+			burning++
+		}
+		fmt.Printf("slo %-24s %s: %s (%d req, %d bad, budget %.2fx, alert %s)\n",
+			o.Objective, state, observed, o.Requests, o.Bad, o.BudgetConsumed, o.Alert)
+	}
+	switch expect {
+	case "met":
+		if burning > 0 {
+			return fmt.Errorf("expect-slo: %d objective(s) burning beyond budget, want all met", burning)
+		}
+	case "burning":
+		if burning == 0 {
+			return fmt.Errorf("expect-slo: every objective met, want at least one burning beyond budget")
+		}
 	}
 	return nil
 }

@@ -8,18 +8,25 @@
 //	iorouter -replicas http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
 //	iorouter -replicas ... -policy 'dup-affinity:3,queue-depth:2'
 //	iorouter -replicas ... -health-interval 500ms -breaker-threshold 2 -breaker-cooldown 3s
-//	iorouter -replicas ... -admin-token $IOSERVE_ADMIN_TOKEN   # unlock replica stats views
+//	iorouter -replicas ... -admin-token $IOSERVE_ADMIN_TOKEN   # unlock replica trace views
+//	iorouter -replicas ... -trace-sample 0.01 -slo 'predict:p99=25ms,avail=99.9'
+//	iorouter -replicas ... -pprof-addr localhost:6061
 //
 // Endpoints:
 //
-//	POST /v1/predict  — the ioserve predict contract; the response adds a
-//	                    "replicas" array with each replica's share of the
-//	                    batch, and X-Trace-Id carries the fleet trace ID
-//	                    stamped on every sub-request
-//	GET  /v1/fleet    — membership, breaker states, per-replica load and
-//	                    active versions
-//	GET  /healthz     — liveness (503 when no replica is on the ring)
-//	GET  /metrics     — iorouter_* series + per-replica breaker series
+//	POST /v1/predict    — the ioserve predict contract; the response adds a
+//	                      "replicas" array with each replica's share of the
+//	                      batch (plus its replica-side trace IDs), and
+//	                      X-Trace-Id carries the fleet trace ID stamped on
+//	                      every sub-request
+//	GET  /v1/fleet      — membership, breaker states, per-replica load and
+//	                      active versions
+//	GET  /v1/trace      — retained routed traces, newest first     [admin]
+//	GET  /v1/trace/{id} — one stitched cross-process span tree     [admin]
+//	GET  /v1/slo        — SLO compliance, burn rates, alert states
+//	GET  /healthz       — liveness (503 when no replica is on the ring)
+//	GET  /metrics       — iorouter_* series + per-replica breaker series
+//	                      + fleet-merged replica series + SLO series
 //
 // Routing: each row's feature-vector hash is looked up on a consistent-
 // hash ring (so exact duplicate jobs — the workload mass the paper's
@@ -28,6 +35,19 @@
 // owner and less-loaded peers. A replica that fails health checks or
 // trips its breaker is ejected and its hash arcs remapped minimally;
 // failed sub-requests fail over to the next-best replica.
+//
+// Observability: -trace-sample enables router tracing — each routed
+// request's admit/score/fanout/reassemble split plus one hop span per
+// replica dispatch, tail-sampled (errors and slow always kept). GET
+// /v1/trace/{id} stitches the router trace with the replicas' own
+// retained span trees (fetched over their admin surface — run replicas
+// with -trace-sample too) into one cross-process tree with per-hop
+// network time made explicit. The health prober doubles as a
+// single-cadence /metrics scraper: replica counters and histograms are
+// merged into this router's /metrics under per-replica up/staleness
+// gauges. -slo tracks objectives ('class:p99=25ms,avail=99.9;...') with
+// multi-window burn rates at GET /v1/slo. -pprof-addr serves
+// net/http/pprof on its own listener (keep it loopback-only).
 //
 // Replicas should share one registry tree (same -models directory, e.g.
 // on a shared filesystem) with -reload-interval set, so drift publishes
@@ -39,7 +59,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -60,6 +82,10 @@ type config struct {
 	breakerThreshold int
 	breakerCooldown  time.Duration
 	adminToken       string
+	traceSample      float64
+	traceBuffer      int
+	sloSpec          string
+	pprofAddr        string
 	shutdownGrace    time.Duration
 	logFormat        string
 	logLevel         string
@@ -81,7 +107,14 @@ func main() {
 	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", 5*time.Second,
 		"how long an ejected replica stays out before a half-open probe may readmit it")
 	flag.StringVar(&cfg.adminToken, "admin-token", os.Getenv("IOSERVE_ADMIN_TOKEN"),
-		"bearer token for the replicas' admin-gated stats views (default $IOSERVE_ADMIN_TOKEN; empty degrades gracefully)")
+		"bearer token gating this router's trace endpoints and sent to the replicas' admin-gated trace views (default $IOSERVE_ADMIN_TOKEN; empty leaves both open)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0,
+		"fraction of routed requests head-sampled into the trace ring; errors and slow requests are always kept (0 disables router tracing and /v1/trace)")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 256, "retained router-trace ring capacity")
+	flag.StringVar(&cfg.sloSpec, "slo", "",
+		"SLO objectives as 'class:p99=25ms,avail=99.9[;class:...]'; enables /v1/slo and iorouter_slo_* series (empty disables)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "",
+		"serve net/http/pprof on this address (e.g. localhost:6061; empty disables)")
 	flag.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 10*time.Second,
 		"drain window for in-flight requests after SIGINT/SIGTERM")
 	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
@@ -91,6 +124,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iorouter:", err)
 		os.Exit(1)
 	}
+}
+
+// traceEvery converts the -trace-sample fraction to the tracer's 1-in-N
+// head-sampling period (0 = disabled), mirroring ioserve's flag.
+func traceEvery(sample float64) int {
+	if sample <= 0 {
+		return 0
+	}
+	if sample >= 1 {
+		return 1
+	}
+	return int(math.Round(1 / sample))
 }
 
 func run(cfg config) error {
@@ -119,12 +164,25 @@ func run(cfg config) error {
 		name := strings.TrimPrefix(strings.TrimPrefix(u, "http://"), "https://")
 		backends = append(backends, fleet.NewRemote(name, u, fleet.RemoteConfig{AdminToken: cfg.adminToken}))
 	}
+	var slo *obs.SLO
+	if cfg.sloSpec != "" {
+		specs, err := obs.ParseSLO(cfg.sloSpec)
+		if err != nil {
+			return err
+		}
+		slo = obs.NewSLO(specs)
+		for _, s := range specs {
+			logger.Info("SLO objective on", "objective", s.String())
+		}
+	}
 	rt, err := fleet.NewRouter(fleet.RouterConfig{
 		Policy:           policy,
 		HealthInterval:   cfg.healthInterval,
 		ProbeTimeout:     cfg.probeTimeout,
 		BreakerThreshold: cfg.breakerThreshold,
 		BreakerCooldown:  cfg.breakerCooldown,
+		TraceEvery:       traceEvery(cfg.traceSample),
+		TraceBuffer:      cfg.traceBuffer,
 		Logger:           logger,
 	}, backends...)
 	if err != nil {
@@ -136,13 +194,36 @@ func run(cfg config) error {
 		"replicas", len(backends), "policy", rt.Policy(),
 		"health_interval", cfg.healthInterval,
 		"breaker_threshold", cfg.breakerThreshold, "breaker_cooldown", cfg.breakerCooldown)
+	if cfg.traceSample > 0 {
+		logger.Info("router tracing on",
+			"head_sample_every", traceEvery(cfg.traceSample), "ring", cfg.traceBuffer)
+	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	var psrv *http.Server
+	if cfg.pprofAddr != "" {
+		// pprof gets its own mux on its own listener so profiling exposure
+		// is an explicit, separately firewallable choice — never a route
+		// that leaks onto the routing port. Mirrors ioserve's -pprof-addr.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv = &http.Server{Addr: cfg.pprofAddr, Handler: pmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", cfg.pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
+	}
 	logger.Info("listening", "addr", cfg.addr)
 	server := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           fleet.Handler(rt),
+		Handler:           fleet.NewHandler(rt, fleet.HandlerConfig{AdminToken: cfg.adminToken, SLO: slo}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -163,6 +244,9 @@ func run(cfg config) error {
 	logger.Info("shutting down", "grace", cfg.shutdownGrace)
 	sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
 	defer cancel()
+	if psrv != nil {
+		_ = psrv.Shutdown(sctx)
+	}
 	if err := server.Shutdown(sctx); err != nil {
 		return fmt.Errorf("graceful shutdown: %w", err)
 	}

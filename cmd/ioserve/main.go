@@ -28,6 +28,7 @@
 //	POST /v1/drift/retrain      {"system":"theta"} force a retrain  [admin]
 //	POST /v1/feedback           ground-truth ingestion              [admin]
 //	GET  /v1/resilience         admission gate + breaker status     [admin]
+//	GET  /v1/slo                SLO compliance, burn rates, alerts
 //	GET  /healthz               liveness
 //	GET  /metrics               Prometheus text format
 //
@@ -49,9 +50,12 @@
 // per-stage latency split lands in the /metrics stage histograms, and
 // tail-sampling retains errors, OoD-flagged requests, requests slower than
 // the moving p99, plus the given head-sampled fraction in a ring served at
-// GET /v1/trace. -pprof-addr serves net/http/pprof on its own listener
-// (keep it loopback-only). Logs are structured (log/slog); -log-format
-// json emits one JSON object per line, -log-level tunes verbosity.
+// GET /v1/trace. -slo tracks objectives ('predict:p99=25ms,avail=99.9')
+// against served traffic with multi-window burn rates at GET /v1/slo and
+// ioserve_slo_* series. -pprof-addr serves net/http/pprof on its own
+// listener (keep it loopback-only). Logs are structured (log/slog);
+// -log-format json emits one JSON object per line, -log-level tunes
+// verbosity.
 //
 // Resilience: -admission-max-inflight bounds concurrent predict work and
 // sheds the excess with 429 + Retry-After (control traffic — feedback,
@@ -78,11 +82,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -116,6 +122,7 @@ type config struct {
 	retrainWindow  int
 	traceSample    float64
 	traceBuffer    int
+	sloSpec        string
 	pprofAddr      string
 	logFormat      string
 	logLevel       string
@@ -159,6 +166,8 @@ func main() {
 	flag.Float64Var(&cfg.traceSample, "trace-sample", 0,
 		"fraction of requests head-sampled into the trace ring; errors, OoD, and slow requests are always kept (0 disables tracing)")
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 256, "retained-trace ring capacity")
+	flag.StringVar(&cfg.sloSpec, "slo", "",
+		"SLO objectives as 'class:p99=25ms,avail=99.9[;class:...]' over classes predict and control; enables /v1/slo and ioserve_slo_* series (empty disables)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "",
 		"serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
@@ -350,6 +359,33 @@ func run(cfg config) error {
 		logger.Info("drift control plane on",
 			"window", cfg.driftInterval, "psi", cfg.psiThreshold,
 			"auto_promote", cfg.autoPromote, "auto_rollback", cfg.autoRollback)
+	}
+	if cfg.sloSpec != "" {
+		specs, err := obs.ParseSLO(cfg.sloSpec)
+		if err != nil {
+			return err
+		}
+		slo := obs.NewSLO(specs)
+		svc.Metrics().RegisterCollector(func(w io.Writer) error { return slo.WriteMetrics("ioserve", w) })
+		// The middleware wraps the whole surface (drift mux included) so
+		// predict and control outcomes both land in the objectives; /v1/slo
+		// itself sits outside the wrap.
+		classify := func(r *http.Request) string {
+			switch {
+			case r.URL.Path == "/v1/predict":
+				return "predict"
+			case r.URL.Path == "/v1/feedback" || strings.HasPrefix(r.URL.Path, "/v1/drift"):
+				return "control"
+			}
+			return ""
+		}
+		smux := http.NewServeMux()
+		smux.Handle("/", obs.SLOMiddleware(slo, classify, handler))
+		smux.Handle("/v1/slo", slo.Handler())
+		handler = smux
+		for _, s := range specs {
+			logger.Info("SLO objective on", "objective", s.String())
+		}
 	}
 	if cfg.adminToken != "" {
 		logger.Info("admin endpoints require a bearer token")

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iotaxo/internal/serve"
+)
+
+// Deadline propagation on the router->replica hop: the forwarded
+// X-Request-Timeout-Ms must be the client's budget minus the router time
+// already spent, and an exhausted budget must fail fast without touching
+// the replica.
+
+// TestRemainingBudgetMs pins the subtraction arithmetic: the forwarded
+// budget is the context deadline minus "now" at dispatch — the elapsed
+// router time is subtracted implicitly because the handler set the
+// deadline at arrival.
+func TestRemainingBudgetMs(t *testing.T) {
+	base := time.Now()
+	ctx, cancel := context.WithDeadline(context.Background(), base.Add(50*time.Millisecond))
+	defer cancel()
+
+	// 13ms of router time already burned: 50 - 13 = 37 left.
+	ms, ok := remainingBudgetMs(ctx, base.Add(13*time.Millisecond))
+	if !ok || ms != 37 {
+		t.Fatalf("remainingBudgetMs = %d,%v, want 37,true", ms, ok)
+	}
+	// At the deadline exactly: zero budget.
+	if ms, _ := remainingBudgetMs(ctx, base.Add(50*time.Millisecond)); ms != 0 {
+		t.Fatalf("budget at deadline = %d, want 0", ms)
+	}
+	// Past the deadline: negative.
+	if ms, _ := remainingBudgetMs(ctx, base.Add(60*time.Millisecond)); ms >= 0 {
+		t.Fatalf("budget past deadline = %d, want < 0", ms)
+	}
+	// No deadline: no header.
+	if _, ok := remainingBudgetMs(context.Background(), base); ok {
+		t.Fatal("deadline-free context reported a budget")
+	}
+}
+
+// TestRemoteForwardsRemainingBudget drives a Remote against a recording
+// server: the forwarded header must reflect the time the "router" burned
+// before dispatch, not the client's original budget.
+func TestRemoteForwardsRemainingBudget(t *testing.T) {
+	var gotBudget atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ms, err := strconv.ParseInt(r.Header.Get(serve.DeadlineHeader), 10, 64)
+		if err != nil {
+			t.Errorf("bad %s header: %v", serve.DeadlineHeader, err)
+		}
+		gotBudget.Store(ms)
+		json.NewEncoder(w).Encode(serve.PredictResponse{
+			System: "theta", Count: 1,
+			Predictions: make([]serve.PredictionResult, 1),
+		})
+	}))
+	t.Cleanup(ts.Close)
+	rem := NewRemote("replica-http", ts.URL, RemoteConfig{})
+
+	// Client budget 30s, 100ms of it burned by router work before dispatch.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	time.Sleep(100 * time.Millisecond)
+	if _, err := rem.Predict(ctx, &serve.PredictRequest{System: "theta", Row: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	ms := gotBudget.Load()
+	if ms <= 0 || ms > 29900 {
+		t.Fatalf("forwarded budget %dms does not subtract the 100ms of elapsed router time from 30000ms", ms)
+	}
+}
+
+// TestRemoteFailsFastOnExhaustedBudget: a context whose deadline already
+// passed must not reach the replica at all, and the error must carry
+// context.DeadlineExceeded so the router skips breaker penalty/failover.
+func TestRemoteFailsFastOnExhaustedBudget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("replica received a request with an exhausted budget")
+	}))
+	t.Cleanup(ts.Close)
+	rem := NewRemote("replica-http", ts.URL, RemoteConfig{})
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	_, err := rem.Predict(ctx, &serve.PredictRequest{System: "theta", Row: []float64{1}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+// TestDispatchDeadline504: the router maps an exhausted client budget to
+// 504 without burning a breaker or failing over — the client's clock ran
+// out, the replica did nothing wrong.
+func TestDispatchDeadline504(t *testing.T) {
+	stub := newStub("replica-0")
+	rt := newTestRouter(t, RouterConfig{}, stub, newStub("replica-1"), newStub("replica-2"))
+	stub.setFail(fmt.Errorf("stub: budget gone: %w", context.DeadlineExceeded))
+
+	// Hunt for a row the failing stub owns so dispatch hits it first.
+	var err error
+	for i := 0; i < 256; i++ {
+		row := []float64{float64(i), 3}
+		_, rerr := rt.Route(context.Background(), &serve.PredictRequest{System: "theta", Row: row})
+		if rerr != nil {
+			err = rerr
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("no row routed to the deadline-failing replica")
+	}
+	be, ok := err.(*BackendError)
+	if !ok || be.Status != http.StatusGatewayTimeout {
+		t.Fatalf("err = %v, want 504 BackendError", err)
+	}
+	if rt.metrics.failovers.Load() != 0 {
+		t.Fatal("deadline exhaustion failed over (it must not: less budget elsewhere)")
+	}
+	if view := rt.View(); view.Healthy != 3 {
+		t.Fatalf("deadline exhaustion cost ring membership: %+v", view)
+	}
+}

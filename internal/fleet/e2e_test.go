@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"net/http/httptest"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"iotaxo/internal/obs"
 	"iotaxo/internal/resilience"
 	"iotaxo/internal/rng"
 	"iotaxo/internal/serve"
@@ -301,14 +303,37 @@ func TestFleetE2E(t *testing.T) {
 		return len(v.Replicas) == 3
 	})
 	for _, rep := range reps {
-		st, err := rep.local.Stats(context.Background())
+		body, err := rep.local.Metrics(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.ActiveVersions["theta"] != newV {
-			t.Fatalf("replica %s serving v%d, want published v%d", rep.local.Name(), st.ActiveVersions["theta"], newV)
+		if got := activeVersionFromMetrics(t, body, "theta"); got != newV {
+			t.Fatalf("replica %s exposing v%d, want published v%d", rep.local.Name(), got, newV)
 		}
 	}
+}
+
+// activeVersionFromMetrics extracts ioserve_active_version{system=...}
+// from one replica's exposition — the series the router's single-cadence
+// scrape rebuilds the fleet version view from.
+func activeVersionFromMetrics(t *testing.T, body []byte, sys string) int {
+	t.Helper()
+	families, err := obs.ParsePromText(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range families {
+		if f.Name != "ioserve_active_version" {
+			continue
+		}
+		for _, s := range f.Samples {
+			if v, ok := obs.LabelValue(s.Labels, "system"); ok && v == sys {
+				return int(s.Value)
+			}
+		}
+	}
+	t.Fatalf("exposition has no ioserve_active_version{system=%q}:\n%s", sys, body)
+	return 0
 }
 
 // waitView polls the fleet view until cond holds or the deadline passes.
@@ -340,6 +365,7 @@ func TestRemoteBackend(t *testing.T) {
 	set := resilience.NewSet()
 	gate := resilience.NewGate(resilience.GateConfig{MaxInflight: 32})
 	set.SetGate(gate)
+	svc.Metrics().RegisterCollector(set.WriteMetrics)
 	ts := httptest.NewServer(serve.NewHandler(svc, serve.HandlerConfig{Gate: gate, Resilience: set}))
 	t.Cleanup(ts.Close)
 
@@ -369,15 +395,17 @@ func TestRemoteBackend(t *testing.T) {
 		t.Fatal("a 404 must not count against the breaker")
 	}
 
-	st, err := rem.Stats(context.Background())
+	// One /metrics scrape replaces the old two-request stats poll: the gate
+	// gauge and the active-version series both ride the same exposition.
+	body, err := rem.Metrics(context.Background())
 	if err != nil {
-		t.Fatalf("stats: %v", err)
+		t.Fatalf("metrics: %v", err)
 	}
-	if st.GateInflight != 0 {
-		t.Fatalf("gate inflight = %d at idle", st.GateInflight)
+	if !bytes.Contains(body, []byte("ioserve_admission_inflight 0")) {
+		t.Fatalf("scrape missing idle gate gauge:\n%s", body)
 	}
-	if st.ActiveVersions["theta"] == 0 {
-		t.Fatalf("stats missing active version: %+v", st)
+	if activeVersionFromMetrics(t, body, "theta") == 0 {
+		t.Fatalf("scrape missing active version:\n%s", body)
 	}
 
 	// A fleet router in front of a Remote replica speaks the same contract
@@ -389,5 +417,159 @@ func TestRemoteBackend(t *testing.T) {
 	}
 	if len(served.Replicas) != 1 || served.Replicas[0].Replica != "replica-http" {
 		t.Fatalf("shares %+v", served.Replicas)
+	}
+}
+
+// newTracedE2EReplica is newE2EReplica with replica-side tracing on
+// (retain every request), so stitch tests always find the replica trees.
+func newTracedE2EReplica(t *testing.T, name, dir string) *e2eReplica {
+	t.Helper()
+	reg, err := serve.LoadRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.NewService(reg, serve.Options{
+		MaxBatch:   8,
+		MaxDelay:   200 * time.Microsecond,
+		Workers:    2,
+		CacheSize:  1 << 12,
+		TraceEvery: 1,
+	})
+	t.Cleanup(svc.Close)
+	gate := resilience.NewGate(resilience.GateConfig{MaxInflight: 64})
+	return &e2eReplica{local: NewLocal(name, svc, gate), svc: svc}
+}
+
+// findSpan walks a span tree for the first node with the given name.
+func findSpan(n *obs.SpanNode, name string) *obs.SpanNode {
+	if n.Name == name {
+		return n
+	}
+	for i := range n.Children {
+		if found := findSpan(&n.Children[i], name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// TestStitchedTraceE2E is the cross-process tracing acceptance harness:
+// 3 real replicas with tracing on, a tracing router fanning one batch
+// across them, and GET-shaped stitching through Router.StitchTrace. The
+// stitched tree must span the router and at least 2 replicas, attribute
+// per-hop network time as router round trip minus replica-reported total,
+// and keep the router stage sum within the routed total. Runs under -race
+// in the CI race job.
+func TestStitchedTraceE2E(t *testing.T) {
+	dir, pool := e2eFixture(t)
+	reps := []*e2eReplica{
+		newTracedE2EReplica(t, "replica-0", dir),
+		newTracedE2EReplica(t, "replica-1", dir),
+		newTracedE2EReplica(t, "replica-2", dir),
+	}
+	rt, err := NewRouter(RouterConfig{
+		HealthInterval: time.Hour, // no background prober; deterministic
+		TraceEvery:     1,
+	}, reps[0].local, reps[1].local, reps[2].local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+
+	// A wide batch of distinct rows spreads across replicas: 120 distinct
+	// hashes cannot all land on one of three ring members.
+	rows := pool[:120]
+	resp, err := rt.Route(context.Background(), &serve.PredictRequest{System: "theta", Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID == "" {
+		t.Fatal("routed response carries no fleet trace ID")
+	}
+	fid, err := obs.ParseTraceID(resp.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every share must report its replica-side trace IDs (TraceEvery=1 on
+	// the replicas retains every sub-request).
+	if len(resp.Replicas) < 2 {
+		t.Fatalf("batch fanned out to %d replicas, want >= 2: %+v", len(resp.Replicas), resp.Replicas)
+	}
+	for _, sh := range resp.Replicas {
+		if len(sh.TraceIDs) == 0 {
+			t.Fatalf("share %s carries no replica trace IDs", sh.Replica)
+		}
+	}
+
+	st, ok := rt.StitchTrace(context.Background(), fid)
+	if !ok {
+		t.Fatalf("router did not retain fleet trace %s", resp.TraceID)
+	}
+	if st.TraceID != resp.TraceID || st.System != "theta" || st.Rows != len(rows) {
+		t.Fatalf("stitched header %+v", st)
+	}
+
+	// Cross-process span: hops from >= 2 distinct replicas, every one
+	// stitched (replicas retain everything, so nothing may be missing),
+	// per-hop network time = router round trip minus the replica's own
+	// total, and rows conserved across hops.
+	hopReplicas := map[string]bool{}
+	hopRows := 0
+	for _, hop := range st.Hops {
+		hopReplicas[hop.Replica] = true
+		hopRows += hop.Rows
+		if hop.Missing {
+			t.Fatalf("hop %+v missing though the replica retains every trace", hop)
+		}
+		if hop.TraceID == "" {
+			t.Fatalf("hop %+v carries no replica trace ID", hop)
+		}
+		if hop.NetworkNs < 0 || hop.NetworkNs > hop.DurationNs {
+			t.Fatalf("hop network time out of range: %+v", hop)
+		}
+	}
+	if len(hopReplicas) < 2 {
+		t.Fatalf("stitched trace spans %d replicas, want >= 2", len(hopReplicas))
+	}
+	if hopRows != len(rows) {
+		t.Fatalf("hops carry %d rows, want %d", hopRows, len(rows))
+	}
+
+	// Tree shape: request root -> fanout -> per-replica hop nodes, each
+	// with a network child and the replica's own span tree spliced in.
+	if st.Spans.Name != "request" {
+		t.Fatalf("root span %q", st.Spans.Name)
+	}
+	fanout := findSpan(&st.Spans, "fanout")
+	if fanout == nil {
+		t.Fatal("no fanout span in the stitched tree")
+	}
+	if len(fanout.Children) != len(st.Hops) {
+		t.Fatalf("fanout has %d children for %d hops", len(fanout.Children), len(st.Hops))
+	}
+	for _, hopNode := range fanout.Children {
+		if findSpan(&hopNode, "network") == nil {
+			t.Fatalf("hop node %q has no network span", hopNode.Name)
+		}
+		// The replica's own evaluate stage must appear under the hop —
+		// proof the replica-side tree was spliced, not summarized.
+		if findSpan(&hopNode, "evaluate") == nil {
+			t.Fatalf("hop node %q carries no replica-side evaluate span (tree not spliced)", hopNode.Name)
+		}
+	}
+
+	// Router stage attribution: stages sum to no more than the total.
+	var stageSum int64
+	for _, c := range st.Spans.Children {
+		if c.Name != "fanout" && c.Name != "admit" && c.Name != "score" && c.Name != "reassemble" {
+			t.Fatalf("unexpected router stage span %q", c.Name)
+		}
+		stageSum += c.DurationNs
+	}
+	if stageSum > st.TotalNs {
+		t.Fatalf("router stages sum to %d ns > total %d ns", stageSum, st.TotalNs)
+	}
+	if st.TotalNs <= 0 {
+		t.Fatal("stitched trace has no total time")
 	}
 }

@@ -33,8 +33,9 @@
 //
 // Replicas stay shared-nothing at serve time but share one published
 // registry tree on disk: the drift loop's publishes propagate fleet-wide
-// through each replica's own reloader, and the router's stats poll makes
-// the per-replica active versions visible at GET /v1/fleet.
+// through each replica's own reloader, and the router's single-cadence
+// metrics scrape makes the per-replica active versions visible at
+// GET /v1/fleet and the merged fleet series at the router's /metrics.
 //
 // Trace propagation: the router stamps its own trace ID on the X-Trace-Id
 // header of every sub-request; replicas record it as the parent of any
@@ -44,25 +45,18 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"iotaxo/internal/obs"
 	"iotaxo/internal/serve"
 )
 
-// ReplicaStats is one replica's load and topology snapshot, fed to the
-// queue-depth scorer and the GET /v1/fleet view. Remote backends refresh
-// it from the replica's admission-gate stats (/v1/resilience) and version
-// listing on the router's poll interval; Local backends read the gate
-// directly.
-type ReplicaStats struct {
-	// GateInflight is the replica's admission-gate inflight count, -1 when
-	// the replica runs without admission control (the router then falls
-	// back to its own dispatched-not-answered count alone).
-	GateInflight int64 `json:"gate_inflight"`
-	// ActiveVersions maps system -> the replica's serving-default version,
-	// so fleet-wide publish propagation is observable from the router.
-	ActiveVersions map[string]int `json:"active_versions,omitempty"`
-}
+// ErrTraceNotFound reports that a replica does not hold the requested
+// trace: never retained, already evicted from its ring, or tracing
+// disabled on that replica. Stitching degrades the hop to a partial view
+// instead of failing on it.
+var ErrTraceNotFound = errors.New("fleet: trace not retained by replica")
 
 // Predictor is the transport-neutral replica backend: the predict core
 // extracted behind an interface so router-local (in-process) and remote
@@ -78,8 +72,15 @@ type Predictor interface {
 	// Health reports liveness (the router's probe; also the circuit
 	// breaker's half-open trial).
 	Health(ctx context.Context) error
-	// Stats snapshots the replica's load and active versions.
-	Stats(ctx context.Context) (ReplicaStats, error)
+	// Metrics returns the replica's full metrics exposition (text format).
+	// One scrape per probe interval feeds everything the router needs —
+	// the queue-depth scorer's gate inflight, the fleet view's active
+	// versions, and the merged fleet-wide series on the router's /metrics.
+	Metrics(ctx context.Context) ([]byte, error)
+	// FetchTrace resolves one retained trace by ID for cross-process
+	// stitching, returning ErrTraceNotFound when the replica no longer
+	// (or never) holds it.
+	FetchTrace(ctx context.Context, id uint64) (*obs.TraceDetail, error)
 }
 
 // BackendError is a replica-side failure that carries its HTTP status, so

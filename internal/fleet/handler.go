@@ -4,21 +4,30 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
+	"iotaxo/internal/obs"
 	"iotaxo/internal/serve"
 )
 
 // The router's HTTP surface — a drop-in for ioserve's predict contract:
 //
-//	POST /v1/predict — the ioserve body, answered with the replica
-//	                   contract plus a per-replica share split
-//	GET  /v1/fleet   — membership, breaker states, per-replica load and
-//	                   active versions
-//	GET  /healthz    — liveness (503 when no replica is on the ring)
-//	GET  /metrics    — iorouter_* series + per-replica breaker series
+//	POST /v1/predict    — the ioserve body, answered with the replica
+//	                      contract plus a per-replica share split
+//	GET  /v1/fleet      — membership, breaker states, per-replica load and
+//	                      active versions
+//	GET  /v1/trace      — retained routed-request traces, newest first
+//	GET  /v1/trace/{id} — one stitched cross-process span tree (the
+//	                      router's stages with every replica's own span
+//	                      tree spliced under its fan-out hop)
+//	GET  /v1/slo        — SLO compliance, burn rates, and alert states
+//	GET  /healthz       — liveness (503 when no replica is on the ring)
+//	GET  /metrics       — iorouter_* series + per-replica breaker series
+//	                      + fleet-merged replica series + SLO series
 //
 // Clients that speak ioserve speak the router unchanged: same request
 // body, same error statuses (replica statuses pass through), same
@@ -27,18 +36,45 @@ import (
 // maxRouterBody mirrors ioserve's predict body bound.
 const maxRouterBody = 16 << 20
 
-// Handler mounts the router's HTTP surface.
-func Handler(rt *Router) http.Handler {
+// HandlerConfig tunes the router's HTTP surface.
+type HandlerConfig struct {
+	// AdminToken gates the trace endpoints (bearer or X-Admin-Token, the
+	// same scheme as ioserve). Empty leaves them open.
+	AdminToken string
+	// SLO, when non-nil, tracks predict outcomes against its objectives,
+	// serves GET /v1/slo, and adds iorouter_slo_* series to /metrics.
+	SLO *obs.SLO
+}
+
+// Handler mounts the router's HTTP surface with default config.
+func Handler(rt *Router) http.Handler { return NewHandler(rt, HandlerConfig{}) }
+
+// NewHandler mounts the router's HTTP surface.
+func NewHandler(rt *Router, cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+	predict := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		handleRoute(rt, w, r)
 	})
+	mux.Handle("/v1/predict", obs.SLOMiddleware(cfg.SLO, func(r *http.Request) string { return "predict" }, predict))
 	mux.HandleFunc("/v1/fleet", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
 		writeJSON(w, http.StatusOK, rt.View())
+	})
+	mux.HandleFunc("/v1/trace", serve.RequireAdmin(cfg.AdminToken, func(w http.ResponseWriter, r *http.Request) {
+		handleFleetTraceList(rt, w, r)
+	}))
+	mux.HandleFunc("/v1/trace/", serve.RequireAdmin(cfg.AdminToken, func(w http.ResponseWriter, r *http.Request) {
+		handleFleetTraceGet(rt, w, r)
+	}))
+	mux.HandleFunc("/v1/slo", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.SLO == nil {
+			writeError(w, http.StatusConflict, "SLO tracking disabled (start iorouter with -slo)")
+			return
+		}
+		cfg.SLO.Handler().ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		view := rt.View()
@@ -58,9 +94,109 @@ func Handler(rt *Router) http.Handler {
 		if err := rt.metrics.WriteMetrics(w); err != nil {
 			return
 		}
-		_ = rt.res.WriteMetrics(w)
+		if err := rt.res.WriteMetrics(w); err != nil {
+			return
+		}
+		if err := rt.tracer.WriteMetrics(w); err != nil {
+			return
+		}
+		if err := rt.scrape.WriteMetrics(w); err != nil {
+			return
+		}
+		if cfg.SLO != nil {
+			_ = cfg.SLO.WriteMetrics("iorouter", w)
+		}
 	})
 	return mux
+}
+
+// FleetTraceSummary is one routed trace in the GET /v1/trace listing.
+type FleetTraceSummary struct {
+	TraceID string    `json:"trace_id"`
+	System  string    `json:"system"`
+	Start   time.Time `json:"start"`
+	TotalNs int64     `json:"total_ns"`
+	Rows    int       `json:"rows"`
+	Hops    int       `json:"hops"`
+	Kept    string    `json:"kept_because"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// handleFleetTraceList serves GET /v1/trace: retained routed traces,
+// newest first, capped by ?limit=.
+func handleFleetTraceList(rt *Router, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if rt.tracer == nil {
+		writeError(w, http.StatusConflict, "tracing disabled (start iorouter with -trace-sample)")
+		return
+	}
+	limit := 0
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = n
+	}
+	traces := rt.tracer.Recent(limit)
+	summaries := make([]FleetTraceSummary, len(traces))
+	for i, t := range traces {
+		summaries[i] = FleetTraceSummary{
+			TraceID: obs.FormatTraceID(t.ID),
+			System:  t.System,
+			Start:   t.Start,
+			TotalNs: t.TotalNs,
+			Rows:    t.Rows,
+			Hops:    len(t.Hops),
+			Kept:    t.Keep,
+			Error:   t.Err,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slow_threshold_ns": slowThresholdNs(rt.tracer),
+		"traces":            summaries,
+	})
+}
+
+// slowThresholdNs reports the tracer's slow bar as 0 while unarmed, so the
+// listing never shows MaxInt64.
+func slowThresholdNs(tr *obs.RouterTracer) int64 {
+	ns := int64(tr.SlowThreshold())
+	if ns == math.MaxInt64 {
+		return 0
+	}
+	return ns
+}
+
+// handleFleetTraceGet serves GET /v1/trace/{id}: one stitched
+// cross-process span tree. Replica-side trees are fetched live; a hop
+// whose replica no longer holds its trace shows an explicit missing
+// marker instead of failing the stitch.
+func handleFleetTraceGet(rt *Router, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if rt.tracer == nil {
+		writeError(w, http.StatusConflict, "tracing disabled (start iorouter with -trace-sample)")
+		return
+	}
+	idHex := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	id, err := obs.ParseTraceID(idHex)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad trace id %q", idHex))
+		return
+	}
+	st, ok := rt.StitchTrace(r.Context(), id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("trace %s not retained (evicted or never kept)", idHex))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func handleRoute(rt *Router, w http.ResponseWriter, r *http.Request) {

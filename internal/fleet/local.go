@@ -1,11 +1,13 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
 
+	"iotaxo/internal/obs"
 	"iotaxo/internal/resilience"
 	"iotaxo/internal/serve"
 )
@@ -39,7 +41,7 @@ func NewLocal(name string, svc *serve.Service, gate *resilience.Gate) *Local {
 func (l *Local) Name() string { return l.name }
 
 // SetDown toggles simulated process death. While down, Predict, Health,
-// and Stats all fail with transport-level errors.
+// Metrics, and FetchTrace all fail with transport-level errors.
 func (l *Local) SetDown(down bool) { l.down.Store(down) }
 
 // errDown is the simulated connection-refused failure.
@@ -82,19 +84,37 @@ func (l *Local) Health(ctx context.Context) error {
 	return nil
 }
 
-// Stats implements Predictor from the gate and registry directly.
-func (l *Local) Stats(ctx context.Context) (ReplicaStats, error) {
+// Metrics implements Predictor by rendering the in-process service's
+// exposition. An embedded replica has no HTTP /metrics endpoint wiring the
+// resilience collectors in, so the gate's inflight gauge is appended here
+// when a gate is attached and the service itself did not render one.
+func (l *Local) Metrics(ctx context.Context) ([]byte, error) {
 	if l.down.Load() {
-		return ReplicaStats{}, l.errDown()
+		return nil, l.errDown()
 	}
-	st := ReplicaStats{GateInflight: -1, ActiveVersions: make(map[string]int)}
-	if l.gate != nil {
-		st.GateInflight = l.gate.Status().Inflight
+	var buf bytes.Buffer
+	if err := l.svc.Metrics().WriteText(&buf); err != nil {
+		return nil, err
 	}
-	for _, info := range l.svc.Registry().List() {
-		if info.Active {
-			st.ActiveVersions[info.System] = info.Version
-		}
+	if l.gate != nil && !bytes.Contains(buf.Bytes(), []byte("ioserve_admission_inflight")) {
+		fmt.Fprintf(&buf, "# HELP ioserve_admission_inflight Currently admitted requests.\n# TYPE ioserve_admission_inflight gauge\nioserve_admission_inflight %d\n", l.gate.Status().Inflight)
 	}
-	return st, nil
+	return buf.Bytes(), nil
+}
+
+// FetchTrace implements Predictor from the in-process trace ring.
+func (l *Local) FetchTrace(ctx context.Context, id uint64) (*obs.TraceDetail, error) {
+	if l.down.Load() {
+		return nil, l.errDown()
+	}
+	tr := l.svc.Tracer()
+	if tr == nil {
+		return nil, ErrTraceNotFound
+	}
+	t, ok := tr.Get(id)
+	if !ok {
+		return nil, ErrTraceNotFound
+	}
+	d := t.Detail()
+	return &d, nil
 }

@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"iotaxo/internal/obs"
-	"iotaxo/internal/resilience"
 	"iotaxo/internal/serve"
 )
 
@@ -24,9 +23,9 @@ type Remote struct {
 	name    string
 	baseURL string
 	client  *http.Client
-	// adminToken unlocks the replica's /v1/resilience stats view when the
-	// fleet runs with admin authn. Empty is fine: Stats degrades to
-	// GateInflight=-1 on 401 rather than failing the poll.
+	// adminToken unlocks the replica's admin-gated trace endpoints when the
+	// fleet runs with admin authn. Empty is fine: FetchTrace then degrades
+	// to a missing hop rather than failing the stitch.
 	adminToken string
 }
 
@@ -65,10 +64,17 @@ func (r *Remote) Predict(ctx context.Context, req *serve.PredictRequest) (*serve
 	if id := obs.TraceParent(ctx); id != 0 {
 		httpReq.Header.Set(serve.TraceHeader, obs.FormatTraceID(id))
 	}
-	if dl, ok := ctx.Deadline(); ok {
-		if ms := time.Until(dl).Milliseconds(); ms > 0 {
-			httpReq.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
+	// The client's deadline minus the router time already spent is the
+	// replica's whole budget. An exhausted budget fails fast here — sending
+	// the request would only have the replica compute an answer nobody can
+	// read, and the wrapped DeadlineExceeded keeps the router from counting
+	// the client's expired budget against this replica's breaker.
+	if ms, ok := remainingBudgetMs(ctx, time.Now()); ok {
+		if ms <= 0 {
+			return nil, fmt.Errorf("fleet: replica %s: request budget exhausted before dispatch: %w",
+				r.name, context.DeadlineExceeded)
 		}
+		httpReq.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
 	}
 	resp, err := r.client.Do(httpReq)
 	if err != nil {
@@ -124,40 +130,61 @@ func (r *Remote) Health(ctx context.Context) error {
 	return nil
 }
 
-// Stats implements Predictor from the replica's resilience and version
-// views. A replica without the resilience layer (409) or with admin authn
-// the router lacks (401) degrades to GateInflight=-1 — the router then
-// scores it on its own dispatch counts alone — rather than failing.
-func (r *Remote) Stats(ctx context.Context) (ReplicaStats, error) {
-	st := ReplicaStats{GateInflight: -1, ActiveVersions: make(map[string]int)}
-	var res resilience.Status
-	switch err := r.getJSON(ctx, "/v1/resilience", true, &res); {
-	case err == nil:
-		if res.Admission != nil {
-			st.GateInflight = res.Admission.Inflight
-		}
-	case isDegradedStats(err):
-		// Keep -1 and fall through to versions.
-	default:
-		return st, err
+// remainingBudgetMs converts the context deadline into the milliseconds of
+// budget left as of now (false when the context carries no deadline). The
+// subtraction of elapsed router time happens implicitly: the handler set
+// the deadline when the request arrived, so time.Until at dispatch is the
+// client's budget minus everything the router already spent.
+func remainingBudgetMs(ctx context.Context, now time.Time) (int64, bool) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0, false
 	}
-	var versions struct {
-		Systems []serve.SystemVersions `json:"systems"`
-	}
-	if err := r.getJSON(ctx, "/v1/versions", false, &versions); err != nil {
-		return st, err
-	}
-	for _, sv := range versions.Systems {
-		st.ActiveVersions[sv.System] = sv.Active
-	}
-	return st, nil
+	return dl.Sub(now).Milliseconds(), true
 }
 
-// isDegradedStats reports whether a stats sub-fetch failure means "view
-// unavailable on this replica" rather than "replica unreachable".
-func isDegradedStats(err error) bool {
-	be, ok := err.(*BackendError)
-	return ok && (be.Status == http.StatusUnauthorized || be.Status == http.StatusConflict)
+// maxMetricsBody bounds one replica metrics scrape.
+const maxMetricsBody = 4 << 20
+
+// Metrics implements Predictor over GET /metrics: one plain scrape of the
+// replica's whole exposition, replacing the old two-request
+// /v1/resilience + /v1/versions stats poll.
+func (r *Remote) Metrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %s /metrics: %w", r.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("fleet: replica %s /metrics: status %d", r.name, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxMetricsBody))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %s /metrics: %w", r.name, err)
+	}
+	return body, nil
+}
+
+// FetchTrace implements Predictor over the replica's admin-gated
+// GET /v1/trace/{id}. 404 (not retained / evicted) and 409 (tracing
+// disabled on the replica) both mean the trace is unavailable, not that
+// the replica failed.
+func (r *Remote) FetchTrace(ctx context.Context, id uint64) (*obs.TraceDetail, error) {
+	var detail obs.TraceDetail
+	err := r.getJSON(ctx, "/v1/trace/"+obs.FormatTraceID(id), true, &detail)
+	if err != nil {
+		if be, ok := err.(*BackendError); ok &&
+			(be.Status == http.StatusNotFound || be.Status == http.StatusConflict) {
+			return nil, ErrTraceNotFound
+		}
+		return nil, err
+	}
+	return &detail, nil
 }
 
 // getJSON fetches one replica endpoint into out.

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -35,6 +36,12 @@ type Router struct {
 	names    []string // sorted replica names, fixed at construction
 
 	metrics routerMetrics
+	// scrape caches each replica's /metrics exposition, refreshed by the
+	// prober on one cadence; it feeds the queue-depth scorer, the fleet
+	// view's versions, and the merged series on the router's /metrics.
+	scrape *obs.FleetScrape
+	// tracer retains routed-request traces (nil when tracing is off).
+	tracer *obs.RouterTracer
 
 	idBase uint64
 	idSeq  atomic.Uint64
@@ -85,6 +92,15 @@ type RouterConfig struct {
 	// Fleet tests use a short cooldown so recovery is observable.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// TraceEvery enables router tracing: 1-in-N head sampling of routed
+	// requests on top of the always-keep tail policy (errors, slow). <= 0
+	// disables router tracing (and with it GET /v1/trace stitching).
+	TraceEvery int
+	// TraceBuffer is the retained router-trace ring capacity (default 256).
+	TraceBuffer int
+	// TraceSlowAfter pins the slow-trace keep threshold (tests; 0 keeps
+	// the adaptive moving-p99 threshold).
+	TraceSlowAfter time.Duration
 	// Logger defaults to a discard logger.
 	Logger *slog.Logger
 }
@@ -144,6 +160,14 @@ func NewRouter(cfg RouterConfig, replicas ...Predictor) (*Router, error) {
 	}
 	sort.Strings(rt.names)
 	rt.metrics.init(rt.names)
+	rt.scrape = obs.NewFleetScrape(rt.names)
+	if cfg.TraceEvery > 0 {
+		rt.tracer = obs.NewRouterTracer(obs.Config{
+			SampleEvery: cfg.TraceEvery,
+			RingSize:    cfg.TraceBuffer,
+			SlowAfter:   cfg.TraceSlowAfter,
+		})
+	}
 	// Everyone starts on the ring (breakers are born closed); reconcile
 	// seeds the healthy gauge to match.
 	rt.reconcile()
@@ -208,20 +232,40 @@ func (rt *Router) ProbeOnce() {
 			defer cancel()
 			if err := rs.backend.Health(ctx); err != nil {
 				rs.breaker.Failure()
+				rt.scrape.MarkDown(name)
 				rt.logger.Warn("fleet health probe failed", "replica", name, "err", err)
 				return
 			}
 			rs.breaker.Success()
-			st, err := rs.backend.Stats(ctx)
+			// One metrics scrape replaces the old two-request
+			// /v1/resilience + /v1/versions stats poll: the cached
+			// exposition feeds the queue-depth scorer, the fleet view's
+			// active versions, and the merged series on /metrics.
+			body, err := rs.backend.Metrics(ctx)
 			if err != nil {
-				// Health passed; a stats hiccup costs freshness, not
-				// membership.
-				rt.logger.Warn("fleet stats poll failed", "replica", name, "err", err)
+				// Health passed; a scrape hiccup costs freshness, not
+				// membership. The up gauge drops, the last-good cache stays.
+				rt.scrape.MarkDown(name)
+				rt.logger.Warn("fleet metrics scrape failed", "replica", name, "err", err)
 				return
 			}
-			rs.gateInflight.Store(st.GateInflight)
+			if err := rt.scrape.Record(name, body); err != nil {
+				rt.logger.Warn("fleet metrics scrape unparsable", "replica", name, "err", err)
+				return
+			}
+			gate := int64(-1)
+			if v, ok := rt.scrape.Gauge(name, "ioserve_admission_inflight"); ok {
+				gate = int64(v)
+			}
+			rs.gateInflight.Store(gate)
+			versions := make(map[string]int)
+			for _, s := range rt.scrape.Samples(name, "ioserve_active_version") {
+				if sys, ok := obs.LabelValue(s.Labels, "system"); ok {
+					versions[sys] = int(s.Value)
+				}
+			}
 			rs.mu.Lock()
-			rs.versions = st.ActiveVersions
+			rs.versions = versions
 			rs.mu.Unlock()
 		}(name, rs)
 	}
@@ -257,6 +301,12 @@ type ReplicaShare struct {
 	Replica string `json:"replica"`
 	Rows    int    `json:"rows"`
 	Version int    `json:"version"`
+	// TraceIDs are the replica-side trace IDs this replica retained for
+	// its shares of the request (one per owner group it served, when its
+	// tail-sampling kept them). They parent back to the response's fleet
+	// TraceID, and GET /v1/trace/{fleet-id} on the router splices the
+	// matching replica span trees into one stitched tree.
+	TraceIDs []string `json:"trace_ids,omitempty"`
 }
 
 // Response is the router's POST /v1/predict reply: the replica contract
@@ -279,10 +329,30 @@ type ownerGroup struct {
 	rows    [][]float64
 }
 
+// hopRecorder collects one HopSpan per replica dispatch attempt. The
+// dispatch goroutines append concurrently; Route reads the slice only
+// after the fan-out barrier.
+type hopRecorder struct {
+	mu   sync.Mutex
+	hops []obs.HopSpan
+}
+
+// add records one dispatch attempt. Nil receiver (router tracing off)
+// no-ops so the dispatch path threads it unconditionally.
+func (h *hopRecorder) add(hop obs.HopSpan) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.hops = append(h.hops, hop)
+	h.mu.Unlock()
+}
+
 // Route serves one predict request across the fleet. The error, when
 // non-nil, is a *BackendError carrying the HTTP status the handler must
 // answer with (transport-level detail is folded into 503s).
 func (rt *Router) Route(ctx context.Context, req *serve.PredictRequest) (*Response, error) {
+	start := time.Now()
 	rt.metrics.requests.Add(1)
 	if req.System == "" {
 		return nil, &BackendError{Status: http.StatusBadRequest, Msg: "missing \"system\""}
@@ -302,17 +372,46 @@ func (rt *Router) Route(ctx context.Context, req *serve.PredictRequest) (*Respon
 	fid := rt.traceID()
 	ctx = obs.WithTraceParent(ctx, fid)
 
+	// The router-side trace (nil when tracing is off): validation above is
+	// the admit stage, then score / fanout / reassemble are stamped as the
+	// request flows. Hops accumulate through rec from the dispatch path.
+	var ft *obs.FleetTrace
+	var rec *hopRecorder
+	if rt.tracer != nil {
+		ft = &obs.FleetTrace{ID: fid, System: req.System, Start: start, Rows: len(rows)}
+		ft.StageNs[obs.RouterStageAdmit] = time.Since(start).Nanoseconds()
+		rec = &hopRecorder{}
+	}
+	finish := func(err error) {
+		if ft == nil {
+			return
+		}
+		ft.TotalNs = time.Since(start).Nanoseconds()
+		ft.Hops = rec.hops // fan-out barrier already passed: no concurrent writers
+		if err != nil {
+			ft.Err = err.Error()
+		}
+		rt.tracer.Finish(ft)
+	}
+
+	scoreStart := time.Now()
 	groups, err := rt.groupByOwner(req.System, rows)
+	if ft != nil {
+		ft.StageNs[obs.RouterStageScore] = time.Since(scoreStart).Nanoseconds()
+	}
 	if err != nil {
+		finish(err)
 		return nil, err
 	}
 
 	type groupResult struct {
 		replica string
 		version int
+		traceID string
 		preds   []serve.PredictionResult
 		err     error
 	}
+	fanoutStart := time.Now()
 	results := make([]groupResult, len(groups))
 	var wg sync.WaitGroup
 	for gi, g := range groups {
@@ -320,16 +419,20 @@ func (rt *Router) Route(ctx context.Context, req *serve.PredictRequest) (*Respon
 		go func(gi int, g ownerGroup) {
 			defer wg.Done()
 			sub := &serve.PredictRequest{System: req.System, Version: req.Version, Rows: g.rows}
-			name, resp, err := rt.dispatch(ctx, g.owner, sub)
+			name, resp, err := rt.dispatch(ctx, g.owner, sub, rec)
 			if err != nil {
 				results[gi] = groupResult{err: err}
 				return
 			}
-			results[gi] = groupResult{replica: name, version: resp.Version, preds: resp.Predictions}
+			results[gi] = groupResult{replica: name, version: resp.Version, traceID: resp.TraceID, preds: resp.Predictions}
 		}(gi, g)
 	}
 	wg.Wait()
+	if ft != nil {
+		ft.StageNs[obs.RouterStageFanout] = time.Since(fanoutStart).Nanoseconds()
+	}
 
+	reassembleStart := time.Now()
 	out := &Response{PredictResponse: serve.PredictResponse{
 		System:      req.System,
 		Count:       len(rows),
@@ -343,13 +446,16 @@ func (rt *Router) Route(ctx context.Context, req *serve.PredictRequest) (*Respon
 			// not part of the predict contract. The first error (by group
 			// order, deterministic) wins; sheds keep their Retry-After.
 			rt.metrics.errors.Add(1)
+			finish(res.err)
 			return nil, res.err
 		}
 		g := groups[gi]
 		if len(res.preds) != len(g.rows) {
 			rt.metrics.errors.Add(1)
-			return nil, &BackendError{Status: http.StatusBadGateway,
+			err := &BackendError{Status: http.StatusBadGateway,
 				Msg: fmt.Sprintf("replica %s answered %d predictions for %d rows", res.replica, len(res.preds), len(g.rows))}
+			finish(err)
+			return nil, err
 		}
 		for i, idx := range g.indices {
 			out.Predictions[idx] = res.preds[i]
@@ -366,11 +472,18 @@ func (rt *Router) Route(ctx context.Context, req *serve.PredictRequest) (*Respon
 		if res.version > sh.Version {
 			sh.Version = res.version
 		}
+		if res.traceID != "" {
+			sh.TraceIDs = append(sh.TraceIDs, res.traceID)
+		}
 	}
 	for _, sh := range shares {
 		out.Replicas = append(out.Replicas, *sh)
 	}
 	sort.Slice(out.Replicas, func(a, b int) bool { return out.Replicas[a].Replica < out.Replicas[b].Replica })
+	if ft != nil {
+		ft.StageNs[obs.RouterStageReassemble] = time.Since(reassembleStart).Nanoseconds()
+	}
+	finish(nil)
 	return out, nil
 }
 
@@ -408,8 +521,12 @@ func (rt *Router) groupByOwner(system string, rows [][]float64) ([]ownerGroup, e
 // winner, and on replica fault fail over to the next-best until the
 // candidates are exhausted. Client errors and sheds are returned as-is
 // (they would fail identically anywhere); only faults burn a candidate.
-func (rt *Router) dispatch(ctx context.Context, owner string, sub *serve.PredictRequest) (string, *serve.PredictResponse, error) {
+// Each attempt lands one HopSpan on rec (nil-safe) with the wall time the
+// router spent waiting on the replica, so the stitcher can attribute the
+// difference from the replica's own total to the network.
+func (rt *Router) dispatch(ctx context.Context, owner string, sub *serve.PredictRequest, rec *hopRecorder) (string, *serve.PredictResponse, error) {
 	tried := make(map[string]bool)
+	failover := false
 	var lastErr error
 	for {
 		name, rs := rt.pick(owner, tried)
@@ -423,13 +540,37 @@ func (rt *Router) dispatch(ctx context.Context, owner string, sub *serve.Predict
 		nrows := int64(len(sub.Rows))
 		rs.inflight.Add(nrows)
 		rt.metrics.dispatched(name, len(sub.Rows))
+		hopStart := time.Now()
 		resp, err := rs.backend.Predict(ctx, sub)
+		hop := obs.HopSpan{
+			Replica:    name,
+			Rows:       len(sub.Rows),
+			DurationNs: time.Since(hopStart).Nanoseconds(),
+			Failover:   failover,
+		}
 		rs.inflight.Add(-nrows)
 		if err == nil {
+			if id, perr := obs.ParseTraceID(resp.TraceID); perr == nil {
+				hop.TraceID = id
+			}
+			if resp.ServerTimings != nil {
+				hop.ReplicaTotalNs = resp.ServerTimings.TotalNs
+			}
+			rec.add(hop)
 			rs.breaker.Success()
 			return name, resp, nil
 		}
+		hop.Err = err.Error()
+		rec.add(hop)
 		rt.metrics.replicaError(name)
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The client's budget ran out, either before dispatch (fail-fast
+			// in Remote.Predict) or mid-flight. That is the client's clock
+			// expiring, not a replica fault: no breaker penalty, no failover
+			// (a retry elsewhere starts with even less budget).
+			return "", nil, &BackendError{Status: http.StatusGatewayTimeout,
+				Msg: fmt.Sprintf("request deadline exhausted at replica %s: %v", name, err)}
+		}
 		if be, ok := err.(*BackendError); ok && !be.Fault() {
 			// 429 (replica protecting itself) and 4xx (the request is the
 			// problem): failing over would just repeat the answer. Hand the
@@ -438,6 +579,7 @@ func (rt *Router) dispatch(ctx context.Context, owner string, sub *serve.Predict
 		}
 		// Replica fault (5xx or transport): feed the breaker, eject if it
 		// trips, and fail the sub-request over to the next-best candidate.
+		failover = true
 		rs.breaker.Failure()
 		rt.reconcile()
 		rt.metrics.failovers.Add(1)
@@ -448,6 +590,43 @@ func (rt *Router) dispatch(ctx context.Context, owner string, sub *serve.Predict
 			lastErr = &BackendError{Status: http.StatusServiceUnavailable, Msg: err.Error()}
 		}
 	}
+}
+
+// Tracer exposes the router-side trace ring (nil when tracing is off).
+func (rt *Router) Tracer() *obs.RouterTracer { return rt.tracer }
+
+// StitchTrace resolves one retained fleet trace into the stitched
+// cross-process tree: the router's own span skeleton with each hop's
+// replica span tree (fetched live over the replica's admin surface)
+// spliced under its fan-out span. A hop whose replica no longer holds the
+// trace degrades to an explicit missing marker rather than failing the
+// stitch. The bool is false when the router never kept (or has evicted)
+// the trace.
+func (rt *Router) StitchTrace(ctx context.Context, id uint64) (obs.StitchedTrace, bool) {
+	if rt.tracer == nil {
+		return obs.StitchedTrace{}, false
+	}
+	ft, ok := rt.tracer.Get(id)
+	if !ok {
+		return obs.StitchedTrace{}, false
+	}
+	st := ft.Stitch(func(replica string, traceID uint64) (*obs.TraceDetail, bool) {
+		rs, ok := rt.replicas[replica]
+		if !ok {
+			return nil, false
+		}
+		fctx, cancel := context.WithTimeout(ctx, rt.probeTO)
+		defer cancel()
+		detail, err := rs.backend.FetchTrace(fctx, traceID)
+		if err != nil {
+			if !errors.Is(err, ErrTraceNotFound) {
+				rt.logger.Warn("fleet trace fetch failed", "replica", replica, "err", err)
+			}
+			return nil, false
+		}
+		return detail, true
+	})
+	return st, true
 }
 
 // pick scores the untried ring members and returns the best (nil when

@@ -22,12 +22,13 @@ import (
 type stubReplica struct {
 	name string
 
-	mu         sync.Mutex
-	rows       int
-	fail       error  // returned by Predict while set
-	down       bool   // Health and Predict both fail (transport-level)
-	version    int    // reported model version
-	lastParent uint64 // trace parent observed on the last Predict
+	mu           sync.Mutex
+	rows         int
+	fail         error  // returned by Predict while set
+	down         bool   // Health and Predict both fail (transport-level)
+	version      int    // reported model version
+	gateInflight int    // reported admission-gate inflight
+	lastParent   uint64 // trace parent observed on the last Predict
 }
 
 func newStub(name string) *stubReplica {
@@ -98,13 +99,33 @@ func (s *stubReplica) Health(ctx context.Context) error {
 	return nil
 }
 
-func (s *stubReplica) Stats(ctx context.Context) (ReplicaStats, error) {
+func (s *stubReplica) Metrics(ctx context.Context) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.down {
-		return ReplicaStats{}, fmt.Errorf("stub %s: connection refused", s.name)
+		return nil, fmt.Errorf("stub %s: connection refused", s.name)
 	}
-	return ReplicaStats{GateInflight: -1, ActiveVersions: map[string]int{"theta": s.version}}, nil
+	// A miniature but honest ioserve exposition: a counter and a histogram
+	// (merge fodder for the fleet scraper), the admission gauge, and the
+	// active-version series the fleet view is rebuilt from.
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# HELP ioserve_requests_total Total predict requests.\n# TYPE ioserve_requests_total counter\nioserve_requests_total %d\n", s.rows)
+	fmt.Fprintf(&buf, "# HELP ioserve_request_latency_seconds Predict latency.\n# TYPE ioserve_request_latency_seconds histogram\n")
+	fmt.Fprintf(&buf, "ioserve_request_latency_seconds_bucket{le=\"0.001\"} %d\n", s.rows)
+	fmt.Fprintf(&buf, "ioserve_request_latency_seconds_bucket{le=\"+Inf\"} %d\n", s.rows)
+	fmt.Fprintf(&buf, "ioserve_request_latency_seconds_sum 0\nioserve_request_latency_seconds_count %d\n", s.rows)
+	fmt.Fprintf(&buf, "# HELP ioserve_admission_inflight Currently admitted requests.\n# TYPE ioserve_admission_inflight gauge\nioserve_admission_inflight %d\n", s.gateInflight)
+	fmt.Fprintf(&buf, "ioserve_active_version{system=\"theta\"} %d\n", s.version)
+	return buf.Bytes(), nil
+}
+
+func (s *stubReplica) FetchTrace(ctx context.Context, id uint64) (*obs.TraceDetail, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return nil, fmt.Errorf("stub %s: connection refused", s.name)
+	}
+	return nil, ErrTraceNotFound
 }
 
 // newTestRouter builds a router with test-sized breaker settings and no
@@ -496,5 +517,231 @@ func TestHandlerErrors(t *testing.T) {
 	resp3.Body.Close()
 	if resp3.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET predict = %d", resp3.StatusCode)
+	}
+}
+
+// fetchText GETs a URL and returns the body as a string.
+func fetchText(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.String()
+}
+
+// TestHandlerFleetMetrics: after one probe sweep, the router's /metrics
+// carries the per-replica up/staleness gauges and the fleet-merged replica
+// series — counters summed across replicas, from the same single-cadence
+// scrape that feeds the queue-depth policy and the version view.
+func TestHandlerFleetMetrics(t *testing.T) {
+	reps := []*stubReplica{newStub("replica-0"), newStub("replica-1"), newStub("replica-2")}
+	reps[1].gateInflight = 5
+	rt := newTestRouter(t, RouterConfig{}, reps[0], reps[1], reps[2])
+	ts := httptest.NewServer(Handler(rt))
+	t.Cleanup(ts.Close)
+
+	// Serve some rows so the stub counters diverge, then scrape.
+	if _, err := rt.Route(context.Background(), &serve.PredictRequest{System: "theta", Rows: testRows(30)}); err != nil {
+		t.Fatal(err)
+	}
+	rt.ProbeOnce()
+
+	status, text := fetchText(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics = %d", status)
+	}
+	for _, want := range []string{
+		`iorouter_replica_up{replica="replica-0"} 1`,
+		`iorouter_replica_up{replica="replica-1"} 1`,
+		`iorouter_replica_up{replica="replica-2"} 1`,
+		"iorouter_replica_scrape_age_seconds",
+		// Merged counter: stub counters track rows served, so the fleet sum
+		// is the whole batch.
+		"ioserve_requests_total 30",
+		// Merged histogram: buckets and counts sum across replicas.
+		`ioserve_request_latency_seconds_bucket{le="+Inf"} 30`,
+		"ioserve_request_latency_seconds_count 30",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("fleet metrics missing %q in:\n%s", want, text)
+		}
+	}
+	// Gauges are point-in-time per process: they must not be merged into
+	// fleet sums (the up/staleness gauges above are the router's own).
+	if strings.Contains(text, "Fleet-aggregated: Currently admitted") {
+		t.Fatal("per-replica gauge leaked into the fleet merge")
+	}
+
+	// The same scrape feeds the queue-depth policy input and the versions.
+	view := rt.View()
+	for _, r := range view.Replicas {
+		wantGate := int64(0)
+		if r.Name == "replica-1" {
+			wantGate = 5
+		}
+		if r.GateInflight != wantGate {
+			t.Fatalf("replica %s gate inflight %d, want %d", r.Name, r.GateInflight, wantGate)
+		}
+		if r.ActiveVersions["theta"] != 1 {
+			t.Fatalf("replica %s versions %+v", r.Name, r.ActiveVersions)
+		}
+	}
+
+	// A dead replica drops its up gauge but keeps the last-good cache.
+	reps[2].setDown(true)
+	rt.ProbeOnce()
+	_, text = fetchText(t, ts.URL+"/metrics")
+	if !strings.Contains(text, `iorouter_replica_up{replica="replica-2"} 0`) {
+		t.Fatalf("down replica still reports up:\n%s", text)
+	}
+}
+
+// TestHandlerSLO: /v1/slo answers 409 without -slo, and with an SLO
+// configured reports objectives over routed traffic plus iorouter_slo_*
+// series on /metrics.
+func TestHandlerSLO(t *testing.T) {
+	rt := newTestRouter(t, RouterConfig{}, newStub("replica-0"))
+	ts := httptest.NewServer(Handler(rt))
+	t.Cleanup(ts.Close)
+	if status, _ := fetchText(t, ts.URL+"/v1/slo"); status != http.StatusConflict {
+		t.Fatalf("/v1/slo without -slo = %d, want 409", status)
+	}
+
+	specs, err := obs.ParseSLO("predict:p99=250ms,avail=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo := obs.NewSLO(specs)
+	ts2 := httptest.NewServer(NewHandler(rt, HandlerConfig{SLO: slo}))
+	t.Cleanup(ts2.Close)
+
+	body, _ := json.Marshal(serve.PredictRequest{System: "theta", Row: []float64{1, 2}})
+	resp, err := http.Post(ts2.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict = %d", resp.StatusCode)
+	}
+
+	sresp, err := http.Get(ts2.URL + "/v1/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var out struct {
+		Objectives []obs.SLOStatus `json:"objectives"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Objectives) != 2 {
+		t.Fatalf("objectives = %+v", out.Objectives)
+	}
+	for _, o := range out.Objectives {
+		if o.Class != "predict" || o.Requests != 1 || o.Bad != 0 || !o.Met {
+			t.Fatalf("objective %+v after one good request", o)
+		}
+	}
+
+	_, text := fetchText(t, ts2.URL+"/metrics")
+	for _, want := range []string{
+		`iorouter_slo_requests_total{class="predict",objective="predict:p99<=250ms"} 1`,
+		"iorouter_slo_budget_consumed",
+		`window="5m"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("SLO metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestHandlerTraceEndpoints: /v1/trace answers 409 when tracing is off;
+// with tracing on, the listing shows routed traces and /v1/trace/{id}
+// stitches — degrading hops whose replicas hold no trace to explicit
+// missing markers instead of failing.
+func TestHandlerTraceEndpoints(t *testing.T) {
+	rtOff := newTestRouter(t, RouterConfig{}, newStub("replica-0"))
+	tsOff := httptest.NewServer(Handler(rtOff))
+	t.Cleanup(tsOff.Close)
+	if status, _ := fetchText(t, tsOff.URL+"/v1/trace"); status != http.StatusConflict {
+		t.Fatalf("trace list without tracing = %d, want 409", status)
+	}
+
+	reps := []*stubReplica{newStub("replica-0"), newStub("replica-1"), newStub("replica-2")}
+	rt := newTestRouter(t, RouterConfig{TraceEvery: 1}, reps[0], reps[1], reps[2])
+	ts := httptest.NewServer(Handler(rt))
+	t.Cleanup(ts.Close)
+
+	body, _ := json.Marshal(serve.PredictRequest{System: "theta", Rows: testRows(20)})
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceHex := resp.Header.Get(serve.TraceHeader)
+	resp.Body.Close()
+
+	status, text := fetchText(t, ts.URL+"/v1/trace")
+	if status != http.StatusOK || !strings.Contains(text, traceHex) {
+		t.Fatalf("trace list = %d, body:\n%s", status, text)
+	}
+
+	gresp, err := http.Get(ts.URL + "/v1/trace/" + traceHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gresp.Body.Close()
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("stitched get = %d", gresp.StatusCode)
+	}
+	var st obs.StitchedTrace
+	if err := json.NewDecoder(gresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != traceHex || len(st.Hops) == 0 {
+		t.Fatalf("stitched trace %+v", st)
+	}
+	// Stubs retain no traces, so every hop degrades to a missing marker —
+	// the stitch itself must still succeed with the router-side view.
+	for _, hop := range st.Hops {
+		if !hop.Missing {
+			t.Fatalf("stub hop not marked missing: %+v", hop)
+		}
+	}
+
+	if status, _ := fetchText(t, ts.URL+"/v1/trace/zzzz"); status != http.StatusBadRequest {
+		t.Fatalf("bad id = %d, want 400", status)
+	}
+	if status, _ := fetchText(t, ts.URL+"/v1/trace/00000000000000ff"); status != http.StatusNotFound {
+		t.Fatalf("unknown id = %d, want 404", status)
+	}
+}
+
+// TestHandlerTraceAdminGate: with an admin token configured, the trace
+// endpoints refuse anonymous requests and admit bearer-token ones.
+func TestHandlerTraceAdminGate(t *testing.T) {
+	rt := newTestRouter(t, RouterConfig{TraceEvery: 1}, newStub("replica-0"))
+	ts := httptest.NewServer(NewHandler(rt, HandlerConfig{AdminToken: "sekrit"}))
+	t.Cleanup(ts.Close)
+
+	if status, _ := fetchText(t, ts.URL+"/v1/trace"); status != http.StatusUnauthorized {
+		t.Fatalf("anonymous trace list = %d, want 401", status)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/trace", nil)
+	req.Header.Set("Authorization", "Bearer sekrit")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized trace list = %d, want 200", resp.StatusCode)
 	}
 }

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FleetScrape caches the most recent /metrics exposition from every fleet
+// replica on one scrape cadence and serves three consumers from that single
+// cache: the router's merged /metrics view (counters + histograms summed
+// fleet-wide), per-replica liveness/staleness gauges, and point lookups of
+// individual gauges (admission-gate depth, active versions) that used to
+// require their own admin round-trips per replica.
+type FleetScrape struct {
+	// Now is injectable for staleness tests; defaults to time.Now.
+	Now func() time.Time
+
+	mu      sync.Mutex
+	targets map[string]*scrapeTarget
+	names   []string // sorted target names for deterministic rendering
+}
+
+type scrapeTarget struct {
+	families []PromFamily
+	lastOK   time.Time
+	up       bool
+}
+
+// NewFleetScrape returns a scraper tracking the given replica names. All
+// targets start down with no cached exposition.
+func NewFleetScrape(names []string) *FleetScrape {
+	fs := &FleetScrape{targets: make(map[string]*scrapeTarget, len(names))}
+	for _, n := range names {
+		fs.targets[n] = &scrapeTarget{}
+		fs.names = append(fs.names, n)
+	}
+	sort.Strings(fs.names)
+	return fs
+}
+
+func (fs *FleetScrape) now() time.Time {
+	if fs.Now != nil {
+		return fs.Now()
+	}
+	return time.Now()
+}
+
+// Record parses and caches one successful scrape of target. Unknown targets
+// are added (replicas can appear after boot). A parse failure marks the
+// target down and keeps the previous cache.
+func (fs *FleetScrape) Record(target string, body []byte) error {
+	families, err := ParsePromText(body)
+	if err != nil {
+		fs.MarkDown(target)
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	t := fs.target(target)
+	t.families = families
+	t.lastOK = fs.now()
+	t.up = true
+	return nil
+}
+
+// MarkDown records a failed scrape of target: the target's up gauge drops
+// but its last-good exposition stays cached so staleness is observable.
+func (fs *FleetScrape) MarkDown(target string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.target(target).up = false
+}
+
+// target returns the entry for name, creating (and indexing) it if new.
+// Callers hold fs.mu.
+func (fs *FleetScrape) target(name string) *scrapeTarget {
+	t, ok := fs.targets[name]
+	if !ok {
+		t = &scrapeTarget{}
+		fs.targets[name] = t
+		fs.names = append(fs.names, name)
+		sort.Strings(fs.names)
+	}
+	return t
+}
+
+// Gauge returns the value of one unlabelled-or-exact series from target's
+// cached exposition, matching s.Name+s.Labels against series. The second
+// return is false when the target has no cache or the series is absent.
+func (fs *FleetScrape) Gauge(target, series string) (float64, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	t, ok := fs.targets[target]
+	if !ok {
+		return 0, false
+	}
+	for _, f := range t.families {
+		for _, s := range f.Samples {
+			if s.Name+s.Labels == series {
+				return s.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Samples returns a copy of target's cached samples for one family.
+func (fs *FleetScrape) Samples(target, family string) []PromSample {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	t, ok := fs.targets[target]
+	if !ok {
+		return nil
+	}
+	for _, f := range t.families {
+		if f.Name == family {
+			out := make([]PromSample, len(f.Samples))
+			copy(out, f.Samples)
+			return out
+		}
+	}
+	return nil
+}
+
+// Up reports whether target's most recent scrape succeeded.
+func (fs *FleetScrape) Up(target string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	t, ok := fs.targets[target]
+	return ok && t.up
+}
+
+// WriteMetrics renders the fleet view: per-replica up and scrape-age
+// gauges, then every counter/histogram family summed across up replicas
+// with the family HELP prefixed "Fleet-aggregated:" so a dashboard can
+// tell merged series from the router's own.
+func (fs *FleetScrape) WriteMetrics(w io.Writer) error {
+	fs.mu.Lock()
+	now := fs.now()
+	type replicaRow struct {
+		name string
+		up   int
+		age  float64
+	}
+	rows := make([]replicaRow, 0, len(fs.names))
+	var merged [][]PromFamily
+	for _, name := range fs.names {
+		t := fs.targets[name]
+		r := replicaRow{name: name, age: -1}
+		if t.up {
+			r.up = 1
+		}
+		if !t.lastOK.IsZero() {
+			r.age = now.Sub(t.lastOK).Seconds()
+		}
+		rows = append(rows, r)
+		if t.up && t.families != nil {
+			merged = append(merged, t.families)
+		}
+	}
+	fs.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP iorouter_replica_up Whether the most recent metrics scrape of the replica succeeded.\n")
+	fmt.Fprintf(w, "# TYPE iorouter_replica_up gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "iorouter_replica_up{replica=%q} %d\n", r.name, r.up)
+	}
+	fmt.Fprintf(w, "# HELP iorouter_replica_scrape_age_seconds Seconds since the last successful metrics scrape of the replica (-1 before the first).\n")
+	fmt.Fprintf(w, "# TYPE iorouter_replica_scrape_age_seconds gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "iorouter_replica_scrape_age_seconds{replica=%q} %g\n", r.name, r.age)
+	}
+
+	for _, f := range MergeFamilies(merged...) {
+		if f.Help != "" {
+			fmt.Fprintf(w, "# HELP %s Fleet-aggregated: %s\n", f.Name, f.Help)
+		} else {
+			fmt.Fprintf(w, "# HELP %s Fleet-aggregated.\n", f.Name)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Samples {
+			fmt.Fprintf(w, "%s%s %s\n", s.Name, s.Labels, formatPromValue(s.Value))
+		}
+	}
+	return nil
+}
+
+// formatPromValue renders integral values without an exponent so merged
+// counters look like the per-process ones they were summed from.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

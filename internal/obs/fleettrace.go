@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// fleettrace.go gives the fleet router its own tracing plane: router-side
+// stage attribution (admit, score, fan-out, reassemble), per-hop spans for
+// every replica dispatch, tail-sampled retention mirroring the replica
+// tracer's policy, and stitching — splicing the replicas' own retained
+// span trees under the router's fan-out spans into one cross-process tree
+// with per-hop network time made explicit.
+
+// RouterStage identifies one phase of the router's request pipeline.
+type RouterStage uint8
+
+const (
+	// RouterStageAdmit is request decode + validation.
+	RouterStageAdmit RouterStage = iota
+	// RouterStageScore is consistent-hash owner lookup and replica scoring
+	// for every row group.
+	RouterStageScore
+	// RouterStageFanout is the parallel dispatch of owner groups to
+	// replicas — the span the per-hop spans nest under.
+	RouterStageFanout
+	// RouterStageReassemble is splicing per-replica predictions back into
+	// request row order.
+	RouterStageReassemble
+
+	// NumRouterStages bounds the RouterStage values.
+	NumRouterStages
+)
+
+var routerStageNames = [NumRouterStages]string{"admit", "score", "fanout", "reassemble"}
+
+// String returns the stage's exposition label.
+func (s RouterStage) String() string {
+	if int(s) < len(routerStageNames) {
+		return routerStageNames[s]
+	}
+	return "unknown"
+}
+
+// HopSpan records one replica dispatch inside a routed request: which
+// replica, how long the round trip took from the router's side, and the
+// replica-reported service time that lets network time be attributed.
+type HopSpan struct {
+	Replica string
+	// TraceID is the replica-side trace ID returned in the response share
+	// (0 when the replica did not retain its trace).
+	TraceID uint64
+	Rows    int
+	// DurationNs is the router-observed round-trip time of this dispatch.
+	DurationNs int64
+	// ReplicaTotalNs is the replica-reported end-to-end service time from
+	// its server timings (0 when not reported); the hop's network share is
+	// DurationNs - ReplicaTotalNs.
+	ReplicaTotalNs int64
+	// Failover marks a dispatch to a replica other than the ring owner.
+	Failover bool
+	Err      string
+}
+
+// FleetTrace is one retained routed request.
+type FleetTrace struct {
+	ID      uint64
+	System  string
+	Start   time.Time
+	TotalNs int64
+	StageNs [NumRouterStages]int64
+	Rows    int
+	Hops    []HopSpan
+	Err     string
+	Keep    string
+}
+
+// RouterTracer retains FleetTraces under the same tail-sampling policy as
+// the replica-side Tracer: errors always, slow (moving p99) always, plus a
+// 1-in-N head sample. Unlike the replica tracer it is not pooled — the
+// router path is not allocation-gated, and hop slices make by-value
+// pooling a false economy. A nil *RouterTracer is inert.
+type RouterTracer struct {
+	cfg Config
+
+	mu   sync.Mutex
+	ring []FleetTrace
+	next int
+	size int
+
+	headCtr atomic.Uint64
+	lat     *MovingP99
+	kept    [len(keepReasons)]atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewRouterTracer builds a router tracer under cfg (RingSize default 256).
+func NewRouterTracer(cfg Config) *RouterTracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 256
+	}
+	return &RouterTracer{
+		cfg:  cfg,
+		ring: make([]FleetTrace, cfg.RingSize),
+		lat:  NewMovingP99(0),
+	}
+}
+
+// Finish applies the keep policy to t and retains a deep copy when kept,
+// returning t.ID for retained traces and 0 otherwise. Callers own t and
+// may reuse it afterwards.
+func (rt *RouterTracer) Finish(t *FleetTrace) uint64 {
+	if rt == nil || t == nil {
+		return 0
+	}
+	if rt.cfg.SlowAfter == 0 {
+		rt.lat.Observe(t.TotalNs)
+	}
+	keep := -1
+	switch {
+	case t.Err != "":
+		keep = 0 // KeepError
+	case t.TotalNs >= int64(rt.SlowThreshold()):
+		keep = 4 // KeepSlow
+	case rt.cfg.SampleEvery > 0 && rt.headCtr.Add(1)%uint64(rt.cfg.SampleEvery) == 0:
+		keep = 5 // KeepSampled
+	}
+	if keep < 0 {
+		rt.dropped.Add(1)
+		return 0
+	}
+	t.Keep = keepReasons[keep]
+	rt.kept[keep].Add(1)
+
+	stored := *t
+	stored.Hops = make([]HopSpan, len(t.Hops))
+	copy(stored.Hops, t.Hops)
+
+	rt.mu.Lock()
+	rt.ring[rt.next] = stored
+	rt.next = (rt.next + 1) % len(rt.ring)
+	if rt.size < len(rt.ring) {
+		rt.size++
+	}
+	rt.mu.Unlock()
+	return t.ID
+}
+
+// SlowThreshold reports the slow-trace bar (MaxInt64 until armed).
+func (rt *RouterTracer) SlowThreshold() time.Duration {
+	if rt.cfg.SlowAfter > 0 {
+		return rt.cfg.SlowAfter
+	}
+	return time.Duration(rt.lat.Value())
+}
+
+// Recent returns up to limit retained traces, newest first.
+func (rt *RouterTracer) Recent(limit int) []FleetTrace {
+	if rt == nil {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := rt.size
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]FleetTrace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (rt.next - 1 - i + len(rt.ring)) % len(rt.ring)
+		out = append(out, rt.ring[idx])
+	}
+	return out
+}
+
+// Get returns the retained trace with the given ID.
+func (rt *RouterTracer) Get(id uint64) (FleetTrace, bool) {
+	if rt == nil {
+		return FleetTrace{}, false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i := 0; i < rt.size; i++ {
+		idx := (rt.next - 1 - i + len(rt.ring)) % len(rt.ring)
+		if rt.ring[idx].ID == id {
+			return rt.ring[idx], true
+		}
+	}
+	return FleetTrace{}, false
+}
+
+// WriteMetrics renders the router tracer's exposition series.
+func (rt *RouterTracer) WriteMetrics(w io.Writer) error {
+	if rt == nil {
+		return nil
+	}
+	fmt.Fprintf(w, "# HELP iorouter_traces_kept_total Routed traces retained by tail-sampling, by reason.\n# TYPE iorouter_traces_kept_total counter\n")
+	for i, reason := range keepReasons {
+		fmt.Fprintf(w, "iorouter_traces_kept_total{reason=%q} %d\n", reason, rt.kept[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP iorouter_traces_dropped_total Finished routed traces discarded by sampling.\n# TYPE iorouter_traces_dropped_total counter\niorouter_traces_dropped_total %d\n", rt.dropped.Load())
+	slow := int64(rt.SlowThreshold())
+	if slow == math.MaxInt64 {
+		slow = 0
+	}
+	_, err := fmt.Fprintf(w, "# HELP iorouter_trace_slow_threshold_seconds Moving p99 threshold above which routed traces are always retained (0 until armed).\n# TYPE iorouter_trace_slow_threshold_seconds gauge\niorouter_trace_slow_threshold_seconds %g\n", float64(slow)/1e9)
+	return err
+}
+
+// StitchedHop is one replica dispatch in a stitched cross-process trace.
+type StitchedHop struct {
+	Replica string `json:"replica"`
+	TraceID string `json:"trace_id,omitempty"`
+	Rows    int    `json:"rows"`
+	// DurationNs is the router-observed round trip; NetworkNs the share of
+	// it not accounted for by the replica's own service time.
+	DurationNs int64 `json:"duration_ns"`
+	NetworkNs  int64 `json:"network_ns"`
+	// Missing marks a hop whose replica-side trace could not be fetched
+	// (not retained, evicted from the replica's ring, or replica down) —
+	// the stitched tree degrades to the router-side view for this hop.
+	Missing  bool   `json:"missing,omitempty"`
+	Failover bool   `json:"failover,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// StitchedTrace is the cross-process view of one routed request: the
+// router's stage spans with every fetched replica span tree spliced under
+// its fan-out hop.
+type StitchedTrace struct {
+	TraceID string        `json:"trace_id"`
+	System  string        `json:"system"`
+	Start   time.Time     `json:"start"`
+	TotalNs int64         `json:"total_ns"`
+	Rows    int           `json:"rows"`
+	Kept    string        `json:"kept_because"`
+	Error   string        `json:"error,omitempty"`
+	Hops    []StitchedHop `json:"hops"`
+	Spans   SpanNode      `json:"spans"`
+}
+
+// Stitch assembles the cross-process tree. fetch resolves one replica's
+// retained trace detail by ID; returning false marks the hop missing and
+// keeps the router-side span as a partial view rather than failing the
+// whole stitch.
+func (t *FleetTrace) Stitch(fetch func(replica string, id uint64) (*TraceDetail, bool)) StitchedTrace {
+	st := StitchedTrace{
+		TraceID: FormatTraceID(t.ID),
+		System:  t.System,
+		Start:   t.Start,
+		TotalNs: t.TotalNs,
+		Rows:    t.Rows,
+		Kept:    t.Keep,
+		Error:   t.Err,
+	}
+	root := SpanNode{Name: "request", DurationNs: t.TotalNs}
+	for s := RouterStage(0); s < NumRouterStages; s++ {
+		node := SpanNode{Name: routerStageNames[s], DurationNs: t.StageNs[s]}
+		if s == RouterStageFanout {
+			for _, hop := range t.Hops {
+				sh := StitchedHop{
+					Replica:    hop.Replica,
+					Rows:       hop.Rows,
+					DurationNs: hop.DurationNs,
+					Failover:   hop.Failover,
+					Error:      hop.Err,
+				}
+				hopNode := SpanNode{Name: "replica " + hop.Replica, DurationNs: hop.DurationNs}
+				var detail *TraceDetail
+				if hop.TraceID != 0 {
+					sh.TraceID = FormatTraceID(hop.TraceID)
+					if d, ok := fetch(hop.Replica, hop.TraceID); ok && d != nil {
+						detail = d
+					}
+				}
+				replicaTotal := hop.ReplicaTotalNs
+				if detail != nil && replicaTotal == 0 {
+					replicaTotal = detail.TotalNs
+				}
+				sh.NetworkNs = hop.DurationNs - replicaTotal
+				if sh.NetworkNs < 0 {
+					sh.NetworkNs = 0
+				}
+				hopNode.Children = append(hopNode.Children,
+					SpanNode{Name: "network", DurationNs: sh.NetworkNs})
+				if detail != nil {
+					sub := detail.Spans
+					sub.Name = "replica request " + sh.TraceID
+					hopNode.Children = append(hopNode.Children, sub)
+				} else {
+					sh.Missing = true
+					hopNode.Children = append(hopNode.Children, SpanNode{Name: "missing"})
+				}
+				st.Hops = append(st.Hops, sh)
+				node.Children = append(node.Children, hopNode)
+			}
+		} else if t.StageNs[s] == 0 {
+			continue
+		}
+		root.Children = append(root.Children, node)
+	}
+	st.Spans = root
+	return st
+}

@@ -37,6 +37,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"sync/atomic"
 	"time"
@@ -154,6 +155,7 @@ func NewService(reg *Registry, opt Options) *Service {
 	}
 	m.QueueDepthFn = s.batcher.QueueDepth
 	m.InflightWavesFn = s.batcher.InflightWaves
+	m.RegisterCollector(s.writeVersionMetrics)
 	if opt.TraceEvery > 0 {
 		s.tracer = obs.NewTracer(obs.Config{
 			SampleEvery: opt.TraceEvery,
@@ -163,6 +165,24 @@ func NewService(reg *Registry, opt Options) *Service {
 		m.RegisterCollector(s.tracer.WriteMetrics)
 	}
 	return s
+}
+
+// writeVersionMetrics renders each system's serving-default version as a
+// gauge, so one metrics scrape carries the topology a fleet router needs —
+// publish propagation is observable without a second admin request.
+func (s *Service) writeVersionMetrics(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP ioserve_active_version The serving-default model version per system.\n# TYPE ioserve_active_version gauge\n"); err != nil {
+		return err
+	}
+	for _, info := range s.reg.List() {
+		if !info.Active {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "ioserve_active_version{system=%q} %d\n", info.System, info.Version); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close stops the reloader (if attached), the shadow mirror, and the
