@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench bench-smoke benchcmp chaos-smoke fleet-smoke slo-smoke
+.PHONY: all build test vet fmt bench bench-smoke benchcmp chaos-smoke fleet-smoke membership-smoke slo-smoke
 
 all: build test
 
@@ -48,6 +48,14 @@ chaos-smoke:
 # scripts/fleet_smoke.sh for knobs).
 fleet-smoke:
 	./scripts/fleet_smoke.sh
+
+# Membership smoke: the self-healing fleet lifecycle — zero-replica router
+# boot, three replicas self-register, kill -9 → lease-expiry ejection,
+# SIGTERM under load → coordinated drain with zero lost requests, router
+# restart → snapshot recovery, drain to a clean final state (see
+# scripts/membership_smoke.sh for knobs).
+membership-smoke:
+	./scripts/membership_smoke.sh
 
 # Observability smoke: iorouter with SLO tracking and tracing over a traced
 # ioserve replica — nominal load must meet the objectives, a stitched

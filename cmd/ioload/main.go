@@ -216,7 +216,7 @@ func run(addr, sysName string, version, requests, batch int, rate, dup, ood floa
 	}
 	timings.report()
 	stats.PerReplica = tally.snapshot()
-	reportReplicaSplit(stats)
+	reportReplicaSplit(stats, tally)
 	fmt.Printf("versions seen   %s\n", tracker.String())
 	// The churn scenario's contract is "the served version advances with
 	// zero request errors" — enforce it in the exit code so scripts and CI
@@ -316,23 +316,35 @@ type retryStats struct {
 }
 
 // replicaTally accumulates the per-replica row split that iorouter
-// responses carry. Against a single ioserve the responses have no shares
-// and the tally stays empty.
+// responses carry, keyed by the membership epoch each response was routed
+// under — when the fleet changes mid-run (a join, a drain, a lease
+// expiry) the split per era is meaningful where one flat table would
+// smear a 2-replica era into a 3-replica one and misread the skew.
+// Against a single ioserve the responses have no shares and the tally
+// stays empty.
 type replicaTally struct {
-	mu   sync.Mutex
-	rows map[string]int
+	mu     sync.Mutex
+	rows   map[string]int            // all epochs combined
+	epochs map[uint64]map[string]int // per membership epoch
 }
 
-func (t *replicaTally) record(shares []fleet.ReplicaShare) {
+func (t *replicaTally) record(shares []fleet.ReplicaShare, epoch uint64) {
 	if len(shares) == 0 {
 		return
 	}
 	t.mu.Lock()
 	if t.rows == nil {
 		t.rows = make(map[string]int)
+		t.epochs = make(map[uint64]map[string]int)
+	}
+	byEpoch := t.epochs[epoch]
+	if byEpoch == nil {
+		byEpoch = make(map[string]int)
+		t.epochs[epoch] = byEpoch
 	}
 	for _, s := range shares {
 		t.rows[s.Replica] += s.Rows
+		byEpoch[s.Replica] += s.Rows
 	}
 	t.mu.Unlock()
 }
@@ -350,15 +362,31 @@ func (t *replicaTally) snapshot() map[string]int {
 	return out
 }
 
-// reportReplicaSplit prints the routing skew when the target was a fleet
-// router (no-op against a single ioserve, whose responses carry no split).
-func reportReplicaSplit(stats serve.LoadStats) {
-	if len(stats.PerReplica) == 0 {
-		return
+// epochSnapshot returns the per-epoch splits, sorted by epoch.
+func (t *replicaTally) epochSnapshot() (epochs []uint64, splits map[uint64]map[string]int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.epochs) == 0 {
+		return nil, nil
 	}
-	names := make([]string, 0, len(stats.PerReplica))
+	splits = make(map[uint64]map[string]int, len(t.epochs))
+	for e, m := range t.epochs {
+		epochs = append(epochs, e)
+		cp := make(map[string]int, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		splits[e] = cp
+	}
+	sort.Slice(epochs, func(a, b int) bool { return epochs[a] < epochs[b] })
+	return epochs, splits
+}
+
+// formatSplit renders one replica→rows map as "name N (P%), ...".
+func formatSplit(split map[string]int) string {
+	names := make([]string, 0, len(split))
 	total := 0
-	for name, rows := range stats.PerReplica {
+	for name, rows := range split {
 		names = append(names, name)
 		total += rows
 	}
@@ -368,10 +396,30 @@ func reportReplicaSplit(stats serve.LoadStats) {
 		if i > 0 {
 			buf.WriteString(", ")
 		}
-		fmt.Fprintf(&buf, "%s %d (%.1f%%)", name, stats.PerReplica[name],
-			100*float64(stats.PerReplica[name])/float64(total))
+		fmt.Fprintf(&buf, "%s %d (%.1f%%)", name, split[name],
+			100*float64(split[name])/float64(total))
 	}
-	fmt.Printf("replica rows    %s\n", buf.String())
+	return buf.String()
+}
+
+// reportReplicaSplit prints the routing skew when the target was a fleet
+// router (no-op against a single ioserve, whose responses carry no
+// split). The combined line always prints; when the run observed more
+// than one membership epoch, a per-epoch breakdown follows so skew is
+// judged within each membership era rather than across the churn.
+func reportReplicaSplit(stats serve.LoadStats, tally *replicaTally) {
+	if len(stats.PerReplica) == 0 {
+		return
+	}
+	fmt.Printf("replica rows    %s\n", formatSplit(stats.PerReplica))
+	epochs, splits := tally.epochSnapshot()
+	if len(epochs) <= 1 {
+		return
+	}
+	fmt.Printf("membership      %d epochs observed (fleet changed mid-run)\n", len(epochs))
+	for _, e := range epochs {
+		fmt.Printf("  epoch %-6d%s\n", e, formatSplit(splits[e]))
+	}
 }
 
 // verifyChaos is the -expect-chaos post-run assertion: the server survived
@@ -708,7 +756,7 @@ func httpTarget(addr, sysName string, version int, tracker *versionTracker, timi
 			timings.record(elapsed, pr.ServerTimings)
 		}
 		if tally != nil {
-			tally.record(pr.Replicas)
+			tally.record(pr.Replicas, pr.MembershipEpoch)
 		}
 		return pr.Predictions, false, 0, nil
 	}

@@ -1,11 +1,18 @@
 // Command iorouter is the fleet front end: it routes POST /v1/predict
 // traffic across N shared-nothing ioserve replicas under a pluggable
 // scoring policy, with health-checked membership and per-replica circuit
-// breakers.
+// breakers. Membership is dynamic: -replicas is optional (a router may
+// boot with zero replicas), ioserve replicas self-register over the
+// lease-based registration plane and are ejected on lease expiry, and
+// -fleet-state persists membership snapshots so a restarted router
+// rebuilds its fleet without waiting for re-registrations.
 //
 // Usage:
 //
 //	iorouter -replicas http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//	iorouter                                     # zero replicas; fleet self-assembles
+//	iorouter -fleet-state /var/lib/iorouter/membership.json -lease-ttl 3s
+//	iorouter -flap-window 1m -flap-threshold 3 -damp-hold 10s
 //	iorouter -replicas ... -policy 'dup-affinity:3,queue-depth:2'
 //	iorouter -replicas ... -health-interval 500ms -breaker-threshold 2 -breaker-cooldown 3s
 //	iorouter -replicas ... -admin-token $IOSERVE_ADMIN_TOKEN   # unlock replica trace views
@@ -16,11 +23,19 @@
 //
 //	POST /v1/predict    — the ioserve predict contract; the response adds a
 //	                      "replicas" array with each replica's share of the
-//	                      batch (plus its replica-side trace IDs), and
+//	                      batch (plus its replica-side trace IDs) and the
+//	                      membership_epoch it was routed under, and
 //	                      X-Trace-Id carries the fleet trace ID stamped on
 //	                      every sub-request
-//	GET  /v1/fleet      — membership, breaker states, per-replica load and
-//	                      active versions
+//	GET  /v1/fleet      — membership (lifecycle state, lease, flaps,
+//	                      capabilities), breaker states, per-replica load
+//	                      and active versions, recent membership events
+//	POST /v1/fleet/register   — join the fleet; grants a heartbeat
+//	                            lease                              [admin]
+//	POST /v1/fleet/heartbeat  — renew a lease (404 → re-register)  [admin]
+//	POST /v1/fleet/deregister — coordinated drain: off the ring
+//	                            immediately, confirms once in-flight
+//	                            rows finish                        [admin]
 //	GET  /v1/trace      — retained routed traces, newest first     [admin]
 //	GET  /v1/trace/{id} — one stitched cross-process span tree     [admin]
 //	GET  /v1/slo        — SLO compliance, burn rates, alert states
@@ -89,13 +104,19 @@ type config struct {
 	shutdownGrace    time.Duration
 	logFormat        string
 	logLevel         string
+
+	statePath     string
+	leaseTTL      time.Duration
+	flapWindow    time.Duration
+	flapThreshold int
+	dampHold      time.Duration
 }
 
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", ":8070", "listen address")
 	flag.StringVar(&cfg.replicas, "replicas", "",
-		"comma-separated replica base URLs, e.g. http://10.0.0.7:8080,http://10.0.0.8:8080 (required)")
+		"comma-separated static replica base URLs, e.g. http://10.0.0.7:8080,http://10.0.0.8:8080 (optional: replicas can self-register via POST /v1/fleet/register instead)")
 	flag.StringVar(&cfg.policy, "policy", fleet.DefaultPolicy,
 		"routing policy as 'scorer[:weight],...'; scorers: dup-affinity (consistent-hash cache affinity), queue-depth (inverse load)")
 	flag.DurationVar(&cfg.healthInterval, "health-interval", time.Second,
@@ -119,6 +140,16 @@ func main() {
 		"drain window for in-flight requests after SIGINT/SIGTERM")
 	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "log verbosity: debug, info, warn, or error")
+	flag.StringVar(&cfg.statePath, "fleet-state", "",
+		"path for persisted membership snapshots; a restarted router rebuilds its ring from it, quarantining entries behind a health probe (empty disables persistence)")
+	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", 3*time.Second,
+		"heartbeat lease granted to self-registered replicas; a member silent for a full TTL is ejected")
+	flag.DurationVar(&cfg.flapWindow, "flap-window", time.Minute,
+		"sliding window over which involuntary member exits count as flaps")
+	flag.IntVar(&cfg.flapThreshold, "flap-threshold", 3,
+		"involuntary exits within -flap-window after which a member's readmission is damped")
+	flag.DurationVar(&cfg.dampHold, "damp-hold", 10*time.Second,
+		"how long a flapping member is held off the ring before a healthy probe may readmit it")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "iorouter:", err)
@@ -143,26 +174,25 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	if strings.TrimSpace(cfg.replicas) == "" {
-		return fmt.Errorf("-replicas is required")
-	}
 	policy, err := fleet.ParsePolicy(cfg.policy)
 	if err != nil {
 		return err
 	}
 	var backends []fleet.Predictor
-	for _, raw := range strings.Split(cfg.replicas, ",") {
-		u := strings.TrimRight(strings.TrimSpace(raw), "/")
-		if u == "" {
-			return fmt.Errorf("-replicas has an empty entry")
+	if strings.TrimSpace(cfg.replicas) != "" {
+		for _, raw := range strings.Split(cfg.replicas, ",") {
+			u := strings.TrimRight(strings.TrimSpace(raw), "/")
+			if u == "" {
+				return fmt.Errorf("-replicas has an empty entry")
+			}
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				return fmt.Errorf("replica %q: want an http(s) base URL", u)
+			}
+			// The host:port part names the replica in the ring, metrics, and
+			// response shares.
+			name := strings.TrimPrefix(strings.TrimPrefix(u, "http://"), "https://")
+			backends = append(backends, fleet.NewRemote(name, u, fleet.RemoteConfig{AdminToken: cfg.adminToken}))
 		}
-		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
-			return fmt.Errorf("replica %q: want an http(s) base URL", u)
-		}
-		// The host:port part names the replica in the ring, metrics, and
-		// response shares.
-		name := strings.TrimPrefix(strings.TrimPrefix(u, "http://"), "https://")
-		backends = append(backends, fleet.NewRemote(name, u, fleet.RemoteConfig{AdminToken: cfg.adminToken}))
 	}
 	var slo *obs.SLO
 	if cfg.sloSpec != "" {
@@ -184,15 +214,40 @@ func run(cfg config) error {
 		TraceEvery:       traceEvery(cfg.traceSample),
 		TraceBuffer:      cfg.traceBuffer,
 		Logger:           logger,
+		LeaseTTL:         cfg.leaseTTL,
+		FlapWindow:       cfg.flapWindow,
+		FlapThreshold:    cfg.flapThreshold,
+		DampHold:         cfg.dampHold,
+		StatePath:        cfg.statePath,
+		// Self-registered replicas dial back over HTTP with the same admin
+		// token as static ones.
+		Backend: func(name, baseURL string) (fleet.Predictor, error) {
+			u := strings.TrimRight(strings.TrimSpace(baseURL), "/")
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				return nil, fmt.Errorf("member %q: want an http(s) base URL, got %q", name, baseURL)
+			}
+			return fleet.NewRemote(name, u, fleet.RemoteConfig{AdminToken: cfg.adminToken}), nil
+		},
 	}, backends...)
 	if err != nil {
 		return err
 	}
+	if cfg.statePath != "" {
+		snap, err := fleet.LoadSnapshot(cfg.statePath)
+		if err != nil {
+			// A corrupt snapshot must not keep the fleet down: log and let
+			// re-registrations rebuild membership.
+			logger.Warn("fleet membership snapshot unreadable; starting empty", "path", cfg.statePath, "err", err)
+		} else if n := rt.Restore(snap); n > 0 {
+			logger.Info("fleet membership recovered from snapshot",
+				"path", cfg.statePath, "members", n, "saved_at", snap.SavedAt)
+		}
+	}
 	rt.Start()
 	defer rt.Stop()
 	logger.Info("fleet routing on",
-		"replicas", len(backends), "policy", rt.Policy(),
-		"health_interval", cfg.healthInterval,
+		"static_replicas", len(backends), "policy", rt.Policy(),
+		"health_interval", cfg.healthInterval, "lease_ttl", cfg.leaseTTL,
 		"breaker_threshold", cfg.breakerThreshold, "breaker_cooldown", cfg.breakerCooldown)
 	if cfg.traceSample > 0 {
 		logger.Info("router tracing on",

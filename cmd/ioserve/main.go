@@ -13,6 +13,8 @@
 //	        -admin-token $IOSERVE_ADMIN_TOKEN
 //	ioserve -models ./registry -trace-sample 0.01 -pprof-addr localhost:6060 \
 //	        -log-format json -log-level debug
+//	ioserve -models ./registry -router http://127.0.0.1:8070 \
+//	        -advertise http://10.0.0.5:8080      # join an iorouter fleet
 //
 // Endpoints:
 //
@@ -65,9 +67,20 @@
 // X-Request-Timeout-Ms); expired requests are dropped before evaluation
 // and answered 504. The reloader and the drift retrain chain run behind
 // circuit breakers with jittered backoff, visible at GET /v1/resilience.
-// -chaos injects faults (latency, errors, panics, registry corruption) for
-// resilience testing; SIGINT/SIGTERM drains in-flight requests for
-// -shutdown-grace before exiting.
+// -chaos injects faults (latency, errors, panics, registry corruption,
+// plus hbloss=/partition= membership faults) for resilience testing;
+// SIGINT/SIGTERM drains in-flight requests for -shutdown-grace before
+// exiting.
+//
+// Fleet membership: -router self-registers this replica with an iorouter
+// and keeps a heartbeat lease renewed (jittered; -heartbeat-interval
+// overrides the router's suggested cadence, -advertise sets the URL the
+// router dials back when the listen address is not routable). A heartbeat
+// answered 404 re-registers automatically. SIGTERM then becomes a
+// coordinated drain: the replica deregisters first and waits for the
+// router to confirm its in-flight rows finished before the local HTTP
+// drain — zero lost requests; if the router is unreachable the replica
+// exits anyway and its lease expires.
 //
 // -admin-token (or IOSERVE_ADMIN_TOKEN) gates every [admin] endpoint with
 // a bearer token; unset leaves them open (development mode).
@@ -93,6 +106,7 @@ import (
 	"time"
 
 	"iotaxo/internal/drift"
+	"iotaxo/internal/fleet"
 	"iotaxo/internal/obs"
 	"iotaxo/internal/resilience"
 	"iotaxo/internal/resilience/chaos"
@@ -132,6 +146,10 @@ type config struct {
 	defaultDeadline time.Duration
 	shutdownGrace   time.Duration
 	chaosSpec       string
+
+	routerURL         string
+	advertiseURL      string
+	heartbeatInterval time.Duration
 }
 
 func main() {
@@ -181,7 +199,13 @@ func main() {
 	flag.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 10*time.Second,
 		"drain window for in-flight requests after SIGINT/SIGTERM before the listener is torn down")
 	flag.StringVar(&cfg.chaosSpec, "chaos", "",
-		`fault-injection spec, e.g. "latency=5ms:0.2,error=0.05,panic=0.01,corrupt=0.1" (empty disables; never set in production)`)
+		`fault-injection spec, e.g. "latency=5ms:0.2,error=0.05,panic=0.01,corrupt=0.1,hbloss=0.3,partition=0.1" (empty disables; never set in production)`)
+	flag.StringVar(&cfg.routerURL, "router", "",
+		"iorouter base URL to self-register with (dynamic fleet membership; empty disables)")
+	flag.StringVar(&cfg.advertiseURL, "advertise", "",
+		"base URL the router should dial back for this replica (default derives http://127.0.0.1 from -addr)")
+	flag.DurationVar(&cfg.heartbeatInterval, "heartbeat-interval", 0,
+		"membership heartbeat cadence (0 takes the router's grant: lease TTL / 3)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ioserve:", err)
@@ -434,18 +458,70 @@ func run(cfg config) error {
 			serveErr <- err
 		}
 	}()
+
+	// Dynamic fleet membership: announce to the router, heartbeat the
+	// lease, and on shutdown run the coordinated drain before the local
+	// HTTP drain.
+	var agent *fleet.Agent
+	if cfg.routerURL != "" {
+		advertise := cfg.advertiseURL
+		if advertise == "" {
+			advertise = deriveAdvertise(cfg.addr)
+			if advertise == "" {
+				return fmt.Errorf("-advertise is required with -router when -addr (%q) has no usable host", cfg.addr)
+			}
+		}
+		// The router names remote replicas by host:port of the base URL.
+		name := strings.TrimPrefix(strings.TrimPrefix(advertise, "http://"), "https://")
+		var systems []string
+		for _, info := range reg.List() {
+			systems = append(systems, info.System)
+		}
+		agent, err = fleet.NewAgent(fleet.AgentConfig{
+			RouterURL:    cfg.routerURL,
+			Name:         name,
+			AdvertiseURL: advertise,
+			Capabilities: map[string]string{
+				"service": "ioserve",
+				"systems": strings.Join(systems, ","),
+			},
+			AdminToken: cfg.adminToken,
+			Heartbeat:  cfg.heartbeatInterval,
+			Logger:     logger,
+			Chaos:      inj,
+		})
+		if err != nil {
+			return err
+		}
+		go agent.Run(ctx)
+		logger.Info("fleet membership on", "router", cfg.routerURL, "advertise", advertise, "name", name)
+	}
+
 	select {
 	case err := <-serveErr:
 		return err
 	case <-ctx.Done():
 	}
-	// Graceful drain: stop accepting, let in-flight requests finish within
-	// the grace window, then the deferred Close calls stop the drift loop,
-	// reloader, and batcher workers.
 	stopSignals()
 	logger.Info("shutting down", "grace", cfg.shutdownGrace)
 	sctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
 	defer cancel()
+	if agent != nil {
+		// Coordinated drain, step 1: deregister and wait for the router to
+		// confirm the arc handoff — after this no new rows arrive, so the
+		// local HTTP drain below only finishes stragglers. If the router is
+		// unreachable the lease expires and ejects us the hard way; exiting
+		// anyway is safe.
+		if resp, err := agent.Drain(sctx); err != nil {
+			logger.Warn("fleet drain handshake failed; relying on lease expiry", "err", err)
+		} else {
+			logger.Info("fleet drain confirmed", "drained", resp.Drained, "pending_rows", resp.PendingRows)
+		}
+	}
+	// Step 2 (or the whole drain when not fleet-registered): stop
+	// accepting, let in-flight requests finish within the grace window,
+	// then the deferred Close calls stop the drift loop, reloader, and
+	// batcher workers.
 	if psrv != nil {
 		_ = psrv.Shutdown(sctx)
 	}
@@ -454,4 +530,18 @@ func run(cfg config) error {
 	}
 	logger.Info("shutdown complete")
 	return nil
+}
+
+// deriveAdvertise guesses a loopback advertise URL from -addr for
+// single-host fleets (":8081" → "http://127.0.0.1:8081"). Addresses with
+// an explicit host keep it.
+func deriveAdvertise(addr string) string {
+	host, port, ok := strings.Cut(addr, ":")
+	if !ok || port == "" {
+		return ""
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return "http://" + host + ":" + port
 }

@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"iotaxo/internal/resilience"
+	"iotaxo/internal/resilience/chaos"
+)
+
+// Agent is the replica side of dynamic membership: it announces the
+// replica to the router on startup, keeps the lease alive with jittered
+// heartbeats, re-registers when the router forgets it (a 404 heartbeat —
+// the router restarted without a snapshot, or the lease lapsed across a
+// partition), and runs the coordinated-drain handshake on shutdown.
+// ioserve wires one up under -router; everything is best-effort — a
+// replica that cannot reach the registration plane keeps serving, and
+// the router's lease expiry is the fallback for every lost message.
+type Agent struct {
+	cfg    AgentConfig
+	client *http.Client
+	logger *slog.Logger
+	rand   func() float64
+}
+
+// AgentConfig tunes an Agent.
+type AgentConfig struct {
+	// RouterURL is the router's base URL (required).
+	RouterURL string
+	// Name is how this replica registers (required; must match the name
+	// the router derives for its backend, so cmd/ioserve advertises its
+	// own host:port).
+	Name string
+	// AdvertiseURL is the base URL the router should dial back (required
+	// for remote fleets).
+	AdvertiseURL string
+	// Capabilities is free-form metadata surfaced in the fleet view.
+	Capabilities map[string]string
+	// AdminToken authorizes the router's registration plane (the same
+	// token scheme as every other admin surface).
+	AdminToken string
+	// Heartbeat overrides the beat cadence; 0 derives it from the granted
+	// lease (TTL/3, as the router suggests).
+	Heartbeat time.Duration
+	// Client defaults to a 5s-timeout client.
+	Client *http.Client
+	// Logger defaults to a discard logger.
+	Logger *slog.Logger
+	// Chaos injects heartbeat loss and registration-plane partitions
+	// (nil injects nothing).
+	Chaos *chaos.Injector
+	// Rand is the jitter source (tests); nil uses math/rand.
+	Rand func() float64
+}
+
+// NewAgent builds an agent; Run starts its lifecycle.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if strings.TrimSpace(cfg.RouterURL) == "" {
+		return nil, fmt.Errorf("fleet: agent needs a router URL")
+	}
+	if strings.TrimSpace(cfg.Name) == "" {
+		return nil, fmt.Errorf("fleet: agent needs a name")
+	}
+	cfg.RouterURL = strings.TrimRight(cfg.RouterURL, "/")
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	rnd := cfg.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	return &Agent{cfg: cfg, client: client, logger: logger, rand: rnd}, nil
+}
+
+// heartbeatJitter is the fraction of the beat interval randomized so a
+// fleet started together does not phase-lock on the router.
+const heartbeatJitter = 0.2
+
+// Run registers (retrying with backoff until the router answers) and then
+// heartbeats until ctx is cancelled. It self-heals: a 404 heartbeat
+// re-registers, any other failure just waits for the next beat — the
+// lease gives the fleet leeway of TTL/heartbeat (~3) consecutive losses.
+func (a *Agent) Run(ctx context.Context) {
+	interval, ok := a.registerLoop(ctx)
+	if !ok {
+		return
+	}
+	for {
+		t := time.NewTimer(resilience.Jitter(interval, heartbeatJitter, a.rand))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if a.cfg.Chaos.DropHeartbeat() {
+			a.logger.Warn("fleet heartbeat dropped (chaos)", "replica", a.cfg.Name)
+			continue
+		}
+		var hb HeartbeatResponse
+		status, err := a.post(ctx, "/v1/fleet/heartbeat", HeartbeatRequest{Name: a.cfg.Name}, &hb)
+		switch {
+		case err != nil:
+			a.logger.Warn("fleet heartbeat failed", "replica", a.cfg.Name, "err", err)
+		case status == http.StatusNotFound:
+			// The router forgot us (restart without snapshot, or our lease
+			// lapsed across a partition): announce again.
+			a.logger.Info("fleet heartbeat unknown; re-registering", "replica", a.cfg.Name)
+			if next, ok := a.registerLoop(ctx); ok && a.cfg.Heartbeat <= 0 {
+				interval = next
+			} else if !ok {
+				return
+			}
+		case status != http.StatusOK:
+			a.logger.Warn("fleet heartbeat rejected", "replica", a.cfg.Name, "status", status)
+		}
+	}
+}
+
+// registerLoop announces the replica, retrying with jittered backoff
+// until the router accepts or ctx ends. Returns the heartbeat interval
+// and false when ctx ended first.
+func (a *Agent) registerLoop(ctx context.Context) (time.Duration, bool) {
+	b := resilience.Backoff{Base: 200 * time.Millisecond, Max: 5 * time.Second, Rand: a.rand}
+	for attempt := 1; ; attempt++ {
+		var resp RegisterResponse
+		status, err := a.post(ctx, "/v1/fleet/register", RegisterRequest{
+			Name:         a.cfg.Name,
+			BaseURL:      a.cfg.AdvertiseURL,
+			Capabilities: a.cfg.Capabilities,
+		}, &resp)
+		if err == nil && status == http.StatusOK {
+			interval := a.cfg.Heartbeat
+			if interval <= 0 {
+				interval = time.Duration(resp.HeartbeatMs) * time.Millisecond
+			}
+			if interval <= 0 {
+				interval = time.Second
+			}
+			a.logger.Info("fleet registered", "replica", a.cfg.Name,
+				"state", resp.State, "lease_ttl_ms", resp.LeaseTTLMs, "heartbeat", interval)
+			return interval, true
+		}
+		if err != nil {
+			a.logger.Warn("fleet registration failed", "replica", a.cfg.Name, "err", err)
+		} else {
+			a.logger.Warn("fleet registration rejected", "replica", a.cfg.Name, "status", status)
+		}
+		t := time.NewTimer(b.Delay(attempt))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return 0, false
+		case <-t.C:
+		}
+	}
+}
+
+// Drain runs the coordinated-drain handshake: deregister, and wait for
+// the router to confirm the arc handoff (every row it had in flight on
+// this replica finished). Call on SIGTERM *before* the local HTTP drain;
+// after it returns the router sends no new rows, so the local drain only
+// finishes stragglers. Retries until ctx ends — and when it does end
+// without an answer, shutting down anyway is safe: the lease expires and
+// the router ejects us the hard way.
+func (a *Agent) Drain(ctx context.Context) (DeregisterResponse, error) {
+	b := resilience.Backoff{Base: 100 * time.Millisecond, Max: time.Second, Rand: a.rand}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		var resp DeregisterResponse
+		status, err := a.post(ctx, "/v1/fleet/deregister", DeregisterRequest{Name: a.cfg.Name}, &resp)
+		switch {
+		case err == nil && status == http.StatusOK:
+			return resp, nil
+		case err == nil && status == http.StatusNotFound:
+			// Already forgotten — nothing to hand off.
+			return DeregisterResponse{Drained: true}, nil
+		case err != nil:
+			lastErr = err
+		default:
+			lastErr = fmt.Errorf("fleet: deregister rejected with status %d", status)
+		}
+		t := time.NewTimer(b.Delay(attempt))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return DeregisterResponse{}, fmt.Errorf("fleet: drain handshake unfinished: %w", lastErr)
+		case <-t.C:
+		}
+	}
+}
+
+// post sends one registration-plane call and decodes a 2xx/404 body into
+// out. The chaos partition fault fails the call at the "transport".
+func (a *Agent) post(ctx context.Context, path string, body, out any) (int, error) {
+	if a.cfg.Chaos.RegistrationPartitioned() {
+		return 0, fmt.Errorf("chaos: registration plane partitioned")
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.cfg.RouterURL+path, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if a.cfg.AdminToken != "" {
+		req.Header.Set("X-Admin-Token", a.cfg.AdminToken)
+	}
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("fleet: decoding %s reply: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

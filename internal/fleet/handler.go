@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -63,6 +64,45 @@ func NewHandler(rt *Router, cfg HandlerConfig) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, rt.View())
 	})
+	// The registration plane. Admin-gated: membership changes are control
+	// actions, and the agent sends the same token it uses for its own
+	// admin surface.
+	mux.HandleFunc("/v1/fleet/register", serve.RequireAdmin(cfg.AdminToken, func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !decodeMembership(w, r, &req) {
+			return
+		}
+		resp, err := rt.Register(req)
+		if err != nil {
+			writeMembershipError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+	mux.HandleFunc("/v1/fleet/heartbeat", serve.RequireAdmin(cfg.AdminToken, func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decodeMembership(w, r, &req) {
+			return
+		}
+		resp, err := rt.Heartbeat(req.Name)
+		if err != nil {
+			writeMembershipError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+	mux.HandleFunc("/v1/fleet/deregister", serve.RequireAdmin(cfg.AdminToken, func(w http.ResponseWriter, r *http.Request) {
+		var req DeregisterRequest
+		if !decodeMembership(w, r, &req) {
+			return
+		}
+		resp, err := rt.Deregister(r.Context(), req.Name)
+		if err != nil {
+			writeMembershipError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
 	mux.HandleFunc("/v1/trace", serve.RequireAdmin(cfg.AdminToken, func(w http.ResponseWriter, r *http.Request) {
 		handleFleetTraceList(rt, w, r)
 	}))
@@ -98,6 +138,9 @@ func NewHandler(rt *Router, cfg HandlerConfig) http.Handler {
 			return
 		}
 		if err := rt.tracer.WriteMetrics(w); err != nil {
+			return
+		}
+		if err := rt.memlog.WriteMetrics(w); err != nil {
 			return
 		}
 		if err := rt.scrape.WriteMetrics(w); err != nil {
@@ -241,6 +284,39 @@ func handleRoute(rt *Router, w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(serve.TraceHeader, resp.TraceID)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxMembershipBody bounds a registration-plane request body.
+const maxMembershipBody = 1 << 20
+
+// decodeMembership decodes one registration-plane POST body into req,
+// answering the error itself (false) when the method or body is bad.
+func decodeMembership(w http.ResponseWriter, r *http.Request, req any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxMembershipBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return false
+	}
+	return true
+}
+
+// writeMembershipError maps membership errors to statuses: unknown member
+// is 404 (the agent's re-register signal), BackendError carries its own.
+func writeMembershipError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrUnknownMember) {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if be, ok := err.(*BackendError); ok {
+		writeError(w, be.Status, be.Msg)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

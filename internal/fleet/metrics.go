@@ -3,13 +3,16 @@ package fleet
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
 )
 
 // Router metrics, rendered in Prometheus text format at the router's
-// /metrics. The replica set is fixed at construction, so the per-replica
-// series live in plain maps of atomics — no locks on the dispatch path —
-// and render deterministically in sorted name order (rt.names).
+// /metrics. Members come and go at runtime, so the per-replica series
+// live behind a small mutex (one map lookup per dispatch); the counters
+// themselves stay atomics, and removal deletes the member's series
+// outright — a departed member must not linger as a frozen row.
 
 type replicaCounters struct {
 	requests atomic.Uint64 // sub-requests dispatched (failover retries included)
@@ -21,30 +24,67 @@ type routerMetrics struct {
 	requests  atomic.Uint64 // client requests routed
 	errors    atomic.Uint64 // client requests failed
 	failovers atomic.Uint64 // sub-requests retried on another replica
-	remaps    atomic.Uint64 // ring membership flips (ejections + rejoins)
+	remaps    atomic.Uint64 // ring membership flips (joins, ejections, drains, expiries)
 	healthy   atomic.Int64  // current ring size
 
-	names      []string
+	mu         sync.Mutex
+	names      []string // sorted for deterministic rendering
 	perReplica map[string]*replicaCounters
 }
 
 func (m *routerMetrics) init(names []string) {
-	m.names = names
 	m.perReplica = make(map[string]*replicaCounters, len(names))
 	for _, n := range names {
 		m.perReplica[n] = &replicaCounters{}
+		m.names = append(m.names, n)
+	}
+	sort.Strings(m.names)
+}
+
+// add creates the member's counter series (no-op when present: a
+// re-registering member keeps its counts).
+func (m *routerMetrics) add(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.perReplica[name]; ok {
+		return
+	}
+	m.perReplica[name] = &replicaCounters{}
+	m.names = append(m.names, name)
+	sort.Strings(m.names)
+}
+
+// remove deletes the member's counter series.
+func (m *routerMetrics) remove(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.perReplica[name]; !ok {
+		return
+	}
+	delete(m.perReplica, name)
+	for i, n := range m.names {
+		if n == name {
+			m.names = append(m.names[:i], m.names[i+1:]...)
+			break
+		}
 	}
 }
 
+func (m *routerMetrics) counters(name string) *replicaCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.perReplica[name]
+}
+
 func (m *routerMetrics) dispatched(name string, rows int) {
-	if c := m.perReplica[name]; c != nil {
+	if c := m.counters(name); c != nil {
 		c.requests.Add(1)
 		c.rows.Add(uint64(rows))
 	}
 }
 
 func (m *routerMetrics) replicaError(name string) {
-	if c := m.perReplica[name]; c != nil {
+	if c := m.counters(name); c != nil {
 		c.errors.Add(1)
 	}
 }
@@ -59,7 +99,7 @@ func (m *routerMetrics) WriteMetrics(w io.Writer) error {
 		{"iorouter_requests_total", "Client requests routed.", "counter", m.requests.Load()},
 		{"iorouter_errors_total", "Client requests answered with an error.", "counter", m.errors.Load()},
 		{"iorouter_failovers_total", "Sub-requests retried on another replica after a fault.", "counter", m.failovers.Load()},
-		{"iorouter_ring_remaps_total", "Ring membership flips (ejections and rejoins).", "counter", m.remaps.Load()},
+		{"iorouter_ring_remaps_total", "Ring membership flips (joins, ejections, drains, expiries).", "counter", m.remaps.Load()},
 		{"iorouter_replicas_healthy", "Replicas currently on the ring.", "gauge", uint64(m.healthy.Load())},
 	}
 	for _, s := range scalars {
@@ -67,6 +107,15 @@ func (m *routerMetrics) WriteMetrics(w io.Writer) error {
 			return err
 		}
 	}
+	// Snapshot the member set so rendering never races add/remove.
+	m.mu.Lock()
+	names := make([]string, len(m.names))
+	copy(names, m.names)
+	counters := make(map[string]*replicaCounters, len(m.perReplica))
+	for n, c := range m.perReplica {
+		counters[n] = c
+	}
+	m.mu.Unlock()
 	type series struct {
 		name, help string
 		get        func(*replicaCounters) uint64
@@ -79,8 +128,8 @@ func (m *routerMetrics) WriteMetrics(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", s.name, s.help, s.name); err != nil {
 			return err
 		}
-		for _, n := range m.names {
-			if _, err := fmt.Fprintf(w, "%s{replica=%q} %d\n", s.name, n, s.get(m.perReplica[n])); err != nil {
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, "%s{replica=%q} %d\n", s.name, n, s.get(counters[n])); err != nil {
 				return err
 			}
 		}

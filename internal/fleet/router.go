@@ -30,10 +30,32 @@ type Router struct {
 	res     *resilience.Set
 	probeTO time.Duration
 
+	// Membership knobs (fixed at construction).
+	now           func() time.Time
+	backend       func(name, baseURL string) (Predictor, error)
+	breakerCfg    resilience.BreakerConfig
+	leaseTTL      time.Duration
+	flapWindow    time.Duration
+	flapThreshold int
+	dampHold      time.Duration
+	drainWait     time.Duration
+	statePath     string
+
 	mu       sync.Mutex
 	ring     *Ring
 	replicas map[string]*replicaState
-	names    []string // sorted replica names, fixed at construction
+	names    []string // sorted member names (mutates under mu as members come and go)
+	// flaps is each member's involuntary-exit history (lease expiries and
+	// breaker ejections inside flapWindow); it outlives the member entry so
+	// a register/expire cycle accumulates toward the damping threshold.
+	flaps map[string][]time.Time
+
+	// epoch counts ring membership flips; responses carry it so clients
+	// (cmd/ioload) can attribute per-replica skew to membership eras.
+	epoch atomic.Uint64
+	// memlog retains membership transitions for the fleet view and renders
+	// the per-kind event counters on /metrics.
+	memlog *obs.MembershipLog
 
 	metrics routerMetrics
 	// scrape caches each replica's /metrics exposition, refreshed by the
@@ -66,6 +88,16 @@ type replicaState struct {
 
 	mu       sync.Mutex
 	versions map[string]int // last polled active versions
+
+	// Membership fields, guarded by the router's mu (not rs.mu: state
+	// transitions are decided against ring and flap state).
+	state        string            // Member* lifecycle state
+	lease        *resilience.Lease // nil for static members (never expires)
+	baseURL      string            // dynamic members' advertised URL ("" for static)
+	capabilities map[string]string // replica-announced metadata
+	registeredAt time.Time
+	dampedUntil  time.Time // earliest readmission while damped
+	ejected      bool      // currently off-ring due to its breaker
 }
 
 // load is the queue-depth scorer's input: router-tracked inflight rows
@@ -103,15 +135,46 @@ type RouterConfig struct {
 	TraceSlowAfter time.Duration
 	// Logger defaults to a discard logger.
 	Logger *slog.Logger
+
+	// Now is the router's clock, injectable so lease-expiry and
+	// flap-damping paths are testable without sleeping. Nil uses time.Now.
+	Now func() time.Time
+	// Backend constructs the Predictor for a dynamically registered member
+	// from its advertised base URL (cmd/iorouter wires NewRemote; tests
+	// resolve names to in-process Locals). Nil rejects dynamic
+	// registration.
+	Backend func(name, baseURL string) (Predictor, error)
+	// LeaseTTL is the heartbeat lease granted to dynamic members (default
+	// 3s). A member that misses every beat for a full TTL is ejected.
+	LeaseTTL time.Duration
+	// FlapWindow / FlapThreshold / DampHold tune flap damping: a member
+	// with FlapThreshold involuntary exits (lease expiry, breaker
+	// ejection) inside FlapWindow is damped — held off the ring for
+	// DampHold and readmitted only by a healthy probe after the hold —
+	// so a partitioning network cannot thrash the ring. Defaults 60s/3/10s.
+	FlapWindow    time.Duration
+	FlapThreshold int
+	DampHold      time.Duration
+	// DrainWait bounds how long Deregister waits for a draining member's
+	// in-flight rows when the caller brought no deadline (default 10s).
+	DrainWait time.Duration
+	// StatePath, when set, persists membership snapshots (temp-file +
+	// rename) on every membership change so a restarted router rebuilds
+	// its ring without operator input.
+	StatePath string
+	// MembershipEvents is the retained membership-event ring capacity
+	// (default 64).
+	MembershipEvents int
 }
 
-// NewRouter builds a router over the given replicas. Replica names must
-// be unique. All replicas start in the ring (membership then follows
-// breaker state).
+// NewRouter builds a router over the given static replicas — possibly
+// none: a zero-member router boots with an empty ring and fills it from
+// dynamic registrations (POST /v1/fleet/register). Replica names must be
+// unique. Static replicas start active and in the ring (the operator
+// configured them; membership then follows breaker state) and carry no
+// lease; dynamic members are quarantined behind a first successful health
+// probe and must heartbeat to stay.
 func NewRouter(cfg RouterConfig, replicas ...Predictor) (*Router, error) {
-	if len(replicas) == 0 {
-		return nil, fmt.Errorf("fleet: router needs at least one replica")
-	}
 	policy := cfg.Policy
 	if len(policy) == 0 {
 		policy, _ = ParsePolicy(DefaultPolicy)
@@ -126,18 +189,54 @@ func NewRouter(cfg RouterConfig, replicas ...Predictor) (*Router, error) {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = 2 * time.Second
 	}
-	rt := &Router{
-		policy:      policy,
-		logger:      logger,
-		res:         resilience.NewSet(),
-		probeTO:     cfg.ProbeTimeout,
-		ring:        NewRing(),
-		replicas:    make(map[string]*replicaState, len(replicas)),
-		idBase:      uint64(time.Now().UnixNano()) << 8,
-		healthEvery: cfg.HealthInterval,
-		stopCh:      make(chan struct{}),
-		doneCh:      make(chan struct{}),
+	if cfg.Now == nil {
+		cfg.Now = time.Now
 	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 3 * time.Second
+	}
+	if cfg.FlapWindow <= 0 {
+		cfg.FlapWindow = time.Minute
+	}
+	if cfg.FlapThreshold <= 0 {
+		cfg.FlapThreshold = 3
+	}
+	if cfg.DampHold <= 0 {
+		cfg.DampHold = 10 * time.Second
+	}
+	if cfg.DrainWait <= 0 {
+		cfg.DrainWait = 10 * time.Second
+	}
+	if cfg.MembershipEvents <= 0 {
+		cfg.MembershipEvents = 64
+	}
+	rt := &Router{
+		policy:  policy,
+		logger:  logger,
+		res:     resilience.NewSet(),
+		probeTO: cfg.ProbeTimeout,
+		now:     cfg.Now,
+		backend: cfg.Backend,
+		breakerCfg: resilience.BreakerConfig{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+		},
+		leaseTTL:      cfg.LeaseTTL,
+		flapWindow:    cfg.FlapWindow,
+		flapThreshold: cfg.FlapThreshold,
+		dampHold:      cfg.DampHold,
+		drainWait:     cfg.DrainWait,
+		statePath:     cfg.StatePath,
+		ring:          NewRing(),
+		replicas:      make(map[string]*replicaState, len(replicas)),
+		flaps:         make(map[string][]time.Time),
+		memlog:        obs.NewMembershipLog(cfg.MembershipEvents),
+		idBase:        uint64(time.Now().UnixNano()) << 8,
+		healthEvery:   cfg.HealthInterval,
+		stopCh:        make(chan struct{}),
+		doneCh:        make(chan struct{}),
+	}
+	rt.memlog.Now = cfg.Now
 	for _, rep := range replicas {
 		name := rep.Name()
 		if name == "" {
@@ -147,12 +246,11 @@ func NewRouter(cfg RouterConfig, replicas ...Predictor) (*Router, error) {
 			return nil, fmt.Errorf("fleet: duplicate replica name %q", name)
 		}
 		rt.replicas[name] = &replicaState{
-			backend: rep,
-			breaker: rt.res.NewBreaker(name, resilience.BreakerConfig{
-				Threshold: cfg.BreakerThreshold,
-				Cooldown:  cfg.BreakerCooldown,
-			}),
-			versions: make(map[string]int),
+			backend:      rep,
+			breaker:      rt.res.NewBreaker(name, rt.breakerCfg),
+			versions:     make(map[string]int),
+			state:        MemberActive,
+			registeredAt: rt.now(),
 		}
 		rt.replicas[name].gateInflight.Store(-1)
 		rt.names = append(rt.names, name)
@@ -213,13 +311,27 @@ func (rt *Router) probeLoop() {
 	}
 }
 
-// ProbeOnce runs one health/stats sweep over all replicas and reconciles
-// membership. Exported so tests (and the fleet smoke script via the
-// router's admin surface) can force a sweep instead of sleeping.
+// ProbeOnce runs one health/stats sweep over all members, expires lapsed
+// leases, and reconciles ring membership. Exported so tests (and the
+// fleet smoke script via the router's admin surface) can force a sweep
+// instead of sleeping.
 func (rt *Router) ProbeOnce() {
-	var wg sync.WaitGroup
+	// Snapshot the member set under the lock: registrations and removals
+	// race this sweep, and a member removed mid-probe is caught by the
+	// identity check in noteHealthy.
+	rt.mu.Lock()
+	type probe struct {
+		name string
+		rs   *replicaState
+	}
+	members := make([]probe, 0, len(rt.names))
 	for _, name := range rt.names {
-		rs := rt.replicas[name]
+		members = append(members, probe{name, rt.replicas[name]})
+	}
+	rt.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, m := range members {
+		name, rs := m.name, m.rs
 		// Allow is the breaker's half-open gate: an open breaker absorbs
 		// probes until its cooldown elapses, then admits exactly one.
 		if !rs.breaker.Allow() {
@@ -237,6 +349,7 @@ func (rt *Router) ProbeOnce() {
 				return
 			}
 			rs.breaker.Success()
+			rt.noteHealthy(name, rs)
 			// One metrics scrape replaces the old two-request
 			// /v1/resilience + /v1/versions stats poll: the cached
 			// exposition feeds the queue-depth scorer, the fleet view's
@@ -270,25 +383,48 @@ func (rt *Router) ProbeOnce() {
 		}(name, rs)
 	}
 	wg.Wait()
+	rt.expireLeases()
 	rt.reconcile()
 }
 
-// reconcile syncs ring membership with breaker state: a replica is on the
-// ring iff its breaker is closed. Each membership flip is one minimal
-// remap (only the flipped replica's arcs move).
+// reconcile syncs ring membership with lifecycle + breaker state: a
+// member is on the ring iff it is active and its breaker is closed. Each
+// membership flip is one minimal remap (only the flipped member's arcs
+// move). A breaker ejection counts as a flap; a member whose breaker
+// recovers while its flap count is over the threshold is damped instead
+// of readmitted — hysteresis that keeps a cycling member from thrashing
+// the ring.
 func (rt *Router) reconcile() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	for _, name := range rt.names {
-		closed := rt.replicas[name].breaker.Status().State == resilience.StateClosed
+		rs := rt.replicas[name]
+		closed := rs.breaker.Status().State == resilience.StateClosed
+		wantRing := closed && rs.state == MemberActive
 		switch {
-		case closed && !rt.ring.Has(name):
-			rt.ring.Add(name)
-			rt.metrics.remaps.Add(1)
+		case wantRing && !rt.ring.Has(name):
+			if rs.ejected && rt.flapCountLocked(name) >= rt.flapThreshold {
+				rs.state = MemberDamped
+				rs.dampedUntil = rt.now().Add(rt.dampHold)
+				rs.ejected = false
+				rt.memlog.Record(name, obs.MemberEventFlapDamped,
+					fmt.Sprintf("%d involuntary exits within %s", rt.flapCountLocked(name), rt.flapWindow))
+				rt.logger.Warn("fleet member damped", "replica", name, "hold", rt.dampHold)
+				continue
+			}
+			rt.ringAddLocked(name)
+			if rs.ejected {
+				rs.ejected = false
+				rt.memlog.Record(name, obs.MemberEventReadmit, "breaker closed")
+			}
 			rt.logger.Info("fleet replica joined ring", "replica", name, "ring", rt.ring.String())
-		case !closed && rt.ring.Has(name):
-			rt.ring.Remove(name)
-			rt.metrics.remaps.Add(1)
+		case !wantRing && rt.ring.Has(name):
+			rt.ringRemoveLocked(name)
+			if !closed {
+				rs.ejected = true
+				rt.recordFlapLocked(name)
+				rt.memlog.Record(name, obs.MemberEventEject, "breaker open")
+			}
 			rt.logger.Warn("fleet replica ejected from ring", "replica", name, "ring", rt.ring.String())
 		}
 	}
@@ -315,6 +451,11 @@ type ReplicaShare struct {
 type Response struct {
 	serve.PredictResponse
 	Replicas []ReplicaShare `json:"replicas,omitempty"`
+	// MembershipEpoch is the ring-membership era the request was routed
+	// under (bumped on every membership flip), so load clients can report
+	// per-replica skew per era instead of smearing rows across joins and
+	// drains.
+	MembershipEpoch uint64 `json:"membership_epoch,omitempty"`
 }
 
 // traceID mints one fleet-level trace ID per routed request.
@@ -395,7 +536,7 @@ func (rt *Router) Route(ctx context.Context, req *serve.PredictRequest) (*Respon
 	}
 
 	scoreStart := time.Now()
-	groups, err := rt.groupByOwner(req.System, rows)
+	groups, epoch, err := rt.groupByOwner(req.System, rows)
 	if ft != nil {
 		ft.StageNs[obs.RouterStageScore] = time.Since(scoreStart).Nanoseconds()
 	}
@@ -438,7 +579,7 @@ func (rt *Router) Route(ctx context.Context, req *serve.PredictRequest) (*Respon
 		Count:       len(rows),
 		Predictions: make([]serve.PredictionResult, len(rows)),
 		TraceID:     obs.FormatTraceID(fid),
-	}}
+	}, MembershipEpoch: epoch}
 	shares := make(map[string]*ReplicaShare)
 	for gi, res := range results {
 		if res.err != nil {
@@ -487,15 +628,17 @@ func (rt *Router) Route(ctx context.Context, req *serve.PredictRequest) (*Respon
 	return out, nil
 }
 
-// groupByOwner splits rows into ring-owner groups. Routing hashes pin
+// groupByOwner splits rows into ring-owner groups and stamps the
+// membership epoch the split was computed under. Routing hashes pin
 // version 0 so a row keeps its owner across model version bumps — cache
 // keys are versioned, but arc residency shouldn't churn on every publish.
-func (rt *Router) groupByOwner(system string, rows [][]float64) ([]ownerGroup, error) {
+func (rt *Router) groupByOwner(system string, rows [][]float64) ([]ownerGroup, uint64, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	epoch := rt.epoch.Load()
 	if rt.ring.Size() == 0 {
 		rt.metrics.errors.Add(1)
-		return nil, &BackendError{Status: http.StatusServiceUnavailable, Msg: "no healthy replicas"}
+		return nil, epoch, &BackendError{Status: http.StatusServiceUnavailable, Msg: "no healthy replicas"}
 	}
 	byOwner := make(map[string]*ownerGroup)
 	var groups []ownerGroup
@@ -514,7 +657,7 @@ func (rt *Router) groupByOwner(system string, rows [][]float64) ([]ownerGroup, e
 	for _, owner := range order {
 		groups = append(groups, *byOwner[owner])
 	}
-	return groups, nil
+	return groups, epoch, nil
 }
 
 // dispatch serves one owner group: score the live candidates, try the
@@ -611,7 +754,9 @@ func (rt *Router) StitchTrace(ctx context.Context, id uint64) (obs.StitchedTrace
 		return obs.StitchedTrace{}, false
 	}
 	st := ft.Stitch(func(replica string, traceID uint64) (*obs.TraceDetail, bool) {
+		rt.mu.Lock()
 		rs, ok := rt.replicas[replica]
+		rt.mu.Unlock()
 		if !ok {
 			return nil, false
 		}
@@ -652,25 +797,39 @@ func (rt *Router) pick(owner string, tried map[string]bool) (string, *replicaSta
 // ReplicaView is one replica's slice of the GET /v1/fleet view.
 type ReplicaView struct {
 	Name           string         `json:"name"`
+	State          string         `json:"state"`
 	Breaker        string         `json:"breaker"`
 	InRing         bool           `json:"in_ring"`
 	RouterInflight int64          `json:"router_inflight"`
 	GateInflight   int64          `json:"gate_inflight"`
 	ActiveVersions map[string]int `json:"active_versions,omitempty"`
+	// Leased is false for static (operator-configured) members, which
+	// never expire; LeaseRemainingMs is the time left before a dynamic
+	// member would be ejected for silence.
+	Leased           bool              `json:"leased"`
+	LeaseRemainingMs int64             `json:"lease_remaining_ms,omitempty"`
+	Flaps            int               `json:"flaps,omitempty"`
+	BaseURL          string            `json:"base_url,omitempty"`
+	Capabilities     map[string]string `json:"capabilities,omitempty"`
 }
 
 // FleetView is the GET /v1/fleet body.
 type FleetView struct {
-	Policy   string        `json:"policy"`
-	Healthy  int           `json:"healthy"`
-	Replicas []ReplicaView `json:"replicas"`
+	Policy   string                `json:"policy"`
+	Healthy  int                   `json:"healthy"`
+	Epoch    uint64                `json:"epoch"`
+	Replicas []ReplicaView         `json:"replicas"`
+	Events   []obs.MembershipEvent `json:"events,omitempty"`
 }
+
+// viewEvents caps the membership events embedded in the fleet view.
+const viewEvents = 32
 
 // View snapshots fleet membership and per-replica state.
 func (rt *Router) View() FleetView {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	v := FleetView{Policy: PolicyString(rt.policy), Healthy: rt.ring.Size()}
+	v := FleetView{Policy: PolicyString(rt.policy), Healthy: rt.ring.Size(), Epoch: rt.epoch.Load()}
 	for _, name := range rt.names {
 		rs := rt.replicas[name]
 		rs.mu.Lock()
@@ -679,14 +838,32 @@ func (rt *Router) View() FleetView {
 			versions[k] = val
 		}
 		rs.mu.Unlock()
-		v.Replicas = append(v.Replicas, ReplicaView{
+		rv := ReplicaView{
 			Name:           name,
+			State:          rs.state,
 			Breaker:        rs.breaker.Status().State,
 			InRing:         rt.ring.Has(name),
 			RouterInflight: rs.inflight.Load(),
 			GateInflight:   rs.gateInflight.Load(),
 			ActiveVersions: versions,
-		})
+			Flaps:          rt.flapCountLocked(name),
+			BaseURL:        rs.baseURL,
+			Capabilities:   rs.capabilities,
+		}
+		if rs.lease != nil {
+			rv.Leased = true
+			if rem := rs.lease.Remaining(); rem > 0 {
+				rv.LeaseRemainingMs = rem.Milliseconds()
+			}
+		}
+		v.Replicas = append(v.Replicas, rv)
 	}
+	v.Events = rt.memlog.Recent(viewEvents)
 	return v
 }
+
+// MembershipEvents exposes the membership-event log (handler metrics).
+func (rt *Router) MembershipEvents() *obs.MembershipLog { return rt.memlog }
+
+// Epoch returns the current membership epoch.
+func (rt *Router) Epoch() uint64 { return rt.epoch.Load() }

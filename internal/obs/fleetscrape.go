@@ -74,6 +74,27 @@ func (fs *FleetScrape) MarkDown(target string) {
 	fs.target(target).up = false
 }
 
+// Remove forgets a target entirely: its up/scrape-age series disappear
+// from the rendered view and its cached exposition leaves the merge. This
+// is for members that *deregistered* (drained away or lease-expired) —
+// a down-but-still-registered replica keeps its series via MarkDown so
+// staleness stays observable, but a departed one must not haunt dashboards
+// as a permanently-down ghost.
+func (fs *FleetScrape) Remove(target string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.targets[target]; !ok {
+		return
+	}
+	delete(fs.targets, target)
+	for i, n := range fs.names {
+		if n == target {
+			fs.names = append(fs.names[:i], fs.names[i+1:]...)
+			break
+		}
+	}
+}
+
 // target returns the entry for name, creating (and indexing) it if new.
 // Callers hold fs.mu.
 func (fs *FleetScrape) target(name string) *scrapeTarget {

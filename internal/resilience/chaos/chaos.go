@@ -42,12 +42,25 @@ type Config struct {
 	// into the registry with this probability (exercises the reloader's
 	// skip-and-keep-serving policy and its backoff/breaker).
 	CorruptProb float64
+	// HeartbeatLossProb: drop a fleet-membership heartbeat before it is
+	// sent, with this probability — a lossy network between replica and
+	// router. Enough consecutive losses lapse the lease and the router
+	// ejects the member; the agent's next delivered heartbeat (404) makes
+	// it re-register, exercising the flap-damping path.
+	HeartbeatLossProb float64
+	// PartitionProb: fail a fleet registration-plane call (register,
+	// heartbeat, deregister) at the transport with this probability — a
+	// partition between replica and router that the serving path may not
+	// share.
+	PartitionProb float64
 }
 
 // Parse decodes a -chaos spec: comma-separated directives out of
-// "latency=DUR:PROB", "error=PROB", "panic=PROB", "corrupt=PROB", e.g.
-// "latency=5ms:0.2,error=0.1,panic=0.02,corrupt=0.1". Probabilities are in
-// [0,1]; a latency directive without ":PROB" applies always.
+// "latency=DUR:PROB", "error=PROB", "panic=PROB", "corrupt=PROB",
+// "hbloss=PROB", "partition=PROB", e.g.
+// "latency=5ms:0.2,error=0.1,panic=0.02,corrupt=0.1,hbloss=0.3".
+// Probabilities are in [0,1]; a latency directive without ":PROB" applies
+// always.
 func Parse(spec string) (Config, error) {
 	var cfg Config
 	spec = strings.TrimSpace(spec)
@@ -72,7 +85,7 @@ func Parse(spec string) (Config, error) {
 					return cfg, err
 				}
 			}
-		case "error", "panic", "corrupt":
+		case "error", "panic", "corrupt", "hbloss", "partition":
 			p, err := parseProb(val)
 			if err != nil {
 				return cfg, err
@@ -84,9 +97,13 @@ func Parse(spec string) (Config, error) {
 				cfg.PanicProb = p
 			case "corrupt":
 				cfg.CorruptProb = p
+			case "hbloss":
+				cfg.HeartbeatLossProb = p
+			case "partition":
+				cfg.PartitionProb = p
 			}
 		default:
-			return cfg, fmt.Errorf("chaos: unknown directive %q (want latency/error/panic/corrupt)", key)
+			return cfg, fmt.Errorf("chaos: unknown directive %q (want latency/error/panic/corrupt/hbloss/partition)", key)
 		}
 	}
 	return cfg, nil
@@ -102,7 +119,8 @@ func parseProb(s string) (float64, error) {
 
 // Enabled reports whether the config injects anything at all.
 func (c Config) Enabled() bool {
-	return (c.Latency > 0 && c.LatencyProb > 0) || c.ErrorProb > 0 || c.PanicProb > 0 || c.CorruptProb > 0
+	return (c.Latency > 0 && c.LatencyProb > 0) || c.ErrorProb > 0 || c.PanicProb > 0 ||
+		c.CorruptProb > 0 || c.HeartbeatLossProb > 0 || c.PartitionProb > 0
 }
 
 // Injector draws seeded fault decisions from a Config. A nil *Injector
@@ -169,6 +187,16 @@ func (in *Injector) EvalPanic() {
 // CorruptTick reports whether this corruption tick should corrupt the
 // registry.
 func (in *Injector) CorruptTick() bool { return in != nil && in.hit(in.cfg.CorruptProb) }
+
+// DropHeartbeat reports whether this membership heartbeat should be lost
+// in the "network" (never sent). The fleet agent consults it before each
+// beat.
+func (in *Injector) DropHeartbeat() bool { return in != nil && in.hit(in.cfg.HeartbeatLossProb) }
+
+// RegistrationPartitioned reports whether this registration-plane call
+// (register, heartbeat, deregister) should fail at the transport, as if
+// the replica↔router path were partitioned.
+func (in *Injector) RegistrationPartitioned() bool { return in != nil && in.hit(in.cfg.PartitionProb) }
 
 // corruptVersion is the bogus version number corruption writes. It is
 // fixed (and absurdly high, so it would win any max-version promotion if

@@ -127,3 +127,45 @@ func TestCorruptRegistryEmptyRoot(t *testing.T) {
 		t.Fatal("no error for a registry with no systems")
 	}
 }
+
+func TestParseMembershipFaults(t *testing.T) {
+	cfg, err := Parse("hbloss=0.4,partition=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HeartbeatLossProb != 0.4 || cfg.PartitionProb != 0.1 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("membership-only spec reports disabled")
+	}
+	for _, bad := range []string{"hbloss=2", "partition=-0.5", "hbloss="} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInjectorMembershipFaults(t *testing.T) {
+	// Prob 1 always fires, prob 0 never does, and a nil injector (chaos
+	// off) injects nothing — the agent calls these unconditionally.
+	inj := NewInjector(Config{HeartbeatLossProb: 1, PartitionProb: 1}, 7)
+	if !inj.DropHeartbeat() {
+		t.Fatal("DropHeartbeat missed at prob 1")
+	}
+	if !inj.RegistrationPartitioned() {
+		t.Fatal("RegistrationPartitioned missed at prob 1")
+	}
+
+	quiet := NewInjector(Config{ErrorProb: 1}, 7)
+	for i := 0; i < 100; i++ {
+		if quiet.DropHeartbeat() || quiet.RegistrationPartitioned() {
+			t.Fatal("membership fault fired at prob 0")
+		}
+	}
+
+	var off *Injector
+	if off.DropHeartbeat() || off.RegistrationPartitioned() {
+		t.Fatal("nil injector fired a membership fault")
+	}
+}

@@ -68,6 +68,23 @@ func (s *Set) NewBreaker(name string, cfg BreakerConfig) *Breaker {
 	return b
 }
 
+// RemoveBreaker drops a breaker from the set so its metric series and
+// status rows disappear (fleet members that deregister take their breaker
+// with them). Removing a breaker the set does not hold is a no-op.
+func (s *Set) RemoveBreaker(b *Breaker) {
+	if s == nil || b == nil {
+		return
+	}
+	s.mu.Lock()
+	for i, have := range s.breakers {
+		if have == b {
+			s.breakers = append(s.breakers[:i], s.breakers[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
 // Status is the /v1/resilience admin view.
 type Status struct {
 	Admission *GateStatus     `json:"admission,omitempty"`
